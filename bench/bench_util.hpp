@@ -1,0 +1,121 @@
+// Shared helpers for the table/figure reproduction benches: compact table
+// printing and common prediction plumbing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/measurement.hpp"
+#include "core/predictor.hpp"
+#include "simmachine/machine.hpp"
+#include "simmachine/presets.hpp"
+#include "simmachine/simulator.hpp"
+
+namespace estima::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_series(const char* label, const std::vector<int>& cores,
+                         const std::vector<double>& values) {
+  std::printf("%-28s", label);
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    std::printf(" %9.4g", values[i]);
+  }
+  std::printf("\n");
+}
+
+/// Subsamples a dense 1..N series at the given core counts for printing.
+inline std::vector<double> at_cores(const std::vector<int>& all_cores,
+                                    const std::vector<double>& values,
+                                    const std::vector<int>& wanted) {
+  std::vector<double> out;
+  for (int w : wanted) {
+    for (std::size_t i = 0; i < all_cores.size(); ++i) {
+      if (all_cores[i] == w) {
+        out.push_back(values[i]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+/// Standard experiment: simulate ground truth on `machine` for all cores,
+/// measure the first `measure_cores`, predict to the full machine.
+struct Experiment {
+  core::MeasurementSet truth;      ///< full-machine simulation
+  core::MeasurementSet measured;   ///< truncated to the measurement range
+  core::Prediction estima;         ///< ESTIMA prediction
+  core::Prediction time_extrap;    ///< baseline prediction
+  core::PredictionError estima_err;
+  core::PredictionError time_extrap_err;
+};
+
+inline Experiment run_experiment(const std::string& workload_name,
+                                 const sim::MachineSpec& machine,
+                                 int measure_cores,
+                                 bool use_software = true,
+                                 double dataset_scale = 1.0) {
+  const auto wl = sim::presets::workload(workload_name);
+  Experiment e;
+  sim::SimOptions truth_opts;
+  truth_opts.dataset_scale = dataset_scale;
+  e.truth = sim::simulate(wl, machine, sim::all_core_counts(machine),
+                          truth_opts);
+  e.measured = e.truth.truncated(static_cast<std::size_t>(measure_cores));
+
+  core::PredictionConfig cfg;
+  cfg.target_cores = sim::all_core_counts(machine);
+  cfg.use_software_stalls = use_software;
+  cfg.dataset_scale = 1.0;  // measurement and truth share the dataset here
+  e.estima = core::predict(e.measured, cfg);
+  e.time_extrap = core::predict_time_extrapolation(e.measured, cfg);
+  e.estima_err = core::evaluate_prediction(e.estima, e.truth);
+  e.time_extrap_err = core::evaluate_prediction(e.time_extrap, e.truth);
+  return e;
+}
+
+/// Cross-machine experiment (Section 4.3 / Table 7): measure on one
+/// machine, predict and validate on another. Execution time is scaled by
+/// the frequency ratio, exactly as the paper does.
+inline Experiment run_cross_experiment(
+    const std::string& workload_name, const sim::MachineSpec& measure_machine,
+    const std::vector<int>& measure_counts,
+    const sim::MachineSpec& target_machine, bool use_software = true,
+    const core::ExtrapolationConfig* extrap_override = nullptr,
+    double dataset_scale_target = 1.0) {
+  const auto wl = sim::presets::workload(workload_name);
+  Experiment e;
+  e.measured = sim::simulate(wl, measure_machine, measure_counts);
+  sim::SimOptions truth_opts;
+  truth_opts.dataset_scale = dataset_scale_target;
+  e.truth = sim::simulate(wl, target_machine,
+                          sim::all_core_counts(target_machine), truth_opts);
+
+  core::PredictionConfig cfg;
+  cfg.target_cores = sim::all_core_counts(target_machine);
+  cfg.target_freq_ghz = target_machine.freq_ghz;
+  cfg.use_software_stalls = use_software;
+  cfg.dataset_scale = dataset_scale_target;
+  if (extrap_override) cfg.extrap = *extrap_override;
+  e.estima = core::predict(e.measured, cfg);
+  e.time_extrap = core::predict_time_extrapolation(e.measured, cfg);
+  e.estima_err = core::evaluate_prediction(e.estima, e.truth);
+  e.time_extrap_err = core::evaluate_prediction(e.time_extrap, e.truth);
+  return e;
+}
+
+/// Workloads for which the paper also collects software stalls
+/// (Section 5.3: the STAMP suite via SwissTM plus streamcluster, genome and
+/// ssca2 via the pthread wrapper).
+inline bool reports_software_stalls(const std::string& workload_name) {
+  const auto wl = sim::presets::workload(workload_name);
+  return wl.report_sw_stalls;
+}
+
+}  // namespace estima::bench

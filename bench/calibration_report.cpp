@@ -1,0 +1,39 @@
+// Maintenance tool (not a paper artifact): prints, for every workload and
+// machine, the simulated time curve, the best core count, the
+// stalls-per-core/time correlation and ESTIMA's prediction error. Used to
+// keep the preset calibration honest when the simulator evolves.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "numeric/stats.hpp"
+
+using namespace estima;
+
+int main() {
+  const std::vector<sim::MachineSpec> machines = {
+      sim::opteron48(), sim::xeon20(), sim::xeon48()};
+
+  for (const auto& m : machines) {
+    bench::print_header("calibration: machine " + m.name);
+    std::printf("%-18s %9s %9s %7s %8s %8s %8s\n", "workload", "t(1)",
+                "t(max)", "best_n", "corr", "err%", "terr%");
+    for (const auto& name : sim::presets::benchmark_workload_names()) {
+      const int measure = m.cores_per_socket();
+      auto e = bench::run_experiment(name, m, measure);
+      const auto spc = e.truth.stalls_per_core(false, true);
+      const double corr = numeric::pearson(spc, e.truth.time_s);
+      int best = e.truth.cores[0];
+      double bt = e.truth.time_s[0];
+      for (std::size_t i = 0; i < e.truth.cores.size(); ++i) {
+        if (e.truth.time_s[i] < bt) {
+          bt = e.truth.time_s[i];
+          best = e.truth.cores[i];
+        }
+      }
+      std::printf("%-18s %9.3f %9.3f %7d %8.2f %8.1f %8.1f\n", name.c_str(),
+                  e.truth.time_s.front(), e.truth.time_s.back(), best, corr,
+                  e.estima_err.max_pct, e.time_extrap_err.max_pct);
+    }
+  }
+  return 0;
+}

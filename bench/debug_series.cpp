@@ -1,0 +1,46 @@
+// Throwaway-style debugging aid kept out of the paper benches: dumps the
+// simulated series and the per-category extrapolations for one workload.
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "numeric/stats.hpp"
+
+using namespace estima;
+
+int main(int argc, char** argv) {
+  const std::string wl_name = argc > 1 ? argv[1] : "intruder";
+  const std::string machine_name = argc > 2 ? argv[2] : "opteron48";
+  const int measure = argc > 3 ? std::atoi(argv[3]) : 0;
+
+  const auto m = sim::machine_by_name(machine_name);
+  const int mc = measure > 0 ? measure : m.cores_per_socket();
+  auto e = bench::run_experiment(wl_name, m, mc);
+
+  std::printf("workload=%s machine=%s measured=%d\n", wl_name.c_str(),
+              machine_name.c_str(), mc);
+  std::printf("%5s %10s %10s %10s %12s %12s\n", "n", "time", "pred",
+              "timex", "spc_true", "spc_pred");
+  const auto spc_true = e.truth.stalls_per_core(false, true);
+  for (std::size_t i = 0; i < e.truth.cores.size(); ++i) {
+    std::printf("%5d %10.4f %10.4f %10.4f %12.4g %12.4g\n",
+                e.truth.cores[i], e.truth.time_s[i], e.estima.time_s[i],
+                e.time_extrap.time_s[i], spc_true[i],
+                e.estima.stalls_per_core[i]);
+  }
+  std::printf("\nfactor fn kernel=%s corr=%.3f\n",
+              core::kernel_name(e.estima.factor_fn.type).c_str(),
+              e.estima.factor_correlation);
+  for (const auto& cp : e.estima.categories) {
+    std::printf("category %-44s kernel=%-8s prefix=%d c=%d\n",
+                cp.name.c_str(),
+                core::kernel_name(cp.extrapolation.best.type).c_str(),
+                cp.extrapolation.chosen_prefix,
+                cp.extrapolation.chosen_checkpoints);
+  }
+  const auto corr =
+      numeric::pearson(spc_true, e.truth.time_s);
+  std::printf("truth corr(spc,time)=%.3f  est_err=%.1f%%  timex_err=%.1f%%\n",
+              corr, e.estima_err.max_pct, e.time_extrap_err.max_pct);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 1: "Time extrapolation for kmeans".
+//
+// Directly extrapolating the execution-time measurements of kmeans taken on
+// 12 Opteron cores predicts that the application keeps scaling to 48 cores;
+// in reality it stops scaling around 16-20 cores. ESTIMA's stall-based
+// prediction catches the slowdown.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace estima;
+
+int main() {
+  bench::print_header(
+      "Figure 1: time extrapolation mispredicts kmeans (Opteron, measure 12)");
+  auto e = bench::run_experiment("kmeans", sim::opteron48(), 12);
+
+  const std::vector<int> marks = {1, 2, 4, 8, 12, 16, 20, 24, 32, 40, 48};
+  std::printf("%-28s", "cores");
+  for (int n : marks) std::printf(" %9d", n);
+  std::printf("\n");
+  bench::print_series("measured time (s)", marks,
+                      bench::at_cores(e.truth.cores, e.truth.time_s, marks));
+  bench::print_series(
+      "time extrapolation (s)", marks,
+      bench::at_cores(e.time_extrap.cores, e.time_extrap.time_s, marks));
+  bench::print_series("ESTIMA prediction (s)", marks,
+                      bench::at_cores(e.estima.cores, e.estima.time_s, marks));
+
+  std::printf("\nactual best core count:            %d\n",
+              [&] {
+                int best = e.truth.cores[0];
+                double bt = e.truth.time_s[0];
+                for (std::size_t i = 0; i < e.truth.cores.size(); ++i) {
+                  if (e.truth.time_s[i] < bt) {
+                    bt = e.truth.time_s[i];
+                    best = e.truth.cores[i];
+                  }
+                }
+                return best;
+              }());
+  std::printf("time-extrapolation best core count: %d  (predicts scaling: %s)\n",
+              e.time_extrap.best_core_count(),
+              e.time_extrap.best_core_count() >= 40 ? "yes -- WRONG" : "no");
+  std::printf("ESTIMA best core count:             %d  (predicts scaling: %s)\n",
+              e.estima.best_core_count(),
+              e.estima.best_core_count() >= 40 ? "yes" : "no -- correct");
+  std::printf(
+      "\npaper: time extrapolation predicts kmeans scales to 48 cores; it "
+      "does not.\n");
+  return 0;
+}

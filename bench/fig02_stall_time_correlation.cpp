@@ -1,0 +1,37 @@
+// Figure 2: "Stalled cycles and execution time correlation".
+//
+// For intruder (STAMP) and blackscholes (PARSEC) on the 48-core Opteron,
+// the paper reports a correlation of 1.00 between stalled cycles per core
+// and execution time. This bench prints both series and the Pearson
+// correlation for each application.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "numeric/stats.hpp"
+
+using namespace estima;
+
+int main() {
+  bench::print_header(
+      "Figure 2: stalls-per-core vs execution time (Opteron, full machine)");
+  const std::vector<int> marks = {1, 4, 8, 12, 16, 24, 32, 40, 48};
+
+  for (const char* name : {"intruder", "blackscholes"}) {
+    const auto wl = sim::presets::workload(name);
+    const auto m = sim::opteron48();
+    const auto truth = sim::simulate(wl, m, sim::all_core_counts(m));
+    const auto spc = truth.stalls_per_core(false, true);
+
+    std::printf("\n--- %s ---\n", name);
+    std::printf("%-28s", "cores");
+    for (int n : marks) std::printf(" %9d", n);
+    std::printf("\n");
+    bench::print_series("execution time (s)", marks,
+                        bench::at_cores(truth.cores, truth.time_s, marks));
+    bench::print_series("stalled cycles per core", marks,
+                        bench::at_cores(truth.cores, spc, marks));
+    std::printf("correlation(stalls/core, time) = %.2f   (paper: 1.00)\n",
+                numeric::pearson(spc, truth.time_s));
+  }
+  return 0;
+}

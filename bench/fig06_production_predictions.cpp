@@ -1,0 +1,77 @@
+// Figure 6: memcached and SQLite/TPC-C predictions (Section 4.3).
+//
+// Measurements are taken on the 4-core Haswell desktop and extrapolated to
+// the 20-core Xeon20 server, scaling the measured times by the
+// clock-frequency ratio. The paper reports errors below 30% for memcached
+// (measured on 3 threads; clients used the remaining contexts) and below
+// 26% for SQLite (4 threads), with the "stops scaling" point predicted
+// correctly.
+//
+// Deviation: we measure memcached on 4 desktop threads instead of 3. Our
+// in-process load generator does not compete for the measurement cores the
+// way the paper's co-located clients did, and 3-point campaigns leave the
+// kernel selection under-determined (fits use 2-point prefixes, which
+// cannot encode accelerating contention). EXPERIMENTS.md discusses this.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace estima;
+
+namespace {
+
+void run_one(const char* workload, int measure_threads) {
+  const auto desktop = sim::haswell4();
+  const auto server = sim::xeon20();
+
+  // Tiny campaigns need the relaxed approximation settings: prefixes from
+  // 2 points and a single checkpoint (Section 3.1.2 machinery, scaled to
+  // "minimum input from the user").
+  core::ExtrapolationConfig relaxed;
+  relaxed.min_prefix = 2;
+  relaxed.checkpoint_counts = {1, 2};
+
+  std::vector<int> counts;
+  for (int i = 1; i <= measure_threads; ++i) counts.push_back(i);
+
+  auto e = bench::run_cross_experiment(workload, desktop, counts, server,
+                                       /*use_software=*/false, &relaxed);
+
+  const std::vector<int> marks = {1, 2, 4, 6, 8, 10, 12, 16, 20};
+  std::printf("\n--- %s: Haswell desktop (%d threads) -> Xeon20 ---\n",
+              workload, measure_threads);
+  std::printf("freq scale applied: %.3f (desktop %.1f GHz / server %.1f GHz)\n",
+              e.estima.freq_scale, desktop.freq_ghz, server.freq_ghz);
+  std::printf("%-28s", "cores");
+  for (int n : marks) std::printf(" %9d", n);
+  std::printf("\n");
+  bench::print_series("predicted time (s)", marks,
+                      bench::at_cores(e.estima.cores, e.estima.time_s, marks));
+  bench::print_series("measured on server (s)", marks,
+                      bench::at_cores(e.truth.cores, e.truth.time_s, marks));
+  for (const auto& cp : e.estima.categories) {
+    std::printf("  category %-46s -> %s (prefix %d, c=%d)\n", cp.name.c_str(),
+                core::kernel_name(cp.extrapolation.best.type).c_str(),
+                cp.extrapolation.chosen_prefix,
+                cp.extrapolation.chosen_checkpoints);
+  }
+  std::printf("max error %.1f%%  mean error %.1f%%\n", e.estima_err.max_pct,
+              e.estima_err.mean_pct);
+  std::printf("predicted best core count %d vs actual %d (verdict match: %s)\n",
+              e.estima_err.predicted_best_cores,
+              e.estima_err.actual_best_cores,
+              e.estima_err.scaling_verdict_match ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 6: production applications, desktop -> server (Section 4.3)");
+  run_one("memcached", 4);   // paper: 3 threads, errors below 30%
+  run_one("sqlite-tpcc", 4); // paper: errors below 26%
+  std::printf(
+      "\npaper: errors below 30%% (memcached) and 26%% (SQLite); both stop\n"
+      "scaling on the server and ESTIMA predicts where.\n");
+  return 0;
+}

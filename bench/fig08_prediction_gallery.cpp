@@ -1,0 +1,35 @@
+// Figure 8: prediction gallery on the Opteron (Section 4.4) --
+// (a) raytrace scales cleanly (paper max err 4.6%),
+// (b) intruder and (c) yada change behaviour and ESTIMA catches it,
+// (d) kmeans is noisy: absolute error is high (paper 50.9%) but the
+//     predicted scalability shape is right.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace estima;
+
+int main() {
+  bench::print_header("Figure 8: ESTIMA predictions (Opteron, 12 -> 48)");
+  const std::vector<int> marks = {1, 4, 8, 12, 16, 24, 32, 40, 48};
+
+  for (const char* name : {"raytrace", "intruder", "yada", "kmeans"}) {
+    const bool sw = bench::reports_software_stalls(name);
+    auto e = bench::run_experiment(name, sim::opteron48(), 12, sw);
+    std::printf("\n--- (%s) ---\n", name);
+    std::printf("%-28s", "cores");
+    for (int n : marks) std::printf(" %9d", n);
+    std::printf("\n");
+    bench::print_series("measured time (s)", marks,
+                        bench::at_cores(e.truth.cores, e.truth.time_s, marks));
+    bench::print_series("ESTIMA prediction (s)", marks,
+                        bench::at_cores(e.estima.cores, e.estima.time_s,
+                                        marks));
+    std::printf("max err %.1f%%, best cores: predicted %d / actual %d, "
+                "verdict match: %s\n",
+                e.estima_err.max_pct, e.estima_err.predicted_best_cores,
+                e.estima_err.actual_best_cores,
+                e.estima_err.scaling_verdict_match ? "yes" : "NO");
+  }
+  return 0;
+}

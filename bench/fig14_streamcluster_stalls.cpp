@@ -1,0 +1,39 @@
+// Figure 14: why streamcluster needs software stalls (Section 5.3).
+//
+// (a) execution time on the Opteron;
+// (b) hardware-only stalls per core -- the futex-sleeping synchronisation
+//     is invisible, correlation drops (paper: 0.86);
+// (c) hardware+software stalls per core -- the wrapper-reported wait cycles
+//     complete the picture (paper: 0.98).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "numeric/stats.hpp"
+
+using namespace estima;
+
+int main() {
+  bench::print_header("Figure 14: streamcluster stall accounting (Opteron)");
+  const auto m = sim::opteron48();
+  const auto truth = sim::simulate(sim::presets::workload("streamcluster"), m,
+                                   sim::all_core_counts(m));
+  const auto spc_hw = truth.stalls_per_core(false, false);
+  const auto spc_all = truth.stalls_per_core(false, true);
+
+  const std::vector<int> marks = {1, 4, 8, 12, 16, 24, 32, 40, 48};
+  std::printf("%-28s", "cores");
+  for (int n : marks) std::printf(" %9d", n);
+  std::printf("\n");
+  bench::print_series("(a) execution time (s)", marks,
+                      bench::at_cores(truth.cores, truth.time_s, marks));
+  bench::print_series("(b) hw-only stalls/core", marks,
+                      bench::at_cores(truth.cores, spc_hw, marks));
+  bench::print_series("(c) hw+sw stalls/core", marks,
+                      bench::at_cores(truth.cores, spc_all, marks));
+
+  std::printf("\ncorrelation with time: hw-only %.2f (paper 0.86), "
+              "hw+sw %.2f (paper 0.98)\n",
+              numeric::pearson(spc_hw, truth.time_s),
+              numeric::pearson(spc_all, truth.time_s));
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 15: the main limitation of ESTIMA (Section 5.4).
+//
+// streamcluster changes behaviour significantly past ~30 Opteron cores
+// (synchronisation + bandwidth saturation). Measuring only one socket
+// (12 cores) gives no hint of the change, so absolute errors are high;
+// measuring two sockets (24 cores) captures the onset and the prediction
+// improves significantly.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace estima;
+
+int main() {
+  bench::print_header(
+      "Figure 15: streamcluster from 12 vs 24 measurement cores (Opteron)");
+  const std::vector<int> marks = {1, 8, 12, 16, 24, 32, 36, 40, 48};
+  auto from12 = bench::run_experiment("streamcluster", sim::opteron48(), 12);
+  auto from24 = bench::run_experiment("streamcluster", sim::opteron48(), 24);
+
+  std::printf("%-28s", "cores");
+  for (int n : marks) std::printf(" %9d", n);
+  std::printf("\n");
+  bench::print_series("measured time (s)", marks,
+                      bench::at_cores(from12.truth.cores,
+                                      from12.truth.time_s, marks));
+  bench::print_series("(a) predicted from 12 (s)", marks,
+                      bench::at_cores(from12.estima.cores,
+                                      from12.estima.time_s, marks));
+  bench::print_series("(b) predicted from 24 (s)", marks,
+                      bench::at_cores(from24.estima.cores,
+                                      from24.estima.time_s, marks));
+
+  std::printf("\nmax error from 12 cores: %.1f%%\n",
+              from12.estima_err.max_pct);
+  std::printf("max error from 24 cores: %.1f%%  (improvement %.0f%%)\n",
+              from24.estima_err.max_pct,
+              100.0 * (from12.estima_err.max_pct - from24.estima_err.max_pct) /
+                  from12.estima_err.max_pct);
+  std::printf(
+      "\npaper: the >30-core behaviour change is invisible at 12 cores;\n"
+      "with 24-core measurements the prediction is significantly better.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Table 4: maximum prediction errors with measurements on one processor.
+//
+// Opteron: measure 12 cores, report the max error when predicting for 2, 3
+// and 4 CPUs (24, 36, 48 cores). Xeon20: measure 10 cores (one socket),
+// report the max error for the full machine (2 CPUs). Software stalls are
+// used for the workloads the paper instruments.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace estima;
+
+namespace {
+
+// Max relative error over target cores in (lo, hi].
+double max_err_between(const bench::Experiment& e, int lo, int hi) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < e.truth.cores.size(); ++i) {
+    const int n = e.truth.cores[i];
+    if (n <= lo || n > hi) continue;
+    const double t = e.truth.time_s[i];
+    const double p = e.estima.time_s[i];
+    if (t > 0.0) worst = std::max(worst, 100.0 * std::fabs(p - t) / t);
+  }
+  return worst;
+}
+
+struct Row {
+  std::string name;
+  double opt2, opt3, opt4, xeon2;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table 4: max prediction errors, one-processor measurements");
+  std::printf("%-18s %10s %10s %10s | %10s\n", "benchmark", "Opt 2CPU",
+              "Opt 3CPU", "Opt 4CPU", "Xeon20 2CPU");
+
+  std::vector<Row> rows;
+  for (const auto& name : sim::presets::benchmark_workload_names()) {
+    const bool sw = bench::reports_software_stalls(name);
+    auto opt = bench::run_experiment(name, sim::opteron48(), 12, sw);
+    auto xeon = bench::run_experiment(name, sim::xeon20(), 10, sw);
+    Row r;
+    r.name = name;
+    r.opt2 = max_err_between(opt, 12, 24);
+    r.opt3 = max_err_between(opt, 12, 36);
+    r.opt4 = max_err_between(opt, 12, 48);
+    r.xeon2 = max_err_between(xeon, 10, 20);
+    std::printf("%-18s %9.1f%% %9.1f%% %9.1f%% | %9.1f%%\n", r.name.c_str(),
+                r.opt2, r.opt3, r.opt4, r.xeon2);
+    rows.push_back(std::move(r));
+  }
+
+  // Summary block like the bottom of Table 4.
+  const auto summarize = [&](auto getter) {
+    double sum = 0, sum2 = 0, mx = 0;
+    for (const auto& r : rows) {
+      const double v = getter(r);
+      sum += v;
+      sum2 += v * v;
+      mx = std::max(mx, v);
+    }
+    const double n = static_cast<double>(rows.size());
+    const double avg = sum / n;
+    const double sd = std::sqrt(std::max(sum2 / n - avg * avg, 0.0));
+    return std::array<double, 3>{avg, sd, mx};
+  };
+  const auto o2 = summarize([](const Row& r) { return r.opt2; });
+  const auto o3 = summarize([](const Row& r) { return r.opt3; });
+  const auto o4 = summarize([](const Row& r) { return r.opt4; });
+  const auto x2 = summarize([](const Row& r) { return r.xeon2; });
+
+  std::printf("%-18s %9.1f%% %9.1f%% %9.1f%% | %9.1f%%   (paper: 11.3 / 16.8 "
+              "/ 17.7 / 17.7)\n",
+              "Average", o2[0], o3[0], o4[0], x2[0]);
+  std::printf("%-18s %9.1f%% %9.1f%% %9.1f%% | %9.1f%%   (paper: 11.2 / 15.0 "
+              "/ 18.9 / 11.0)\n",
+              "Std. Dev.", o2[1], o3[1], o4[1], x2[1]);
+  std::printf("%-18s %9.1f%% %9.1f%% %9.1f%% | %9.1f%%   (paper: 50.3 / 59.0 "
+              "/ 88.8 / 41.7)\n",
+              "Max.", o2[2], o3[2], o4[2], x2[2]);
+
+  // The paper's headline robustness claim: no scaling-verdict flips.
+  int flips = 0;
+  for (const auto& name : sim::presets::benchmark_workload_names()) {
+    const bool sw = bench::reports_software_stalls(name);
+    auto e = bench::run_experiment(name, sim::opteron48(), 12, sw);
+    if (!e.estima_err.scaling_verdict_match) {
+      ++flips;
+      std::printf("VERDICT FLIP: %s (predicted best %d, actual best %d)\n",
+                  name.c_str(), e.estima_err.predicted_best_cores,
+                  e.estima_err.actual_best_cores);
+    }
+  }
+  std::printf("\nscaling-verdict flips across all workloads: %d (paper: 0)\n",
+              flips);
+  return 0;
+}

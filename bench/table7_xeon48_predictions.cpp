@@ -1,0 +1,58 @@
+// Table 7: cross-machine predictions targeting the Xeon48 (Section 5.5).
+//
+// Measuring on *both* sockets of Xeon20 (NUMA effects in the data) and
+// predicting the 4-socket, 48-core Xeon48 (2.4x the cores, lower clock):
+// the paper's average error falls from 17.7% (single-socket predictions of
+// Table 4) to 13.9%, the standard deviation from 11.0 to 6.5, and the max
+// from 41.7% to 30%.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace estima;
+
+int main() {
+  bench::print_header("Table 7: Xeon20 (both sockets) -> Xeon48 predictions");
+  std::printf("%-18s %18s %22s\n", "benchmark", "Xeon20 2CPU err%",
+              "Xeon20 -> Xeon48 err%");
+
+  std::vector<double> base_errs, cross_errs;
+  for (const auto& name : sim::presets::benchmark_workload_names()) {
+    const bool sw = bench::reports_software_stalls(name);
+    // Baseline: Table 4's one-socket prediction of the full Xeon20.
+    auto base = bench::run_experiment(name, sim::xeon20(), 10, sw);
+    // Cross-machine: all 20 Xeon20 cores -> 48-core Xeon48.
+    std::vector<int> counts;
+    for (int i = 1; i <= 20; ++i) counts.push_back(i);
+    auto cross = bench::run_cross_experiment(name, sim::xeon20(), counts,
+                                             sim::xeon48(), sw);
+    std::printf("%-18s %17.1f%% %21.1f%%\n", name.c_str(),
+                base.estima_err.max_pct, cross.estima_err.max_pct);
+    base_errs.push_back(base.estima_err.max_pct);
+    cross_errs.push_back(cross.estima_err.max_pct);
+  }
+
+  const auto stats = [](const std::vector<double>& v) {
+    double sum = 0, sum2 = 0, mx = 0;
+    for (double x : v) {
+      sum += x;
+      sum2 += x * x;
+      mx = std::max(mx, x);
+    }
+    const double n = static_cast<double>(v.size());
+    const double avg = sum / n;
+    return std::array<double, 3>{avg,
+                                 std::sqrt(std::max(sum2 / n - avg * avg, 0.0)),
+                                 mx};
+  };
+  const auto b = stats(base_errs);
+  const auto c = stats(cross_errs);
+  std::printf("%-18s %17.1f%% %21.1f%%   (paper: 17.7 -> 13.9)\n", "Average",
+              b[0], c[0]);
+  std::printf("%-18s %17.1f%% %21.1f%%   (paper: 11.0 -> 6.5)\n", "Std. Dev.",
+              b[1], c[1]);
+  std::printf("%-18s %17.1f%% %21.1f%%   (paper: 41.7 -> 30.0)\n", "Max.",
+              b[2], c[2]);
+  return 0;
+}

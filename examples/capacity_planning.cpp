@@ -1,0 +1,74 @@
+// Capacity planning for a production service (the Section 4.3 scenario):
+// drive the in-process memcached stand-in on this machine at a few thread
+// counts, collect its lock-wait cycles as the software stall category, and
+// extrapolate whether a bigger box would help.
+//
+// This example uses the real KvStore substrate (not the simulator), so
+// the numbers depend on the machine it runs on.
+#include <chrono>
+#include <cstdio>
+
+#include "core/predictor.hpp"
+#include "counters/sampler.hpp"
+#include "kvstore/kvstore.hpp"
+
+int main() {
+  using namespace estima;
+  using Clock = std::chrono::steady_clock;
+
+  kv::ClientConfig client_cfg;
+  client_cfg.operations = 400000;
+  client_cfg.key_count = 20000;
+  client_cfg.get_ratio = 0.95;  // the paper's read-mostly workload
+
+  auto campaign = counters::run_campaign(
+      "kvstore-readmostly",
+      [&](int threads) {
+        counters::RunReport report;
+        // Fresh store per run so cache state does not leak across points.
+        kv::KvStore store(16, 4096);
+        const auto t0 = Clock::now();
+        const auto r = kv::run_clients(store, threads, client_cfg);
+        (void)t0;
+        report.software_stalls["lock_spin_cycles"] =
+            r.lock_spin_cycles + 1.0;
+        return report;
+      },
+      {1, 2, 3, 4, 5, 6}, {});
+
+  std::printf("measured kvstore campaign:\n%8s %12s %22s\n", "threads",
+              "time (s)", "lock_spin_cycles");
+  for (std::size_t i = 0; i < campaign.cores.size(); ++i) {
+    double spin = 0.0;
+    for (const auto& cat : campaign.categories) {
+      if (cat.name == "lock_spin_cycles") spin = cat.values[i];
+    }
+    std::printf("%8d %12.4f %22.4g\n", campaign.cores[i],
+                campaign.time_s[i], spin);
+  }
+
+  core::PredictionConfig cfg;
+  cfg.target_cores = core::cores_up_to(32);
+  cfg.extrap.min_prefix = 2;
+  cfg.extrap.checkpoint_counts = {1, 2};
+  const auto pred = core::predict(campaign, cfg);
+
+  std::printf("\npredicted service time on bigger boxes:\n");
+  for (int n : {8, 12, 16, 24, 32}) {
+    for (std::size_t i = 0; i < pred.cores.size(); ++i) {
+      if (pred.cores[i] == n) {
+        std::printf("  %2d cores: %.4f s per %llu-op batch\n", n,
+                    pred.time_s[i],
+                    static_cast<unsigned long long>(client_cfg.operations));
+      }
+    }
+  }
+  const int best = pred.best_core_count();
+  std::printf("\ncapacity verdict: throughput stops improving at ~%d cores"
+              "%s\n",
+              best,
+              best < 24 ? " -- buying a bigger box will NOT help; shard or "
+                          "reduce lock contention instead"
+                        : " -- a bigger box helps");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Measuring a real multithreaded application: runs one of the native
+// workloads (default: lock-based hash table) at increasing thread counts on
+// THIS machine via counters::run_campaign -- hardware backend stalls from
+// perf_event when the kernel allows it, software stalls always -- then
+// extrapolates to a larger core count.
+//
+//   ./measure_native [workload] [max_measure_threads] [target_cores]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/predictor.hpp"
+#include "counters/perf.hpp"
+#include "counters/sampler.hpp"
+#include "workloads/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace estima;
+
+  const std::string name = argc > 1 ? argv[1] : "lock-based-ht";
+  const int measure_threads = argc > 2 ? std::atoi(argv[2]) : 6;
+  const int target_cores = argc > 3 ? std::atoi(argv[3]) : 24;
+
+  wl::WorkloadOptions opts;
+  opts.size = 1;
+  auto workload = wl::make_workload(name, opts);
+
+  std::printf("perf hardware counters: %s\n",
+              counters::perf_available()
+                  ? "available"
+                  : "NOT available (container?); software stalls only");
+
+  std::vector<int> counts;
+  for (int i = 1; i <= measure_threads; ++i) counts.push_back(i);
+
+  counters::SamplerOptions sampler_opts;
+  sampler_opts.repetitions = 2;
+  auto campaign = counters::run_campaign(
+      name,
+      [&](int threads) {
+        counters::RunReport report;
+        const auto r = workload->run(threads);
+        if (!r.valid) std::fprintf(stderr, "WARNING: validation failed\n");
+        report.software_stalls = {r.software_stalls.begin(),
+                                  r.software_stalls.end()};
+        // Guarantee a nonzero stall floor for the predictor even on
+        // wait-free single-thread runs.
+        report.software_stalls["lock_spin_cycles"] += 1.0;
+        return report;
+      },
+      counts, sampler_opts);
+
+  std::printf("\nmeasured campaign (freq ~%.2f GHz):\n", campaign.freq_ghz);
+  std::printf("%8s %12s", "threads", "time (s)");
+  for (const auto& cat : campaign.categories) {
+    std::printf(" %26.26s", cat.name.c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < campaign.cores.size(); ++i) {
+    std::printf("%8d %12.4f", campaign.cores[i], campaign.time_s[i]);
+    for (const auto& cat : campaign.categories) {
+      std::printf(" %26.4g", cat.values[i]);
+    }
+    std::printf("\n");
+  }
+
+  core::PredictionConfig cfg;
+  cfg.target_cores = core::cores_up_to(target_cores);
+  cfg.extrap.min_prefix = 2;
+  cfg.extrap.checkpoint_counts = {1, 2};
+  const auto pred = core::predict(campaign, cfg);
+
+  std::printf("\nprediction to %d cores:\n", target_cores);
+  for (int n = 1; n <= target_cores; n += (n < 8 ? 1 : 4)) {
+    for (std::size_t i = 0; i < pred.cores.size(); ++i) {
+      if (pred.cores[i] == n) {
+        std::printf("%8d %12.4f\n", n, pred.time_s[i]);
+      }
+    }
+  }
+  std::printf("predicted best core count: %d\n", pred.best_core_count());
+  return 0;
+}

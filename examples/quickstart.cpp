@@ -1,0 +1,51 @@
+// Quickstart: the five-minute ESTIMA experience.
+//
+// 1. Get a measurement campaign (here: the simulated Opteron measuring the
+//    intruder benchmark on one socket -- swap in counters::run_campaign to
+//    measure a real application).
+// 2. Call core::predict for the core counts of the target machine.
+// 3. Read off the predicted scalability and where it stops.
+#include <cstdio>
+
+#include "core/predictor.hpp"
+#include "simmachine/machine.hpp"
+#include "simmachine/presets.hpp"
+#include "simmachine/simulator.hpp"
+
+int main() {
+  using namespace estima;
+
+  // (A) Collect: stalled cycles + execution time at 1..12 cores.
+  const auto machine = sim::opteron48();
+  const auto workload = sim::presets::workload("intruder");
+  const auto measurements =
+      sim::simulate(workload, machine, sim::one_socket_counts(machine));
+
+  std::printf("measured %zu points on %s (up to %d cores)\n",
+              measurements.num_points(), measurements.machine.c_str(),
+              measurements.cores.back());
+
+  // (B)+(C) Extrapolate stalls and translate to execution time.
+  core::PredictionConfig cfg;
+  cfg.target_cores = sim::all_core_counts(machine);  // predict 1..48
+  const auto prediction = core::predict(measurements, cfg);
+
+  std::printf("\n%6s %14s\n", "cores", "pred time (s)");
+  for (int n : {1, 4, 8, 12, 16, 24, 32, 48}) {
+    for (std::size_t i = 0; i < prediction.cores.size(); ++i) {
+      if (prediction.cores[i] == n) {
+        std::printf("%6d %14.3f\n", n, prediction.time_s[i]);
+      }
+    }
+  }
+
+  std::printf("\npredicted best core count: %d of %d\n",
+              prediction.best_core_count(), machine.total_cores());
+  if (prediction.best_core_count() < machine.total_cores() * 3 / 4) {
+    std::printf("=> the application stops scaling before the full machine;\n"
+                "   check examples/bottleneck_analysis for the reason.\n");
+  } else {
+    std::printf("=> the application keeps scaling on this machine.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Database scalability screening: run the TPC-C-lite mix on the in-memory
+// SQL engine at increasing thread counts, feed the lock-wait cycles to
+// ESTIMA, and find out how many cores this schema can actually use --
+// exactly the SQLite question of Section 4.3, against our own engine.
+#include <cstdio>
+
+#include "core/predictor.hpp"
+#include "counters/sampler.hpp"
+#include "sqldb/sqldb.hpp"
+
+int main() {
+  using namespace estima;
+
+  sql::TpccConfig tpcc;
+  tpcc.warehouses = 2;  // few warehouses => write contention, like SQLite
+  tpcc.transactions = 60000;
+
+  auto campaign = counters::run_campaign(
+      "tpcc-lite",
+      [&](int threads) {
+        counters::RunReport report;
+        sql::Database db;
+        sql::tpcc_populate(db, tpcc);
+        const auto r = sql::tpcc_run(db, threads, tpcc);
+        if (!r.consistent) {
+          std::fprintf(stderr, "WARNING: consistency check failed\n");
+        }
+        report.software_stalls["lock_spin_cycles"] =
+            r.lock_spin_cycles + 1.0;
+        return report;
+      },
+      {1, 2, 3, 4, 5, 6}, {});
+
+  std::printf("TPC-C-lite campaign (%d warehouses):\n", tpcc.warehouses);
+  for (std::size_t i = 0; i < campaign.cores.size(); ++i) {
+    std::printf("  %d threads: %.4f s\n", campaign.cores[i],
+                campaign.time_s[i]);
+  }
+
+  core::PredictionConfig cfg;
+  cfg.target_cores = core::cores_up_to(32);
+  cfg.extrap.min_prefix = 2;
+  cfg.extrap.checkpoint_counts = {1, 2};
+  const auto pred = core::predict(campaign, cfg);
+
+  std::printf("\npredicted transaction-mix time at higher core counts:\n");
+  for (int n : {8, 16, 24, 32}) {
+    for (std::size_t i = 0; i < pred.cores.size(); ++i) {
+      if (pred.cores[i] == n) {
+        std::printf("  %2d cores: %.4f s\n", n, pred.time_s[i]);
+      }
+    }
+  }
+  std::printf("\nbest core count for this schema: %d\n",
+              pred.best_core_count());
+  std::printf("(increase tpcc.warehouses to see the prediction change)\n");
+  return 0;
+}

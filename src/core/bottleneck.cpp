@@ -1,0 +1,81 @@
+#include "core/bottleneck.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace estima::core {
+
+std::string BottleneckReport::to_string() const {
+  std::ostringstream os;
+  os << "Bottleneck report: measured up to " << measured_cores
+     << " cores, predicted at " << target_cores << " cores\n";
+  os << std::left << std::setw(44) << "category" << std::setw(10) << "domain"
+     << std::right << std::setw(12) << "share@tgt" << std::setw(12)
+     << "share@meas" << std::setw(10) << "growth" << "\n";
+  for (const auto& e : entries) {
+    std::string dom = stall_domain_name(e.domain);
+    os << std::left << std::setw(44) << e.category << std::setw(10)
+       << (e.domain == StallDomain::kSoftware ? "sw" : "hw") << std::right
+       << std::setw(11) << std::fixed << std::setprecision(1)
+       << 100.0 * e.share_at_target << "%" << std::setw(11)
+       << 100.0 * e.share_at_measured << "%" << std::setw(9)
+       << std::setprecision(2) << e.growth_factor << "x\n";
+  }
+  return os.str();
+}
+
+BottleneckReport analyze_bottlenecks(const Prediction& pred,
+                                     const MeasurementSet& ms,
+                                     int target_cores) {
+  auto it = std::find(pred.cores.begin(), pred.cores.end(), target_cores);
+  if (it == pred.cores.end()) {
+    throw std::invalid_argument(
+        "analyze_bottlenecks: target core count not in prediction");
+  }
+  const std::size_t ti =
+      static_cast<std::size_t>(std::distance(pred.cores.begin(), it));
+
+  BottleneckReport report;
+  report.target_cores = target_cores;
+  report.measured_cores = ms.cores.empty() ? 0 : ms.cores.back();
+
+  double total_target = 0.0;
+  for (const auto& cp : pred.categories) total_target += cp.values[ti];
+
+  // Measured totals at the last measured point, matched by category name.
+  double total_meas = 0.0;
+  for (const auto& cat : ms.categories) {
+    if (!cat.values.empty()) total_meas += cat.values.back();
+  }
+
+  for (const auto& cp : pred.categories) {
+    BottleneckEntry e;
+    e.category = cp.name;
+    e.domain = cp.domain;
+    e.share_at_target =
+        total_target > 0.0 ? cp.values[ti] / total_target : 0.0;
+
+    double meas_value = 0.0;
+    for (const auto& cat : ms.categories) {
+      if (cat.name == cp.name && !cat.values.empty()) {
+        meas_value = cat.values.back();
+        break;
+      }
+    }
+    e.share_at_measured = total_meas > 0.0 ? meas_value / total_meas : 0.0;
+    e.growth_factor = meas_value > 0.0 ? cp.values[ti] / meas_value
+                                       : std::numeric_limits<double>::infinity();
+    report.entries.push_back(std::move(e));
+  }
+
+  std::sort(report.entries.begin(), report.entries.end(),
+            [](const BottleneckEntry& a, const BottleneckEntry& b) {
+              return a.share_at_target > b.share_at_target;
+            });
+  return report;
+}
+
+}  // namespace estima::core

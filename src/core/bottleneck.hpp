@@ -1,0 +1,37 @@
+// Bottleneck identification from extrapolated stall categories
+// (Section 4.6): rank the categories by their predicted contribution at the
+// target core count and report growth relative to the measured range.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/measurement.hpp"
+#include "core/predictor.hpp"
+
+namespace estima::core {
+
+struct BottleneckEntry {
+  std::string category;
+  StallDomain domain = StallDomain::kHardwareBackend;
+  double share_at_target = 0.0;   ///< fraction of total stalls at target
+  double share_at_measured = 0.0; ///< fraction at the last measured point
+  double growth_factor = 0.0;     ///< value(target) / value(last measured)
+};
+
+struct BottleneckReport {
+  int target_cores = 0;
+  int measured_cores = 0;
+  std::vector<BottleneckEntry> entries;  ///< sorted by share_at_target desc
+
+  /// Render as an aligned text table (what the CLI/examples print).
+  std::string to_string() const;
+};
+
+/// Builds the report from a prediction and the measurement it came from.
+/// `target_cores` must be one of pred.cores.
+BottleneckReport analyze_bottlenecks(const Prediction& pred,
+                                     const MeasurementSet& ms,
+                                     int target_cores);
+
+}  // namespace estima::core

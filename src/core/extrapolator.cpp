@@ -1,0 +1,125 @@
+#include "core/extrapolator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "numeric/stats.hpp"
+
+namespace estima::core {
+namespace {
+
+bool all_nonnegative(const std::vector<double>& v) {
+  return std::all_of(v.begin(), v.end(), [](double x) { return x >= 0.0; });
+}
+
+double max_abs(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+}  // namespace
+
+std::vector<CandidateFit> enumerate_candidates(
+    const std::vector<int>& cores, const std::vector<double>& values,
+    const ExtrapolationConfig& cfg) {
+  std::vector<CandidateFit> out;
+  const int m = static_cast<int>(cores.size());
+  if (m != static_cast<int>(values.size()) || m < cfg.min_prefix + 1) {
+    return out;
+  }
+
+  std::vector<double> xs(cores.begin(), cores.end());
+  const bool nonneg = all_nonnegative(values);
+  const double vmax = max_abs(values);
+
+  RealismOptions realism = cfg.realism;
+  realism.range_min = xs.front();
+  realism.range_max = std::max(cfg.target_max_cores, xs.back());
+
+  for (int c : cfg.checkpoint_counts) {
+    const int n = m - c;  // points available for fitting
+    if (c <= 0 || n < cfg.min_prefix) continue;
+
+    std::vector<std::size_t> checkpoint_idx;
+    for (int i = n; i < m; ++i) {
+      checkpoint_idx.push_back(static_cast<std::size_t>(i));
+    }
+
+    for (int i = cfg.min_prefix; i <= n; ++i) {
+      const std::vector<double> pxs(xs.begin(), xs.begin() + i);
+      const std::vector<double> pys(values.begin(), values.begin() + i);
+      for (KernelType type : kAllKernels) {
+        auto fitted = fit_kernel(type, pxs, pys, cfg.fit);
+        if (!fitted) continue;
+        if (!is_realistic(*fitted, realism, vmax, nonneg)) continue;
+
+        std::vector<double> pred(m, 0.0);
+        for (std::size_t j = 0; j < static_cast<std::size_t>(m); ++j) {
+          pred[j] = (*fitted)(xs[j]);
+        }
+        const double err = numeric::rmse_at(pred, values, checkpoint_idx);
+        if (!std::isfinite(err)) continue;
+        out.push_back(CandidateFit{std::move(*fitted), i, c, err});
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<SeriesExtrapolation> extrapolate_series(
+    const std::vector<int>& cores, const std::vector<double>& values,
+    const ExtrapolationConfig& cfg) {
+  const auto candidates = enumerate_candidates(cores, values, cfg);
+  if (candidates.empty()) return std::nullopt;
+
+  // Minimum checkpoint RMSE decides, but many candidates land within noise
+  // of each other while diverging wildly beyond the data. Within a band of
+  // the best we prefer the most parsimonious kernel (fewest parameters),
+  // then the fit trained on the longest prefix — the classic Occam
+  // tie-break that keeps pure power-law series from being captured by
+  // higher-order rationals whose tails flatten or explode.
+  double best_rmse = std::numeric_limits<double>::infinity();
+  for (const auto& cand : candidates) {
+    best_rmse = std::min(best_rmse, cand.checkpoint_rmse);
+  }
+  const double band = best_rmse * 1.25 + 1e-300;
+  const CandidateFit* best = nullptr;
+  for (const auto& cand : candidates) {
+    if (cand.checkpoint_rmse > band) continue;
+    if (!best) {
+      best = &cand;
+      continue;
+    }
+    const std::size_t cand_params = kernel_param_count(cand.fn.type);
+    const std::size_t best_params = kernel_param_count(best->fn.type);
+    if (cand_params != best_params) {
+      if (cand_params < best_params) best = &cand;
+    } else if (cand.prefix_len != best->prefix_len) {
+      if (cand.prefix_len > best->prefix_len) best = &cand;
+    } else if (cand.checkpoint_rmse < best->checkpoint_rmse) {
+      best = &cand;
+    }
+  }
+
+  SeriesExtrapolation out;
+  out.best = best->fn;
+  out.checkpoint_rmse = best->checkpoint_rmse;
+  out.chosen_prefix = best->prefix_len;
+  out.chosen_checkpoints = best->checkpoints;
+  out.candidates_realistic = candidates.size();
+  // Total attempted = kernels * prefixes * checkpoint settings; recompute.
+  std::size_t attempted = 0;
+  const int m = static_cast<int>(cores.size());
+  for (int c : cfg.checkpoint_counts) {
+    const int n = m - c;
+    if (c <= 0 || n < cfg.min_prefix) continue;
+    attempted += kAllKernels.size() *
+                 static_cast<std::size_t>(n - cfg.min_prefix + 1);
+  }
+  out.candidates_considered = attempted;
+  return out;
+}
+
+}  // namespace estima::core

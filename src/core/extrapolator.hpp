@@ -1,0 +1,65 @@
+// Checkpoint-based series extrapolation (Section 3.1.2, Figure 4).
+//
+// Given m measurements of one stall-cycle category, ESTIMA:
+//  1. designates the c highest-core-count measurements as checkpoints
+//     (c in {2, 4} by default);
+//  2. fits every Table-1 kernel on each prefix i = 3..n of the remaining
+//     n = m - c points, discarding unrealistic fits;
+//  3. scores every candidate by RMSE at the checkpoints;
+//  4. keeps the minimiser and uses it to extrapolate.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fit_engine.hpp"
+#include "core/kernels.hpp"
+
+namespace estima::core {
+
+struct ExtrapolationConfig {
+  /// Checkpoint counts to try; the paper's experiments use 2 and 4.
+  std::vector<int> checkpoint_counts = {2, 4};
+  int min_prefix = 3;           ///< smallest prefix length fitted
+  double target_max_cores = 64; ///< realism + extrapolation horizon
+  RealismOptions realism;       ///< range is overwritten from target_max
+  FitOptions fit;
+};
+
+/// One scored candidate fit (kept for diagnostics / bench output).
+struct CandidateFit {
+  FittedFunction fn;
+  int prefix_len = 0;
+  int checkpoints = 0;
+  double checkpoint_rmse = 0.0;
+};
+
+/// The outcome of extrapolating one series.
+struct SeriesExtrapolation {
+  FittedFunction best;
+  double checkpoint_rmse = 0.0;
+  int chosen_prefix = 0;
+  int chosen_checkpoints = 0;
+  std::size_t candidates_considered = 0;
+  std::size_t candidates_realistic = 0;
+
+  std::vector<double> predict(const std::vector<int>& cores) const {
+    return best.eval_many(cores);
+  }
+};
+
+/// Extrapolates one series of (cores, values). Returns std::nullopt when no
+/// realistic candidate exists (degenerate input, fewer than min_prefix + 1
+/// points, ...).
+std::optional<SeriesExtrapolation> extrapolate_series(
+    const std::vector<int>& cores, const std::vector<double>& values,
+    const ExtrapolationConfig& cfg);
+
+/// Enumerates every realistic candidate (used by the scaling-factor step,
+/// which selects by correlation rather than checkpoint RMSE, and by tests).
+std::vector<CandidateFit> enumerate_candidates(
+    const std::vector<int>& cores, const std::vector<double>& values,
+    const ExtrapolationConfig& cfg);
+
+}  // namespace estima::core

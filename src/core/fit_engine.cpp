@@ -1,0 +1,192 @@
+#include "core/fit_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "numeric/levmar.hpp"
+#include "numeric/linalg.hpp"
+#include "numeric/matrix.hpp"
+
+namespace estima::core {
+namespace {
+
+using numeric::LeastSquaresResult;
+using numeric::Matrix;
+
+constexpr double kTiny = 1e-30;
+
+double max_abs(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+// Solves a linear system min ||A p - b|| with QR, falling back to ridge for
+// short/rank-deficient prefixes (the paper's i-in-3..n loop regularly fits
+// kernels with more parameters than points).
+std::optional<std::vector<double>> robust_linear_solve(
+    const Matrix& A, const std::vector<double>& b, double ridge_lambda) {
+  if (auto direct = numeric::least_squares(A, b)) {
+    return direct->x;
+  }
+  LeastSquaresResult r = numeric::ridge(A, b, ridge_lambda);
+  for (double v : r.x) {
+    if (!std::isfinite(v)) return std::nullopt;
+  }
+  return r.x;
+}
+
+// Linear-in-parameters kernels: direct solve on scaled values.
+std::optional<FittedFunction> fit_linear_kernel(
+    KernelType type, const std::vector<double>& xs,
+    const std::vector<double>& ys_scaled, double y_scale,
+    const FitOptions& opts) {
+  const std::size_t k = kernel_param_count(type);
+  Matrix A(xs.size(), k);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const auto row = kernel_basis(type, xs[i]);
+    for (std::size_t j = 0; j < k; ++j) A(i, j) = row[j];
+  }
+  auto p = robust_linear_solve(A, ys_scaled, opts.ridge_lambda);
+  if (!p) return std::nullopt;
+  return FittedFunction{type, std::move(*p), y_scale};
+}
+
+// Rational / ExpRat kernels: linearised initial guess + LM refinement.
+std::optional<FittedFunction> fit_nonlinear_kernel(
+    KernelType type, const std::vector<double>& xs,
+    const std::vector<double>& ys_scaled, double y_scale,
+    const FitOptions& opts) {
+  const std::size_t k = kernel_param_count(type);
+
+  // ExpRat's linearisation requires positive values.
+  const bool needs_positive = type == KernelType::kExpRat;
+  bool all_positive = true;
+  for (double y : ys_scaled) {
+    if (y <= 0.0) {
+      all_positive = false;
+      break;
+    }
+  }
+
+  std::vector<std::vector<double>> starts;
+  if (!needs_positive || all_positive) {
+    Matrix A(xs.size(), k);
+    std::vector<double> b(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const auto row = kernel_linearized_row(type, xs[i], ys_scaled[i]);
+      for (std::size_t j = 0; j < k; ++j) A(i, j) = row[j];
+      b[i] = kernel_linearized_rhs(type, xs[i], ys_scaled[i]);
+    }
+    if (auto p = robust_linear_solve(A, b, opts.ridge_lambda)) {
+      starts.push_back(std::move(*p));
+    }
+  }
+  if (needs_positive && !all_positive) return std::nullopt;
+
+  // A couple of bland fallback starts so LM has somewhere to begin even if
+  // the linearisation was degenerate.
+  {
+    std::vector<double> flat(k, 0.0);
+    // Constant-at-mean start: a0 = mean(y), everything else 0.
+    double meany = 0.0;
+    for (double y : ys_scaled) meany += y;
+    meany /= static_cast<double>(ys_scaled.size());
+    if (type == KernelType::kExpRat) {
+      flat[0] = std::log(std::max(meany, kTiny));
+    } else {
+      flat[0] = meany;
+    }
+    starts.push_back(flat);
+    std::vector<double> gentle(k, 0.01);
+    gentle[0] = flat[0];
+    starts.push_back(gentle);
+  }
+
+  numeric::LevMarOptions lm;
+  lm.max_iterations = opts.levmar_max_iterations;
+  const auto model = [type](double x, const std::vector<double>& p) {
+    return kernel_eval(type, x, p);
+  };
+
+  std::optional<FittedFunction> best;
+  double best_rmse = std::numeric_limits<double>::infinity();
+  for (auto& start : starts) {
+    auto res = numeric::levenberg_marquardt(model, xs, ys_scaled, start, lm);
+    if (!std::isfinite(res.rmse)) continue;
+    bool finite = true;
+    for (double v : res.params) {
+      if (!std::isfinite(v)) {
+        finite = false;
+        break;
+      }
+    }
+    if (!finite) continue;
+    if (res.rmse < best_rmse) {
+      best_rmse = res.rmse;
+      best = FittedFunction{type, std::move(res.params), y_scale};
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+bool is_realistic(const FittedFunction& f, const RealismOptions& opts,
+                  double data_max_abs, bool data_nonnegative) {
+  const double bound =
+      opts.explosion_factor * std::max(data_max_abs, kTiny);
+  const double neg_floor =
+      -opts.negativity_slack * std::max(data_max_abs, kTiny);
+
+  // Walk the range densely enough to catch poles between integer counts.
+  const double lo = opts.range_min;
+  const double hi = std::max(opts.range_max, lo + 1.0);
+  const int steps = std::max(64, static_cast<int>((hi - lo) * 4));
+  double prev_den = 0.0;
+  bool have_prev = false;
+  for (int s = 0; s <= steps; ++s) {
+    const double n = lo + (hi - lo) * static_cast<double>(s) / steps;
+    const double v = f(n);
+    if (!std::isfinite(v)) return false;
+    if (std::fabs(v) > bound) return false;
+    if (data_nonnegative && opts.require_nonnegative && v < neg_floor) {
+      return false;
+    }
+    const double den = kernel_denominator(f.type, n, f.params);
+    if (std::fabs(den) < 1e-9) return false;  // pole (or nearly) in range
+    if (have_prev && std::signbit(den) != std::signbit(prev_den)) {
+      return false;  // denominator crosses zero inside the range
+    }
+    prev_den = den;
+    have_prev = true;
+  }
+  return true;
+}
+
+std::optional<FittedFunction> fit_kernel(KernelType type,
+                                         const std::vector<double>& xs,
+                                         const std::vector<double>& ys,
+                                         const FitOptions& opts) {
+  if (xs.size() != ys.size() || xs.size() < 2) return std::nullopt;
+  for (double x : xs) {
+    if (!(x > 0.0)) return std::nullopt;  // core counts are positive
+  }
+
+  // Scale values to O(1) for conditioning. All-zero series fit trivially.
+  const double scale = max_abs(ys);
+  if (scale <= 0.0) {
+    std::vector<double> zeros(kernel_param_count(type), 0.0);
+    return FittedFunction{type, std::move(zeros), 1.0};
+  }
+  std::vector<double> ys_scaled(ys.size());
+  for (std::size_t i = 0; i < ys.size(); ++i) ys_scaled[i] = ys[i] / scale;
+
+  if (kernel_is_linear(type)) {
+    return fit_linear_kernel(type, xs, ys_scaled, scale, opts);
+  }
+  return fit_nonlinear_kernel(type, xs, ys_scaled, scale, opts);
+}
+
+}  // namespace estima::core

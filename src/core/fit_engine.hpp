@@ -1,0 +1,46 @@
+// Fitting a single Table-1 kernel to a series of (core count, value) points.
+//
+// Linear kernels are solved directly by QR (ridge fallback for short
+// prefixes); rational/ExpRat kernels get a linearised initial guess that is
+// then refined by Levenberg-Marquardt. A realism filter rejects fits with
+// poles, sign flips or explosions inside the extrapolation range, mirroring
+// the paper's "discarding the function types that produce functions that are
+// not realistic for this approximation" (Section 3.1.2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/kernels.hpp"
+
+namespace estima::core {
+
+struct RealismOptions {
+  double range_min = 1.0;       ///< start of the extrapolation range
+  double range_max = 64.0;      ///< end of the extrapolation range
+  double explosion_factor = 1e4;  ///< reject |f| > factor * max|y|
+  bool require_nonnegative = true;  ///< reject negative fits of nonneg data
+  double negativity_slack = 0.05;   ///< tolerated dip below zero (rel. to max)
+};
+
+/// Checks a fitted function against the realism rules over [range_min,
+/// range_max]: finite everywhere, denominator pole-free, bounded, and
+/// non-negative when the data was.
+bool is_realistic(const FittedFunction& f, const RealismOptions& opts,
+                  double data_max_abs, bool data_nonnegative);
+
+struct FitOptions {
+  double ridge_lambda = 1e-8;  ///< regulariser for under-determined prefixes
+  int levmar_max_iterations = 120;
+};
+
+/// Fits `type` to the points (xs, ys). Returns std::nullopt when the fit is
+/// impossible (too few points, degenerate data) or produced non-finite
+/// parameters. The returned function is *not* realism-checked; callers
+/// apply is_realistic with their extrapolation range.
+std::optional<FittedFunction> fit_kernel(KernelType type,
+                                         const std::vector<double>& xs,
+                                         const std::vector<double>& ys,
+                                         const FitOptions& opts = {});
+
+}  // namespace estima::core

@@ -1,0 +1,160 @@
+#include "core/kernels.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace estima::core {
+namespace {
+
+double rat_eval(const std::vector<double>& p, double n, std::size_t num_deg,
+                std::size_t den_deg) {
+  // Numerator: p[0..num_deg], denominator: 1 + p[num_deg+1..] * n^k.
+  double num = 0.0;
+  double pow_n = 1.0;
+  for (std::size_t k = 0; k <= num_deg; ++k) {
+    num += p[k] * pow_n;
+    pow_n *= n;
+  }
+  double den = 1.0;
+  pow_n = n;
+  for (std::size_t k = 1; k <= den_deg; ++k) {
+    den += p[num_deg + k] * pow_n;
+    pow_n *= n;
+  }
+  return num / den;
+}
+
+double rat_denominator(const std::vector<double>& p, double n,
+                       std::size_t num_deg, std::size_t den_deg) {
+  double den = 1.0;
+  double pow_n = n;
+  for (std::size_t k = 1; k <= den_deg; ++k) {
+    den += p[num_deg + k] * pow_n;
+    pow_n *= n;
+  }
+  return den;
+}
+
+}  // namespace
+
+std::string kernel_name(KernelType type) {
+  switch (type) {
+    case KernelType::kRat22: return "Rat22";
+    case KernelType::kRat23: return "Rat23";
+    case KernelType::kRat33: return "Rat33";
+    case KernelType::kCubicLn: return "CubicLn";
+    case KernelType::kExpRat: return "ExpRat";
+    case KernelType::kPoly25: return "Poly25";
+  }
+  return "unknown";
+}
+
+std::size_t kernel_param_count(KernelType type) {
+  switch (type) {
+    case KernelType::kRat22: return 5;   // a0 a1 a2 b1 b2
+    case KernelType::kRat23: return 6;   // a0 a1 a2 b1 b2 b3
+    case KernelType::kRat33: return 7;   // a0 a1 a2 a3 b1 b2 b3
+    case KernelType::kCubicLn: return 4;
+    case KernelType::kExpRat: return 3;  // a b d with c == 1
+    case KernelType::kPoly25: return 4;
+  }
+  return 0;
+}
+
+bool kernel_is_linear(KernelType type) {
+  return type == KernelType::kCubicLn || type == KernelType::kPoly25;
+}
+
+double kernel_eval(KernelType type, double n, const std::vector<double>& p) {
+  switch (type) {
+    case KernelType::kRat22: return rat_eval(p, n, 2, 2);
+    case KernelType::kRat23: return rat_eval(p, n, 2, 3);
+    case KernelType::kRat33: return rat_eval(p, n, 3, 3);
+    case KernelType::kCubicLn: {
+      const double l = std::log(n);
+      return p[0] + p[1] * l + p[2] * l * l + p[3] * l * l * l;
+    }
+    case KernelType::kExpRat: {
+      // exp((a + b n) / (1 + d n)); parameters (a, b, d).
+      return std::exp((p[0] + p[1] * n) / (1.0 + p[2] * n));
+    }
+    case KernelType::kPoly25: {
+      return p[0] + p[1] * n + p[2] * n * n + p[3] * n * n * std::sqrt(n);
+    }
+  }
+  return std::nan("");
+}
+
+double kernel_denominator(KernelType type, double n,
+                          const std::vector<double>& p) {
+  switch (type) {
+    case KernelType::kRat22: return rat_denominator(p, n, 2, 2);
+    case KernelType::kRat23: return rat_denominator(p, n, 2, 3);
+    case KernelType::kRat33: return rat_denominator(p, n, 3, 3);
+    case KernelType::kExpRat: return 1.0 + p[2] * n;
+    case KernelType::kCubicLn:
+    case KernelType::kPoly25:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+std::vector<double> kernel_basis(KernelType type, double n) {
+  switch (type) {
+    case KernelType::kCubicLn: {
+      const double l = std::log(n);
+      return {1.0, l, l * l, l * l * l};
+    }
+    case KernelType::kPoly25:
+      return {1.0, n, n * n, n * n * std::sqrt(n)};
+    default:
+      throw std::logic_error("kernel_basis: kernel is not linear in params");
+  }
+}
+
+std::vector<double> kernel_linearized_row(KernelType type, double n,
+                                          double y) {
+  // For v = N(n)/D(n) with D(n) = 1 + sum b_k n^k, multiply through:
+  //   N(n) - v * sum b_k n^k = v
+  // which is linear in (a..., b...).
+  switch (type) {
+    case KernelType::kRat22:
+      return {1.0, n, n * n, -y * n, -y * n * n};
+    case KernelType::kRat23:
+      return {1.0, n, n * n, -y * n, -y * n * n, -y * n * n * n};
+    case KernelType::kRat33:
+      return {1.0, n,     n * n, n * n * n,
+              -y * n, -y * n * n, -y * n * n * n};
+    case KernelType::kExpRat: {
+      // ln v = (a + b n)/(1 + d n)  =>  a + b n - ln(v) d n = ln v.
+      const double lv = std::log(y);
+      return {1.0, n, -lv * n};
+    }
+    default:
+      throw std::logic_error(
+          "kernel_linearized_row: kernel is linear; use kernel_basis");
+  }
+}
+
+double kernel_linearized_rhs(KernelType type, double n, double y) {
+  (void)n;
+  if (type == KernelType::kExpRat) return std::log(y);
+  return y;
+}
+
+std::vector<double> FittedFunction::eval_many(
+    const std::vector<double>& ns) const {
+  std::vector<double> out;
+  out.reserve(ns.size());
+  for (double n : ns) out.push_back((*this)(n));
+  return out;
+}
+
+std::vector<double> FittedFunction::eval_many(const std::vector<int>& ns) const {
+  std::vector<double> out;
+  out.reserve(ns.size());
+  for (int n : ns) out.push_back((*this)(static_cast<double>(n)));
+  return out;
+}
+
+}  // namespace estima::core

@@ -1,0 +1,82 @@
+// The extrapolation function kernels of Table 1 of the paper.
+//
+//   Rat22    (a0 + a1 n + a2 n^2) / (1 + b1 n + b2 n^2)
+//   Rat23    (a0 + a1 n + a2 n^2) / (1 + b1 n + b2 n^2 + b3 n^3)
+//   Rat33    (a0 + a1 n + a2 n^2 + a3 n^3) / (1 + b1 n + b2 n^2 + b3 n^3)
+//   CubicLn  a + b ln n + c ln^2 n + d ln^3 n
+//   ExpRat   exp((a + b n) / (c + d n))        (c fixed to 1: scale freedom)
+//   Poly25   a + b n + c n^2 + d n^2.5
+//
+// Each kernel knows how to evaluate itself, whether it is linear in its
+// parameters (solved by QR), and how to produce linearised initial guesses
+// for the Levenberg-Marquardt refinement of the nonlinear families.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace estima::core {
+
+enum class KernelType {
+  kRat22,
+  kRat23,
+  kRat33,
+  kCubicLn,
+  kExpRat,
+  kPoly25,
+};
+
+/// All kernels, in the order of Table 1.
+constexpr std::array<KernelType, 6> kAllKernels = {
+    KernelType::kRat22,  KernelType::kRat23, KernelType::kRat33,
+    KernelType::kCubicLn, KernelType::kExpRat, KernelType::kPoly25,
+};
+
+/// Human-readable kernel name matching the paper's Table 1.
+std::string kernel_name(KernelType type);
+
+/// Number of free parameters of the kernel.
+std::size_t kernel_param_count(KernelType type);
+
+/// True when the model is linear in its parameters (CubicLn, Poly25).
+bool kernel_is_linear(KernelType type);
+
+/// Evaluates the kernel at core count n for parameter vector p
+/// (size == kernel_param_count). Returns NaN/Inf on poles; callers filter.
+double kernel_eval(KernelType type, double n, const std::vector<double>& p);
+
+/// Value of the denominator polynomial at n for the rational kernels and
+/// ExpRat; returns 1.0 for kernels with no denominator. Used by the realism
+/// filter to detect poles inside the extrapolation range.
+double kernel_denominator(KernelType type, double n,
+                          const std::vector<double>& p);
+
+/// Basis functions for the linear kernels: returns the design-matrix row
+/// for input n. Only valid for kernels where kernel_is_linear() is true.
+std::vector<double> kernel_basis(KernelType type, double n);
+
+/// Rows of the *linearised* system used to produce initial guesses for the
+/// rational/ExpRat kernels: row(n, y) and rhs(n, y) such that solving
+/// row·p = rhs in least squares approximates the nonlinear fit.
+/// For ExpRat the y values must be positive (the caller checks).
+std::vector<double> kernel_linearized_row(KernelType type, double n, double y);
+double kernel_linearized_rhs(KernelType type, double n, double y);
+
+/// A fitted instance of a kernel: evaluation is y_scale * kernel(n; p).
+/// The y scale keeps the solves well-conditioned when fitting values in the
+/// 1e12 range (raw cycle counts).
+struct FittedFunction {
+  KernelType type = KernelType::kCubicLn;
+  std::vector<double> params;
+  double y_scale = 1.0;
+
+  double operator()(double n) const {
+    return y_scale * kernel_eval(type, n, params);
+  }
+  std::vector<double> eval_many(const std::vector<double>& ns) const;
+  std::vector<double> eval_many(const std::vector<int>& ns) const;
+};
+
+}  // namespace estima::core

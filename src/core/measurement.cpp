@@ -1,0 +1,217 @@
+#include "core/measurement.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace estima::core {
+namespace {
+
+bool domain_selected(StallDomain d, bool include_frontend,
+                     bool include_software) {
+  switch (d) {
+    case StallDomain::kHardwareBackend: return true;
+    case StallDomain::kHardwareFrontend: return include_frontend;
+    case StallDomain::kSoftware: return include_software;
+  }
+  return false;
+}
+
+std::string domain_prefix(StallDomain d) {
+  switch (d) {
+    case StallDomain::kHardwareBackend: return "hw";
+    case StallDomain::kHardwareFrontend: return "fe";
+    case StallDomain::kSoftware: return "sw";
+  }
+  return "hw";
+}
+
+StallDomain domain_from_prefix(const std::string& p) {
+  if (p == "hw") return StallDomain::kHardwareBackend;
+  if (p == "fe") return StallDomain::kHardwareFrontend;
+  if (p == "sw") return StallDomain::kSoftware;
+  throw std::invalid_argument("unknown stall domain prefix: " + p);
+}
+
+}  // namespace
+
+std::string stall_domain_name(StallDomain d) {
+  switch (d) {
+    case StallDomain::kHardwareBackend: return "hardware-backend";
+    case StallDomain::kHardwareFrontend: return "hardware-frontend";
+    case StallDomain::kSoftware: return "software";
+  }
+  return "?";
+}
+
+double MeasurementSet::total_stalls_at(std::size_t i, bool include_frontend,
+                                       bool include_software) const {
+  double acc = 0.0;
+  for (const auto& cat : categories) {
+    if (!domain_selected(cat.domain, include_frontend, include_software))
+      continue;
+    acc += cat.values.at(i);
+  }
+  return acc;
+}
+
+std::vector<double> MeasurementSet::stalls_per_core(
+    bool include_frontend, bool include_software) const {
+  std::vector<double> out(cores.size(), 0.0);
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    out[i] = total_stalls_at(i, include_frontend, include_software) /
+             static_cast<double>(cores[i]);
+  }
+  return out;
+}
+
+MeasurementSet MeasurementSet::truncated(std::size_t k) const {
+  if (k > num_points()) {
+    throw std::invalid_argument("truncated: k exceeds measurement points");
+  }
+  MeasurementSet out = *this;
+  out.cores.resize(k);
+  out.time_s.resize(k);
+  for (auto& cat : out.categories) cat.values.resize(k);
+  return out;
+}
+
+MeasurementSet MeasurementSet::filtered(bool include_frontend,
+                                        bool include_software) const {
+  MeasurementSet out = *this;
+  out.categories.clear();
+  for (const auto& cat : categories) {
+    if (domain_selected(cat.domain, include_frontend, include_software)) {
+      out.categories.push_back(cat);
+    }
+  }
+  return out;
+}
+
+void MeasurementSet::validate() const {
+  if (cores.size() != time_s.size()) {
+    throw std::invalid_argument("MeasurementSet: cores/time size mismatch");
+  }
+  for (std::size_t i = 1; i < cores.size(); ++i) {
+    if (cores[i] <= cores[i - 1]) {
+      throw std::invalid_argument("MeasurementSet: cores must be ascending");
+    }
+  }
+  for (const auto& cat : categories) {
+    if (cat.values.size() != cores.size()) {
+      throw std::invalid_argument("MeasurementSet: category '" + cat.name +
+                                  "' size mismatch");
+    }
+  }
+}
+
+void write_csv(std::ostream& os, const MeasurementSet& ms) {
+  // Full round-trip precision: predictions must be identical when a
+  // campaign is saved and reloaded.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "# workload=" << ms.workload << " machine=" << ms.machine
+     << " freq_ghz=" << ms.freq_ghz << " dataset_bytes=" << ms.dataset_bytes
+     << "\n";
+  os << "cores,time_s";
+  for (const auto& cat : ms.categories) {
+    os << ',' << domain_prefix(cat.domain) << ':' << cat.name;
+  }
+  os << "\n";
+  for (std::size_t i = 0; i < ms.cores.size(); ++i) {
+    os << ms.cores[i] << ',' << ms.time_s[i];
+    for (const auto& cat : ms.categories) os << ',' << cat.values[i];
+    os << "\n";
+  }
+}
+
+MeasurementSet read_csv(std::istream& is) {
+  MeasurementSet ms;
+  std::string line;
+
+  // Header comment with metadata.
+  if (!std::getline(is, line) || line.empty() || line[0] != '#') {
+    throw std::invalid_argument("measurement csv: missing metadata line");
+  }
+  {
+    std::istringstream meta(line.substr(1));
+    std::string tok;
+    while (meta >> tok) {
+      const auto eq = tok.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string key = tok.substr(0, eq);
+      const std::string val = tok.substr(eq + 1);
+      if (key == "workload") ms.workload = val;
+      else if (key == "machine") ms.machine = val;
+      else if (key == "freq_ghz") ms.freq_ghz = std::stod(val);
+      else if (key == "dataset_bytes") ms.dataset_bytes = std::stod(val);
+    }
+  }
+
+  // Column header.
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("measurement csv: missing column header");
+  }
+  {
+    std::istringstream hdr(line);
+    std::string col;
+    int idx = 0;
+    while (std::getline(hdr, col, ',')) {
+      if (idx == 0 && col != "cores") {
+        throw std::invalid_argument("measurement csv: first column != cores");
+      }
+      if (idx == 1 && col != "time_s") {
+        throw std::invalid_argument("measurement csv: second column != time_s");
+      }
+      if (idx >= 2) {
+        const auto colon = col.find(':');
+        if (colon == std::string::npos) {
+          throw std::invalid_argument("measurement csv: category '" + col +
+                                      "' lacks domain prefix");
+        }
+        StallSeries s;
+        s.domain = domain_from_prefix(col.substr(0, colon));
+        s.name = col.substr(colon + 1);
+        ms.categories.push_back(std::move(s));
+      }
+      ++idx;
+    }
+  }
+
+  // Data rows.
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    std::string cell;
+    int idx = 0;
+    while (std::getline(row, cell, ',')) {
+      if (idx == 0) ms.cores.push_back(std::stoi(cell));
+      else if (idx == 1) ms.time_s.push_back(std::stod(cell));
+      else {
+        const std::size_t cat = static_cast<std::size_t>(idx - 2);
+        if (cat >= ms.categories.size()) {
+          throw std::invalid_argument("measurement csv: extra cell in row");
+        }
+        ms.categories[cat].values.push_back(std::stod(cell));
+      }
+      ++idx;
+    }
+  }
+  ms.validate();
+  return ms;
+}
+
+void save_csv(const std::string& path, const MeasurementSet& ms) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  write_csv(os, ms);
+}
+
+MeasurementSet load_csv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return read_csv(is);
+}
+
+}  // namespace estima::core

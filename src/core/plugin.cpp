@@ -1,0 +1,176 @@
+#include "core/plugin.hpp"
+
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+
+namespace estima::core {
+namespace {
+
+std::vector<std::string> tokenize_respecting_quotes(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  bool in_quotes = false;
+  for (char ch : line) {
+    if (ch == '\'') {
+      in_quotes = !in_quotes;
+      continue;
+    }
+    if (!in_quotes && (ch == ' ' || ch == '\t')) {
+      if (!cur.empty()) {
+        tokens.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  if (!cur.empty()) tokens.push_back(cur);
+  return tokens;
+}
+
+}  // namespace
+
+PluginAggregate aggregate_from_name(const std::string& name) {
+  if (name == "sum") return PluginAggregate::kSum;
+  if (name == "min") return PluginAggregate::kMin;
+  if (name == "max") return PluginAggregate::kMax;
+  if (name == "avg" || name == "average") return PluginAggregate::kAverage;
+  if (name == "last") return PluginAggregate::kLast;
+  throw std::invalid_argument("unknown plugin aggregate: " + name);
+}
+
+std::string aggregate_name(PluginAggregate a) {
+  switch (a) {
+    case PluginAggregate::kSum: return "sum";
+    case PluginAggregate::kMin: return "min";
+    case PluginAggregate::kMax: return "max";
+    case PluginAggregate::kAverage: return "avg";
+    case PluginAggregate::kLast: return "last";
+  }
+  return "?";
+}
+
+double harvest_from_text(const PluginSpec& spec, const std::string& text) {
+  std::regex re;
+  try {
+    re = std::regex(spec.pattern, std::regex::ECMAScript);
+  } catch (const std::regex_error& e) {
+    throw std::invalid_argument("plugin '" + spec.category_name +
+                                "': bad pattern: " + e.what());
+  }
+  if (re.mark_count() < 1) {
+    throw std::invalid_argument("plugin '" + spec.category_name +
+                                "': pattern needs one capture group");
+  }
+
+  std::vector<double> values;
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), re);
+       it != std::sregex_iterator(); ++it) {
+    const std::string captured = (*it)[1].str();
+    try {
+      values.push_back(std::stod(captured));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("plugin '" + spec.category_name +
+                                  "': non-numeric capture: " + captured);
+    }
+  }
+  if (values.empty()) return 0.0;
+
+  switch (spec.aggregate) {
+    case PluginAggregate::kSum: {
+      double acc = 0.0;
+      for (double v : values) acc += v;
+      return acc;
+    }
+    case PluginAggregate::kMin: {
+      double m = values.front();
+      for (double v : values) m = std::min(m, v);
+      return m;
+    }
+    case PluginAggregate::kMax: {
+      double m = values.front();
+      for (double v : values) m = std::max(m, v);
+      return m;
+    }
+    case PluginAggregate::kAverage: {
+      double acc = 0.0;
+      for (double v : values) acc += v;
+      return acc / static_cast<double>(values.size());
+    }
+    case PluginAggregate::kLast:
+      return values.back();
+  }
+  return 0.0;
+}
+
+double harvest_from_file(const PluginSpec& spec) {
+  std::ifstream is(spec.path);
+  if (!is) {
+    throw std::runtime_error("plugin '" + spec.category_name +
+                             "': cannot open " + spec.path);
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return harvest_from_text(spec, buf.str());
+}
+
+std::vector<PluginSpec> parse_plugin_config(const std::string& text) {
+  std::vector<PluginSpec> specs;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const auto tokens = tokenize_respecting_quotes(line);
+    if (tokens.empty()) continue;
+
+    PluginSpec spec;
+    bool have_name = false, have_pattern = false;
+    for (const auto& tok : tokens) {
+      const auto eq = tok.find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument("plugin config line " +
+                                    std::to_string(lineno) +
+                                    ": token without '=': " + tok);
+      }
+      const std::string key = tok.substr(0, eq);
+      const std::string val = tok.substr(eq + 1);
+      if (key == "name") {
+        spec.category_name = val;
+        have_name = true;
+      } else if (key == "path") {
+        spec.path = val;
+      } else if (key == "pattern") {
+        spec.pattern = val;
+        have_pattern = true;
+      } else if (key == "aggregate") {
+        spec.aggregate = aggregate_from_name(val);
+      } else if (key == "domain") {
+        if (val == "sw") spec.domain = StallDomain::kSoftware;
+        else if (val == "hw") spec.domain = StallDomain::kHardwareBackend;
+        else if (val == "fe") spec.domain = StallDomain::kHardwareFrontend;
+        else
+          throw std::invalid_argument("plugin config line " +
+                                      std::to_string(lineno) +
+                                      ": unknown domain " + val);
+      } else {
+        throw std::invalid_argument("plugin config line " +
+                                    std::to_string(lineno) +
+                                    ": unknown key " + key);
+      }
+    }
+    if (!have_name || !have_pattern) {
+      throw std::invalid_argument("plugin config line " +
+                                  std::to_string(lineno) +
+                                  ": name= and pattern= are required");
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace estima::core

@@ -1,0 +1,44 @@
+// Software-stall plugin components (Section 4.1).
+//
+// A plugin tells ESTIMA how to harvest one extra stall-cycle category from
+// the output of an instrumented runtime: which file (or captured stdout) to
+// read, which regular expression extracts the cycle values, and how to
+// aggregate multiple matches (min/max/sum/avg/last).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/measurement.hpp"
+
+namespace estima::core {
+
+enum class PluginAggregate { kSum, kMin, kMax, kAverage, kLast };
+
+PluginAggregate aggregate_from_name(const std::string& name);
+std::string aggregate_name(PluginAggregate a);
+
+struct PluginSpec {
+  std::string category_name;   ///< name of the resulting stall category
+  StallDomain domain = StallDomain::kSoftware;
+  std::string path;            ///< file to read; empty => caller passes text
+  std::string pattern;         ///< ECMAScript regex with 1 capture group
+  PluginAggregate aggregate = PluginAggregate::kSum;
+};
+
+/// Extracts all capture-group values of `spec.pattern` from `text` and
+/// aggregates them. Throws std::invalid_argument when the pattern is
+/// malformed or captures a non-numeric value; returns 0.0 when nothing
+/// matches (a run with no reported stalls).
+double harvest_from_text(const PluginSpec& spec, const std::string& text);
+
+/// Reads spec.path and harvests from its contents.
+double harvest_from_file(const PluginSpec& spec);
+
+/// Parses a plugin configuration file. Line format (one plugin per line,
+/// '#' comments allowed):
+///   name=<category> path=<file> pattern=<regex> aggregate=<sum|min|max|avg|last>
+/// The pattern may contain spaces if enclosed in single quotes.
+std::vector<PluginSpec> parse_plugin_config(const std::string& text);
+
+}  // namespace estima::core

@@ -1,0 +1,85 @@
+// The full ESTIMA prediction pipeline (Figure 3):
+//   (A) collect  — a MeasurementSet from counters/simulator/CSV;
+//   (B) extrapolate — every stall category independently (extrapolator);
+//   (C) translate — stalls-per-core -> execution time via the scaling
+//       factor, whose fit is chosen by *correlation* of the induced time
+//       prediction with stalls-per-core (Section 3.1.3).
+//
+// Also implements the paper's baselines and modes:
+//   * time extrapolation (Section 2.4 / Figure 1);
+//   * aggregate-stall mode (Section 2.5 ablation);
+//   * weak scaling via dataset_scale (Section 4.5);
+//   * cross-machine frequency scaling (Section 4.3).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/extrapolator.hpp"
+#include "core/measurement.hpp"
+
+namespace estima::core {
+
+struct PredictionConfig {
+  std::vector<int> target_cores;    ///< core counts to predict for
+  double target_freq_ghz = 0.0;     ///< 0 => same frequency as measurement
+  double dataset_scale = 1.0;       ///< weak scaling factor (Section 4.5)
+  bool use_software_stalls = true;  ///< include StallDomain::kSoftware
+  bool include_frontend = false;    ///< Table 6 ablation
+  bool aggregate_mode = false;      ///< Section 2.5 ablation: one merged series
+  ExtrapolationConfig extrap;
+};
+
+/// Per-category extrapolation detail exposed for diagnostics and benches.
+struct CategoryPrediction {
+  std::string name;
+  StallDomain domain = StallDomain::kHardwareBackend;
+  SeriesExtrapolation extrapolation;
+  std::vector<double> values;  ///< extrapolated totals at target_cores
+};
+
+struct Prediction {
+  std::vector<int> cores;
+  std::vector<double> time_s;           ///< predicted execution time
+  std::vector<double> stalls_per_core;  ///< Σ categories / n at target cores
+  std::vector<CategoryPrediction> categories;
+  FittedFunction factor_fn;          ///< fitted scaling-factor function
+  double factor_correlation = 0.0;   ///< corr(time prediction, spc)
+  double freq_scale = 1.0;           ///< applied measured-time multiplier
+
+  /// Core count with the best (lowest) predicted time.
+  int best_core_count() const;
+};
+
+/// Runs the ESTIMA pipeline. Throws std::invalid_argument on malformed
+/// input (too few points, missing categories, no realistic fits).
+Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg);
+
+/// Baseline: extrapolates execution time directly using the same kernel and
+/// checkpoint machinery (Section 2.4).
+Prediction predict_time_extrapolation(const MeasurementSet& ms,
+                                      const PredictionConfig& cfg);
+
+/// Error metrics of a prediction against ground-truth measurements of the
+/// target machine. Only core counts present in both are compared.
+struct PredictionError {
+  double max_pct = 0.0;   ///< maximum relative error (the paper's Table 4)
+  double mean_pct = 0.0;
+  int compared_points = 0;
+  /// True when the prediction and the truth agree on whether the workload
+  /// keeps scaling past the measurement range: both improve, or both stop.
+  bool scaling_verdict_match = true;
+  int predicted_best_cores = 0;
+  int actual_best_cores = 0;
+};
+
+PredictionError evaluate_prediction(const Prediction& pred,
+                                    const MeasurementSet& truth,
+                                    int skip_below_cores = 0);
+
+/// Convenience: target core list {1, 2, ..., max}.
+std::vector<int> cores_up_to(int max_cores);
+
+}  // namespace estima::core

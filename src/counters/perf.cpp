@@ -1,0 +1,202 @@
+#include "counters/perf.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace estima::counters {
+
+#if defined(__linux__)
+namespace {
+
+int sys_perf_event_open(struct perf_event_attr* attr, pid_t pid, int cpu,
+                        int group_fd, unsigned long flags) {
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+}  // namespace
+#endif  // __linux__
+
+PerfCounter::PerfCounter(PerfCounter&& other) noexcept
+    : fd_(other.fd_), errno_(other.errno_) {
+  other.fd_ = -1;
+}
+
+PerfCounter& PerfCounter::operator=(PerfCounter&& other) noexcept {
+  if (this != &other) {
+#if defined(__linux__)
+    if (fd_ >= 0) close(fd_);
+#endif
+    fd_ = other.fd_;
+    errno_ = other.errno_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+PerfCounter::~PerfCounter() {
+#if defined(__linux__)
+  if (fd_ >= 0) close(fd_);
+#endif
+}
+
+PerfCounter PerfCounter::open_raw(std::uint64_t raw_config) {
+  PerfCounter c;
+#if defined(__linux__)
+  struct perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_RAW;
+  attr.config = raw_config;
+  attr.size = sizeof(attr);
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  const int fd = sys_perf_event_open(&attr, 0, -1, -1, 0);
+  if (fd >= 0) {
+    c.fd_ = fd;
+  } else {
+    c.errno_ = errno;
+  }
+#else
+  c.errno_ = ENOSYS;
+#endif
+  return c;
+}
+
+PerfCounter PerfCounter::open_generic(const std::string& name) {
+  PerfCounter c;
+#if defined(__linux__)
+  struct perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  if (name == "cycles") {
+    attr.config = PERF_COUNT_HW_CPU_CYCLES;
+  } else if (name == "instructions") {
+    attr.config = PERF_COUNT_HW_INSTRUCTIONS;
+  } else if (name == "stalled-cycles-backend") {
+    attr.config = PERF_COUNT_HW_STALLED_CYCLES_BACKEND;
+  } else if (name == "stalled-cycles-frontend") {
+    attr.config = PERF_COUNT_HW_STALLED_CYCLES_FRONTEND;
+  } else if (name == "cache-misses") {
+    attr.config = PERF_COUNT_HW_CACHE_MISSES;
+  } else {
+    c.errno_ = EINVAL;
+    return c;
+  }
+  attr.size = sizeof(attr);
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  const int fd = sys_perf_event_open(&attr, 0, -1, -1, 0);
+  if (fd >= 0) {
+    c.fd_ = fd;
+  } else {
+    c.errno_ = errno;
+  }
+#else
+  (void)name;
+  c.errno_ = ENOSYS;
+#endif
+  return c;
+}
+
+void PerfCounter::reset() {
+#if defined(__linux__)
+  if (fd_ >= 0) ioctl(fd_, PERF_EVENT_IOC_RESET, 0);
+#endif
+}
+
+void PerfCounter::enable() {
+#if defined(__linux__)
+  if (fd_ >= 0) ioctl(fd_, PERF_EVENT_IOC_ENABLE, 0);
+#endif
+}
+
+void PerfCounter::disable() {
+#if defined(__linux__)
+  if (fd_ >= 0) ioctl(fd_, PERF_EVENT_IOC_DISABLE, 0);
+#endif
+}
+
+std::uint64_t PerfCounter::read_value() const {
+#if defined(__linux__)
+  if (fd_ < 0) return 0;
+  std::uint64_t value = 0;
+  if (read(fd_, &value, sizeof(value)) != sizeof(value)) return 0;
+  return value;
+#else
+  return 0;
+#endif
+}
+
+bool perf_available() {
+  static const bool available = [] {
+    PerfCounter probe = PerfCounter::open_generic("cycles");
+    return probe.valid();
+  }();
+  return available;
+}
+
+StallCounterGroup::StallCounterGroup(CounterArch arch,
+                                     bool include_frontend) {
+  descs_ = backend_events(arch);
+  if (include_frontend) {
+    const auto& fe = frontend_events(arch);
+    descs_.insert(descs_.end(), fe.begin(), fe.end());
+  }
+  // Honour the PMU width: the paper's Section 2.2 notes modern processors
+  // count ~4 events concurrently; more would be silently multiplexed.
+  const std::size_t limit =
+      static_cast<std::size_t>(max_concurrent_events(arch));
+  if (descs_.size() > limit + 1) {
+    // Keep the first `limit+1` (the +1 tolerates one fixed counter slot);
+    // callers wanting more must run multiple passes.
+    descs_.resize(limit + 1);
+  }
+  counters_.reserve(descs_.size());
+  for (const auto& d : descs_) {
+    counters_.push_back(PerfCounter::open_raw(d.raw_config));
+  }
+}
+
+bool StallCounterGroup::any_valid() const {
+  for (const auto& c : counters_) {
+    if (c.valid()) return true;
+  }
+  return false;
+}
+
+void StallCounterGroup::reset_all() {
+  for (auto& c : counters_) c.reset();
+}
+
+void StallCounterGroup::enable_all() {
+  for (auto& c : counters_) c.enable();
+}
+
+void StallCounterGroup::disable_all() {
+  for (auto& c : counters_) c.disable();
+}
+
+std::vector<StallCounterGroup::Reading> StallCounterGroup::read_all() const {
+  std::vector<Reading> out;
+  out.reserve(descs_.size());
+  for (std::size_t i = 0; i < descs_.size(); ++i) {
+    Reading r;
+    r.category = descs_[i].category_label();
+    r.stage = descs_[i].stage;
+    r.valid = counters_[i].valid();
+    r.value = counters_[i].read_value();
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace estima::counters

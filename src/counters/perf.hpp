@@ -1,0 +1,82 @@
+// Thin RAII wrapper over perf_event_open for counting-mode events.
+//
+// This is the paper's default collection path: raw backend-stall events per
+// thread, read after the region of interest. When the kernel refuses
+// perf_event_open (common in containers: perf_event_paranoid, seccomp),
+// every call degrades gracefully and `available()` reports false, so the
+// rest of the system (sampler, examples) falls back to software accounting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "counters/events.hpp"
+
+namespace estima::counters {
+
+/// One opened counter fd. Move-only.
+class PerfCounter {
+ public:
+  PerfCounter() = default;
+  PerfCounter(const PerfCounter&) = delete;
+  PerfCounter& operator=(const PerfCounter&) = delete;
+  PerfCounter(PerfCounter&& other) noexcept;
+  PerfCounter& operator=(PerfCounter&& other) noexcept;
+  ~PerfCounter();
+
+  /// Opens a raw hardware event counting the calling thread on any CPU.
+  /// Returns a counter with valid()==false on failure (errno preserved in
+  /// error()).
+  static PerfCounter open_raw(std::uint64_t raw_config);
+
+  /// Opens a named generic event (PERF_COUNT_HW_*). Supported names:
+  /// "cycles", "instructions", "stalled-cycles-backend",
+  /// "stalled-cycles-frontend", "cache-misses".
+  static PerfCounter open_generic(const std::string& name);
+
+  bool valid() const { return fd_ >= 0; }
+  int error() const { return errno_; }
+
+  void reset();
+  void enable();
+  void disable();
+
+  /// Current counter value; 0 when invalid.
+  std::uint64_t read_value() const;
+
+ private:
+  int fd_ = -1;
+  int errno_ = 0;
+};
+
+/// True when this process can open at least a cycles counter. Cached after
+/// the first call.
+bool perf_available();
+
+/// A group of counters for the paper's backend-stall event set, honouring
+/// max_concurrent_events (extra events would multiplex and lose accuracy,
+/// so we refuse to open more than the PMU can count).
+class StallCounterGroup {
+ public:
+  explicit StallCounterGroup(CounterArch arch, bool include_frontend = false);
+
+  bool any_valid() const;
+  void reset_all();
+  void enable_all();
+  void disable_all();
+
+  struct Reading {
+    std::string category;  ///< EventDesc::category_label()
+    EventStage stage = EventStage::kBackend;
+    std::uint64_t value = 0;
+    bool valid = false;
+  };
+  std::vector<Reading> read_all() const;
+
+ private:
+  std::vector<EventDesc> descs_;
+  std::vector<PerfCounter> counters_;
+};
+
+}  // namespace estima::counters

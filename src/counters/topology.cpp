@@ -1,0 +1,108 @@
+#include "counters/topology.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <thread>
+
+namespace estima::counters {
+namespace {
+
+// Reads a small integer file like
+// /sys/devices/system/cpu/cpu3/topology/physical_package_id.
+// Returns fallback when missing/unreadable.
+int read_int_file(const std::string& path, int fallback) {
+  std::ifstream is(path);
+  int v = fallback;
+  if (is && (is >> v)) return v;
+  return fallback;
+}
+
+}  // namespace
+
+int Topology::num_sockets() const {
+  std::set<int> sockets;
+  for (const auto& c : cpus) sockets.insert(c.socket);
+  return static_cast<int>(sockets.size());
+}
+
+int Topology::cores_per_socket() const {
+  if (cpus.empty()) return 0;
+  std::set<std::pair<int, int>> socket_cores;
+  for (const auto& c : cpus) socket_cores.insert({c.socket, c.core});
+  return static_cast<int>(socket_cores.size()) / std::max(num_sockets(), 1);
+}
+
+std::vector<int> Topology::socket_first_order() const {
+  // Sort by (socket, smt-rank within core, core, cpu). The smt rank puts
+  // the first hyperthread of every physical core before any second threads.
+  struct Entry {
+    int cpu, core, socket, smt_rank;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(cpus.size());
+  std::vector<CpuInfo> sorted = cpus;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const CpuInfo& a, const CpuInfo& b) {
+                     return a.cpu < b.cpu;
+                   });
+  std::set<std::pair<int, int>> first_seen;
+  for (const auto& c : sorted) {
+    const auto key = std::make_pair(c.socket, c.core);
+    const int smt_rank = first_seen.count(key) ? 1 : 0;
+    first_seen.insert(key);
+    entries.push_back({c.cpu, c.core, c.socket, smt_rank});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.socket != b.socket) return a.socket < b.socket;
+                     if (a.smt_rank != b.smt_rank)
+                       return a.smt_rank < b.smt_rank;
+                     if (a.core != b.core) return a.core < b.core;
+                     return a.cpu < b.cpu;
+                   });
+  std::vector<int> order;
+  order.reserve(entries.size());
+  for (const auto& e : entries) order.push_back(e.cpu);
+  return order;
+}
+
+Topology discover_topology() {
+  Topology topo;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::string base = "/sys/devices/system/cpu/cpu";
+  bool sysfs_ok = false;
+  for (unsigned i = 0; i < hw; ++i) {
+    const std::string dir = base + std::to_string(i) + "/topology/";
+    CpuInfo info;
+    info.cpu = static_cast<int>(i);
+    info.socket = read_int_file(dir + "physical_package_id", -1);
+    info.core = read_int_file(dir + "core_id", -1);
+    if (info.socket >= 0 && info.core >= 0) {
+      sysfs_ok = true;
+    } else {
+      info.socket = 0;
+      info.core = static_cast<int>(i);
+    }
+    topo.cpus.push_back(info);
+  }
+  if (!sysfs_ok) {
+    // Flat fallback already built above (one socket, core == cpu).
+  }
+  return topo;
+}
+
+Topology make_topology(int sockets, int cores_per_socket, int smt) {
+  Topology topo;
+  int cpu = 0;
+  for (int t = 0; t < smt; ++t) {
+    for (int s = 0; s < sockets; ++s) {
+      for (int c = 0; c < cores_per_socket; ++c) {
+        topo.cpus.push_back(CpuInfo{cpu++, c, s});
+      }
+    }
+  }
+  return topo;
+}
+
+}  // namespace estima::counters

@@ -1,0 +1,38 @@
+// CPU topology discovery with socket-first core ordering (Section 4.1:
+// "estima discovers the topology of the cores and uses cores within the
+// same socket first").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace estima::counters {
+
+struct CpuInfo {
+  int cpu = 0;       ///< logical CPU id
+  int core = 0;      ///< physical core id
+  int socket = 0;    ///< package id
+};
+
+struct Topology {
+  std::vector<CpuInfo> cpus;
+
+  int num_cpus() const { return static_cast<int>(cpus.size()); }
+  int num_sockets() const;
+  int cores_per_socket() const;
+
+  /// Logical CPU ids ordered so that all CPUs of socket 0 come first, then
+  /// socket 1, ... Within a socket, distinct physical cores come before
+  /// SMT siblings. This is the pinning order for measurement runs.
+  std::vector<int> socket_first_order() const;
+};
+
+/// Reads /sys/devices/system/cpu/*/topology; falls back to a flat
+/// single-socket topology of hardware_concurrency() CPUs when sysfs is
+/// unavailable (containers, non-Linux).
+Topology discover_topology();
+
+/// Builds a synthetic topology (used in tests and by the simulator).
+Topology make_topology(int sockets, int cores_per_socket, int smt = 1);
+
+}  // namespace estima::counters

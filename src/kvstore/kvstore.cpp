@@ -1,0 +1,156 @@
+#include "kvstore/kvstore.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "numeric/rng.hpp"
+
+namespace estima::kv {
+namespace {
+
+std::size_t hash_key(const std::string& key) {
+  return std::hash<std::string>{}(key);
+}
+
+}  // namespace
+
+KvStore::KvStore(std::size_t shards, std::size_t capacity_per_shard)
+    : shards_(shards ? shards : 1),
+      capacity_per_shard_(capacity_per_shard ? capacity_per_shard : 1) {}
+
+KvStore::Shard& KvStore::shard_for(const std::string& key) {
+  return shards_[hash_key(key) % shards_.size()];
+}
+
+const KvStore::Shard& KvStore::shard_for(const std::string& key) const {
+  return shards_[hash_key(key) % shards_.size()];
+}
+
+void KvStore::set(const std::string& key, const std::string& value,
+                  sync::ThreadStallCounters* c) {
+  Shard& s = shard_for(key);
+  s.mu.lock(c);
+  auto it = s.map.find(key);
+  if (it != s.map.end()) {
+    it->second.value = value;
+    s.lru.splice(s.lru.begin(), s.lru, it->second.lru_it);
+  } else {
+    if (s.map.size() >= capacity_per_shard_) {
+      // Evict the least recently used entry.
+      const std::string& victim = s.lru.back();
+      s.map.erase(victim);
+      s.lru.pop_back();
+      ++s.stats.evictions;
+    }
+    s.lru.push_front(key);
+    s.map.emplace(key, Entry{value, s.lru.begin()});
+  }
+  ++s.stats.sets;
+  s.mu.unlock();
+}
+
+bool KvStore::get(const std::string& key, std::string* value,
+                  sync::ThreadStallCounters* c) {
+  Shard& s = shard_for(key);
+  s.mu.lock(c);
+  auto it = s.map.find(key);
+  if (it == s.map.end()) {
+    ++s.stats.misses;
+    s.mu.unlock();
+    return false;
+  }
+  if (value) *value = it->second.value;
+  s.lru.splice(s.lru.begin(), s.lru, it->second.lru_it);
+  ++s.stats.hits;
+  s.mu.unlock();
+  return true;
+}
+
+bool KvStore::del(const std::string& key, sync::ThreadStallCounters* c) {
+  Shard& s = shard_for(key);
+  s.mu.lock(c);
+  auto it = s.map.find(key);
+  if (it == s.map.end()) {
+    s.mu.unlock();
+    return false;
+  }
+  s.lru.erase(it->second.lru_it);
+  s.map.erase(it);
+  s.mu.unlock();
+  return true;
+}
+
+std::size_t KvStore::size() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    s.mu.lock();
+    total += s.map.size();
+    s.mu.unlock();
+  }
+  return total;
+}
+
+KvStats KvStore::stats() const {
+  KvStats out;
+  for (const auto& s : shards_) {
+    s.mu.lock();
+    out.hits += s.stats.hits;
+    out.misses += s.stats.misses;
+    out.sets += s.stats.sets;
+    out.evictions += s.stats.evictions;
+    s.mu.unlock();
+  }
+  return out;
+}
+
+ClientReport run_clients(KvStore& store, int threads,
+                         const ClientConfig& cfg) {
+  std::atomic<std::uint64_t> gets{0}, sets{0}, hits{0};
+  std::atomic<std::uint64_t> spin_cycles{0};
+  std::vector<std::thread> pool;
+  const std::string value(cfg.value_bytes, 'x');
+
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      numeric::SplitMix64 rng(cfg.seed * 7919 + t);
+      sync::ThreadStallCounters counters;
+      std::uint64_t local_gets = 0, local_sets = 0, local_hits = 0;
+      std::string buffer;
+      for (std::uint64_t i = t; i < cfg.operations;
+           i += static_cast<std::uint64_t>(threads)) {
+        // Zipf-ish popularity: square a uniform draw to skew toward 0.
+        const double u = rng.next_double();
+        const auto key_id =
+            static_cast<std::uint64_t>(u * u * static_cast<double>(cfg.key_count));
+        const std::string key = "key-" + std::to_string(key_id);
+        if (rng.next_double() < cfg.get_ratio) {
+          ++local_gets;
+          if (store.get(key, &buffer, &counters)) {
+            ++local_hits;
+          } else {
+            store.set(key, value, &counters);  // read-through fill
+            ++local_sets;
+          }
+        } else {
+          store.set(key, value, &counters);
+          ++local_sets;
+        }
+      }
+      gets.fetch_add(local_gets, std::memory_order_relaxed);
+      sets.fetch_add(local_sets, std::memory_order_relaxed);
+      hits.fetch_add(local_hits, std::memory_order_relaxed);
+      spin_cycles.fetch_add(counters.lock_spin_cycles,
+                            std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  ClientReport report;
+  report.gets = gets.load();
+  report.sets = sets.load();
+  report.hits = hits.load();
+  report.lock_spin_cycles = static_cast<double>(spin_cycles.load());
+  return report;
+}
+
+}  // namespace estima::kv

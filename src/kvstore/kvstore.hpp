@@ -1,0 +1,88 @@
+// An in-process memcached stand-in: sharded hash table with per-shard LRU
+// eviction and instrumented per-shard locks, plus a client load generator
+// reproducing the paper's Section 4.3 setup (cloudsuite-like read-mostly
+// traffic, ~550-byte objects).
+//
+// No network: the paper itself ran clients on the same machine "to remove
+// any network effects"; we go one step further and drive the server
+// in-process, which exercises the same cache/lock paths.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "syncstats/instrumented_mutex.hpp"
+#include "syncstats/spinlock.hpp"
+
+namespace estima::kv {
+
+struct KvStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Sharded LRU cache. Thread-safe; each shard has its own lock + LRU list.
+class KvStore {
+ public:
+  /// `capacity_per_shard` = max resident items per shard before eviction.
+  KvStore(std::size_t shards, std::size_t capacity_per_shard);
+
+  /// Stores value under key (evicting LRU items when full).
+  void set(const std::string& key, const std::string& value,
+           sync::ThreadStallCounters* c = nullptr);
+
+  /// Fetches into *value; returns hit/miss.
+  bool get(const std::string& key, std::string* value,
+           sync::ThreadStallCounters* c = nullptr);
+
+  /// Removes key; returns true when it existed.
+  bool del(const std::string& key, sync::ThreadStallCounters* c = nullptr);
+
+  std::size_t size() const;
+  KvStats stats() const;  ///< aggregated over shards
+
+ private:
+  struct Entry {
+    std::string value;
+    std::list<std::string>::iterator lru_it;
+  };
+  struct alignas(64) Shard {
+    mutable sync::InstrumentedMutex mu;
+    std::unordered_map<std::string, Entry> map;
+    std::list<std::string> lru;  // front = most recent
+    KvStats stats;
+  };
+  Shard& shard_for(const std::string& key);
+  const Shard& shard_for(const std::string& key) const;
+
+  std::vector<Shard> shards_;
+  std::size_t capacity_per_shard_;
+};
+
+/// Read-mostly client load: zipf-ish key popularity over `key_count` keys,
+/// `value_bytes` values, `get_ratio` in [0,1]. Returns ops completed.
+struct ClientConfig {
+  std::uint64_t operations = 100000;
+  std::uint64_t key_count = 10000;
+  std::size_t value_bytes = 550;  // cloudsuite object size (Section 4.3)
+  double get_ratio = 0.95;        // read-mostly
+  std::uint64_t seed = 1;
+};
+
+struct ClientReport {
+  std::uint64_t gets = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t hits = 0;
+  double lock_spin_cycles = 0.0;
+};
+
+/// Runs the load on `threads` threads against `store`.
+ClientReport run_clients(KvStore& store, int threads,
+                         const ClientConfig& cfg);
+
+}  // namespace estima::kv

@@ -1,0 +1,146 @@
+#include "numeric/levmar.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "numeric/linalg.hpp"
+#include "numeric/matrix.hpp"
+
+namespace estima::numeric {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Sum of squared residuals; +inf when any model value is non-finite.
+double sse(const ModelFn& f, const std::vector<double>& xs,
+           const std::vector<double>& ys, const std::vector<double>& p) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double v = f(xs[i], p);
+    if (!std::isfinite(v)) return kInf;
+    const double r = v - ys[i];
+    acc += r * r;
+  }
+  return acc;
+}
+
+}  // namespace
+
+LevMarResult levenberg_marquardt(const ModelFn& f,
+                                 const std::vector<double>& xs,
+                                 const std::vector<double>& ys,
+                                 std::vector<double> initial,
+                                 const LevMarOptions& opts) {
+  const std::size_t m = xs.size();
+  const std::size_t n = initial.size();
+  LevMarResult out;
+  out.params = initial;
+  if (m == 0 || n == 0) return out;
+
+  std::vector<double> p = std::move(initial);
+  double cost = sse(f, xs, ys, p);
+  if (!std::isfinite(cost)) {
+    // The starting point is on a pole; nudge towards zero until finite.
+    for (int attempt = 0; attempt < 16 && !std::isfinite(cost); ++attempt) {
+      for (double& v : p) v *= 0.5;
+      cost = sse(f, xs, ys, p);
+    }
+    if (!std::isfinite(cost)) {
+      out.rmse = kInf;
+      return out;
+    }
+  }
+
+  double lambda = opts.initial_lambda;
+  Matrix J(m, n);
+  std::vector<double> resid(m);
+
+  int iter = 0;
+  for (; iter < opts.max_iterations; ++iter) {
+    // Residuals and forward-difference Jacobian at p.
+    bool finite = true;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double v = f(xs[i], p);
+      if (!std::isfinite(v)) {
+        finite = false;
+        break;
+      }
+      resid[i] = v - ys[i];
+    }
+    if (!finite) break;
+
+    for (std::size_t j = 0; j < n; ++j) {
+      const double h =
+          opts.jacobian_eps * std::max(std::fabs(p[j]), 1e-8);
+      std::vector<double> pj = p;
+      pj[j] += h;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double v = f(xs[i], pj);
+        J(i, j) = std::isfinite(v) ? (v - (resid[i] + ys[i])) / h : 0.0;
+      }
+    }
+
+    // Normal equations: (J^T J + lambda diag(J^T J)) dp = -J^T r.
+    Matrix JtJ = J.transposed() * J;
+    std::vector<double> g(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < m; ++i) acc += J(i, j) * resid[i];
+      g[j] = acc;
+    }
+
+    double gmax = 0.0;
+    for (double v : g) gmax = std::max(gmax, std::fabs(v));
+    if (gmax < opts.gradient_tol) {
+      out.converged = true;
+      break;
+    }
+
+    bool step_taken = false;
+    for (int tries = 0; tries < 12 && !step_taken; ++tries) {
+      Matrix Damped = JtJ;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double d = JtJ(j, j);
+        Damped(j, j) += lambda * (d > 0.0 ? d : 1.0);
+      }
+      auto L = cholesky(Damped);
+      std::vector<double> dp;
+      if (L) {
+        std::vector<double> neg_g(n);
+        for (std::size_t j = 0; j < n; ++j) neg_g[j] = -g[j];
+        auto y_mid = solve_lower_triangular(*L, neg_g);
+        dp = solve_upper_triangular(L->transposed(), y_mid);
+      } else {
+        lambda *= opts.lambda_up;
+        continue;
+      }
+
+      std::vector<double> cand(n);
+      for (std::size_t j = 0; j < n; ++j) cand[j] = p[j] + dp[j];
+      const double cand_cost = sse(f, xs, ys, cand);
+      if (cand_cost < cost) {
+        const double step = norm2(dp);
+        const double scale = std::max(norm2(p), 1e-12);
+        p = std::move(cand);
+        cost = cand_cost;
+        lambda = std::max(lambda * opts.lambda_down, 1e-14);
+        step_taken = true;
+        if (step / scale < opts.step_tol) {
+          out.converged = true;
+          iter = opts.max_iterations;  // force exit of the outer loop
+        }
+      } else {
+        lambda *= opts.lambda_up;
+      }
+    }
+    if (!step_taken) break;  // damping exhausted: local minimum reached
+  }
+
+  out.params = std::move(p);
+  out.iterations = std::min(iter, opts.max_iterations);
+  out.rmse = std::isfinite(cost) ? std::sqrt(cost / static_cast<double>(m))
+                                 : kInf;
+  return out;
+}
+
+}  // namespace estima::numeric

@@ -1,0 +1,44 @@
+// Levenberg-Marquardt nonlinear least squares with a numeric Jacobian.
+//
+// Fits y ~= f(x; p) for the nonlinear kernels of Table 1 (the rational
+// families and ExpRat). Problems are tiny (<= 7 parameters, <= a few dozen
+// points), so the implementation keeps the classic dense normal-equation
+// formulation with adaptive damping.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace estima::numeric {
+
+/// Model callback: value of the model at scalar input x for parameters p.
+using ModelFn = std::function<double(double x, const std::vector<double>& p)>;
+
+struct LevMarOptions {
+  int max_iterations = 200;
+  double initial_lambda = 1e-3;
+  double lambda_up = 10.0;       ///< damping multiplier on rejected step
+  double lambda_down = 0.25;     ///< damping multiplier on accepted step
+  double gradient_tol = 1e-12;   ///< stop when ||J^T r||_inf below this
+  double step_tol = 1e-14;       ///< stop when relative step below this
+  double jacobian_eps = 1e-7;    ///< relative forward-difference step
+};
+
+struct LevMarResult {
+  std::vector<double> params;
+  double rmse = 0.0;           ///< root mean squared residual at the optimum
+  int iterations = 0;
+  bool converged = false;      ///< true when a tolerance triggered the stop
+};
+
+/// Minimises sum_i (f(x_i; p) - y_i)^2 starting from `initial`.
+///
+/// Non-finite model evaluations are treated as infinitely bad steps, so the
+/// optimiser backs away from poles of rational models instead of diverging.
+LevMarResult levenberg_marquardt(const ModelFn& f,
+                                 const std::vector<double>& xs,
+                                 const std::vector<double>& ys,
+                                 std::vector<double> initial,
+                                 const LevMarOptions& opts = {});
+
+}  // namespace estima::numeric

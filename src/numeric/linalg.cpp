@@ -1,0 +1,176 @@
+#include "numeric/linalg.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace estima::numeric {
+namespace {
+
+// Applies a Householder reflection defined by v (with v[0..k-1] == 0 implied)
+// to the trailing columns of A and to b, in place. Classic "R build" loop.
+struct QrWorkspace {
+  Matrix A;                // becomes R in the upper triangle
+  std::vector<double> b;   // becomes Q^T b
+};
+
+// In-place Householder QR on [A | b]. Returns numerical rank of A.
+std::size_t householder_qr(QrWorkspace& w) {
+  const std::size_t m = w.A.rows();
+  const std::size_t n = w.A.cols();
+  const std::size_t steps = std::min(m, n);
+  std::size_t rank = 0;
+  const double eps = std::numeric_limits<double>::epsilon();
+
+  // Largest column norm, used for the rank tolerance.
+  double max_col = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < m; ++r) acc += w.A(r, c) * w.A(r, c);
+    max_col = std::max(max_col, std::sqrt(acc));
+  }
+  const double tol = std::max(m, n) * eps * std::max(max_col, 1.0);
+
+  std::vector<double> v(m, 0.0);
+  for (std::size_t k = 0; k < steps; ++k) {
+    // Build the Householder vector for column k, rows k..m-1.
+    double sigma = 0.0;
+    for (std::size_t r = k; r < m; ++r) sigma += w.A(r, k) * w.A(r, k);
+    double alpha = std::sqrt(sigma);
+    if (alpha <= tol) continue;  // (numerically) zero column: skip
+    if (w.A(k, k) > 0) alpha = -alpha;
+
+    for (std::size_t r = 0; r < k; ++r) v[r] = 0.0;
+    v[k] = w.A(k, k) - alpha;
+    for (std::size_t r = k + 1; r < m; ++r) v[r] = w.A(r, k);
+    double vnorm2 = 0.0;
+    for (std::size_t r = k; r < m; ++r) vnorm2 += v[r] * v[r];
+    if (vnorm2 <= 0.0) continue;
+
+    // Apply H = I - 2 v v^T / (v^T v) to A(:, k..n-1) and b.
+    for (std::size_t c = k; c < n; ++c) {
+      double proj = 0.0;
+      for (std::size_t r = k; r < m; ++r) proj += v[r] * w.A(r, c);
+      proj = 2.0 * proj / vnorm2;
+      for (std::size_t r = k; r < m; ++r) w.A(r, c) -= proj * v[r];
+    }
+    double projb = 0.0;
+    for (std::size_t r = k; r < m; ++r) projb += v[r] * w.b[r];
+    projb = 2.0 * projb / vnorm2;
+    for (std::size_t r = k; r < m; ++r) w.b[r] -= projb * v[r];
+
+    w.A(k, k) = alpha;
+    for (std::size_t r = k + 1; r < m; ++r) w.A(r, k) = 0.0;
+    ++rank;
+  }
+
+  // Rank = count of diagonal entries above tolerance.
+  std::size_t diag_rank = 0;
+  for (std::size_t k = 0; k < steps; ++k) {
+    if (std::fabs(w.A(k, k)) > tol) ++diag_rank;
+  }
+  return diag_rank;
+}
+
+}  // namespace
+
+std::optional<LeastSquaresResult> least_squares(const Matrix& A,
+                                                const std::vector<double>& b) {
+  if (A.empty() || A.rows() != b.size()) return std::nullopt;
+  const std::size_t m = A.rows();
+  const std::size_t n = A.cols();
+  if (m < n) return std::nullopt;  // under-determined: use ridge()
+
+  QrWorkspace w{A, b};
+  const std::size_t rank = householder_qr(w);
+  if (rank < n) return std::nullopt;  // rank-deficient: use ridge()
+
+  // Back-substitute R x = (Q^T b)[0..n-1].
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = w.b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= w.A(ii, j) * x[j];
+    const double d = w.A(ii, ii);
+    if (d == 0.0) return std::nullopt;
+    x[ii] = acc / d;
+  }
+
+  double res2 = 0.0;
+  for (std::size_t r = n; r < m; ++r) res2 += w.b[r] * w.b[r];
+  return LeastSquaresResult{std::move(x), std::sqrt(std::max(res2, 0.0)),
+                            rank};
+}
+
+LeastSquaresResult ridge(const Matrix& A, const std::vector<double>& b,
+                         double lambda) {
+  const std::size_t m = A.rows();
+  const std::size_t n = A.cols();
+  // Augment: [A; sqrt(lambda) I] x = [b; 0]. Full column rank for lambda>0.
+  Matrix Aug(m + n, n, 0.0);
+  std::vector<double> baug(m + n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) Aug(r, c) = A(r, c);
+    baug[r] = b[r];
+  }
+  const double s = std::sqrt(std::max(lambda, 1e-300));
+  for (std::size_t c = 0; c < n; ++c) Aug(m + c, c) = s;
+
+  auto res = least_squares(Aug, baug);
+  if (res) {
+    // Recompute the residual against the original system.
+    auto pred = A * res->x;
+    double r2 = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double d = pred[i] - b[i];
+      r2 += d * d;
+    }
+    res->residual_norm = std::sqrt(r2);
+    return *res;
+  }
+  // Should not happen for lambda>0; return zeros as a safe fallback.
+  return LeastSquaresResult{std::vector<double>(n, 0.0), norm2(b), 0};
+}
+
+std::vector<double> solve_lower_triangular(const Matrix& L,
+                                           const std::vector<double>& b) {
+  const std::size_t n = L.rows();
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= L(i, j) * x[j];
+    x[i] = L(i, i) != 0.0 ? acc / L(i, i) : 0.0;
+  }
+  return x;
+}
+
+std::vector<double> solve_upper_triangular(const Matrix& U,
+                                           const std::vector<double>& b) {
+  const std::size_t n = U.rows();
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= U(ii, j) * x[j];
+    x[ii] = U(ii, ii) != 0.0 ? acc / U(ii, ii) : 0.0;
+  }
+  return x;
+}
+
+std::optional<Matrix> cholesky(const Matrix& A) {
+  if (A.rows() != A.cols()) return std::nullopt;
+  const std::size_t n = A.rows();
+  Matrix L(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = A(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= L(i, k) * L(j, k);
+      if (i == j) {
+        if (acc <= 0.0) return std::nullopt;
+        L(i, j) = std::sqrt(acc);
+      } else {
+        L(i, j) = acc / L(j, j);
+      }
+    }
+  }
+  return L;
+}
+
+}  // namespace estima::numeric

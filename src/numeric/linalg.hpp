@@ -1,0 +1,47 @@
+// Linear least-squares solvers built on Householder QR.
+//
+// These back the linear-in-parameters kernels (CubicLn, Poly25) and the
+// linearised initial guesses for the rational kernels.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace estima::numeric {
+
+/// Result of a least-squares solve.
+struct LeastSquaresResult {
+  std::vector<double> x;   ///< solution vector
+  double residual_norm;    ///< ||A x - b||_2
+  std::size_t rank;        ///< estimated numerical rank of A
+};
+
+/// Solves min_x ||A x - b||_2 via Householder QR with column norm-based rank
+/// detection. Returns std::nullopt when A is empty or the system is
+/// numerically rank-deficient beyond repair (all-zero columns etc.); callers
+/// should fall back to ridge() in that case.
+std::optional<LeastSquaresResult> least_squares(const Matrix& A,
+                                                const std::vector<double>& b);
+
+/// Solves the ridge-regularised problem min_x ||A x - b||^2 + lambda ||x||^2.
+/// Always returns a solution for lambda > 0 (the augmented system has full
+/// column rank). Used for under-determined prefixes where the paper's
+/// "i in 3..n" loop fits kernels with more parameters than points.
+LeastSquaresResult ridge(const Matrix& A, const std::vector<double>& b,
+                         double lambda);
+
+/// Solves the square system L x = b where L is lower-triangular.
+std::vector<double> solve_lower_triangular(const Matrix& L,
+                                           const std::vector<double>& b);
+
+/// Solves the square system U x = b where U is upper-triangular.
+std::vector<double> solve_upper_triangular(const Matrix& U,
+                                           const std::vector<double>& b);
+
+/// Cholesky factorisation of a symmetric positive-definite matrix.
+/// Returns std::nullopt when the matrix is not (numerically) SPD.
+std::optional<Matrix> cholesky(const Matrix& A);
+
+}  // namespace estima::numeric

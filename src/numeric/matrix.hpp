@@ -1,0 +1,77 @@
+// Dense row-major matrix and vector types used by the fitting engine.
+//
+// The matrices involved in ESTIMA's regression problems are tiny (tens of
+// rows, at most seven columns), so this module favours clarity and
+// numerical robustness over blocking/vectorisation.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+namespace estima::numeric {
+
+/// A dense, row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Creates a matrix from nested initializer lists; all rows must have the
+  /// same length.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix& operator*=(double s);
+
+  /// Matrix * vector.
+  std::vector<double> operator*(const std::vector<double>& v) const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Maximum absolute element.
+  double max_abs() const;
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm of a vector.
+double norm2(const std::vector<double>& v);
+
+/// Dot product; sizes must match.
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// a + s*b, element-wise; sizes must match.
+std::vector<double> axpy(const std::vector<double>& a, double s,
+                         const std::vector<double>& b);
+
+}  // namespace estima::numeric

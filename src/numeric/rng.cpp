@@ -1,0 +1,42 @@
+#include "numeric/rng.hpp"
+
+#include <cmath>
+
+namespace estima::numeric {
+
+double SplitMix64::next_gaussian() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  // Box-Muller on two uniforms; guards against log(0).
+  double u1 = next_double();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = next_double();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  spare_ = mag * std::sin(kTwoPi * u2);
+  have_spare_ = true;
+  return mag * std::cos(kTwoPi * u2);
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  SplitMix64 mix(a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2)));
+  return mix.next();
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b,
+                           std::uint64_t c) {
+  return hash_combine(hash_combine(a, b), c);
+}
+
+std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (; *s; ++s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*s));
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace estima::numeric

@@ -1,0 +1,55 @@
+// Deterministic random number utilities.
+//
+// All stochastic behaviour in the repository (simulator noise, workload
+// input generation) flows through these generators so that every test and
+// bench run is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace estima::numeric {
+
+/// SplitMix64: tiny, excellent-quality 64-bit mixer. Used both as a
+/// generator and as a hash for deriving per-(workload, machine, core) seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+  /// Standard normal via Box-Muller (one value per call; simple and enough
+  /// for the low-volume noise injection we do).
+  double next_gaussian();
+
+ private:
+  std::uint64_t state_;
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Stateless mixing of several 64-bit values into one seed.
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b, std::uint64_t c);
+
+/// FNV-1a hash of a string, for seeding from workload/machine names.
+std::uint64_t fnv1a(const char* s);
+
+}  // namespace estima::numeric

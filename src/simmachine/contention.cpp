@@ -1,0 +1,33 @@
+#include "simmachine/contention.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace estima::sim {
+
+double queueing_multiplier(double utilization, double max_util) {
+  if (utilization <= 0.0) return 1.0;
+  const double u = std::min(utilization, max_util);
+  return 1.0 / (1.0 - u);
+}
+
+double barrier_imbalance_factor(int n) {
+  if (n <= 1) return 0.0;
+  return std::sqrt(2.0 * std::log(static_cast<double>(n)));
+}
+
+double contention_growth(int n, double exponent) {
+  if (n <= 1) return 0.0;
+  return std::pow(static_cast<double>(n - 1), exponent);
+}
+
+double saturate(double rate, double cap) {
+  if (rate <= 0.0 || cap <= 0.0) return std::max(rate, 0.0);
+  return rate / (1.0 + rate / cap);
+}
+
+double stm_abort_overhead(int n, double base, double exponent, double cap) {
+  return saturate(base * contention_growth(n, exponent), cap);
+}
+
+}  // namespace estima::sim

@@ -1,0 +1,34 @@
+// Analytic contention primitives used by the simulator.
+//
+// Each function models one mechanism by which adding cores turns useful
+// cycles into stalled ones. They are deliberately simple closed forms with
+// the right asymptotics; the simulator composes them per workload.
+#pragma once
+
+namespace estima::sim {
+
+/// M/M/1-style latency inflation of the memory system at utilisation u:
+/// 1/(1-u), clamped at `max_util` so extreme saturation stays finite.
+/// u <= 0 returns 1.0.
+double queueing_multiplier(double utilization, double max_util = 0.95);
+
+/// Expected maximum of n iid standard normals, ~ sqrt(2 ln n): how much the
+/// slowest thread of a barrier phase lags the mean as n grows. Returns 0
+/// for n <= 1.
+double barrier_imbalance_factor(int n);
+
+/// Lock/CAS contention growth: (n-1)^exponent, 0 for n <= 1. Exponent 1 is
+/// a fair-queue convoy (wait ~ queue length); ~2 models pathological
+/// test-and-set storms.
+double contention_growth(int n, double exponent);
+
+/// Saturating cap: rate / (1 + rate/cap). Keeps per-cycle overhead rates
+/// from exceeding `cap` (a thread cannot stall more than its whole life).
+double saturate(double rate, double cap);
+
+/// STM abort overhead per useful cycle for n threads: grows as
+/// base*(n-1)^exponent and saturates at `cap` aborted cycles per useful
+/// cycle (livelock guard in the runtime).
+double stm_abort_overhead(int n, double base, double exponent, double cap);
+
+}  // namespace estima::sim

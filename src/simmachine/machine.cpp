@@ -1,0 +1,102 @@
+#include "simmachine/machine.hpp"
+
+#include <stdexcept>
+
+namespace estima::sim {
+
+int MachineSpec::active_sockets(int n) const {
+  if (n <= 0) return 0;
+  const int cps = cores_per_socket();
+  return (n + cps - 1) / cps;
+}
+
+int MachineSpec::active_chips(int n) const {
+  if (n <= 0) return 0;
+  return (n + cores_per_chip - 1) / cores_per_chip;
+}
+
+double MachineSpec::remote_access_fraction(int n) const {
+  const int s = active_sockets(n);
+  if (s <= 1) return 0.0;
+  return static_cast<double>(s - 1) / static_cast<double>(s);
+}
+
+MachineSpec haswell4() {
+  MachineSpec m;
+  m.name = "haswell4";
+  m.sockets = 1;
+  m.chips_per_socket = 1;
+  m.cores_per_chip = 4;
+  m.freq_ghz = 3.4;
+  m.dram_gbps_per_socket = 25.6;  // 2-channel DDR3-1600
+  m.numa_remote_mult = 1.0;
+  m.chip_coherence_mult = 1.0;
+  m.arch = counters::CounterArch::kIntelCore;
+  return m;
+}
+
+MachineSpec opteron48() {
+  MachineSpec m;
+  m.name = "opteron48";
+  m.sockets = 4;
+  m.chips_per_socket = 2;  // Magny-Cours: two 6-core dies per package
+  m.cores_per_chip = 6;
+  m.freq_ghz = 2.1;
+  m.dram_gbps_per_socket = 21.3;  // 4-channel DDR3-1333 shared by 2 dies
+  m.numa_remote_mult = 1.12;
+  // Cross-die transfers inside the package already cost extra: this is why
+  // one Opteron socket exposes NUMA-like trends (paper Section 5.5).
+  m.chip_coherence_mult = 1.3;
+  m.arch = counters::CounterArch::kAmdFam10h;
+  return m;
+}
+
+MachineSpec xeon20() {
+  MachineSpec m;
+  m.name = "xeon20";
+  m.sockets = 2;
+  m.chips_per_socket = 1;
+  m.cores_per_chip = 10;
+  m.freq_ghz = 2.8;
+  m.dram_gbps_per_socket = 51.2;  // 4-channel DDR3-1600
+  m.numa_remote_mult = 1.35;  // visible 2-socket QPI remote/local cliff
+  m.chip_coherence_mult = 1.15;
+  m.arch = counters::CounterArch::kIntelCore;
+  return m;
+}
+
+MachineSpec xeon48() {
+  MachineSpec m;
+  m.name = "xeon48";
+  m.sockets = 4;
+  m.chips_per_socket = 1;
+  m.cores_per_chip = 12;
+  m.freq_ghz = 2.1;
+  m.dram_gbps_per_socket = 59.7;  // 4-channel DDR4-1866
+  m.numa_remote_mult = 1.35;
+  m.chip_coherence_mult = 1.15;
+  m.arch = counters::CounterArch::kIntelCore;
+  return m;
+}
+
+MachineSpec machine_by_name(const std::string& name) {
+  if (name == "haswell4") return haswell4();
+  if (name == "opteron48") return opteron48();
+  if (name == "xeon20") return xeon20();
+  if (name == "xeon48") return xeon48();
+  throw std::invalid_argument("unknown machine: " + name);
+}
+
+std::vector<int> one_socket_counts(const MachineSpec& m) {
+  std::vector<int> out;
+  for (int i = 1; i <= m.cores_per_socket(); ++i) out.push_back(i);
+  return out;
+}
+
+std::vector<int> all_core_counts(const MachineSpec& m) {
+  std::vector<int> out;
+  for (int i = 1; i <= m.total_cores(); ++i) out.push_back(i);
+  return out;
+}
+
+}  // namespace estima::sim

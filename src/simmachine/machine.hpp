@@ -1,0 +1,59 @@
+// Machine models for the simulated measurement substrate.
+//
+// The paper evaluates on four physical machines we do not have:
+//   * a 4-core Intel Haswell desktop (3.4 GHz),
+//   * a 4-socket AMD Opteron 6172 (4 x 2 chips x 6 cores, 2.1 GHz),
+//   * a 2-socket Intel Xeon E5-2680 v2 (2 x 10 cores, 2.8 GHz),
+//   * a 4-socket Intel Xeon E7-4830 v3 (4 x 12 cores, 2.1 GHz).
+// MachineSpec captures the topology and memory-system parameters that shape
+// stall-cycle behaviour; simulator.hpp turns (workload, machine) pairs into
+// MeasurementSets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "counters/events.hpp"
+
+namespace estima::sim {
+
+struct MachineSpec {
+  std::string name;
+  int sockets = 1;
+  int chips_per_socket = 1;  ///< Opteron 6172 packages hold 2 dies
+  int cores_per_chip = 4;
+  double freq_ghz = 2.0;
+  double dram_gbps_per_socket = 25.6;  ///< memory bandwidth per socket
+  double numa_remote_mult = 1.0;  ///< remote/local memory latency ratio
+  double chip_coherence_mult = 1.0;  ///< cross-chip cache-line transfer cost
+  counters::CounterArch arch = counters::CounterArch::kIntelCore;
+
+  int cores_per_socket() const { return chips_per_socket * cores_per_chip; }
+  int total_cores() const { return sockets * cores_per_socket(); }
+
+  /// Sockets/chips touched when running n threads with socket-first
+  /// placement (fill a socket completely before spilling to the next).
+  int active_sockets(int n) const;
+  int active_chips(int n) const;
+
+  /// Fraction of shared-data accesses that cross a socket boundary when n
+  /// threads run socket-first and shared data is uniformly spread over the
+  /// active sockets: (s-1)/s for s active sockets.
+  double remote_access_fraction(int n) const;
+};
+
+/// The four machines of the paper's evaluation (Sections 4.2 and 5.1).
+MachineSpec haswell4();
+MachineSpec opteron48();
+MachineSpec xeon20();
+MachineSpec xeon48();
+
+/// All machines by name ("haswell4", "opteron48", "xeon20", "xeon48").
+MachineSpec machine_by_name(const std::string& name);
+
+/// Measurement core counts 1..k (k = one socket by default, the paper's
+/// standard measurement setup).
+std::vector<int> one_socket_counts(const MachineSpec& m);
+std::vector<int> all_core_counts(const MachineSpec& m);
+
+}  // namespace estima::sim

@@ -1,0 +1,408 @@
+#include "simmachine/presets.hpp"
+
+#include <stdexcept>
+
+namespace estima::sim::presets {
+namespace {
+
+// Mixture shorthands. Order matches the event tables: branch-abort/IQ, ROB,
+// RS, FPU, LS/store-buffer.
+constexpr StallMix kMemHeavyMix{0.04, 0.26, 0.18, 0.02, 0.50};
+constexpr StallMix kBalancedMix{0.08, 0.25, 0.27, 0.05, 0.35};
+constexpr StallMix kBranchyMix{0.22, 0.28, 0.25, 0.02, 0.23};
+constexpr StallMix kFpuMix{0.03, 0.18, 0.22, 0.34, 0.23};
+constexpr StallMix kSyncMix{0.10, 0.35, 0.35, 0.05, 0.15};
+
+WorkloadModel base(const std::string& name, double work_cycles) {
+  WorkloadModel wl;
+  wl.name = name;
+  wl.work_cycles = work_cycles;
+  return wl;
+}
+
+// ---------------------------------------------------------------------
+// Data-structure microbenchmarks (used in [10], Section 4.4). Throughput
+// runs over a fixed operation count; contention is coherence traffic on
+// the structure plus (for the lock-based variants) per-bucket/-level locks.
+// ---------------------------------------------------------------------
+
+WorkloadModel lock_based_ht() {
+  auto wl = base("lock-based-ht", 1.6e10);
+  wl.mem_rate = 1.20;          // pointer chasing in buckets
+  wl.coherence_rate = 0.015;
+  wl.bw_bytes_per_cycle = 0.15;
+  wl.lock_rate = 0.006;        // striped bucket locks: mild convoying
+  wl.lock_exp = 1.1;
+  wl.lock_hw_frac = 0.7;       // TTAS spinning is cache-visible
+  wl.mem_mix = kMemHeavyMix;
+  wl.sync_mix = kSyncMix;
+  // Flat-ish throughput past saturation + jitter: the paper's correlations
+  // for this benchmark are its lowest (0.66-0.93, Table 5).
+  wl.time_noise_cv = 0.055;
+  wl.stall_noise_cv = 0.02;
+  return wl;
+}
+
+WorkloadModel lock_based_sl() {
+  auto wl = base("lock-based-sl", 1.8e10);
+  wl.mem_rate = 1.50;          // tall skip-list towers miss a lot
+  wl.coherence_rate = 0.02;
+  wl.bw_bytes_per_cycle = 0.18;
+  wl.lock_rate = 0.010;        // hand-over-hand locking on levels
+  wl.lock_exp = 1.2;
+  wl.lock_hw_frac = 0.7;
+  wl.mem_mix = kMemHeavyMix;
+  wl.time_noise_cv = 0.012;
+  return wl;
+}
+
+WorkloadModel lock_free_ht() {
+  auto wl = base("lock-free-ht", 1.5e10);
+  wl.mem_rate = 1.10;
+  wl.coherence_rate = 0.02;    // CAS traffic on buckets
+  wl.bw_bytes_per_cycle = 0.14;
+  wl.mem_mix = kMemHeavyMix;
+  wl.time_noise_cv = 0.006;    // near-perfect scaling, corr 1.00
+  return wl;
+}
+
+WorkloadModel lock_free_sl() {
+  auto wl = base("lock-free-sl", 1.9e10);
+  wl.mem_rate = 1.40;
+  wl.coherence_rate = 0.035;   // marked-pointer retries on towers
+  wl.bw_bytes_per_cycle = 0.18;
+  wl.mem_mix = kMemHeavyMix;
+  wl.time_noise_cv = 0.05;     // corr 0.70-0.83 in Table 5
+  wl.stall_noise_cv = 0.02;
+  return wl;
+}
+
+// ---------------------------------------------------------------------
+// STAMP (STM workloads; SwissTM reports aborted-transaction cycles, so
+// report_sw_stalls is on and the software category is stm_abort_cycles).
+// ---------------------------------------------------------------------
+
+WorkloadModel genome() {
+  auto wl = base("genome", 2.2e10);
+  wl.mem_rate = 0.90;
+  wl.coherence_rate = 0.012;
+  wl.bw_bytes_per_cycle = 0.20;
+  wl.stm_rate = 0.003;         // short segment-insertion transactions
+  wl.stm_exp = 1.3;
+  wl.report_sw_stalls = true;
+  wl.mem_mix = kBalancedMix;
+  wl.time_noise_cv = 0.01;
+  return wl;
+}
+
+WorkloadModel intruder() {
+  auto wl = base("intruder", 1.4e10);
+  wl.mem_rate = 1.00;
+  wl.coherence_rate = 0.015;
+  wl.bw_bytes_per_cycle = 0.22;
+  // Packet-reassembly map is a global hot spot: aborts blow up quickly and
+  // the application slows down beyond ~10-12 cores (Fig 5). The power law
+  // stays stable across the whole range (no mid-range regime change).
+  wl.stm_rate = 0.013;
+  wl.stm_exp = 2.0;
+  wl.stm_cap = 100.0;
+  wl.report_sw_stalls = true;
+  wl.mem_mix = kBranchyMix;    // decoder is branch-heavy
+  wl.time_noise_cv = 0.015;
+  return wl;
+}
+
+WorkloadModel kmeans() {
+  auto wl = base("kmeans", 1.2e10);
+  wl.mem_rate = 1.20;
+  wl.coherence_rate = 0.02;
+  wl.bw_bytes_per_cycle = 0.25;  // streams the point set every iteration
+  // Cluster-centre updates conflict increasingly often.
+  wl.stm_rate = 0.0094;
+  wl.stm_exp = 2.0;
+  wl.stm_cap = 100.0;
+  wl.report_sw_stalls = true;
+  wl.mem_mix = kMemHeavyMix;
+  // The paper's kmeans numbers fluctuate run to run (50% max error comes
+  // from fluctuation, Section 4.4).
+  wl.time_noise_cv = 0.045;
+  wl.stall_noise_cv = 0.02;
+  return wl;
+}
+
+WorkloadModel labyrinth() {
+  auto wl = base("labyrinth", 2.6e10);
+  wl.mem_rate = 0.90;
+  wl.coherence_rate = 0.015;
+  wl.bw_bytes_per_cycle = 0.25;
+  // Very long path-routing transactions: rare but expensive aborts.
+  wl.stm_rate = 0.0054;
+  wl.stm_exp = 1.8;
+  wl.stm_cap = 100.0;
+  wl.report_sw_stalls = true;
+  wl.mem_mix = kBalancedMix;
+  wl.time_noise_cv = 0.02;
+  return wl;
+}
+
+WorkloadModel ssca2() {
+  auto wl = base("ssca2", 2.0e10);
+  wl.mem_rate = 1.60;            // irregular graph access
+  wl.coherence_rate = 0.012;
+  wl.bw_bytes_per_cycle = 0.30;
+  wl.stm_rate = 0.0008;          // tiny transactions, few conflicts
+  wl.stm_exp = 1.5;
+  wl.report_sw_stalls = true;
+  wl.mem_mix = kMemHeavyMix;
+  wl.time_noise_cv = 0.012;
+  return wl;
+}
+
+WorkloadModel vacation_high() {
+  auto wl = base("vacation-high", 2.4e10);
+  wl.mem_rate = 1.10;
+  wl.coherence_rate = 0.015;
+  wl.bw_bytes_per_cycle = 0.22;
+  wl.stm_rate = 0.0023;         // many touched tables per reservation
+  wl.stm_exp = 2.0;
+  wl.report_sw_stalls = true;
+  wl.mem_mix = kBalancedMix;
+  wl.time_noise_cv = 0.015;
+  return wl;
+}
+
+WorkloadModel vacation_low() {
+  auto wl = vacation_high();
+  wl.name = "vacation-low";
+  wl.stm_rate = 0.0006;          // lighter contention configuration
+  wl.stm_exp = 2.0;
+  wl.time_noise_cv = 0.012;
+  return wl;
+}
+
+WorkloadModel yada() {
+  auto wl = base("yada", 2.0e10);
+  wl.mem_rate = 1.20;
+  wl.coherence_rate = 0.02;
+  wl.bw_bytes_per_cycle = 0.25;
+  // Mesh-refinement cavities overlap: abort costs grow fast.
+  wl.stm_rate = 0.0142;
+  wl.stm_exp = 2.0;
+  wl.stm_cap = 100.0;
+  wl.report_sw_stalls = true;
+  wl.mem_mix = kBalancedMix;
+  wl.time_noise_cv = 0.06;       // corr 0.62 on Opteron in Table 5
+  wl.stall_noise_cv = 0.02;
+  return wl;
+}
+
+// ---------------------------------------------------------------------
+// PARSEC (pthread workloads; only streamcluster is wrapped for software
+// sync stalls in the paper, Section 5.3).
+// ---------------------------------------------------------------------
+
+WorkloadModel blackscholes() {
+  auto wl = base("blackscholes", 1.8e10);
+  wl.mem_rate = 0.55;
+  wl.coherence_rate = 0.002;     // fully independent option chunks
+  wl.bw_bytes_per_cycle = 0.10;
+  wl.frontend_rate = 0.02;
+  wl.mem_mix = kFpuMix;          // 0D7h contributes >30% here (Section 5.2)
+  wl.time_noise_cv = 0.005;
+  return wl;
+}
+
+WorkloadModel bodytrack() {
+  auto wl = base("bodytrack", 2.1e10);
+  wl.mem_rate = 0.90;
+  wl.coherence_rate = 0.01;
+  wl.bw_bytes_per_cycle = 0.22;
+  wl.barrier_rate = 0.05;        // per-frame particle-filter stages
+  wl.lock_hw_frac = 0.15;
+  wl.mem_mix = kBalancedMix;
+  wl.time_noise_cv = 0.012;
+  return wl;
+}
+
+WorkloadModel canneal() {
+  auto wl = base("canneal", 2.4e10);
+  wl.mem_rate = 1.70;            // cache-aggressive random swaps
+  wl.coherence_rate = 0.015;
+  wl.bw_bytes_per_cycle = 0.26;
+  wl.mem_mix = kMemHeavyMix;
+  wl.time_noise_cv = 0.015;
+  return wl;
+}
+
+WorkloadModel raytrace() {
+  auto wl = base("raytrace", 2.6e10);
+  wl.mem_rate = 0.70;            // BVH traversal mostly cache-resident
+  wl.coherence_rate = 0.004;
+  wl.bw_bytes_per_cycle = 0.12;
+  wl.mem_mix = kBalancedMix;
+  wl.time_noise_cv = 0.008;
+  return wl;
+}
+
+WorkloadModel streamcluster() {
+  auto wl = base("streamcluster", 2.2e10);
+  wl.mem_rate = 1.30;
+  wl.coherence_rate = 0.012;
+  wl.bw_bytes_per_cycle = 0.40;
+  // PARSEC barriers built on pthread mutex/cond: the wait cost explodes
+  // superlinearly but sleeps in futexes, so almost none of it is visible
+  // to hardware counters (Fig 14). The pthread wrapper reports it as the
+  // software category sync_wait_cycles.
+  wl.lock_rate = 0.00006;
+  wl.lock_exp = 2.8;
+  wl.lock_cap = 100.0;
+  wl.lock_hw_frac = 0.08;
+  wl.barrier_rate = 0.05;
+  wl.report_sw_stalls = true;
+  wl.sw_category = "sync_wait_cycles";
+  wl.mem_mix = kMemHeavyMix;
+  wl.time_noise_cv = 0.02;
+  return wl;
+}
+
+WorkloadModel swaptions() {
+  auto wl = base("swaptions", 2.0e10);
+  wl.mem_rate = 0.50;
+  wl.coherence_rate = 0.002;
+  wl.bw_bytes_per_cycle = 0.08;
+  wl.mem_mix = kFpuMix;
+  wl.time_noise_cv = 0.006;
+  return wl;
+}
+
+// ---------------------------------------------------------------------
+// K-NN recommender kernel (GCJ-compiled Java in the paper; the managed
+// runtime contributes a larger flat overhead and slightly noisier times).
+// ---------------------------------------------------------------------
+
+WorkloadModel knn() {
+  auto wl = base("knn", 2.3e10);
+  wl.mem_rate = 1.00;
+  wl.coherence_rate = 0.012;
+  wl.bw_bytes_per_cycle = 0.28;
+  wl.frontend_rate = 0.05;       // JIT-less GCJ code is frontend-heavier
+  wl.mem_mix = kBalancedMix;
+  wl.time_noise_cv = 0.025;
+  return wl;
+}
+
+// ---------------------------------------------------------------------
+// Production applications (Section 4.3).
+// ---------------------------------------------------------------------
+
+WorkloadModel memcached() {
+  auto wl = base("memcached", 1.0e10);
+  wl.mem_rate = 0.80;            // random key lookups miss constantly
+  wl.coherence_rate = 0.02;
+  wl.bw_bytes_per_cycle = 0.20;
+  // The global cache lock / LRU maintenance serialises updates. Contention
+  // is already blatant at 2-3 threads (which is what makes the paper's
+  // 3-point desktop campaign sufficient) and the server stops scaling
+  // around 8-12 threads.
+  wl.lock_rate = 0.25;
+  wl.lock_exp = 1.7;
+  wl.lock_cap = 100.0;
+  wl.lock_hw_frac = 0.75;
+  wl.mem_mix = kMemHeavyMix;
+  wl.time_noise_cv = 0.02;
+  return wl;
+}
+
+WorkloadModel sqlite_tpcc() {
+  auto wl = base("sqlite-tpcc", 1.6e10);
+  wl.mem_rate = 0.90;
+  wl.coherence_rate = 0.02;
+  wl.bw_bytes_per_cycle = 0.25;
+  // SQLite serialises writers on the database lock: heavy convoying that
+  // is already visible at the 4-thread desktop measurement.
+  wl.lock_rate = 0.28;
+  wl.lock_exp = 1.8;
+  wl.lock_cap = 100.0;
+  wl.lock_hw_frac = 0.6;
+  wl.mem_mix = kBalancedMix;
+  wl.time_noise_cv = 0.02;
+  return wl;
+}
+
+// ---------------------------------------------------------------------
+// Section 4.6 fixes.
+// ---------------------------------------------------------------------
+
+WorkloadModel streamcluster_spin() {
+  auto wl = streamcluster();
+  wl.name = "streamcluster-spin";
+  // Replacing the PARSEC pthread-mutex barriers with test-and-set
+  // spinlocks cuts the wait cost; spinning is now hardware-visible.
+  wl.lock_rate *= 0.30;
+  wl.lock_hw_frac = 0.7;
+  wl.barrier_rate *= 0.6;
+  return wl;
+}
+
+WorkloadModel intruder_batched() {
+  auto wl = intruder();
+  wl.name = "intruder-batched";
+  // Decoding more elements per transaction lowers the conflict rate.
+  wl.stm_rate *= 0.30;
+  wl.stm_exp -= 0.2;
+  return wl;
+}
+
+}  // namespace
+
+const std::vector<std::string>& benchmark_workload_names() {
+  static const std::vector<std::string> kNames = {
+      "lock-based-ht", "lock-based-sl", "lock-free-ht",  "lock-free-sl",
+      "genome",        "intruder",      "kmeans",        "labyrinth",
+      "ssca2",         "vacation-high", "vacation-low",  "yada",
+      "blackscholes",  "bodytrack",     "canneal",       "raytrace",
+      "streamcluster", "swaptions",     "knn",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& all_workload_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names = benchmark_workload_names();
+    names.push_back("memcached");
+    names.push_back("sqlite-tpcc");
+    names.push_back("streamcluster-spin");
+    names.push_back("intruder-batched");
+    return names;
+  }();
+  return kNames;
+}
+
+WorkloadModel workload(const std::string& name) {
+  if (name == "lock-based-ht") return lock_based_ht();
+  if (name == "lock-based-sl") return lock_based_sl();
+  if (name == "lock-free-ht") return lock_free_ht();
+  if (name == "lock-free-sl") return lock_free_sl();
+  if (name == "genome") return genome();
+  if (name == "intruder") return intruder();
+  if (name == "kmeans") return kmeans();
+  if (name == "labyrinth") return labyrinth();
+  if (name == "ssca2") return ssca2();
+  if (name == "vacation-high") return vacation_high();
+  if (name == "vacation-low") return vacation_low();
+  if (name == "yada") return yada();
+  if (name == "blackscholes") return blackscholes();
+  if (name == "bodytrack") return bodytrack();
+  if (name == "canneal") return canneal();
+  if (name == "raytrace") return raytrace();
+  if (name == "streamcluster") return streamcluster();
+  if (name == "swaptions") return swaptions();
+  if (name == "knn") return knn();
+  if (name == "memcached") return memcached();
+  if (name == "sqlite-tpcc") return sqlite_tpcc();
+  if (name == "streamcluster-spin") return streamcluster_spin();
+  if (name == "intruder-batched") return intruder_batched();
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+}  // namespace estima::sim::presets

@@ -1,0 +1,32 @@
+// Workload-model presets for every application in the paper's evaluation
+// (Section 4.2: 21 workloads -- 4 data-structure microbenchmarks, 8 STAMP,
+// 6 PARSEC, K-NN, memcached, SQLite/TPC-C) plus the two modified
+// applications of Section 4.6 (streamcluster with spinlocks, intruder with
+// batched decoding).
+//
+// Parameters are calibrated so that each workload's *shape* on the
+// simulated machines matches its published behaviour: who stops scaling and
+// roughly where, which stall source dominates, and how noisy the timings
+// are. EXPERIMENTS.md records the resulting paper-vs-measured comparison.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simmachine/workload_model.hpp"
+
+namespace estima::sim::presets {
+
+/// The 19 benchmark workloads of Table 4 (microbenchmarks + STAMP + PARSEC
+/// + K-NN), in the paper's row order.
+const std::vector<std::string>& benchmark_workload_names();
+
+/// All known workloads: benchmarks + memcached + sqlite-tpcc + the two
+/// Section 4.6 variants.
+const std::vector<std::string>& all_workload_names();
+
+/// Looks up a workload model by name; throws std::invalid_argument for
+/// unknown names.
+WorkloadModel workload(const std::string& name);
+
+}  // namespace estima::sim::presets

@@ -1,0 +1,160 @@
+#include "simmachine/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/rng.hpp"
+#include "simmachine/contention.hpp"
+
+namespace estima::sim {
+namespace {
+
+using numeric::fnv1a;
+using numeric::hash_combine;
+using numeric::SplitMix64;
+
+// Clamped multiplicative noise: 1 + cv * g with g ~ N(0,1) truncated at 3
+// sigma, never below 0.05.
+double noise_mult(SplitMix64& rng, double cv) {
+  if (cv <= 0.0) return 1.0;
+  double g = rng.next_gaussian();
+  g = std::clamp(g, -3.0, 3.0);
+  return std::max(0.05, 1.0 + cv * g);
+}
+
+}  // namespace
+
+SimBreakdown simulate_point(const WorkloadModel& wl, const MachineSpec& m,
+                            int cores, double dataset_scale) {
+  SimBreakdown b;
+  b.cores = cores;
+  const double n = static_cast<double>(cores);
+  const double W = wl.work_cycles * dataset_scale;
+
+  b.per_core_work = W * (1.0 - wl.serial_frac) / n;
+  b.serial_cycles = W * wl.serial_frac;
+
+  // --- synchronisation rates (needed below for the bandwidth fixed point)
+  double sync_rate =
+      saturate(wl.lock_rate * contention_growth(cores, wl.lock_exp),
+               wl.lock_cap);
+  sync_rate += wl.barrier_rate * barrier_imbalance_factor(cores);
+  const double stm_rate =
+      stm_abort_overhead(cores, wl.stm_rate, wl.stm_exp, wl.stm_cap);
+
+  // --- memory stalls ----------------------------------------------------
+  // Rate per work cycle grows with active chips (coherence) and sockets
+  // (NUMA). Bandwidth: these benchmarks allocate on the main thread, so
+  // first-touch pins the dataset to socket 0 — spilling threads to other
+  // sockets adds *latency* (remote accesses) but no bandwidth. Demand is
+  // self-throttling: stalled cores issue fewer requests, so the effective
+  // utilisation solves u = u_raw * useful_fraction(u) (unique fixed point,
+  // found by bisection).
+  const int chips = m.active_chips(cores);
+  double mem_base = wl.mem_rate;
+  mem_base *= 1.0 + wl.coherence_rate * m.chip_coherence_mult *
+                        static_cast<double>(chips - 1);
+  mem_base *= 1.0 + (m.numa_remote_mult - 1.0) * m.remote_access_fraction(cores);
+
+  const double u_raw = m.dram_gbps_per_socket > 0.0
+                           ? n * wl.bw_bytes_per_cycle * m.freq_ghz /
+                                 m.dram_gbps_per_socket
+                           : 0.0;
+  double u = 0.0;
+  {
+    double lo = 0.0, hi = std::min(u_raw, 0.93);
+    for (int it = 0; it < 40; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      const double rate_mid = mem_base * queueing_multiplier(mid) +
+                              sync_rate + stm_rate;
+      const double rhs = std::min(u_raw / (1.0 + rate_mid), 0.93);
+      if (rhs > mid) lo = mid; else hi = mid;
+    }
+    u = 0.5 * (lo + hi);
+  }
+  b.bw_utilization = u;
+  const double mem_rate = mem_base * queueing_multiplier(u);
+  b.mem_stall_pc = b.per_core_work * mem_rate;
+  b.sync_stall_pc = b.per_core_work * sync_rate;
+  b.stm_stall_pc = b.per_core_work * stm_rate;
+
+  // --- frontend ------------------------------------------------------------
+  // Per-instruction frontend stalls are ~constant, so the per-core amount
+  // shrinks with the per-core work share and the machine-wide total stays
+  // flat (the paper's Section 2.2 observation).
+  b.frontend_pc = b.per_core_work * wl.frontend_rate;
+
+  const double cycles_per_core = b.per_core_work + b.serial_cycles +
+                                 b.mem_stall_pc + b.sync_stall_pc +
+                                 b.stm_stall_pc;
+  b.time_s = cycles_per_core / (m.freq_ghz * 1e9);
+  return b;
+}
+
+core::MeasurementSet simulate(const WorkloadModel& wl, const MachineSpec& m,
+                              const std::vector<int>& cores,
+                              const SimOptions& opts) {
+  core::MeasurementSet ms;
+  ms.workload = wl.name;
+  ms.machine = m.name;
+  ms.freq_ghz = m.freq_ghz;
+  ms.dataset_bytes = 1e9 * opts.dataset_scale;  // nominal footprint
+
+  const auto& events = counters::backend_events(m.arch);
+  const auto& fe_events = counters::frontend_events(m.arch);
+
+  // Backend categories, one per Table 2/3 event.
+  std::vector<core::StallSeries> backend(events.size());
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    backend[k].name = events[k].category_label();
+    backend[k].domain = core::StallDomain::kHardwareBackend;
+  }
+  core::StallSeries frontend{fe_events.front().category_label(),
+                             core::StallDomain::kHardwareFrontend,
+                             {}};
+  core::StallSeries software{wl.sw_category, core::StallDomain::kSoftware, {}};
+
+  const std::uint64_t base_seed = hash_combine(
+      hash_combine(fnv1a(wl.name.c_str()), fnv1a(m.name.c_str())), opts.seed);
+
+  for (int n : cores) {
+    const SimBreakdown b = simulate_point(wl, m, n, opts.dataset_scale);
+
+    SplitMix64 time_rng(hash_combine(base_seed, 0x7177ull,
+                                     static_cast<std::uint64_t>(n)));
+    SplitMix64 stall_rng(hash_combine(base_seed, 0x57a1ull,
+                                      static_cast<std::uint64_t>(n)));
+
+    ms.cores.push_back(n);
+    ms.time_s.push_back(b.time_s * noise_mult(time_rng, wl.time_noise_cv));
+
+    // Hardware backend stalls: memory stalls plus the hardware-visible
+    // share of synchronisation cycles (spinning hammers the cache
+    // hierarchy; sleeping in a futex is invisible, hence the fractions).
+    const double nd = n;
+    const double hw_mem_total = b.mem_stall_pc * nd;
+    const double hw_sync_total =
+        (b.sync_stall_pc * wl.lock_hw_frac + b.stm_stall_pc * wl.stm_hw_frac) *
+        nd;
+    const double common = noise_mult(stall_rng, wl.stall_noise_cv);
+    for (std::size_t k = 0; k < events.size(); ++k) {
+      const double jitter = noise_mult(stall_rng, wl.stall_noise_cv * 0.5);
+      backend[k].values.push_back(
+          (hw_mem_total * wl.mem_mix[k] + hw_sync_total * wl.sync_mix[k]) *
+          common * jitter);
+    }
+    frontend.values.push_back(b.frontend_pc * nd *
+                              noise_mult(stall_rng, wl.stall_noise_cv));
+    software.values.push_back((b.sync_stall_pc + b.stm_stall_pc) * nd *
+                              noise_mult(stall_rng, wl.stall_noise_cv));
+  }
+
+  for (auto& s : backend) ms.categories.push_back(std::move(s));
+  if (opts.emit_frontend) ms.categories.push_back(std::move(frontend));
+  if (opts.emit_software && wl.report_sw_stalls) {
+    ms.categories.push_back(std::move(software));
+  }
+  return ms;
+}
+
+}  // namespace estima::sim

@@ -1,0 +1,64 @@
+// Behavioural model of one workload, machine-independent.
+//
+// The simulator combines a WorkloadModel with a MachineSpec to produce the
+// stall-cycle and execution-time series ESTIMA consumes. Parameters are
+// rates *per useful work cycle*, so per-core overheads are automatically
+// bounded by per-core execution time (the property that makes
+// stalls-per-core track time on real machines, Fig 5(g)).
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace estima::sim {
+
+/// Mixture weights distributing hardware backend stall cycles over the five
+/// per-architecture events, in table order (Table 2: 0D2h branch-abort,
+/// 0D5h ROB, 0D6h RS, 0D7h FPU, 0D8h LS; Table 3 analogous).
+using StallMix = std::array<double, 5>;
+
+struct WorkloadModel {
+  std::string name;
+
+  // --- useful work -----------------------------------------------------
+  double work_cycles = 2e9;   ///< total useful cycles of the job (1 dataset)
+  double serial_frac = 0.005; ///< Amdahl fraction executed serially
+
+  // --- memory system ---------------------------------------------------
+  double mem_rate = 0.25;       ///< backend stall cycles per work cycle, 1 core
+  double coherence_rate = 0.02; ///< extra mem-rate per active chip beyond 1st
+  double bw_bytes_per_cycle = 0.2;  ///< DRAM demand per core (bytes/cycle)
+
+  // --- lock / barrier synchronisation (software-level stalls) ----------
+  double lock_rate = 0.0;   ///< sync stall per work cycle coefficient
+  double lock_exp = 1.0;    ///< growth exponent over (n-1)
+  double lock_cap = 100.0;  ///< saturation of sync cycles per work cycle
+  double lock_hw_frac = 0.2;  ///< share of sync cycles visible as hw stalls
+  double barrier_rate = 0.0;  ///< imbalance coefficient (x sqrt(2 ln n))
+
+  // --- transactional memory (software-level stalls) --------------------
+  double stm_rate = 0.0;   ///< abort cycles per work cycle coefficient
+  double stm_exp = 1.6;
+  double stm_cap = 100.0;
+  // Aborted transactions *retire* their instructions (the Section 2.3
+  // "IPC considered harmful" effect), so almost none of the wasted cycles
+  // appear as hardware backend stalls.
+  double stm_hw_frac = 0.02;
+
+  // --- frontend --------------------------------------------------------
+  double frontend_rate = 0.03;  ///< frontend stalls per work cycle (flat)
+
+  // --- stall category mixtures -----------------------------------------
+  StallMix mem_mix{0.05, 0.25, 0.20, 0.05, 0.45};   // memory-ish split
+  StallMix sync_mix{0.10, 0.35, 0.35, 0.05, 0.15};  // sync-leak split
+
+  // --- software stall reporting ----------------------------------------
+  bool report_sw_stalls = false;  ///< emit a software category
+  std::string sw_category = "stm_abort_cycles";
+
+  // --- measurement noise -------------------------------------------------
+  double time_noise_cv = 0.01;   ///< independent noise on time
+  double stall_noise_cv = 0.005; ///< independent noise on stall categories
+};
+
+}  // namespace estima::sim

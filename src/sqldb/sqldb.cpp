@@ -1,0 +1,271 @@
+#include "sqldb/sqldb.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "numeric/rng.hpp"
+
+namespace estima::sql {
+
+// ----------------------------------------------------------------------
+// Table
+// ----------------------------------------------------------------------
+
+Table::Table(std::string name, std::vector<Column> columns,
+             std::vector<std::size_t> pk_columns)
+    : name_(std::move(name)),
+      columns_(std::move(columns)),
+      pk_columns_(std::move(pk_columns)) {
+  for (std::size_t c : pk_columns_) {
+    if (c >= columns_.size() || columns_[c].type != ColumnType::kInt) {
+      throw std::invalid_argument("Table " + name_ +
+                                  ": primary key must be integer columns");
+    }
+  }
+}
+
+bool Table::type_ok(const Row& row) const {
+  if (row.size() != columns_.size()) return false;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    switch (columns_[i].type) {
+      case ColumnType::kInt:
+        if (!std::holds_alternative<std::int64_t>(row[i])) return false;
+        break;
+      case ColumnType::kReal:
+        if (!std::holds_alternative<double>(row[i])) return false;
+        break;
+      case ColumnType::kText:
+        if (!std::holds_alternative<std::string>(row[i])) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+std::vector<std::int64_t> Table::pk_of(const Row& row) const {
+  std::vector<std::int64_t> pk;
+  pk.reserve(pk_columns_.size());
+  for (std::size_t c : pk_columns_) {
+    pk.push_back(std::get<std::int64_t>(row[c]));
+  }
+  return pk;
+}
+
+std::uint64_t Table::pk_hash(const std::vector<std::int64_t>& pk) {
+  // SplitMix64 finalizer per component: unlike the boost-style combine,
+  // this has no structured collisions over small sequential integers.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::int64_t v : pk) {
+    std::uint64_t z = static_cast<std::uint64_t>(v) + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    h = (h ^ (z ^ (z >> 31))) * 0x100000001B3ull;
+  }
+  return h;
+}
+
+bool Table::insert(Row row) {
+  if (!type_ok(row)) return false;
+  const auto pk = pk_of(row);
+  const std::uint64_t h = pk_hash(pk);
+  std::lock_guard<std::mutex> guard(structure_mu_);
+  const auto [lo, hi] = pk_index_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (pk_of(rows_[it->second]) == pk) return false;  // true duplicate
+  }
+  pk_index_.emplace(h, rows_.size());
+  rows_.push_back(std::move(row));
+  return true;
+}
+
+std::optional<std::size_t> Table::find(
+    const std::vector<std::int64_t>& pk) const {
+  if (pk.size() != pk_columns_.size()) return std::nullopt;
+  std::lock_guard<std::mutex> guard(structure_mu_);
+  const auto [lo, hi] = pk_index_.equal_range(pk_hash(pk));
+  for (auto it = lo; it != hi; ++it) {
+    if (pk_of(rows_[it->second]) == pk) return it->second;
+  }
+  return std::nullopt;
+}
+
+// ----------------------------------------------------------------------
+// Database
+// ----------------------------------------------------------------------
+
+Table& Database::create_table(const std::string& name,
+                              std::vector<Column> columns,
+                              std::vector<std::size_t> pk_columns) {
+  auto [it, inserted] = tables_.emplace(
+      name, std::make_unique<Table>(name, std::move(columns),
+                                    std::move(pk_columns)));
+  if (!inserted) {
+    throw std::invalid_argument("table already exists: " + name);
+  }
+  return *it->second;
+}
+
+Table& Database::table(const std::string& name) {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw std::invalid_argument("no such table: " + name);
+  }
+  return *it->second;
+}
+
+bool Database::has_table(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+void Database::lock_warehouse(std::int64_t w, sync::ThreadStallCounters* c) {
+  wh_locks_[static_cast<std::size_t>(w) % kLockStripes].lock(c);
+}
+
+void Database::unlock_warehouse(std::int64_t w) {
+  wh_locks_[static_cast<std::size_t>(w) % kLockStripes].unlock();
+}
+
+// ----------------------------------------------------------------------
+// TPC-C-lite
+// ----------------------------------------------------------------------
+
+void tpcc_populate(Database& db, const TpccConfig& cfg) {
+  auto& warehouse = db.create_table(
+      "warehouse", {{"w_id", ColumnType::kInt}, {"ytd", ColumnType::kReal}},
+      {0});
+  auto& district = db.create_table(
+      "district",
+      {{"w_id", ColumnType::kInt},
+       {"d_id", ColumnType::kInt},
+       {"next_o_id", ColumnType::kInt},
+       {"ytd", ColumnType::kReal}},
+      {0, 1});
+  auto& customer = db.create_table(
+      "customer",
+      {{"w_id", ColumnType::kInt},
+       {"d_id", ColumnType::kInt},
+       {"c_id", ColumnType::kInt},
+       {"balance", ColumnType::kReal}},
+      {0, 1, 2});
+  db.create_table("orders",
+                  {{"w_id", ColumnType::kInt},
+                   {"d_id", ColumnType::kInt},
+                   {"o_id", ColumnType::kInt},
+                   {"c_id", ColumnType::kInt},
+                   {"amount", ColumnType::kReal}},
+                  {0, 1, 2});
+
+  for (int w = 0; w < cfg.warehouses; ++w) {
+    warehouse.insert({std::int64_t{w}, 0.0});
+    for (int d = 0; d < cfg.districts_per_wh; ++d) {
+      district.insert({std::int64_t{w}, std::int64_t{d}, std::int64_t{1},
+                       0.0});
+      for (int c = 0; c < cfg.customers_per_district; ++c) {
+        customer.insert(
+            {std::int64_t{w}, std::int64_t{d}, std::int64_t{c}, 0.0});
+      }
+    }
+  }
+}
+
+TpccReport tpcc_run(Database& db, int threads, const TpccConfig& cfg) {
+  std::atomic<std::uint64_t> new_orders{0}, payments{0};
+  std::atomic<std::uint64_t> spin_cycles{0};
+  std::vector<std::thread> pool;
+
+  auto& warehouse = db.table("warehouse");
+  auto& district = db.table("district");
+  auto& customer = db.table("customer");
+  auto& orders = db.table("orders");
+
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      numeric::SplitMix64 rng(cfg.seed * 104729 + t);
+      sync::ThreadStallCounters counters;
+      std::uint64_t local_orders = 0, local_payments = 0;
+      for (std::uint64_t i = t; i < cfg.transactions;
+           i += static_cast<std::uint64_t>(threads)) {
+        const std::int64_t w =
+            static_cast<std::int64_t>(rng.next_below(cfg.warehouses));
+        const std::int64_t d = static_cast<std::int64_t>(
+            rng.next_below(cfg.districts_per_wh));
+        const std::int64_t c = static_cast<std::int64_t>(
+            rng.next_below(cfg.customers_per_district));
+        const double amount = 1.0 + rng.uniform(0.0, 99.0);
+
+        db.lock_warehouse(w, &counters);
+        if (rng.next_double() < cfg.payment_ratio) {
+          // Payment: warehouse.ytd += amount; district.ytd += amount;
+          // customer.balance -= amount.
+          auto wrow = warehouse.find({w});
+          auto drow = district.find({w, d});
+          auto crow = customer.find({w, d, c});
+          if (wrow && drow && crow) {
+            auto& wv = std::get<double>(warehouse.row(*wrow)[1]);
+            wv += amount;
+            auto& dv = std::get<double>(district.row(*drow)[3]);
+            dv += amount;
+            auto& cv = std::get<double>(customer.row(*crow)[3]);
+            cv -= amount;
+            ++local_payments;
+          }
+        } else {
+          // New-order: allocate district.next_o_id, insert the order.
+          auto drow = district.find({w, d});
+          if (drow) {
+            auto& next_id = std::get<std::int64_t>(district.row(*drow)[2]);
+            const std::int64_t o_id = next_id++;
+            if (orders.insert({w, d, o_id, c, amount})) ++local_orders;
+          }
+        }
+        db.unlock_warehouse(w);
+      }
+      new_orders.fetch_add(local_orders, std::memory_order_relaxed);
+      payments.fetch_add(local_payments, std::memory_order_relaxed);
+      spin_cycles.fetch_add(counters.lock_spin_cycles,
+                            std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  TpccReport report;
+  report.new_orders = new_orders.load();
+  report.payments = payments.load();
+  report.lock_spin_cycles = static_cast<double>(spin_cycles.load());
+
+  // Consistency checks (TPC-C clauses 3.3.2.1/3.3.2.2 in spirit):
+  //  * per-district order count == next_o_id - 1;
+  //  * total order count == committed new-order transactions;
+  //  * sum(warehouse.ytd) == sum(district.ytd) == -sum(customer.balance).
+  bool ok = true;
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> order_counts;
+  orders.scan([&](const Row& r) {
+    order_counts[{std::get<std::int64_t>(r[0]),
+                  std::get<std::int64_t>(r[1])}]++;
+  });
+  std::uint64_t total_orders = 0;
+  district.scan([&](const Row& r) {
+    const auto w = std::get<std::int64_t>(r[0]);
+    const auto d = std::get<std::int64_t>(r[1]);
+    const auto next = std::get<std::int64_t>(r[2]);
+    const auto count = order_counts.count({w, d}) ? order_counts[{w, d}] : 0;
+    if (next - 1 != count) ok = false;
+    total_orders += static_cast<std::uint64_t>(count);
+  });
+  if (total_orders != report.new_orders) ok = false;
+
+  double wh_ytd = 0.0, d_ytd = 0.0, cust_balance = 0.0;
+  warehouse.scan([&](const Row& r) { wh_ytd += std::get<double>(r[1]); });
+  district.scan([&](const Row& r) { d_ytd += std::get<double>(r[3]); });
+  customer.scan([&](const Row& r) { cust_balance += std::get<double>(r[3]); });
+  if (std::abs(wh_ytd - d_ytd) > 1e-6 * (1.0 + std::abs(wh_ytd))) ok = false;
+  if (std::abs(wh_ytd + cust_balance) > 1e-6 * (1.0 + std::abs(wh_ytd))) {
+    ok = false;
+  }
+
+  report.consistent = ok;
+  return report;
+}
+
+}  // namespace estima::sql

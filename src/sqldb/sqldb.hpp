@@ -1,0 +1,126 @@
+// A minimal in-memory relational engine -- the SQLite stand-in of the
+// Section 4.3 experiment -- plus a TPC-C-style workload (new-order and
+// payment transactions over warehouse/district/customer/order tables).
+//
+// Storage: typed columns, row vectors, a hash primary-key index per table.
+// Concurrency: two-phase locking at warehouse granularity with ordered
+// acquisition (no deadlocks), instrumented so lock-wait cycles feed
+// ESTIMA's software-stall channel.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "syncstats/instrumented_mutex.hpp"
+#include "syncstats/spinlock.hpp"
+
+#include <mutex>
+
+namespace estima::sql {
+
+using Value = std::variant<std::int64_t, double, std::string>;
+using Row = std::vector<Value>;
+
+enum class ColumnType { kInt, kReal, kText };
+
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+/// One heap table with a hash index on the (composite) integer primary key.
+class Table {
+ public:
+  Table(std::string name, std::vector<Column> columns,
+        std::vector<std::size_t> pk_columns);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Inserts; returns false on duplicate primary key or arity/type error.
+  /// Thread-safe against concurrent insert/find (internal mutex); row
+  /// *contents* are the caller's concurrency domain (warehouse locks).
+  bool insert(Row row);
+
+  /// Row index by primary key (values in pk-column order).
+  std::optional<std::size_t> find(const std::vector<std::int64_t>& pk) const;
+
+  Row& row(std::size_t idx) { return rows_[idx]; }
+  const Row& row(std::size_t idx) const { return rows_[idx]; }
+
+  /// Full scan fold; calls fn(row) for every row.
+  template <typename Fn>
+  void scan(Fn&& fn) const {
+    for (const auto& r : rows_) fn(r);
+  }
+
+ private:
+  bool type_ok(const Row& row) const;
+  std::vector<std::int64_t> pk_of(const Row& row) const;
+  static std::uint64_t pk_hash(const std::vector<std::int64_t>& pk);
+
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<std::size_t> pk_columns_;
+  mutable std::mutex structure_mu_;  ///< guards rows_/pk_index_ structure
+  std::vector<Row> rows_;
+  // Hash -> row index; collisions are resolved by comparing the actual
+  // key values (hash_combine over small sequential integers collides).
+  std::unordered_multimap<std::uint64_t, std::size_t> pk_index_;
+};
+
+/// The database: named tables + warehouse-granularity 2PL.
+class Database {
+ public:
+  Table& create_table(const std::string& name, std::vector<Column> columns,
+                      std::vector<std::size_t> pk_columns);
+  Table& table(const std::string& name);
+  bool has_table(const std::string& name) const;
+
+  /// Locks warehouse `w` (striped mutex). Transactions lock ascending ids.
+  void lock_warehouse(std::int64_t w, sync::ThreadStallCounters* c = nullptr);
+  void unlock_warehouse(std::int64_t w);
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  static constexpr std::size_t kLockStripes = 64;
+  sync::InstrumentedMutex wh_locks_[kLockStripes];
+};
+
+// ----------------------------------------------------------------------
+// TPC-C-lite
+// ----------------------------------------------------------------------
+
+struct TpccConfig {
+  int warehouses = 4;
+  int districts_per_wh = 10;
+  int customers_per_district = 30;
+  std::uint64_t transactions = 20000;
+  double payment_ratio = 0.45;  ///< remaining transactions are new-orders
+  std::uint64_t seed = 7;
+};
+
+struct TpccReport {
+  std::uint64_t new_orders = 0;
+  std::uint64_t payments = 0;
+  double lock_spin_cycles = 0.0;
+  bool consistent = false;  ///< TPC-C consistency conditions hold
+};
+
+/// Builds the schema + initial population into `db`.
+void tpcc_populate(Database& db, const TpccConfig& cfg);
+
+/// Runs the transaction mix on `threads` threads and verifies consistency:
+///  * district.next_o_id - initial == orders inserted for that district;
+///  * warehouse.ytd == sum of payment amounts against it;
+///  * order count == committed new-order transactions.
+TpccReport tpcc_run(Database& db, int threads, const TpccConfig& cfg);
+
+}  // namespace estima::sql

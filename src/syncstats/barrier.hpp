@@ -1,0 +1,41 @@
+// Sense-reversing centralized barrier with wait-cycle accounting (the
+// PARSEC-style barrier the paper instruments for streamcluster).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "syncstats/cycles.hpp"
+#include "syncstats/spinlock.hpp"
+
+namespace estima::sync {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int parties) : parties_(parties), remaining_(parties) {}
+
+  /// Blocks until all parties arrive; accounts wait cycles to `c`.
+  void arrive_and_wait(ThreadStallCounters* c = nullptr) {
+    const std::uint64_t start = rdcycles();
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arriver resets and flips the sense, releasing everyone.
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        // spin
+      }
+    }
+    if (c) c->barrier_wait_cycles += rdcycles() - start;
+  }
+
+  int parties() const { return parties_; }
+
+ private:
+  const int parties_;
+  std::atomic<int> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace estima::sync

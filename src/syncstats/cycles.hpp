@@ -1,0 +1,54 @@
+// Cycle-accurate timestamps for software-stall accounting.
+//
+// The paper's software stalls are reported in cycles (SwissTM statistics,
+// pthread wrapper). rdtsc gives a cheap, monotonic-enough cycle source on
+// x86; other architectures fall back to steady_clock nanoseconds (close
+// enough for accounting ratios).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace estima::sync {
+
+/// Current cycle counter.
+inline std::uint64_t rdcycles() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/// Accumulates stalled cycles over a scope. Usage:
+///   CycleAccumulator acc;
+///   { CycleSpan span(acc); wait_for_lock(); }
+class CycleAccumulator {
+ public:
+  void add(std::uint64_t cycles) { total_ += cycles; }
+  std::uint64_t total() const { return total_; }
+  void reset() { total_ = 0; }
+
+ private:
+  std::uint64_t total_ = 0;
+};
+
+class CycleSpan {
+ public:
+  explicit CycleSpan(CycleAccumulator& acc)
+      : acc_(acc), start_(rdcycles()) {}
+  ~CycleSpan() { acc_.add(rdcycles() - start_); }
+  CycleSpan(const CycleSpan&) = delete;
+  CycleSpan& operator=(const CycleSpan&) = delete;
+
+ private:
+  CycleAccumulator& acc_;
+  std::uint64_t start_;
+};
+
+}  // namespace estima::sync

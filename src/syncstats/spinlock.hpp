@@ -1,0 +1,111 @@
+// Instrumented spinlocks: every cycle spent waiting is accounted as a
+// software stall (the paper's "thin wrapper around the pthread library",
+// Section 4.1, except our wrapper is the lock itself).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "syncstats/cycles.hpp"
+
+namespace estima::sync {
+
+/// Per-thread software-stall counters, aggregated by the workloads after a
+/// run. One instance per worker thread; no sharing, no false sharing.
+struct alignas(64) ThreadStallCounters {
+  std::uint64_t lock_spin_cycles = 0;
+  std::uint64_t barrier_wait_cycles = 0;
+
+  void reset() {
+    lock_spin_cycles = 0;
+    barrier_wait_cycles = 0;
+  }
+};
+
+/// Plain test-and-set spinlock (what Section 4.6 swaps into streamcluster).
+class TasSpinlock {
+ public:
+  /// Acquires the lock; adds spin cycles to `c` if provided.
+  void lock(ThreadStallCounters* c = nullptr) {
+    const std::uint64_t start = rdcycles();
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      // spin
+    }
+    if (c) c->lock_spin_cycles += rdcycles() - start;
+  }
+
+  bool try_lock() {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Test-and-test-and-set: spins on a read, attempts the exchange only when
+/// the lock looks free (less coherence traffic under contention).
+class TtasSpinlock {
+ public:
+  void lock(ThreadStallCounters* c = nullptr) {
+    const std::uint64_t start = rdcycles();
+    for (;;) {
+      while (flag_.load(std::memory_order_relaxed)) {
+        // local spin on the cached line
+      }
+      if (!flag_.exchange(true, std::memory_order_acquire)) break;
+    }
+    if (c) c->lock_spin_cycles += rdcycles() - start;
+  }
+
+  bool try_lock() {
+    if (flag_.load(std::memory_order_relaxed)) return false;
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// FIFO ticket lock: fair under contention, classic convoy behaviour.
+class TicketLock {
+ public:
+  void lock(ThreadStallCounters* c = nullptr) {
+    const std::uint64_t start = rdcycles();
+    const std::uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
+    while (serving_.load(std::memory_order_acquire) != my) {
+      // spin
+    }
+    if (c) c->lock_spin_cycles += rdcycles() - start;
+  }
+
+  void unlock() {
+    serving_.store(serving_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint32_t> next_{0};
+  std::atomic<std::uint32_t> serving_{0};
+};
+
+/// RAII guard usable with any of the locks above.
+template <typename Lock>
+class StallGuard {
+ public:
+  StallGuard(Lock& lock, ThreadStallCounters* counters = nullptr)
+      : lock_(lock) {
+    lock_.lock(counters);
+  }
+  ~StallGuard() { lock_.unlock(); }
+  StallGuard(const StallGuard&) = delete;
+  StallGuard& operator=(const StallGuard&) = delete;
+
+ private:
+  Lock& lock_;
+};
+
+}  // namespace estima::sync

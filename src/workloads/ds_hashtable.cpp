@@ -1,0 +1,197 @@
+#include "workloads/ds_hashtable.hpp"
+
+namespace estima::wl {
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// LockBasedHashTable
+// ---------------------------------------------------------------------
+
+LockBasedHashTable::LockBasedHashTable(std::size_t buckets,
+                                       std::size_t lock_stripes)
+    : buckets_(buckets, nullptr), locks_(lock_stripes) {
+  // Stripe count must be a power of two for cheap masking.
+  std::size_t stripes = 1;
+  while (stripes < lock_stripes) stripes <<= 1;
+  locks_ = std::vector<sync::TtasSpinlock>(stripes);
+  stripe_mask_ = stripes - 1;
+}
+
+LockBasedHashTable::~LockBasedHashTable() {
+  for (Node* head : buckets_) {
+    while (head) {
+      Node* next = head->next;
+      delete head;
+      head = next;
+    }
+  }
+}
+
+std::size_t LockBasedHashTable::bucket_of(std::uint64_t key) const {
+  return mix(key) % buckets_.size();
+}
+
+bool LockBasedHashTable::insert(std::uint64_t key, std::uint64_t value,
+                                sync::ThreadStallCounters* c) {
+  const std::size_t b = bucket_of(key);
+  sync::StallGuard guard(locks_[b & stripe_mask_], c);
+  for (Node* n = buckets_[b]; n; n = n->next) {
+    if (n->key == key) {
+      if (n->erased) {
+        n->erased = false;
+        n->value = value;
+        return true;
+      }
+      return false;
+    }
+  }
+  Node* node = new Node{key, value, false, buckets_[b]};
+  buckets_[b] = node;
+  return true;
+}
+
+bool LockBasedHashTable::lookup(std::uint64_t key, std::uint64_t* value,
+                                sync::ThreadStallCounters* c) {
+  const std::size_t b = bucket_of(key);
+  sync::StallGuard guard(locks_[b & stripe_mask_], c);
+  for (Node* n = buckets_[b]; n; n = n->next) {
+    if (n->key == key) {
+      if (n->erased) return false;
+      if (value) *value = n->value;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LockBasedHashTable::erase(std::uint64_t key,
+                               sync::ThreadStallCounters* c) {
+  const std::size_t b = bucket_of(key);
+  sync::StallGuard guard(locks_[b & stripe_mask_], c);
+  for (Node* n = buckets_[b]; n; n = n->next) {
+    if (n->key == key) {
+      if (n->erased) return false;
+      n->erased = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t LockBasedHashTable::size_slow() const {
+  std::size_t count = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    for (Node* n = buckets_[b]; n; n = n->next) {
+      if (!n->erased) ++count;
+    }
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------
+// LockFreeHashTable
+// ---------------------------------------------------------------------
+
+LockFreeHashTable::LockFreeHashTable(std::size_t buckets)
+    : buckets_(buckets) {
+  for (auto& b : buckets_) b.store(nullptr, std::memory_order_relaxed);
+}
+
+LockFreeHashTable::~LockFreeHashTable() {
+  for (auto& b : buckets_) {
+    Node* head = b.load(std::memory_order_relaxed);
+    while (head) {
+      Node* next = head->next;
+      delete head;
+      head = next;
+    }
+  }
+}
+
+std::size_t LockFreeHashTable::bucket_of(std::uint64_t key) const {
+  return mix(key) % buckets_.size();
+}
+
+LockFreeHashTable::Node* LockFreeHashTable::find(std::uint64_t key) const {
+  const std::size_t b = bucket_of(key);
+  for (Node* n = buckets_[b].load(std::memory_order_acquire); n;
+       n = n->next) {
+    if (n->key == key) return n;
+  }
+  return nullptr;
+}
+
+bool LockFreeHashTable::insert(std::uint64_t key, std::uint64_t value) {
+  const std::size_t b = bucket_of(key);
+  Node* node = nullptr;
+  for (;;) {
+    // Snapshot the head FIRST and scan from that exact snapshot: scanning
+    // before re-reading the head would let a concurrent insert of the same
+    // key land between the scan and the CAS (TOCTTOU duplicate).
+    Node* head = buckets_[b].load(std::memory_order_acquire);
+    Node* existing = nullptr;
+    for (Node* n = head; n; n = n->next) {
+      if (n->key == key) {
+        existing = n;
+        break;
+      }
+    }
+    if (existing) {
+      delete node;
+      bool was_erased = existing->erased.load(std::memory_order_acquire);
+      if (was_erased &&
+          existing->erased.compare_exchange_strong(
+              was_erased, false, std::memory_order_acq_rel)) {
+        existing->value.store(value, std::memory_order_release);
+        return true;  // resurrection counts as insertion
+      }
+      return false;
+    }
+    if (!node) {
+      node = new Node{key, {}, {}, nullptr};
+      node->value.store(value, std::memory_order_relaxed);
+    }
+    node->next = head;
+    if (buckets_[b].compare_exchange_strong(head, node,
+                                            std::memory_order_acq_rel)) {
+      return true;  // any racing same-key insert must have changed head
+    }
+    // CAS failed: head moved; loop, re-snapshot and re-scan.
+  }
+}
+
+bool LockFreeHashTable::lookup(std::uint64_t key, std::uint64_t* value) const {
+  const Node* n = find(key);
+  if (!n || n->erased.load(std::memory_order_acquire)) return false;
+  if (value) *value = n->value.load(std::memory_order_acquire);
+  return true;
+}
+
+bool LockFreeHashTable::erase(std::uint64_t key) {
+  Node* n = find(key);
+  if (!n) return false;
+  bool expected = false;
+  return n->erased.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel);
+}
+
+std::size_t LockFreeHashTable::size_slow() const {
+  std::size_t count = 0;
+  for (const auto& b : buckets_) {
+    for (Node* n = b.load(std::memory_order_acquire); n; n = n->next) {
+      if (!n->erased.load(std::memory_order_acquire)) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace estima::wl

@@ -1,0 +1,75 @@
+// Concurrent hash tables for the data-structure microbenchmarks:
+//  * LockBasedHashTable -- chained buckets with striped TTAS spinlocks
+//    (spin cycles are accounted as software stalls);
+//  * LockFreeHashTable  -- per-bucket lock-free singly-linked lists with
+//    CAS insertion and lock-free lookup (no physical removal; removal is a
+//    logical tombstone on the value, the standard microbenchmark shape).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "syncstats/spinlock.hpp"
+
+namespace estima::wl {
+
+class LockBasedHashTable {
+ public:
+  explicit LockBasedHashTable(std::size_t buckets, std::size_t lock_stripes = 64);
+  ~LockBasedHashTable();
+
+  /// Returns true when the key was newly inserted.
+  bool insert(std::uint64_t key, std::uint64_t value,
+              sync::ThreadStallCounters* c = nullptr);
+  /// Returns true and fills value when present (and not erased).
+  bool lookup(std::uint64_t key, std::uint64_t* value,
+              sync::ThreadStallCounters* c = nullptr);
+  /// Returns true when the key was present and is now erased.
+  bool erase(std::uint64_t key, sync::ThreadStallCounters* c = nullptr);
+
+  std::size_t size_slow() const;  ///< O(n); test/validation helper
+
+ private:
+  struct Node {
+    std::uint64_t key;
+    std::uint64_t value;
+    bool erased = false;
+    Node* next = nullptr;
+  };
+  std::size_t bucket_of(std::uint64_t key) const;
+
+  std::vector<Node*> buckets_;
+  mutable std::vector<sync::TtasSpinlock> locks_;
+  std::size_t stripe_mask_;
+};
+
+class LockFreeHashTable {
+ public:
+  explicit LockFreeHashTable(std::size_t buckets);
+  ~LockFreeHashTable();
+
+  /// Lock-free insert-if-absent; returns true when newly inserted.
+  bool insert(std::uint64_t key, std::uint64_t value);
+  /// Wait-free traversal lookup.
+  bool lookup(std::uint64_t key, std::uint64_t* value) const;
+  /// Logical erase (tombstone); returns true when it transitioned.
+  bool erase(std::uint64_t key);
+
+  std::size_t size_slow() const;
+
+ private:
+  struct Node {
+    std::uint64_t key;
+    std::atomic<std::uint64_t> value;
+    std::atomic<bool> erased{false};
+    Node* next = nullptr;  // immutable after publication
+  };
+  std::size_t bucket_of(std::uint64_t key) const;
+  Node* find(std::uint64_t key) const;
+
+  std::vector<std::atomic<Node*>> buckets_;
+};
+
+}  // namespace estima::wl

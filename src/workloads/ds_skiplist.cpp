@@ -1,0 +1,247 @@
+#include "workloads/ds_skiplist.hpp"
+
+#include <limits>
+
+namespace estima::wl {
+
+// ---------------------------------------------------------------------
+// LockBasedSkipList
+// ---------------------------------------------------------------------
+
+LockBasedSkipList::LockBasedSkipList(std::uint64_t key_space,
+                                     std::size_t lock_stripes)
+    : key_space_(key_space ? key_space : 1) {
+  std::size_t stripes = 1;
+  while (stripes < lock_stripes) stripes <<= 1;
+  locks_ = std::vector<sync::TtasSpinlock>(stripes);
+  stripe_mask_ = stripes - 1;
+  head_ = new Node{};
+  head_->key = 0;
+  head_->level = kMaxLevel;
+  for (int i = 0; i < kMaxLevel; ++i) head_->next[i] = nullptr;
+}
+
+LockBasedSkipList::~LockBasedSkipList() {
+  Node* n = head_;
+  while (n) {
+    Node* next = n->next[0];
+    delete n;
+    n = next;
+  }
+}
+
+sync::TtasSpinlock& LockBasedSkipList::stripe_for(std::uint64_t key) {
+  // Coarse-grained: tall towers link predecessors across the whole key
+  // space, so range striping would race on high-level pointers. A single
+  // structural lock is the classic "lock-based" skip-list baseline (and
+  // exactly why the lock-free variant exists).
+  (void)key;
+  return locks_[0];
+}
+
+int LockBasedSkipList::random_level(numeric::SplitMix64& rng) const {
+  int level = 1;
+  while (level < kMaxLevel && (rng.next() & 3u) == 0) ++level;  // p = 1/4
+  return level;
+}
+
+bool LockBasedSkipList::insert(std::uint64_t key,
+                               sync::ThreadStallCounters* c) {
+  sync::StallGuard guard(stripe_for(key), c);
+  Node* preds[kMaxLevel];
+  Node* cur = head_;
+  for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+    while (cur->next[lvl] && cur->next[lvl]->key < key) cur = cur->next[lvl];
+    preds[lvl] = cur;
+  }
+  Node* hit = preds[0]->next[0];
+  if (hit && hit->key == key) return false;
+
+  numeric::SplitMix64 rng(key * 0x9E3779B97F4A7C15ull + 1);
+  Node* node = new Node{};
+  node->key = key;
+  node->level = random_level(rng);
+  for (int lvl = 0; lvl < node->level; ++lvl) {
+    node->next[lvl] = preds[lvl]->next[lvl];
+    preds[lvl]->next[lvl] = node;
+  }
+  for (int lvl = node->level; lvl < kMaxLevel; ++lvl) node->next[lvl] = nullptr;
+  return true;
+}
+
+bool LockBasedSkipList::contains(std::uint64_t key,
+                                 sync::ThreadStallCounters* c) {
+  sync::StallGuard guard(stripe_for(key), c);
+  Node* cur = head_;
+  for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+    while (cur->next[lvl] && cur->next[lvl]->key < key) cur = cur->next[lvl];
+  }
+  Node* hit = cur->next[0];
+  return hit && hit->key == key;
+}
+
+bool LockBasedSkipList::erase(std::uint64_t key,
+                              sync::ThreadStallCounters* c) {
+  sync::StallGuard guard(stripe_for(key), c);
+  Node* preds[kMaxLevel];
+  Node* cur = head_;
+  for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+    while (cur->next[lvl] && cur->next[lvl]->key < key) cur = cur->next[lvl];
+    preds[lvl] = cur;
+  }
+  Node* hit = preds[0]->next[0];
+  if (!hit || hit->key != key) return false;
+  for (int lvl = 0; lvl < hit->level; ++lvl) {
+    if (preds[lvl]->next[lvl] == hit) preds[lvl]->next[lvl] = hit->next[lvl];
+  }
+  delete hit;
+  return true;
+}
+
+std::size_t LockBasedSkipList::size_slow() const {
+  std::size_t count = 0;
+  for (Node* n = head_->next[0]; n; n = n->next[0]) ++count;
+  return count;
+}
+
+bool LockBasedSkipList::is_sorted() const {
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (Node* n = head_->next[0]; n; n = n->next[0]) {
+    if (!first && n->key <= prev) return false;
+    prev = n->key;
+    first = false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// LockFreeSkipList
+// ---------------------------------------------------------------------
+
+LockFreeSkipList::LockFreeSkipList() {
+  head_ = new Node{};
+  head_->key = 0;
+  for (auto& lane : head_->down_next) {
+    lane.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+LockFreeSkipList::~LockFreeSkipList() {
+  Node* n = head_;
+  while (n) {
+    Node* next = n->next.load(std::memory_order_relaxed);
+    delete n;
+    n = next;
+  }
+}
+
+LockFreeSkipList::Node* LockFreeSkipList::find_geq(std::uint64_t key,
+                                                   Node** pred_out) const {
+  // Descend the best-effort index lanes, then walk the bottom list.
+  Node* pred = head_;
+  for (int lvl = kIndexLevels - 1; lvl >= 0; --lvl) {
+    for (;;) {
+      Node* next = pred->down_next[lvl].load(std::memory_order_acquire);
+      if (next && next->key < key) {
+        pred = next;
+      } else {
+        break;
+      }
+    }
+  }
+  Node* cur = pred->next.load(std::memory_order_acquire);
+  while (cur && cur->key < key) {
+    pred = cur;
+    cur = cur->next.load(std::memory_order_acquire);
+  }
+  if (pred_out) *pred_out = pred;
+  return cur;
+}
+
+bool LockFreeSkipList::insert(std::uint64_t key, std::uint64_t rng_draw) {
+  for (;;) {
+    Node* pred = nullptr;
+    Node* cur = find_geq(key, &pred);
+    if (cur && cur->key == key) {
+      bool was_erased = cur->erased.load(std::memory_order_acquire);
+      if (was_erased &&
+          cur->erased.compare_exchange_strong(was_erased, false,
+                                              std::memory_order_acq_rel)) {
+        return true;
+      }
+      return false;
+    }
+    Node* node = new Node{};
+    node->key = key;
+    node->next.store(cur, std::memory_order_relaxed);
+    for (auto& lane : node->down_next) {
+      lane.store(nullptr, std::memory_order_relaxed);
+    }
+    Node* expected = cur;
+    if (pred->next.compare_exchange_strong(expected, node,
+                                           std::memory_order_acq_rel)) {
+      // Best-effort index publication: walk lanes; on CAS failure just
+      // skip the level (lookups fall through to lower lanes).
+      int level = 0;
+      std::uint64_t draw = rng_draw;
+      while (level < kIndexLevels && (draw & 3u) == 0) {
+        Node* ipred = head_;
+        for (int lvl = kIndexLevels - 1; lvl >= level; --lvl) {
+          for (;;) {
+            Node* nx = ipred->down_next[lvl].load(std::memory_order_acquire);
+            if (nx && nx->key < key) ipred = nx;
+            else break;
+          }
+        }
+        Node* inext = ipred->down_next[level].load(std::memory_order_acquire);
+        if (!(inext && inext->key < key)) {
+          node->down_next[level].store(inext, std::memory_order_relaxed);
+          ipred->down_next[level].compare_exchange_strong(
+              inext, node, std::memory_order_acq_rel);
+        }
+        draw >>= 2;
+        ++level;
+      }
+      return true;
+    }
+    delete node;  // lost the race; retry from scratch
+  }
+}
+
+bool LockFreeSkipList::contains(std::uint64_t key) const {
+  Node* cur = find_geq(key, nullptr);
+  return cur && cur->key == key &&
+         !cur->erased.load(std::memory_order_acquire);
+}
+
+bool LockFreeSkipList::erase(std::uint64_t key) {
+  Node* cur = find_geq(key, nullptr);
+  if (!cur || cur->key != key) return false;
+  bool expected = false;
+  return cur->erased.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel);
+}
+
+std::size_t LockFreeSkipList::size_slow() const {
+  std::size_t count = 0;
+  for (Node* n = head_->next.load(std::memory_order_acquire); n;
+       n = n->next.load(std::memory_order_acquire)) {
+    if (!n->erased.load(std::memory_order_acquire)) ++count;
+  }
+  return count;
+}
+
+bool LockFreeSkipList::is_sorted() const {
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (Node* n = head_->next.load(std::memory_order_acquire); n;
+       n = n->next.load(std::memory_order_acquire)) {
+    if (!first && n->key <= prev) return false;
+    prev = n->key;
+    first = false;
+  }
+  return true;
+}
+
+}  // namespace estima::wl

@@ -1,0 +1,77 @@
+// Concurrent ordered sets (skip lists) for the microbenchmarks:
+//  * LockBasedSkipList -- classic skip list guarded by key-range striped
+//    TTAS locks (the coarse-but-parallel variant used in throughput
+//    microbenchmarks);
+//  * LockFreeSkipList  -- lock-free bottom list (CAS insertion, logical
+//    deletion marks) with a best-effort probabilistic index built by CAS
+//    that may fail and skip (a standard simplification: index misses only
+//    cost traversal time, never correctness).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "numeric/rng.hpp"
+#include "syncstats/spinlock.hpp"
+
+namespace estima::wl {
+
+class LockBasedSkipList {
+ public:
+  static constexpr int kMaxLevel = 16;
+
+  explicit LockBasedSkipList(std::uint64_t key_space,
+                             std::size_t lock_stripes = 64);
+  ~LockBasedSkipList();
+
+  bool insert(std::uint64_t key, sync::ThreadStallCounters* c = nullptr);
+  bool contains(std::uint64_t key, sync::ThreadStallCounters* c = nullptr);
+  bool erase(std::uint64_t key, sync::ThreadStallCounters* c = nullptr);
+
+  std::size_t size_slow() const;
+  bool is_sorted() const;  ///< validation: bottom list strictly ascending
+
+ private:
+  struct Node {
+    std::uint64_t key;
+    int level;
+    Node* next[kMaxLevel];
+  };
+  sync::TtasSpinlock& stripe_for(std::uint64_t key);
+  int random_level(numeric::SplitMix64& rng) const;
+
+  Node* head_;
+  std::uint64_t key_space_;
+  std::vector<sync::TtasSpinlock> locks_;
+  std::size_t stripe_mask_;
+};
+
+class LockFreeSkipList {
+ public:
+  static constexpr int kIndexLevels = 8;
+
+  LockFreeSkipList();
+  ~LockFreeSkipList();
+
+  bool insert(std::uint64_t key, std::uint64_t rng_draw);
+  bool contains(std::uint64_t key) const;
+  bool erase(std::uint64_t key);  ///< logical mark
+
+  std::size_t size_slow() const;
+  bool is_sorted() const;
+
+ private:
+  struct Node {
+    std::uint64_t key;
+    std::atomic<bool> erased{false};
+    std::atomic<Node*> next{nullptr};
+    std::atomic<Node*> down_next[kIndexLevels];  // index lanes (best effort)
+  };
+
+  Node* find_geq(std::uint64_t key, Node** pred_out) const;
+
+  Node* head_;
+};
+
+}  // namespace estima::wl

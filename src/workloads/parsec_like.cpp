@@ -1,0 +1,434 @@
+// PARSEC-style pthread workloads, rebuilt compactly:
+//   blackscholes  -- closed-form option pricing, embarrassingly parallel;
+//   swaptions     -- Monte-Carlo payoff estimation, independent chunks;
+//   raytrace      -- sphere-scene tile renderer with an atomic tile queue;
+//   canneal       -- simulated-annealing element swaps via ordered locks;
+//   bodytrack     -- particle-filter stages separated by spin barriers;
+//   streamcluster -- k-median stream clustering with barrier phases and an
+//                    instrumented mutex around the shared facility table
+//                    (the workload the paper wraps for software stalls).
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "numeric/rng.hpp"
+#include "syncstats/barrier.hpp"
+#include "syncstats/instrumented_mutex.hpp"
+#include "workloads/runner.hpp"
+#include "workloads/workload.hpp"
+
+namespace estima::wl {
+namespace {
+
+using numeric::SplitMix64;
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+// Black-Scholes call price, also used to validate the parallel run.
+double bs_call(double s, double k, double r, double sigma, double t) {
+  const double d1 =
+      (std::log(s / k) + (r + 0.5 * sigma * sigma) * t) / (sigma * std::sqrt(t));
+  const double d2 = d1 - sigma * std::sqrt(t);
+  return s * normal_cdf(d1) - k * std::exp(-r * t) * normal_cdf(d2);
+}
+
+class BlackscholesWorkload final : public Workload {
+ public:
+  explicit BlackscholesWorkload(const WorkloadOptions& opts) : opts_(opts) {}
+  std::string name() const override { return "blackscholes"; }
+
+  WorkloadResult run(int threads) override {
+    const std::size_t options = 40000 * opts_.size;
+    std::vector<double> spot(options), strike(options), prices(options);
+    SplitMix64 gen(opts_.seed);
+    for (std::size_t i = 0; i < options; ++i) {
+      spot[i] = gen.uniform(50.0, 150.0);
+      strike[i] = gen.uniform(50.0, 150.0);
+    }
+
+    WorkloadResult result;
+    run_parallel(threads, [&](ThreadContext& ctx) {
+      for (std::size_t i = ctx.tid; i < options;
+           i += static_cast<std::size_t>(ctx.num_threads)) {
+        prices[i] = bs_call(spot[i], strike[i], 0.02, 0.3, 1.0);
+      }
+    }, result);
+
+    // Spot-validate a few entries against a serial recomputation.
+    bool ok = true;
+    for (std::size_t i = 0; i < options; i += options / 7 + 1) {
+      const double want = bs_call(spot[i], strike[i], 0.02, 0.3, 1.0);
+      if (std::fabs(prices[i] - want) > 1e-12) ok = false;
+    }
+    result.operations = options;
+    result.valid = ok;
+    return result;
+  }
+
+ private:
+  WorkloadOptions opts_;
+};
+
+class SwaptionsWorkload final : public Workload {
+ public:
+  explicit SwaptionsWorkload(const WorkloadOptions& opts) : opts_(opts) {}
+  std::string name() const override { return "swaptions"; }
+
+  WorkloadResult run(int threads) override {
+    const std::size_t swaptions = 64;
+    const int trials = static_cast<int>(400 * opts_.size);
+    std::vector<double> prices(swaptions, 0.0);
+
+    WorkloadResult result;
+    run_parallel(threads, [&](ThreadContext& ctx) {
+      for (std::size_t s = ctx.tid; s < swaptions;
+           s += static_cast<std::size_t>(ctx.num_threads)) {
+        // Per-swaption Monte Carlo with a deterministic per-item seed so
+        // the result is independent of the thread count.
+        SplitMix64 rng(opts_.seed * 1000 + s);
+        double payoff = 0.0;
+        for (int t = 0; t < trials; ++t) {
+          const double rate = 0.03 + 0.01 * rng.next_gaussian();
+          payoff += std::max(rate - 0.03, 0.0);
+        }
+        prices[s] = payoff / trials;
+      }
+    }, result);
+
+    bool ok = true;
+    for (double p : prices) {
+      if (!(p >= 0.0 && p < 0.1)) ok = false;  // E[max(N(0,0.01),0)] ~ 0.004
+    }
+    result.operations = swaptions * static_cast<std::uint64_t>(trials);
+    result.valid = ok;
+    return result;
+  }
+
+ private:
+  WorkloadOptions opts_;
+};
+
+class RaytraceWorkload final : public Workload {
+ public:
+  explicit RaytraceWorkload(const WorkloadOptions& opts) : opts_(opts) {}
+  std::string name() const override { return "raytrace"; }
+
+  WorkloadResult run(int threads) override {
+    const int width = static_cast<int>(128 * opts_.size);
+    const int height = 128;
+    const int tile = 16;
+    const int tiles_x = (width + tile - 1) / tile;
+    const int tiles_y = (height + tile - 1) / tile;
+    std::vector<float> framebuffer(width * height, 0.0f);
+
+    // One sphere at the origin; orthographic rays along -z. Hit =>
+    // shade by depth, miss => background. Simple but a real intersection.
+    std::atomic<int> next_tile{0};
+    WorkloadResult result;
+    std::atomic<std::uint64_t> rays{0};
+
+    run_parallel(threads, [&](ThreadContext& ctx) {
+      (void)ctx;
+      std::uint64_t local_rays = 0;
+      for (;;) {
+        const int t = next_tile.fetch_add(1, std::memory_order_relaxed);
+        if (t >= tiles_x * tiles_y) break;
+        const int tx0 = (t % tiles_x) * tile;
+        const int ty0 = (t / tiles_x) * tile;
+        for (int y = ty0; y < std::min(ty0 + tile, height); ++y) {
+          for (int x = tx0; x < std::min(tx0 + tile, width); ++x) {
+            const double u = (x - width / 2.0) / (width / 2.0);
+            const double v = (y - height / 2.0) / (height / 2.0);
+            const double b2 = u * u + v * v;
+            framebuffer[y * width + x] =
+                b2 <= 0.64 ? static_cast<float>(std::sqrt(0.64 - b2)) : 0.1f;
+            ++local_rays;
+          }
+        }
+      }
+      rays.fetch_add(local_rays, std::memory_order_relaxed);
+    }, result);
+
+    // Validation: centre pixel hits the sphere, corner is background.
+    const float centre = framebuffer[(height / 2) * width + width / 2];
+    const float corner = framebuffer[0];
+    result.operations = rays.load();
+    result.valid = centre > 0.7f && corner == 0.1f &&
+                   rays.load() == static_cast<std::uint64_t>(width) * height;
+    return result;
+  }
+
+ private:
+  WorkloadOptions opts_;
+};
+
+class CannealWorkload final : public Workload {
+ public:
+  explicit CannealWorkload(const WorkloadOptions& opts) : opts_(opts) {}
+  std::string name() const override { return "canneal"; }
+
+  WorkloadResult run(int threads) override {
+    const std::size_t elements = 8192;
+    const std::uint64_t swaps = 20000 * opts_.size;
+    // Netlist positions; swapping two elements must conserve the multiset.
+    std::vector<std::uint64_t> pos(elements);
+    for (std::size_t i = 0; i < elements; ++i) pos[i] = i;
+    std::vector<sync::TtasSpinlock> locks(elements);
+
+    WorkloadResult result;
+    std::atomic<std::uint64_t> done{0};
+
+    run_parallel(threads, [&](ThreadContext& ctx) {
+      SplitMix64 rng(opts_.seed + 13 + ctx.tid);
+      std::uint64_t local = 0;
+      for (std::uint64_t i = ctx.tid; i < swaps;
+           i += static_cast<std::uint64_t>(ctx.num_threads)) {
+        std::size_t a = rng.next_below(elements);
+        std::size_t b = rng.next_below(elements);
+        if (a == b) continue;
+        if (a > b) std::swap(a, b);  // global order avoids deadlock
+        sync::StallGuard ga(locks[a], &ctx.sync_stats);
+        sync::StallGuard gb(locks[b], &ctx.sync_stats);
+        std::swap(pos[a], pos[b]);
+        ++local;
+      }
+      done.fetch_add(local, std::memory_order_relaxed);
+    }, result);
+
+    // The multiset of positions must be a permutation of 0..n-1.
+    std::vector<std::uint64_t> sorted = pos;
+    std::sort(sorted.begin(), sorted.end());
+    bool ok = true;
+    for (std::size_t i = 0; i < elements; ++i) {
+      if (sorted[i] != i) {
+        ok = false;
+        break;
+      }
+    }
+    result.operations = done.load();
+    result.valid = ok;
+    return result;
+  }
+
+ private:
+  WorkloadOptions opts_;
+};
+
+class BodytrackWorkload final : public Workload {
+ public:
+  explicit BodytrackWorkload(const WorkloadOptions& opts) : opts_(opts) {}
+  std::string name() const override { return "bodytrack"; }
+
+  WorkloadResult run(int threads) override {
+    const std::size_t particles = 4096;
+    const int frames = static_cast<int>(8 * opts_.size);
+    std::vector<double> weight(particles, 1.0);
+    std::vector<double> state(particles, 0.0);
+    sync::SpinBarrier barrier(threads);
+
+    WorkloadResult result;
+    std::atomic<std::uint64_t> updates{0};
+    double normalizer = 1.0;
+
+    run_parallel(threads, [&](ThreadContext& ctx) {
+      SplitMix64 rng(opts_.seed + 29 + ctx.tid);
+      std::uint64_t local = 0;
+      for (int frame = 0; frame < frames; ++frame) {
+        // Stage 1: parallel weight evaluation.
+        for (std::size_t i = ctx.tid; i < particles;
+             i += static_cast<std::size_t>(ctx.num_threads)) {
+          state[i] += 0.1 * rng.next_gaussian();
+          weight[i] = std::exp(-state[i] * state[i]);
+          ++local;
+        }
+        barrier.arrive_and_wait(&ctx.sync_stats);
+        // Stage 2: serial normalisation (master thread).
+        if (ctx.tid == 0) {
+          double sum = 0.0;
+          for (double w : weight) sum += w;
+          normalizer = sum > 0.0 ? sum : 1.0;
+        }
+        barrier.arrive_and_wait(&ctx.sync_stats);
+        // Stage 3: parallel renormalisation.
+        for (std::size_t i = ctx.tid; i < particles;
+             i += static_cast<std::size_t>(ctx.num_threads)) {
+          weight[i] /= normalizer;
+        }
+        barrier.arrive_and_wait(&ctx.sync_stats);
+      }
+      updates.fetch_add(local, std::memory_order_relaxed);
+    }, result);
+
+    double total = 0.0;
+    for (double w : weight) total += w;
+    result.operations = updates.load();
+    result.valid = std::fabs(total - 1.0) < 1e-6;  // normalised each frame
+    return result;
+  }
+
+ private:
+  WorkloadOptions opts_;
+};
+
+class StreamclusterWorkload final : public Workload {
+ public:
+  StreamclusterWorkload(const WorkloadOptions& opts, bool spin_version)
+      : opts_(opts), spin_(spin_version) {}
+  std::string name() const override {
+    return spin_ ? "streamcluster-spin" : "streamcluster";
+  }
+
+  WorkloadResult run(int threads) override {
+    constexpr int kDims = 3;
+    const std::size_t points = 6000 * opts_.size;
+    const int rounds = 4;
+    std::vector<double> data(points * kDims);
+    SplitMix64 gen(opts_.seed);
+    for (auto& v : data) v = gen.uniform(0.0, 10.0);
+
+    // Shared facility table: fixed slots + atomic count so concurrent
+    // readers never race a reallocation; entries are published before the
+    // count is bumped.
+    constexpr std::size_t kMaxCentres = 64;
+    std::array<std::size_t, kMaxCentres> centres{};
+    std::atomic<std::size_t> num_centres{0};
+    sync::SpinBarrier barrier(threads);
+    sync::InstrumentedMutex centre_mu;       // the pthread-mutex variant
+    sync::TasSpinlock centre_spin;           // the Section 4.6 fix
+    WorkloadResult result;
+    std::atomic<std::uint64_t> evaluated{0};
+
+    const auto open_facility = [&](std::size_t point) {
+      const std::size_t count = num_centres.load(std::memory_order_relaxed);
+      if (count < kMaxCentres) {
+        centres[count] = point;
+        num_centres.store(count + 1, std::memory_order_release);
+      }
+    };
+
+    run_parallel(threads, [&](ThreadContext& ctx) {
+      SplitMix64 rng(opts_.seed + 3 + ctx.tid);
+      std::uint64_t local = 0;
+      for (int round = 0; round < rounds; ++round) {
+        if (ctx.tid == 0 && num_centres.load(std::memory_order_relaxed) == 0) {
+          open_facility(0);
+        }
+        barrier.arrive_and_wait(&ctx.sync_stats);
+        // Parallel phase: evaluate assignment cost of a candidate batch;
+        // opening a facility mutates the shared table under the lock.
+        for (std::size_t i = ctx.tid; i < points;
+             i += static_cast<std::size_t>(ctx.num_threads)) {
+          const std::size_t visible =
+              num_centres.load(std::memory_order_acquire);
+          double best = 1e300;
+          for (std::size_t ci = 0; ci < visible; ++ci) {
+            const std::size_t c = centres[ci];
+            double dist = 0.0;
+            for (int d = 0; d < kDims; ++d) {
+              const double delta = data[i * kDims + d] - data[c * kDims + d];
+              dist += delta * delta;
+            }
+            best = std::min(best, dist);
+          }
+          ++local;
+          // Occasionally open this point as a new facility.
+          if (best > 40.0 && (rng.next() & 1023u) == 0) {
+            if (spin_) {
+              sync::StallGuard guard(centre_spin, &ctx.sync_stats);
+              open_facility(i);
+            } else {
+              centre_mu.lock(&ctx.sync_stats);
+              open_facility(i);
+              centre_mu.unlock();
+            }
+          }
+        }
+        barrier.arrive_and_wait(&ctx.sync_stats);
+      }
+      evaluated.fetch_add(local, std::memory_order_relaxed);
+    }, result);
+
+    result.operations = evaluated.load();
+    const std::size_t final_centres = num_centres.load();
+    result.valid = final_centres > 0 && final_centres <= kMaxCentres &&
+                   evaluated.load() ==
+                       static_cast<std::uint64_t>(points) * rounds;
+    return result;
+  }
+
+ private:
+  WorkloadOptions opts_;
+  bool spin_;
+};
+
+class KnnWorkload final : public Workload {
+ public:
+  explicit KnnWorkload(const WorkloadOptions& opts) : opts_(opts) {}
+  std::string name() const override { return "knn"; }
+
+  WorkloadResult run(int threads) override {
+    constexpr int kDims = 8;
+    constexpr int kNeighbours = 5;
+    const std::size_t corpus = 4096;
+    const std::size_t queries = 256 * opts_.size;
+    std::vector<double> base(corpus * kDims), query(queries * kDims);
+    SplitMix64 gen(opts_.seed);
+    for (auto& v : base) v = gen.uniform(0.0, 1.0);
+    for (auto& v : query) v = gen.uniform(0.0, 1.0);
+    std::vector<double> best_dist(queries, 0.0);
+
+    WorkloadResult result;
+    run_parallel(threads, [&](ThreadContext& ctx) {
+      std::vector<double> dists(corpus);
+      for (std::size_t q = ctx.tid; q < queries;
+           q += static_cast<std::size_t>(ctx.num_threads)) {
+        for (std::size_t i = 0; i < corpus; ++i) {
+          double d = 0.0;
+          for (int k = 0; k < kDims; ++k) {
+            const double delta = query[q * kDims + k] - base[i * kDims + k];
+            d += delta * delta;
+          }
+          dists[i] = d;
+        }
+        std::nth_element(dists.begin(), dists.begin() + kNeighbours,
+                         dists.end());
+        best_dist[q] = dists[kNeighbours];
+      }
+    }, result);
+
+    bool ok = true;
+    for (double d : best_dist) {
+      if (!(d > 0.0 && d < kDims)) ok = false;  // within the unit hypercube
+    }
+    result.operations = queries * corpus;
+    result.valid = ok;
+    return result;
+  }
+
+ private:
+  WorkloadOptions opts_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_parsec_workload(const std::string& name,
+                                               const WorkloadOptions& opts) {
+  if (name == "blackscholes")
+    return std::make_unique<BlackscholesWorkload>(opts);
+  if (name == "swaptions") return std::make_unique<SwaptionsWorkload>(opts);
+  if (name == "raytrace") return std::make_unique<RaytraceWorkload>(opts);
+  if (name == "canneal") return std::make_unique<CannealWorkload>(opts);
+  if (name == "bodytrack") return std::make_unique<BodytrackWorkload>(opts);
+  if (name == "streamcluster")
+    return std::make_unique<StreamclusterWorkload>(opts, false);
+  if (name == "streamcluster-spin")
+    return std::make_unique<StreamclusterWorkload>(opts, true);
+  if (name == "knn") return std::make_unique<KnnWorkload>(opts);
+  return nullptr;
+}
+
+}  // namespace estima::wl

@@ -1,0 +1,175 @@
+// Workload factory: data-structure microbenchmarks defined here, STAMP- and
+// PARSEC-style workloads provided by their translation units.
+#include <atomic>
+#include <stdexcept>
+
+#include "numeric/rng.hpp"
+#include "workloads/ds_hashtable.hpp"
+#include "workloads/ds_skiplist.hpp"
+#include "workloads/runner.hpp"
+#include "workloads/workload.hpp"
+
+namespace estima::wl {
+
+// Defined in stamp_like.cpp / parsec_like.cpp.
+std::unique_ptr<Workload> make_stamp_workload(const std::string& name,
+                                              const WorkloadOptions& opts);
+std::unique_ptr<Workload> make_parsec_workload(const std::string& name,
+                                               const WorkloadOptions& opts);
+
+namespace {
+
+using numeric::SplitMix64;
+
+// Shared driver for the four data-structure microbenchmarks: a fixed
+// operation count of mixed insert/lookup/erase over a bounded key space
+// (the throughput microbenchmark design of [10]).
+template <typename RunOp>
+WorkloadResult run_ds_microbench(int threads, std::uint64_t total_ops,
+                                 const RunOp& op) {
+  WorkloadResult result;
+  std::atomic<std::uint64_t> done{0};
+  run_parallel(threads, [&](ThreadContext& ctx) {
+    SplitMix64 rng(999 + ctx.tid);
+    std::uint64_t local = 0;
+    for (std::uint64_t i = ctx.tid; i < total_ops;
+         i += static_cast<std::uint64_t>(ctx.num_threads)) {
+      op(ctx, rng);
+      ++local;
+    }
+    done.fetch_add(local, std::memory_order_relaxed);
+  }, result);
+  result.operations = done.load();
+  result.valid = done.load() == total_ops;
+  return result;
+}
+
+class LockBasedHtWorkload final : public Workload {
+ public:
+  explicit LockBasedHtWorkload(const WorkloadOptions& opts) : opts_(opts) {}
+  std::string name() const override { return "lock-based-ht"; }
+
+  WorkloadResult run(int threads) override {
+    LockBasedHashTable table(1 << 14);
+    const std::uint64_t key_space = 1 << 12;
+    auto result = run_ds_microbench(
+        threads, 200000 * opts_.size,
+        [&](ThreadContext& ctx, SplitMix64& rng) {
+          const std::uint64_t key = 1 + rng.next_below(key_space);
+          const std::uint64_t dice = rng.next() % 100;
+          if (dice < 20) table.insert(key, key * 2, &ctx.sync_stats);
+          else if (dice < 30) table.erase(key, &ctx.sync_stats);
+          else table.lookup(key, nullptr, &ctx.sync_stats);
+        });
+    result.valid = result.valid && table.size_slow() <= key_space;
+    return result;
+  }
+
+ private:
+  WorkloadOptions opts_;
+};
+
+class LockFreeHtWorkload final : public Workload {
+ public:
+  explicit LockFreeHtWorkload(const WorkloadOptions& opts) : opts_(opts) {}
+  std::string name() const override { return "lock-free-ht"; }
+
+  WorkloadResult run(int threads) override {
+    LockFreeHashTable table(1 << 14);
+    const std::uint64_t key_space = 1 << 12;
+    auto result = run_ds_microbench(
+        threads, 200000 * opts_.size,
+        [&](ThreadContext&, SplitMix64& rng) {
+          const std::uint64_t key = 1 + rng.next_below(key_space);
+          const std::uint64_t dice = rng.next() % 100;
+          if (dice < 20) table.insert(key, key * 2);
+          else if (dice < 30) table.erase(key);
+          else table.lookup(key, nullptr);
+        });
+    result.valid = result.valid && table.size_slow() <= key_space;
+    return result;
+  }
+
+ private:
+  WorkloadOptions opts_;
+};
+
+class LockBasedSlWorkload final : public Workload {
+ public:
+  explicit LockBasedSlWorkload(const WorkloadOptions& opts) : opts_(opts) {}
+  std::string name() const override { return "lock-based-sl"; }
+
+  WorkloadResult run(int threads) override {
+    const std::uint64_t key_space = 1 << 12;
+    LockBasedSkipList list(key_space);
+    auto result = run_ds_microbench(
+        threads, 100000 * opts_.size,
+        [&](ThreadContext& ctx, SplitMix64& rng) {
+          const std::uint64_t key = 1 + rng.next_below(key_space);
+          const std::uint64_t dice = rng.next() % 100;
+          if (dice < 20) list.insert(key, &ctx.sync_stats);
+          else if (dice < 30) list.erase(key, &ctx.sync_stats);
+          else list.contains(key, &ctx.sync_stats);
+        });
+    result.valid = result.valid && list.is_sorted();
+    return result;
+  }
+
+ private:
+  WorkloadOptions opts_;
+};
+
+class LockFreeSlWorkload final : public Workload {
+ public:
+  explicit LockFreeSlWorkload(const WorkloadOptions& opts) : opts_(opts) {}
+  std::string name() const override { return "lock-free-sl"; }
+
+  WorkloadResult run(int threads) override {
+    LockFreeSkipList list;
+    const std::uint64_t key_space = 1 << 12;
+    auto result = run_ds_microbench(
+        threads, 100000 * opts_.size,
+        [&](ThreadContext&, SplitMix64& rng) {
+          const std::uint64_t key = 1 + rng.next_below(key_space);
+          const std::uint64_t dice = rng.next() % 100;
+          if (dice < 20) list.insert(key, rng.next());
+          else if (dice < 30) list.erase(key);
+          else list.contains(key);
+        });
+    result.valid = result.valid && list.is_sorted();
+    return result;
+  }
+
+ private:
+  WorkloadOptions opts_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_workload(const std::string& name,
+                                        const WorkloadOptions& opts) {
+  if (name == "lock-based-ht")
+    return std::make_unique<LockBasedHtWorkload>(opts);
+  if (name == "lock-free-ht")
+    return std::make_unique<LockFreeHtWorkload>(opts);
+  if (name == "lock-based-sl")
+    return std::make_unique<LockBasedSlWorkload>(opts);
+  if (name == "lock-free-sl")
+    return std::make_unique<LockFreeSlWorkload>(opts);
+  if (auto wl = make_stamp_workload(name, opts)) return wl;
+  if (auto wl = make_parsec_workload(name, opts)) return wl;
+  throw std::invalid_argument("unknown native workload: " + name);
+}
+
+const std::vector<std::string>& native_workload_names() {
+  static const std::vector<std::string> kNames = {
+      "lock-based-ht", "lock-free-ht",  "lock-based-sl", "lock-free-sl",
+      "genome",        "intruder",      "kmeans",        "vacation-high",
+      "vacation-low",  "labyrinth",     "ssca2",         "yada",
+      "blackscholes",  "swaptions",     "raytrace",      "canneal",
+      "bodytrack",     "streamcluster", "streamcluster-spin", "knn",
+  };
+  return kNames;
+}
+
+}  // namespace estima::wl

@@ -1,0 +1,552 @@
+// STAMP-style STM workloads, rebuilt compactly on src/stm. Each keeps the
+// original's algorithmic skeleton and conflict structure:
+//   genome    -- parallel segment de-duplication into a shared hash set;
+//   intruder  -- packet reassembly into a shared flow map + local detection;
+//   kmeans    -- points assigned in parallel, shared centre accumulators
+//                updated transactionally, barrier per iteration;
+//   vacation  -- multi-table travel reservations (high/low contention);
+//   labyrinth -- grid path routing, transactional path commit;
+//   ssca2     -- graph kernel: transactional adjacency insertion;
+//   yada      -- mesh refinement emulated as transactional cavity grabs.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "numeric/rng.hpp"
+#include "stm/stm.hpp"
+#include "syncstats/barrier.hpp"
+#include "workloads/runner.hpp"
+#include "workloads/workload.hpp"
+
+namespace estima::wl {
+namespace {
+
+using numeric::SplitMix64;
+
+// Shared skeleton: an STM hash set of uint64 slots (open addressing over a
+// transactionally accessed table), used by genome/intruder/ssca2.
+class StmHashSet {
+ public:
+  explicit StmHashSet(std::size_t capacity)
+      : slots_(capacity * 2, 0) {}
+
+  /// Transactionally inserts key (non-zero); returns true when new.
+  bool insert(stm::Stm& stm_rt, stm::TxStats& stats, std::uint64_t key) {
+    bool inserted = false;
+    stm::atomically(stm_rt, stats, [&](stm::Transaction& tx) {
+      inserted = false;
+      std::size_t idx = key % slots_.size();
+      for (std::size_t probe = 0; probe < slots_.size(); ++probe) {
+        const std::uint64_t cur = tx.read(&slots_[idx]);
+        if (cur == key) return;  // duplicate
+        if (cur == 0) {
+          tx.write(&slots_[idx], key);
+          inserted = true;
+          return;
+        }
+        idx = (idx + 1) % slots_.size();
+      }
+    });
+    return inserted;
+  }
+
+  std::size_t count_nonzero() const {
+    std::size_t c = 0;
+    for (auto v : slots_) {
+      if (v != 0) ++c;
+    }
+    return c;
+  }
+
+ private:
+  std::vector<std::uint64_t> slots_;
+};
+
+// --------------------------------------------------------------------
+// genome
+// --------------------------------------------------------------------
+
+class GenomeWorkload final : public Workload {
+ public:
+  explicit GenomeWorkload(const WorkloadOptions& opts) : opts_(opts) {}
+  std::string name() const override { return "genome"; }
+
+  WorkloadResult run(int threads) override {
+    const std::uint64_t segments = 20000 * opts_.size;
+    const std::uint64_t distinct = segments / 4;
+    // Pre-generate the segment stream (duplicates included, like the
+    // sequencer input).
+    std::vector<std::uint64_t> stream(segments);
+    SplitMix64 gen(opts_.seed);
+    for (auto& s : stream) s = 1 + gen.next_below(distinct);
+
+    stm::Stm stm_rt;
+    StmHashSet set(distinct * 2);
+    WorkloadResult result;
+    std::atomic<std::uint64_t> inserted{0};
+
+    run_parallel(threads, [&](ThreadContext& ctx) {
+      std::uint64_t local = 0;
+      for (std::uint64_t i = ctx.tid; i < segments;
+           i += static_cast<std::uint64_t>(ctx.num_threads)) {
+        if (set.insert(stm_rt, ctx.stm_stats, stream[i])) ++local;
+      }
+      inserted.fetch_add(local, std::memory_order_relaxed);
+    }, result);
+
+    result.operations = segments;
+    // Every distinct segment must be inserted exactly once.
+    result.valid = inserted.load() == set.count_nonzero() &&
+                   inserted.load() <= distinct;
+    return result;
+  }
+
+ private:
+  WorkloadOptions opts_;
+};
+
+// --------------------------------------------------------------------
+// intruder
+// --------------------------------------------------------------------
+
+class IntruderWorkload final : public Workload {
+ public:
+  explicit IntruderWorkload(const WorkloadOptions& opts) : opts_(opts) {}
+  std::string name() const override { return "intruder"; }
+
+  WorkloadResult run(int threads) override {
+    const std::uint64_t flows = 2000 * opts_.size;
+    const int frags_per_flow = 4;
+    // Fragment stream: (flow, fragment) interleaved pseudo-randomly.
+    struct Frag {
+      std::uint32_t flow;
+      std::uint32_t index;
+    };
+    std::vector<Frag> stream;
+    stream.reserve(flows * frags_per_flow);
+    for (std::uint32_t f = 0; f < flows; ++f) {
+      for (int k = 0; k < frags_per_flow; ++k) {
+        stream.push_back({f, static_cast<std::uint32_t>(k)});
+      }
+    }
+    SplitMix64 shuffle_rng(opts_.seed);
+    for (std::size_t i = stream.size(); i > 1; --i) {
+      std::swap(stream[i - 1], stream[shuffle_rng.next_below(i)]);
+    }
+
+    // Shared reassembly state: per-flow received-fragment bitmask, updated
+    // transactionally (the STAMP capture/reassembly phases).
+    std::vector<std::uint64_t> flow_mask(flows, 0);
+    stm::Stm stm_rt;
+    std::atomic<std::uint64_t> next{0};
+    std::atomic<std::uint64_t> detected{0};
+    WorkloadResult result;
+
+    run_parallel(threads, [&](ThreadContext& ctx) {
+      (void)ctx;
+      std::uint64_t local_detected = 0;
+      for (;;) {
+        const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= stream.size()) break;
+        const Frag frag = stream[i];
+        bool complete = false;
+        stm::atomically(stm_rt, ctx.stm_stats, [&](stm::Transaction& tx) {
+          const std::uint64_t mask = tx.read(&flow_mask[frag.flow]);
+          const std::uint64_t updated = mask | (1ull << frag.index);
+          tx.write(&flow_mask[frag.flow], updated);
+          complete = updated == (1ull << frags_per_flow) - 1;
+        });
+        if (complete) {
+          // Detection phase runs outside the transaction (thread-local):
+          // a tiny signature scan stand-in.
+          std::uint64_t sig = frag.flow * 0x9E3779B97F4A7C15ull;
+          sig ^= sig >> 29;
+          if ((sig & 0xff) == 0x42) ++local_detected;  // "intrusion"
+        }
+      }
+      detected.fetch_add(local_detected, std::memory_order_relaxed);
+    }, result);
+
+    result.operations = stream.size();
+    // Validation: every flow mask is complete.
+    bool all_complete = true;
+    for (auto m : flow_mask) {
+      if (m != (1ull << frags_per_flow) - 1) {
+        all_complete = false;
+        break;
+      }
+    }
+    result.valid = all_complete;
+    return result;
+  }
+
+ private:
+  WorkloadOptions opts_;
+};
+
+// --------------------------------------------------------------------
+// kmeans
+// --------------------------------------------------------------------
+
+class KmeansWorkload final : public Workload {
+ public:
+  explicit KmeansWorkload(const WorkloadOptions& opts) : opts_(opts) {}
+  std::string name() const override { return "kmeans"; }
+
+  WorkloadResult run(int threads) override {
+    constexpr int kDims = 4;
+    constexpr int kClusters = 8;
+    const std::size_t points = 4000 * opts_.size;
+    const int iterations = 6;
+
+    std::vector<double> data(points * kDims);
+    SplitMix64 gen(opts_.seed);
+    for (auto& v : data) v = gen.uniform(0.0, 100.0);
+
+    // Shared per-cluster accumulators updated transactionally.
+    std::vector<std::uint64_t> counts(kClusters, 0);
+    std::vector<double> sums(kClusters * kDims, 0.0);
+    std::vector<double> centres(kClusters * kDims);
+    for (int c = 0; c < kClusters; ++c) {
+      for (int d = 0; d < kDims; ++d) {
+        centres[c * kDims + d] = data[(c * 97) % points * kDims + d];
+      }
+    }
+
+    stm::Stm stm_rt;
+    sync::SpinBarrier barrier(threads);
+    WorkloadResult result;
+    std::atomic<std::uint64_t> assignments{0};
+
+    run_parallel(threads, [&](ThreadContext& ctx) {
+      for (int iter = 0; iter < iterations; ++iter) {
+        for (std::size_t i = ctx.tid; i < points;
+             i += static_cast<std::size_t>(ctx.num_threads)) {
+          // Nearest centre (thread-local compute).
+          int best = 0;
+          double best_d = 1e300;
+          for (int c = 0; c < kClusters; ++c) {
+            double dist = 0.0;
+            for (int d = 0; d < kDims; ++d) {
+              const double delta =
+                  data[i * kDims + d] - centres[c * kDims + d];
+              dist += delta * delta;
+            }
+            if (dist < best_d) {
+              best_d = dist;
+              best = c;
+            }
+          }
+          // Transactional accumulation into the shared cluster state.
+          stm::atomically(stm_rt, ctx.stm_stats, [&](stm::Transaction& tx) {
+            tx.write(&counts[best], tx.read(&counts[best]) + 1);
+            for (int d = 0; d < kDims; ++d) {
+              double* cell = &sums[best * kDims + d];
+              tx.write(cell, tx.read(cell) + data[i * kDims + d]);
+            }
+          });
+          assignments.fetch_add(1, std::memory_order_relaxed);
+        }
+        barrier.arrive_and_wait(&ctx.sync_stats);
+        if (ctx.tid == 0) {
+          // Serial centre update + reset, like the original's master step.
+          for (int c = 0; c < kClusters; ++c) {
+            if (counts[c] > 0) {
+              for (int d = 0; d < kDims; ++d) {
+                centres[c * kDims + d] =
+                    sums[c * kDims + d] / static_cast<double>(counts[c]);
+              }
+            }
+            counts[c] = 0;
+            for (int d = 0; d < kDims; ++d) sums[c * kDims + d] = 0.0;
+          }
+        }
+        barrier.arrive_and_wait(&ctx.sync_stats);
+      }
+    }, result);
+
+    result.operations = assignments.load();
+    result.valid = assignments.load() ==
+                   static_cast<std::uint64_t>(points) * iterations;
+    return result;
+  }
+
+ private:
+  WorkloadOptions opts_;
+};
+
+// --------------------------------------------------------------------
+// vacation (high / low)
+// --------------------------------------------------------------------
+
+class VacationWorkload final : public Workload {
+ public:
+  VacationWorkload(const WorkloadOptions& opts, bool high)
+      : opts_(opts), high_(high) {}
+  std::string name() const override {
+    return high_ ? "vacation-high" : "vacation-low";
+  }
+
+  WorkloadResult run(int threads) override {
+    const std::size_t relations = 2048;       // rows per table
+    const std::uint64_t txns = 8000 * opts_.size;
+    const int queries = high_ ? 8 : 2;        // tables touched per txn
+
+    // Three reservation tables (car/room/flight): availability counters.
+    std::vector<std::int64_t> tables[3];
+    for (auto& t : tables) t.assign(relations, 100);
+    std::vector<std::int64_t> customer_balance(relations, 0);
+
+    stm::Stm stm_rt;
+    WorkloadResult result;
+    std::atomic<std::uint64_t> committed{0};
+
+    run_parallel(threads, [&](ThreadContext& ctx) {
+      SplitMix64 rng(opts_.seed + 1000 + ctx.tid);
+      std::uint64_t local = 0;
+      for (std::uint64_t i = ctx.tid; i < txns;
+           i += static_cast<std::uint64_t>(ctx.num_threads)) {
+        const std::size_t cust = rng.next_below(relations);
+        stm::atomically(stm_rt, ctx.stm_stats, [&](stm::Transaction& tx) {
+          std::int64_t booked = 0;
+          for (int q = 0; q < queries; ++q) {
+            auto& table = tables[q % 3];
+            // High contention picks from a hot subset of rows.
+            const std::size_t row = high_ ? rng.next_below(relations / 32)
+                                          : rng.next_below(relations);
+            const std::int64_t avail = tx.read(&table[row]);
+            if (avail > 0) {
+              tx.write(&table[row], avail - 1);
+              ++booked;
+            }
+          }
+          tx.write(&customer_balance[cust],
+                   tx.read(&customer_balance[cust]) + booked);
+        });
+        ++local;
+      }
+      committed.fetch_add(local, std::memory_order_relaxed);
+    }, result);
+
+    // Conservation: total seats removed == total balance added.
+    std::int64_t removed = 0;
+    for (const auto& t : tables) {
+      for (auto v : t) removed += 100 - v;
+    }
+    std::int64_t balance = 0;
+    for (auto b : customer_balance) balance += b;
+
+    result.operations = committed.load();
+    result.valid = committed.load() == txns && removed == balance;
+    return result;
+  }
+
+ private:
+  WorkloadOptions opts_;
+  bool high_;
+};
+
+// --------------------------------------------------------------------
+// labyrinth
+// --------------------------------------------------------------------
+
+class LabyrinthWorkload final : public Workload {
+ public:
+  explicit LabyrinthWorkload(const WorkloadOptions& opts) : opts_(opts) {}
+  std::string name() const override { return "labyrinth"; }
+
+  WorkloadResult run(int threads) override {
+    const int grid = 64;
+    const std::uint64_t paths = 300 * opts_.size;
+    // Grid cells hold the id of the path that claimed them (0 = free).
+    std::vector<std::uint64_t> cells(grid * grid, 0);
+
+    stm::Stm stm_rt;
+    WorkloadResult result;
+    std::atomic<std::uint64_t> next{0};
+    std::atomic<std::uint64_t> routed{0};
+
+    run_parallel(threads, [&](ThreadContext& ctx) {
+      SplitMix64 rng(opts_.seed + 7 + ctx.tid);
+      std::uint64_t local = 0;
+      for (;;) {
+        const std::uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+        if (id >= paths) break;
+        // Plan an L-shaped route between two random points (local work),
+        // then transactionally claim the cells; abort-and-replan when a
+        // cell is already taken (the STAMP grid-copy/validate pattern).
+        for (int attempt = 0; attempt < 32; ++attempt) {
+          const int x0 = static_cast<int>(rng.next_below(grid));
+          const int y0 = static_cast<int>(rng.next_below(grid));
+          const int x1 = static_cast<int>(rng.next_below(grid));
+          const int y1 = static_cast<int>(rng.next_below(grid));
+          std::vector<int> route;
+          for (int x = std::min(x0, x1); x <= std::max(x0, x1); ++x) {
+            route.push_back(y0 * grid + x);
+          }
+          for (int y = std::min(y0, y1); y <= std::max(y0, y1); ++y) {
+            route.push_back(y * grid + x1);
+          }
+          bool claimed = false;
+          stm::atomically(stm_rt, ctx.stm_stats, [&](stm::Transaction& tx) {
+            claimed = false;
+            for (int cell : route) {
+              if (tx.read(&cells[cell]) != 0) return;  // occupied: replan
+            }
+            for (int cell : route) tx.write(&cells[cell], id + 1);
+            claimed = true;
+          });
+          if (claimed) {
+            ++local;
+            break;
+          }
+        }
+      }
+      routed.fetch_add(local, std::memory_order_relaxed);
+    }, result);
+
+    // Validation: no cell claimed by a nonexistent path.
+    bool ok = true;
+    for (auto c : cells) {
+      if (c > paths) {
+        ok = false;
+        break;
+      }
+    }
+    result.operations = routed.load();
+    result.valid = ok && routed.load() > 0;
+    return result;
+  }
+
+ private:
+  WorkloadOptions opts_;
+};
+
+// --------------------------------------------------------------------
+// ssca2
+// --------------------------------------------------------------------
+
+class Ssca2Workload final : public Workload {
+ public:
+  explicit Ssca2Workload(const WorkloadOptions& opts) : opts_(opts) {}
+  std::string name() const override { return "ssca2"; }
+
+  WorkloadResult run(int threads) override {
+    const std::uint64_t nodes = 4096;
+    const std::uint64_t edges = 30000 * opts_.size;
+
+    // Adjacency as an STM hash set of packed (src, dst) pairs; degree
+    // counters updated transactionally (small transactions, like SSCA2's
+    // graph construction kernel).
+    stm::Stm stm_rt;
+    StmHashSet edge_set(edges * 2);
+    std::vector<std::uint64_t> degree(nodes, 0);
+    WorkloadResult result;
+    std::atomic<std::uint64_t> inserted{0};
+
+    run_parallel(threads, [&](ThreadContext& ctx) {
+      SplitMix64 rng(opts_.seed + 31 + ctx.tid);
+      std::uint64_t local = 0;
+      for (std::uint64_t i = ctx.tid; i < edges;
+           i += static_cast<std::uint64_t>(ctx.num_threads)) {
+        const std::uint64_t src = rng.next_below(nodes);
+        const std::uint64_t dst = rng.next_below(nodes);
+        const std::uint64_t packed = (src << 20) | dst | (1ull << 63);
+        if (edge_set.insert(stm_rt, ctx.stm_stats, packed)) {
+          stm::atomically(stm_rt, ctx.stm_stats, [&](stm::Transaction& tx) {
+            tx.write(&degree[src], tx.read(&degree[src]) + 1);
+          });
+          ++local;
+        }
+      }
+      inserted.fetch_add(local, std::memory_order_relaxed);
+    }, result);
+
+    // Degree sum must equal distinct edge count.
+    std::uint64_t total_degree = 0;
+    for (auto d : degree) total_degree += d;
+    result.operations = edges;
+    result.valid = total_degree == inserted.load() &&
+                   inserted.load() == edge_set.count_nonzero();
+    return result;
+  }
+
+ private:
+  WorkloadOptions opts_;
+};
+
+// --------------------------------------------------------------------
+// yada (Delaunay refinement emulated as cavity grabs)
+// --------------------------------------------------------------------
+
+class YadaWorkload final : public Workload {
+ public:
+  explicit YadaWorkload(const WorkloadOptions& opts) : opts_(opts) {}
+  std::string name() const override { return "yada"; }
+
+  WorkloadResult run(int threads) override {
+    const int grid = 96;
+    const std::uint64_t bad_triangles = 1200 * opts_.size;
+    // Refining a "bad triangle" claims a small cavity of neighbouring
+    // cells; overlapping cavities conflict, exactly yada's abort pattern.
+    std::vector<std::uint64_t> mesh(grid * grid, 0);
+    stm::Stm stm_rt;
+    WorkloadResult result;
+    std::atomic<std::uint64_t> next{0};
+    std::atomic<std::uint64_t> refined{0};
+
+    run_parallel(threads, [&](ThreadContext& ctx) {
+      SplitMix64 rng(opts_.seed + 77 + ctx.tid);
+      std::uint64_t local = 0;
+      for (;;) {
+        const std::uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+        if (id >= bad_triangles) break;
+        const int cx = 1 + static_cast<int>(rng.next_below(grid - 2));
+        const int cy = 1 + static_cast<int>(rng.next_below(grid - 2));
+        stm::atomically(stm_rt, ctx.stm_stats, [&](stm::Transaction& tx) {
+          // Claim the 3x3 cavity: read-modify-write every cell.
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              std::uint64_t* cell = &mesh[(cy + dy) * grid + (cx + dx)];
+              tx.write(cell, tx.read(cell) + 1);
+            }
+          }
+        });
+        ++local;
+      }
+      refined.fetch_add(local, std::memory_order_relaxed);
+    }, result);
+
+    // Each refinement increments exactly 9 cells.
+    std::uint64_t total = 0;
+    for (auto c : mesh) total += c;
+    result.operations = refined.load();
+    result.valid = refined.load() == bad_triangles &&
+                   total == bad_triangles * 9;
+    return result;
+  }
+
+ private:
+  WorkloadOptions opts_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_stamp_workload(const std::string& name,
+                                              const WorkloadOptions& opts) {
+  if (name == "genome") return std::make_unique<GenomeWorkload>(opts);
+  if (name == "intruder") return std::make_unique<IntruderWorkload>(opts);
+  if (name == "kmeans") return std::make_unique<KmeansWorkload>(opts);
+  if (name == "vacation-high")
+    return std::make_unique<VacationWorkload>(opts, true);
+  if (name == "vacation-low")
+    return std::make_unique<VacationWorkload>(opts, false);
+  if (name == "labyrinth") return std::make_unique<LabyrinthWorkload>(opts);
+  if (name == "ssca2") return std::make_unique<Ssca2Workload>(opts);
+  if (name == "yada") return std::make_unique<YadaWorkload>(opts);
+  return nullptr;
+}
+
+}  // namespace estima::wl

@@ -1,0 +1,49 @@
+// Common interface for the native, actually-runnable mini-workloads.
+//
+// These are compact C++ re-implementations of the applications the paper
+// benchmarks (data-structure microbenchmarks, STAMP-style STM programs,
+// PARSEC-style pthread programs, K-NN), built on this repository's own STM
+// (src/stm) and instrumented synchronisation (src/syncstats). They exist so
+// the measurement pipeline (counters::run_campaign -> core::predict) can be
+// exercised end to end on real threads, and they self-validate so tests can
+// assert correctness under concurrency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace estima::wl {
+
+struct WorkloadResult {
+  std::uint64_t operations = 0;  ///< completed logical operations
+  bool valid = false;            ///< self-check outcome
+  /// Software stall cycles by category, summed over worker threads
+  /// (stm_abort_cycles, lock_spin_cycles, barrier_wait_cycles, ...).
+  std::map<std::string, double> software_stalls;
+};
+
+struct WorkloadOptions {
+  std::uint64_t size = 1;   ///< scale knob; 1 = small test-friendly run
+  std::uint64_t seed = 42;  ///< deterministic input generation
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual std::string name() const = 0;
+  /// Runs the whole job on `threads` worker threads and reports.
+  virtual WorkloadResult run(int threads) = 0;
+};
+
+/// Factory over all native workloads. Throws std::invalid_argument for
+/// unknown names.
+std::unique_ptr<Workload> make_workload(const std::string& name,
+                                        const WorkloadOptions& opts = {});
+
+/// Names accepted by make_workload.
+const std::vector<std::string>& native_workload_names();
+
+}  // namespace estima::wl

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "counters/events.hpp"
+#include "counters/perf.hpp"
+#include "counters/sampler.hpp"
+#include "counters/topology.hpp"
+
+namespace estima::counters {
+namespace {
+
+TEST(Events, Table2AmdBackendEvents) {
+  const auto& events = backend_events(CounterArch::kAmdFam10h);
+  ASSERT_EQ(events.size(), 5u);  // Table 2 has exactly five rows
+  EXPECT_EQ(events[0].code, "0D2h");
+  EXPECT_EQ(events[1].code, "0D5h");
+  EXPECT_EQ(events[2].code, "0D6h");
+  EXPECT_EQ(events[3].code, "0D7h");
+  EXPECT_EQ(events[4].code, "0D8h");
+  for (const auto& e : events) {
+    EXPECT_EQ(e.stage, EventStage::kBackend);
+    EXPECT_NE(e.raw_config, 0u);
+  }
+}
+
+TEST(Events, Table3IntelBackendEvents) {
+  const auto& events = backend_events(CounterArch::kIntelCore);
+  ASSERT_EQ(events.size(), 5u);  // Table 3 has exactly five rows
+  EXPECT_EQ(events[0].code, "0487h");
+  EXPECT_EQ(events[1].code, "01A2h");
+  EXPECT_EQ(events[2].code, "04A2h");
+  EXPECT_EQ(events[3].code, "08A2h");
+  EXPECT_EQ(events[4].code, "10A2h");
+}
+
+TEST(Events, FrontendEventsAreFrontend) {
+  for (auto arch : {CounterArch::kAmdFam10h, CounterArch::kIntelCore}) {
+    for (const auto& e : frontend_events(arch)) {
+      EXPECT_EQ(e.stage, EventStage::kFrontend);
+    }
+    EXPECT_GE(max_concurrent_events(arch), 4);
+  }
+}
+
+TEST(Events, CategoryLabelsIncludeCode) {
+  const auto& events = backend_events(CounterArch::kAmdFam10h);
+  EXPECT_EQ(events[4].category_label(),
+            "0D8h Dispatch Stall for LS Full");
+}
+
+TEST(Topology, SyntheticTopology) {
+  const auto topo = make_topology(2, 4);
+  EXPECT_EQ(topo.num_cpus(), 8);
+  EXPECT_EQ(topo.num_sockets(), 2);
+  EXPECT_EQ(topo.cores_per_socket(), 4);
+}
+
+TEST(Topology, SocketFirstOrderFillsSocketsInTurn) {
+  const auto topo = make_topology(2, 4);
+  const auto order = topo.socket_first_order();
+  ASSERT_EQ(order.size(), 8u);
+  // First four CPUs must all belong to one socket.
+  const int first_socket = topo.cpus[order[0]].socket;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(topo.cpus[order[i]].socket, first_socket);
+  }
+  EXPECT_NE(topo.cpus[order[4]].socket, first_socket);
+}
+
+TEST(Topology, SmtSiblingsComeAfterDistinctCores) {
+  const auto topo = make_topology(1, 4, /*smt=*/2);
+  const auto order = topo.socket_first_order();
+  ASSERT_EQ(order.size(), 8u);
+  // The first four entries must cover four distinct physical cores.
+  std::set<int> cores;
+  for (int i = 0; i < 4; ++i) cores.insert(topo.cpus[order[i]].core);
+  EXPECT_EQ(cores.size(), 4u);
+}
+
+TEST(Topology, DiscoveryNeverEmpty) {
+  const auto topo = discover_topology();
+  EXPECT_GT(topo.num_cpus(), 0);
+  EXPECT_GE(topo.num_sockets(), 1);
+  EXPECT_FALSE(topo.socket_first_order().empty());
+}
+
+TEST(Perf, GracefulWhenUnavailable) {
+  // In containers perf_event_open is usually forbidden; either way the
+  // wrapper must not crash and must report validity consistently.
+  PerfCounter c = PerfCounter::open_generic("cycles");
+  if (!c.valid()) {
+    EXPECT_NE(c.error(), 0);
+    EXPECT_EQ(c.read_value(), 0u);
+  } else {
+    c.reset();
+    c.enable();
+    volatile int x = 0;
+    for (int i = 0; i < 100000; ++i) x = x + 1;
+    c.disable();
+    EXPECT_GT(c.read_value(), 0u);
+  }
+  EXPECT_FALSE(PerfCounter::open_generic("bogus-event").valid());
+}
+
+TEST(Perf, StallGroupReadsAllCategories) {
+  StallCounterGroup group(CounterArch::kIntelCore);
+  const auto readings = group.read_all();
+  EXPECT_FALSE(readings.empty());
+  for (const auto& r : readings) {
+    EXPECT_FALSE(r.category.empty());
+  }
+}
+
+TEST(Sampler, CampaignCollectsSoftwareStalls) {
+  // A synthetic region that "spins" and reports software stalls shaped
+  // like a contended workload; hardware counters may or may not be
+  // available in the environment, software categories must always land.
+  SamplerOptions opts;
+  opts.freq_ghz = 1.0;  // skip calibration for test speed
+  auto campaign = run_campaign(
+      "synthetic-region",
+      [](int threads) {
+        RunReport report;
+        volatile int sink = 0;
+        for (int i = 0; i < 200000 * threads; ++i) sink = sink + 1;
+        report.software_stalls["lock_spin_cycles"] = 1000.0 * threads * threads;
+        return report;
+      },
+      {1, 2, 3, 4}, opts);
+
+  EXPECT_EQ(campaign.cores, (std::vector<int>{1, 2, 3, 4}));
+  ASSERT_EQ(campaign.time_s.size(), 4u);
+  for (double t : campaign.time_s) EXPECT_GT(t, 0.0);
+
+  const core::StallSeries* sw = nullptr;
+  for (const auto& cat : campaign.categories) {
+    if (cat.name == "lock_spin_cycles") sw = &cat;
+  }
+  ASSERT_NE(sw, nullptr);
+  EXPECT_EQ(sw->domain, core::StallDomain::kSoftware);
+  EXPECT_DOUBLE_EQ(sw->values[0], 1000.0);
+  EXPECT_DOUBLE_EQ(sw->values[3], 16000.0);
+}
+
+TEST(Sampler, FrequencyEstimatePlausible) {
+  const double ghz = estimate_freq_ghz();
+  EXPECT_GT(ghz, 0.1);
+  EXPECT_LT(ghz, 10.0);
+}
+
+}  // namespace
+}  // namespace estima::counters

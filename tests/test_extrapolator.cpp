@@ -1,0 +1,141 @@
+#include "core/extrapolator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace estima::core {
+namespace {
+
+std::vector<int> cores(int m) {
+  std::vector<int> xs;
+  for (int i = 1; i <= m; ++i) xs.push_back(i);
+  return xs;
+}
+
+TEST(Extrapolator, RecoversSaturatingCurve) {
+  // Stall-like series that saturates: v(n) = 100 n / (1 + 0.1 n).
+  auto xs = cores(12);
+  std::vector<double> ys;
+  for (int x : xs) ys.push_back(100.0 * x / (1.0 + 0.1 * x));
+  ExtrapolationConfig cfg;
+  cfg.target_max_cores = 48;
+  auto ext = extrapolate_series(xs, ys, cfg);
+  ASSERT_TRUE(ext.has_value());
+  for (int n : {16, 24, 48}) {
+    const double want = 100.0 * n / (1.0 + 0.1 * n);
+    EXPECT_NEAR(ext->best(n), want, 0.05 * want) << "n=" << n;
+  }
+}
+
+TEST(Extrapolator, RecoversSuperlinearGrowth) {
+  // Contention blow-up: v(n) = 5 n^2.
+  auto xs = cores(12);
+  std::vector<double> ys;
+  for (int x : xs) ys.push_back(5.0 * x * x);
+  ExtrapolationConfig cfg;
+  cfg.target_max_cores = 48;
+  auto ext = extrapolate_series(xs, ys, cfg);
+  ASSERT_TRUE(ext.has_value());
+  const double at48 = ext->best(48);
+  EXPECT_NEAR(at48, 5.0 * 48 * 48, 0.10 * 5.0 * 48 * 48);
+}
+
+TEST(Extrapolator, ChoosesByCheckpointRmse) {
+  auto xs = cores(10);
+  std::vector<double> ys;
+  for (int x : xs) ys.push_back(10.0 + 2.0 * std::log(x));
+  ExtrapolationConfig cfg;
+  cfg.target_max_cores = 40;
+  auto ext = extrapolate_series(xs, ys, cfg);
+  ASSERT_TRUE(ext.has_value());
+  // With noise-free log data, checkpoint error should be essentially zero.
+  EXPECT_LT(ext->checkpoint_rmse, 1e-6);
+  EXPECT_GT(ext->candidates_realistic, 0u);
+}
+
+TEST(Extrapolator, ReportsChosenPrefixAndCheckpoints) {
+  auto xs = cores(12);
+  std::vector<double> ys;
+  for (int x : xs) ys.push_back(3.0 * x);
+  ExtrapolationConfig cfg;
+  auto ext = extrapolate_series(xs, ys, cfg);
+  ASSERT_TRUE(ext.has_value());
+  EXPECT_GE(ext->chosen_prefix, cfg.min_prefix);
+  EXPECT_TRUE(ext->chosen_checkpoints == 2 || ext->chosen_checkpoints == 4);
+}
+
+TEST(Extrapolator, TooFewPointsFails) {
+  std::vector<int> xs{1, 2, 3};
+  std::vector<double> ys{1.0, 2.0, 3.0};
+  ExtrapolationConfig cfg;
+  EXPECT_FALSE(extrapolate_series(xs, ys, cfg).has_value());
+}
+
+TEST(Extrapolator, NoisyDataStillProducesRealisticFit) {
+  auto xs = cores(12);
+  std::vector<double> ys;
+  for (int x : xs) {
+    const double base = 50.0 * x / (1.0 + 0.05 * x);
+    // +-3% deterministic ripple.
+    ys.push_back(base * (1.0 + 0.03 * std::sin(1.7 * x)));
+  }
+  ExtrapolationConfig cfg;
+  cfg.target_max_cores = 48;
+  auto ext = extrapolate_series(xs, ys, cfg);
+  ASSERT_TRUE(ext.has_value());
+  for (int n = 1; n <= 48; ++n) {
+    EXPECT_TRUE(std::isfinite(ext->best(n)));
+    EXPECT_GE(ext->best(n), 0.0);
+  }
+}
+
+TEST(Extrapolator, EnumerateCandidatesExposesAllRealisticFits) {
+  auto xs = cores(10);
+  std::vector<double> ys;
+  for (int x : xs) ys.push_back(7.0 * x + 1.0);
+  ExtrapolationConfig cfg;
+  auto cands = enumerate_candidates(xs, ys, cfg);
+  ASSERT_FALSE(cands.empty());
+  for (const auto& c : cands) {
+    EXPECT_GE(c.prefix_len, cfg.min_prefix);
+    EXPECT_TRUE(std::isfinite(c.checkpoint_rmse));
+  }
+}
+
+TEST(Extrapolator, ConstantSeriesExtrapolatesFlat) {
+  auto xs = cores(10);
+  std::vector<double> ys(10, 42.0);
+  ExtrapolationConfig cfg;
+  cfg.target_max_cores = 48;
+  auto ext = extrapolate_series(xs, ys, cfg);
+  ASSERT_TRUE(ext.has_value());
+  EXPECT_NEAR(ext->best(48), 42.0, 1.0);
+}
+
+// Property sweep: for every checkpoint configuration, the chosen function
+// must stay realistic over the whole horizon.
+class CheckpointSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckpointSweepTest, ChosenFitRealisticOverHorizon) {
+  const int c = GetParam();
+  auto xs = cores(12);
+  std::vector<double> ys;
+  for (int x : xs) ys.push_back(20.0 * x / (1.0 + 0.02 * x * x));
+  ExtrapolationConfig cfg;
+  cfg.checkpoint_counts = {c};
+  cfg.target_max_cores = 48;
+  auto ext = extrapolate_series(xs, ys, cfg);
+  ASSERT_TRUE(ext.has_value());
+  for (int n = 1; n <= 48; ++n) {
+    const double v = ext->best(n);
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, -0.05 * 120.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Checkpoints, CheckpointSweepTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace estima::core

@@ -1,0 +1,177 @@
+#include "core/fit_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace estima::core {
+namespace {
+
+std::vector<double> core_counts(int m) {
+  std::vector<double> xs;
+  for (int i = 1; i <= m; ++i) xs.push_back(i);
+  return xs;
+}
+
+TEST(FitEngine, CubicLnRoundTrip) {
+  std::vector<double> truth{3.0, 1.5, -0.2, 0.05};
+  auto xs = core_counts(10);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(kernel_eval(KernelType::kCubicLn, x, truth));
+  auto f = fit_kernel(KernelType::kCubicLn, xs, ys);
+  ASSERT_TRUE(f.has_value());
+  for (double x : {1.0, 5.0, 20.0, 48.0}) {
+    EXPECT_NEAR((*f)(x), kernel_eval(KernelType::kCubicLn, x, truth), 1e-6);
+  }
+}
+
+TEST(FitEngine, Poly25RoundTrip) {
+  std::vector<double> truth{10.0, -0.5, 0.02, 0.001};
+  auto xs = core_counts(10);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(kernel_eval(KernelType::kPoly25, x, truth));
+  auto f = fit_kernel(KernelType::kPoly25, xs, ys);
+  ASSERT_TRUE(f.has_value());
+  for (double x : {2.0, 12.0, 36.0}) {
+    EXPECT_NEAR((*f)(x), kernel_eval(KernelType::kPoly25, x, truth),
+                1e-6 * std::fabs(kernel_eval(KernelType::kPoly25, x, truth)));
+  }
+}
+
+TEST(FitEngine, Rat22RoundTrip) {
+  // Saturating curve: (1 + 3n) / (1 + 0.2n) -> 15 as n -> inf.
+  std::vector<double> truth{1.0, 3.0, 0.0, 0.2, 0.0};
+  auto xs = core_counts(12);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(kernel_eval(KernelType::kRat22, x, truth));
+  auto f = fit_kernel(KernelType::kRat22, xs, ys);
+  ASSERT_TRUE(f.has_value());
+  for (double x : {2.0, 10.0, 30.0, 48.0}) {
+    const double want = kernel_eval(KernelType::kRat22, x, truth);
+    EXPECT_NEAR((*f)(x), want, 2e-2 * std::fabs(want));
+  }
+}
+
+TEST(FitEngine, ExpRatRoundTripOnPositiveData) {
+  // exp((0.5 + 0.3n)/(1 + 0.1n)): grows towards exp(3).
+  std::vector<double> truth{0.5, 0.3, 0.1};
+  auto xs = core_counts(12);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(kernel_eval(KernelType::kExpRat, x, truth));
+  auto f = fit_kernel(KernelType::kExpRat, xs, ys);
+  ASSERT_TRUE(f.has_value());
+  for (double x : {2.0, 10.0, 24.0}) {
+    const double want = kernel_eval(KernelType::kExpRat, x, truth);
+    EXPECT_NEAR((*f)(x), want, 5e-2 * std::fabs(want));
+  }
+}
+
+TEST(FitEngine, ExpRatRejectsNonPositiveData) {
+  auto xs = core_counts(6);
+  std::vector<double> ys{1.0, 0.5, -0.2, 0.1, 0.3, 0.4};
+  EXPECT_FALSE(fit_kernel(KernelType::kExpRat, xs, ys).has_value());
+}
+
+TEST(FitEngine, HandlesHugeCycleCounts) {
+  // Raw stall-cycle magnitudes (~1e12) must not break conditioning.
+  auto xs = core_counts(8);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(1e12 * (1.0 + 0.5 * std::log(x)));
+  auto f = fit_kernel(KernelType::kCubicLn, xs, ys);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_NEAR((*f)(4.0), 1e12 * (1.0 + 0.5 * std::log(4.0)), 1e6);
+}
+
+TEST(FitEngine, AllZeroSeriesFitsAsZero) {
+  auto xs = core_counts(6);
+  std::vector<double> ys(6, 0.0);
+  auto f = fit_kernel(KernelType::kRat22, xs, ys);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_DOUBLE_EQ((*f)(17.0), 0.0);
+}
+
+TEST(FitEngine, RejectsTooFewPoints) {
+  EXPECT_FALSE(fit_kernel(KernelType::kCubicLn, {1.0}, {2.0}).has_value());
+  EXPECT_FALSE(fit_kernel(KernelType::kCubicLn, {}, {}).has_value());
+}
+
+TEST(FitEngine, RejectsNonPositiveCoreCounts) {
+  EXPECT_FALSE(
+      fit_kernel(KernelType::kCubicLn, {0.0, 1.0, 2.0}, {1.0, 2.0, 3.0})
+          .has_value());
+}
+
+TEST(FitEngine, ShortPrefixUsesRidgeAndStaysFinite) {
+  // 3 points, 7-parameter Rat33: under-determined, must not blow up.
+  std::vector<double> xs{1.0, 2.0, 3.0};
+  std::vector<double> ys{5.0, 4.0, 3.5};
+  auto f = fit_kernel(KernelType::kRat33, xs, ys);
+  ASSERT_TRUE(f.has_value());
+  for (double x : {1.0, 2.0, 3.0, 10.0}) {
+    EXPECT_TRUE(std::isfinite((*f)(x)));
+  }
+}
+
+TEST(Realism, AcceptsBoundedPositiveFit) {
+  FittedFunction f{KernelType::kCubicLn, {1.0, 0.5, 0.0, 0.0}, 1.0};
+  RealismOptions opts;
+  opts.range_min = 1.0;
+  opts.range_max = 48.0;
+  EXPECT_TRUE(is_realistic(f, opts, 10.0, true));
+}
+
+TEST(Realism, RejectsPoleInsideRange) {
+  // Denominator 1 - 0.05 n crosses zero at n = 20 < 48.
+  FittedFunction f{KernelType::kRat22, {1.0, 0.0, 0.0, -0.05, 0.0}, 1.0};
+  RealismOptions opts;
+  opts.range_min = 1.0;
+  opts.range_max = 48.0;
+  EXPECT_FALSE(is_realistic(f, opts, 10.0, true));
+}
+
+TEST(Realism, RejectsNegativeFitOfNonnegativeData) {
+  FittedFunction f{KernelType::kCubicLn, {1.0, -5.0, 0.0, 0.0}, 1.0};
+  RealismOptions opts;
+  opts.range_min = 1.0;
+  opts.range_max = 48.0;
+  EXPECT_FALSE(is_realistic(f, opts, 1.0, true));
+  // But the same shape is fine when the data itself had negative values.
+  EXPECT_TRUE(is_realistic(f, opts, 20.0, false));
+}
+
+TEST(Realism, RejectsExplosion) {
+  // 1e6 * n^2.5-ish growth against data max 1.0 exceeds the default factor.
+  FittedFunction f{KernelType::kPoly25, {0.0, 0.0, 0.0, 1e6}, 1.0};
+  RealismOptions opts;
+  opts.range_min = 1.0;
+  opts.range_max = 48.0;
+  EXPECT_FALSE(is_realistic(f, opts, 1.0, true));
+}
+
+class FitAllKernelsTest : public ::testing::TestWithParam<KernelType> {};
+
+TEST_P(FitAllKernelsTest, FitsItsOwnSamplesFinitely) {
+  const KernelType type = GetParam();
+  // Generate benign, positive, gently-saturating data from each kernel and
+  // check self-fit produces finite values over the extrapolation range.
+  std::vector<double> p(kernel_param_count(type), 0.0);
+  p[0] = type == KernelType::kExpRat ? 1.0 : 5.0;
+  if (p.size() > 1) p[1] = type == KernelType::kExpRat ? 0.05 : 0.3;
+  auto xs = core_counts(12);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(kernel_eval(type, x, p));
+  auto f = fit_kernel(type, xs, ys);
+  ASSERT_TRUE(f.has_value()) << kernel_name(type);
+  for (int n = 1; n <= 48; ++n) {
+    EXPECT_TRUE(std::isfinite((*f)(n))) << kernel_name(type) << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, FitAllKernelsTest,
+                         ::testing::ValuesIn(kAllKernels),
+                         [](const ::testing::TestParamInfo<KernelType>& info) {
+                           return kernel_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace estima::core

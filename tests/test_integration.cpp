@@ -1,0 +1,164 @@
+// End-to-end integration tests across module boundaries:
+//  * simulator -> predictor -> evaluation (the bench pipeline);
+//  * native workload -> sampler campaign -> predictor (the real pipeline);
+//  * CSV round trip through the predictor;
+//  * plugin harvesting feeding a MeasurementSet.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/bottleneck.hpp"
+#include "core/measurement.hpp"
+#include "core/plugin.hpp"
+#include "core/predictor.hpp"
+#include "counters/sampler.hpp"
+#include "simmachine/machine.hpp"
+#include "simmachine/presets.hpp"
+#include "simmachine/simulator.hpp"
+#include "workloads/workload.hpp"
+
+namespace estima {
+namespace {
+
+TEST(Integration, SimulatedCampaignPredictsAllWorkloads) {
+  const auto machine = sim::opteron48();
+  for (const auto& name : sim::presets::benchmark_workload_names()) {
+    const auto wl = sim::presets::workload(name);
+    const auto truth =
+        sim::simulate(wl, machine, sim::all_core_counts(machine));
+    const auto measured = truth.truncated(12);
+    core::PredictionConfig cfg;
+    cfg.target_cores = sim::all_core_counts(machine);
+    const auto pred = core::predict(measured, cfg);
+    const auto err = core::evaluate_prediction(pred, truth);
+    EXPECT_TRUE(err.scaling_verdict_match) << name;
+    EXPECT_GT(err.compared_points, 0) << name;
+    for (double t : pred.time_s) {
+      EXPECT_TRUE(std::isfinite(t) && t > 0.0) << name;
+    }
+  }
+}
+
+TEST(Integration, NativeWorkloadThroughSamplerAndPredictor) {
+  // Run the lock-based hash table natively at 1..4 threads, assemble a
+  // campaign, and push it through the predictor. In a container we cannot
+  // assert hardware counters, so the software category carries the signal.
+  wl::WorkloadOptions wl_opts;
+  wl_opts.size = 1;
+  auto workload = wl::make_workload("lock-based-ht", wl_opts);
+
+  counters::SamplerOptions s_opts;
+  s_opts.freq_ghz = counters::estimate_freq_ghz();
+  auto campaign = counters::run_campaign(
+      "lock-based-ht",
+      [&](int threads) {
+        counters::RunReport report;
+        const auto r = workload->run(threads);
+        EXPECT_TRUE(r.valid);
+        for (const auto& [cat, cycles] : r.software_stalls) {
+          report.software_stalls[cat] = cycles;
+        }
+        // Some substrates may report zero stalls single-threaded; give the
+        // predictor a nonzero floor so stalls-per-core stays positive.
+        report.software_stalls["lock_spin_cycles"] += 1.0;
+        return report;
+      },
+      {1, 2, 3, 4, 5, 6}, s_opts);
+
+  ASSERT_EQ(campaign.num_points(), 6u);
+  core::PredictionConfig cfg;
+  cfg.target_cores = core::cores_up_to(16);
+  cfg.extrap.min_prefix = 2;
+  cfg.extrap.checkpoint_counts = {1, 2};
+  const auto pred = core::predict(campaign, cfg);
+  ASSERT_EQ(pred.time_s.size(), 16u);
+  for (double t : pred.time_s) EXPECT_TRUE(std::isfinite(t));
+}
+
+TEST(Integration, CsvRoundTripThroughPredictor) {
+  const auto machine = sim::xeon20();
+  const auto wl = sim::presets::workload("genome");
+  const auto measured = sim::simulate(wl, machine, {1, 2, 3, 4, 5, 6, 7, 8});
+
+  std::stringstream buffer;
+  core::write_csv(buffer, measured);
+  const auto loaded = core::read_csv(buffer);
+
+  core::PredictionConfig cfg;
+  cfg.target_cores = core::cores_up_to(20);
+  const auto from_original = core::predict(measured, cfg);
+  const auto from_csv = core::predict(loaded, cfg);
+  ASSERT_EQ(from_original.time_s.size(), from_csv.time_s.size());
+  for (std::size_t i = 0; i < from_original.time_s.size(); ++i) {
+    EXPECT_NEAR(from_csv.time_s[i], from_original.time_s[i],
+                1e-9 * from_original.time_s[i]);
+  }
+}
+
+TEST(Integration, PluginHarvestFeedsMeasurementSet) {
+  // Simulate an STM runtime log per core count and build the software
+  // category via the plugin machinery (Section 4.1).
+  core::PluginSpec spec;
+  spec.category_name = "stm_abort_cycles";
+  spec.pattern = R"(aborted_cycles=(\d+))";
+  spec.aggregate = core::PluginAggregate::kSum;
+
+  const auto machine = sim::opteron48();
+  const auto wl = sim::presets::workload("intruder");
+  auto ms = sim::simulate(wl, machine, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12});
+
+  // Replace the simulator's software category with one harvested from
+  // fake logs that carry the same totals.
+  core::StallSeries harvested{"stm_abort_cycles",
+                              core::StallDomain::kSoftware, {}};
+  const core::StallSeries* original = nullptr;
+  for (const auto& cat : ms.categories) {
+    if (cat.domain == core::StallDomain::kSoftware) original = &cat;
+  }
+  ASSERT_NE(original, nullptr);
+  for (double total : original->values) {
+    // Two threads report halves of the total.
+    std::ostringstream log;
+    log << "thread 0 aborted_cycles=" << static_cast<long long>(total / 2)
+        << "\nthread 1 aborted_cycles="
+        << static_cast<long long>(total - total / 2) << "\n";
+    harvested.values.push_back(core::harvest_from_text(spec, log.str()));
+  }
+  for (std::size_t i = 0; i < harvested.values.size(); ++i) {
+    EXPECT_NEAR(harvested.values[i], original->values[i], 2.0);
+  }
+}
+
+TEST(Integration, BottleneckReportOnSimulatedIntruder) {
+  const auto machine = sim::opteron48();
+  const auto wl = sim::presets::workload("intruder");
+  const auto truth = sim::simulate(wl, machine, sim::all_core_counts(machine));
+  const auto measured = truth.truncated(12);
+  core::PredictionConfig cfg;
+  cfg.target_cores = sim::all_core_counts(machine);
+  const auto pred = core::predict(measured, cfg);
+  const auto report = core::analyze_bottlenecks(pred, measured, 48);
+  ASSERT_FALSE(report.entries.empty());
+  // The dominant future bottleneck of intruder is the STM abort category.
+  EXPECT_EQ(report.entries.front().category, "stm_abort_cycles");
+}
+
+TEST(Integration, CrossMachinePredictionShapes) {
+  // Measure on Xeon20 (both sockets), predict Xeon48, compare the shape.
+  const auto wl = sim::presets::workload("raytrace");
+  const auto measured =
+      sim::simulate(wl, sim::xeon20(), sim::all_core_counts(sim::xeon20()));
+  const auto truth =
+      sim::simulate(wl, sim::xeon48(), sim::all_core_counts(sim::xeon48()));
+  core::PredictionConfig cfg;
+  cfg.target_cores = sim::all_core_counts(sim::xeon48());
+  cfg.target_freq_ghz = sim::xeon48().freq_ghz;
+  const auto pred = core::predict(measured, cfg);
+  const auto err = core::evaluate_prediction(pred, truth);
+  EXPECT_TRUE(err.scaling_verdict_match);
+  EXPECT_LT(err.mean_pct, 60.0);
+}
+
+}  // namespace
+}  // namespace estima

@@ -1,0 +1,152 @@
+#include "core/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace estima::core {
+namespace {
+
+TEST(Kernels, NamesMatchTable1) {
+  EXPECT_EQ(kernel_name(KernelType::kRat22), "Rat22");
+  EXPECT_EQ(kernel_name(KernelType::kRat23), "Rat23");
+  EXPECT_EQ(kernel_name(KernelType::kRat33), "Rat33");
+  EXPECT_EQ(kernel_name(KernelType::kCubicLn), "CubicLn");
+  EXPECT_EQ(kernel_name(KernelType::kExpRat), "ExpRat");
+  EXPECT_EQ(kernel_name(KernelType::kPoly25), "Poly25");
+}
+
+TEST(Kernels, ParamCounts) {
+  EXPECT_EQ(kernel_param_count(KernelType::kRat22), 5u);
+  EXPECT_EQ(kernel_param_count(KernelType::kRat23), 6u);
+  EXPECT_EQ(kernel_param_count(KernelType::kRat33), 7u);
+  EXPECT_EQ(kernel_param_count(KernelType::kCubicLn), 4u);
+  EXPECT_EQ(kernel_param_count(KernelType::kExpRat), 3u);
+  EXPECT_EQ(kernel_param_count(KernelType::kPoly25), 4u);
+}
+
+TEST(Kernels, LinearityFlags) {
+  EXPECT_TRUE(kernel_is_linear(KernelType::kCubicLn));
+  EXPECT_TRUE(kernel_is_linear(KernelType::kPoly25));
+  EXPECT_FALSE(kernel_is_linear(KernelType::kRat22));
+  EXPECT_FALSE(kernel_is_linear(KernelType::kRat23));
+  EXPECT_FALSE(kernel_is_linear(KernelType::kRat33));
+  EXPECT_FALSE(kernel_is_linear(KernelType::kExpRat));
+}
+
+TEST(Kernels, Rat22Evaluation) {
+  // (1 + 2n + 3n^2) / (1 + 0.5n + 0.25n^2) at n = 2.
+  std::vector<double> p{1.0, 2.0, 3.0, 0.5, 0.25};
+  const double expected = (1.0 + 4.0 + 12.0) / (1.0 + 1.0 + 1.0);
+  EXPECT_NEAR(kernel_eval(KernelType::kRat22, 2.0, p), expected, 1e-12);
+}
+
+TEST(Kernels, Rat33Evaluation) {
+  // Numerator and denominator cubic terms both present.
+  std::vector<double> p{1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 1.0};
+  // (1 + n^3) / (1 + n^3) == 1 for all n.
+  for (double n : {1.0, 2.0, 7.0, 48.0}) {
+    EXPECT_NEAR(kernel_eval(KernelType::kRat33, n, p), 1.0, 1e-12);
+  }
+}
+
+TEST(Kernels, CubicLnEvaluation) {
+  std::vector<double> p{1.0, 2.0, 3.0, 4.0};
+  const double l = std::log(5.0);
+  EXPECT_NEAR(kernel_eval(KernelType::kCubicLn, 5.0, p),
+              1.0 + 2.0 * l + 3.0 * l * l + 4.0 * l * l * l, 1e-12);
+  // ln(1) = 0, so only the constant survives at n = 1.
+  EXPECT_NEAR(kernel_eval(KernelType::kCubicLn, 1.0, p), 1.0, 1e-12);
+}
+
+TEST(Kernels, ExpRatEvaluation) {
+  // exp((a + bn)/(1 + dn)); at n=0 the value is exp(a).
+  std::vector<double> p{std::log(2.0), 0.0, 0.0};
+  EXPECT_NEAR(kernel_eval(KernelType::kExpRat, 0.0, p), 2.0, 1e-12);
+  // With b=d=0 it is constant.
+  EXPECT_NEAR(kernel_eval(KernelType::kExpRat, 10.0, p), 2.0, 1e-12);
+}
+
+TEST(Kernels, Poly25Evaluation) {
+  std::vector<double> p{1.0, 1.0, 1.0, 1.0};
+  // 1 + 4 + 16 + 32 at n = 4 (4^2.5 = 32).
+  EXPECT_NEAR(kernel_eval(KernelType::kPoly25, 4.0, p), 53.0, 1e-12);
+}
+
+TEST(Kernels, DenominatorDetectsPoles) {
+  // Denominator 1 - 0.1 n has a root at n = 10.
+  std::vector<double> p{1.0, 0.0, 0.0, -0.1, 0.0};
+  EXPECT_GT(kernel_denominator(KernelType::kRat22, 5.0, p), 0.0);
+  EXPECT_LT(kernel_denominator(KernelType::kRat22, 15.0, p), 0.0);
+  EXPECT_NEAR(kernel_denominator(KernelType::kRat22, 10.0, p), 0.0, 1e-12);
+  // Evaluation near the pole blows up.
+  EXPECT_GT(std::fabs(kernel_eval(KernelType::kRat22, 10.0001, p)), 1e3);
+}
+
+TEST(Kernels, BasisMatchesEvaluationForLinearKernels) {
+  for (KernelType type : {KernelType::kCubicLn, KernelType::kPoly25}) {
+    std::vector<double> p{0.3, -1.2, 0.07, 2.5};
+    for (double n : {1.0, 3.0, 12.0, 48.0}) {
+      const auto basis = kernel_basis(type, n);
+      ASSERT_EQ(basis.size(), p.size());
+      double acc = 0.0;
+      for (std::size_t i = 0; i < p.size(); ++i) acc += basis[i] * p[i];
+      EXPECT_NEAR(acc, kernel_eval(type, n, p), 1e-9);
+    }
+  }
+}
+
+TEST(Kernels, BasisThrowsForNonlinearKernels) {
+  EXPECT_THROW(kernel_basis(KernelType::kRat22, 2.0), std::logic_error);
+  EXPECT_THROW(kernel_basis(KernelType::kExpRat, 2.0), std::logic_error);
+}
+
+TEST(Kernels, LinearizedRowsConsistentWithModel) {
+  // If p solves the linearised system exactly, the model reproduces y.
+  // Check for Rat22: given params, generate y then verify row·p == rhs.
+  std::vector<double> p{2.0, 0.5, 0.1, 0.2, 0.05};
+  for (double n : {1.0, 2.0, 5.0, 9.0}) {
+    const double y = kernel_eval(KernelType::kRat22, n, p);
+    const auto row = kernel_linearized_row(KernelType::kRat22, n, y);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) acc += row[i] * p[i];
+    EXPECT_NEAR(acc, kernel_linearized_rhs(KernelType::kRat22, n, y), 1e-9);
+  }
+}
+
+TEST(Kernels, FittedFunctionAppliesScale) {
+  FittedFunction f{KernelType::kCubicLn, {2.0, 0.0, 0.0, 0.0}, 1e6};
+  EXPECT_NEAR(f(1.0), 2e6, 1e-6);
+  auto many = f.eval_many(std::vector<int>{1, 2, 4});
+  ASSERT_EQ(many.size(), 3u);
+  for (double v : many) EXPECT_NEAR(v, 2e6, 1e-6);
+}
+
+class AllKernelsTest : public ::testing::TestWithParam<KernelType> {};
+
+TEST_P(AllKernelsTest, EvaluatesFinitelyOnBenignParams) {
+  const KernelType type = GetParam();
+  std::vector<double> p(kernel_param_count(type), 0.01);
+  p[0] = 1.0;
+  for (int n = 1; n <= 64; ++n) {
+    const double v = kernel_eval(type, n, p);
+    EXPECT_TRUE(std::isfinite(v)) << kernel_name(type) << " at n=" << n;
+  }
+}
+
+TEST_P(AllKernelsTest, DenominatorIsOneForPolynomialKernels) {
+  const KernelType type = GetParam();
+  std::vector<double> p(kernel_param_count(type), 0.01);
+  if (kernel_is_linear(type)) {
+    EXPECT_DOUBLE_EQ(kernel_denominator(type, 10.0, p), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, AllKernelsTest,
+                         ::testing::ValuesIn(kAllKernels),
+                         [](const ::testing::TestParamInfo<KernelType>& info) {
+                           return kernel_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace estima::core

@@ -1,0 +1,114 @@
+#include "kvstore/kvstore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace estima::kv {
+namespace {
+
+TEST(KvStore, SetGetDelete) {
+  KvStore store(4, 100);
+  std::string value;
+  EXPECT_FALSE(store.get("a", &value));
+  store.set("a", "1");
+  EXPECT_TRUE(store.get("a", &value));
+  EXPECT_EQ(value, "1");
+  store.set("a", "2");  // overwrite
+  EXPECT_TRUE(store.get("a", &value));
+  EXPECT_EQ(value, "2");
+  EXPECT_TRUE(store.del("a"));
+  EXPECT_FALSE(store.del("a"));
+  EXPECT_FALSE(store.get("a", &value));
+}
+
+TEST(KvStore, StatsCountHitsAndMisses) {
+  KvStore store(2, 10);
+  store.set("k", "v");
+  std::string value;
+  store.get("k", &value);
+  store.get("nope", &value);
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.sets, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(KvStore, LruEvictsOldest) {
+  KvStore store(1, 3);  // single shard, capacity 3
+  store.set("a", "1");
+  store.set("b", "2");
+  store.set("c", "3");
+  // Touch "a" so "b" becomes the LRU victim.
+  std::string value;
+  EXPECT_TRUE(store.get("a", &value));
+  store.set("d", "4");  // evicts b
+  EXPECT_TRUE(store.get("a", &value));
+  EXPECT_FALSE(store.get("b", &value));
+  EXPECT_TRUE(store.get("c", &value));
+  EXPECT_TRUE(store.get("d", &value));
+  EXPECT_EQ(store.stats().evictions, 1u);
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(KvStore, CapacityNeverExceeded) {
+  KvStore store(4, 16);
+  for (int i = 0; i < 1000; ++i) {
+    store.set("key" + std::to_string(i), "v");
+  }
+  EXPECT_LE(store.size(), 4u * 16u);
+}
+
+TEST(KvStore, ConcurrentMixedLoadIsConsistent) {
+  KvStore store(8, 1000);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      std::string value;
+      for (int i = 0; i < 5000; ++i) {
+        const std::string key = "k" + std::to_string((t * 131 + i) % 512);
+        if (i % 3 == 0) store.set(key, key);
+        else if (store.get(key, &value)) {
+          // A hit must return the exact value that was stored for this key.
+          ASSERT_EQ(value, key);
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_LE(store.size(), 512u);
+}
+
+TEST(KvClients, ReadMostlyLoadReports) {
+  KvStore store(8, 4096);
+  ClientConfig cfg;
+  cfg.operations = 20000;
+  cfg.key_count = 1000;
+  cfg.get_ratio = 0.9;
+  const auto report = run_clients(store, 4, cfg);
+  EXPECT_GT(report.gets, report.sets);  // read-mostly
+  EXPECT_GT(report.hits, 0u);
+  // Gets plus pure sets equal the operation count (read-through fills are
+  // recorded as sets on top of their gets).
+  EXPECT_GE(report.gets + report.sets, cfg.operations);
+}
+
+TEST(KvClients, HitRateImprovesWithCapacity) {
+  ClientConfig cfg;
+  cfg.operations = 30000;
+  cfg.key_count = 2000;
+  KvStore small(4, 32);
+  KvStore large(4, 4096);
+  const auto r_small = run_clients(small, 2, cfg);
+  const auto r_large = run_clients(large, 2, cfg);
+  const double rate_small =
+      static_cast<double>(r_small.hits) / static_cast<double>(r_small.gets);
+  const double rate_large =
+      static_cast<double>(r_large.hits) / static_cast<double>(r_large.gets);
+  EXPECT_GT(rate_large, rate_small);
+}
+
+}  // namespace
+}  // namespace estima::kv

@@ -1,0 +1,91 @@
+#include "numeric/levmar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/rng.hpp"
+
+namespace estima::numeric {
+namespace {
+
+TEST(LevMar, RecoversExponentialDecay) {
+  // y = 5 * exp(-0.3 x)
+  auto model = [](double x, const std::vector<double>& p) {
+    return p[0] * std::exp(p[1] * x);
+  };
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 12; ++i) {
+    xs.push_back(i);
+    ys.push_back(5.0 * std::exp(-0.3 * i));
+  }
+  auto r = levenberg_marquardt(model, xs, ys, {1.0, -0.1});
+  EXPECT_NEAR(r.params[0], 5.0, 1e-5);
+  EXPECT_NEAR(r.params[1], -0.3, 1e-6);
+  EXPECT_LT(r.rmse, 1e-7);
+}
+
+TEST(LevMar, RecoversRationalFunction) {
+  // y = (1 + 2x) / (1 + 0.5x)
+  auto model = [](double x, const std::vector<double>& p) {
+    return (p[0] + p[1] * x) / (1.0 + p[2] * x);
+  };
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 10; ++i) {
+    xs.push_back(i);
+    ys.push_back((1.0 + 2.0 * i) / (1.0 + 0.5 * i));
+  }
+  auto r = levenberg_marquardt(model, xs, ys, {0.5, 1.0, 0.1});
+  EXPECT_NEAR(r.params[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.params[1], 2.0, 1e-4);
+  EXPECT_NEAR(r.params[2], 0.5, 1e-4);
+}
+
+TEST(LevMar, ToleratesNoisyData) {
+  auto model = [](double x, const std::vector<double>& p) {
+    return p[0] + p[1] * x;
+  };
+  SplitMix64 rng(42);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 0.7 * i + 0.01 * rng.next_gaussian());
+  }
+  auto r = levenberg_marquardt(model, xs, ys, {0.0, 0.0});
+  EXPECT_NEAR(r.params[0], 3.0, 0.05);
+  EXPECT_NEAR(r.params[1], 0.7, 0.01);
+}
+
+TEST(LevMar, HandlesPoleInStartingPoint) {
+  // Model has a pole at x = 1/p[0]; start so the pole sits inside the data.
+  auto model = [](double x, const std::vector<double>& p) {
+    return 1.0 / (1.0 - p[0] * x);
+  };
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(1.0 / (1.0 + 0.1 * x));
+  auto r = levenberg_marquardt(model, xs, ys, {0.5});  // pole at x=2
+  EXPECT_TRUE(std::isfinite(r.rmse));
+  EXPECT_NEAR(r.params[0], -0.1, 1e-3);
+}
+
+TEST(LevMar, EmptyInputIsNoop) {
+  auto model = [](double, const std::vector<double>&) { return 0.0; };
+  auto r = levenberg_marquardt(model, {}, {}, {1.0});
+  EXPECT_EQ(r.iterations, 0);
+  EXPECT_DOUBLE_EQ(r.params[0], 1.0);
+}
+
+TEST(LevMar, PerfectInitialGuessStaysPut) {
+  auto model = [](double x, const std::vector<double>& p) {
+    return p[0] * x;
+  };
+  std::vector<double> xs{1.0, 2.0, 3.0};
+  std::vector<double> ys{2.0, 4.0, 6.0};
+  auto r = levenberg_marquardt(model, xs, ys, {2.0});
+  EXPECT_NEAR(r.params[0], 2.0, 1e-10);
+  EXPECT_LT(r.rmse, 1e-10);
+}
+
+}  // namespace
+}  // namespace estima::numeric

@@ -1,0 +1,109 @@
+#include "numeric/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace estima::numeric {
+namespace {
+
+TEST(LeastSquares, ExactSquareSystem) {
+  Matrix A{{2.0, 0.0}, {0.0, 4.0}};
+  std::vector<double> b{6.0, 8.0};
+  auto r = least_squares(A, b);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->x[0], 3.0, 1e-12);
+  EXPECT_NEAR(r->x[1], 2.0, 1e-12);
+  EXPECT_NEAR(r->residual_norm, 0.0, 1e-10);
+}
+
+TEST(LeastSquares, OverdeterminedLineFit) {
+  // y = 2x + 1 with an outlier-free sample: recover exactly.
+  Matrix A(5, 2);
+  std::vector<double> b(5);
+  for (int i = 0; i < 5; ++i) {
+    A(i, 0) = 1.0;
+    A(i, 1) = i;
+    b[i] = 1.0 + 2.0 * i;
+  }
+  auto r = least_squares(A, b);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->x[0], 1.0, 1e-10);
+  EXPECT_NEAR(r->x[1], 2.0, 1e-10);
+}
+
+TEST(LeastSquares, ResidualOfInconsistentSystem) {
+  // Points (0,0), (1,1), (2,0) fit by a constant: c = 1/3, residual > 0.
+  Matrix A(3, 1, 1.0);
+  std::vector<double> b{0.0, 1.0, 0.0};
+  auto r = least_squares(A, b);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->x[0], 1.0 / 3.0, 1e-12);
+  EXPECT_GT(r->residual_norm, 0.1);
+}
+
+TEST(LeastSquares, UnderdeterminedReturnsNullopt) {
+  Matrix A(2, 3, 1.0);
+  std::vector<double> b{1.0, 2.0};
+  EXPECT_FALSE(least_squares(A, b).has_value());
+}
+
+TEST(LeastSquares, RankDeficientReturnsNullopt) {
+  // Two identical columns.
+  Matrix A{{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_FALSE(least_squares(A, b).has_value());
+}
+
+TEST(Ridge, SolvesUnderdetermined) {
+  Matrix A(2, 3);
+  A(0, 0) = 1.0;
+  A(1, 1) = 1.0;
+  std::vector<double> b{1.0, 2.0};
+  auto r = ridge(A, b, 1e-10);
+  ASSERT_EQ(r.x.size(), 3u);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-4);
+  EXPECT_NEAR(r.x[2], 0.0, 1e-6);  // minimum-norm picks 0 for the free var
+}
+
+TEST(Ridge, LargeLambdaShrinksSolution) {
+  Matrix A{{1.0}, {1.0}};
+  std::vector<double> b{1.0, 1.0};
+  auto weak = ridge(A, b, 1e-12);
+  auto strong = ridge(A, b, 100.0);
+  EXPECT_NEAR(weak.x[0], 1.0, 1e-6);
+  EXPECT_LT(std::fabs(strong.x[0]), 0.1);
+}
+
+TEST(Triangular, LowerAndUpperSolve) {
+  Matrix L{{2.0, 0.0}, {1.0, 3.0}};
+  std::vector<double> b{4.0, 11.0};
+  auto x = solve_lower_triangular(L, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+
+  Matrix U{{2.0, 1.0}, {0.0, 3.0}};
+  std::vector<double> b2{7.0, 9.0};
+  auto y = solve_upper_triangular(U, b2);
+  EXPECT_NEAR(y[1], 3.0, 1e-12);
+  EXPECT_NEAR(y[0], 2.0, 1e-12);
+}
+
+TEST(Cholesky, FactorsSpdMatrix) {
+  Matrix A{{4.0, 2.0}, {2.0, 3.0}};
+  auto L = cholesky(A);
+  ASSERT_TRUE(L.has_value());
+  Matrix re = *L * L->transposed();
+  EXPECT_NEAR(re(0, 0), 4.0, 1e-12);
+  EXPECT_NEAR(re(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(re(1, 1), 3.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  Matrix A{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3 and -1
+  EXPECT_FALSE(cholesky(A).has_value());
+}
+
+}  // namespace
+}  // namespace estima::numeric

@@ -1,0 +1,127 @@
+#include "core/measurement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace estima::core {
+namespace {
+
+MeasurementSet sample_set() {
+  MeasurementSet ms;
+  ms.workload = "intruder";
+  ms.machine = "opteron48";
+  ms.freq_ghz = 2.1;
+  ms.dataset_bytes = 1e9;
+  ms.cores = {1, 2, 4, 8};
+  ms.time_s = {10.0, 6.0, 4.0, 3.0};
+  ms.categories.push_back(
+      {"ls_full", StallDomain::kHardwareBackend, {1.0, 2.5, 6.0, 15.0}});
+  ms.categories.push_back(
+      {"ifetch", StallDomain::kHardwareFrontend, {0.5, 0.5, 0.6, 0.6}});
+  ms.categories.push_back(
+      {"stm_aborts", StallDomain::kSoftware, {0.0, 1.0, 3.0, 9.0}});
+  return ms;
+}
+
+TEST(Measurement, ValidatePassesOnConsistentSet) {
+  EXPECT_NO_THROW(sample_set().validate());
+}
+
+TEST(Measurement, ValidateCatchesSizeMismatch) {
+  auto ms = sample_set();
+  ms.time_s.pop_back();
+  EXPECT_THROW(ms.validate(), std::invalid_argument);
+}
+
+TEST(Measurement, ValidateCatchesNonAscendingCores) {
+  auto ms = sample_set();
+  ms.cores = {1, 4, 2, 8};
+  EXPECT_THROW(ms.validate(), std::invalid_argument);
+}
+
+TEST(Measurement, ValidateCatchesCategoryMismatch) {
+  auto ms = sample_set();
+  ms.categories[0].values.pop_back();
+  EXPECT_THROW(ms.validate(), std::invalid_argument);
+}
+
+TEST(Measurement, TotalStallsRespectsDomains) {
+  auto ms = sample_set();
+  EXPECT_DOUBLE_EQ(ms.total_stalls_at(3, false, false), 15.0);
+  EXPECT_DOUBLE_EQ(ms.total_stalls_at(3, true, false), 15.6);
+  EXPECT_DOUBLE_EQ(ms.total_stalls_at(3, false, true), 24.0);
+  EXPECT_DOUBLE_EQ(ms.total_stalls_at(3, true, true), 24.6);
+}
+
+TEST(Measurement, StallsPerCore) {
+  auto ms = sample_set();
+  auto spc = ms.stalls_per_core(false, true);
+  ASSERT_EQ(spc.size(), 4u);
+  EXPECT_DOUBLE_EQ(spc[0], 1.0);          // (1+0)/1
+  EXPECT_DOUBLE_EQ(spc[1], 3.5 / 2.0);    // (2.5+1)/2
+  EXPECT_DOUBLE_EQ(spc[3], 24.0 / 8.0);   // (15+9)/8
+}
+
+TEST(Measurement, Truncated) {
+  auto ms = sample_set().truncated(2);
+  EXPECT_EQ(ms.num_points(), 2u);
+  EXPECT_EQ(ms.cores.back(), 2);
+  for (const auto& cat : ms.categories) EXPECT_EQ(cat.values.size(), 2u);
+  EXPECT_THROW(sample_set().truncated(9), std::invalid_argument);
+}
+
+TEST(Measurement, FilteredDropsDomains) {
+  auto hw_only = sample_set().filtered(false, false);
+  EXPECT_EQ(hw_only.categories.size(), 1u);
+  auto with_sw = sample_set().filtered(false, true);
+  EXPECT_EQ(with_sw.categories.size(), 2u);
+  auto all = sample_set().filtered(true, true);
+  EXPECT_EQ(all.categories.size(), 3u);
+}
+
+TEST(Measurement, CsvRoundTrip) {
+  const auto ms = sample_set();
+  std::ostringstream os;
+  write_csv(os, ms);
+  std::istringstream is(os.str());
+  const auto back = read_csv(is);
+
+  EXPECT_EQ(back.workload, ms.workload);
+  EXPECT_EQ(back.machine, ms.machine);
+  EXPECT_DOUBLE_EQ(back.freq_ghz, ms.freq_ghz);
+  EXPECT_EQ(back.cores, ms.cores);
+  ASSERT_EQ(back.categories.size(), ms.categories.size());
+  for (std::size_t i = 0; i < ms.categories.size(); ++i) {
+    EXPECT_EQ(back.categories[i].name, ms.categories[i].name);
+    EXPECT_EQ(back.categories[i].domain, ms.categories[i].domain);
+    for (std::size_t j = 0; j < ms.cores.size(); ++j) {
+      EXPECT_DOUBLE_EQ(back.categories[i].values[j],
+                       ms.categories[i].values[j]);
+    }
+  }
+}
+
+TEST(Measurement, CsvRejectsGarbage) {
+  std::istringstream empty("");
+  EXPECT_THROW(read_csv(empty), std::invalid_argument);
+
+  std::istringstream no_prefix(
+      "# workload=w machine=m\ncores,time_s,badcolumn\n1,1.0,2.0\n");
+  EXPECT_THROW(read_csv(no_prefix), std::invalid_argument);
+
+  std::istringstream bad_first(
+      "# workload=w machine=m\nnotcores,time_s\n");
+  EXPECT_THROW(read_csv(bad_first), std::invalid_argument);
+}
+
+TEST(Measurement, DomainNames) {
+  EXPECT_EQ(stall_domain_name(StallDomain::kHardwareBackend),
+            "hardware-backend");
+  EXPECT_EQ(stall_domain_name(StallDomain::kHardwareFrontend),
+            "hardware-frontend");
+  EXPECT_EQ(stall_domain_name(StallDomain::kSoftware), "software");
+}
+
+}  // namespace
+}  // namespace estima::core

@@ -1,0 +1,100 @@
+#include "core/plugin.hpp"
+
+#include <gtest/gtest.h>
+
+namespace estima::core {
+namespace {
+
+TEST(Plugin, HarvestSum) {
+  PluginSpec spec;
+  spec.category_name = "stm_aborts";
+  spec.pattern = R"(aborted cycles: (\d+))";
+  spec.aggregate = PluginAggregate::kSum;
+  const std::string text =
+      "thread 0 aborted cycles: 100\n"
+      "thread 1 aborted cycles: 250\n"
+      "thread 2 aborted cycles: 50\n";
+  EXPECT_DOUBLE_EQ(harvest_from_text(spec, text), 400.0);
+}
+
+TEST(Plugin, HarvestMinMaxAvgLast) {
+  PluginSpec spec;
+  spec.category_name = "x";
+  spec.pattern = R"(v=(\d+\.?\d*))";
+  const std::string text = "v=4 v=8 v=6";
+  spec.aggregate = PluginAggregate::kMin;
+  EXPECT_DOUBLE_EQ(harvest_from_text(spec, text), 4.0);
+  spec.aggregate = PluginAggregate::kMax;
+  EXPECT_DOUBLE_EQ(harvest_from_text(spec, text), 8.0);
+  spec.aggregate = PluginAggregate::kAverage;
+  EXPECT_DOUBLE_EQ(harvest_from_text(spec, text), 6.0);
+  spec.aggregate = PluginAggregate::kLast;
+  EXPECT_DOUBLE_EQ(harvest_from_text(spec, text), 6.0);
+}
+
+TEST(Plugin, NoMatchesYieldsZero) {
+  PluginSpec spec;
+  spec.category_name = "x";
+  spec.pattern = R"(nothing=(\d+))";
+  EXPECT_DOUBLE_EQ(harvest_from_text(spec, "unrelated output"), 0.0);
+}
+
+TEST(Plugin, ScientificNotationCapture) {
+  PluginSpec spec;
+  spec.category_name = "x";
+  spec.pattern = R"(cycles=([0-9.eE+]+))";
+  spec.aggregate = PluginAggregate::kSum;
+  EXPECT_DOUBLE_EQ(harvest_from_text(spec, "cycles=1.5e3"), 1500.0);
+}
+
+TEST(Plugin, BadPatternThrows) {
+  PluginSpec spec;
+  spec.category_name = "x";
+  spec.pattern = "([unclosed";
+  EXPECT_THROW(harvest_from_text(spec, "x"), std::invalid_argument);
+}
+
+TEST(Plugin, PatternWithoutCaptureThrows) {
+  PluginSpec spec;
+  spec.category_name = "x";
+  spec.pattern = R"(\d+)";
+  EXPECT_THROW(harvest_from_text(spec, "123"), std::invalid_argument);
+}
+
+TEST(Plugin, AggregateNames) {
+  EXPECT_EQ(aggregate_from_name("sum"), PluginAggregate::kSum);
+  EXPECT_EQ(aggregate_from_name("avg"), PluginAggregate::kAverage);
+  EXPECT_EQ(aggregate_from_name("average"), PluginAggregate::kAverage);
+  EXPECT_EQ(aggregate_name(PluginAggregate::kLast), "last");
+  EXPECT_THROW(aggregate_from_name("median"), std::invalid_argument);
+}
+
+TEST(Plugin, ParseConfig) {
+  const std::string cfg =
+      "# software stalls\n"
+      "name=stm_aborts path=/tmp/stm.log pattern='aborted: (\\d+)' "
+      "aggregate=sum\n"
+      "\n"
+      "name=lock_spins pattern='spin_cycles (\\d+)' aggregate=max domain=sw\n";
+  auto specs = parse_plugin_config(cfg);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].category_name, "stm_aborts");
+  EXPECT_EQ(specs[0].path, "/tmp/stm.log");
+  EXPECT_EQ(specs[0].pattern, "aborted: (\\d+)");
+  EXPECT_EQ(specs[0].aggregate, PluginAggregate::kSum);
+  EXPECT_EQ(specs[1].category_name, "lock_spins");
+  EXPECT_EQ(specs[1].aggregate, PluginAggregate::kMax);
+  EXPECT_EQ(specs[1].domain, StallDomain::kSoftware);
+}
+
+TEST(Plugin, ParseConfigRejectsMissingFields) {
+  EXPECT_THROW(parse_plugin_config("path=/tmp/x aggregate=sum\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_plugin_config("name=x pattern='(\\d)' domain=zz\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_plugin_config("name=x pattern='(\\d)' junk\n"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace estima::core

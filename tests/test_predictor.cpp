@@ -1,0 +1,216 @@
+#include "core/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "synthetic.hpp"
+
+namespace estima::core {
+namespace {
+
+using estima::testing::counts_up_to;
+using estima::testing::make_synthetic;
+using estima::testing::SyntheticSpec;
+
+TEST(Predictor, ScalableWorkloadPredictedToScale) {
+  SyntheticSpec spec;
+  spec.mem_growth = 0.005;  // mild stall growth: keeps scaling to 48
+  const auto truth = make_synthetic(spec, counts_up_to(48));
+  const auto measured = truth.truncated(12);
+
+  PredictionConfig cfg;
+  cfg.target_cores = counts_up_to(48);
+  auto pred = predict(measured, cfg);
+
+  const auto err = evaluate_prediction(pred, truth);
+  EXPECT_TRUE(err.scaling_verdict_match);
+  EXPECT_LT(err.mean_pct, 25.0);
+  // Time at 48 cores must be clearly below single-core time.
+  EXPECT_LT(pred.time_s.back(), 0.3 * pred.time_s.front());
+}
+
+TEST(Predictor, ContendedWorkloadPredictedToStopScaling) {
+  SyntheticSpec spec;
+  spec.mem_growth = 0.01;
+  spec.lock_rate = 0.002;  // lock convoy: slowdown past ~25 cores
+  const auto truth = make_synthetic(spec, counts_up_to(48));
+  const auto measured = truth.truncated(12);
+
+  PredictionConfig cfg;
+  cfg.target_cores = counts_up_to(48);
+  auto pred = predict(measured, cfg);
+
+  const auto err = evaluate_prediction(pred, truth);
+  EXPECT_TRUE(err.scaling_verdict_match);
+  // Both should agree the best core count is well below 48.
+  EXPECT_LT(err.predicted_best_cores, 40);
+  EXPECT_LT(err.actual_best_cores, 40);
+}
+
+TEST(Predictor, SoftwareStallsImproveStmWorkloadPrediction) {
+  SyntheticSpec spec;
+  spec.mem_growth = 0.005;
+  spec.stm_rate = 0.002;  // substantial abort cycles
+  const auto truth = make_synthetic(spec, counts_up_to(48));
+  const auto measured = truth.truncated(12);
+
+  PredictionConfig with_sw;
+  with_sw.target_cores = counts_up_to(48);
+  with_sw.use_software_stalls = true;
+  PredictionConfig without_sw = with_sw;
+  without_sw.use_software_stalls = false;
+
+  const auto err_with =
+      evaluate_prediction(predict(measured, with_sw), truth);
+  const auto err_without =
+      evaluate_prediction(predict(measured, without_sw), truth);
+  EXPECT_LE(err_with.mean_pct, err_without.mean_pct + 1.0);
+}
+
+TEST(Predictor, FrequencyScalingShiftsPrediction) {
+  SyntheticSpec spec;
+  spec.freq_ghz = 3.4;
+  const auto measured = make_synthetic(spec, counts_up_to(12));
+
+  PredictionConfig same;
+  same.target_cores = counts_up_to(20);
+  PredictionConfig slower = same;
+  slower.target_freq_ghz = 1.7;  // half the clock -> double the time
+
+  auto p_same = predict(measured, same);
+  auto p_slower = predict(measured, slower);
+  for (std::size_t i = 0; i < p_same.time_s.size(); ++i) {
+    EXPECT_NEAR(p_slower.time_s[i] / p_same.time_s[i], 2.0, 0.05);
+  }
+}
+
+TEST(Predictor, WeakScalingScalesStallVolume) {
+  SyntheticSpec spec;
+  const auto measured = make_synthetic(spec, counts_up_to(10));
+
+  PredictionConfig one;
+  one.target_cores = counts_up_to(20);
+  PredictionConfig twice = one;
+  twice.dataset_scale = 2.0;
+
+  auto p1 = predict(measured, one);
+  auto p2 = predict(measured, twice);
+  // Stall volume doubles; with an unchanged factor function the predicted
+  // time roughly doubles as well (the paper's "simple scaling").
+  for (std::size_t i = 0; i < p1.stalls_per_core.size(); ++i) {
+    EXPECT_NEAR(p2.stalls_per_core[i] / p1.stalls_per_core[i], 2.0, 1e-9);
+  }
+}
+
+TEST(Predictor, AggregateModeMergesCategories) {
+  SyntheticSpec spec;
+  spec.stm_rate = 0.001;
+  const auto measured = make_synthetic(spec, counts_up_to(12));
+
+  PredictionConfig cfg;
+  cfg.target_cores = counts_up_to(24);
+  cfg.aggregate_mode = true;
+  auto pred = predict(measured, cfg);
+  ASSERT_EQ(pred.categories.size(), 1u);
+  EXPECT_EQ(pred.categories[0].name, "aggregate-backend-stalls");
+}
+
+TEST(Predictor, FactorCorrelationIsHigh) {
+  SyntheticSpec spec;
+  spec.mem_growth = 0.02;
+  const auto measured = make_synthetic(spec, counts_up_to(12));
+  PredictionConfig cfg;
+  cfg.target_cores = counts_up_to(48);
+  auto pred = predict(measured, cfg);
+  EXPECT_GT(pred.factor_correlation, 0.8);
+}
+
+TEST(Predictor, RejectsTooFewPoints) {
+  SyntheticSpec spec;
+  const auto measured = make_synthetic(spec, {1, 2, 3, 4});
+  PredictionConfig cfg;
+  cfg.target_cores = counts_up_to(8);
+  EXPECT_THROW(predict(measured, cfg), std::invalid_argument);
+}
+
+TEST(Predictor, RejectsEmptyTargets) {
+  SyntheticSpec spec;
+  const auto measured = make_synthetic(spec, counts_up_to(8));
+  PredictionConfig cfg;
+  EXPECT_THROW(predict(measured, cfg), std::invalid_argument);
+}
+
+TEST(Predictor, TimeExtrapolationBaselineRuns) {
+  SyntheticSpec spec;
+  const auto truth = make_synthetic(spec, counts_up_to(48));
+  const auto measured = truth.truncated(12);
+  PredictionConfig cfg;
+  cfg.target_cores = counts_up_to(48);
+  auto base = predict_time_extrapolation(measured, cfg);
+  ASSERT_EQ(base.time_s.size(), cfg.target_cores.size());
+  for (double t : base.time_s) {
+    EXPECT_TRUE(std::isfinite(t));
+    EXPECT_GT(t, 0.0);
+  }
+}
+
+TEST(Predictor, BestCoreCount) {
+  Prediction p;
+  p.cores = {1, 2, 4, 8};
+  p.time_s = {8.0, 4.0, 2.5, 3.5};
+  EXPECT_EQ(p.best_core_count(), 4);
+}
+
+TEST(Predictor, CoresUpTo) {
+  auto v = cores_up_to(3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[2], 3);
+  EXPECT_TRUE(cores_up_to(0).empty());
+}
+
+// Property sweep: over a grid of synthetic workloads, ESTIMA must never
+// invert the scaling verdict (the paper's headline robustness claim).
+struct SweepParam {
+  double mem_growth;
+  double lock_rate;
+  double stm_rate;
+};
+
+class VerdictSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(VerdictSweepTest, NoScalingVerdictFlip) {
+  const auto& p = GetParam();
+  SyntheticSpec spec;
+  spec.mem_growth = p.mem_growth;
+  spec.lock_rate = p.lock_rate;
+  spec.stm_rate = p.stm_rate;
+  spec.noise = 0.01;
+  const auto truth = make_synthetic(spec, counts_up_to(48));
+  const auto measured = truth.truncated(12);
+
+  PredictionConfig cfg;
+  cfg.target_cores = counts_up_to(48);
+  auto pred = predict(measured, cfg);
+  const auto err = evaluate_prediction(pred, truth);
+  EXPECT_TRUE(err.scaling_verdict_match)
+      << "growth=" << p.mem_growth << " lock=" << p.lock_rate
+      << " stm=" << p.stm_rate
+      << " predicted_best=" << err.predicted_best_cores
+      << " actual_best=" << err.actual_best_cores;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadGrid, VerdictSweepTest,
+    ::testing::Values(SweepParam{0.005, 0.0, 0.0},
+                      SweepParam{0.02, 0.0, 0.0},
+                      SweepParam{0.015, 0.0, 0.0},
+                      SweepParam{0.01, 0.002, 0.0},
+                      SweepParam{0.01, 0.004, 0.0},
+                      SweepParam{0.01, 0.0, 0.002},
+                      SweepParam{0.01, 0.001, 0.001},
+                      SweepParam{0.03, 0.003, 0.0}));
+
+}  // namespace
+}  // namespace estima::core

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/stats.hpp"
+#include "simmachine/contention.hpp"
+#include "simmachine/machine.hpp"
+#include "simmachine/presets.hpp"
+#include "simmachine/simulator.hpp"
+
+namespace estima::sim {
+namespace {
+
+TEST(Machine, PresetTopologies) {
+  EXPECT_EQ(haswell4().total_cores(), 4);
+  EXPECT_EQ(opteron48().total_cores(), 48);
+  EXPECT_EQ(opteron48().cores_per_socket(), 12);
+  EXPECT_EQ(xeon20().total_cores(), 20);
+  EXPECT_EQ(xeon48().total_cores(), 48);
+}
+
+TEST(Machine, ActiveSocketsAndChips) {
+  const auto m = opteron48();
+  EXPECT_EQ(m.active_sockets(1), 1);
+  EXPECT_EQ(m.active_sockets(12), 1);
+  EXPECT_EQ(m.active_sockets(13), 2);
+  EXPECT_EQ(m.active_sockets(48), 4);
+  EXPECT_EQ(m.active_chips(6), 1);
+  EXPECT_EQ(m.active_chips(7), 2);
+  EXPECT_EQ(m.active_chips(48), 8);
+}
+
+TEST(Machine, RemoteFractionGrowsWithSockets) {
+  const auto m = xeon20();
+  EXPECT_DOUBLE_EQ(m.remote_access_fraction(10), 0.0);
+  EXPECT_DOUBLE_EQ(m.remote_access_fraction(20), 0.5);
+}
+
+TEST(Machine, LookupByName) {
+  EXPECT_EQ(machine_by_name("opteron48").name, "opteron48");
+  EXPECT_THROW(machine_by_name("cray"), std::invalid_argument);
+}
+
+TEST(Contention, QueueingMultiplier) {
+  EXPECT_DOUBLE_EQ(queueing_multiplier(0.0), 1.0);
+  EXPECT_NEAR(queueing_multiplier(0.5), 2.0, 1e-12);
+  EXPECT_GT(queueing_multiplier(0.9), 9.0);
+  // Clamped at max_util: finite even at demand > capacity.
+  EXPECT_LE(queueing_multiplier(5.0), queueing_multiplier(0.95) + 1e-9);
+}
+
+TEST(Contention, BarrierImbalanceGrowsSlowly) {
+  EXPECT_DOUBLE_EQ(barrier_imbalance_factor(1), 0.0);
+  EXPECT_GT(barrier_imbalance_factor(8), 0.0);
+  EXPECT_GT(barrier_imbalance_factor(48), barrier_imbalance_factor(8));
+  // sqrt(2 ln n) growth: doubling cores adds little.
+  EXPECT_LT(barrier_imbalance_factor(48) / barrier_imbalance_factor(24), 1.2);
+}
+
+TEST(Contention, GrowthAndSaturation) {
+  EXPECT_DOUBLE_EQ(contention_growth(1, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(contention_growth(3, 2.0), 4.0);
+  EXPECT_NEAR(saturate(1.0, 1e9), 1.0, 1e-6);
+  EXPECT_LT(saturate(100.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(saturate(0.0, 5.0), 0.0);
+  EXPECT_LT(stm_abort_overhead(48, 0.01, 2.0, 4.0), 4.0);
+}
+
+TEST(Simulator, Deterministic) {
+  const auto wl = presets::workload("intruder");
+  const auto m = opteron48();
+  const auto a = simulate(wl, m, all_core_counts(m));
+  const auto b = simulate(wl, m, all_core_counts(m));
+  ASSERT_EQ(a.time_s.size(), b.time_s.size());
+  for (std::size_t i = 0; i < a.time_s.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.time_s[i], b.time_s[i]);
+  }
+}
+
+TEST(Simulator, SeedChangesNoise) {
+  const auto wl = presets::workload("intruder");
+  const auto m = opteron48();
+  SimOptions o1, o2;
+  o2.seed = 99;
+  const auto a = simulate(wl, m, all_core_counts(m), o1);
+  const auto b = simulate(wl, m, all_core_counts(m), o2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.time_s.size(); ++i) {
+    if (a.time_s[i] != b.time_s[i]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Simulator, EmitsArchitectureEventNames) {
+  const auto wl = presets::workload("genome");
+  const auto opteron = simulate(wl, opteron48(), {1, 2, 4});
+  bool found_amd = false;
+  for (const auto& cat : opteron.categories) {
+    if (cat.name.find("0D6h") != std::string::npos) found_amd = true;
+  }
+  EXPECT_TRUE(found_amd);
+
+  const auto xeon = simulate(wl, xeon20(), {1, 2, 4});
+  bool found_intel = false;
+  for (const auto& cat : xeon.categories) {
+    if (cat.name.find("01A2h") != std::string::npos) found_intel = true;
+  }
+  EXPECT_TRUE(found_intel);
+}
+
+TEST(Simulator, SoftwareCategoryOnlyWhenReported) {
+  const auto stm_wl = presets::workload("intruder");
+  const auto plain_wl = presets::workload("blackscholes");
+  const auto m = opteron48();
+  const auto with_sw = simulate(stm_wl, m, {1, 2, 4});
+  const auto without = simulate(plain_wl, m, {1, 2, 4});
+  const auto count_sw = [](const core::MeasurementSet& ms) {
+    int c = 0;
+    for (const auto& cat : ms.categories) {
+      if (cat.domain == core::StallDomain::kSoftware) ++c;
+    }
+    return c;
+  };
+  EXPECT_EQ(count_sw(with_sw), 1);
+  EXPECT_EQ(count_sw(without), 0);
+}
+
+TEST(Simulator, FrontendTotalsStayRoughlyFlat) {
+  const auto wl = presets::workload("raytrace");
+  const auto m = opteron48();
+  const auto ms = simulate(wl, m, all_core_counts(m));
+  const core::StallSeries* fe = nullptr;
+  for (const auto& cat : ms.categories) {
+    if (cat.domain == core::StallDomain::kHardwareFrontend) fe = &cat;
+  }
+  ASSERT_NE(fe, nullptr);
+  // Section 2.2: frontend stalls do not change significantly with cores.
+  const double first = fe->values.front();
+  const double last = fe->values.back();
+  EXPECT_LT(std::fabs(last - first) / first, 0.25);
+}
+
+TEST(Simulator, WeakScalingScalesWork) {
+  const auto wl = presets::workload("genome");
+  const auto m = xeon20();
+  SimOptions one, two;
+  two.dataset_scale = 2.0;
+  const auto a = simulate(wl, m, {4}, one);
+  const auto b = simulate(wl, m, {4}, two);
+  EXPECT_NEAR(b.time_s[0] / a.time_s[0], 2.0, 0.2);
+}
+
+TEST(Simulator, BreakdownTimeMatchesCampaign) {
+  const auto wl = presets::workload("canneal");
+  const auto m = xeon20();
+  const auto b = simulate_point(wl, m, 8);
+  EXPECT_GT(b.time_s, 0.0);
+  EXPECT_GT(b.mem_stall_pc, 0.0);
+  // Per-core stall cycles can never exceed per-core execution cycles.
+  const double cycles_pc = b.time_s * m.freq_ghz * 1e9;
+  EXPECT_LE(b.mem_stall_pc + b.sync_stall_pc + b.stm_stall_pc,
+            cycles_pc + 1.0);
+}
+
+TEST(Simulator, StallsPerCoreTracksTime) {
+  // The design property behind the whole paper: spc correlates with time.
+  for (const char* name : {"genome", "canneal", "raytrace", "vacation-low"}) {
+    const auto wl = presets::workload(name);
+    const auto m = xeon20();
+    const auto ms = simulate(wl, m, all_core_counts(m));
+    const auto spc = ms.stalls_per_core(false, true);
+    EXPECT_GT(numeric::pearson(spc, ms.time_s), 0.9) << name;
+  }
+}
+
+TEST(Presets, AllNamesResolve) {
+  for (const auto& name : presets::all_workload_names()) {
+    EXPECT_NO_THROW(presets::workload(name)) << name;
+    EXPECT_EQ(presets::workload(name).name, name);
+  }
+  EXPECT_THROW(presets::workload("nonexistent"), std::invalid_argument);
+  EXPECT_EQ(presets::benchmark_workload_names().size(), 19u);
+}
+
+TEST(Presets, FixedVariantsReduceOverheads) {
+  const auto sc = presets::workload("streamcluster");
+  const auto sc_fix = presets::workload("streamcluster-spin");
+  EXPECT_LT(sc_fix.lock_rate, sc.lock_rate);
+  const auto in = presets::workload("intruder");
+  const auto in_fix = presets::workload("intruder-batched");
+  EXPECT_LT(in_fix.stm_rate, in.stm_rate);
+}
+
+}  // namespace
+}  // namespace estima::sim

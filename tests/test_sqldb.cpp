@@ -1,0 +1,111 @@
+#include "sqldb/sqldb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace estima::sql {
+namespace {
+
+TEST(Table, InsertAndFindByPrimaryKey) {
+  Table t("t", {{"id", ColumnType::kInt}, {"name", ColumnType::kText}}, {0});
+  EXPECT_TRUE(t.insert({std::int64_t{1}, std::string("one")}));
+  EXPECT_TRUE(t.insert({std::int64_t{2}, std::string("two")}));
+  EXPECT_FALSE(t.insert({std::int64_t{1}, std::string("dup")}));
+  auto idx = t.find({1});
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(std::get<std::string>(t.row(*idx)[1]), "one");
+  EXPECT_FALSE(t.find({99}).has_value());
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CompositePrimaryKey) {
+  Table t("t",
+          {{"a", ColumnType::kInt},
+           {"b", ColumnType::kInt},
+           {"v", ColumnType::kReal}},
+          {0, 1});
+  EXPECT_TRUE(t.insert({std::int64_t{1}, std::int64_t{1}, 0.5}));
+  EXPECT_TRUE(t.insert({std::int64_t{1}, std::int64_t{2}, 1.5}));
+  EXPECT_FALSE(t.insert({std::int64_t{1}, std::int64_t{1}, 9.0}));
+  auto idx = t.find({1, 2});
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_DOUBLE_EQ(std::get<double>(t.row(*idx)[2]), 1.5);
+}
+
+TEST(Table, RejectsWrongArityAndTypes) {
+  Table t("t", {{"id", ColumnType::kInt}, {"x", ColumnType::kReal}}, {0});
+  EXPECT_FALSE(t.insert({std::int64_t{1}}));                       // arity
+  EXPECT_FALSE(t.insert({0.5, 0.5}));                              // pk type
+  EXPECT_FALSE(t.insert({std::int64_t{1}, std::string("oops")}));  // col type
+  EXPECT_TRUE(t.insert({std::int64_t{1}, 2.0}));
+}
+
+TEST(Table, NonIntegerPrimaryKeyRejectedAtSchema) {
+  EXPECT_THROW(Table("t", {{"x", ColumnType::kReal}}, {0}),
+               std::invalid_argument);
+  EXPECT_THROW(Table("t", {{"x", ColumnType::kInt}}, {3}),
+               std::invalid_argument);
+}
+
+TEST(Table, ScanVisitsEveryRow) {
+  Table t("t", {{"id", ColumnType::kInt}}, {0});
+  for (std::int64_t i = 0; i < 10; ++i) t.insert({i});
+  std::int64_t sum = 0;
+  t.scan([&](const Row& r) { sum += std::get<std::int64_t>(r[0]); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(Database, CreateAndFetchTables) {
+  Database db;
+  db.create_table("a", {{"id", ColumnType::kInt}}, {0});
+  EXPECT_TRUE(db.has_table("a"));
+  EXPECT_FALSE(db.has_table("b"));
+  EXPECT_NO_THROW(db.table("a"));
+  EXPECT_THROW(db.table("b"), std::invalid_argument);
+  EXPECT_THROW(db.create_table("a", {{"id", ColumnType::kInt}}, {0}),
+               std::invalid_argument);
+}
+
+TEST(Tpcc, PopulateBuildsSchema) {
+  Database db;
+  TpccConfig cfg;
+  cfg.warehouses = 2;
+  tpcc_populate(db, cfg);
+  EXPECT_EQ(db.table("warehouse").row_count(), 2u);
+  EXPECT_EQ(db.table("district").row_count(),
+            static_cast<std::size_t>(2 * cfg.districts_per_wh));
+  EXPECT_EQ(db.table("customer").row_count(),
+            static_cast<std::size_t>(2 * cfg.districts_per_wh *
+                                     cfg.customers_per_district));
+  EXPECT_EQ(db.table("orders").row_count(), 0u);
+}
+
+class TpccThreadsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpccThreadsTest, MixRunsConsistently) {
+  Database db;
+  TpccConfig cfg;
+  cfg.warehouses = 4;
+  cfg.transactions = 12000;
+  tpcc_populate(db, cfg);
+  const auto report = tpcc_run(db, GetParam(), cfg);
+  EXPECT_TRUE(report.consistent);
+  EXPECT_EQ(report.new_orders + report.payments, cfg.transactions);
+  EXPECT_EQ(db.table("orders").row_count(), report.new_orders);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, TpccThreadsTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(Tpcc, ContentionProducesLockStalls) {
+  Database db;
+  TpccConfig cfg;
+  cfg.warehouses = 1;  // everything hits one warehouse lock
+  cfg.transactions = 20000;
+  tpcc_populate(db, cfg);
+  const auto report = tpcc_run(db, 8, cfg);
+  EXPECT_TRUE(report.consistent);
+  EXPECT_GT(report.lock_spin_cycles, 0.0);
+}
+
+}  // namespace
+}  // namespace estima::sql

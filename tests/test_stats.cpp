@@ -1,0 +1,71 @@
+#include "numeric/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace estima::numeric {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+  std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(variance(v), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+}
+
+TEST(Stats, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(rmse({}, {}), 0.0);
+}
+
+TEST(Stats, Rmse) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(rmse(a, b), 0.0);
+  std::vector<double> c{2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rmse(a, c), 1.0);
+}
+
+TEST(Stats, RmseAtIndices) {
+  std::vector<double> pred{0.0, 10.0, 20.0, 33.0};
+  std::vector<double> truth{0.0, 10.0, 24.0, 30.0};
+  EXPECT_DOUBLE_EQ(rmse_at(pred, truth, {0, 1}), 0.0);
+  EXPECT_NEAR(rmse_at(pred, truth, {2, 3}), 3.5355339, 1e-6);
+}
+
+TEST(Stats, PearsonPerfectAndInverse) {
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  std::vector<double> c{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+  std::vector<double> a{1.0, 1.0, 1.0};
+  std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Stats, RelativeErrors) {
+  std::vector<double> pred{110.0, 90.0};
+  std::vector<double> truth{100.0, 100.0};
+  EXPECT_NEAR(max_relative_error_pct(pred, truth), 10.0, 1e-12);
+  EXPECT_NEAR(mean_relative_error_pct(pred, truth), 10.0, 1e-12);
+}
+
+TEST(Stats, RelativeErrorSkipsZeroTruth) {
+  std::vector<double> pred{5.0, 110.0};
+  std::vector<double> truth{0.0, 100.0};
+  EXPECT_NEAR(max_relative_error_pct(pred, truth), 10.0, 1e-12);
+}
+
+TEST(Stats, Quantiles) {
+  std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+}
+
+}  // namespace
+}  // namespace estima::numeric

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "syncstats/barrier.hpp"
+#include "syncstats/cycles.hpp"
+#include "syncstats/instrumented_mutex.hpp"
+#include "syncstats/spinlock.hpp"
+
+namespace estima::sync {
+namespace {
+
+template <typename Lock>
+void mutual_exclusion_test() {
+  Lock lock;
+  std::int64_t counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> pool;
+  std::vector<ThreadStallCounters> counters(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock(&counters[t]);
+        ++counter;  // data race iff mutual exclusion is broken
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(counter, static_cast<std::int64_t>(kThreads) * kIters);
+}
+
+TEST(Spinlock, TasMutualExclusion) { mutual_exclusion_test<TasSpinlock>(); }
+TEST(Spinlock, TtasMutualExclusion) { mutual_exclusion_test<TtasSpinlock>(); }
+TEST(Spinlock, TicketMutualExclusion) { mutual_exclusion_test<TicketLock>(); }
+TEST(Spinlock, InstrumentedMutexMutualExclusion) {
+  mutual_exclusion_test<InstrumentedMutex>();
+}
+
+TEST(Spinlock, TryLockSemantics) {
+  TasSpinlock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Spinlock, ContentionAccumulatesSpinCycles) {
+  TtasSpinlock lock;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> pool;
+  std::vector<ThreadStallCounters> counters(kThreads);
+  std::atomic<std::int64_t> in_cs{0};
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) {
+        StallGuard guard(lock, &counters[t]);
+        in_cs.fetch_add(1, std::memory_order_relaxed);
+        // Hold the lock a bit to force others to spin.
+        for (volatile int k = 0; k < 50; ++k) {
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  std::uint64_t total_spin = 0;
+  for (const auto& c : counters) total_spin += c.lock_spin_cycles;
+  EXPECT_EQ(in_cs.load(), 8 * 2000);
+  EXPECT_GT(total_spin, 0u);
+}
+
+TEST(Spinlock, UncontendedLockRecordsLittle) {
+  TasSpinlock lock;
+  ThreadStallCounters c;
+  for (int i = 0; i < 100; ++i) {
+    StallGuard guard(lock, &c);
+  }
+  // Uncontended acquisitions cost a few cycles each at most.
+  EXPECT_LT(c.lock_spin_cycles, 1000000u);
+}
+
+TEST(Barrier, SynchronisesPhases) {
+  constexpr int kThreads = 6;
+  constexpr int kPhases = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_counter{0};
+  std::vector<std::thread> pool;
+  std::atomic<bool> order_violation{false};
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int p = 0; p < kPhases; ++p) {
+        phase_counter.fetch_add(1, std::memory_order_acq_rel);
+        barrier.arrive_and_wait();
+        // After the barrier, every thread of phase p has arrived.
+        if (phase_counter.load(std::memory_order_acquire) <
+            (p + 1) * kThreads) {
+          order_violation.store(true);
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_FALSE(order_violation.load());
+  EXPECT_EQ(phase_counter.load(), kThreads * kPhases);
+}
+
+TEST(Barrier, AccountsWaitCycles) {
+  constexpr int kThreads = 4;
+  SpinBarrier barrier(kThreads);
+  std::vector<ThreadStallCounters> counters(kThreads);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      // Thread 0 arrives late: the others must record wait cycles.
+      if (t == 0) {
+        for (volatile int k = 0; k < 2000000; ++k) {
+        }
+      }
+      barrier.arrive_and_wait(&counters[t]);
+    });
+  }
+  for (auto& th : pool) th.join();
+  std::uint64_t total_wait = 0;
+  for (const auto& c : counters) total_wait += c.barrier_wait_cycles;
+  EXPECT_GT(total_wait, 0u);
+}
+
+TEST(Cycles, MonotonicAndAccumulates) {
+  const std::uint64_t a = rdcycles();
+  for (volatile int k = 0; k < 10000; ++k) {
+  }
+  const std::uint64_t b = rdcycles();
+  EXPECT_GT(b, a);
+
+  CycleAccumulator acc;
+  {
+    CycleSpan span(acc);
+    for (volatile int k = 0; k < 1000; ++k) {
+    }
+  }
+  EXPECT_GT(acc.total(), 0u);
+  acc.reset();
+  EXPECT_EQ(acc.total(), 0u);
+}
+
+}  // namespace
+}  // namespace estima::sync

@@ -1,0 +1,195 @@
+#include "workloads/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "workloads/ds_hashtable.hpp"
+#include "workloads/ds_skiplist.hpp"
+
+namespace estima::wl {
+namespace {
+
+// Every native workload must run to completion and pass its own
+// validation, single-threaded and multi-threaded.
+struct RunParam {
+  std::string workload;
+  int threads;
+};
+
+class NativeWorkloadTest : public ::testing::TestWithParam<RunParam> {};
+
+TEST_P(NativeWorkloadTest, RunsAndValidates) {
+  const auto& p = GetParam();
+  WorkloadOptions opts;
+  opts.size = 1;  // small, CI-friendly inputs
+  auto wl = make_workload(p.workload, opts);
+  ASSERT_NE(wl, nullptr);
+  EXPECT_EQ(wl->name(), p.workload);
+  const auto result = wl->run(p.threads);
+  EXPECT_TRUE(result.valid) << p.workload << " @ " << p.threads << " threads";
+  EXPECT_GT(result.operations, 0u);
+}
+
+std::vector<RunParam> all_params() {
+  std::vector<RunParam> params;
+  for (const auto& name : native_workload_names()) {
+    params.push_back({name, 1});
+    params.push_back({name, 4});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, NativeWorkloadTest, ::testing::ValuesIn(all_params()),
+    [](const ::testing::TestParamInfo<RunParam>& info) {
+      std::string name = info.param.workload + "_t" +
+                         std::to_string(info.param.threads);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(Workloads, UnknownNameThrows) {
+  EXPECT_THROW(make_workload("no-such-workload"), std::invalid_argument);
+}
+
+TEST(Workloads, StmWorkloadsReportAbortCyclesUnderContention) {
+  WorkloadOptions opts;
+  opts.size = 1;
+  auto wl = make_workload("intruder", opts);
+  const auto result = wl->run(8);
+  ASSERT_TRUE(result.valid);
+  // With 8 threads hammering the shared flow map, SwissTM-style abort
+  // cycles must be reported.
+  const auto it = result.software_stalls.find("stm_abort_cycles");
+  ASSERT_NE(it, result.software_stalls.end());
+  EXPECT_GT(it->second, 0.0);
+}
+
+TEST(Workloads, StreamclusterReportsSyncStalls) {
+  WorkloadOptions opts;
+  auto wl = make_workload("streamcluster", opts);
+  const auto result = wl->run(4);
+  ASSERT_TRUE(result.valid);
+  EXPECT_TRUE(result.software_stalls.count("barrier_wait_cycles") ||
+              result.software_stalls.count("lock_spin_cycles"));
+}
+
+// --- data structure unit tests beyond the workload driver ---
+
+TEST(LockBasedHashTable, BasicSemantics) {
+  LockBasedHashTable t(64);
+  EXPECT_TRUE(t.insert(1, 10));
+  EXPECT_FALSE(t.insert(1, 11));  // duplicate
+  std::uint64_t v = 0;
+  EXPECT_TRUE(t.lookup(1, &v));
+  EXPECT_EQ(v, 10u);
+  EXPECT_TRUE(t.erase(1));
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_FALSE(t.lookup(1, &v));
+  EXPECT_TRUE(t.insert(1, 12));  // resurrect
+  EXPECT_TRUE(t.lookup(1, &v));
+  EXPECT_EQ(v, 12u);
+  EXPECT_EQ(t.size_slow(), 1u);
+}
+
+TEST(LockFreeHashTable, BasicSemantics) {
+  LockFreeHashTable t(64);
+  EXPECT_TRUE(t.insert(5, 50));
+  EXPECT_FALSE(t.insert(5, 51));
+  std::uint64_t v = 0;
+  EXPECT_TRUE(t.lookup(5, &v));
+  EXPECT_EQ(v, 50u);
+  EXPECT_TRUE(t.erase(5));
+  EXPECT_FALSE(t.lookup(5, &v));
+  EXPECT_TRUE(t.insert(5, 52));
+  EXPECT_TRUE(t.lookup(5, &v));
+  EXPECT_EQ(t.size_slow(), 1u);
+}
+
+TEST(LockFreeHashTable, ConcurrentDistinctInserts) {
+  LockFreeHashTable t(1 << 10);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> pool;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    pool.emplace_back([&, tid] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(tid) * kPerThread + i + 1;
+        ASSERT_TRUE(t.insert(key, key));
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(t.size_slow(), static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(LockFreeHashTable, ConcurrentSameKeyInsertOnceWins) {
+  LockFreeHashTable t(64);
+  constexpr int kThreads = 8;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> pool;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    pool.emplace_back([&] {
+      if (t.insert(42, 1)) winners.fetch_add(1);
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(winners.load(), 1);
+  EXPECT_EQ(t.size_slow(), 1u);
+}
+
+TEST(LockBasedSkipList, OrderedSemantics) {
+  LockBasedSkipList list(1000);
+  for (std::uint64_t k : {5u, 1u, 9u, 3u, 7u}) EXPECT_TRUE(list.insert(k));
+  EXPECT_FALSE(list.insert(5));
+  EXPECT_TRUE(list.contains(3));
+  EXPECT_FALSE(list.contains(4));
+  EXPECT_TRUE(list.is_sorted());
+  EXPECT_TRUE(list.erase(3));
+  EXPECT_FALSE(list.contains(3));
+  EXPECT_EQ(list.size_slow(), 4u);
+  EXPECT_TRUE(list.is_sorted());
+}
+
+TEST(LockFreeSkipList, OrderedSemantics) {
+  LockFreeSkipList list;
+  numeric::SplitMix64 rng(3);
+  for (std::uint64_t k : {50u, 10u, 90u, 30u, 70u}) {
+    EXPECT_TRUE(list.insert(k, rng.next()));
+  }
+  EXPECT_FALSE(list.insert(50, rng.next()));
+  EXPECT_TRUE(list.contains(30));
+  EXPECT_FALSE(list.contains(40));
+  EXPECT_TRUE(list.is_sorted());
+  EXPECT_TRUE(list.erase(30));
+  EXPECT_FALSE(list.contains(30));
+  EXPECT_TRUE(list.insert(30, rng.next()));  // resurrect tombstone
+  EXPECT_TRUE(list.contains(30));
+}
+
+TEST(LockFreeSkipList, ConcurrentInsertsStaySorted) {
+  LockFreeSkipList list;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> pool;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    pool.emplace_back([&, tid] {
+      numeric::SplitMix64 rng(100 + tid);
+      for (int i = 0; i < kPerThread; ++i) {
+        list.insert(1 + rng.next_below(100000), rng.next());
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_TRUE(list.is_sorted());
+  EXPECT_GT(list.size_slow(), 1000u);
+}
+
+}  // namespace
+}  // namespace estima::wl
