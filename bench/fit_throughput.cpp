@@ -1,0 +1,276 @@
+// End-to-end predict() throughput microbenchmark.
+//
+// Tracks the perf trajectory of the fitting hot path: a production-scale
+// predictor reruns the candidate-enumeration loop (Section 3.1) for many
+// applications, so the pipeline's own speed is a first-class metric. Three
+// modes are measured:
+//   baseline  — memoization off, thread pool off (one fit per candidate,
+//               exactly the pre-optimization pipeline shape);
+//   memoized  — (kernel, prefix) fits cached across checkpoint settings;
+//   parallel  — memoized + fit/category fan-out across a thread pool.
+//
+// Reports predictions/sec per mode, the duplicate-fits-eliminated counter,
+// and a bit-identical cross-check of single- vs multi-threaded output, as
+// JSON to BENCH_fit_throughput.json (and human-readable text to stdout).
+//
+// Flags:
+//   --seconds=S   measurement window per mode       (default 2.0)
+//   --threads=N   pool size for the parallel mode   (default: hardware)
+//   --points=M    measured core counts 1..M         (default 14)
+//   --target=T    extrapolation horizon             (default 64)
+//   --ckmax=C     checkpoint settings swept, 1..C   (default 5)
+//   --out=PATH    JSON output path                  (default BENCH_fit_throughput.json)
+//   --mode=NAME   restrict to baseline|memoized|parallel (default: all)
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tests/synthetic.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ModeResult {
+  std::string name;
+  double predictions_per_sec = 0.0;
+  int iterations = 0;
+  double seconds = 0.0;
+  std::size_t fits_executed = 0;
+  std::size_t duplicate_fits_eliminated = 0;
+  std::size_t candidates_considered = 0;
+};
+
+double parse_flag_d(int argc, char** argv, const char* name, double dflt) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return dflt;
+}
+
+std::string parse_flag_s(int argc, char** argv, const char* name,
+                         const std::string& dflt) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return dflt;
+}
+
+estima::core::PredictionConfig make_config(int target, int ckmax,
+                                           bool memoize,
+                                           estima::parallel::ThreadPool* pool) {
+  estima::core::PredictionConfig cfg;
+  cfg.target_cores = estima::core::cores_up_to(target);
+  // A production-style sweep over checkpoint settings 1..ckmax: the fit of
+  // a (kernel, prefix) pair is shared by all of them, which is exactly
+  // what the memoization exploits.
+  cfg.extrap.checkpoint_counts.clear();
+  for (int c = 1; c <= ckmax; ++c) cfg.extrap.checkpoint_counts.push_back(c);
+  cfg.extrap.memoize_fits = memoize;
+  cfg.extrap.pool = pool;
+  return cfg;
+}
+
+// Sums the per-category fit accounting of one prediction.
+void accumulate_stats(const estima::core::Prediction& pred, ModeResult* r) {
+  r->fits_executed = 0;
+  r->duplicate_fits_eliminated = 0;
+  r->candidates_considered = 0;
+  for (const auto& cp : pred.categories) {
+    r->fits_executed += cp.extrapolation.fits_executed;
+    r->duplicate_fits_eliminated += cp.extrapolation.duplicate_fits_eliminated;
+    r->candidates_considered += cp.extrapolation.candidates_considered;
+  }
+}
+
+ModeResult run_mode(const std::string& name,
+                    const estima::core::MeasurementSet& ms,
+                    const estima::core::PredictionConfig& cfg,
+                    double seconds) {
+  ModeResult r;
+  r.name = name;
+  // Warm-up: thread-local LM workspaces, allocator pools, page faults.
+  auto pred = estima::core::predict(ms, cfg);
+  accumulate_stats(pred, &r);
+
+  double sink = 0.0;  // defeat dead-code elimination
+  const auto start = Clock::now();
+  int iters = 0;
+  for (;;) {
+    const auto p = estima::core::predict(ms, cfg);
+    sink += p.time_s.back();
+    ++iters;
+    const double el =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (el >= seconds && iters >= 3) {
+      r.seconds = el;
+      break;
+    }
+  }
+  r.iterations = iters;
+  r.predictions_per_sec = iters / r.seconds;
+  if (!std::isfinite(sink)) std::printf("(non-finite sink)\n");
+  return r;
+}
+
+bool bit_identical(const estima::core::Prediction& a,
+                   const estima::core::Prediction& b) {
+  if (a.time_s != b.time_s) return false;
+  if (a.stalls_per_core != b.stalls_per_core) return false;
+  if (a.categories.size() != b.categories.size()) return false;
+  for (std::size_t i = 0; i < a.categories.size(); ++i) {
+    if (a.categories[i].values != b.categories[i].values) return false;
+    if (a.categories[i].extrapolation.checkpoint_rmse !=
+        b.categories[i].extrapolation.checkpoint_rmse) {
+      return false;
+    }
+    if (a.categories[i].extrapolation.best.params !=
+        b.categories[i].extrapolation.best.params) {
+      return false;
+    }
+  }
+  return a.factor_fn.params == b.factor_fn.params;
+}
+
+}  // namespace
+
+int run_bench(int argc, char** argv);
+
+int main(int argc, char** argv) {
+  try {
+    return run_bench(argc, argv);
+  } catch (const std::exception& e) {
+    // Degenerate flag combinations (e.g. too few measured points for any
+    // checkpoint setting) surface as predict() exceptions; report cleanly.
+    std::fprintf(stderr, "fit_throughput: %s\n", e.what());
+    return 1;
+  }
+}
+
+int run_bench(int argc, char** argv) {
+  const double seconds = parse_flag_d(argc, argv, "seconds", 2.0);
+  const int points = static_cast<int>(parse_flag_d(argc, argv, "points", 14));
+  const int target = static_cast<int>(parse_flag_d(argc, argv, "target", 64));
+  const int ckmax = static_cast<int>(parse_flag_d(argc, argv, "ckmax", 5));
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int threads = static_cast<int>(
+      parse_flag_d(argc, argv, "threads", hw > 0 ? static_cast<double>(hw) : 1.0));
+  const std::string out_path =
+      parse_flag_s(argc, argv, "out", "BENCH_fit_throughput.json");
+  const std::string only_mode = parse_flag_s(argc, argv, "mode", "all");
+  if (only_mode != "all" && only_mode != "baseline" &&
+      only_mode != "memoized" && only_mode != "parallel") {
+    std::fprintf(stderr,
+                 "unknown --mode=%s (expected all|baseline|memoized|parallel)\n",
+                 only_mode.c_str());
+    return 1;
+  }
+
+  // A three-category synthetic campaign (two hardware series + software
+  // aborts) with mild contention growth and noise — representative of the
+  // paper's STAMP-style inputs.
+  estima::testing::SyntheticSpec spec;
+  spec.stm_rate = 1e-4;
+  spec.noise = 0.02;
+  const auto ms =
+      estima::testing::make_synthetic(spec, estima::testing::counts_up_to(points));
+
+  estima::parallel::ThreadPool pool(static_cast<std::size_t>(
+      threads > 0 ? threads : 1));
+
+  std::printf("fit_throughput: %d measured points, horizon %d cores, "
+              "%d pool threads, %.1fs per mode\n",
+              points, target, threads, seconds);
+
+  std::vector<ModeResult> results;
+  const bool all = only_mode == "all";
+  if (all || only_mode == "baseline") {
+    results.push_back(run_mode("baseline", ms,
+                               make_config(target, ckmax, false, nullptr), seconds));
+  }
+  if (all || only_mode == "memoized") {
+    results.push_back(run_mode("memoized", ms,
+                               make_config(target, ckmax, true, nullptr), seconds));
+  }
+  if (all || only_mode == "parallel") {
+    results.push_back(run_mode("parallel", ms,
+                               make_config(target, ckmax, true, &pool), seconds));
+  }
+
+  for (const auto& r : results) {
+    std::printf("  %-9s %8.2f predictions/s  (%d iters in %.2fs)  "
+                "fits=%zu dup_eliminated=%zu\n",
+                r.name.c_str(), r.predictions_per_sec, r.iterations,
+                r.seconds, r.fits_executed, r.duplicate_fits_eliminated);
+  }
+
+  const ModeResult* baseline = nullptr;
+  const ModeResult* fastest = nullptr;
+  for (const auto& r : results) {
+    if (r.name == "baseline") baseline = &r;
+    if (!fastest || r.predictions_per_sec > fastest->predictions_per_sec) {
+      fastest = &r;
+    }
+  }
+  double speedup = 0.0;
+  if (baseline && fastest && baseline->predictions_per_sec > 0.0) {
+    speedup = fastest->predictions_per_sec / baseline->predictions_per_sec;
+    std::printf("  end-to-end speedup (%s vs baseline): %.2fx\n",
+                fastest->name.c_str(), speedup);
+  }
+
+  // Determinism cross-check: single-threaded vs pooled prediction must
+  // agree bit-for-bit.
+  const auto serial = estima::core::predict(ms, make_config(target, ckmax, true, nullptr));
+  const auto pooled = estima::core::predict(ms, make_config(target, ckmax, true, &pool));
+  const bool identical = bit_identical(serial, pooled);
+  std::printf("  1-thread vs %d-thread output bit-identical: %s\n", threads,
+              identical ? "yes" : "NO");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"fit_throughput\",\n");
+  std::fprintf(f, "  \"measured_points\": %d,\n", points);
+  std::fprintf(f, "  \"target_cores\": %d,\n", target);
+  std::fprintf(f, "  \"pool_threads\": %d,\n", threads);
+  std::fprintf(f, "  \"checkpoint_settings_max\": %d,\n", ckmax);
+  std::fprintf(f, "  \"modes\": {\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    \"%s\": {\"predictions_per_sec\": %.3f, "
+                 "\"iterations\": %d, \"seconds\": %.3f, "
+                 "\"fits_executed\": %zu, "
+                 "\"duplicate_fits_eliminated\": %zu, "
+                 "\"candidates_considered\": %zu}%s\n",
+                 r.name.c_str(), r.predictions_per_sec, r.iterations,
+                 r.seconds, r.fits_executed, r.duplicate_fits_eliminated,
+                 r.candidates_considered,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"end_to_end_speedup_vs_baseline\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"multithreaded_bit_identical\": %s\n",
+               identical ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("  wrote %s\n", out_path.c_str());
+
+  return identical ? 0 : 2;
+}

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "numeric/stats.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace estima::core {
 namespace {
@@ -19,14 +20,25 @@ double max_abs(const std::vector<double>& v) {
   return m;
 }
 
+// The outcome of one executed (kernel, prefix) fit job: the realism-checked
+// fit plus its predictions at every measured core count. Empty fn = the fit
+// failed or was unrealistic. In memoized mode one slot is shared by every
+// checkpoint setting; only the checkpoint RMSE differs between settings.
+struct FitSlot {
+  std::optional<FittedFunction> fn;
+  std::vector<double> pred;
+};
+
 }  // namespace
 
 std::vector<CandidateFit> enumerate_candidates(
     const std::vector<int>& cores, const std::vector<double>& values,
-    const ExtrapolationConfig& cfg) {
+    const ExtrapolationConfig& cfg, EnumerationStats* stats) {
+  EnumerationStats acct;
   std::vector<CandidateFit> out;
   const int m = static_cast<int>(cores.size());
   if (m != static_cast<int>(values.size()) || m < cfg.min_prefix + 1) {
+    if (stats) *stats = acct;
     return out;
   }
 
@@ -38,40 +50,101 @@ std::vector<CandidateFit> enumerate_candidates(
   realism.range_min = xs.front();
   realism.range_max = std::max(cfg.target_max_cores, xs.back());
 
+  // Checkpoint settings that leave at least min_prefix points to fit on,
+  // in configuration order.
+  std::vector<int> valid_cs;
   for (int c : cfg.checkpoint_counts) {
-    const int n = m - c;  // points available for fitting
-    if (c <= 0 || n < cfg.min_prefix) continue;
+    if (c > 0 && m - c >= cfg.min_prefix) valid_cs.push_back(c);
+  }
+  if (valid_cs.empty()) {
+    if (stats) *stats = acct;
+    return out;
+  }
 
+  const std::size_t K = kAllKernels.size();
+  for (int c : valid_cs) {
+    acct.candidates_attempted +=
+        K * static_cast<std::size_t>(m - c - cfg.min_prefix + 1);
+  }
+
+  // Fit jobs. A fit depends only on (kernel, prefix), never on the
+  // checkpoint setting, so memoized mode executes each distinct pair once;
+  // brute-force mode re-executes it per setting (the baseline/reference).
+  // Jobs are laid out K kernels per prefix, so kernel = index % K.
+  std::vector<int> job_prefix;
+  if (cfg.memoize_fits) {
+    int max_prefix = 0;
+    for (int c : valid_cs) max_prefix = std::max(max_prefix, m - c);
+    for (int i = cfg.min_prefix; i <= max_prefix; ++i) {
+      for (std::size_t k = 0; k < K; ++k) job_prefix.push_back(i);
+    }
+  } else {
+    for (int c : valid_cs) {
+      for (int i = cfg.min_prefix; i <= m - c; ++i) {
+        for (std::size_t k = 0; k < K; ++k) job_prefix.push_back(i);
+      }
+    }
+  }
+  acct.fits_executed = job_prefix.size();
+  if (cfg.memoize_fits) {
+    acct.duplicate_fits_eliminated =
+        acct.candidates_attempted - acct.fits_executed;
+  }
+
+  // Execute the jobs, possibly fanned out across the pool. Each job writes
+  // only its own slot, so the fan-out cannot change results.
+  std::vector<FitSlot> slots(job_prefix.size());
+  parallel::parallel_for(
+      cfg.pool, job_prefix.size(), [&](std::size_t idx) {
+        const int i = job_prefix[idx];
+        const KernelType type = kAllKernels[idx % K];
+        const std::vector<double> pxs(xs.begin(), xs.begin() + i);
+        const std::vector<double> pys(values.begin(), values.begin() + i);
+        auto fitted = fit_kernel(type, pxs, pys, cfg.fit);
+        if (!fitted) return;
+        if (!is_realistic(*fitted, realism, vmax, nonneg)) return;
+        FitSlot& slot = slots[idx];
+        slot.pred.resize(static_cast<std::size_t>(m));
+        for (std::size_t j = 0; j < static_cast<std::size_t>(m); ++j) {
+          slot.pred[j] = (*fitted)(xs[j]);
+        }
+        slot.fn = std::move(*fitted);
+      });
+
+  // Serial assembly in the fixed (checkpoint setting, prefix, kernel)
+  // order: scoring against each checkpoint set is cheap (c subtractions),
+  // which is exactly why the fit above is worth caching.
+  std::size_t running = 0;  // job cursor for the brute-force layout
+  for (int c : valid_cs) {
+    const int n = m - c;
     std::vector<std::size_t> checkpoint_idx;
     for (int i = n; i < m; ++i) {
       checkpoint_idx.push_back(static_cast<std::size_t>(i));
     }
-
     for (int i = cfg.min_prefix; i <= n; ++i) {
-      const std::vector<double> pxs(xs.begin(), xs.begin() + i);
-      const std::vector<double> pys(values.begin(), values.begin() + i);
-      for (KernelType type : kAllKernels) {
-        auto fitted = fit_kernel(type, pxs, pys, cfg.fit);
-        if (!fitted) continue;
-        if (!is_realistic(*fitted, realism, vmax, nonneg)) continue;
-
-        std::vector<double> pred(m, 0.0);
-        for (std::size_t j = 0; j < static_cast<std::size_t>(m); ++j) {
-          pred[j] = (*fitted)(xs[j]);
-        }
-        const double err = numeric::rmse_at(pred, values, checkpoint_idx);
+      for (std::size_t k = 0; k < K; ++k) {
+        const std::size_t idx =
+            cfg.memoize_fits
+                ? static_cast<std::size_t>(i - cfg.min_prefix) * K + k
+                : running++;
+        const FitSlot& slot = slots[idx];
+        if (!slot.fn) continue;
+        const double err = numeric::rmse_at(slot.pred, values, checkpoint_idx);
         if (!std::isfinite(err)) continue;
-        out.push_back(CandidateFit{std::move(*fitted), i, c, err});
+        out.push_back(CandidateFit{*slot.fn, i, c, err});
       }
     }
   }
+  if (stats) *stats = acct;
   return out;
 }
 
 std::optional<SeriesExtrapolation> extrapolate_series(
     const std::vector<int>& cores, const std::vector<double>& values,
-    const ExtrapolationConfig& cfg) {
-  const auto candidates = enumerate_candidates(cores, values, cfg);
+    const ExtrapolationConfig& cfg, EnumerationStats* out_stats) {
+  EnumerationStats stats;
+  const auto candidates = enumerate_candidates(cores, values, cfg, &stats);
+  if (out_stats) *out_stats = stats;
   if (candidates.empty()) return std::nullopt;
 
   // Minimum checkpoint RMSE decides, but many candidates land within noise
@@ -109,16 +182,9 @@ std::optional<SeriesExtrapolation> extrapolate_series(
   out.chosen_prefix = best->prefix_len;
   out.chosen_checkpoints = best->checkpoints;
   out.candidates_realistic = candidates.size();
-  // Total attempted = kernels * prefixes * checkpoint settings; recompute.
-  std::size_t attempted = 0;
-  const int m = static_cast<int>(cores.size());
-  for (int c : cfg.checkpoint_counts) {
-    const int n = m - c;
-    if (c <= 0 || n < cfg.min_prefix) continue;
-    attempted += kAllKernels.size() *
-                 static_cast<std::size_t>(n - cfg.min_prefix + 1);
-  }
-  out.candidates_considered = attempted;
+  out.candidates_considered = stats.candidates_attempted;
+  out.fits_executed = stats.fits_executed;
+  out.duplicate_fits_eliminated = stats.duplicate_fits_eliminated;
   return out;
 }
 

@@ -7,6 +7,14 @@
 //     n = m - c points, discarding unrealistic fits;
 //  3. scores every candidate by RMSE at the checkpoints;
 //  4. keeps the minimiser and uses it to extrapolate.
+//
+// The fit of a (kernel, prefix) pair depends only on the prefix, never on
+// the checkpoint setting, so by default the enumeration memoizes fits
+// across checkpoint settings and only re-scores the cached fit against
+// each checkpoint set. The (kernel, prefix) fit jobs are independent and
+// can be fanned out across a parallel::ThreadPool; candidate assembly and
+// scoring stay serial in a fixed order, so results are bit-identical
+// regardless of memoization or thread count.
 #pragma once
 
 #include <optional>
@@ -15,6 +23,10 @@
 
 #include "core/fit_engine.hpp"
 #include "core/kernels.hpp"
+
+namespace estima::parallel {
+class ThreadPool;
+}  // namespace estima::parallel
 
 namespace estima::core {
 
@@ -25,6 +37,13 @@ struct ExtrapolationConfig {
   double target_max_cores = 64; ///< realism + extrapolation horizon
   RealismOptions realism;       ///< range is overwritten from target_max
   FitOptions fit;
+  /// Fit each (kernel, prefix) pair once and reuse it across checkpoint
+  /// settings. Off = the brute-force reference (one fit per candidate),
+  /// kept runnable for benchmarking and regression testing.
+  bool memoize_fits = true;
+  /// Fan the independent fit jobs (and, in predict(), the independent
+  /// stall categories) out across this pool. Null = single-threaded.
+  parallel::ThreadPool* pool = nullptr;
 };
 
 /// One scored candidate fit (kept for diagnostics / bench output).
@@ -35,6 +54,18 @@ struct CandidateFit {
   double checkpoint_rmse = 0.0;
 };
 
+/// Work accounting for one enumeration, reported by enumerate_candidates
+/// so callers never have to re-derive the combinatorics.
+struct EnumerationStats {
+  /// kernel x prefix x checkpoint-setting combinations considered.
+  std::size_t candidates_attempted = 0;
+  /// fit_kernel invocations actually executed.
+  std::size_t fits_executed = 0;
+  /// Refits avoided by the (kernel, prefix) cache; zero when memoization
+  /// is disabled.
+  std::size_t duplicate_fits_eliminated = 0;
+};
+
 /// The outcome of extrapolating one series.
 struct SeriesExtrapolation {
   FittedFunction best;
@@ -43,6 +74,8 @@ struct SeriesExtrapolation {
   int chosen_checkpoints = 0;
   std::size_t candidates_considered = 0;
   std::size_t candidates_realistic = 0;
+  std::size_t fits_executed = 0;
+  std::size_t duplicate_fits_eliminated = 0;
 
   std::vector<double> predict(const std::vector<int>& cores) const {
     return best.eval_many(cores);
@@ -51,15 +84,20 @@ struct SeriesExtrapolation {
 
 /// Extrapolates one series of (cores, values). Returns std::nullopt when no
 /// realistic candidate exists (degenerate input, fewer than min_prefix + 1
-/// points, ...).
+/// points, ...). When `stats` is non-null it receives the enumeration's
+/// work accounting even on failure — callers that fall back to a constant
+/// extension can still report the fits that were executed.
 std::optional<SeriesExtrapolation> extrapolate_series(
     const std::vector<int>& cores, const std::vector<double>& values,
-    const ExtrapolationConfig& cfg);
+    const ExtrapolationConfig& cfg, EnumerationStats* stats = nullptr);
 
 /// Enumerates every realistic candidate (used by the scaling-factor step,
 /// which selects by correlation rather than checkpoint RMSE, and by tests).
+/// Candidate order is fixed (checkpoint setting, then prefix, then kernel)
+/// and identical for every memoize_fits / pool combination. When `stats`
+/// is non-null it receives the work accounting of this enumeration.
 std::vector<CandidateFit> enumerate_candidates(
     const std::vector<int>& cores, const std::vector<double>& values,
-    const ExtrapolationConfig& cfg);
+    const ExtrapolationConfig& cfg, EnumerationStats* stats = nullptr);
 
 }  // namespace estima::core

@@ -106,14 +106,20 @@ std::optional<FittedFunction> fit_nonlinear_kernel(
 
   numeric::LevMarOptions lm;
   lm.max_iterations = opts.levmar_max_iterations;
-  const auto model = [type](double x, const std::vector<double>& p) {
-    return kernel_eval(type, x, p);
+  const auto model = [type](const std::vector<double>& bxs,
+                            const std::vector<double>& p,
+                            std::vector<double>& out) {
+    kernel_eval_batch(type, bxs, p, out);
   };
+  // One workspace per thread: enumerate_candidates fans fits out across a
+  // pool, and each worker reuses its buffers across thousands of fits.
+  thread_local numeric::LevMarWorkspace ws;
 
   std::optional<FittedFunction> best;
   double best_rmse = std::numeric_limits<double>::infinity();
   for (auto& start : starts) {
-    auto res = numeric::levenberg_marquardt(model, xs, ys_scaled, start, lm);
+    auto res =
+        numeric::levenberg_marquardt(model, xs, ys_scaled, start, lm, ws);
     if (!std::isfinite(res.rmse)) continue;
     bool finite = true;
     for (double v : res.params) {
@@ -140,10 +146,15 @@ bool is_realistic(const FittedFunction& f, const RealismOptions& opts,
   const double neg_floor =
       -opts.negativity_slack * std::max(data_max_abs, kTiny);
 
-  // Walk the range densely enough to catch poles between integer counts.
+  // Walk the range densely enough to catch poles between integer counts,
+  // but never more finely than max_steps: on wide extrapolation ranges the
+  // un-capped walk did thousands of kernel evals per candidate and
+  // dominated enumeration time, while a pole narrower than the capped grid
+  // spacing is not reachable from a fit through integer core counts.
   const double lo = opts.range_min;
   const double hi = std::max(opts.range_max, lo + 1.0);
-  const int steps = std::max(64, static_cast<int>((hi - lo) * 4));
+  const int steps = std::min(std::max(64, static_cast<int>((hi - lo) * 4)),
+                             std::max(opts.max_steps, 1));
   double prev_den = 0.0;
   bool have_prev = false;
   for (int s = 0; s <= steps; ++s) {

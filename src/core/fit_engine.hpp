@@ -21,6 +21,7 @@ struct RealismOptions {
   double explosion_factor = 1e4;  ///< reject |f| > factor * max|y|
   bool require_nonnegative = true;  ///< reject negative fits of nonneg data
   double negativity_slack = 0.05;   ///< tolerated dip below zero (rel. to max)
+  int max_steps = 4096;  ///< ceiling on realism-walk evaluations per candidate
 };
 
 /// Checks a fitted function against the realism rules over [range_min,

@@ -85,6 +85,48 @@ double kernel_eval(KernelType type, double n, const std::vector<double>& p) {
   return std::nan("");
 }
 
+void kernel_eval_batch(KernelType type, const std::vector<double>& xs,
+                       const std::vector<double>& p,
+                       std::vector<double>& out) {
+  out.resize(xs.size());
+  switch (type) {
+    case KernelType::kRat22:
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        out[i] = rat_eval(p, xs[i], 2, 2);
+      }
+      return;
+    case KernelType::kRat23:
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        out[i] = rat_eval(p, xs[i], 2, 3);
+      }
+      return;
+    case KernelType::kRat33:
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        out[i] = rat_eval(p, xs[i], 3, 3);
+      }
+      return;
+    case KernelType::kCubicLn:
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double l = std::log(xs[i]);
+        out[i] = p[0] + p[1] * l + p[2] * l * l + p[3] * l * l * l;
+      }
+      return;
+    case KernelType::kExpRat:
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double n = xs[i];
+        out[i] = std::exp((p[0] + p[1] * n) / (1.0 + p[2] * n));
+      }
+      return;
+    case KernelType::kPoly25:
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double n = xs[i];
+        out[i] = p[0] + p[1] * n + p[2] * n * n + p[3] * n * n * std::sqrt(n);
+      }
+      return;
+  }
+  for (double& v : out) v = std::nan("");
+}
+
 double kernel_denominator(KernelType type, double n,
                           const std::vector<double>& p) {
   switch (type) {

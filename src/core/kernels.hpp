@@ -47,6 +47,14 @@ bool kernel_is_linear(KernelType type);
 /// (size == kernel_param_count). Returns NaN/Inf on poles; callers filter.
 double kernel_eval(KernelType type, double n, const std::vector<double>& p);
 
+/// Evaluates the kernel at every point of xs into out (resized in place,
+/// so repeated calls at the same size allocate nothing). One dispatch on
+/// `type` per batch instead of per point — this is the model-evaluation
+/// primitive of the Levenberg-Marquardt hot loop.
+void kernel_eval_batch(KernelType type, const std::vector<double>& xs,
+                       const std::vector<double>& p,
+                       std::vector<double>& out);
+
 /// Value of the denominator polynomial at n for the rational kernels and
 /// ExpRat; returns 1.0 for kernels with no denominator. Used by the realism
 /// filter to detect poles inside the extrapolation range.

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "numeric/stats.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace estima::core {
 namespace {
@@ -108,14 +109,35 @@ Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg) {
   out.freq_scale = compute_freq_scale(ms, cfg);
 
   // (B) Extrapolate every stall category independently; weak scaling
-  // multiplies the extrapolated stall volume by the dataset factor.
+  // multiplies the extrapolated stall volume by the dataset factor. The
+  // categories are independent series, so they fan out across the pool
+  // (nested with the per-category fit fan-out; parallel_for nests safely).
+  // Each slot is written by exactly one job and assembled serially below,
+  // keeping the output bit-identical to a single-threaded run.
+  std::vector<std::optional<SeriesExtrapolation>> exts(
+      input.categories.size());
+  std::vector<EnumerationStats> ext_stats(input.categories.size());
+  parallel::parallel_for(
+      extrap.pool, input.categories.size(), [&](std::size_t i) {
+        exts[i] = extrapolate_series(input.cores, input.categories[i].values,
+                                     extrap, &ext_stats[i]);
+      });
   out.categories.reserve(input.categories.size());
-  for (const auto& cat : input.categories) {
+  for (std::size_t i = 0; i < input.categories.size(); ++i) {
+    const auto& cat = input.categories[i];
     CategoryPrediction cp;
     cp.name = cat.name;
     cp.domain = cat.domain;
-    auto ext = extrapolate_series(input.cores, cat.values, extrap);
-    cp.extrapolation = ext ? *ext : constant_extension(cat.values.back());
+    if (exts[i]) {
+      cp.extrapolation = std::move(*exts[i]);
+    } else {
+      cp.extrapolation = constant_extension(cat.values.back());
+      // The enumeration still ran; keep its work accounting visible.
+      cp.extrapolation.candidates_considered = ext_stats[i].candidates_attempted;
+      cp.extrapolation.fits_executed = ext_stats[i].fits_executed;
+      cp.extrapolation.duplicate_fits_eliminated =
+          ext_stats[i].duplicate_fits_eliminated;
+    }
     cp.values = cp.extrapolation.predict(cfg.target_cores);
     for (double& v : cp.values) v *= cfg.dataset_scale;
     out.categories.push_back(std::move(cp));

@@ -1,49 +1,59 @@
 #include "numeric/levmar.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "numeric/linalg.hpp"
-#include "numeric/matrix.hpp"
 
 namespace estima::numeric {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Sum of squared residuals; +inf when any model value is non-finite.
-double sse(const ModelFn& f, const std::vector<double>& xs,
-           const std::vector<double>& ys, const std::vector<double>& p) {
+// Sum of squared residuals from pre-evaluated model values; +inf when any
+// value is non-finite.
+double sse_from_values(const std::vector<double>& vals,
+                       const std::vector<double>& ys) {
   double acc = 0.0;
-  for (std::size_t i = 0; i < xs.size(); ++i) {
-    const double v = f(xs[i], p);
-    if (!std::isfinite(v)) return kInf;
-    const double r = v - ys[i];
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    if (!std::isfinite(vals[i])) return kInf;
+    const double r = vals[i] - ys[i];
     acc += r * r;
   }
   return acc;
 }
 
+double sse(const BatchModelFn& f, const std::vector<double>& xs,
+           const std::vector<double>& ys, const std::vector<double>& p,
+           std::vector<double>& vals) {
+  vals.resize(xs.size());
+  f(xs, p, vals);
+  return sse_from_values(vals, ys);
+}
+
 }  // namespace
 
-LevMarResult levenberg_marquardt(const ModelFn& f,
+LevMarResult levenberg_marquardt(const BatchModelFn& f,
                                  const std::vector<double>& xs,
                                  const std::vector<double>& ys,
                                  std::vector<double> initial,
-                                 const LevMarOptions& opts) {
+                                 const LevMarOptions& opts,
+                                 LevMarWorkspace& ws) {
   const std::size_t m = xs.size();
   const std::size_t n = initial.size();
   LevMarResult out;
   out.params = initial;
   if (m == 0 || n == 0) return out;
 
-  std::vector<double> p = std::move(initial);
-  double cost = sse(f, xs, ys, p);
+  ws.p = std::move(initial);
+  std::vector<double>& p = ws.p;
+  double cost = sse(f, xs, ys, p, ws.vals);
   if (!std::isfinite(cost)) {
     // The starting point is on a pole; nudge towards zero until finite.
     for (int attempt = 0; attempt < 16 && !std::isfinite(cost); ++attempt) {
       for (double& v : p) v *= 0.5;
-      cost = sse(f, xs, ys, p);
+      cost = sse(f, xs, ys, p, ws.vals);
     }
     if (!std::isfinite(cost)) {
       out.rmse = kInf;
@@ -52,45 +62,43 @@ LevMarResult levenberg_marquardt(const ModelFn& f,
   }
 
   double lambda = opts.initial_lambda;
-  Matrix J(m, n);
-  std::vector<double> resid(m);
+  ws.J.resize(m, n);
+  ws.resid.resize(m);
+  ws.pj_vals.resize(m);
 
   int iter = 0;
-  for (; iter < opts.max_iterations; ++iter) {
-    // Residuals and forward-difference Jacobian at p.
+  bool stop = false;
+  for (; iter < opts.max_iterations && !stop; ++iter) {
+    // Residuals at p; ws.vals already holds the model values for the
+    // current point (sse keeps it in sync with every accepted step).
     bool finite = true;
     for (std::size_t i = 0; i < m; ++i) {
-      const double v = f(xs[i], p);
-      if (!std::isfinite(v)) {
+      if (!std::isfinite(ws.vals[i])) {
         finite = false;
         break;
       }
-      resid[i] = v - ys[i];
+      ws.resid[i] = ws.vals[i] - ys[i];
     }
     if (!finite) break;
 
+    // Forward-difference Jacobian, one batched model sweep per column.
     for (std::size_t j = 0; j < n; ++j) {
       const double h =
           opts.jacobian_eps * std::max(std::fabs(p[j]), 1e-8);
-      std::vector<double> pj = p;
-      pj[j] += h;
+      ws.pj = p;
+      ws.pj[j] += h;
+      f(xs, ws.pj, ws.pj_vals);
       for (std::size_t i = 0; i < m; ++i) {
-        const double v = f(xs[i], pj);
-        J(i, j) = std::isfinite(v) ? (v - (resid[i] + ys[i])) / h : 0.0;
+        const double v = ws.pj_vals[i];
+        ws.J(i, j) = std::isfinite(v) ? (v - ws.vals[i]) / h : 0.0;
       }
     }
 
-    // Normal equations: (J^T J + lambda diag(J^T J)) dp = -J^T r.
-    Matrix JtJ = J.transposed() * J;
-    std::vector<double> g(n, 0.0);
-    for (std::size_t j = 0; j < n; ++j) {
-      double acc = 0.0;
-      for (std::size_t i = 0; i < m; ++i) acc += J(i, j) * resid[i];
-      g[j] = acc;
-    }
+    // Normal equations formed directly: J^T J and g = J^T r.
+    normal_equations(ws.J, ws.resid, ws.JtJ, ws.g);
 
     double gmax = 0.0;
-    for (double v : g) gmax = std::max(gmax, std::fabs(v));
+    for (double v : ws.g) gmax = std::max(gmax, std::fabs(v));
     if (gmax < opts.gradient_tol) {
       out.converged = true;
       break;
@@ -98,36 +106,33 @@ LevMarResult levenberg_marquardt(const ModelFn& f,
 
     bool step_taken = false;
     for (int tries = 0; tries < 12 && !step_taken; ++tries) {
-      Matrix Damped = JtJ;
+      ws.damped = ws.JtJ;
       for (std::size_t j = 0; j < n; ++j) {
-        const double d = JtJ(j, j);
-        Damped(j, j) += lambda * (d > 0.0 ? d : 1.0);
+        const double d = ws.JtJ(j, j);
+        ws.damped(j, j) += lambda * (d > 0.0 ? d : 1.0);
       }
-      auto L = cholesky(Damped);
-      std::vector<double> dp;
-      if (L) {
-        std::vector<double> neg_g(n);
-        for (std::size_t j = 0; j < n; ++j) neg_g[j] = -g[j];
-        auto y_mid = solve_lower_triangular(*L, neg_g);
-        dp = solve_upper_triangular(L->transposed(), y_mid);
-      } else {
+      if (!cholesky_factor(ws.damped, ws.L)) {
         lambda *= opts.lambda_up;
         continue;
       }
+      ws.neg_g.resize(n);
+      for (std::size_t j = 0; j < n; ++j) ws.neg_g[j] = -ws.g[j];
+      cholesky_solve(ws.L, ws.neg_g, ws.tmp, ws.dp);
 
-      std::vector<double> cand(n);
-      for (std::size_t j = 0; j < n; ++j) cand[j] = p[j] + dp[j];
-      const double cand_cost = sse(f, xs, ys, cand);
+      ws.cand.resize(n);
+      for (std::size_t j = 0; j < n; ++j) ws.cand[j] = p[j] + ws.dp[j];
+      const double cand_cost = sse(f, xs, ys, ws.cand, ws.pj_vals);
       if (cand_cost < cost) {
-        const double step = norm2(dp);
+        const double step = norm2(ws.dp);
         const double scale = std::max(norm2(p), 1e-12);
-        p = std::move(cand);
+        p.swap(ws.cand);
+        ws.vals.swap(ws.pj_vals);  // model values at the accepted point
         cost = cand_cost;
         lambda = std::max(lambda * opts.lambda_down, 1e-14);
         step_taken = true;
         if (step / scale < opts.step_tol) {
           out.converged = true;
-          iter = opts.max_iterations;  // force exit of the outer loop
+          stop = true;
         }
       } else {
         lambda *= opts.lambda_up;
@@ -136,11 +141,26 @@ LevMarResult levenberg_marquardt(const ModelFn& f,
     if (!step_taken) break;  // damping exhausted: local minimum reached
   }
 
-  out.params = std::move(p);
-  out.iterations = std::min(iter, opts.max_iterations);
+  out.params = p;
+  out.iterations = iter;
   out.rmse = std::isfinite(cost) ? std::sqrt(cost / static_cast<double>(m))
                                  : kInf;
   return out;
+}
+
+LevMarResult levenberg_marquardt(const ModelFn& f,
+                                 const std::vector<double>& xs,
+                                 const std::vector<double>& ys,
+                                 std::vector<double> initial,
+                                 const LevMarOptions& opts) {
+  const auto batch = [&f](const std::vector<double>& bxs,
+                          const std::vector<double>& p,
+                          std::vector<double>& out) {
+    out.resize(bxs.size());
+    for (std::size_t i = 0; i < bxs.size(); ++i) out[i] = f(bxs[i], p);
+  };
+  LevMarWorkspace ws;
+  return levenberg_marquardt(batch, xs, ys, std::move(initial), opts, ws);
 }
 
 }  // namespace estima::numeric

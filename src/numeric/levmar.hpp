@@ -2,17 +2,28 @@
 //
 // Fits y ~= f(x; p) for the nonlinear kernels of Table 1 (the rational
 // families and ExpRat). Problems are tiny (<= 7 parameters, <= a few dozen
-// points), so the implementation keeps the classic dense normal-equation
-// formulation with adaptive damping.
+// points) but ESTIMA runs thousands of them per prediction, so the solver
+// works out of a caller-provided workspace: after the first iteration at a
+// given problem size it performs no heap allocation, and the model is
+// evaluated in batches (one dispatch per residual/Jacobian column instead
+// of one per point).
 #pragma once
 
 #include <functional>
 #include <vector>
 
+#include "numeric/matrix.hpp"
+
 namespace estima::numeric {
 
 /// Model callback: value of the model at scalar input x for parameters p.
 using ModelFn = std::function<double(double x, const std::vector<double>& p)>;
+
+/// Batched model callback: fills out[i] = f(xs[i]; p) for every point.
+/// `out` arrives pre-sized to xs.size().
+using BatchModelFn = std::function<void(const std::vector<double>& xs,
+                                        const std::vector<double>& p,
+                                        std::vector<double>& out)>;
 
 struct LevMarOptions {
   int max_iterations = 200;
@@ -31,10 +42,33 @@ struct LevMarResult {
   bool converged = false;      ///< true when a tolerance triggered the stop
 };
 
-/// Minimises sum_i (f(x_i; p) - y_i)^2 starting from `initial`.
+/// Reusable scratch space for levenberg_marquardt. Keep one per thread and
+/// pass it to every call: all per-iteration buffers (Jacobian, normal
+/// equations, Cholesky factor, trial points) live here and are resized in
+/// place, so repeated fits allocate nothing after warm-up.
+struct LevMarWorkspace {
+  Matrix J, JtJ, damped, L;
+  std::vector<double> vals;      ///< model values at the current point
+  std::vector<double> pj_vals;   ///< model values at a perturbed point
+  std::vector<double> resid;
+  std::vector<double> g, neg_g, dp, tmp;
+  std::vector<double> p, pj, cand;
+};
+
+/// Minimises sum_i (f(x_i; p) - y_i)^2 starting from `initial`, using `ws`
+/// for every intermediate buffer.
 ///
 /// Non-finite model evaluations are treated as infinitely bad steps, so the
 /// optimiser backs away from poles of rational models instead of diverging.
+LevMarResult levenberg_marquardt(const BatchModelFn& f,
+                                 const std::vector<double>& xs,
+                                 const std::vector<double>& ys,
+                                 std::vector<double> initial,
+                                 const LevMarOptions& opts,
+                                 LevMarWorkspace& ws);
+
+/// Scalar-model convenience overload (wraps f into a BatchModelFn and uses
+/// a local workspace). Prefer the batched overload on hot paths.
 LevMarResult levenberg_marquardt(const ModelFn& f,
                                  const std::vector<double>& xs,
                                  const std::vector<double>& ys,

@@ -154,22 +154,66 @@ std::vector<double> solve_upper_triangular(const Matrix& U,
   return x;
 }
 
-std::optional<Matrix> cholesky(const Matrix& A) {
-  if (A.rows() != A.cols()) return std::nullopt;
+void normal_equations(const Matrix& J, const std::vector<double>& r,
+                      Matrix& JtJ, std::vector<double>& Jtr) {
+  const std::size_t m = J.rows();
+  const std::size_t n = J.cols();
+  JtJ.resize(n, n);
+  Jtr.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k <= j; ++k) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < m; ++i) acc += J(i, j) * J(i, k);
+      JtJ(j, k) = acc;
+      JtJ(k, j) = acc;
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) acc += J(i, j) * r[i];
+    Jtr[j] = acc;
+  }
+}
+
+bool cholesky_factor(const Matrix& A, Matrix& L) {
+  if (A.rows() != A.cols()) return false;
   const std::size_t n = A.rows();
-  Matrix L(n, n, 0.0);
+  L.resize(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j <= i; ++j) {
       double acc = A(i, j);
       for (std::size_t k = 0; k < j; ++k) acc -= L(i, k) * L(j, k);
       if (i == j) {
-        if (acc <= 0.0) return std::nullopt;
+        if (acc <= 0.0) return false;
         L(i, j) = std::sqrt(acc);
       } else {
         L(i, j) = acc / L(j, j);
       }
     }
   }
+  return true;
+}
+
+void cholesky_solve(const Matrix& L, const std::vector<double>& b,
+                    std::vector<double>& tmp, std::vector<double>& x) {
+  const std::size_t n = L.rows();
+  // Forward: L tmp = b.
+  tmp.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= L(i, j) * tmp[j];
+    tmp[i] = L(i, i) != 0.0 ? acc / L(i, i) : 0.0;
+  }
+  // Backward: L^T x = tmp, reading L's lower triangle transposed in place.
+  x.assign(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = tmp[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= L(j, ii) * x[j];
+    x[ii] = L(ii, ii) != 0.0 ? acc / L(ii, ii) : 0.0;
+  }
+}
+
+std::optional<Matrix> cholesky(const Matrix& A) {
+  Matrix L;
+  if (!cholesky_factor(A, L)) return std::nullopt;
   return L;
 }
 

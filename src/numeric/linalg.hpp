@@ -44,4 +44,23 @@ std::vector<double> solve_upper_triangular(const Matrix& U,
 /// Returns std::nullopt when the matrix is not (numerically) SPD.
 std::optional<Matrix> cholesky(const Matrix& A);
 
+/// Forms the normal equations of a least-squares step directly from J and
+/// r: JtJ = J^T J (syrk-style, only the lower triangle is computed and then
+/// mirrored) and Jtr = J^T r — without materializing J.transposed().
+/// Outputs are resized in place, so repeated calls at the same problem size
+/// allocate nothing.
+void normal_equations(const Matrix& J, const std::vector<double>& r,
+                      Matrix& JtJ, std::vector<double>& Jtr);
+
+/// Allocation-free Cholesky: factors A into the lower-triangular L (resized
+/// in place). Returns false when A is not (numerically) SPD, in which case
+/// L's contents are unspecified.
+bool cholesky_factor(const Matrix& A, Matrix& L);
+
+/// Solves (L L^T) x = b given a Cholesky factor L, reusing `tmp` for the
+/// intermediate forward-substitution result. x and tmp are resized in
+/// place; no allocation on repeated same-size use.
+void cholesky_solve(const Matrix& L, const std::vector<double>& b,
+                    std::vector<double>& tmp, std::vector<double>& x);
+
 }  // namespace estima::numeric

@@ -32,6 +32,15 @@ class Matrix {
   std::size_t cols() const { return cols_; }
   bool empty() const { return data_.empty(); }
 
+  /// Reshapes to rows x cols filled with `fill`, reusing the existing
+  /// buffer when its capacity suffices (no allocation on repeated
+  /// same-size use — the levmar workspace relies on this).
+  void resize(std::size_t rows, std::size_t cols, double fill = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
   double& operator()(std::size_t r, std::size_t c) {
     assert(r < rows_ && c < cols_);
     return data_[r * cols_ + c];

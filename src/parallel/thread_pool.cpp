@@ -1,0 +1,98 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+
+namespace estima::parallel {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// Shared by the caller and the helper tasks of one parallel_for call. Held
+// via shared_ptr so a helper task that only gets scheduled after the call
+// already returned still finds valid (fully claimed) state.
+struct ForState {
+  std::atomic<std::size_t> next{0};
+  std::size_t done = 0;  // guarded by mu
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+// Claims indices until none remain. Returns how many this thread ran.
+void drain(const std::shared_ptr<ForState>& st) {
+  std::size_t ran = 0;
+  for (;;) {
+    const std::size_t i = st->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= st->n) break;
+    (*st->fn)(i);
+    ++ran;
+  }
+  if (ran > 0) {
+    std::lock_guard<std::mutex> lock(st->mu);
+    st->done += ran;
+    if (st->done == st->n) st->cv.notify_all();
+  }
+}
+
+}  // namespace
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() == 0 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto st = std::make_shared<ForState>();
+  st->n = n;
+  st->fn = &fn;
+  const std::size_t helpers = std::min(pool->size(), n - 1);
+  for (std::size_t t = 0; t < helpers; ++t) {
+    pool->submit([st] { drain(st); });
+  }
+  drain(st);  // the caller participates: nesting-safe, never starves
+  std::unique_lock<std::mutex> lock(st->mu);
+  st->cv.wait(lock, [&] { return st->done == st->n; });
+}
+
+}  // namespace estima::parallel

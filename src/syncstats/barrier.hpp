@@ -23,8 +23,9 @@ class SpinBarrier {
       remaining_.store(parties_, std::memory_order_relaxed);
       sense_.store(my_sense, std::memory_order_release);
     } else {
+      SpinBackoff backoff;
       while (sense_.load(std::memory_order_acquire) != my_sense) {
-        // spin
+        backoff.pause();
       }
     }
     if (c) c->barrier_wait_cycles += rdcycles() - start;

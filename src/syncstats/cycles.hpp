@@ -8,12 +8,35 @@
 
 #include <chrono>
 #include <cstdint>
+#include <thread>
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <x86intrin.h>
 #endif
 
 namespace estima::sync {
+
+/// Spin-loop backoff: busy-spin for a budget of iterations, then yield the
+/// timeslice. On a machine with spare cores the budget is never exhausted
+/// and behaviour (and cycle accounting) is identical to a pure spin; when
+/// threads outnumber cores — CI runners, laptops — a descheduled lock
+/// holder otherwise costs the spinner its entire timeslice per handoff,
+/// turning microsecond critical sections into minutes of convoy. rdcycles
+/// spans measure elapsed time either way, so accounted stall cycles keep
+/// their meaning.
+class SpinBackoff {
+ public:
+  void pause() {
+    if (++spins_ >= kSpinBudget) {
+      spins_ = 0;
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  static constexpr int kSpinBudget = 1 << 12;
+  int spins_ = 0;
+};
 
 /// Current cycle counter.
 inline std::uint64_t rdcycles() {

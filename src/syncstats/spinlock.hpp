@@ -28,8 +28,9 @@ class TasSpinlock {
   /// Acquires the lock; adds spin cycles to `c` if provided.
   void lock(ThreadStallCounters* c = nullptr) {
     const std::uint64_t start = rdcycles();
+    SpinBackoff backoff;
     while (flag_.exchange(true, std::memory_order_acquire)) {
-      // spin
+      backoff.pause();
     }
     if (c) c->lock_spin_cycles += rdcycles() - start;
   }
@@ -50,9 +51,10 @@ class TtasSpinlock {
  public:
   void lock(ThreadStallCounters* c = nullptr) {
     const std::uint64_t start = rdcycles();
+    SpinBackoff backoff;
     for (;;) {
       while (flag_.load(std::memory_order_relaxed)) {
-        // local spin on the cached line
+        backoff.pause();  // local spin on the cached line
       }
       if (!flag_.exchange(true, std::memory_order_acquire)) break;
     }
@@ -76,8 +78,9 @@ class TicketLock {
   void lock(ThreadStallCounters* c = nullptr) {
     const std::uint64_t start = rdcycles();
     const std::uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
+    SpinBackoff backoff;
     while (serving_.load(std::memory_order_acquire) != my) {
-      // spin
+      backoff.pause();
     }
     if (c) c->lock_spin_cycles += rdcycles() - start;
   }

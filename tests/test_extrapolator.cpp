@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include "synthetic.hpp"
+
 namespace estima::core {
 namespace {
 
@@ -111,6 +113,70 @@ TEST(Extrapolator, ConstantSeriesExtrapolatesFlat) {
   auto ext = extrapolate_series(xs, ys, cfg);
   ASSERT_TRUE(ext.has_value());
   EXPECT_NEAR(ext->best(48), 42.0, 1.0);
+}
+
+// The memoized enumeration must return exactly the candidate set of the
+// brute-force reference (one fit per kernel x prefix x checkpoint-setting
+// combination), in the same order, on realistic synthetic campaigns.
+TEST(Extrapolator, MemoizedMatchesBruteForceReference) {
+  estima::testing::SyntheticSpec spec;
+  spec.stm_rate = 1e-4;
+  spec.noise = 0.03;
+  const auto ms =
+      estima::testing::make_synthetic(spec, estima::testing::counts_up_to(12));
+
+  ExtrapolationConfig memo;
+  memo.checkpoint_counts = {1, 2, 3, 4};
+  memo.target_max_cores = 64;
+  ExtrapolationConfig brute = memo;
+  memo.memoize_fits = true;
+  brute.memoize_fits = false;
+
+  for (const auto& cat : ms.categories) {
+    EnumerationStats memo_stats, brute_stats;
+    const auto a = enumerate_candidates(ms.cores, cat.values, memo,
+                                        &memo_stats);
+    const auto b = enumerate_candidates(ms.cores, cat.values, brute,
+                                        &brute_stats);
+    ASSERT_EQ(a.size(), b.size()) << cat.name;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].fn.type, b[i].fn.type);
+      EXPECT_EQ(a[i].fn.params, b[i].fn.params);  // bitwise
+      EXPECT_EQ(a[i].fn.y_scale, b[i].fn.y_scale);
+      EXPECT_EQ(a[i].prefix_len, b[i].prefix_len);
+      EXPECT_EQ(a[i].checkpoints, b[i].checkpoints);
+      EXPECT_EQ(a[i].checkpoint_rmse, b[i].checkpoint_rmse);  // bitwise
+    }
+
+    // Work accounting: both consider the same combinations, the reference
+    // executes one fit per combination while the memoized enumeration
+    // provably never refits a (kernel, prefix) pair.
+    EXPECT_EQ(memo_stats.candidates_attempted, brute_stats.candidates_attempted);
+    EXPECT_EQ(brute_stats.fits_executed, brute_stats.candidates_attempted);
+    EXPECT_EQ(brute_stats.duplicate_fits_eliminated, 0u);
+    const std::size_t unique_pairs = kAllKernels.size() *
+                                     static_cast<std::size_t>(12 - 1 - 3 + 1);
+    EXPECT_EQ(memo_stats.fits_executed, unique_pairs);
+    EXPECT_EQ(memo_stats.duplicate_fits_eliminated,
+              memo_stats.candidates_attempted - unique_pairs);
+  }
+}
+
+TEST(Extrapolator, SeriesReportsEnumerationCounters) {
+  auto xs = cores(12);
+  std::vector<double> ys;
+  for (int x : xs) ys.push_back(100.0 * x / (1.0 + 0.1 * x));
+  ExtrapolationConfig cfg;  // default {2, 4} checkpoints
+  auto ext = extrapolate_series(xs, ys, cfg);
+  ASSERT_TRUE(ext.has_value());
+  // attempted = kernels * (prefix count for c=2) + kernels * (c=4).
+  const std::size_t want_attempted = kAllKernels.size() * ((10 - 3 + 1) +
+                                                           (8 - 3 + 1));
+  EXPECT_EQ(ext->candidates_considered, want_attempted);
+  // unique prefixes span 3..10 (c=2 dominates): 8 per kernel.
+  EXPECT_EQ(ext->fits_executed, kAllKernels.size() * 8);
+  EXPECT_EQ(ext->duplicate_fits_eliminated,
+            want_attempted - ext->fits_executed);
 }
 
 // Property sweep: for every checkpoint configuration, the chosen function

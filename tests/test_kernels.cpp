@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 namespace estima::core {
 namespace {
@@ -23,6 +24,41 @@ TEST(Kernels, ParamCounts) {
   EXPECT_EQ(kernel_param_count(KernelType::kCubicLn), 4u);
   EXPECT_EQ(kernel_param_count(KernelType::kExpRat), 3u);
   EXPECT_EQ(kernel_param_count(KernelType::kPoly25), 4u);
+}
+
+// kernel_eval_batch is the LM hot path while FittedFunction::operator()
+// (and the realism walk) go through kernel_eval: the two implementations
+// must agree bit-for-bit or fits would silently optimize a different
+// function than predictions evaluate.
+TEST(Kernels, BatchEvalMatchesScalarEvalBitwise) {
+  const std::vector<double> xs = {1.0,  1.5,  2.0,  3.0,  4.0, 7.0,
+                                  12.0, 16.0, 24.0, 48.0, 64.0};
+  for (KernelType type : kAllKernels) {
+    // Two parameter sets per kernel: a bland one and a sign-mixed one.
+    const std::size_t k = kernel_param_count(type);
+    std::vector<std::vector<double>> param_sets;
+    param_sets.push_back(std::vector<double>(k, 0.1));
+    std::vector<double> mixed(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      mixed[j] = (j % 2 == 0 ? 0.37 : -0.021) * static_cast<double>(j + 1);
+    }
+    param_sets.push_back(std::move(mixed));
+
+    for (const auto& p : param_sets) {
+      std::vector<double> batch;
+      kernel_eval_batch(type, xs, p, batch);
+      ASSERT_EQ(batch.size(), xs.size());
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double scalar = kernel_eval(type, xs[i], p);
+        if (std::isnan(scalar)) {
+          EXPECT_TRUE(std::isnan(batch[i])) << kernel_name(type);
+        } else {
+          EXPECT_EQ(batch[i], scalar)
+              << kernel_name(type) << " at n=" << xs[i];
+        }
+      }
+    }
+  }
 }
 
 TEST(Kernels, LinearityFlags) {
