@@ -1,8 +1,10 @@
 // Shared helpers for the table/figure reproduction benches: compact table
-// printing and common prediction plumbing.
+// printing, flag parsing, bit-identity checks and common prediction
+// plumbing.
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,59 @@
 #include "simmachine/simulator.hpp"
 
 namespace estima::bench {
+
+/// --name=value flag parsing shared by the throughput benches.
+inline double parse_flag_d(int argc, char** argv, const char* name,
+                           double dflt) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return dflt;
+}
+
+inline std::string parse_flag_s(int argc, char** argv, const char* name,
+                                const std::string& dflt) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return dflt;
+}
+
+/// Bitwise equality of a Prediction's *answer* — everything the campaign
+/// determines. The work-accounting fields (factor_stats, per-category
+/// fits_executed / duplicate_fits_eliminated) are deliberately excluded:
+/// they describe the computing run and legitimately differ between the
+/// memoized and brute-force modes the benches compare. The throughput
+/// benches exit non-zero on any mismatch, so this comparator is the
+/// single place to extend when Prediction grows an answer field.
+inline bool bit_identical(const core::Prediction& a,
+                          const core::Prediction& b) {
+  if (a.cores != b.cores) return false;
+  if (a.time_s != b.time_s) return false;
+  if (a.stalls_per_core != b.stalls_per_core) return false;
+  if (a.freq_scale != b.freq_scale) return false;
+  if (a.factor_fn.params != b.factor_fn.params) return false;
+  if (a.factor_correlation != b.factor_correlation) return false;
+  if (a.categories.size() != b.categories.size()) return false;
+  for (std::size_t i = 0; i < a.categories.size(); ++i) {
+    if (a.categories[i].values != b.categories[i].values) return false;
+    if (a.categories[i].extrapolation.checkpoint_rmse !=
+        b.categories[i].extrapolation.checkpoint_rmse) {
+      return false;
+    }
+    if (a.categories[i].extrapolation.best.params !=
+        b.categories[i].extrapolation.best.params) {
+      return false;
+    }
+  }
+  return true;
+}
 
 inline void print_header(const std::string& title) {
   std::printf("\n================================================================\n");

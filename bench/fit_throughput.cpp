@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_util.hpp"
 #include "core/predictor.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tests/synthetic.hpp"
@@ -36,6 +37,9 @@
 namespace {
 
 using Clock = std::chrono::steady_clock;
+using estima::bench::bit_identical;
+using estima::bench::parse_flag_d;
+using estima::bench::parse_flag_s;
 
 struct ModeResult {
   std::string name;
@@ -46,27 +50,6 @@ struct ModeResult {
   std::size_t duplicate_fits_eliminated = 0;
   std::size_t candidates_considered = 0;
 };
-
-double parse_flag_d(int argc, char** argv, const char* name, double dflt) {
-  const std::string prefix = std::string("--") + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::atof(argv[i] + prefix.size());
-    }
-  }
-  return dflt;
-}
-
-std::string parse_flag_s(int argc, char** argv, const char* name,
-                         const std::string& dflt) {
-  const std::string prefix = std::string("--") + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::string(argv[i] + prefix.size());
-    }
-  }
-  return dflt;
-}
 
 estima::core::PredictionConfig make_config(int target, int ckmax,
                                            bool memoize,
@@ -123,25 +106,6 @@ ModeResult run_mode(const std::string& name,
   r.predictions_per_sec = iters / r.seconds;
   if (!std::isfinite(sink)) std::printf("(non-finite sink)\n");
   return r;
-}
-
-bool bit_identical(const estima::core::Prediction& a,
-                   const estima::core::Prediction& b) {
-  if (a.time_s != b.time_s) return false;
-  if (a.stalls_per_core != b.stalls_per_core) return false;
-  if (a.categories.size() != b.categories.size()) return false;
-  for (std::size_t i = 0; i < a.categories.size(); ++i) {
-    if (a.categories[i].values != b.categories[i].values) return false;
-    if (a.categories[i].extrapolation.checkpoint_rmse !=
-        b.categories[i].extrapolation.checkpoint_rmse) {
-      return false;
-    }
-    if (a.categories[i].extrapolation.best.params !=
-        b.categories[i].extrapolation.best.params) {
-      return false;
-    }
-  }
-  return a.factor_fn.params == b.factor_fn.params;
 }
 
 }  // namespace

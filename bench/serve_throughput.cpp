@@ -1,0 +1,236 @@
+// Serving-layer throughput benchmark: campaigns/sec cold vs warm-cache.
+//
+// The production question the serving subsystem answers: how many
+// (workload, machine) campaigns per second can the repo serve when the
+// same campaigns come back again and again (dashboards, capacity
+// planners, CI fleets re-asking about the same builds)? Three rates are
+// measured:
+//   serial     — one core::predict() per campaign, no service (the cold
+//                single-campaign reference every speedup is quoted
+//                against);
+//   cold batch — PredictionService::predict_many() on an empty cache
+//                (batch dedup + pool fan-out, every unique computed);
+//   warm batch — predict_many() again on the now-populated cache.
+// The second pass must be served 100% from the cache with results
+// bit-identical to the serial reference; the bench exits non-zero when
+// either invariant (or the >= 10x warm speedup bar) fails.
+//
+// Reports JSON to BENCH_serve_throughput.json (and text to stdout).
+//
+// Flags:
+//   --campaigns=C   distinct campaigns                (default 8)
+//   --repeat=R      copies of each campaign per batch (default 4)
+//   --threads=N     pool size                         (default: hardware)
+//   --points=M      measured core counts 1..M         (default 12)
+//   --target=T      extrapolation horizon             (default 48)
+//   --warm-seconds=S  minimum warm measurement window (default 0.5)
+//   --out=PATH      JSON output path (default BENCH_serve_throughput.json)
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/predictor.hpp"
+#include "parallel/thread_pool.hpp"
+#include "service/prediction_service.hpp"
+#include "tests/synthetic.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using estima::bench::bit_identical;
+using estima::bench::parse_flag_d;
+using estima::bench::parse_flag_s;
+
+estima::core::MeasurementSet make_campaign(int seed, int points) {
+  estima::testing::SyntheticSpec spec;
+  spec.mem_rate = 0.25 + 0.02 * (seed % 7);
+  spec.serial_frac = 0.005 + 0.0015 * (seed % 5);
+  spec.stm_rate = seed % 2 ? 1e-4 : 0.0;
+  spec.noise = 0.02;
+  return estima::testing::make_synthetic(
+      spec, estima::testing::counts_up_to(points),
+      ("serve-campaign-" + std::to_string(seed)).c_str());
+}
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int run_bench(int argc, char** argv);
+
+int main(int argc, char** argv) {
+  try {
+    return run_bench(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_throughput: %s\n", e.what());
+    return 1;
+  }
+}
+
+int run_bench(int argc, char** argv) {
+  const int campaigns =
+      static_cast<int>(parse_flag_d(argc, argv, "campaigns", 8));
+  const int repeat = static_cast<int>(parse_flag_d(argc, argv, "repeat", 4));
+  const int points = static_cast<int>(parse_flag_d(argc, argv, "points", 12));
+  const int target = static_cast<int>(parse_flag_d(argc, argv, "target", 48));
+  const double warm_seconds =
+      parse_flag_d(argc, argv, "warm-seconds", 0.5);
+  const int threads = static_cast<int>(parse_flag_d(
+      argc, argv, "threads",
+      static_cast<double>(estima::parallel::ThreadPool::hardware_threads())));
+  const std::string out_path =
+      parse_flag_s(argc, argv, "out", "BENCH_serve_throughput.json");
+
+  // The request stream: C distinct campaigns, each appearing R times per
+  // batch, interleaved the way independent clients would submit them.
+  std::vector<estima::core::MeasurementSet> uniques;
+  for (int i = 0; i < campaigns; ++i) uniques.push_back(make_campaign(i, points));
+  std::vector<estima::core::MeasurementSet> batch;
+  for (int r = 0; r < repeat; ++r) {
+    for (const auto& u : uniques) batch.push_back(u);
+  }
+
+  estima::core::PredictionConfig cfg;
+  cfg.target_cores = estima::core::cores_up_to(target);
+
+  std::printf("serve_throughput: %d campaigns x%d per batch, horizon %d, "
+              "%d pool threads\n",
+              campaigns, repeat, target, threads);
+
+  // Serial reference: cold single-campaign throughput and the
+  // bit-identity baseline.
+  std::vector<estima::core::Prediction> serial;
+  const auto serial_start = Clock::now();
+  for (const auto& u : uniques) serial.push_back(estima::core::predict(u, cfg));
+  const double serial_elapsed = seconds_since(serial_start);
+  const double serial_cps = campaigns / serial_elapsed;
+
+  estima::parallel::ThreadPool pool(
+      static_cast<std::size_t>(threads > 0 ? threads : 1));
+  estima::service::ServiceConfig scfg;
+  scfg.prediction = cfg;
+  // Capacity is split across the cache's 16 shards and keys can skew, so
+  // leave enough headroom that even every campaign landing in one shard
+  // (per-shard capacity = total/16) cannot evict a live entry — the
+  // warm-pass 100% hit-rate gate must only ever fail for real bugs.
+  scfg.cache_capacity = static_cast<std::size_t>(64 * campaigns);
+  estima::service::PredictionService service(scfg, &pool);
+
+  // Cold batch: empty cache, every unique computed once, repeats folded.
+  const auto cold_start = Clock::now();
+  const auto cold_out = service.predict_many(batch);
+  const double cold_elapsed = seconds_since(cold_start);
+  const double cold_cps = static_cast<double>(batch.size()) / cold_elapsed;
+  const auto after_cold = service.stats();
+
+  // Warm passes: loop whole batches until the window is long enough to
+  // time the cache path honestly. The first warm pass supplies the
+  // second-pass hit-rate figure.
+  int warm_batches = 0;
+  std::size_t warm_campaigns_served = 0;
+  std::vector<estima::core::Prediction> warm_out;
+  const auto warm_start = Clock::now();
+  double warm_elapsed = 0.0;
+  for (;;) {
+    warm_out = service.predict_many(batch);
+    ++warm_batches;
+    warm_campaigns_served += batch.size();
+    warm_elapsed = seconds_since(warm_start);
+    if (warm_elapsed >= warm_seconds && warm_batches >= 2) break;
+  }
+  const double warm_cps = warm_campaigns_served / warm_elapsed;
+  const auto after_warm = service.stats();
+
+  // Invariants. Second pass = the first warm batch: its unique lookups
+  // must all be hits and must add no computation.
+  const std::uint64_t warm_hits = after_warm.cache.hits - after_cold.cache.hits;
+  const std::uint64_t warm_misses =
+      after_warm.cache.misses - after_cold.cache.misses;
+  const double second_pass_hit_rate =
+      warm_hits > 0 || warm_misses > 0
+          ? static_cast<double>(warm_hits) /
+                static_cast<double>(warm_hits + warm_misses)
+          : 0.0;
+  const bool no_new_compute =
+      after_warm.predictions_computed == after_cold.predictions_computed;
+
+  bool identical = true;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto& want = serial[i % static_cast<std::size_t>(campaigns)];
+    if (!bit_identical(cold_out[i], want) ||
+        !bit_identical(warm_out[i], want)) {
+      identical = false;
+      break;
+    }
+  }
+
+  const double warm_speedup = warm_cps / serial_cps;
+  const bool speedup_ok = warm_speedup >= 10.0;
+  const bool hit_rate_ok = second_pass_hit_rate == 1.0 && no_new_compute;
+
+  std::printf("  serial predict   %10.2f campaigns/s  (%d campaigns in %.3fs)\n",
+              serial_cps, campaigns, serial_elapsed);
+  std::printf("  cold  batch      %10.2f campaigns/s  (%zu campaigns in %.3fs)\n",
+              cold_cps, batch.size(), cold_elapsed);
+  std::printf("  warm  batch      %10.2f campaigns/s  (%zu campaigns in %.3fs)\n",
+              warm_cps, warm_campaigns_served, warm_elapsed);
+  std::printf("  warm vs cold-serial speedup: %.1fx (bar: >= 10x)\n",
+              warm_speedup);
+  std::printf("  second-pass hit rate: %.0f%%, no new compute: %s\n",
+              100.0 * second_pass_hit_rate, no_new_compute ? "yes" : "NO");
+  std::printf("  bit-identical to serial predict(): %s\n",
+              identical ? "yes" : "NO");
+  std::printf("  service: computed=%llu folded=%llu joins=%llu "
+              "hits=%llu misses=%llu evictions=%llu\n",
+              static_cast<unsigned long long>(after_warm.predictions_computed),
+              static_cast<unsigned long long>(
+                  after_warm.batch_duplicates_folded),
+              static_cast<unsigned long long>(after_warm.inflight_joins),
+              static_cast<unsigned long long>(after_warm.cache.hits),
+              static_cast<unsigned long long>(after_warm.cache.misses),
+              static_cast<unsigned long long>(after_warm.cache.evictions));
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"serve_throughput\",\n");
+  std::fprintf(f, "  \"campaigns\": %d,\n", campaigns);
+  std::fprintf(f, "  \"repeat_per_batch\": %d,\n", repeat);
+  std::fprintf(f, "  \"measured_points\": %d,\n", points);
+  std::fprintf(f, "  \"target_cores\": %d,\n", target);
+  std::fprintf(f, "  \"pool_threads\": %d,\n", threads);
+  std::fprintf(f, "  \"serial_campaigns_per_sec\": %.3f,\n", serial_cps);
+  std::fprintf(f, "  \"cold_batch_campaigns_per_sec\": %.3f,\n", cold_cps);
+  std::fprintf(f, "  \"warm_batch_campaigns_per_sec\": %.3f,\n", warm_cps);
+  std::fprintf(f, "  \"warm_speedup_vs_cold_serial\": %.3f,\n", warm_speedup);
+  std::fprintf(f, "  \"second_pass_hit_rate\": %.4f,\n", second_pass_hit_rate);
+  std::fprintf(f, "  \"predictions_computed\": %llu,\n",
+               static_cast<unsigned long long>(
+                   after_warm.predictions_computed));
+  std::fprintf(f, "  \"batch_duplicates_folded\": %llu,\n",
+               static_cast<unsigned long long>(
+                   after_warm.batch_duplicates_folded));
+  std::fprintf(f, "  \"cache_hits\": %llu,\n",
+               static_cast<unsigned long long>(after_warm.cache.hits));
+  std::fprintf(f, "  \"cache_misses\": %llu,\n",
+               static_cast<unsigned long long>(after_warm.cache.misses));
+  std::fprintf(f, "  \"cache_evictions\": %llu,\n",
+               static_cast<unsigned long long>(after_warm.cache.evictions));
+  std::fprintf(f, "  \"bit_identical_to_serial\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(f, "  \"speedup_bar_met\": %s\n", speedup_ok ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("  wrote %s\n", out_path.c_str());
+
+  return (identical && hit_rate_ok && speedup_ok) ? 0 : 2;
+}

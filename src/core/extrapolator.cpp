@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <stdexcept>
 
 #include "numeric/stats.hpp"
 #include "parallel/thread_pool.hpp"
@@ -20,22 +22,33 @@ double max_abs(const std::vector<double>& v) {
   return m;
 }
 
-// The outcome of one executed (kernel, prefix) fit job: the realism-checked
-// fit plus its predictions at every measured core count. Empty fn = the fit
-// failed or was unrealistic. In memoized mode one slot is shared by every
-// checkpoint setting; only the checkpoint RMSE differs between settings.
+// The outcome of one executed (kernel, prefix) fit job: the fit plus its
+// predictions at every measured core count, and the bitmask of realism
+// filters it passed (bit v = realism_filters[v]). Empty fn = the fit
+// failed or no filter accepted it. In memoized mode one slot is shared by
+// every checkpoint setting; only the checkpoint RMSE differs between
+// settings, and every realism filter reads the same slot.
 struct FitSlot {
   std::optional<FittedFunction> fn;
   std::vector<double> pred;
+  std::uint64_t realistic_mask = 0;
 };
 
 }  // namespace
 
-std::vector<CandidateFit> enumerate_candidates(
+std::vector<std::vector<CandidateFit>> enumerate_candidates_filtered(
     const std::vector<int>& cores, const std::vector<double>& values,
-    const ExtrapolationConfig& cfg, EnumerationStats* stats) {
+    const ExtrapolationConfig& cfg,
+    const std::vector<RealismOptions>& realism_filters,
+    EnumerationStats* stats) {
+  const std::size_t V = realism_filters.size();
+  if (V == 0 || V > 64) {
+    throw std::invalid_argument(
+        "enumerate_candidates_filtered: need 1..64 realism filters");
+  }
   EnumerationStats acct;
-  std::vector<CandidateFit> out;
+  acct.realism_variants = V;
+  std::vector<std::vector<CandidateFit>> out(V);
   const int m = static_cast<int>(cores.size());
   if (m != static_cast<int>(values.size()) || m < cfg.min_prefix + 1) {
     if (stats) *stats = acct;
@@ -46,9 +59,11 @@ std::vector<CandidateFit> enumerate_candidates(
   const bool nonneg = all_nonnegative(values);
   const double vmax = max_abs(values);
 
-  RealismOptions realism = cfg.realism;
-  realism.range_min = xs.front();
-  realism.range_max = std::max(cfg.target_max_cores, xs.back());
+  std::vector<RealismOptions> filters = realism_filters;
+  for (auto& realism : filters) {
+    realism.range_min = xs.front();
+    realism.range_max = std::max(cfg.target_max_cores, xs.back());
+  }
 
   // Checkpoint settings that leave at least min_prefix points to fit on,
   // in configuration order.
@@ -64,13 +79,15 @@ std::vector<CandidateFit> enumerate_candidates(
   const std::size_t K = kAllKernels.size();
   for (int c : valid_cs) {
     acct.candidates_attempted +=
-        K * static_cast<std::size_t>(m - c - cfg.min_prefix + 1);
+        V * K * static_cast<std::size_t>(m - c - cfg.min_prefix + 1);
   }
 
   // Fit jobs. A fit depends only on (kernel, prefix), never on the
-  // checkpoint setting, so memoized mode executes each distinct pair once;
-  // brute-force mode re-executes it per setting (the baseline/reference).
-  // Jobs are laid out K kernels per prefix, so kernel = index % K.
+  // checkpoint setting or the realism filter, so memoized mode executes
+  // each distinct pair once; brute-force mode re-executes it per setting
+  // (the baseline/reference). Either way the execution is shared across
+  // filters, which only re-score. Jobs are laid out K kernels per prefix,
+  // so kernel = index % K.
   std::vector<int> job_prefix;
   if (cfg.memoize_fits) {
     int max_prefix = 0;
@@ -86,10 +103,9 @@ std::vector<CandidateFit> enumerate_candidates(
     }
   }
   acct.fits_executed = job_prefix.size();
-  if (cfg.memoize_fits) {
-    acct.duplicate_fits_eliminated =
-        acct.candidates_attempted - acct.fits_executed;
-  }
+  acct.duplicate_fits_eliminated =
+      acct.candidates_attempted - acct.fits_executed;
+  acct.variant_refits_avoided = (V - 1) * acct.fits_executed;
 
   // Execute the jobs, possibly fanned out across the pool. Each job writes
   // only its own slot, so the fan-out cannot change results.
@@ -102,8 +118,13 @@ std::vector<CandidateFit> enumerate_candidates(
         const std::vector<double> pys(values.begin(), values.begin() + i);
         auto fitted = fit_kernel(type, pxs, pys, cfg.fit);
         if (!fitted) return;
-        if (!is_realistic(*fitted, realism, vmax, nonneg)) return;
         FitSlot& slot = slots[idx];
+        for (std::size_t v = 0; v < filters.size(); ++v) {
+          if (is_realistic(*fitted, filters[v], vmax, nonneg)) {
+            slot.realistic_mask |= std::uint64_t{1} << v;
+          }
+        }
+        if (slot.realistic_mask == 0) return;
         slot.pred.resize(static_cast<std::size_t>(m));
         for (std::size_t j = 0; j < static_cast<std::size_t>(m); ++j) {
           slot.pred[j] = (*fitted)(xs[j]);
@@ -111,32 +132,44 @@ std::vector<CandidateFit> enumerate_candidates(
         slot.fn = std::move(*fitted);
       });
 
-  // Serial assembly in the fixed (checkpoint setting, prefix, kernel)
-  // order: scoring against each checkpoint set is cheap (c subtractions),
-  // which is exactly why the fit above is worth caching.
-  std::size_t running = 0;  // job cursor for the brute-force layout
-  for (int c : valid_cs) {
-    const int n = m - c;
-    std::vector<std::size_t> checkpoint_idx;
-    for (int i = n; i < m; ++i) {
-      checkpoint_idx.push_back(static_cast<std::size_t>(i));
-    }
-    for (int i = cfg.min_prefix; i <= n; ++i) {
-      for (std::size_t k = 0; k < K; ++k) {
-        const std::size_t idx =
-            cfg.memoize_fits
-                ? static_cast<std::size_t>(i - cfg.min_prefix) * K + k
-                : running++;
-        const FitSlot& slot = slots[idx];
-        if (!slot.fn) continue;
-        const double err = numeric::rmse_at(slot.pred, values, checkpoint_idx);
-        if (!std::isfinite(err)) continue;
-        out.push_back(CandidateFit{*slot.fn, i, c, err});
+  // Serial assembly per filter in the fixed (checkpoint setting, prefix,
+  // kernel) order: scoring against each checkpoint set is cheap (c
+  // subtractions), which is exactly why the fit above is worth caching.
+  for (std::size_t v = 0; v < V; ++v) {
+    const std::uint64_t bit = std::uint64_t{1} << v;
+    std::size_t running = 0;  // job cursor for the brute-force layout
+    for (int c : valid_cs) {
+      const int n = m - c;
+      std::vector<std::size_t> checkpoint_idx;
+      for (int i = n; i < m; ++i) {
+        checkpoint_idx.push_back(static_cast<std::size_t>(i));
+      }
+      for (int i = cfg.min_prefix; i <= n; ++i) {
+        for (std::size_t k = 0; k < K; ++k) {
+          const std::size_t idx =
+              cfg.memoize_fits
+                  ? static_cast<std::size_t>(i - cfg.min_prefix) * K + k
+                  : running++;
+          const FitSlot& slot = slots[idx];
+          if (!slot.fn || !(slot.realistic_mask & bit)) continue;
+          const double err =
+              numeric::rmse_at(slot.pred, values, checkpoint_idx);
+          if (!std::isfinite(err)) continue;
+          out[v].push_back(CandidateFit{*slot.fn, i, c, err});
+        }
       }
     }
   }
   if (stats) *stats = acct;
   return out;
+}
+
+std::vector<CandidateFit> enumerate_candidates(
+    const std::vector<int>& cores, const std::vector<double>& values,
+    const ExtrapolationConfig& cfg, EnumerationStats* stats) {
+  auto lists =
+      enumerate_candidates_filtered(cores, values, cfg, {cfg.realism}, stats);
+  return std::move(lists.front());
 }
 
 std::optional<SeriesExtrapolation> extrapolate_series(

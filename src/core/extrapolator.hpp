@@ -57,13 +57,21 @@ struct CandidateFit {
 /// Work accounting for one enumeration, reported by enumerate_candidates
 /// so callers never have to re-derive the combinatorics.
 struct EnumerationStats {
-  /// kernel x prefix x checkpoint-setting combinations considered.
+  /// kernel x prefix x checkpoint-setting combinations considered, summed
+  /// over every realism filter scored.
   std::size_t candidates_attempted = 0;
   /// fit_kernel invocations actually executed.
   std::size_t fits_executed = 0;
-  /// Refits avoided by the (kernel, prefix) cache; zero when memoization
-  /// is disabled.
+  /// Refits avoided by sharing: the (kernel, prefix) cache across
+  /// checkpoint settings plus the fit pool across realism filters. Zero
+  /// when memoization is off and a single filter is scored.
   std::size_t duplicate_fits_eliminated = 0;
+  /// Realism filters scored against this enumeration's shared fit pool
+  /// (1 for the single-filter entry points).
+  std::size_t realism_variants = 1;
+  /// Fit executions the additional realism filters reused instead of
+  /// rerunning — a strict-then-relaxed retry would refit everything.
+  std::size_t variant_refits_avoided = 0;
 };
 
 /// The outcome of extrapolating one series.
@@ -99,5 +107,19 @@ std::optional<SeriesExtrapolation> extrapolate_series(
 std::vector<CandidateFit> enumerate_candidates(
     const std::vector<int>& cores, const std::vector<double>& values,
     const ExtrapolationConfig& cfg, EnumerationStats* stats = nullptr);
+
+/// Enumerates candidates once per realism filter while executing every
+/// (kernel, prefix) fit at most once across all filters: a fit depends
+/// only on the data, the filters merely gate which fits become candidates,
+/// so filter sweeps (predict()'s strict + relaxed scaling-factor realism)
+/// share the fit pool and only re-score. Returns one candidate list per
+/// filter, element-for-element identical to what enumerate_candidates
+/// would return with cfg.realism = realism_filters[v]. cfg.realism itself
+/// is ignored. At most 64 filters per call (throws std::invalid_argument).
+std::vector<std::vector<CandidateFit>> enumerate_candidates_filtered(
+    const std::vector<int>& cores, const std::vector<double>& values,
+    const ExtrapolationConfig& cfg,
+    const std::vector<RealismOptions>& realism_filters,
+    EnumerationStats* stats = nullptr);
 
 }  // namespace estima::core

@@ -1,0 +1,51 @@
+// 64-bit FNV-1a over canonicalized primitive fields.
+//
+// The serving layer keys its result cache with these digests, so the byte
+// feed must be stable across runs and canonical for doubles: -0.0 folds
+// onto +0.0 and every NaN payload onto the one quiet-NaN pattern, because
+// values that compare equal (or are equally unusable) must never split a
+// campaign across cache lines. Strings are length-prefixed so that
+// adjacent fields cannot alias ("ab","c" vs "a","bc").
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+
+namespace estima::core {
+
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  void bytes(const void* data, std::size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= kPrime;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u64(v ? 1u : 0u); }
+  void f64(double v) {
+    if (v == 0.0) v = 0.0;  // folds -0.0 onto +0.0
+    if (v != v) v = std::numeric_limits<double>::quiet_NaN();
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kOffsetBasis;
+};
+
+}  // namespace estima::core

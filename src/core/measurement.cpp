@@ -35,6 +35,32 @@ StallDomain domain_from_prefix(const std::string& p) {
   throw std::invalid_argument("unknown stall domain prefix: " + p);
 }
 
+// Whole-cell numeric parsing for data rows: stod/stoi alone would accept
+// trailing garbage ("1x" parses as 1), silently corrupting a campaign.
+double parse_double_cell(const std::string& cell, std::size_t line_no) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(cell, &pos);
+    if (pos == cell.size()) return v;
+  } catch (const std::exception&) {
+  }
+  throw std::invalid_argument("measurement csv: line " +
+                              std::to_string(line_no) +
+                              ": malformed numeric cell '" + cell + "'");
+}
+
+int parse_int_cell(const std::string& cell, std::size_t line_no) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(cell, &pos);
+    if (pos == cell.size()) return v;
+  } catch (const std::exception&) {
+  }
+  throw std::invalid_argument("measurement csv: line " +
+                              std::to_string(line_no) +
+                              ": malformed core-count cell '" + cell + "'");
+}
+
 }  // namespace
 
 std::string stall_domain_name(StallDomain d) {
@@ -129,9 +155,19 @@ void write_csv(std::ostream& os, const MeasurementSet& ms) {
 MeasurementSet read_csv(std::istream& is) {
   MeasurementSet ms;
   std::string line;
+  // CRLF files must parse identically to LF files on every line: a '\r'
+  // surviving into the last column header would silently rename the last
+  // category (changing its campaign hash), not just break data rows.
+  const auto strip_cr = [](std::string& l) {
+    if (!l.empty() && l.back() == '\r') l.pop_back();
+  };
 
   // Header comment with metadata.
-  if (!std::getline(is, line) || line.empty() || line[0] != '#') {
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("measurement csv: missing metadata line");
+  }
+  strip_cr(line);
+  if (line.empty() || line[0] != '#') {
     throw std::invalid_argument("measurement csv: missing metadata line");
   }
   {
@@ -153,6 +189,7 @@ MeasurementSet read_csv(std::istream& is) {
   if (!std::getline(is, line)) {
     throw std::invalid_argument("measurement csv: missing column header");
   }
+  strip_cr(line);
   {
     std::istringstream hdr(line);
     std::string col;
@@ -179,23 +216,34 @@ MeasurementSet read_csv(std::istream& is) {
     }
   }
 
-  // Data rows.
+  // Data rows. Every row must carry exactly cores, time_s and one cell per
+  // declared category: a short or long row would otherwise leave the set
+  // misaligned, surfacing (if at all) only as a confusing size-mismatch far
+  // from the offending line.
+  std::size_t line_no = 2;  // metadata + column header already consumed
   while (std::getline(is, line)) {
+    ++line_no;
+    strip_cr(line);
     if (line.empty() || line[0] == '#') continue;
     std::istringstream row(line);
     std::string cell;
-    int idx = 0;
-    while (std::getline(row, cell, ',')) {
-      if (idx == 0) ms.cores.push_back(std::stoi(cell));
-      else if (idx == 1) ms.time_s.push_back(std::stod(cell));
-      else {
-        const std::size_t cat = static_cast<std::size_t>(idx - 2);
-        if (cat >= ms.categories.size()) {
-          throw std::invalid_argument("measurement csv: extra cell in row");
-        }
-        ms.categories[cat].values.push_back(std::stod(cell));
-      }
-      ++idx;
+    std::vector<std::string> cells;
+    while (std::getline(row, cell, ',')) cells.push_back(std::move(cell));
+    // getline drops the empty field after a trailing separator; surface it
+    // so "1,2.0,3.0," is rejected like any other misaligned row.
+    if (line.back() == ',') cells.emplace_back();
+    const std::size_t want = 2 + ms.categories.size();
+    if (cells.size() != want) {
+      throw std::invalid_argument(
+          "measurement csv: line " + std::to_string(line_no) + " has " +
+          std::to_string(cells.size()) + " cells, expected " +
+          std::to_string(want) + " (cores,time_s + one per category)");
+    }
+    ms.cores.push_back(parse_int_cell(cells[0], line_no));
+    ms.time_s.push_back(parse_double_cell(cells[1], line_no));
+    for (std::size_t c = 0; c < ms.categories.size(); ++c) {
+      ms.categories[c].values.push_back(
+          parse_double_cell(cells[2 + c], line_no));
     }
   }
   ms.validate();

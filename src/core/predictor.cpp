@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/hash.hpp"
 #include "numeric/stats.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -55,8 +56,10 @@ double compute_freq_scale(const MeasurementSet& ms,
   return 1.0;
 }
 
-ExtrapolationConfig tuned_extrap(const PredictionConfig& cfg) {
+ExtrapolationConfig tuned_extrap(const PredictionConfig& cfg,
+                                 parallel::ThreadPool* pool) {
   ExtrapolationConfig e = cfg.extrap;
+  e.pool = pool;
   if (!cfg.target_cores.empty()) {
     e.target_max_cores = std::max<double>(
         e.target_max_cores,
@@ -70,6 +73,11 @@ ExtrapolationConfig tuned_extrap(const PredictionConfig& cfg) {
 int Prediction::best_core_count() const { return argmin_cores(cores, time_s); }
 
 Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg) {
+  return predict(ms, cfg, cfg.extrap.pool);
+}
+
+Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
+                   parallel::ThreadPool* pool) {
   ms.validate();
   if (cfg.target_cores.empty()) {
     throw std::invalid_argument("predict: no target core counts");
@@ -102,7 +110,7 @@ Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg) {
     input.categories = {std::move(agg)};
   }
 
-  const ExtrapolationConfig extrap = tuned_extrap(cfg);
+  const ExtrapolationConfig extrap = tuned_extrap(cfg, pool);
 
   Prediction out;
   out.cores = cfg.target_cores;
@@ -169,15 +177,18 @@ Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg) {
   // The scaling factor (seconds per stalled-cycle-per-core) varies slowly
   // with n — it never explodes the way stall volumes can. Bound its
   // extrapolation to a small multiple of the measured range so pathological
-  // fits cannot win the correlation contest below.
-  ExtrapolationConfig factor_extrap = extrap;
-  factor_extrap.realism.explosion_factor = 5.0;
-  auto factor_candidates =
-      enumerate_candidates(input.cores, factor_meas, factor_extrap);
-  if (factor_candidates.empty()) {
-    // Retry with the default (loose) realism before giving up.
-    factor_candidates = enumerate_candidates(input.cores, factor_meas, extrap);
-  }
+  // fits cannot win the correlation contest below; fall back to the default
+  // (loose) realism before giving up. The two passes differ only in the
+  // realism filter, so they score one shared fit execution instead of
+  // refitting everything on the retry (auditable via factor_stats).
+  RealismOptions strict_realism = extrap.realism;
+  strict_realism.explosion_factor = 5.0;
+  auto factor_passes = enumerate_candidates_filtered(
+      input.cores, factor_meas, extrap, {strict_realism, extrap.realism},
+      &out.factor_stats);
+  out.factor_used_relaxed_realism = factor_passes[0].empty();
+  std::vector<CandidateFit> factor_candidates = std::move(
+      out.factor_used_relaxed_realism ? factor_passes[1] : factor_passes[0]);
   if (factor_candidates.empty()) {
     throw std::invalid_argument(
         "predict: no realistic scaling-factor fit found");
@@ -273,7 +284,7 @@ Prediction predict_time_extrapolation(const MeasurementSet& ms,
   if (cfg.target_cores.empty()) {
     throw std::invalid_argument("time extrapolation: no target core counts");
   }
-  const ExtrapolationConfig extrap = tuned_extrap(cfg);
+  const ExtrapolationConfig extrap = tuned_extrap(cfg, cfg.extrap.pool);
 
   Prediction out;
   out.cores = cfg.target_cores;
@@ -331,6 +342,37 @@ PredictionError evaluate_prediction(const Prediction& pred,
       4 * std::abs(err.predicted_best_cores - err.actual_best_cores) <= range;
   err.scaling_verdict_match = same_class || close_stop;
   return err;
+}
+
+std::uint64_t config_signature(const PredictionConfig& cfg) {
+  Fnv1a h;
+  h.u64(cfg.target_cores.size());
+  for (int c : cfg.target_cores) h.i64(c);
+  h.f64(cfg.target_freq_ghz);
+  h.f64(cfg.dataset_scale);
+  h.boolean(cfg.use_software_stalls);
+  h.boolean(cfg.include_frontend);
+  h.boolean(cfg.aggregate_mode);
+  const ExtrapolationConfig& e = cfg.extrap;
+  h.u64(e.checkpoint_counts.size());
+  for (int c : e.checkpoint_counts) h.i64(c);
+  h.i64(e.min_prefix);
+  h.f64(e.target_max_cores);
+  h.f64(e.realism.range_min);
+  h.f64(e.realism.range_max);
+  h.f64(e.realism.explosion_factor);
+  h.boolean(e.realism.require_nonnegative);
+  h.f64(e.realism.negativity_slack);
+  h.i64(e.realism.max_steps);
+  h.f64(e.fit.ridge_lambda);
+  h.i64(e.fit.levmar_max_iterations);
+  // e.memoize_fits and e.pool deliberately excluded: the *answer* (times,
+  // stalls, chosen fits) is bit-identical across both, so cached results
+  // stay shareable. Only the work-accounting fields (factor_stats, the
+  // per-category fits_executed / duplicate_fits_eliminated) reflect the
+  // run that actually computed the prediction — accounting describes the
+  // computation, not the campaign, and is outside the identity contract.
+  return h.value();
 }
 
 std::vector<int> cores_up_to(int max_cores) {

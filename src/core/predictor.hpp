@@ -12,6 +12,7 @@
 //   * cross-machine frequency scaling (Section 4.3).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -48,6 +49,13 @@ struct Prediction {
   FittedFunction factor_fn;          ///< fitted scaling-factor function
   double factor_correlation = 0.0;   ///< corr(time prediction, spc)
   double freq_scale = 1.0;           ///< applied measured-time multiplier
+  /// Work accounting of the scaling-factor enumeration. The strict and
+  /// relaxed realism passes share one fit execution (realism_variants = 2,
+  /// variant_refits_avoided = the refits the old retry would have run).
+  EnumerationStats factor_stats;
+  /// True when the strict factor realism pass produced no candidate and
+  /// the relaxed pass was used instead.
+  bool factor_used_relaxed_realism = false;
 
   /// Core count with the best (lowest) predicted time.
   int best_core_count() const;
@@ -56,6 +64,20 @@ struct Prediction {
 /// Runs the ESTIMA pipeline. Throws std::invalid_argument on malformed
 /// input (too few points, missing categories, no realistic fits).
 Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg);
+
+/// Same pipeline with the fan-out pool supplied separately, overriding
+/// cfg.extrap.pool. Callers holding a shared immutable config (the serving
+/// layer) inject their pool per call without copying or mutating the
+/// config; output is bit-identical for every pool.
+Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
+                   parallel::ThreadPool* pool);
+
+/// Stable 64-bit FNV-1a signature over every config field that can change
+/// a prediction's numeric result. memoize_fits and the pool pointer are
+/// excluded: both are bit-identical-output knobs by construction, so
+/// results may be shared across them. The serving layer combines this with
+/// a measurement digest into campaign-hash cache keys.
+std::uint64_t config_signature(const PredictionConfig& cfg);
 
 /// Baseline: extrapolates execution time directly using the same kernel and
 /// checkpoint machinery (Section 2.4).

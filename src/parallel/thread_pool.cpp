@@ -12,6 +12,11 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -38,6 +38,10 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Pool size matching the host: hardware_concurrency with a floor of 1.
+  /// The serving layer and the benches size their pools with this.
+  static std::size_t hardware_threads();
+
   /// Enqueues a task for execution on some worker.
   void submit(std::function<void()> task);
 

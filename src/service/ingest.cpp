@@ -1,0 +1,45 @@
+#include "service/ingest.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+namespace estima::service {
+
+std::vector<core::MeasurementSet> IngestReport::sets() const& {
+  std::vector<core::MeasurementSet> out;
+  out.reserve(campaigns.size());
+  for (const auto& c : campaigns) out.push_back(c.set);
+  return out;
+}
+
+std::vector<core::MeasurementSet> IngestReport::sets() && {
+  std::vector<core::MeasurementSet> out;
+  out.reserve(campaigns.size());
+  for (auto& c : campaigns) out.push_back(std::move(c.set));
+  campaigns.clear();
+  return out;
+}
+
+IngestReport ingest_directory(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".csv") continue;
+    paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+
+  IngestReport report;
+  for (const auto& path : paths) {
+    try {
+      report.campaigns.push_back({path, core::load_csv(path)});
+    } catch (const std::exception& e) {
+      report.errors.push_back({path, e.what()});
+    }
+  }
+  return report;
+}
+
+}  // namespace estima::service

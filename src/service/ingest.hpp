@@ -1,0 +1,43 @@
+// Bulk campaign ingestion for the serving layer: load every *.csv
+// measurement campaign under a directory (via the core CSV reader) so the
+// whole set can be submitted to PredictionService::predict_many in one
+// batch. Files are visited in lexicographic path order for deterministic
+// batches; a malformed file is reported, not fatal — one bad campaign must
+// not block a bulk submission.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/measurement.hpp"
+
+namespace estima::service {
+
+struct IngestedCampaign {
+  std::string path;
+  core::MeasurementSet set;
+};
+
+struct IngestError {
+  std::string path;
+  std::string message;
+};
+
+struct IngestReport {
+  std::vector<IngestedCampaign> campaigns;  ///< loaded, in path order
+  std::vector<IngestError> errors;          ///< rejected files, in path order
+
+  /// The measurement sets alone, ready for predict_many. The rvalue
+  /// overload moves them out — prefer std::move(report).sets() when the
+  /// report is no longer needed, so bulk ingestion never holds two copies
+  /// of every campaign's samples.
+  std::vector<core::MeasurementSet> sets() const&;
+  std::vector<core::MeasurementSet> sets() &&;
+};
+
+/// Loads every regular "*.csv" file directly under `dir` (no recursion).
+/// Throws std::filesystem::filesystem_error when the directory itself
+/// cannot be read; per-file parse failures land in the report instead.
+IngestReport ingest_directory(const std::string& dir);
+
+}  // namespace estima::service

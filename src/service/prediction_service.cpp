@@ -1,0 +1,160 @@
+#include "service/prediction_service.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
+#include "service/campaign_hash.hpp"
+
+namespace estima::service {
+
+PredictionService::PredictionService(ServiceConfig cfg,
+                                     parallel::ThreadPool* pool)
+    : cfg_(std::move(cfg)),
+      pool_(pool),
+      cache_(cfg_.cache_capacity, cfg_.cache_shards) {
+  // The seam the service relies on: predict(ms, cfg, pool) injects the
+  // pool per call, so the stored config never aliases a live pool.
+  cfg_.prediction.extrap.pool = nullptr;
+}
+
+std::uint64_t PredictionService::hash_of(
+    const core::MeasurementSet& ms) const {
+  return campaign_hash(ms, cfg_.prediction);
+}
+
+std::shared_ptr<const core::Prediction> PredictionService::compute_or_join(
+    std::uint64_t key, const core::MeasurementSet& ms) {
+  if (auto cached = cache_.get(key)) return cached;
+
+  std::shared_ptr<InFlight> flight;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      flight = it->second;
+    } else {
+      flight = std::make_shared<InFlight>();
+      inflight_.emplace(key, flight);
+      owner = true;
+    }
+  }
+
+  if (!owner) {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++inflight_joins_;
+    }
+    if (flight->error) std::rethrow_exception(flight->error);
+    return flight->result;
+  }
+
+  // This thread owns the computation. The previous owner (if any) erased
+  // its in-flight entry only after publishing to the cache, so a racing
+  // completion is visible on this re-check and is never recomputed.
+  if (auto cached = cache_.peek(key)) {
+    flight->result = cached;
+  } else {
+    try {
+      auto result = std::make_shared<const core::Prediction>(
+          core::predict(ms, cfg_.prediction, pool_));
+      cache_.put(key, result);
+      flight->result = std::move(result);
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++predictions_computed_;
+    } catch (...) {
+      flight->error = std::current_exception();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(key);
+  }
+  if (flight->error) std::rethrow_exception(flight->error);
+  return flight->result;
+}
+
+core::Prediction PredictionService::predict_one(
+    const core::MeasurementSet& ms) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++campaigns_submitted_;
+  }
+  return *compute_or_join(hash_of(ms), ms);
+}
+
+std::vector<core::Prediction> PredictionService::predict_many(
+    Span<const core::MeasurementSet> campaigns) {
+  const std::size_t n = campaigns.size();
+  std::vector<core::Prediction> out;
+  out.reserve(n);
+  if (n == 0) return out;
+
+  // Hash serially and fold same-hash repeats onto one unit of work.
+  struct Unit {
+    std::uint64_t key = 0;
+    std::size_t input_idx = 0;  ///< first input with this hash
+    std::shared_ptr<const core::Prediction> result;
+    std::exception_ptr error;
+  };
+  std::vector<Unit> units;
+  std::vector<std::size_t> unit_of(n);
+  std::unordered_map<std::uint64_t, std::size_t> seen;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t key = hash_of(campaigns[i]);
+    auto [it, inserted] = seen.emplace(key, units.size());
+    if (inserted) units.push_back(Unit{key, i, nullptr, nullptr});
+    unit_of[i] = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    campaigns_submitted_ += n;
+    batch_duplicates_folded_ += n - units.size();
+  }
+
+  // One campaign per job. Each job writes only its own unit, so the
+  // fan-out cannot change results; the nested per-campaign fit fan-out
+  // shares the same pool safely (caller-participates parallel_for). Jobs
+  // must not throw across the pool boundary — exceptions are parked per
+  // unit and rethrown below.
+  parallel::parallel_for(pool_, units.size(), [&](std::size_t u) {
+    try {
+      units[u].result =
+          compute_or_join(units[u].key, campaigns[units[u].input_idx]);
+    } catch (...) {
+      units[u].error = std::current_exception();
+    }
+  });
+
+  // Assemble in input order; the earliest failing input wins, matching
+  // where a serial predict() loop would have stopped.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Unit& unit = units[unit_of[i]];
+    if (unit.error) std::rethrow_exception(unit.error);
+    out.push_back(*unit.result);
+  }
+  return out;
+}
+
+ServiceStats PredictionService::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s.campaigns_submitted = campaigns_submitted_;
+    s.predictions_computed = predictions_computed_;
+    s.batch_duplicates_folded = batch_duplicates_folded_;
+    s.inflight_joins = inflight_joins_;
+  }
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace estima::service

@@ -1,0 +1,137 @@
+// The prediction-serving layer: a cache-fronted batch engine over the core
+// pipeline.
+//
+// predict_many() turns a batch of measurement campaigns into predictions
+// under one immutable PredictionConfig:
+//   1. every campaign is named by its campaign_hash;
+//   2. repeats within the batch fold onto one computation;
+//   3. hits are served from the sharded ResultCache;
+//   4. misses fan out across the shared parallel::ThreadPool, one campaign
+//      per job — the per-campaign fit fan-out keeps working underneath,
+//      because parallel_for nests safely;
+//   5. a campaign being computed by any other thread is joined, never
+//      recomputed (in-flight dedup across concurrent batches).
+// Results come back in input order, bit-identical to calling the serial
+// predict() on the campaign as it was first seen under its hash. Category
+// order is deliberately not part of a campaign's identity (see
+// campaign_hash.hpp), so resubmitting the same campaign with its
+// categories permuted is served the first-seen ordering's answer — same
+// predictions up to floating-point summation order, with
+// Prediction::categories in the first-seen order (consumers should match
+// categories by name, not position).
+//
+// Errors: a campaign predict() rejects (std::invalid_argument) is never
+// cached; predict_many surfaces the earliest failing input's exception
+// after the batch has been driven, so one bad campaign cannot poison the
+// cache or block the others from being computed and cached.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/measurement.hpp"
+#include "core/predictor.hpp"
+#include "service/result_cache.hpp"
+
+namespace estima::parallel {
+class ThreadPool;
+}  // namespace estima::parallel
+
+namespace estima::service {
+
+/// Minimal C++17 stand-in for std::span<const T>: lets the serving API
+/// accept campaigns from any contiguous container without copying.
+template <typename T>
+class Span {
+ public:
+  Span() = default;
+  Span(const T* data, std::size_t size) : data_(data), size_(size) {}
+  Span(const std::vector<std::remove_const_t<T>>& v)
+      : data_(v.data()), size_(v.size()) {}
+  template <std::size_t N>
+  Span(const T (&arr)[N]) : data_(arr), size_(N) {}
+
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+struct ServiceConfig {
+  core::PredictionConfig prediction;  ///< shared by every campaign served
+  std::size_t cache_capacity = 4096;
+  std::size_t cache_shards = 16;
+};
+
+struct ServiceStats {
+  std::uint64_t campaigns_submitted = 0;
+  std::uint64_t predictions_computed = 0;   ///< actual predict() runs
+  std::uint64_t batch_duplicates_folded = 0;  ///< same-hash repeats in a batch
+  std::uint64_t inflight_joins = 0;  ///< waits on another thread's compute
+  CacheStats cache;
+};
+
+class PredictionService {
+ public:
+  /// The pool is borrowed, may be null (serial), and is shared with the
+  /// per-campaign fit fan-out. cfg.prediction.extrap.pool is ignored; the
+  /// service injects `pool` itself on every predict() call.
+  explicit PredictionService(ServiceConfig cfg,
+                             parallel::ThreadPool* pool = nullptr);
+
+  /// Campaign key under this service's config.
+  std::uint64_t hash_of(const core::MeasurementSet& ms) const;
+
+  /// Single-campaign entry: cache-fronted, in-flight-deduped predict().
+  core::Prediction predict_one(const core::MeasurementSet& ms);
+
+  /// Batch entry: results in input order, bit-identical to a serial
+  /// predict() loop over the same campaigns.
+  std::vector<core::Prediction> predict_many(
+      Span<const core::MeasurementSet> campaigns);
+
+  ServiceStats stats() const;
+  const ServiceConfig& config() const { return cfg_; }
+  const ResultCache& cache() const { return cache_; }
+
+ private:
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const core::Prediction> result;
+    std::exception_ptr error;
+  };
+
+  /// Serves `key` from the cache, joins a computation already in flight on
+  /// another thread, or computes (and caches) it here. Throws what
+  /// predict() threw; errors are published to joiners but never cached.
+  std::shared_ptr<const core::Prediction> compute_or_join(
+      std::uint64_t key, const core::MeasurementSet& ms);
+
+  ServiceConfig cfg_;
+  parallel::ThreadPool* pool_;
+  ResultCache cache_;
+
+  std::mutex inflight_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> inflight_;
+
+  mutable std::mutex stats_mu_;
+  std::uint64_t campaigns_submitted_ = 0;
+  std::uint64_t predictions_computed_ = 0;
+  std::uint64_t batch_duplicates_folded_ = 0;
+  std::uint64_t inflight_joins_ = 0;
+};
+
+}  // namespace estima::service

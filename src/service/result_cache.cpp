@@ -1,0 +1,102 @@
+#include "service/result_cache.hpp"
+
+#include <algorithm>
+
+namespace estima::service {
+namespace {
+
+std::size_t floor_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p * 2 <= v) p *= 2;
+  return p;
+}
+
+// Campaign hashes are already well mixed, but shard selection uses the
+// high bits via a Fibonacci multiply so that keys differing only in low
+// bits still spread.
+std::size_t mix_to_shard(std::uint64_t key, std::size_t mask) {
+  return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 40) & mask;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  shards_count_ = floor_pow2(std::max<std::size_t>(
+      1, std::min(shards == 0 ? 1 : shards, capacity_)));
+  shards_ = std::make_unique<Shard[]>(shards_count_);
+  // Distribute the capacity so the shard totals sum to capacity_ exactly.
+  const std::size_t base = capacity_ / shards_count_;
+  const std::size_t extra = capacity_ % shards_count_;
+  for (std::size_t i = 0; i < shards_count_; ++i) {
+    shards_[i].capacity = base + (i < extra ? 1 : 0);
+  }
+}
+
+ResultCache::Shard& ResultCache::shard_for(std::uint64_t key) {
+  return shards_[mix_to_shard(key, shards_count_ - 1)];
+}
+
+std::shared_ptr<const core::Prediction> ResultCache::get(std::uint64_t key) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    ++s.misses;
+    return nullptr;
+  }
+  ++s.hits;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh recency
+  return it->second->second;
+}
+
+std::shared_ptr<const core::Prediction> ResultCache::peek(
+    std::uint64_t key) const {
+  const Shard& s = const_cast<ResultCache*>(this)->shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(key);
+  return it == s.index.end() ? nullptr : it->second->second;
+}
+
+void ResultCache::put(std::uint64_t key,
+                      std::shared_ptr<const core::Prediction> value) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    it->second->second = std::move(value);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  while (s.lru.size() >= s.capacity && !s.lru.empty()) {
+    s.index.erase(s.lru.back().first);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+  s.lru.emplace_front(key, std::move(value));
+  s.index.emplace(key, s.lru.begin());
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats out;
+  for (std::size_t i = 0; i < shards_count_; ++i) {
+    const Shard& s = shards_[i];
+    std::lock_guard<std::mutex> lock(s.mu);
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.evictions += s.evictions;
+    out.entries += s.lru.size();
+  }
+  return out;
+}
+
+void ResultCache::clear() {
+  for (std::size_t i = 0; i < shards_count_; ++i) {
+    Shard& s = shards_[i];
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.lru.clear();
+    s.index.clear();
+  }
+}
+
+}  // namespace estima::service

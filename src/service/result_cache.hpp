@@ -1,0 +1,83 @@
+// Sharded LRU cache of completed Predictions keyed by campaign hash.
+//
+// Shard-per-mutex keeps concurrent predict_many() batches from serializing
+// on one lock: a key's shard is chosen by mixing its hash, each shard runs
+// an independent LRU list, and hit/miss/eviction counters are aggregated
+// on demand. Values are shared_ptr<const Prediction> so a hit hands out
+// the cached object without copying under the lock; recency is per shard,
+// so global eviction order is only approximately LRU (construct with
+// shards = 1 when exact LRU matters, e.g. in tests).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/predictor.hpp"
+
+namespace estima::service {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;  ///< currently cached predictions
+};
+
+class ResultCache {
+ public:
+  /// `capacity` = maximum cached predictions in total, split across
+  /// `shards` (rounded down to a power of two, clamped to [1, capacity]).
+  explicit ResultCache(std::size_t capacity, std::size_t shards = 16);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached prediction and marks it most-recently-used, or
+  /// nullptr on miss. Counts one hit or miss.
+  std::shared_ptr<const core::Prediction> get(std::uint64_t key);
+
+  /// get() without touching the hit/miss counters or recency: the
+  /// in-flight owner's race re-check, which re-examines a key whose miss
+  /// was already counted.
+  std::shared_ptr<const core::Prediction> peek(std::uint64_t key) const;
+
+  /// Inserts (or refreshes) a completed prediction, evicting the shard's
+  /// least-recently-used entry when full.
+  void put(std::uint64_t key, std::shared_ptr<const core::Prediction> value);
+
+  CacheStats stats() const;
+  std::size_t capacity() const { return capacity_; }
+  std::size_t shard_count() const { return shards_count_; }
+  void clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// front = most recently used.
+    std::list<std::pair<std::uint64_t,
+                        std::shared_ptr<const core::Prediction>>>
+        lru;
+    std::unordered_map<
+        std::uint64_t,
+        std::list<std::pair<std::uint64_t,
+                            std::shared_ptr<const core::Prediction>>>::iterator>
+        index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t capacity = 0;
+  };
+
+  Shard& shard_for(std::uint64_t key);
+
+  std::size_t capacity_;
+  std::size_t shards_count_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace estima::service

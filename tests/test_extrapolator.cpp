@@ -162,6 +162,58 @@ TEST(Extrapolator, MemoizedMatchesBruteForceReference) {
   }
 }
 
+// A strict + relaxed realism sweep must return, per filter, exactly the
+// candidates of a standalone enumeration under that filter — while
+// executing the fits only once and reporting the sharing in the stats.
+TEST(Extrapolator, FilteredSweepSharesFitsAcrossRealismFilters) {
+  estima::testing::SyntheticSpec spec;
+  spec.stm_rate = 1e-4;
+  spec.noise = 0.03;
+  const auto ms =
+      estima::testing::make_synthetic(spec, estima::testing::counts_up_to(12));
+
+  ExtrapolationConfig cfg;
+  cfg.target_max_cores = 64;
+  RealismOptions strict = cfg.realism;
+  strict.explosion_factor = 5.0;
+
+  for (const auto& cat : ms.categories) {
+    EnumerationStats shared_stats;
+    const auto lists = enumerate_candidates_filtered(
+        ms.cores, cat.values, cfg, {strict, cfg.realism}, &shared_stats);
+    ASSERT_EQ(lists.size(), 2u);
+
+    ExtrapolationConfig strict_cfg = cfg;
+    strict_cfg.realism = strict;
+    EnumerationStats solo_stats;
+    const auto strict_solo =
+        enumerate_candidates(ms.cores, cat.values, strict_cfg, &solo_stats);
+    const auto relaxed_solo = enumerate_candidates(ms.cores, cat.values, cfg);
+
+    for (std::size_t v = 0; v < 2; ++v) {
+      const auto& got = lists[v];
+      const auto& want = v == 0 ? strict_solo : relaxed_solo;
+      ASSERT_EQ(got.size(), want.size()) << cat.name << " filter " << v;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].fn.params, want[i].fn.params);  // bitwise
+        EXPECT_EQ(got[i].prefix_len, want[i].prefix_len);
+        EXPECT_EQ(got[i].checkpoints, want[i].checkpoints);
+        EXPECT_EQ(got[i].checkpoint_rmse, want[i].checkpoint_rmse);
+      }
+    }
+
+    // Auditable sharing: two filters, one fit execution.
+    EXPECT_EQ(shared_stats.realism_variants, 2u);
+    EXPECT_EQ(shared_stats.fits_executed, solo_stats.fits_executed);
+    EXPECT_EQ(shared_stats.candidates_attempted,
+              2 * solo_stats.candidates_attempted);
+    EXPECT_EQ(shared_stats.variant_refits_avoided,
+              shared_stats.fits_executed);
+    EXPECT_EQ(shared_stats.duplicate_fits_eliminated,
+              shared_stats.candidates_attempted - shared_stats.fits_executed);
+  }
+}
+
 TEST(Extrapolator, SeriesReportsEnumerationCounters) {
   auto xs = cores(12);
   std::vector<double> ys;

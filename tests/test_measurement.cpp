@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
 
 namespace estima::core {
@@ -100,6 +101,90 @@ TEST(Measurement, CsvRoundTrip) {
                        ms.categories[i].values[j]);
     }
   }
+}
+
+TEST(Measurement, FileRoundTripPreservesEverything) {
+  const auto ms = sample_set();
+  const std::string path = "measurement_roundtrip_test.csv";
+  save_csv(path, ms);
+  const auto back = load_csv(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(back.workload, ms.workload);
+  EXPECT_EQ(back.machine, ms.machine);
+  EXPECT_EQ(back.cores, ms.cores);
+  // Bitwise: the serving layer keys caches on these values, so the
+  // round-trip must not perturb a single bit.
+  EXPECT_EQ(back.time_s, ms.time_s);
+  ASSERT_EQ(back.categories.size(), ms.categories.size());
+  for (std::size_t i = 0; i < ms.categories.size(); ++i) {
+    EXPECT_EQ(back.categories[i].values, ms.categories[i].values);
+  }
+}
+
+TEST(Measurement, CsvRejectsMisalignedRows) {
+  const std::string header =
+      "# workload=w machine=m freq_ghz=1\n"
+      "cores,time_s,hw:a,sw:b\n";
+
+  // A short row would silently leave category series shorter than cores.
+  std::istringstream missing_cell(header + "1,1.0,2.0\n");
+  EXPECT_THROW(read_csv(missing_cell), std::invalid_argument);
+
+  // A long row would shift every later column.
+  std::istringstream extra_cell(header + "1,1.0,2.0,3.0,4.0\n");
+  EXPECT_THROW(read_csv(extra_cell), std::invalid_argument);
+
+  // A trailing separator is a hidden extra (empty) cell, not noise.
+  std::istringstream trailing_comma(header + "1,1.0,2.0,3.0,\n");
+  EXPECT_THROW(read_csv(trailing_comma), std::invalid_argument);
+
+  // The error must name the offending line.
+  std::istringstream second_row_bad(header + "1,1.0,2.0,3.0\n2,0.5\n");
+  try {
+    read_csv(second_row_bad);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Measurement, CsvRejectsTrailingGarbageInNumericCells) {
+  const std::string header =
+      "# workload=w machine=m freq_ghz=1\n"
+      "cores,time_s,hw:a\n";
+  // stoi/stod would silently parse the numeric prefix of these.
+  std::istringstream bad_core(header + "1x,1.0,2.0\n");
+  EXPECT_THROW(read_csv(bad_core), std::invalid_argument);
+  std::istringstream bad_value(header + "1,1.0,2.0junk\n");
+  EXPECT_THROW(read_csv(bad_value), std::invalid_argument);
+}
+
+TEST(Measurement, CsvAcceptsCrlfAndComments) {
+  std::istringstream is(
+      "# workload=w machine=m freq_ghz=1\n"
+      "cores,time_s,hw:a\n"
+      "1,1.0,2.0\r\n"
+      "# a comment between rows\n"
+      "2,0.6,3.0\n");
+  const auto ms = read_csv(is);
+  EXPECT_EQ(ms.num_points(), 2u);
+  EXPECT_DOUBLE_EQ(ms.categories[0].values[1], 3.0);
+
+  // A fully CRLF file (Windows-saved) must parse identically to LF: in
+  // particular the last category name must not silently keep a '\r'.
+  std::istringstream crlf(
+      "# workload=w machine=m freq_ghz=1\r\n"
+      "cores,time_s,hw:a\r\n"
+      "1,1.0,2.0\r\n"
+      "2,0.6,3.0\r\n");
+  const auto back = read_csv(crlf);
+  EXPECT_EQ(back.workload, "w");
+  ASSERT_EQ(back.categories.size(), 1u);
+  EXPECT_EQ(back.categories[0].name, "a");
+  EXPECT_EQ(back.cores, ms.cores);
+  EXPECT_EQ(back.time_s, ms.time_s);
 }
 
 TEST(Measurement, CsvRejectsGarbage) {

@@ -126,6 +126,28 @@ TEST(Predictor, FactorCorrelationIsHigh) {
   EXPECT_GT(pred.factor_correlation, 0.8);
 }
 
+TEST(Predictor, FactorEnumerationSharesFitsAcrossRealismPasses) {
+  SyntheticSpec spec;
+  spec.mem_growth = 0.005;
+  const auto measured = make_synthetic(spec, counts_up_to(12));
+
+  PredictionConfig cfg;
+  cfg.target_cores = counts_up_to(48);
+  const auto pred = predict(measured, cfg);
+
+  // The strict and relaxed scaling-factor passes score one shared fit
+  // pool: both filters are accounted, nothing is refit for the retry.
+  EXPECT_EQ(pred.factor_stats.realism_variants, 2u);
+  EXPECT_GT(pred.factor_stats.fits_executed, 0u);
+  EXPECT_EQ(pred.factor_stats.variant_refits_avoided,
+            pred.factor_stats.fits_executed);
+  EXPECT_EQ(pred.factor_stats.duplicate_fits_eliminated,
+            pred.factor_stats.candidates_attempted -
+                pred.factor_stats.fits_executed);
+  // A healthy campaign satisfies the strict pass.
+  EXPECT_FALSE(pred.factor_used_relaxed_realism);
+}
+
 TEST(Predictor, RejectsTooFewPoints) {
   SyntheticSpec spec;
   const auto measured = make_synthetic(spec, {1, 2, 3, 4});

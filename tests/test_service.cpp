@@ -1,0 +1,304 @@
+#include "service/prediction_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "service/campaign_hash.hpp"
+#include "service/ingest.hpp"
+#include "service/result_cache.hpp"
+#include "synthetic.hpp"
+
+namespace estima::service {
+namespace {
+
+using estima::testing::counts_up_to;
+using estima::testing::make_synthetic;
+using estima::testing::SyntheticSpec;
+
+core::MeasurementSet campaign(int seed, int points = 12) {
+  SyntheticSpec spec;
+  spec.mem_rate = 0.25 + 0.03 * seed;
+  spec.serial_frac = 0.005 + 0.002 * seed;
+  spec.stm_rate = seed % 2 ? 1e-4 : 0.0;
+  spec.noise = 0.02;
+  return make_synthetic(spec, counts_up_to(points),
+                        ("campaign-" + std::to_string(seed)).c_str());
+}
+
+core::PredictionConfig serving_config() {
+  core::PredictionConfig cfg;
+  cfg.target_cores = core::cores_up_to(48);
+  return cfg;
+}
+
+void expect_bit_identical(const core::Prediction& a,
+                          const core::Prediction& b) {
+  EXPECT_EQ(a.cores, b.cores);
+  EXPECT_EQ(a.time_s, b.time_s);
+  EXPECT_EQ(a.stalls_per_core, b.stalls_per_core);
+  EXPECT_EQ(a.factor_fn.params, b.factor_fn.params);
+  EXPECT_EQ(a.factor_correlation, b.factor_correlation);
+  ASSERT_EQ(a.categories.size(), b.categories.size());
+  for (std::size_t i = 0; i < a.categories.size(); ++i) {
+    EXPECT_EQ(a.categories[i].name, b.categories[i].name);
+    EXPECT_EQ(a.categories[i].values, b.categories[i].values);
+    EXPECT_EQ(a.categories[i].extrapolation.best.params,
+              b.categories[i].extrapolation.best.params);
+    EXPECT_EQ(a.categories[i].extrapolation.checkpoint_rmse,
+              b.categories[i].extrapolation.checkpoint_rmse);
+  }
+}
+
+TEST(CampaignHash, StableAcrossCategoryReordering) {
+  const auto cfg = serving_config();
+  auto ms = campaign(1);
+  ASSERT_GE(ms.categories.size(), 2u);
+  const std::uint64_t h = campaign_hash(ms, cfg);
+
+  auto permuted = ms;
+  std::reverse(permuted.categories.begin(), permuted.categories.end());
+  EXPECT_EQ(campaign_hash(permuted, cfg), h);
+
+  // Repeated hashing is deterministic.
+  EXPECT_EQ(campaign_hash(ms, cfg), h);
+}
+
+TEST(CampaignHash, SensitiveToValueAndConfigChanges) {
+  const auto cfg = serving_config();
+  const auto ms = campaign(1);
+  const std::uint64_t h = campaign_hash(ms, cfg);
+
+  auto tweaked = ms;
+  tweaked.categories[0].values[2] += 1.0;
+  EXPECT_NE(campaign_hash(tweaked, cfg), h);
+
+  auto renamed = ms;
+  renamed.workload = "other";
+  EXPECT_NE(campaign_hash(renamed, cfg), h);
+
+  auto other_cfg = cfg;
+  other_cfg.dataset_scale = 2.0;
+  EXPECT_NE(campaign_hash(ms, other_cfg), h);
+
+  auto other_cores = cfg;
+  other_cores.target_cores.push_back(64);
+  EXPECT_NE(campaign_hash(ms, other_cores), h);
+}
+
+TEST(CampaignHash, ConfigSignatureIgnoresBitIdenticalKnobs) {
+  // memoize_fits and the pool pointer cannot change predict() output, so
+  // cached results must be shared across them.
+  auto cfg = serving_config();
+  const std::uint64_t sig = core::config_signature(cfg);
+  cfg.extrap.memoize_fits = false;
+  EXPECT_EQ(core::config_signature(cfg), sig);
+  parallel::ThreadPool pool(1);
+  cfg.extrap.pool = &pool;
+  EXPECT_EQ(core::config_signature(cfg), sig);
+  cfg.extrap.min_prefix = 2;
+  EXPECT_NE(core::config_signature(cfg), sig);
+}
+
+TEST(PredictMany, BitIdenticalToSerialPredictAcrossThreadCounts) {
+  const auto cfg = serving_config();
+  std::vector<core::MeasurementSet> batch;
+  for (int i = 0; i < 4; ++i) batch.push_back(campaign(i));
+  batch.push_back(campaign(2));  // in-batch duplicate
+  batch.push_back(campaign(0));  // in-batch duplicate
+
+  std::vector<core::Prediction> serial;
+  for (const auto& ms : batch) serial.push_back(core::predict(ms, cfg));
+
+  for (std::size_t threads : {0u, 1u, 4u}) {
+    parallel::ThreadPool pool(threads);
+    ServiceConfig scfg;
+    scfg.prediction = cfg;
+    PredictionService service(scfg, threads == 0 ? nullptr : &pool);
+    const auto out = service.predict_many(batch);
+    ASSERT_EQ(out.size(), batch.size()) << threads << " threads";
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      expect_bit_identical(out[i], serial[i]);
+    }
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.campaigns_submitted, batch.size());
+    EXPECT_EQ(stats.predictions_computed, 4u);  // uniques only
+    EXPECT_EQ(stats.batch_duplicates_folded, 2u);
+  }
+}
+
+TEST(PredictMany, SecondPassServedEntirelyFromCache) {
+  std::vector<core::MeasurementSet> batch;
+  for (int i = 0; i < 3; ++i) batch.push_back(campaign(i));
+
+  ServiceConfig scfg;
+  scfg.prediction = serving_config();
+  PredictionService service(scfg);
+  const auto first = service.predict_many(batch);
+  const auto after_first = service.stats();
+  EXPECT_EQ(after_first.predictions_computed, 3u);
+  EXPECT_EQ(after_first.cache.misses, 3u);
+
+  const auto second = service.predict_many(batch);
+  const auto after_second = service.stats();
+  // 100% hit rate on the second pass: no new computation, no new miss.
+  EXPECT_EQ(after_second.predictions_computed, 3u);
+  EXPECT_EQ(after_second.cache.misses, 3u);
+  EXPECT_EQ(after_second.cache.hits - after_first.cache.hits, 3u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    expect_bit_identical(second[i], first[i]);
+  }
+}
+
+TEST(PredictOne, CacheFronted) {
+  ServiceConfig scfg;
+  scfg.prediction = serving_config();
+  PredictionService service(scfg);
+  const auto ms = campaign(5);
+  const auto a = service.predict_one(ms);
+  const auto b = service.predict_one(ms);
+  expect_bit_identical(a, b);
+  EXPECT_EQ(service.stats().predictions_computed, 1u);
+  EXPECT_EQ(service.stats().cache.hits, 1u);
+}
+
+TEST(ResultCache, LruEvictionAndCounters) {
+  // One shard: global recency order is exact.
+  ResultCache cache(2, 1);
+  auto pred = [](int id) {
+    auto p = std::make_shared<core::Prediction>();
+    p->cores = {id};
+    return std::shared_ptr<const core::Prediction>(p);
+  };
+  cache.put(1, pred(1));
+  cache.put(2, pred(2));
+  ASSERT_NE(cache.get(1), nullptr);  // 1 becomes most recent
+  cache.put(3, pred(3));             // evicts 2, the LRU entry
+  EXPECT_EQ(cache.get(2), nullptr);
+  ASSERT_NE(cache.get(1), nullptr);
+  ASSERT_NE(cache.get(3), nullptr);
+  EXPECT_EQ(cache.get(3)->cores[0], 3);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 4u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ResultCache, ShardedCapacityIsRespected) {
+  ResultCache cache(8, 4);
+  EXPECT_EQ(cache.shard_count(), 4u);
+  auto p = std::make_shared<const core::Prediction>();
+  for (std::uint64_t k = 0; k < 100; ++k) cache.put(k * 7919 + 3, p);
+  EXPECT_LE(cache.stats().entries, 8u);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(PredictMany, InFlightDedupUnderConcurrentSubmission) {
+  std::vector<core::MeasurementSet> batch;
+  for (int i = 0; i < 3; ++i) batch.push_back(campaign(i));
+  batch.push_back(campaign(1));  // plus an in-batch repeat
+
+  parallel::ThreadPool pool(2);
+  ServiceConfig scfg;
+  scfg.prediction = serving_config();
+  PredictionService service(scfg, &pool);
+
+  // Several submitter threads race the same batch through one service:
+  // every unique campaign must be computed exactly once, everyone else
+  // either joins the in-flight computation or hits the cache.
+  constexpr int kSubmitters = 4;
+  std::vector<std::vector<core::Prediction>> results(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back(
+        [&, t] { results[t] = service.predict_many(batch); });
+  }
+  for (auto& th : submitters) th.join();
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.predictions_computed, 3u);
+  EXPECT_EQ(stats.campaigns_submitted,
+            static_cast<std::uint64_t>(kSubmitters * batch.size()));
+  for (int t = 1; t < kSubmitters; ++t) {
+    ASSERT_EQ(results[t].size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      expect_bit_identical(results[t][i], results[0][i]);
+    }
+  }
+}
+
+TEST(PredictMany, ErrorsPropagateAndAreNeverCached) {
+  ServiceConfig scfg;
+  scfg.prediction = serving_config();
+  PredictionService service(scfg);
+
+  auto bad = campaign(1);
+  bad = bad.truncated(2);  // predict() needs >= 3 points
+  std::vector<core::MeasurementSet> batch{campaign(0), bad};
+  EXPECT_THROW(service.predict_many(batch), std::invalid_argument);
+
+  // The good campaign was still computed and cached; the failure was not.
+  const auto after_first = service.stats();
+  EXPECT_EQ(after_first.predictions_computed, 1u);
+  EXPECT_THROW(service.predict_many(batch), std::invalid_argument);
+  EXPECT_EQ(service.stats().predictions_computed, 1u);
+
+  std::vector<core::MeasurementSet> good_only{campaign(0)};
+  const auto out = service.predict_many(good_only);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(service.stats().predictions_computed, 1u);  // cache hit
+}
+
+TEST(Ingest, LoadsCsvCampaignsInPathOrderAndReportsErrors) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "estima_ingest_test_dir";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  core::save_csv((dir / "b_second.csv").string(), campaign(2, 8));
+  core::save_csv((dir / "a_first.csv").string(), campaign(1, 8));
+  {
+    std::ofstream bad(dir / "c_broken.csv");
+    bad << "# workload=w machine=m freq_ghz=1\ncores,time_s\n1,1.0,extra\n";
+  }
+  {
+    std::ofstream ignored(dir / "notes.txt");
+    ignored << "not a campaign\n";
+  }
+
+  auto report = ingest_directory(dir.string());
+  ASSERT_EQ(report.campaigns.size(), 2u);
+  EXPECT_NE(report.campaigns[0].path.find("a_first"), std::string::npos);
+  EXPECT_NE(report.campaigns[1].path.find("b_second"), std::string::npos);
+  EXPECT_EQ(report.campaigns[0].set.workload, "campaign-1");
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_NE(report.errors[0].path.find("c_broken"), std::string::npos);
+  EXPECT_EQ(report.sets().size(), 2u);
+
+  // The ingested batch drives the service end to end.
+  ServiceConfig scfg;
+  scfg.prediction = serving_config();
+  PredictionService service(scfg);
+  const auto preds = service.predict_many(report.sets());
+  EXPECT_EQ(preds.size(), 2u);
+
+  // Rvalue sets() moves the campaigns out instead of copying.
+  auto moved = std::move(report).sets();
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved[0].workload, "campaign-1");
+  EXPECT_TRUE(report.campaigns.empty());
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace estima::service
