@@ -2,13 +2,18 @@
 // campaigns (*.csv), submit them as one predict_many() batch, and ask
 // again to show the campaign-hash cache at work.
 //
-//   ./example_serve_campaigns [campaign_dir] [target_cores]
+//   ./example_serve_campaigns [campaign_dir] [target_cores] [snapshot_file]
 //
 // With no arguments, a demo directory of synthetic campaigns is written
 // next to the working directory first, so the example runs out of the box.
 // Prints one line per campaign (best core count, predicted time at the
 // target) plus serving throughput and the cache hit rate of the repeated
 // submission.
+//
+// With a snapshot_file, the example demonstrates warm restarts: an
+// existing snapshot is restored before serving (a second run answers every
+// repeat campaign without recomputing — watch "computed" drop to 0), and
+// the cache is spilled back to the snapshot on exit.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -63,7 +68,12 @@ int main(int argc, char** argv) {
                 dir.c_str());
   }
   const int target = argc > 2 ? std::atoi(argv[2]) : 48;
+  const std::string snapshot_path = argc > 3 ? argv[3] : "";
 
+  if (!std::filesystem::is_directory(dir)) {
+    std::fprintf(stderr, "%s is not a readable directory\n", dir.c_str());
+    return 1;
+  }
   const auto report = service::ingest_directory(dir);
   for (const auto& err : report.errors) {
     std::fprintf(stderr, "skipped %s: %s\n", err.path.c_str(),
@@ -81,6 +91,20 @@ int main(int argc, char** argv) {
   service::ServiceConfig scfg;
   scfg.prediction.target_cores = core::cores_up_to(target);
   service::PredictionService svc(scfg, &pool);
+
+  // Warm restart: reload answers a previous run spilled to disk. Damage
+  // is non-fatal (skipped entries are recomputed below); a missing file
+  // just means a cold start.
+  if (!snapshot_path.empty() && std::filesystem::exists(snapshot_path)) {
+    try {
+      const auto restored = svc.restore_from(snapshot_path);
+      std::printf("restored %zu cached predictions from %s (%zu skipped)\n",
+                  restored.entries_loaded(), snapshot_path.c_str(),
+                  restored.skipped.size());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "snapshot not restored: %s\n", e.what());
+    }
+  }
 
   const auto batch = report.sets();
   const auto cold_start = std::chrono::steady_clock::now();
@@ -110,5 +134,20 @@ int main(int argc, char** argv) {
                       : 0.0,
               static_cast<unsigned long long>(hits),
               static_cast<unsigned long long>(lookups));
+  std::printf("computed %llu predictions this run\n",
+              static_cast<unsigned long long>(after.predictions_computed));
+
+  // Spill the cache so the next run of this process starts warm. The
+  // campaigns were already served; a failed spill is a warning, not an
+  // abort.
+  if (!snapshot_path.empty()) {
+    try {
+      const auto written = svc.snapshot_to(snapshot_path);
+      std::printf("snapshotted %zu cached predictions to %s\n",
+                  written.entries_written, snapshot_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "snapshot not written: %s\n", e.what());
+    }
+  }
   return 0;
 }

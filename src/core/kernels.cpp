@@ -49,6 +49,13 @@ std::string kernel_name(KernelType type) {
   return "unknown";
 }
 
+std::optional<KernelType> kernel_from_name(const std::string& name) {
+  for (KernelType t : kAllKernels) {
+    if (kernel_name(t) == name) return t;
+  }
+  return std::nullopt;
+}
+
 std::size_t kernel_param_count(KernelType type) {
   switch (type) {
     case KernelType::kRat22: return 5;   // a0 a1 a2 b1 b2

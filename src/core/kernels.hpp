@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,11 @@ constexpr std::array<KernelType, 6> kAllKernels = {
 
 /// Human-readable kernel name matching the paper's Table 1.
 std::string kernel_name(KernelType type);
+
+/// Inverse of kernel_name, for deserializing fitted functions. Returns
+/// std::nullopt for unknown names (e.g. a kernel added by a future format
+/// version) so readers can skip rather than crash.
+std::optional<KernelType> kernel_from_name(const std::string& name);
 
 /// Number of free parameters of the kernel.
 std::size_t kernel_param_count(KernelType type);

@@ -1,6 +1,8 @@
 #include "core/measurement.hpp"
 
 #include <fstream>
+
+#include "core/text_parse.hpp"
 #include <iomanip>
 #include <limits>
 #include <sstream>
@@ -19,43 +21,20 @@ bool domain_selected(StallDomain d, bool include_frontend,
   return false;
 }
 
-std::string domain_prefix(StallDomain d) {
-  switch (d) {
-    case StallDomain::kHardwareBackend: return "hw";
-    case StallDomain::kHardwareFrontend: return "fe";
-    case StallDomain::kSoftware: return "sw";
-  }
-  return "hw";
-}
-
-StallDomain domain_from_prefix(const std::string& p) {
-  if (p == "hw") return StallDomain::kHardwareBackend;
-  if (p == "fe") return StallDomain::kHardwareFrontend;
-  if (p == "sw") return StallDomain::kSoftware;
-  throw std::invalid_argument("unknown stall domain prefix: " + p);
-}
-
-// Whole-cell numeric parsing for data rows: stod/stoi alone would accept
-// trailing garbage ("1x" parses as 1), silently corrupting a campaign.
+// Whole-cell numeric parsing for data rows (semantics shared with every
+// other text format via core/text_parse.hpp): trailing garbage ("1x")
+// must not parse as 1, silently corrupting a campaign.
 double parse_double_cell(const std::string& cell, std::size_t line_no) {
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(cell, &pos);
-    if (pos == cell.size()) return v;
-  } catch (const std::exception&) {
-  }
+  const auto v = textparse::parse_f64(cell);
+  if (v) return *v;
   throw std::invalid_argument("measurement csv: line " +
                               std::to_string(line_no) +
                               ": malformed numeric cell '" + cell + "'");
 }
 
 int parse_int_cell(const std::string& cell, std::size_t line_no) {
-  try {
-    std::size_t pos = 0;
-    const int v = std::stoi(cell, &pos);
-    if (pos == cell.size()) return v;
-  } catch (const std::exception&) {
-  }
+  const auto v = textparse::parse_i32(cell);
+  if (v) return *v;
   throw std::invalid_argument("measurement csv: line " +
                               std::to_string(line_no) +
                               ": malformed core-count cell '" + cell + "'");
@@ -70,6 +49,22 @@ std::string stall_domain_name(StallDomain d) {
     case StallDomain::kSoftware: return "software";
   }
   return "?";
+}
+
+std::string stall_domain_prefix(StallDomain d) {
+  switch (d) {
+    case StallDomain::kHardwareBackend: return "hw";
+    case StallDomain::kHardwareFrontend: return "fe";
+    case StallDomain::kSoftware: return "sw";
+  }
+  return "hw";
+}
+
+StallDomain stall_domain_from_prefix(const std::string& p) {
+  if (p == "hw") return StallDomain::kHardwareBackend;
+  if (p == "fe") return StallDomain::kHardwareFrontend;
+  if (p == "sw") return StallDomain::kSoftware;
+  throw std::invalid_argument("unknown stall domain prefix: " + p);
 }
 
 double MeasurementSet::total_stalls_at(std::size_t i, bool include_frontend,
@@ -142,7 +137,7 @@ void write_csv(std::ostream& os, const MeasurementSet& ms) {
      << "\n";
   os << "cores,time_s";
   for (const auto& cat : ms.categories) {
-    os << ',' << domain_prefix(cat.domain) << ':' << cat.name;
+    os << ',' << stall_domain_prefix(cat.domain) << ':' << cat.name;
   }
   os << "\n";
   for (std::size_t i = 0; i < ms.cores.size(); ++i) {
@@ -158,9 +153,7 @@ MeasurementSet read_csv(std::istream& is) {
   // CRLF files must parse identically to LF files on every line: a '\r'
   // surviving into the last column header would silently rename the last
   // category (changing its campaign hash), not just break data rows.
-  const auto strip_cr = [](std::string& l) {
-    if (!l.empty() && l.back() == '\r') l.pop_back();
-  };
+  const auto strip_cr = [](std::string& l) { textparse::strip_cr(l); };
 
   // Header comment with metadata.
   if (!std::getline(is, line)) {
@@ -208,7 +201,7 @@ MeasurementSet read_csv(std::istream& is) {
                                       "' lacks domain prefix");
         }
         StallSeries s;
-        s.domain = domain_from_prefix(col.substr(0, colon));
+        s.domain = stall_domain_from_prefix(col.substr(0, colon));
         s.name = col.substr(colon + 1);
         ms.categories.push_back(std::move(s));
       }

@@ -18,6 +18,15 @@ enum class StallDomain {
 
 std::string stall_domain_name(StallDomain d);
 
+/// The on-disk domain tag shared by every text format (CSV column headers,
+/// prediction records): "hw" / "fe" / "sw". One mapping on purpose — a
+/// future StallDomain must serialize identically everywhere.
+std::string stall_domain_prefix(StallDomain d);
+
+/// Inverse of stall_domain_prefix; throws std::invalid_argument on an
+/// unknown tag.
+StallDomain stall_domain_from_prefix(const std::string& p);
+
 /// One stall-cycle category: total cycles summed over all active cores, one
 /// value per measured core count.
 struct StallSeries {

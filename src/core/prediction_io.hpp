@@ -1,0 +1,38 @@
+// Bit-exact text serialization of a full Prediction — the read/write seam
+// the serving layer's snapshot format is built on.
+//
+// Mirrors write_csv's round-trip guarantee and extends it: every double is
+// formatted so that reading it back reproduces the identical bit pattern
+// (max_digits10 decimal for finite values; "inf"/"-inf"/"nan" survive too,
+// parsed with strtod rather than istream extraction, which rejects them).
+// Category and kernel names may contain spaces and commas; names are
+// written as the remainder of their line, so any single-line string
+// round-trips. The format is line-oriented and self-terminating
+// ("end prediction"), so multiple predictions can share one stream and a
+// reader always knows where one record stops.
+//
+// read_prediction is a *validating* parser: sizes must be mutually
+// consistent, kernel names known, parameter-vector lengths must match
+// kernel_param_count, and every numeric cell must parse in full. Malformed
+// input throws std::invalid_argument with the offending line — it never
+// returns a Prediction that could index out of bounds downstream. This is
+// what lets the snapshot loader treat "checksum passed but content
+// invalid" as a skippable entry instead of undefined behaviour.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/predictor.hpp"
+
+namespace estima::core {
+
+/// Serialises every field of the prediction (answer fields *and* the
+/// work-accounting stats — a cached entry restores exactly as it was).
+void write_prediction(std::ostream& os, const Prediction& p);
+
+/// Parses one prediction record from the stream, consuming through its
+/// "end prediction" terminator. Throws std::invalid_argument on any
+/// malformed or inconsistent content.
+Prediction read_prediction(std::istream& is);
+
+}  // namespace estima::core

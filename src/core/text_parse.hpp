@@ -1,0 +1,74 @@
+// Whole-cell numeric parsing and line normalization shared by every text
+// format in the tree (measurement CSV, prediction records, snapshots).
+//
+// One implementation on purpose: the CSV and snapshot formats both
+// advertise a bit-exact round-trip, so their accept/reject rules for a
+// numeric cell must never diverge. Parsing goes through strtod/strtoll,
+// not istream extraction or stod: strtod accepts "inf"/"-inf"/"nan"
+// (which istream rejects), and the whole-cell check rejects trailing
+// garbage ("1x" must not parse as 1, silently corrupting a campaign).
+// Callers wrap the nullopt into their own error message (with their own
+// line numbers / line text), so diagnostics stay format-specific while
+// the semantics stay shared.
+#pragma once
+
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+#include <string>
+
+namespace estima::core::textparse {
+
+/// Drops a trailing '\r' so CRLF files parse identically to LF files on
+/// every line.
+inline void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+/// Whole-cell double: the entire cell must be one number (literal "inf"/
+/// "nan" included). Returns nullopt otherwise — including on overflow: a
+/// typo'd exponent ("1e999") must be rejected, not silently loaded as
+/// infinity. Underflow is NOT rejected (glibc sets ERANGE for denormals
+/// too, and the bit-exact round-trip carries denormals).
+inline std::optional<double> parse_f64(const std::string& cell) {
+  if (cell.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (end != cell.c_str() + cell.size()) return std::nullopt;
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+/// Whole-cell decimal int within `int` range.
+inline std::optional<int> parse_i32(const std::string& cell) {
+  if (cell.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(cell.c_str(), &end, 10);
+  if (end != cell.c_str() + cell.size() || errno == ERANGE ||
+      v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    return std::nullopt;
+  }
+  return static_cast<int>(v);
+}
+
+/// Whole-cell decimal u64.
+inline std::optional<std::uint64_t> parse_u64(const std::string& cell) {
+  if (cell.empty() || cell[0] == '-') return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(cell.c_str(), &end, 10);
+  if (end != cell.c_str() + cell.size() || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace estima::core::textparse

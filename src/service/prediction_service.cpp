@@ -1,6 +1,7 @@
 #include "service/prediction_service.hpp"
 
 #include <exception>
+#include <stdexcept>
 #include <utility>
 
 #include "parallel/thread_pool.hpp"
@@ -144,6 +145,42 @@ std::vector<core::Prediction> PredictionService::predict_many(
   return out;
 }
 
+SnapshotWriteReport PredictionService::snapshot_to(
+    const std::string& path) const {
+  std::vector<SnapshotEntry> entries;
+  cache_.for_each_entry(
+      [&entries](std::uint64_t key,
+                 const std::shared_ptr<const core::Prediction>& value) {
+        entries.push_back({key, value});
+      });
+  return save_snapshot(path, core::config_signature(cfg_.prediction), entries);
+}
+
+SnapshotLoadReport PredictionService::restore_from(const std::string& path) {
+  // The signature gate runs inside load_snapshot, straight off the
+  // checksummed header: a foreign-config snapshot is rejected before a
+  // single entry is read.
+  SnapshotLoadReport report =
+      load_snapshot(path, core::config_signature(cfg_.prediction));
+  // for_each_entry exported LRU-first per shard, so replaying through
+  // put() in file order restores each shard's recency as well as its
+  // contents.
+  for (const auto& e : report.entries) cache_.put(e.key, e.prediction);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snapshot_entries_restored_ += report.entries.size();
+    // Count both explicitly skipped frames and frames the header promised
+    // but a truncated file never delivered.
+    std::uint64_t skipped = report.skipped.size();
+    const std::size_t seen = report.entries.size() + report.skipped.size();
+    if (report.entries_declared > seen) {
+      skipped += report.entries_declared - seen;
+    }
+    snapshot_entries_skipped_ += skipped;
+  }
+  return report;
+}
+
 ServiceStats PredictionService::stats() const {
   ServiceStats s;
   {
@@ -152,6 +189,8 @@ ServiceStats PredictionService::stats() const {
     s.predictions_computed = predictions_computed_;
     s.batch_duplicates_folded = batch_duplicates_folded_;
     s.inflight_joins = inflight_joins_;
+    s.snapshot_entries_restored = snapshot_entries_restored_;
+    s.snapshot_entries_skipped = snapshot_entries_skipped_;
   }
   s.cache = cache_.stats();
   return s;

@@ -37,6 +37,7 @@
 #include "core/measurement.hpp"
 #include "core/predictor.hpp"
 #include "service/result_cache.hpp"
+#include "service/snapshot.hpp"
 
 namespace estima::parallel {
 class ThreadPool;
@@ -79,6 +80,12 @@ struct ServiceStats {
   std::uint64_t predictions_computed = 0;   ///< actual predict() runs
   std::uint64_t batch_duplicates_folded = 0;  ///< same-hash repeats in a batch
   std::uint64_t inflight_joins = 0;  ///< waits on another thread's compute
+  /// Warm-restart accounting, surfaced next to the cache's hit/miss/
+  /// eviction counters: entries loaded into the cache by restore_from()
+  /// and snapshot frames dropped as damaged or missing across all
+  /// restores.
+  std::uint64_t snapshot_entries_restored = 0;
+  std::uint64_t snapshot_entries_skipped = 0;
   CacheStats cache;
 };
 
@@ -100,6 +107,24 @@ class PredictionService {
   /// predict() loop over the same campaigns.
   std::vector<core::Prediction> predict_many(
       Span<const core::MeasurementSet> campaigns);
+
+  /// Spills the current ResultCache to a v1 snapshot at `path` (atomic
+  /// write-then-rename), tagged with this service's config signature.
+  /// Safe to call while other threads serve predict_many: the export
+  /// walks the cache one shard lock at a time (for_each_entry), so the
+  /// snapshot is a per-shard-consistent picture of completed answers —
+  /// every entry it contains is a real, fully computed prediction.
+  SnapshotWriteReport snapshot_to(const std::string& path) const;
+
+  /// Warms the cache from a snapshot written by a service with the same
+  /// prediction config. Entries land in the cache as if just computed
+  /// (preserving per-shard recency); damaged entries are skipped, counted
+  /// in stats().snapshot_entries_skipped and detailed in the returned
+  /// report. Throws std::runtime_error when the file is unusable as a
+  /// whole — unreadable, wrong version, or written under a different
+  /// config signature (restoring those answers would break the
+  /// one-hash-one-answer invariant).
+  SnapshotLoadReport restore_from(const std::string& path);
 
   ServiceStats stats() const;
   const ServiceConfig& config() const { return cfg_; }
@@ -132,6 +157,8 @@ class PredictionService {
   std::uint64_t predictions_computed_ = 0;
   std::uint64_t batch_duplicates_folded_ = 0;
   std::uint64_t inflight_joins_ = 0;
+  std::uint64_t snapshot_entries_restored_ = 0;
+  std::uint64_t snapshot_entries_skipped_ = 0;
 };
 
 }  // namespace estima::service

@@ -90,6 +90,28 @@ CacheStats ResultCache::stats() const {
   return out;
 }
 
+void ResultCache::for_each_entry(
+    const std::function<void(std::uint64_t,
+                             const std::shared_ptr<const core::Prediction>&)>&
+        fn) const {
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const core::Prediction>>>
+      snapshot;
+  for (std::size_t i = 0; i < shards_count_; ++i) {
+    const Shard& s = shards_[i];
+    snapshot.clear();
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      snapshot.reserve(s.lru.size());
+      // Back-to-front = LRU first; see the header on why order matters.
+      for (auto it = s.lru.rbegin(); it != s.lru.rend(); ++it) {
+        snapshot.emplace_back(it->first, it->second);
+      }
+    }
+    // Lock released: the visitor may re-enter the cache freely.
+    for (const auto& [key, value] : snapshot) fn(key, value);
+  }
+}
+
 void ResultCache::clear() {
   for (std::size_t i = 0; i < shards_count_; ++i) {
     Shard& s = shards_[i];

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -54,6 +55,22 @@ class ResultCache {
   std::size_t capacity() const { return capacity_; }
   std::size_t shard_count() const { return shards_count_; }
   void clear();
+
+  /// Visits every cached entry once, one shard at a time, least- to
+  /// most-recently-used within each shard (so an export replayed through
+  /// put() in visit order reproduces the shard's recency). Each shard's
+  /// entries are copied (key + shared_ptr) under that shard's lock and the
+  /// visitor runs *outside* it, which makes the visit safe against — and
+  /// safe for — concurrent mutation: the visitor may call get/put/clear on
+  /// this cache without deadlocking, and an entry evicted mid-iteration is
+  /// still delivered alive through its shared_ptr. The guarantee is
+  /// per-shard consistency: everything present in a shard at its lock
+  /// instant is visited exactly once; entries inserted or evicted while
+  /// other shards are being visited may or may not appear.
+  void for_each_entry(
+      const std::function<void(std::uint64_t,
+                               const std::shared_ptr<const core::Prediction>&)>&
+          fn) const;
 
  private:
   struct Shard {

@@ -1,0 +1,92 @@
+// Versioned, checksummed on-disk snapshots of the serving layer's
+// ResultCache — how a restarted service stays warm.
+//
+// Format v1 (text header + length-framed text payloads):
+//
+//   #estima-snapshot v=1 config_signature=<hex16> entries=<N> hcrc=<hex16>
+//   #entry key=<hex16> len=<bytes> crc=<hex16>
+//   <exactly len bytes: one write_prediction record>
+//   ... N entry frames ...
+//   #end
+//
+// `hcrc` is 64-bit FNV-1a over the header text before " hcrc=": version,
+// config signature and declared entry count steer whole-file decisions,
+// so a flipped header byte rejects the file rather than silently skewing
+// restore accounting. Every frame is independently recoverable: `len`
+// gives binary framing (truncation is detected, never mis-parsed), and
+// `crc` is 64-bit FNV-1a over the entry's key bytes followed by its
+// payload bytes — folding the key in means a flipped key bit cannot
+// re-home a valid payload under the wrong campaign, which would silently
+// serve the wrong answer forever.
+//
+// Corruption policy, per the serving layer's "never crash on bad input"
+// rule: a damaged *file* (unopenable, bad magic, unsupported version,
+// mangled header) is rejected with std::runtime_error; a damaged *entry*
+// (bad checksum, malformed payload) is skipped with a recorded reason and
+// loading continues at the next frame boundary when one can be found; a
+// short file loads every intact entry and reports truncated = true. A
+// snapshot can therefore always be restored to the extent it is intact,
+// and a service restored from a damaged snapshot recomputes what was lost.
+//
+// Writes are atomic: the snapshot is written to "<path>.tmp" and renamed
+// over `path`, so readers see either the old complete file or the new one,
+// never a half-written hybrid (rename(2) is atomic on POSIX).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/predictor.hpp"
+
+namespace estima::service {
+
+/// One cached answer: the campaign key and the prediction it names.
+struct SnapshotEntry {
+  std::uint64_t key = 0;
+  std::shared_ptr<const core::Prediction> prediction;
+};
+
+struct SnapshotWriteReport {
+  std::string path;
+  std::size_t entries_written = 0;
+  std::uint64_t config_signature = 0;
+};
+
+/// Why one entry frame was dropped during a load.
+struct SnapshotSkip {
+  std::size_t frame_index = 0;  ///< 0-based position in the file
+  std::string reason;
+};
+
+struct SnapshotLoadReport {
+  std::uint64_t config_signature = 0;  ///< from the file header
+  std::size_t entries_declared = 0;    ///< header's entry count
+  std::vector<SnapshotEntry> entries;  ///< checksum-verified, fully parsed
+  std::vector<SnapshotSkip> skipped;   ///< frames dropped (crc / content)
+  bool truncated = false;  ///< file ended before #end / inside a frame
+
+  std::size_t entries_loaded() const { return entries.size(); }
+};
+
+/// Serialises the entries (in the given order) under the writing service's
+/// config signature. Atomic: write to "<path>.tmp", then rename. Throws
+/// std::runtime_error when the temp file cannot be written or renamed.
+SnapshotWriteReport save_snapshot(const std::string& path,
+                                  std::uint64_t config_signature,
+                                  const std::vector<SnapshotEntry>& entries);
+
+/// Loads every intact entry of a v1 snapshot. Throws std::runtime_error
+/// when the file is missing, not a snapshot, or a later format version;
+/// per-entry damage lands in the report instead (see corruption policy
+/// above). When `expected_config_signature` is given, a snapshot written
+/// under a different config is rejected straight from the (checksummed)
+/// header — no entry is read, let alone parsed, for a file whose answers
+/// the caller could never serve.
+SnapshotLoadReport load_snapshot(
+    const std::string& path,
+    std::optional<std::uint64_t> expected_config_signature = std::nullopt);
+
+}  // namespace estima::service

@@ -159,6 +159,9 @@ TEST(Measurement, CsvRejectsTrailingGarbageInNumericCells) {
   EXPECT_THROW(read_csv(bad_core), std::invalid_argument);
   std::istringstream bad_value(header + "1,1.0,2.0junk\n");
   EXPECT_THROW(read_csv(bad_value), std::invalid_argument);
+  // Overflow: a typo'd exponent must be rejected, not loaded as +inf.
+  std::istringstream overflow(header + "1,1.0,1e999\n");
+  EXPECT_THROW(read_csv(overflow), std::invalid_argument);
 }
 
 TEST(Measurement, CsvAcceptsCrlfAndComments) {

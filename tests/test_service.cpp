@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <thread>
@@ -199,6 +200,85 @@ TEST(ResultCache, ShardedCapacityIsRespected) {
   EXPECT_LE(cache.stats().entries, 8u);
   cache.clear();
   EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCache, ForEachEntryVisitsEveryEntryLruFirst) {
+  // One shard: the documented LRU-to-MRU visit order is exact.
+  ResultCache cache(4, 1);
+  auto pred = [](int id) {
+    auto p = std::make_shared<core::Prediction>();
+    p->cores = {id};
+    return std::shared_ptr<const core::Prediction>(p);
+  };
+  cache.put(10, pred(10));
+  cache.put(11, pred(11));
+  cache.put(12, pred(12));
+  ASSERT_NE(cache.get(10), nullptr);  // 10 becomes most recent
+
+  std::vector<std::uint64_t> keys;
+  cache.for_each_entry(
+      [&](std::uint64_t key, const std::shared_ptr<const core::Prediction>& v) {
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(v->cores[0], static_cast<int>(key));
+        keys.push_back(key);
+      });
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{11, 12, 10}));
+}
+
+TEST(ResultCache, ForEachEntrySurvivesEvictionDuringIteration) {
+  // The visitor runs outside the shard lock, so it may mutate the cache —
+  // including put()s that evict entries the iteration has not reached yet.
+  // The snapshot taken at lock time must still be delivered intact (the
+  // shared_ptr keeps each evicted value alive) and nothing may deadlock.
+  ResultCache cache(2, 1);
+  auto pred = [](int id) {
+    auto p = std::make_shared<core::Prediction>();
+    p->cores = {id};
+    return std::shared_ptr<const core::Prediction>(p);
+  };
+  cache.put(1, pred(1));
+  cache.put(2, pred(2));
+
+  std::vector<std::uint64_t> visited;
+  int next_key = 100;
+  cache.for_each_entry(
+      [&](std::uint64_t key, const std::shared_ptr<const core::Prediction>& v) {
+        visited.push_back(key);
+        EXPECT_EQ(v->cores[0], static_cast<int>(key));
+        // Same-shard put from inside the visitor: fills the cache and
+        // evicts the not-yet-visited LRU survivors.
+        cache.put(next_key, pred(next_key));
+        ++next_key;
+        cache.put(next_key, pred(next_key));
+        ++next_key;
+      });
+
+  // Both entries present at lock time were visited despite being evicted
+  // by the time their turn came.
+  EXPECT_EQ(visited, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_GE(cache.stats().evictions, 2u);
+  EXPECT_LE(cache.stats().entries, 2u);
+
+  // Multi-shard: concurrent writers racing the iteration never corrupt it.
+  ResultCache big(64, 8);
+  for (int i = 0; i < 32; ++i) big.put(static_cast<std::uint64_t>(i) * 7919,
+                                       pred(i));
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int k = 1000;
+    while (!stop.load()) big.put(static_cast<std::uint64_t>(++k), pred(k));
+  });
+  for (int round = 0; round < 50; ++round) {
+    std::size_t seen = 0;
+    big.for_each_entry(
+        [&](std::uint64_t, const std::shared_ptr<const core::Prediction>& v) {
+          ASSERT_NE(v, nullptr);
+          ++seen;
+        });
+    EXPECT_LE(seen, 64u);  // per-shard snapshots can never exceed capacity
+  }
+  stop = true;
+  writer.join();
 }
 
 TEST(PredictMany, InFlightDedupUnderConcurrentSubmission) {
