@@ -1,0 +1,278 @@
+// Network front-end throughput: loopback HTTP requests/sec, cold vs warm.
+//
+// The question this bench answers: what does the HTTP edge cost on top of
+// the serving layer it fronts? Three rates over a real loopback socket:
+//   cold  — POST /v1/predict per campaign on an empty cache (every
+//           request computes; the single-campaign reference);
+//   warm  — the same requests again, all answered from the campaign
+//           cache (the dashboard/capacity-planner steady state);
+//   batch — one POST /v1/predict_batch carrying every campaign at once,
+//           warm (framing + predict_many amortised over one request).
+// Every warm response is parsed back with read_prediction and must be
+// bit-identical to an in-process serial predict(); the warm hit rate must
+// be 100%; warm requests/sec must be >= 10x cold. The bench exits
+// non-zero when any bar fails.
+//
+// Reports JSON to BENCH_net_throughput.json (and text to stdout).
+//
+// Flags:
+//   --campaigns=C      distinct campaigns              (default 8)
+//   --points=M         measured core counts 1..M      (default 12)
+//   --target=T         extrapolation horizon          (default 48)
+//   --threads=N        prediction pool size           (default: hardware)
+//   --http-threads=N   connection workers             (default 4)
+//   --warm-seconds=S   minimum warm window            (default 0.5)
+//   --out=PATH         JSON output path (default BENCH_net_throughput.json)
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/measurement.hpp"
+#include "core/prediction_io.hpp"
+#include "core/predictor.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "parallel/thread_pool.hpp"
+#include "service/prediction_service.hpp"
+#include "service/routes.hpp"
+#include "tests/synthetic.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using estima::bench::bit_identical;
+using estima::bench::parse_flag_d;
+using estima::bench::parse_flag_s;
+
+estima::core::MeasurementSet make_campaign(int seed, int points) {
+  estima::testing::SyntheticSpec spec;
+  spec.mem_rate = 0.25 + 0.02 * (seed % 7);
+  spec.serial_frac = 0.005 + 0.0015 * (seed % 5);
+  spec.stm_rate = seed % 2 ? 1e-4 : 0.0;
+  spec.noise = 0.02;
+  return estima::testing::make_synthetic(
+      spec, estima::testing::counts_up_to(points),
+      ("net-campaign-" + std::to_string(seed)).c_str());
+}
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string csv_of(const estima::core::MeasurementSet& ms) {
+  std::ostringstream os;
+  estima::core::write_csv(os, ms);
+  return os.str();
+}
+
+}  // namespace
+
+int run_bench(int argc, char** argv);
+
+int main(int argc, char** argv) {
+  try {
+    return run_bench(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "net_throughput: %s\n", e.what());
+    return 1;
+  }
+}
+
+int run_bench(int argc, char** argv) {
+  const int campaigns =
+      static_cast<int>(parse_flag_d(argc, argv, "campaigns", 8));
+  const int points = static_cast<int>(parse_flag_d(argc, argv, "points", 12));
+  const int target = static_cast<int>(parse_flag_d(argc, argv, "target", 48));
+  const int threads = static_cast<int>(parse_flag_d(
+      argc, argv, "threads",
+      static_cast<double>(estima::parallel::ThreadPool::hardware_threads())));
+  const int http_threads =
+      static_cast<int>(parse_flag_d(argc, argv, "http-threads", 4));
+  const double warm_seconds = parse_flag_d(argc, argv, "warm-seconds", 0.5);
+  const std::string out_path =
+      parse_flag_s(argc, argv, "out", "BENCH_net_throughput.json");
+
+  std::vector<estima::core::MeasurementSet> uniques;
+  std::vector<std::string> bodies;
+  for (int i = 0; i < campaigns; ++i) {
+    uniques.push_back(make_campaign(i, points));
+    bodies.push_back(csv_of(uniques.back()));
+  }
+
+  estima::core::PredictionConfig cfg;
+  cfg.target_cores = estima::core::cores_up_to(target);
+
+  std::printf("net_throughput: %d campaigns over loopback HTTP, horizon %d, "
+              "%d prediction threads, %d http workers\n",
+              campaigns, target, threads, http_threads);
+
+  // Serial in-process reference: the bit-identity baseline (the campaign
+  // each response must reproduce exactly, through CSV -> predict ->
+  // write_prediction -> HTTP -> read_prediction).
+  std::vector<estima::core::Prediction> serial;
+  for (const auto& u : uniques) serial.push_back(estima::core::predict(u, cfg));
+
+  estima::parallel::ThreadPool pool(
+      static_cast<std::size_t>(threads > 0 ? threads : 1));
+  estima::service::ServiceConfig scfg;
+  scfg.prediction = cfg;
+  scfg.cache_capacity = static_cast<std::size_t>(64 * campaigns);
+  estima::service::PredictionService service(scfg, &pool);
+  estima::service::RouterConfig rcfg;
+  rcfg.max_batch_campaigns = static_cast<std::size_t>(campaigns) + 16;
+  estima::service::ServiceRouter router(service, rcfg);
+
+  estima::net::ServerConfig ncfg;
+  ncfg.worker_threads =
+      static_cast<std::size_t>(http_threads > 0 ? http_threads : 1);
+  estima::net::HttpServer server(
+      ncfg, [&router](const estima::net::HttpRequest& req) {
+        return router.handle(req);
+      });
+  server.start();
+  estima::net::HttpClient client("127.0.0.1", server.port());
+
+  // Cold: every request computes its campaign.
+  const auto cold_start = Clock::now();
+  for (const auto& body : bodies) {
+    const auto resp = client.post("/v1/predict", body, "text/csv");
+    if (resp.status != 200) {
+      std::fprintf(stderr, "cold request failed: %d %s\n", resp.status,
+                   resp.body.c_str());
+      return 1;
+    }
+  }
+  const double cold_elapsed = seconds_since(cold_start);
+  const double cold_rps = campaigns / cold_elapsed;
+  const auto after_cold = service.stats();
+
+  // Warm: loop the same requests; everything must hit. The first pass
+  // also checks bit-identity through the full wire round-trip.
+  bool identical = true;
+  std::size_t warm_requests = 0;
+  const auto warm_start = Clock::now();
+  double warm_elapsed = 0.0;
+  for (int pass = 0;; ++pass) {
+    for (int i = 0; i < campaigns; ++i) {
+      const auto resp = client.post("/v1/predict", bodies[static_cast<std::size_t>(i)], "text/csv");
+      if (resp.status != 200) {
+        std::fprintf(stderr, "warm request failed: %d %s\n", resp.status,
+                     resp.body.c_str());
+        return 1;
+      }
+      ++warm_requests;
+      if (pass == 0) {
+        std::istringstream is(resp.body);
+        const auto got = estima::core::read_prediction(is);
+        if (!bit_identical(got, serial[static_cast<std::size_t>(i)])) {
+          identical = false;
+        }
+      }
+    }
+    warm_elapsed = seconds_since(warm_start);
+    if (warm_elapsed >= warm_seconds && pass >= 1) break;
+  }
+  const double warm_rps = static_cast<double>(warm_requests) / warm_elapsed;
+  const auto after_warm = service.stats();
+
+  // Warm batch: all campaigns in one request.
+  const std::string batch_body =
+      estima::service::frame_bodies(bodies, "campaign");
+  std::size_t batch_requests = 0;
+  const auto batch_start = Clock::now();
+  double batch_elapsed = 0.0;
+  for (;;) {
+    const auto resp = client.post("/v1/predict_batch", batch_body, "text/plain");
+    if (resp.status != 200) {
+      std::fprintf(stderr, "batch request failed: %d %s\n", resp.status,
+                   resp.body.c_str());
+      return 1;
+    }
+    ++batch_requests;
+    if (batch_requests == 1) {
+      const auto records = estima::service::parse_frames(
+          resp.body, "prediction", static_cast<std::size_t>(campaigns));
+      if (records.size() != static_cast<std::size_t>(campaigns)) {
+        identical = false;
+      } else {
+        for (int i = 0; i < campaigns; ++i) {
+          std::istringstream is(records[static_cast<std::size_t>(i)]);
+          const auto got = estima::core::read_prediction(is);
+          if (!bit_identical(got, serial[static_cast<std::size_t>(i)])) {
+            identical = false;
+          }
+        }
+      }
+    }
+    batch_elapsed = seconds_since(batch_start);
+    if (batch_elapsed >= warm_seconds && batch_requests >= 2) break;
+  }
+  const double batch_cps =
+      static_cast<double>(batch_requests) * campaigns / batch_elapsed;
+
+  const std::uint64_t warm_hits =
+      after_warm.cache.hits - after_cold.cache.hits;
+  const std::uint64_t warm_misses =
+      after_warm.cache.misses - after_cold.cache.misses;
+  const double warm_hit_rate =
+      warm_hits + warm_misses > 0
+          ? static_cast<double>(warm_hits) /
+                static_cast<double>(warm_hits + warm_misses)
+          : 0.0;
+  const bool no_new_compute =
+      after_warm.predictions_computed == after_cold.predictions_computed;
+  const double warm_speedup = warm_rps / cold_rps;
+  const bool speedup_ok = warm_speedup >= 10.0;
+  const bool hit_rate_ok = warm_hit_rate == 1.0 && no_new_compute;
+
+  const auto sstats = server.stats();
+  server.stop();
+
+  std::printf("  cold  /v1/predict %10.2f requests/s  (%d in %.3fs)\n",
+              cold_rps, campaigns, cold_elapsed);
+  std::printf("  warm  /v1/predict %10.2f requests/s  (%zu in %.3fs)\n",
+              warm_rps, warm_requests, warm_elapsed);
+  std::printf("  warm  batch       %10.2f campaigns/s (%zu requests in %.3fs)\n",
+              batch_cps, batch_requests, batch_elapsed);
+  std::printf("  warm vs cold speedup: %.1fx (bar: >= 10x)\n", warm_speedup);
+  std::printf("  warm hit rate: %.0f%%, no new compute: %s\n",
+              100.0 * warm_hit_rate, no_new_compute ? "yes" : "NO");
+  std::printf("  bit-identical through the wire: %s\n",
+              identical ? "yes" : "NO");
+  std::printf("  server: accepted=%llu served=%llu 4xx=%llu 5xx=%llu\n",
+              static_cast<unsigned long long>(sstats.connections_accepted),
+              static_cast<unsigned long long>(sstats.requests_served),
+              static_cast<unsigned long long>(sstats.responses_4xx),
+              static_cast<unsigned long long>(sstats.responses_5xx));
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"net_throughput\",\n");
+  std::fprintf(f, "  \"campaigns\": %d,\n", campaigns);
+  std::fprintf(f, "  \"measured_points\": %d,\n", points);
+  std::fprintf(f, "  \"target_cores\": %d,\n", target);
+  std::fprintf(f, "  \"prediction_threads\": %d,\n", threads);
+  std::fprintf(f, "  \"http_workers\": %d,\n", http_threads);
+  std::fprintf(f, "  \"cold_requests_per_sec\": %.3f,\n", cold_rps);
+  std::fprintf(f, "  \"warm_requests_per_sec\": %.3f,\n", warm_rps);
+  std::fprintf(f, "  \"warm_batch_campaigns_per_sec\": %.3f,\n", batch_cps);
+  std::fprintf(f, "  \"warm_speedup_vs_cold\": %.3f,\n", warm_speedup);
+  std::fprintf(f, "  \"warm_hit_rate\": %.4f,\n", warm_hit_rate);
+  std::fprintf(f, "  \"requests_served\": %llu,\n",
+               static_cast<unsigned long long>(sstats.requests_served));
+  std::fprintf(f, "  \"bit_identical_through_wire\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(f, "  \"speedup_bar_met\": %s\n", speedup_ok ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("  wrote %s\n", out_path.c_str());
+
+  return (identical && hit_rate_ok && speedup_ok) ? 0 : 2;
+}

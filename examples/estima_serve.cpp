@@ -1,0 +1,158 @@
+// The runnable serving daemon: ESTIMA's prediction service behind the
+// dependency-free HTTP/1.1 edge.
+//
+//   ./example_estima_serve [flags]
+//     --port=P             bind port (default 8080; 0 = ephemeral)
+//     --address=A          bind address (default 127.0.0.1)
+//     --threads=N          prediction pool size (default: hardware)
+//     --http-threads=N     connection workers (default 8)
+//     --cache-capacity=N   cached predictions (default 4096)
+//     --target=T           extrapolation horizon in cores (default 48)
+//     --snapshot-file=PATH snapshot location: restored on startup when
+//                          present (--restore=0 disables), spilled on
+//                          SIGINT/SIGTERM drain, and enables POST
+//                          /v1/snapshot
+//     --restore=0|1        restore from --snapshot-file at startup (1)
+//     --snapshot-every=K   auto-snapshot after every K computed
+//                          predictions (0 = only on shutdown)
+//
+// Serving surface (see src/service/routes.hpp for body formats):
+//   POST /v1/predict        one CSV campaign -> one prediction record
+//   POST /v1/predict_batch  length-framed CSV campaigns -> predictions
+//   GET  /v1/stats          service + cache counters as JSON
+//   POST /v1/snapshot       spill the cache to --snapshot-file
+//
+// Shutdown is a graceful drain: on SIGINT/SIGTERM the listener closes,
+// in-flight responses finish, and the cache is snapshotted (when
+// --snapshot-file is set) so the next start answers warm.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "bench/bench_util.hpp"
+#include "core/predictor.hpp"
+#include "net/server.hpp"
+#include "parallel/thread_pool.hpp"
+#include "service/prediction_service.hpp"
+#include "service/routes.hpp"
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) { g_signal.store(sig); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace estima;
+  using bench::parse_flag_d;
+  using bench::parse_flag_s;
+
+  const int port = static_cast<int>(parse_flag_d(argc, argv, "port", 8080));
+  const std::string address =
+      parse_flag_s(argc, argv, "address", "127.0.0.1");
+  const int threads = static_cast<int>(parse_flag_d(
+      argc, argv, "threads",
+      static_cast<double>(parallel::ThreadPool::hardware_threads())));
+  const int http_threads =
+      static_cast<int>(parse_flag_d(argc, argv, "http-threads", 8));
+  const int cache_capacity =
+      static_cast<int>(parse_flag_d(argc, argv, "cache-capacity", 4096));
+  const int target = static_cast<int>(parse_flag_d(argc, argv, "target", 48));
+  const std::string snapshot_file =
+      parse_flag_s(argc, argv, "snapshot-file", "");
+  const bool restore = parse_flag_d(argc, argv, "restore", 1) != 0;
+  const int snapshot_every =
+      static_cast<int>(parse_flag_d(argc, argv, "snapshot-every", 0));
+
+  parallel::ThreadPool pool(
+      static_cast<std::size_t>(threads > 0 ? threads : 1));
+  service::ServiceConfig scfg;
+  scfg.prediction.target_cores = core::cores_up_to(target);
+  scfg.cache_capacity = static_cast<std::size_t>(
+      cache_capacity > 0 ? cache_capacity : 4096);
+  if (snapshot_every > 0) {
+    if (snapshot_file.empty()) {
+      std::fprintf(stderr,
+                   "--snapshot-every=%d needs --snapshot-file: there is "
+                   "nowhere to write the periodic snapshots\n",
+                   snapshot_every);
+      return 1;
+    }
+    scfg.snapshot_every = static_cast<std::size_t>(snapshot_every);
+    scfg.auto_snapshot_path = snapshot_file;
+  }
+  service::PredictionService svc(scfg, &pool);
+
+  if (restore && !snapshot_file.empty() &&
+      std::filesystem::exists(snapshot_file)) {
+    try {
+      const auto restored = svc.restore_from(snapshot_file);
+      std::printf("restored %zu cached predictions from %s (%zu skipped)\n",
+                  restored.entries_loaded(), snapshot_file.c_str(),
+                  restored.skipped.size());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cold start, snapshot not restored: %s\n",
+                   e.what());
+    }
+  }
+
+  service::RouterConfig rcfg;
+  rcfg.snapshot_path = snapshot_file;
+  service::ServiceRouter router(svc, rcfg);
+
+  net::ServerConfig ncfg;
+  ncfg.bind_address = address;
+  ncfg.port = port;
+  ncfg.worker_threads =
+      static_cast<std::size_t>(http_threads > 0 ? http_threads : 1);
+  net::HttpServer server(ncfg, [&router](const net::HttpRequest& req) {
+    return router.handle(req);
+  });
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  std::printf("estima_serve listening on %s:%d "
+              "(%d prediction threads, %d http workers, cache %d)\n",
+              address.c_str(), server.port(), threads, http_threads,
+              cache_capacity);
+  if (!snapshot_file.empty()) {
+    std::printf("snapshot file: %s (auto every %d computed predictions)\n",
+                snapshot_file.c_str(), snapshot_every);
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_signal.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::printf("signal %d: draining...\n", g_signal.load());
+  server.stop();
+
+  if (!snapshot_file.empty()) {
+    try {
+      const auto written = svc.snapshot_to(snapshot_file);
+      std::printf("snapshotted %zu cached predictions to %s\n",
+                  written.entries_written, snapshot_file.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "shutdown snapshot not written: %s\n", e.what());
+      return 1;
+    }
+  }
+  const auto stats = svc.stats();
+  std::printf("served: submitted=%llu computed=%llu hits=%llu "
+              "auto_snapshots=%llu\n",
+              static_cast<unsigned long long>(stats.campaigns_submitted),
+              static_cast<unsigned long long>(stats.predictions_computed),
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.auto_snapshots));
+  return 0;
+}

@@ -74,7 +74,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s is not a readable directory\n", dir.c_str());
     return 1;
   }
-  const auto report = service::ingest_directory(dir);
+  service::IngestReport report;
+  try {
+    report = service::ingest_directory(dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
   for (const auto& err : report.errors) {
     std::fprintf(stderr, "skipped %s: %s\n", err.path.c_str(),
                  err.message.c_str());
@@ -148,6 +154,18 @@ int main(int argc, char** argv) {
     } catch (const std::exception& e) {
       std::fprintf(stderr, "snapshot not written: %s\n", e.what());
     }
+  }
+
+  // Scripted callers must be able to tell "served everything" from
+  // "served a subset": a partially failed ingestion exits non-zero even
+  // though the loadable campaigns were served above.
+  if (!report.errors.empty()) {
+    std::fprintf(stderr,
+                 "%zu of %zu campaign files failed to ingest; exiting "
+                 "non-zero (partial ingestion)\n",
+                 report.errors.size(),
+                 report.errors.size() + report.campaigns.size());
+    return 1;
   }
   return 0;
 }

@@ -1,0 +1,115 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+
+namespace estima::net {
+
+HttpClient::HttpClient(std::string host, int port, ParserLimits limits)
+    : host_(std::move(host)), port_(port), limits_(limits) {}
+
+HttpClient::~HttpClient() { disconnect(); }
+
+void HttpClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void HttpClient::connect() {
+  ::signal(SIGPIPE, SIG_IGN);
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error("http client: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    disconnect();
+    throw std::runtime_error("http client: bad address " + host_);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string err = std::strerror(errno);
+    disconnect();
+    throw std::runtime_error("http client: cannot connect to " + host_ + ":" +
+                             std::to_string(port_) + ": " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+bool HttpClient::send_all(const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t w = ::send(fd_, data.data() + off, data.size() - off, 0);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+HttpResponse HttpClient::request(
+    const std::string& method, const std::string& target,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  const std::string wire = serialize_request(method, target, body, headers);
+
+  // One transparent retry: a kept-alive connection the server has since
+  // closed (idle timeout, restart) surfaces as a send failure or an
+  // immediate EOF — reconnect once and resend. A failure on a fresh
+  // connection is real and propagates.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const bool fresh = fd_ < 0;
+    if (fresh) connect();
+    if (!send_all(wire)) {
+      disconnect();
+      if (fresh) throw std::runtime_error("http client: send failed");
+      continue;
+    }
+
+    ResponseParser parser(limits_);
+    char buf[16 * 1024];
+    bool got_bytes = false;
+    while (parser.state() == ResponseParser::State::kNeedMore) {
+      const ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        disconnect();
+        throw std::runtime_error("http client: recv failed: " +
+                                 std::string(std::strerror(errno)));
+      }
+      if (r == 0) break;  // EOF
+      got_bytes = true;
+      parser.feed(buf, static_cast<std::size_t>(r));
+    }
+    if (parser.state() == ResponseParser::State::kComplete) {
+      if (!parser.keep_alive()) disconnect();
+      return parser.response();
+    }
+    disconnect();
+    // EOF before any byte on a reused connection: stale keep-alive, retry.
+    if (!got_bytes && !fresh && attempt == 0) continue;
+    throw std::runtime_error(
+        parser.state() == ResponseParser::State::kError
+            ? "http client: malformed response: " + parser.error_reason()
+            : "http client: connection closed mid-response");
+  }
+  throw std::runtime_error("http client: request failed after reconnect");
+}
+
+}  // namespace estima::net

@@ -1,0 +1,54 @@
+// A small blocking HTTP/1.1 client over POSIX sockets — enough for the
+// tests, the benches and scripted callers of the serving edge. Keep-alive
+// by default: the connection is reused across request() calls and
+// transparently re-established when the server closed it (or after a
+// Connection: close response). Not thread-safe; one client per thread.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/http_parser.hpp"
+
+namespace estima::net {
+
+class HttpClient {
+ public:
+  /// Does not connect yet; the first request() does.
+  HttpClient(std::string host, int port, ParserLimits limits = {});
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Sends one request and blocks for the full response. Throws
+  /// std::runtime_error on connect/IO/parse failure (an HTTP error status
+  /// is a *response*, not an exception — callers check resp.status).
+  HttpResponse request(
+      const std::string& method, const std::string& target,
+      const std::string& body = "",
+      const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+  HttpResponse get(const std::string& target) {
+    return request("GET", target);
+  }
+  HttpResponse post(const std::string& target, const std::string& body,
+                    const std::string& content_type = "text/plain") {
+    return request("POST", target, body, {{"content-type", content_type}});
+  }
+
+  /// Drops the connection; the next request() reconnects.
+  void disconnect();
+
+ private:
+  void connect();
+  bool send_all(const std::string& data);
+
+  std::string host_;
+  int port_;
+  ParserLimits limits_;
+  int fd_ = -1;
+};
+
+}  // namespace estima::net

@@ -1,0 +1,346 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+
+namespace estima::net {
+namespace {
+
+void close_quietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+/// Lingering close: when a response was written but unread request bytes
+/// may remain (an error answered mid-request), closing immediately would
+/// make the kernel send RST and destroy the response before the client
+/// reads it. Shut down the write side, then drain and discard the peer's
+/// remaining bytes until EOF — bounded by wall time, so a client that
+/// keeps trickling bytes cannot pin the worker past max_ms.
+void drain_then_close_write(int fd, int max_ms) {
+  ::shutdown(fd, SHUT_WR);
+  char sink[4096];
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(max_ms);
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return;
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1,
+                          static_cast<int>(std::min<long long>(
+                              left.count(), 50)));
+    if (rc < 0 && errno != EINTR) return;
+    if (rc <= 0) continue;
+    const ssize_t r = ::recv(fd, sink, sizeof sink, 0);
+    if (r <= 0) return;  // EOF or error: peer saw our FIN
+  }
+}
+
+/// Waits until fd is readable, the deadline passes, or `stop` flips.
+/// Returns 1 readable, 0 timed out, -1 stop/error.
+int wait_readable(int fd, int timeout_ms, int poll_interval_ms,
+                  const std::atomic<bool>& stop) {
+  int waited = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const int slice = std::min(poll_interval_ms, timeout_ms - waited);
+    if (slice <= 0) return 0;
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, slice);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (rc > 0) return 1;
+    waited += slice;
+  }
+  return -1;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(ServerConfig cfg, Handler handler)
+    : cfg_(std::move(cfg)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  if (running_.load()) return;
+  // A client that disconnects mid-response must surface as a write error,
+  // not kill the process with SIGPIPE. Process-wide, idempotent.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("http server: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.port));
+  if (::inet_pton(AF_INET, cfg_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close_quietly(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("http server: bad bind address " +
+                             cfg_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, cfg_.listen_backlog) < 0) {
+    const std::string err = std::strerror(errno);
+    close_quietly(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("http server: cannot listen on " +
+                             cfg_.bind_address + ":" +
+                             std::to_string(cfg_.port) + ": " + err);
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  stopping_.store(false);
+  running_.store(true);
+  const std::size_t workers = cfg_.worker_threads > 0 ? cfg_.worker_threads : 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  // Shutting down the listener wakes the acceptor's poll immediately;
+  // the fd is closed only after the acceptor joins, so its number cannot
+  // be reused under a thread still polling it.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  queue_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  close_quietly(listen_fd_);
+  listen_fd_ = -1;
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // Connections still queued but never picked up: close them unanswered.
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  for (int fd : pending_fds_) close_quietly(fd);
+  pending_fds_.clear();
+}
+
+ServerStats HttpServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void HttpServer::acceptor_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, cfg_.poll_interval_ms);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listener closed by stop()
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_accepted;
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      pending_fds_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void HttpServer::worker_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] {
+        return stopping_.load(std::memory_order_relaxed) ||
+               !pending_fds_.empty();
+      });
+      if (pending_fds_.empty()) return;  // stopping and drained
+      fd = pending_fds_.front();
+      pending_fds_.pop_front();
+    }
+    serve_connection(fd);
+    close_quietly(fd);
+  }
+}
+
+bool HttpServer::write_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, 0);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+void HttpServer::send_error(int fd, int status, const std::string& reason) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.headers.emplace_back("content-type", "text/plain");
+  resp.body = reason;
+  if (!resp.body.empty() && resp.body.back() != '\n') resp.body += '\n';
+  const std::string wire = serialize_response(resp, /*keep_alive=*/false);
+  write_all(fd, wire.data(), wire.size());
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.requests_served;
+  if (status >= 500) {
+    ++stats_.responses_5xx;
+  } else if (status >= 400) {
+    ++stats_.responses_4xx;
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  RequestParser parser(cfg_.limits);
+  char buf[16 * 1024];
+  // Bytes read but not yet consumed by the parser (pipelined requests).
+  std::string carry;
+  // Whether the current message has started arriving — decides if idle
+  // silence is a timeout (answer 408) or a normal keep-alive close, and
+  // starts the per-request deadline below.
+  bool mid_request = false;
+  // idle_timeout_ms is a *per-request* budget, not per-read: a slowloris
+  // client trickling one byte per poll interval must not hold the worker
+  // past the documented bound. The deadline starts at the request's
+  // first byte and resets when a complete request has been answered.
+  auto request_deadline = std::chrono::steady_clock::time_point{};
+
+  for (;;) {
+    // Drain whatever is already buffered before touching the socket.
+    while (!carry.empty() && parser.state() == RequestParser::State::kNeedMore) {
+      const std::size_t used = parser.feed(carry.data(), carry.size());
+      if (used > 0 && !mid_request) {
+        mid_request = true;
+        request_deadline = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(cfg_.idle_timeout_ms);
+      }
+      carry.erase(0, used);
+      if (used == 0) break;
+    }
+
+    if (parser.state() == RequestParser::State::kNeedMore) {
+      int budget_ms = cfg_.idle_timeout_ms;
+      if (mid_request) {
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                request_deadline - std::chrono::steady_clock::now());
+        budget_ms = static_cast<int>(
+            std::max<long long>(0, std::min<long long>(left.count(),
+                                                       cfg_.idle_timeout_ms)));
+      }
+      const int ready = budget_ms > 0
+                            ? wait_readable(fd, budget_ms,
+                                            cfg_.poll_interval_ms, stopping_)
+                            : 0;
+      if (ready < 0) return;  // stopping or poll error: drop quietly
+      if (ready == 0) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.connections_timed_out;
+        }
+        if (mid_request) send_error(fd, 408, "request timed out");
+        return;
+      }
+      const ssize_t r = ::recv(fd, buf, sizeof buf, 0);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      if (r == 0) return;  // peer closed
+      carry.append(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+
+    if (parser.state() == RequestParser::State::kError) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.parse_errors;
+      }
+      send_error(fd, parser.error_status(), parser.error_reason());
+      // Nothing after a malformed head is a trustworthy boundary. The
+      // client may still be sending the rest (an oversized body, say):
+      // drain it so the error response is not destroyed by a reset.
+      drain_then_close_write(fd, 1000);
+      return;
+    }
+
+    // kComplete: hand off, answer, and go around for the next message.
+    const HttpRequest& req = parser.request();
+    HttpResponse resp;
+    try {
+      resp = handler_(req);
+    } catch (const std::invalid_argument& e) {
+      resp = HttpResponse{};
+      resp.status = 400;
+      resp.headers.emplace_back("content-type", "text/plain");
+      resp.body = std::string(e.what()) + "\n";
+    } catch (const std::exception& e) {
+      resp = HttpResponse{};
+      resp.status = 500;
+      resp.headers.emplace_back("content-type", "text/plain");
+      resp.body = std::string(e.what()) + "\n";
+    }
+    const bool keep = req.keep_alive() &&
+                      !stopping_.load(std::memory_order_relaxed);
+    const std::string wire = serialize_response(resp, keep);
+    const bool wrote = write_all(fd, wire.data(), wire.size());
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests_served;
+      if (resp.status >= 500) {
+        ++stats_.responses_5xx;
+      } else if (resp.status >= 400) {
+        ++stats_.responses_4xx;
+      }
+    }
+    if (!wrote || !keep) return;
+    parser.reset();
+    mid_request = !carry.empty();  // pipelined: next message already begun
+    if (mid_request) {
+      request_deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(cfg_.idle_timeout_ms);
+    }
+  }
+}
+
+}  // namespace estima::net

@@ -1,0 +1,113 @@
+// A zero-dependency HTTP/1.1 server over POSIX sockets: one acceptor
+// thread plus N connection-worker threads pulling accepted sockets from a
+// queue. Each worker owns one connection at a time end-to-end — read,
+// incremental parse (net/http_parser), hand the decoded request to the
+// Handler, write the response, repeat while keep-alive — so the handler
+// runs on the worker thread and any internal fan-out (the prediction
+// service's ThreadPool) nests underneath exactly as it does for local
+// callers.
+//
+// Robustness contract, matching the parser's: a malformed, oversized or
+// over-slow client gets a 4xx/408 response (when a response can still be
+// framed) and its connection closed; it can never crash the server, hold
+// unbounded memory, or corrupt another connection's stream. Pipelined
+// requests are served in order from the bytes already read. stop() is a
+// graceful drain: the listener closes first (no new connections), workers
+// finish the request they are writing, then idle connections are closed.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http_parser.hpp"
+
+namespace estima::net {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the real one back with port().
+  int port = 0;
+  std::size_t worker_threads = 4;
+  int listen_backlog = 128;
+  ParserLimits limits;
+  /// Per-request time budget, started at the request's first byte: a
+  /// request (head + body) that has not completed within this long is
+  /// answered 408 and the connection closed, no matter how steadily the
+  /// client trickles bytes. Between keep-alive requests the same value
+  /// bounds idle silence (closed without a response). Slow clients
+  /// therefore consume a worker slot for at most ~this long per request.
+  int idle_timeout_ms = 30'000;
+  /// How long a worker's poll() sleeps between stop-flag checks.
+  int poll_interval_ms = 100;
+};
+
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests_served = 0;      ///< responses written, any status
+  std::uint64_t responses_4xx = 0;        ///< parse/route rejections
+  std::uint64_t responses_5xx = 0;
+  std::uint64_t connections_timed_out = 0;
+  std::uint64_t parse_errors = 0;         ///< parser-level rejections
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// The handler is called once per decoded request; whatever it throws is
+  /// answered 500 (std::invalid_argument: 400) — exceptions never cross
+  /// into the connection loop unhandled.
+  HttpServer(ServerConfig cfg, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and spawns the acceptor + workers. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  void start();
+
+  /// Graceful drain; idempotent, also run by the destructor.
+  void stop();
+
+  /// The bound port (resolves ephemeral binds). Valid after start().
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(); }
+
+  ServerStats stats() const;
+
+ private:
+  void acceptor_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+  /// Answers with a framed error and counts it; best-effort write.
+  void send_error(int fd, int status, const std::string& reason);
+  bool write_all(int fd, const char* data, std::size_t n);
+
+  ServerConfig cfg_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_fds_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace estima::net

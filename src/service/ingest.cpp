@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <stdexcept>
 #include <utility>
 
 namespace estima::service {
@@ -24,10 +25,19 @@ std::vector<core::MeasurementSet> IngestReport::sets() && {
 IngestReport ingest_directory(const std::string& dir) {
   namespace fs = std::filesystem;
   std::vector<std::string> paths;
-  for (const auto& entry : fs::directory_iterator(dir)) {
-    if (!entry.is_regular_file()) continue;
-    if (entry.path().extension() != ".csv") continue;
-    paths.push_back(entry.path().string());
+  // directory_iterator reports a nonexistent or unreadable directory as a
+  // raw filesystem_error whose what() leads with the OS category, not the
+  // operation; rethrow as the serving layer's own error, naming the path
+  // and what was being attempted.
+  try {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      if (entry.path().extension() != ".csv") continue;
+      paths.push_back(entry.path().string());
+    }
+  } catch (const fs::filesystem_error& e) {
+    throw std::runtime_error("ingest directory '" + dir +
+                             "': cannot read: " + e.code().message());
   }
   std::sort(paths.begin(), paths.end());
 

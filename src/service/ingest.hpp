@@ -36,8 +36,9 @@ struct IngestReport {
 };
 
 /// Loads every regular "*.csv" file directly under `dir` (no recursion).
-/// Throws std::filesystem::filesystem_error when the directory itself
-/// cannot be read; per-file parse failures land in the report instead.
+/// Throws std::runtime_error naming the offending path when the directory
+/// itself does not exist or cannot be read; per-file parse failures land
+/// in the report instead.
 IngestReport ingest_directory(const std::string& dir);
 
 }  // namespace estima::service

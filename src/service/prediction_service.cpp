@@ -17,6 +17,10 @@ PredictionService::PredictionService(ServiceConfig cfg,
   // The seam the service relies on: predict(ms, cfg, pool) injects the
   // pool per call, so the stored config never aliases a live pool.
   cfg_.prediction.extrap.pool = nullptr;
+  if (cfg_.snapshot_every > 0 && cfg_.auto_snapshot_path.empty()) {
+    throw std::invalid_argument(
+        "PredictionService: snapshot_every requires auto_snapshot_path");
+  }
 }
 
 std::uint64_t PredictionService::hash_of(
@@ -56,6 +60,7 @@ std::shared_ptr<const core::Prediction> PredictionService::compute_or_join(
   // This thread owns the computation. The previous owner (if any) erased
   // its in-flight entry only after publishing to the cache, so a racing
   // completion is visible on this re-check and is never recomputed.
+  bool inserted = false;
   if (auto cached = cache_.peek(key)) {
     flight->result = cached;
   } else {
@@ -64,6 +69,7 @@ std::shared_ptr<const core::Prediction> PredictionService::compute_or_join(
           core::predict(ms, cfg_.prediction, pool_));
       cache_.put(key, result);
       flight->result = std::move(result);
+      inserted = true;
       std::lock_guard<std::mutex> slock(stats_mu_);
       ++predictions_computed_;
     } catch (...) {
@@ -79,8 +85,36 @@ std::shared_ptr<const core::Prediction> PredictionService::compute_or_join(
     std::lock_guard<std::mutex> lock(inflight_mu_);
     inflight_.erase(key);
   }
+  // Only after the result is published and joiners released: a triggered
+  // snapshot is a disk write that must not sit between a computed answer
+  // and the threads waiting on it.
+  if (inserted) note_insertion_for_auto_snapshot();
   if (flight->error) std::rethrow_exception(flight->error);
   return flight->result;
+}
+
+void PredictionService::note_insertion_for_auto_snapshot() {
+  if (cfg_.snapshot_every == 0) return;
+  bool trigger = false;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (++insertions_since_snapshot_ >= cfg_.snapshot_every) {
+      insertions_since_snapshot_ = 0;
+      trigger = true;
+    }
+  }
+  if (!trigger) return;
+  // The write races safely against serving (snapshot_to walks the cache
+  // one shard lock at a time) and must never fail the prediction whose
+  // insertion triggered it.
+  try {
+    snapshot_to(cfg_.auto_snapshot_path);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++auto_snapshots_;
+  } catch (const std::exception&) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++auto_snapshot_failures_;
+  }
 }
 
 core::Prediction PredictionService::predict_one(
@@ -191,6 +225,8 @@ ServiceStats PredictionService::stats() const {
     s.inflight_joins = inflight_joins_;
     s.snapshot_entries_restored = snapshot_entries_restored_;
     s.snapshot_entries_skipped = snapshot_entries_skipped_;
+    s.auto_snapshots = auto_snapshots_;
+    s.auto_snapshot_failures = auto_snapshot_failures_;
   }
   s.cache = cache_.stats();
   return s;

@@ -73,6 +73,14 @@ struct ServiceConfig {
   core::PredictionConfig prediction;  ///< shared by every campaign served
   std::size_t cache_capacity = 4096;
   std::size_t cache_shards = 16;
+  /// When > 0, every K-th newly *computed* prediction inserted into the
+  /// cache triggers exactly one automatic snapshot_to(auto_snapshot_path)
+  /// (cache hits, joins and restores do not count). The snapshot runs on
+  /// the inserting thread, racing safely against concurrent serving; a
+  /// failed write is counted in stats, never thrown at the client whose
+  /// prediction triggered it. Requires a non-empty auto_snapshot_path.
+  std::size_t snapshot_every = 0;
+  std::string auto_snapshot_path;
 };
 
 struct ServiceStats {
@@ -86,6 +94,10 @@ struct ServiceStats {
   /// restores.
   std::uint64_t snapshot_entries_restored = 0;
   std::uint64_t snapshot_entries_skipped = 0;
+  /// Periodic persistence (ServiceConfig::snapshot_every) accounting:
+  /// snapshots actually written, and trigger points whose write failed.
+  std::uint64_t auto_snapshots = 0;
+  std::uint64_t auto_snapshot_failures = 0;
   CacheStats cache;
 };
 
@@ -93,7 +105,9 @@ class PredictionService {
  public:
   /// The pool is borrowed, may be null (serial), and is shared with the
   /// per-campaign fit fan-out. cfg.prediction.extrap.pool is ignored; the
-  /// service injects `pool` itself on every predict() call.
+  /// service injects `pool` itself on every predict() call. Throws
+  /// std::invalid_argument when snapshot_every > 0 without an
+  /// auto_snapshot_path.
   explicit PredictionService(ServiceConfig cfg,
                              parallel::ThreadPool* pool = nullptr);
 
@@ -145,6 +159,12 @@ class PredictionService {
   std::shared_ptr<const core::Prediction> compute_or_join(
       std::uint64_t key, const core::MeasurementSet& ms);
 
+  /// Counts one computed insertion toward snapshot_every and writes the
+  /// automatic snapshot when this insertion is the K-th. Exactly one
+  /// thread snapshots per K insertions: the decision is taken under the
+  /// stats lock, the write happens outside it.
+  void note_insertion_for_auto_snapshot();
+
   ServiceConfig cfg_;
   parallel::ThreadPool* pool_;
   ResultCache cache_;
@@ -159,6 +179,9 @@ class PredictionService {
   std::uint64_t inflight_joins_ = 0;
   std::uint64_t snapshot_entries_restored_ = 0;
   std::uint64_t snapshot_entries_skipped_ = 0;
+  std::uint64_t insertions_since_snapshot_ = 0;
+  std::uint64_t auto_snapshots_ = 0;
+  std::uint64_t auto_snapshot_failures_ = 0;
 };
 
 }  // namespace estima::service

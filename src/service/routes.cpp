@@ -1,0 +1,249 @@
+#include "service/routes.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/measurement.hpp"
+#include "core/prediction_io.hpp"
+#include "service/prediction_service.hpp"
+
+namespace estima::service {
+namespace {
+
+// A frame header is "#<tag> len=<digits>\n"; payloads are arbitrary bytes,
+// so a corrupted length cannot be resynced — batch parsing is all-or-400.
+constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 24;
+
+net::HttpResponse text_response(int status, const std::string& body) {
+  net::HttpResponse resp;
+  resp.status = status;
+  resp.headers.emplace_back("content-type", "text/plain");
+  resp.body = body;
+  if (!resp.body.empty() && resp.body.back() != '\n') resp.body += '\n';
+  return resp;
+}
+
+net::HttpResponse method_not_allowed(const std::string& allow) {
+  net::HttpResponse resp = text_response(405, "method not allowed");
+  resp.headers.emplace_back("allow", allow);
+  return resp;
+}
+
+core::MeasurementSet campaign_from_csv(const std::string& csv) {
+  std::istringstream is(csv);
+  return core::read_csv(is);  // throws std::invalid_argument on bad input
+}
+
+/// Minimal JSON string escaping for values we echo back (paths).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string frame_bodies(const std::vector<std::string>& bodies,
+                         const std::string& tag) {
+  std::string out;
+  for (const auto& b : bodies) {
+    out += "#" + tag + " len=" + std::to_string(b.size()) + "\n";
+    out += b;
+  }
+  out += "#end\n";
+  return out;
+}
+
+std::vector<std::string> parse_frames(const std::string& body,
+                                      const std::string& tag,
+                                      std::size_t max_frames) {
+  const std::string head = "#" + tag + " len=";
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  for (;;) {
+    if (body.compare(pos, 5, "#end\n") == 0) {
+      if (pos + 5 != body.size()) {
+        throw std::invalid_argument(tag + " framing: bytes after #end");
+      }
+      return out;
+    }
+    if (body.compare(pos, head.size(), head) != 0) {
+      throw std::invalid_argument(tag + " framing: expected '#" + tag +
+                                  " len=' or '#end' at byte " +
+                                  std::to_string(pos));
+    }
+    pos += head.size();
+    const std::size_t nl = body.find('\n', pos);
+    if (nl == std::string::npos) {
+      throw std::invalid_argument(tag + " framing: unterminated frame header");
+    }
+    std::size_t len = 0;
+    std::size_t digits = 0;
+    for (; pos + digits < nl; ++digits) {
+      const char c = body[pos + digits];
+      if (c < '0' || c > '9') {
+        throw std::invalid_argument(tag + " framing: malformed frame length");
+      }
+      len = len * 10 + static_cast<std::size_t>(c - '0');
+      if (len > kMaxFrameBytes) {
+        throw std::invalid_argument(tag + " framing: frame length too large");
+      }
+    }
+    if (digits == 0) {
+      throw std::invalid_argument(tag + " framing: malformed frame length");
+    }
+    pos = nl + 1;
+    if (body.size() - pos < len) {
+      throw std::invalid_argument(tag + " framing: truncated frame payload");
+    }
+    if (out.size() >= max_frames) {
+      throw std::invalid_argument(tag + " framing: more than " +
+                                  std::to_string(max_frames) + " frames");
+    }
+    out.push_back(body.substr(pos, len));
+    pos += len;
+  }
+}
+
+ServiceRouter::ServiceRouter(PredictionService& service, RouterConfig cfg)
+    : service_(service), cfg_(std::move(cfg)) {}
+
+net::HttpResponse ServiceRouter::handle(const net::HttpRequest& req) {
+  try {
+    if (req.target == "/v1/predict") {
+      if (req.method != "POST") return method_not_allowed("POST");
+      return handle_predict(req);
+    }
+    if (req.target == "/v1/predict_batch") {
+      if (req.method != "POST") return method_not_allowed("POST");
+      return handle_predict_batch(req);
+    }
+    if (req.target == "/v1/stats") {
+      if (req.method != "GET") return method_not_allowed("GET");
+      return handle_stats();
+    }
+    if (req.target == "/v1/snapshot") {
+      if (req.method != "POST") return method_not_allowed("POST");
+      return handle_snapshot();
+    }
+    return text_response(404, "no such route: " + req.target);
+  } catch (const std::invalid_argument& e) {
+    // Bad campaign data — CSV, framing, or a campaign predict() rejects.
+    return text_response(400, e.what());
+  } catch (const std::exception& e) {
+    return text_response(500, e.what());
+  }
+}
+
+net::HttpResponse ServiceRouter::handle_predict(const net::HttpRequest& req) {
+  const core::MeasurementSet ms = campaign_from_csv(req.body);
+  const core::Prediction pred = service_.predict_one(ms);
+  std::ostringstream os;
+  core::write_prediction(os, pred);
+  net::HttpResponse resp;
+  resp.status = 200;
+  resp.headers.emplace_back("content-type", "text/plain");
+  resp.body = os.str();
+  return resp;
+}
+
+net::HttpResponse ServiceRouter::handle_predict_batch(
+    const net::HttpRequest& req) {
+  const std::vector<std::string> csvs =
+      parse_frames(req.body, "campaign", cfg_.max_batch_campaigns);
+  std::vector<core::MeasurementSet> campaigns;
+  campaigns.reserve(csvs.size());
+  for (std::size_t i = 0; i < csvs.size(); ++i) {
+    try {
+      campaigns.push_back(campaign_from_csv(csvs[i]));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("campaign frame " + std::to_string(i) +
+                                  ": " + e.what());
+    }
+  }
+  const std::vector<core::Prediction> preds =
+      service_.predict_many(campaigns);
+  std::vector<std::string> records;
+  records.reserve(preds.size());
+  for (const auto& p : preds) {
+    std::ostringstream os;
+    core::write_prediction(os, p);
+    records.push_back(os.str());
+  }
+  net::HttpResponse resp;
+  resp.status = 200;
+  resp.headers.emplace_back("content-type", "text/plain");
+  resp.body = frame_bodies(records, "prediction");
+  return resp;
+}
+
+net::HttpResponse ServiceRouter::handle_stats() {
+  const ServiceStats s = service_.stats();
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\n"
+      "  \"campaigns_submitted\": %" PRIu64 ",\n"
+      "  \"predictions_computed\": %" PRIu64 ",\n"
+      "  \"batch_duplicates_folded\": %" PRIu64 ",\n"
+      "  \"inflight_joins\": %" PRIu64 ",\n"
+      "  \"snapshot_entries_restored\": %" PRIu64 ",\n"
+      "  \"snapshot_entries_skipped\": %" PRIu64 ",\n"
+      "  \"auto_snapshots\": %" PRIu64 ",\n"
+      "  \"auto_snapshot_failures\": %" PRIu64 ",\n"
+      "  \"cache\": {\n"
+      "    \"hits\": %" PRIu64 ",\n"
+      "    \"misses\": %" PRIu64 ",\n"
+      "    \"evictions\": %" PRIu64 ",\n"
+      "    \"entries\": %" PRIu64 "\n"
+      "  }\n"
+      "}\n",
+      s.campaigns_submitted, s.predictions_computed,
+      s.batch_duplicates_folded, s.inflight_joins,
+      s.snapshot_entries_restored, s.snapshot_entries_skipped,
+      s.auto_snapshots, s.auto_snapshot_failures, s.cache.hits,
+      s.cache.misses, s.cache.evictions, s.cache.entries);
+  net::HttpResponse resp;
+  resp.status = 200;
+  resp.headers.emplace_back("content-type", "application/json");
+  resp.body = buf;
+  return resp;
+}
+
+net::HttpResponse ServiceRouter::handle_snapshot() {
+  if (cfg_.snapshot_path.empty()) {
+    return text_response(503, "snapshot path not configured on this server");
+  }
+  const SnapshotWriteReport report = service_.snapshot_to(cfg_.snapshot_path);
+  char sig[24];
+  std::snprintf(sig, sizeof sig, "%016" PRIx64, report.config_signature);
+  net::HttpResponse resp;
+  resp.status = 200;
+  resp.headers.emplace_back("content-type", "application/json");
+  resp.body = "{\n  \"path\": \"" + json_escape(report.path) +
+              "\",\n  \"entries_written\": " +
+              std::to_string(report.entries_written) +
+              ",\n  \"config_signature\": \"" + sig + "\"\n}\n";
+  return resp;
+}
+
+}  // namespace estima::service

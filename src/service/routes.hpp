@@ -1,0 +1,83 @@
+// The HTTP surface of PredictionService: route table, body formats, and
+// status mapping — everything between a decoded net::HttpRequest and the
+// serving layer, with no socket code in sight (net/server.cpp calls
+// ServiceRouter::handle as its Handler; tests call it directly).
+//
+// Routes:
+//   POST /v1/predict        one campaign, CSV body (write_csv format) ->
+//                           200 with one write_prediction record, so the
+//                           answer round-trips through read_prediction
+//                           bit-identically to an in-process predict_one.
+//   POST /v1/predict_batch  many campaigns, length-framed CSV bodies ->
+//                           length-framed prediction records in input
+//                           order, riding predict_many's dedup and
+//                           in-flight join.
+//   GET  /v1/stats          ServiceStats + CacheStats as JSON.
+//   POST /v1/snapshot       spill the cache to the configured snapshot
+//                           path; 200 with a small JSON report.
+//
+// Batch framing (mirrors the snapshot file's length-framed style — length
+// gives binary framing, so a frame can contain anything, and truncation is
+// detected, never mis-parsed):
+//
+//   #campaign len=<bytes>\n      (request)   / #prediction len=<bytes>\n
+//   <exactly len bytes>                        (response)
+//   ... repeated ...
+//   #end\n
+//
+// Error mapping: unknown path 404; known path, wrong method 405 (with
+// Allow); unparseable frames / CSV / campaigns predict() rejects 400 with
+// the reason in the body; snapshot endpoint without a configured path 503;
+// anything else 500. A client error never caches and never crashes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/http_parser.hpp"
+
+namespace estima::service {
+
+class PredictionService;
+
+struct RouterConfig {
+  /// Where POST /v1/snapshot spills the cache; empty disables the route
+  /// (503), for deployments that must not let clients touch the disk.
+  std::string snapshot_path;
+  /// Ceiling on campaigns per predict_batch request: one request must not
+  /// be able to queue unbounded work.
+  std::size_t max_batch_campaigns = 256;
+};
+
+class ServiceRouter {
+ public:
+  explicit ServiceRouter(PredictionService& service, RouterConfig cfg = {});
+
+  /// Total function: every exception becomes a status-mapped response, so
+  /// this can be handed to net::HttpServer verbatim.
+  net::HttpResponse handle(const net::HttpRequest& req);
+
+ private:
+  net::HttpResponse handle_predict(const net::HttpRequest& req);
+  net::HttpResponse handle_predict_batch(const net::HttpRequest& req);
+  net::HttpResponse handle_stats();
+  net::HttpResponse handle_snapshot();
+
+  PredictionService& service_;
+  RouterConfig cfg_;
+};
+
+/// Assembles a predict_batch request body. Inverse of parse_frames.
+std::string frame_bodies(const std::vector<std::string>& bodies,
+                         const std::string& tag);
+
+/// Splits a length-framed body back into its payloads. `tag` is
+/// "campaign" or "prediction". Throws std::invalid_argument on any
+/// deviation from the grammar — missing #end, short payload, garbage
+/// between frames, an over-limit frame count or length.
+std::vector<std::string> parse_frames(const std::string& body,
+                                      const std::string& tag,
+                                      std::size_t max_frames);
+
+}  // namespace estima::service

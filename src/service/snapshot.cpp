@@ -121,10 +121,16 @@ SnapshotLoadReport load_snapshot(
     int version = 0;
     std::uint64_t sig = 0, hcrc = 0;
     std::size_t declared = 0;
+    int consumed = 0;
+    // %n pins the grammar end-to-end: an unknown extra header token —
+    // before hcrc (the literal match fails) or after it (consumed !=
+    // line.size()) — rejects the file. A future writer extending the
+    // header must bump v= rather than rely on this reader ignoring tails.
     if (std::sscanf(line.c_str(),
                     "#estima-snapshot v=%d config_signature=%16" SCNx64
-                    " entries=%zu hcrc=%16" SCNx64,
-                    &version, &sig, &declared, &hcrc) != 4) {
+                    " entries=%zu hcrc=%16" SCNx64 "%n",
+                    &version, &sig, &declared, &hcrc, &consumed) != 4 ||
+        static_cast<std::size_t>(consumed) != line.size()) {
       throw std::runtime_error("snapshot: not an estima snapshot: " + path);
     }
     // Verify the header's self-checksum (over everything before " hcrc=")

@@ -1,0 +1,690 @@
+// The network front end's trust anchor. Three layers of proof:
+//
+//   1. Parser torture — a valid request must parse identically when split
+//      at every byte boundary; malformed, oversized, truncated and
+//      pipelined inputs must map to the right 4xx without ever crashing
+//      or over-consuming.
+//   2. Route/framing unit tests — the predict_batch length-framing
+//      grammar is all-or-400.
+//   3. Loopback end-to-end — the HTTP answer for a campaign, parsed back
+//      via read_prediction, is bit-identical to an in-process predict()
+//      (write_prediction strings compare equal, which is the full
+//      bit-exactness guarantee); malformed bytes over a real socket get
+//      4xx and never take the server down; concurrent clients see the
+//      one-hash-one-answer cache behaviour they'd see in-process.
+#include "net/http_parser.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/measurement.hpp"
+#include "core/prediction_io.hpp"
+#include "core/predictor.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "parallel/thread_pool.hpp"
+#include "service/prediction_service.hpp"
+#include "service/routes.hpp"
+#include "synthetic.hpp"
+
+namespace estima::net {
+namespace {
+
+namespace fs = std::filesystem;
+using estima::testing::counts_up_to;
+using estima::testing::make_synthetic;
+using estima::testing::SyntheticSpec;
+
+core::MeasurementSet demo_campaign(int seed = 0, int points = 10) {
+  SyntheticSpec spec;
+  spec.mem_rate = 0.25 + 0.03 * seed;
+  spec.serial_frac = 0.005 + 0.001 * seed;
+  spec.stm_rate = seed % 2 ? 1e-4 : 0.0;
+  spec.noise = 0.02;
+  return make_synthetic(spec, counts_up_to(points),
+                        ("net-test-" + std::to_string(seed)).c_str());
+}
+
+std::string csv_of(const core::MeasurementSet& ms) {
+  std::ostringstream os;
+  core::write_csv(os, ms);
+  return os.str();
+}
+
+std::string record_of(const core::Prediction& p) {
+  std::ostringstream os;
+  core::write_prediction(os, p);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// 1. RequestParser torture
+
+const char kSimpleRequest[] =
+    "POST /v1/predict HTTP/1.1\r\n"
+    "Host: localhost\r\n"
+    "Content-Type: text/csv\r\n"
+    "Content-Length: 5\r\n"
+    "\r\n"
+    "hello";
+
+void expect_simple_request(const RequestParser& p) {
+  ASSERT_EQ(p.state(), RequestParser::State::kComplete);
+  const HttpRequest& req = p.request();
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.target, "/v1/predict");
+  EXPECT_EQ(req.version_minor, 1);
+  ASSERT_NE(req.header("host"), nullptr);
+  EXPECT_EQ(*req.header("host"), "localhost");
+  ASSERT_NE(req.header("content-type"), nullptr);
+  EXPECT_EQ(*req.header("content-type"), "text/csv");
+  EXPECT_EQ(req.body, "hello");
+  EXPECT_TRUE(req.keep_alive());
+}
+
+TEST(RequestParser, ParsesWholeRequestInOneFeed) {
+  RequestParser p;
+  const std::string wire(kSimpleRequest);
+  EXPECT_EQ(p.feed(wire.data(), wire.size()), wire.size());
+  expect_simple_request(p);
+}
+
+TEST(RequestParser, SplitAtEveryByteBoundaryParsesIdentically) {
+  const std::string wire(kSimpleRequest);
+  for (std::size_t cut = 0; cut <= wire.size(); ++cut) {
+    RequestParser p;
+    std::size_t used = p.feed(wire.data(), cut);
+    EXPECT_EQ(used, cut) << "cut=" << cut;
+    used = p.feed(wire.data() + cut, wire.size() - cut);
+    EXPECT_EQ(used, wire.size() - cut) << "cut=" << cut;
+    expect_simple_request(p);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(RequestParser, OneByteAtATimeParses) {
+  const std::string wire(kSimpleRequest);
+  RequestParser p;
+  for (char c : wire) {
+    ASSERT_EQ(p.feed(&c, 1), 1u);
+  }
+  expect_simple_request(p);
+}
+
+TEST(RequestParser, BareLfLineEndingsAccepted) {
+  RequestParser p;
+  const std::string wire =
+      "GET /v1/stats HTTP/1.1\nHost: x\n\n";
+  EXPECT_EQ(p.feed(wire.data(), wire.size()), wire.size());
+  ASSERT_EQ(p.state(), RequestParser::State::kComplete);
+  EXPECT_EQ(p.request().method, "GET");
+  EXPECT_TRUE(p.request().body.empty());
+}
+
+TEST(RequestParser, PipeliningStopsAtMessageBoundary) {
+  const std::string first(kSimpleRequest);
+  const std::string second = "GET /v1/stats HTTP/1.1\r\n\r\n";
+  const std::string wire = first + second;
+  RequestParser p;
+  const std::size_t used = p.feed(wire.data(), wire.size());
+  EXPECT_EQ(used, first.size());  // surplus bytes not consumed
+  expect_simple_request(p);
+  p.reset();
+  const std::size_t used2 = p.feed(wire.data() + used, wire.size() - used);
+  EXPECT_EQ(used2, second.size());
+  ASSERT_EQ(p.state(), RequestParser::State::kComplete);
+  EXPECT_EQ(p.request().method, "GET");
+  EXPECT_EQ(p.request().target, "/v1/stats");
+}
+
+struct BadCase {
+  const char* wire;
+  int status;
+  const char* why;
+};
+
+TEST(RequestParser, MalformedRequestsMapToThe4xxFamily) {
+  const BadCase cases[] = {
+      {"GARBAGE\r\n\r\n", 400, "no spaces in request line"},
+      {"GET /x\r\n\r\n", 400, "missing version"},
+      {"GET /x HTTP/1.1 extra\r\n\r\n", 400, "three spaces"},
+      {"G@T /x HTTP/1.1\r\n\r\n", 400, "non-token method"},
+      {"GET x HTTP/1.1\r\n\r\n", 400, "target not origin-form"},
+      {"GET /x HTTP/9z\r\n\r\n", 400, "mangled version"},
+      {"GET /x HTTP/2.0\r\n\r\n", 505, "wrong major version"},
+      {"GET /x HTTP/1.9\r\n\r\n", 505, "unknown minor version"},
+      {"GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n", 400, "header lacks colon"},
+      {"GET /x HTTP/1.1\r\n: novalue\r\n\r\n", 400, "empty header name"},
+      {"GET /x HTTP/1.1\r\nBad Name: v\r\n\r\n", 400, "space in header name"},
+      {"POST /x HTTP/1.1\r\nContent-Length: 1x\r\n\r\n", 400,
+       "garbage content-length"},
+      {"POST /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 400,
+       "negative content-length"},
+      {"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 411,
+       "chunked rejected"},
+      {"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\n",
+       400, "conflicting duplicate content-length (smuggling vector)"},
+  };
+  for (const auto& c : cases) {
+    // Whole-buffer and byte-at-a-time delivery must reach the same error.
+    for (int byte_mode = 0; byte_mode < 2; ++byte_mode) {
+      RequestParser p;
+      const std::string wire(c.wire);
+      if (byte_mode == 0) {
+        p.feed(wire.data(), wire.size());
+      } else {
+        for (char ch : wire) {
+          p.feed(&ch, 1);
+          if (p.state() == RequestParser::State::kError) break;
+        }
+      }
+      ASSERT_EQ(p.state(), RequestParser::State::kError)
+          << c.why << " byte_mode=" << byte_mode;
+      EXPECT_EQ(p.error_status(), c.status)
+          << c.why << " byte_mode=" << byte_mode;
+    }
+  }
+}
+
+TEST(RequestParser, DuplicateContentLengthWithEqualValuesIsAccepted) {
+  // RFC 7230 §3.3.2 lets a recipient collapse duplicates that agree;
+  // only *differing* values are a framing attack.
+  RequestParser p;
+  const std::string wire =
+      "POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi";
+  EXPECT_EQ(p.feed(wire.data(), wire.size()), wire.size());
+  ASSERT_EQ(p.state(), RequestParser::State::kComplete);
+  EXPECT_EQ(p.request().body, "hi");
+}
+
+TEST(RequestParser, ErrorIsStickyAndStopsConsuming) {
+  RequestParser p;
+  const std::string bad = "GARBAGE\r\n\r\nGET / HTTP/1.1\r\n\r\n";
+  const std::size_t used = p.feed(bad.data(), bad.size());
+  EXPECT_LE(used, bad.size());
+  ASSERT_EQ(p.state(), RequestParser::State::kError);
+  // More bytes change nothing: a poisoned connection has no next message.
+  EXPECT_EQ(p.feed(bad.data(), bad.size()), 0u);
+  EXPECT_EQ(p.state(), RequestParser::State::kError);
+}
+
+TEST(RequestParser, LimitsAreEnforcedIncrementally) {
+  ParserLimits limits;
+  limits.max_start_line = 64;
+  limits.max_header_bytes = 256;
+  limits.max_headers = 4;
+  limits.max_body_bytes = 128;
+
+  {  // request line over limit -> 431, flagged mid-stream
+    RequestParser p(limits);
+    const std::string wire =
+        "GET /" + std::string(200, 'a') + " HTTP/1.1\r\n\r\n";
+    p.feed(wire.data(), wire.size());
+    ASSERT_EQ(p.state(), RequestParser::State::kError);
+    EXPECT_EQ(p.error_status(), 431);
+  }
+  {  // header block over limit -> 431
+    RequestParser p(limits);
+    const std::string wire =
+        "GET /x HTTP/1.1\r\nA: " + std::string(400, 'b') + "\r\n\r\n";
+    p.feed(wire.data(), wire.size());
+    ASSERT_EQ(p.state(), RequestParser::State::kError);
+    EXPECT_EQ(p.error_status(), 431);
+  }
+  {  // too many header fields -> 431
+    RequestParser p(limits);
+    std::string wire = "GET /x HTTP/1.1\r\n";
+    for (int i = 0; i < 6; ++i) {
+      wire += "H" + std::to_string(i) + ": v\r\n";
+    }
+    wire += "\r\n";
+    p.feed(wire.data(), wire.size());
+    ASSERT_EQ(p.state(), RequestParser::State::kError);
+    EXPECT_EQ(p.error_status(), 431);
+  }
+  {  // declared body over limit -> 413 before any body byte arrives
+    RequestParser p(limits);
+    const std::string wire =
+        "POST /x HTTP/1.1\r\nContent-Length: 1000\r\n\r\n";
+    p.feed(wire.data(), wire.size());
+    ASSERT_EQ(p.state(), RequestParser::State::kError);
+    EXPECT_EQ(p.error_status(), 413);
+  }
+}
+
+TEST(RequestParser, KeepAliveSemantics) {
+  struct KA {
+    const char* wire;
+    bool keep;
+  };
+  const KA cases[] = {
+      {"GET / HTTP/1.1\r\n\r\n", true},
+      {"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true},
+      {"GET / HTTP/1.1\r\nConnection: Keep-Alive, Upgrade\r\n\r\n", true},
+  };
+  for (const auto& c : cases) {
+    RequestParser p;
+    const std::string wire(c.wire);
+    p.feed(wire.data(), wire.size());
+    ASSERT_EQ(p.state(), RequestParser::State::kComplete) << c.wire;
+    EXPECT_EQ(p.request().keep_alive(), c.keep) << c.wire;
+  }
+}
+
+TEST(ResponseParser, RoundTripsSerializedResponses) {
+  HttpResponse resp;
+  resp.status = 404;
+  resp.headers.emplace_back("content-type", "text/plain");
+  resp.body = "no such route\n";
+  const std::string wire = serialize_response(resp, /*keep_alive=*/true);
+  for (std::size_t cut = 0; cut <= wire.size(); ++cut) {
+    ResponseParser p;
+    p.feed(wire.data(), cut);
+    p.feed(wire.data() + cut, wire.size() - cut);
+    ASSERT_EQ(p.state(), ResponseParser::State::kComplete) << "cut=" << cut;
+    EXPECT_EQ(p.response().status, 404);
+    EXPECT_EQ(p.response().body, "no such route\n");
+    EXPECT_TRUE(p.keep_alive());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Batch framing grammar
+
+TEST(Framing, RoundTripsBodies) {
+  const std::vector<std::string> bodies = {"alpha", "", "with\nnewlines\n",
+                                           "#entry lookalike\n"};
+  const std::string framed = service::frame_bodies(bodies, "campaign");
+  const auto back = service::parse_frames(framed, "campaign", 16);
+  EXPECT_EQ(back, bodies);
+}
+
+TEST(Framing, RejectsEveryGrammarDeviation) {
+  const auto reject = [](const std::string& body, const char* why) {
+    EXPECT_THROW(service::parse_frames(body, "campaign", 4),
+                 std::invalid_argument)
+        << why;
+  };
+  reject("", "empty body");
+  reject("#campaign len=5\nabc", "truncated payload");
+  reject("#campaign len=3\nabc", "missing #end");
+  reject("#campaign len=x\nabc#end\n", "non-numeric length");
+  reject("#campaign len=\n#end\n", "empty length");
+  reject("garbage\n#end\n", "leading garbage");
+  reject("#end\nextra", "bytes after #end");
+  reject("#campaign len=99999999999999999999\n#end\n", "overflowing length");
+  const std::string five =
+      service::frame_bodies({"a", "b", "c", "d", "e"}, "campaign");
+  reject(five, "more frames than the cap");
+}
+
+// ---------------------------------------------------------------------------
+// 3. Loopback end-to-end
+
+/// One server wired to a real PredictionService, torn down per fixture.
+class NetEndToEnd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    snapshot_path_ =
+        (fs::temp_directory_path() / "estima_test_net_snapshot.v1").string();
+    fs::remove(snapshot_path_);
+
+    pool_ = std::make_unique<parallel::ThreadPool>(2);
+    service::ServiceConfig scfg;
+    scfg.prediction.target_cores = core::cores_up_to(24);
+    cfg_ = scfg.prediction;
+    svc_ = std::make_unique<service::PredictionService>(scfg, pool_.get());
+    service::RouterConfig rcfg;
+    rcfg.snapshot_path = snapshot_path_;
+    rcfg.max_batch_campaigns = 8;
+    router_ = std::make_unique<service::ServiceRouter>(*svc_, rcfg);
+
+    ServerConfig ncfg;
+    ncfg.worker_threads = 4;
+    ncfg.limits.max_body_bytes = 64 * 1024;
+    ncfg.idle_timeout_ms = 2000;
+    ncfg.poll_interval_ms = 20;
+    server_ = std::make_unique<HttpServer>(
+        ncfg, [this](const HttpRequest& req) { return router_->handle(req); });
+    server_->start();
+  }
+
+  void TearDown() override {
+    server_->stop();
+    fs::remove(snapshot_path_);
+  }
+
+  HttpClient client() { return HttpClient("127.0.0.1", server_->port()); }
+
+  std::string snapshot_path_;
+  core::PredictionConfig cfg_;
+  std::unique_ptr<parallel::ThreadPool> pool_;
+  std::unique_ptr<service::PredictionService> svc_;
+  std::unique_ptr<service::ServiceRouter> router_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+/// Raw-socket peer for byte-level misbehaviour the HttpClient won't emit.
+class RawConnection {
+ public:
+  explicit RawConnection(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+  }
+  ~RawConnection() { close(); }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  void send_bytes(const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t w = ::send(fd_, data.data() + off, data.size() - off, 0);
+      ASSERT_GT(w, 0);
+      off += static_cast<std::size_t>(w);
+    }
+  }
+
+  /// Reads until `n` responses are complete or the peer closes.
+  std::vector<HttpResponse> read_responses(std::size_t n) {
+    std::vector<HttpResponse> out;
+    ResponseParser parser;
+    std::string carry;
+    char buf[4096];
+    while (out.size() < n) {
+      while (!carry.empty() &&
+             parser.state() == ResponseParser::State::kNeedMore) {
+        const std::size_t used = parser.feed(carry.data(), carry.size());
+        carry.erase(0, used);
+        if (used == 0) break;
+      }
+      if (parser.state() == ResponseParser::State::kComplete) {
+        out.push_back(parser.response());
+        parser.reset();
+        continue;
+      }
+      if (parser.state() == ResponseParser::State::kError) break;
+      const ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
+      if (r <= 0) break;
+      carry.append(buf, static_cast<std::size_t>(r));
+    }
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST_F(NetEndToEnd, PredictAnswerIsBitIdenticalToInProcessPredict) {
+  const auto ms = demo_campaign(0);
+  const auto expected = record_of(core::predict(ms, cfg_));
+
+  auto c = client();
+  const auto resp = c.post("/v1/predict", csv_of(ms), "text/csv");
+  ASSERT_EQ(resp.status, 200);
+  // The response body is one write_prediction record; string equality of
+  // records is bit-exact equality of every field (prediction_io's
+  // round-trip guarantee), through CSV -> hash -> predict -> serialize.
+  EXPECT_EQ(resp.body, expected);
+  // And it parses back into a structurally valid Prediction.
+  std::istringstream is(resp.body);
+  const auto parsed = core::read_prediction(is);
+  EXPECT_EQ(record_of(parsed), expected);
+  // Served answer == what predict_one returns in-process (cache hit now).
+  EXPECT_EQ(record_of(svc_->predict_one(ms)), expected);
+}
+
+TEST_F(NetEndToEnd, RepeatRequestIsACacheHitNotARecompute) {
+  const auto ms = demo_campaign(1);
+  auto c = client();
+  const auto r1 = c.post("/v1/predict", csv_of(ms), "text/csv");
+  ASSERT_EQ(r1.status, 200);
+  const auto before = svc_->stats();
+  const auto r2 = c.post("/v1/predict", csv_of(ms), "text/csv");
+  ASSERT_EQ(r2.status, 200);
+  const auto after = svc_->stats();
+  EXPECT_EQ(r1.body, r2.body);
+  EXPECT_EQ(after.predictions_computed, before.predictions_computed);
+  EXPECT_EQ(after.cache.hits, before.cache.hits + 1);
+}
+
+TEST_F(NetEndToEnd, RouteAndMethodErrors) {
+  auto c = client();
+  EXPECT_EQ(c.get("/nope").status, 404);
+  const auto r405 = c.get("/v1/predict");
+  EXPECT_EQ(r405.status, 405);
+  ASSERT_NE(r405.header("allow"), nullptr);
+  EXPECT_EQ(*r405.header("allow"), "POST");
+  EXPECT_EQ(c.post("/v1/stats", "x", "text/plain").status, 405);
+}
+
+TEST_F(NetEndToEnd, MalformedCsvIs400AndNeverCached) {
+  auto c = client();
+  const auto before = svc_->stats();
+  const auto r1 = c.post("/v1/predict", "not,a,campaign\n1,2,3\n", "text/csv");
+  EXPECT_EQ(r1.status, 400);
+  // A campaign the pipeline rejects (too few points) is also the
+  // client's fault, and the error is never cached: both requests recompute
+  // nothing and cache nothing.
+  const auto tiny = demo_campaign(0).truncated(2);
+  const auto r2 = c.post("/v1/predict", csv_of(tiny), "text/csv");
+  EXPECT_EQ(r2.status, 400);
+  EXPECT_NE(r2.body.find("at least 3 measurement points"), std::string::npos);
+  const auto r3 = c.post("/v1/predict", csv_of(tiny), "text/csv");
+  EXPECT_EQ(r3.status, 400);
+  const auto after = svc_->stats();
+  EXPECT_EQ(after.predictions_computed, before.predictions_computed);
+  EXPECT_EQ(after.cache.entries, before.cache.entries);
+}
+
+TEST_F(NetEndToEnd, OversizedBodyGets413) {
+  auto c = client();
+  const std::string big(128 * 1024, 'x');  // over the 64 KiB test limit
+  const auto resp = c.post("/v1/predict", big, "text/csv");
+  EXPECT_EQ(resp.status, 413);
+  // The server survives and keeps serving new connections.
+  auto c2 = client();
+  EXPECT_EQ(c2.get("/v1/stats").status, 200);
+}
+
+TEST_F(NetEndToEnd, MalformedBytesOverTheSocketGet4xxWithoutCrashing) {
+  {
+    RawConnection raw(server_->port());
+    raw.send_bytes("THIS IS NOT HTTP\r\n\r\n");
+    const auto resps = raw.read_responses(1);
+    ASSERT_EQ(resps.size(), 1u);
+    EXPECT_EQ(resps[0].status, 400);
+  }
+  {  // truncated request: client vanishes mid-message
+    RawConnection raw(server_->port());
+    raw.send_bytes("POST /v1/predict HTTP/1.1\r\nContent-Length: 100\r\n");
+    raw.close();
+  }
+  // Server is still healthy.
+  auto c = client();
+  EXPECT_EQ(c.get("/v1/stats").status, 200);
+}
+
+TEST_F(NetEndToEnd, ByteAtATimeDeliveryOverTheSocketStillServes) {
+  const auto ms = demo_campaign(2, 8);
+  const std::string wire = serialize_request(
+      "POST", "/v1/predict", csv_of(ms), {{"content-type", "text/csv"}});
+  RawConnection raw(server_->port());
+  // Trickle in small chunks (pure byte-at-a-time would be thousands of
+  // syscalls; 7-byte chunks still crosses every parser phase boundary).
+  for (std::size_t off = 0; off < wire.size(); off += 7) {
+    raw.send_bytes(wire.substr(off, 7));
+  }
+  const auto resps = raw.read_responses(1);
+  ASSERT_EQ(resps.size(), 1u);
+  EXPECT_EQ(resps[0].status, 200);
+  EXPECT_EQ(resps[0].body, record_of(core::predict(ms, cfg_)));
+}
+
+TEST_F(NetEndToEnd, PipelinedRequestsAnsweredInOrder) {
+  const auto ms = demo_campaign(3, 8);
+  const std::string wire =
+      serialize_request("POST", "/v1/predict", csv_of(ms),
+                        {{"content-type", "text/csv"}}) +
+      serialize_request("GET", "/v1/stats", "", {});
+  RawConnection raw(server_->port());
+  raw.send_bytes(wire);
+  const auto resps = raw.read_responses(2);
+  ASSERT_EQ(resps.size(), 2u);
+  EXPECT_EQ(resps[0].status, 200);
+  EXPECT_EQ(resps[0].body, record_of(core::predict(ms, cfg_)));
+  EXPECT_EQ(resps[1].status, 200);
+  EXPECT_NE(resps[1].body.find("\"campaigns_submitted\""), std::string::npos);
+}
+
+TEST_F(NetEndToEnd, PredictBatchRidesDedupAndAnswersInInputOrder) {
+  const auto a = demo_campaign(4, 8);
+  const auto b = demo_campaign(5, 8);
+  // a, b, a again: the repeat folds onto one computation.
+  const std::string body = service::frame_bodies(
+      {csv_of(a), csv_of(b), csv_of(a)}, "campaign");
+  auto c = client();
+  const auto resp = c.post("/v1/predict_batch", body, "text/plain");
+  ASSERT_EQ(resp.status, 200);
+  const auto records = service::parse_frames(resp.body, "prediction", 8);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], record_of(core::predict(a, cfg_)));
+  EXPECT_EQ(records[1], record_of(core::predict(b, cfg_)));
+  EXPECT_EQ(records[2], records[0]);
+  const auto stats = svc_->stats();
+  EXPECT_EQ(stats.predictions_computed, 2u);
+  EXPECT_EQ(stats.batch_duplicates_folded, 1u);
+}
+
+TEST_F(NetEndToEnd, PredictBatchBadFrameOrBadCampaignIs400) {
+  auto c = client();
+  EXPECT_EQ(c.post("/v1/predict_batch", "garbage", "text/plain").status, 400);
+  const std::string bad_campaign =
+      service::frame_bodies({"not,a,campaign\n"}, "campaign");
+  const auto resp = c.post("/v1/predict_batch", bad_campaign, "text/plain");
+  EXPECT_EQ(resp.status, 400);
+  EXPECT_NE(resp.body.find("campaign frame 0"), std::string::npos);
+  // Over the frame cap (router configured with max 8).
+  std::vector<std::string> many(9, csv_of(demo_campaign(0, 8)));
+  EXPECT_EQ(c.post("/v1/predict_batch",
+                   service::frame_bodies(many, "campaign"), "text/plain")
+                .status,
+            400);
+}
+
+TEST_F(NetEndToEnd, StatsEndpointReportsCounters) {
+  auto c = client();
+  const auto ms = demo_campaign(6, 8);
+  ASSERT_EQ(c.post("/v1/predict", csv_of(ms), "text/csv").status, 200);
+  const auto resp = c.get("/v1/stats");
+  ASSERT_EQ(resp.status, 200);
+  ASSERT_NE(resp.header("content-type"), nullptr);
+  EXPECT_EQ(*resp.header("content-type"), "application/json");
+  EXPECT_NE(resp.body.find("\"predictions_computed\": 1"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"cache\""), std::string::npos);
+}
+
+TEST_F(NetEndToEnd, SnapshotEndpointSpillsARestorableFile) {
+  auto c = client();
+  const auto ms = demo_campaign(7, 8);
+  ASSERT_EQ(c.post("/v1/predict", csv_of(ms), "text/csv").status, 200);
+  const auto resp = c.post("/v1/snapshot", "", "text/plain");
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"entries_written\": 1"), std::string::npos);
+  ASSERT_TRUE(fs::exists(snapshot_path_));
+
+  // A second service restores the spilled answer and serves it without
+  // computing.
+  service::ServiceConfig scfg2;
+  scfg2.prediction = cfg_;
+  service::PredictionService svc2(scfg2, nullptr);
+  const auto report = svc2.restore_from(snapshot_path_);
+  EXPECT_EQ(report.entries_loaded(), 1u);
+  const auto pred = svc2.predict_one(ms);
+  EXPECT_EQ(svc2.stats().predictions_computed, 0u);
+  EXPECT_EQ(record_of(pred), record_of(core::predict(ms, cfg_)));
+}
+
+TEST_F(NetEndToEnd, SnapshotRouteWithoutPathIs503) {
+  service::ServiceRouter bare(*svc_, service::RouterConfig{});
+  HttpRequest req;
+  req.method = "POST";
+  req.target = "/v1/snapshot";
+  EXPECT_EQ(bare.handle(req).status, 503);
+}
+
+TEST_F(NetEndToEnd, ConcurrentClientsShareOneAnswerPerCampaign) {
+  constexpr int kClients = 4;
+  constexpr int kRequests = 6;
+  const auto ms0 = demo_campaign(8, 8);
+  const auto ms1 = demo_campaign(9, 8);
+  const std::string csv[2] = {csv_of(ms0), csv_of(ms1)};
+  const std::string want[2] = {record_of(core::predict(ms0, cfg_)),
+                               record_of(core::predict(ms1, cfg_))};
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      HttpClient c("127.0.0.1", server_->port());
+      for (int i = 0; i < kRequests; ++i) {
+        const int which = (t + i) % 2;
+        try {
+          const auto resp = c.post("/v1/predict", csv[which], "text/csv");
+          if (resp.status != 200 || resp.body != want[which]) {
+            failures.fetch_add(1);
+          }
+        } catch (const std::exception&) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Two campaigns -> exactly two computations, everything else cache hits
+  // or in-flight joins; 22 of the 24 lookups must be warm.
+  const auto stats = svc_->stats();
+  EXPECT_EQ(stats.predictions_computed, 2u);
+  EXPECT_EQ(stats.campaigns_submitted,
+            static_cast<std::uint64_t>(kClients * kRequests));
+  EXPECT_GE(stats.cache.hits + stats.inflight_joins,
+            static_cast<std::uint64_t>(kClients * kRequests - 2));
+}
+
+TEST_F(NetEndToEnd, GracefulStopAnswersInFlightThenRefusesNew) {
+  auto c = client();
+  const auto ms = demo_campaign(0);
+  ASSERT_EQ(c.post("/v1/predict", csv_of(ms), "text/csv").status, 200);
+  server_->stop();
+  EXPECT_FALSE(server_->running());
+  EXPECT_THROW(client().get("/v1/stats"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace estima::net

@@ -380,5 +380,75 @@ TEST(Ingest, LoadsCsvCampaignsInPathOrderAndReportsErrors) {
   fs::remove_all(dir);
 }
 
+TEST(Ingest, NonexistentDirectoryThrowsRuntimeErrorNamingThePath) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "estima_ingest_no_such_dir";
+  fs::remove_all(dir);
+  try {
+    ingest_directory(dir.string());
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ingest directory"), std::string::npos) << what;
+    EXPECT_NE(what.find(dir.string()), std::string::npos) << what;
+  }
+  // A regular file is just as unreadable as a missing directory.
+  const fs::path file = fs::temp_directory_path() / "estima_ingest_a_file";
+  { std::ofstream(file) << "not a directory\n"; }
+  EXPECT_THROW(ingest_directory(file.string()), std::runtime_error);
+  fs::remove(file);
+}
+
+TEST(AutoSnapshot, EveryKInsertionsTriggersExactlyOneSnapshot) {
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::temp_directory_path() / "estima_auto_snapshot_test.v1";
+  fs::remove(path);
+
+  ServiceConfig scfg;
+  scfg.prediction = serving_config();
+  scfg.snapshot_every = 3;
+  scfg.auto_snapshot_path = path.string();
+  PredictionService service(scfg);
+
+  // Two computed insertions: below K, nothing written.
+  service.predict_one(campaign(0, 8));
+  service.predict_one(campaign(1, 8));
+  EXPECT_EQ(service.stats().auto_snapshots, 0u);
+  EXPECT_FALSE(fs::exists(path));
+
+  // A cache hit is not an insertion and must not advance the counter.
+  service.predict_one(campaign(0, 8));
+  EXPECT_EQ(service.stats().auto_snapshots, 0u);
+
+  // The third computed insertion is the K-th: exactly one snapshot.
+  service.predict_one(campaign(2, 8));
+  EXPECT_EQ(service.stats().auto_snapshots, 1u);
+  EXPECT_EQ(service.stats().auto_snapshot_failures, 0u);
+  ASSERT_TRUE(fs::exists(path));
+
+  // The counter restarted: two more computes stay below the next trigger,
+  // the third writes snapshot number two with all six answers.
+  service.predict_one(campaign(3, 8));
+  service.predict_one(campaign(4, 8));
+  EXPECT_EQ(service.stats().auto_snapshots, 1u);
+  service.predict_one(campaign(5, 8));
+  EXPECT_EQ(service.stats().auto_snapshots, 2u);
+
+  PredictionService restored(ServiceConfig{serving_config(), 4096, 16, 0, ""},
+                             nullptr);
+  EXPECT_EQ(restored.restore_from(path.string()).entries_loaded(), 6u);
+  EXPECT_EQ(restored.stats().snapshot_entries_restored, 6u);
+  fs::remove(path);
+}
+
+TEST(AutoSnapshot, SnapshotEveryWithoutPathIsRejected) {
+  ServiceConfig scfg;
+  scfg.prediction = serving_config();
+  scfg.snapshot_every = 2;
+  EXPECT_THROW(PredictionService service(scfg), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace estima::service

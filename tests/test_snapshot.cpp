@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <limits>
@@ -20,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/hash.hpp"
 #include "core/prediction_io.hpp"
 #include "core/predictor.hpp"
 #include "parallel/thread_pool.hpp"
@@ -326,6 +329,62 @@ TEST(SnapshotRoundTrip, RestoreRejectsForeignConfigSnapshot) {
   EXPECT_THROW(mismatched.restore_from(path), std::runtime_error);
   EXPECT_THROW(mismatched.restore_from((dir / "missing.snapshot").string()),
                std::runtime_error);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Forward compatibility, locked in from the reader's side: the ROADMAP's
+// version-bump rule says a future writer extends the format by bumping
+// v=, never by sneaking in extra header tokens a v1 reader would have to
+// guess about. Both escape hatches must therefore be shut: a v=2 file and
+// a v=1 file with an unknown extra header token are rejected whole — even
+// when their header checksums are valid, so it is the *grammar*, not the
+// crc, doing the rejecting.
+
+TEST(SnapshotForwardCompat, FutureVersionAndUnknownHeaderTokensAreRejected) {
+  const fs::path dir = fresh_dir("estima_snapshot_forward");
+  // An empty snapshot whose header is `head` + a correctly computed hcrc.
+  const auto craft = [](const std::string& head) {
+    core::Fnv1a h;
+    h.bytes(head.data(), head.size());
+    char hcrc[32];
+    std::snprintf(hcrc, sizeof hcrc, " hcrc=%016" PRIx64 "\n", h.value());
+    return head + hcrc + "#end\n";
+  };
+  const char kV1Head[] =
+      "#estima-snapshot v=1 config_signature=0123456789abcdef entries=0";
+
+  // Control: the crafted v=1 file is genuinely loadable, so the
+  // rejections below test the intended check and not a crafting mistake.
+  write_file(dir / "ok.snapshot", craft(kV1Head));
+  const auto ok = load_snapshot((dir / "ok.snapshot").string());
+  EXPECT_EQ(ok.entries_loaded(), 0u);
+  EXPECT_FALSE(ok.truncated);
+
+  // v=2 with a valid checksum: rejected by the version gate.
+  write_file(dir / "v2.snapshot",
+             craft("#estima-snapshot v=2 "
+                   "config_signature=0123456789abcdef entries=0"));
+  EXPECT_THROW(load_snapshot((dir / "v2.snapshot").string()),
+               std::runtime_error);
+
+  // Unknown token before hcrc (checksum covers it, so hcrc is valid).
+  write_file(dir / "extra_mid.snapshot",
+             craft(std::string(kV1Head) + " shiny_new_field=1"));
+  EXPECT_THROW(load_snapshot((dir / "extra_mid.snapshot").string()),
+               std::runtime_error);
+
+  // Unknown token *after* the hcrc value: the checksum region is
+  // untouched, so only a strict end-of-header grammar can catch it.
+  {
+    std::string bytes = craft(kV1Head);
+    const auto nl = bytes.find('\n');
+    ASSERT_NE(nl, std::string::npos);
+    bytes.insert(nl, " shiny_new_field=1");
+    write_file(dir / "extra_tail.snapshot", bytes);
+    EXPECT_THROW(load_snapshot((dir / "extra_tail.snapshot").string()),
+                 std::runtime_error);
+  }
   fs::remove_all(dir);
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 namespace estima::sql {
 namespace {
 
@@ -97,6 +99,14 @@ INSTANTIATE_TEST_SUITE_P(Threads, TpccThreadsTest,
                          ::testing::Values(1, 2, 4, 8));
 
 TEST(Tpcc, ContentionProducesLockStalls) {
+  // Same reasoning as the STM contention tests: observable lock spinning
+  // requires truly parallel execution. On one hardware core the workers
+  // are timesliced and a short critical section almost never spans a
+  // preemption, so zero spin cycles is a legitimate outcome there, not a
+  // bug. (0 means "unknown", not single-core — keep the test active.)
+  if (std::thread::hardware_concurrency() == 1) {
+    GTEST_SKIP() << "needs >1 hardware core to produce lock contention";
+  }
   Database db;
   TpccConfig cfg;
   cfg.warehouses = 1;  // everything hits one warehouse lock
