@@ -5,13 +5,18 @@
 //   cold  — POST /v1/predict per campaign on an empty cache (every
 //           request computes; the single-campaign reference);
 //   warm  — the same requests again, all answered from the campaign
-//           cache (the dashboard/capacity-planner steady state);
+//           cache (the dashboard/capacity-planner steady state), with
+//           --idle-clients (default 512) established keep-alive
+//           connections held open and silent the whole time — the wall
+//           the thread-per-connection server hit, and the scenario the
+//           epoll event loop exists for;
 //   batch — one POST /v1/predict_batch carrying every campaign at once,
 //           warm (framing + predict_many amortised over one request).
 // Every warm response is parsed back with read_prediction and must be
 // bit-identical to an in-process serial predict(); the warm hit rate must
-// be 100%; warm requests/sec must be >= 10x cold. The bench exits
-// non-zero when any bar fails.
+// be 100%; warm requests/sec (idle horde attached) must be >= 10x cold;
+// the horde must still be fully connected when the warm window ends. The
+// bench exits non-zero when any bar fails.
 //
 // Reports JSON to BENCH_net_throughput.json (and text to stdout).
 //
@@ -20,9 +25,15 @@
 //   --points=M         measured core counts 1..M      (default 12)
 //   --target=T         extrapolation horizon          (default 48)
 //   --threads=N        prediction pool size           (default: hardware)
-//   --http-threads=N   connection workers             (default 4)
+//   --http-threads=N   handler pool size              (default 4)
+//   --io-threads=N     event-loop threads             (default 2)
+//   --idle-clients=N   idle keep-alive connections    (default 512)
 //   --warm-seconds=S   minimum warm window            (default 0.5)
 //   --out=PATH         JSON output path (default BENCH_net_throughput.json)
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -38,6 +49,7 @@
 #include "parallel/thread_pool.hpp"
 #include "service/prediction_service.hpp"
 #include "service/routes.hpp"
+#include "tests/net_support.hpp"
 #include "tests/synthetic.hpp"
 
 namespace {
@@ -68,6 +80,38 @@ std::string csv_of(const estima::core::MeasurementSet& ms) {
   return os.str();
 }
 
+/// Establishes n keep-alive connections: each completes one GET /v1/stats
+/// round trip (so it is a real, served keep-alive client, not just a TCP
+/// handshake) and then goes silent. Returns the connected fds; -1 entries
+/// mean the slot could not be established.
+std::vector<int> open_idle_clients(int port, int n) {
+  using namespace estima::net;
+  std::vector<int> fds(static_cast<std::size_t>(n), -1);
+  for (auto& fd : fds) {
+    fd = estima::testing::raw_connect(port);
+  }
+  // Pipeline the handshakes: write all requests, then read all responses.
+  const std::string wire = serialize_request("GET", "/v1/stats", "", {});
+  for (int fd : fds) {
+    if (fd >= 0) (void)::send(fd, wire.data(), wire.size(), 0);
+  }
+  char buf[4096];
+  for (auto& fd : fds) {
+    if (fd < 0) continue;
+    ResponseParser parser;
+    while (parser.state() == ResponseParser::State::kNeedMore) {
+      const ssize_t r = ::recv(fd, buf, sizeof buf, 0);
+      if (r <= 0) break;
+      parser.feed(buf, static_cast<std::size_t>(r));
+    }
+    if (parser.state() != ResponseParser::State::kComplete) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  return fds;
+}
+
 }  // namespace
 
 int run_bench(int argc, char** argv);
@@ -91,6 +135,10 @@ int run_bench(int argc, char** argv) {
       static_cast<double>(estima::parallel::ThreadPool::hardware_threads())));
   const int http_threads =
       static_cast<int>(parse_flag_d(argc, argv, "http-threads", 4));
+  const int io_threads =
+      static_cast<int>(parse_flag_d(argc, argv, "io-threads", 2));
+  const int idle_clients =
+      static_cast<int>(parse_flag_d(argc, argv, "idle-clients", 512));
   const double warm_seconds = parse_flag_d(argc, argv, "warm-seconds", 0.5);
   const std::string out_path =
       parse_flag_s(argc, argv, "out", "BENCH_net_throughput.json");
@@ -106,8 +154,10 @@ int run_bench(int argc, char** argv) {
   cfg.target_cores = estima::core::cores_up_to(target);
 
   std::printf("net_throughput: %d campaigns over loopback HTTP, horizon %d, "
-              "%d prediction threads, %d http workers\n",
-              campaigns, target, threads, http_threads);
+              "%d prediction threads, %d handler workers, %d io loops, "
+              "%d idle keep-alive clients\n",
+              campaigns, target, threads, http_threads, io_threads,
+              idle_clients);
 
   // Serial in-process reference: the bit-identity baseline (the campaign
   // each response must reproduce exactly, through CSV -> predict ->
@@ -128,6 +178,7 @@ int run_bench(int argc, char** argv) {
   estima::net::ServerConfig ncfg;
   ncfg.worker_threads =
       static_cast<std::size_t>(http_threads > 0 ? http_threads : 1);
+  ncfg.io_threads = static_cast<std::size_t>(io_threads > 0 ? io_threads : 1);
   estima::net::HttpServer server(
       ncfg, [&router](const estima::net::HttpRequest& req) {
         return router.handle(req);
@@ -148,6 +199,20 @@ int run_bench(int argc, char** argv) {
   const double cold_elapsed = seconds_since(cold_start);
   const double cold_rps = campaigns / cold_elapsed;
   const auto after_cold = service.stats();
+
+  // The idle horde: established keep-alive clients that sit silent for
+  // the whole warm window. Under the old thread-per-connection server
+  // this many idle clients exhausted the worker budget; the event loop
+  // must serve warm traffic at full speed past them.
+  estima::testing::raise_fd_limit(
+      static_cast<rlim_t>(2 * idle_clients + 256));
+  std::vector<int> horde = open_idle_clients(server.port(), idle_clients);
+  const int horde_connected = static_cast<int>(
+      std::count_if(horde.begin(), horde.end(), [](int fd) { return fd >= 0; }));
+  if (horde_connected < idle_clients) {
+    std::fprintf(stderr, "only %d of %d idle clients connected\n",
+                 horde_connected, idle_clients);
+  }
 
   // Warm: loop the same requests; everything must hit. The first pass
   // also checks bit-identity through the full wire round-trip.
@@ -228,13 +293,23 @@ int run_bench(int argc, char** argv) {
   const bool speedup_ok = warm_speedup >= 10.0;
   const bool hit_rate_ok = warm_hit_rate == 1.0 && no_new_compute;
 
+  // The horde must have been fully connected (and still open) while the
+  // warm rate was measured: the idle clients + the bench client itself.
   const auto sstats = server.stats();
+  const bool idle_held =
+      horde_connected == idle_clients &&
+      sstats.open_connections >= static_cast<std::uint64_t>(idle_clients);
+  for (int fd : horde) {
+    if (fd >= 0) ::close(fd);
+  }
   server.stop();
 
   std::printf("  cold  /v1/predict %10.2f requests/s  (%d in %.3fs)\n",
               cold_rps, campaigns, cold_elapsed);
-  std::printf("  warm  /v1/predict %10.2f requests/s  (%zu in %.3fs)\n",
-              warm_rps, warm_requests, warm_elapsed);
+  std::printf("  warm  /v1/predict %10.2f requests/s  (%zu in %.3fs, "
+              "%d idle clients held open: %s)\n",
+              warm_rps, warm_requests, warm_elapsed, horde_connected,
+              idle_held ? "yes" : "NO");
   std::printf("  warm  batch       %10.2f campaigns/s (%zu requests in %.3fs)\n",
               batch_cps, batch_requests, batch_elapsed);
   std::printf("  warm vs cold speedup: %.1fx (bar: >= 10x)\n", warm_speedup);
@@ -242,8 +317,10 @@ int run_bench(int argc, char** argv) {
               100.0 * warm_hit_rate, no_new_compute ? "yes" : "NO");
   std::printf("  bit-identical through the wire: %s\n",
               identical ? "yes" : "NO");
-  std::printf("  server: accepted=%llu served=%llu 4xx=%llu 5xx=%llu\n",
+  std::printf("  server: accepted=%llu peak_open=%llu served=%llu "
+              "4xx=%llu 5xx=%llu\n",
               static_cast<unsigned long long>(sstats.connections_accepted),
+              static_cast<unsigned long long>(sstats.peak_connections),
               static_cast<unsigned long long>(sstats.requests_served),
               static_cast<unsigned long long>(sstats.responses_4xx),
               static_cast<unsigned long long>(sstats.responses_5xx));
@@ -260,6 +337,13 @@ int run_bench(int argc, char** argv) {
   std::fprintf(f, "  \"target_cores\": %d,\n", target);
   std::fprintf(f, "  \"prediction_threads\": %d,\n", threads);
   std::fprintf(f, "  \"http_workers\": %d,\n", http_threads);
+  std::fprintf(f, "  \"io_threads\": %d,\n", io_threads);
+  std::fprintf(f, "  \"idle_clients\": %d,\n", idle_clients);
+  std::fprintf(f, "  \"idle_clients_connected\": %d,\n", horde_connected);
+  std::fprintf(f, "  \"idle_clients_held_through_warm\": %s,\n",
+               idle_held ? "true" : "false");
+  std::fprintf(f, "  \"peak_connections\": %llu,\n",
+               static_cast<unsigned long long>(sstats.peak_connections));
   std::fprintf(f, "  \"cold_requests_per_sec\": %.3f,\n", cold_rps);
   std::fprintf(f, "  \"warm_requests_per_sec\": %.3f,\n", warm_rps);
   std::fprintf(f, "  \"warm_batch_campaigns_per_sec\": %.3f,\n", batch_cps);
@@ -274,5 +358,5 @@ int run_bench(int argc, char** argv) {
   std::fclose(f);
   std::printf("  wrote %s\n", out_path.c_str());
 
-  return (identical && hit_rate_ok && speedup_ok) ? 0 : 2;
+  return (identical && hit_rate_ok && speedup_ok && idle_held) ? 0 : 2;
 }

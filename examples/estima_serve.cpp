@@ -5,7 +5,11 @@
 //     --port=P             bind port (default 8080; 0 = ephemeral)
 //     --address=A          bind address (default 127.0.0.1)
 //     --threads=N          prediction pool size (default: hardware)
-//     --http-threads=N     connection workers (default 8)
+//     --http-threads=N     request-handler pool size (default 8)
+//     --io-threads=N       event-loop (I/O) threads (default 2)
+//     --max-connections=N  open-connection admission cap; over it new
+//                          connections get 503 + close (default 4096,
+//                          0 = unlimited)
 //     --cache-capacity=N   cached predictions (default 4096)
 //     --target=T           extrapolation horizon in cores (default 48)
 //     --snapshot-file=PATH snapshot location: restored on startup when
@@ -39,6 +43,7 @@
 #include "parallel/thread_pool.hpp"
 #include "service/prediction_service.hpp"
 #include "service/routes.hpp"
+#include "tests/net_support.hpp"
 
 namespace {
 
@@ -61,6 +66,10 @@ int main(int argc, char** argv) {
       static_cast<double>(parallel::ThreadPool::hardware_threads())));
   const int http_threads =
       static_cast<int>(parse_flag_d(argc, argv, "http-threads", 8));
+  const int io_threads =
+      static_cast<int>(parse_flag_d(argc, argv, "io-threads", 2));
+  const int max_connections =
+      static_cast<int>(parse_flag_d(argc, argv, "max-connections", 4096));
   const int cache_capacity =
       static_cast<int>(parse_flag_d(argc, argv, "cache-capacity", 4096));
   const int target = static_cast<int>(parse_flag_d(argc, argv, "target", 48));
@@ -106,14 +115,26 @@ int main(int argc, char** argv) {
   rcfg.snapshot_path = snapshot_file;
   service::ServiceRouter router(svc, rcfg);
 
+  // One fd per connection plus listener/pipes/snapshot headroom: the
+  // admission cap is only honest if the process may actually hold that
+  // many sockets.
+  if (max_connections > 0) {
+    estima::testing::raise_fd_limit(
+        static_cast<rlim_t>(max_connections) + 512);
+  }
+
   net::ServerConfig ncfg;
   ncfg.bind_address = address;
   ncfg.port = port;
   ncfg.worker_threads =
       static_cast<std::size_t>(http_threads > 0 ? http_threads : 1);
+  ncfg.io_threads = static_cast<std::size_t>(io_threads > 0 ? io_threads : 1);
+  ncfg.max_connections =
+      static_cast<std::size_t>(max_connections > 0 ? max_connections : 0);
   net::HttpServer server(ncfg, [&router](const net::HttpRequest& req) {
     return router.handle(req);
   });
+  router.set_server_stats_source([&server] { return server.stats(); });
   try {
     server.start();
   } catch (const std::exception& e) {
@@ -121,9 +142,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("estima_serve listening on %s:%d "
-              "(%d prediction threads, %d http workers, cache %d)\n",
+              "(%d prediction threads, %d handler workers, %d io loops, "
+              "cache %d, max %d connections)\n",
               address.c_str(), server.port(), threads, http_threads,
-              cache_capacity);
+              io_threads, cache_capacity, max_connections);
   if (!snapshot_file.empty()) {
     std::printf("snapshot file: %s (auto every %d computed predictions)\n",
                 snapshot_file.c_str(), snapshot_every);

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -63,6 +64,28 @@ bool HttpClient::send_all(const std::string& data) {
   return true;
 }
 
+bool HttpClient::read_available(ResponseParser& parser) {
+  char buf[16 * 1024];
+  bool got = false;
+  while (parser.state() == ResponseParser::State::kNeedMore) {
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, 1000);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) break;  // nothing more is coming
+    const ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
+    if (r <= 0) break;  // EOF or reset: we have what we have
+    got = true;
+    parser.feed(buf, static_cast<std::size_t>(r));
+  }
+  return got;
+}
+
 HttpResponse HttpClient::request(
     const std::string& method, const std::string& target,
     const std::string& body,
@@ -71,13 +94,29 @@ HttpResponse HttpClient::request(
 
   // One transparent retry: a kept-alive connection the server has since
   // closed (idle timeout, restart) surfaces as a send failure or an
-  // immediate EOF — reconnect once and resend. A failure on a fresh
-  // connection is real and propagates.
+  // immediate EOF *before any response byte* — reconnect once and resend.
+  // Retrying is only safe in that no-bytes case: once response bytes
+  // exist, resending would duplicate a request the server already acted
+  // on, so the response is delivered (when complete) or the failure
+  // surfaced instead. A no-bytes failure on a fresh connection is real
+  // and propagates.
   for (int attempt = 0; attempt < 2; ++attempt) {
     const bool fresh = fd_ < 0;
     if (fresh) connect();
     if (!send_all(wire)) {
+      // The peer may have answered before reading everything we sent —
+      // our own server's early 413/400 takes exactly this shape: respond,
+      // shut down, drain. Salvage those bytes before deciding.
+      ResponseParser early(limits_);
+      const bool got_bytes = read_available(early);
       disconnect();
+      if (early.state() == ResponseParser::State::kComplete) {
+        return early.response();
+      }
+      if (got_bytes) {
+        throw std::runtime_error(
+            "http client: connection closed mid-response");
+      }
       if (fresh) throw std::runtime_error("http client: send failed");
       continue;
     }

@@ -44,6 +44,12 @@ class HttpClient {
  private:
   void connect();
   bool send_all(const std::string& data);
+  /// After a send failure: salvages whatever response bytes the peer
+  /// delivered before the connection broke (a server may answer — an
+  /// early 413, say — and close its read side while we are still
+  /// sending). Bounded by a short poll per read so a wedged peer cannot
+  /// hang the client. Returns whether any byte arrived.
+  bool read_available(ResponseParser& parser);
 
   std::string host_;
   int port_;

@@ -95,6 +95,15 @@ class RequestParser {
 
   State state() const { return state_; }
 
+  /// Whether any byte of the current message has been consumed — what a
+  /// server's connection state machine needs to distinguish a timed-out
+  /// request (answer 408) from idle keep-alive silence (close quietly).
+  /// Leading blank lines, tolerated per RFC 7230 §3.5, do not start a
+  /// message.
+  bool mid_message() const {
+    return phase_ != Phase::kStartLine || !line_.empty();
+  }
+
   /// The 4xx (or 505) status a server should answer with: 400 malformed,
   /// 411 chunked/missing-length rejection, 413 body too large, 431 start
   /// line or header block too large, 505 wrong HTTP major version.

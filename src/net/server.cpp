@@ -1,79 +1,779 @@
 #include "net/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstring>
+#include <deque>
+#include <queue>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 namespace estima::net {
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 void close_quietly(int fd) {
   if (fd >= 0) ::close(fd);
 }
 
-/// Lingering close: when a response was written but unread request bytes
-/// may remain (an error answered mid-request), closing immediately would
-/// make the kernel send RST and destroy the response before the client
-/// reads it. Shut down the write side, then drain and discard the peer's
-/// remaining bytes until EOF — bounded by wall time, so a client that
-/// keeps trickling bytes cannot pin the worker past max_ms.
-void drain_then_close_write(int fd, int max_ms) {
-  ::shutdown(fd, SHUT_WR);
-  char sink[4096];
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(max_ms);
-  for (;;) {
-    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-        deadline - std::chrono::steady_clock::now());
-    if (left.count() <= 0) return;
-    struct pollfd pfd;
-    pfd.fd = fd;
-    pfd.events = POLLIN;
-    pfd.revents = 0;
-    const int rc = ::poll(&pfd, 1,
-                          static_cast<int>(std::min<long long>(
-                              left.count(), 50)));
-    if (rc < 0 && errno != EINTR) return;
-    if (rc <= 0) continue;
-    const ssize_t r = ::recv(fd, sink, sizeof sink, 0);
-    if (r <= 0) return;  // EOF or error: peer saw our FIN
-  }
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
-/// Waits until fd is readable, the deadline passes, or `stop` flips.
-/// Returns 1 readable, 0 timed out, -1 stop/error.
-int wait_readable(int fd, int timeout_ms, int poll_interval_ms,
-                  const std::atomic<bool>& stop) {
-  int waited = 0;
-  while (!stop.load(std::memory_order_relaxed)) {
-    const int slice = std::min(poll_interval_ms, timeout_ms - waited);
-    if (slice <= 0) return 0;
+HttpResponse plain_response(int status, const std::string& reason) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.headers.emplace_back("content-type", "text/plain");
+  resp.body = reason;
+  if (!resp.body.empty() && resp.body.back() != '\n') resp.body += '\n';
+  return resp;
+}
+
+struct PollerEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+};
+
+#if defined(__linux__)
+
+/// epoll-backed readiness notification (level-triggered). EPOLLERR/HUP
+/// map onto both directions so the pending read/write surfaces the error.
+class Poller {
+ public:
+  Poller() : epfd_(::epoll_create1(0)) {
+    if (epfd_ < 0) {
+      throw std::runtime_error("http server: epoll_create1 failed: " +
+                               std::string(std::strerror(errno)));
+    }
+  }
+  ~Poller() { close_quietly(epfd_); }
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  void add(int fd, bool want_read, bool want_write) {
+    ctl(EPOLL_CTL_ADD, fd, want_read, want_write);
+  }
+  void mod(int fd, bool want_read, bool want_write) {
+    ctl(EPOLL_CTL_MOD, fd, want_read, want_write);
+  }
+  void del(int fd) {
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof ev);
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &ev);
+  }
+
+  int wait(std::vector<PollerEvent>& out, int timeout_ms) {
+    struct epoll_event evs[64];
+    const int n = ::epoll_wait(epfd_, evs, 64, timeout_ms);
+    out.clear();
+    for (int i = 0; i < n; ++i) {
+      PollerEvent e;
+      e.fd = evs[i].data.fd;
+      const auto bits = evs[i].events;
+      const bool broken = (bits & (EPOLLERR | EPOLLHUP)) != 0;
+      e.readable = (bits & EPOLLIN) != 0 || broken;
+      e.writable = (bits & EPOLLOUT) != 0 || broken;
+      out.push_back(e);
+    }
+    return n;
+  }
+
+ private:
+  void ctl(int op, int fd, bool want_read, bool want_write) {
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof ev);
+    ev.data.fd = fd;
+    if (want_read) ev.events |= EPOLLIN;
+    if (want_write) ev.events |= EPOLLOUT;
+    ::epoll_ctl(epfd_, op, fd, &ev);
+  }
+
+  int epfd_;
+};
+
+#else
+
+/// poll(2) fallback with the same interface, for non-Linux POSIX.
+class Poller {
+ public:
+  void add(int fd, bool want_read, bool want_write) {
     struct pollfd pfd;
     pfd.fd = fd;
-    pfd.events = POLLIN;
+    pfd.events = events_of(want_read, want_write);
     pfd.revents = 0;
-    const int rc = ::poll(&pfd, 1, slice);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      return -1;
-    }
-    if (rc > 0) return 1;
-    waited += slice;
+    index_[fd] = fds_.size();
+    fds_.push_back(pfd);
   }
-  return -1;
-}
+  void mod(int fd, bool want_read, bool want_write) {
+    const auto it = index_.find(fd);
+    if (it == index_.end()) return;
+    fds_[it->second].events = events_of(want_read, want_write);
+  }
+  void del(int fd) {
+    const auto it = index_.find(fd);
+    if (it == index_.end()) return;
+    const std::size_t pos = it->second;
+    index_.erase(it);
+    fds_[pos] = fds_.back();
+    fds_.pop_back();
+    if (pos < fds_.size()) index_[fds_[pos].fd] = pos;
+  }
+
+  int wait(std::vector<PollerEvent>& out, int timeout_ms) {
+    const int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    out.clear();
+    if (n <= 0) return n;
+    for (const auto& pfd : fds_) {
+      if (pfd.revents == 0) continue;
+      PollerEvent e;
+      e.fd = pfd.fd;
+      const bool broken = (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      e.readable = (pfd.revents & POLLIN) != 0 || broken;
+      e.writable = (pfd.revents & POLLOUT) != 0 || broken;
+      out.push_back(e);
+    }
+    return n;
+  }
+
+ private:
+  static short events_of(bool want_read, bool want_write) {
+    short ev = 0;
+    if (want_read) ev |= POLLIN;
+    if (want_write) ev |= POLLOUT;
+    return ev;
+  }
+
+  std::vector<struct pollfd> fds_;
+  std::unordered_map<int, std::size_t> index_;
+};
+
+#endif
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Handler pool: a bounded set of threads running the user handler, so slow
+// requests consume pool slots, never event-loop time. drain_and_join()
+// finishes every queued job before returning — stop() relies on that to
+// guarantee each dispatched request still gets its response written.
+
+struct HttpServer::HandlerPool {
+  struct Job {
+    EventLoop* loop = nullptr;
+    std::uint64_t conn_id = 0;
+    HttpRequest req;
+    bool keep = false;
+  };
+
+  HandlerPool(HttpServer& srv, std::size_t threads) : srv_(srv) {
+    threads_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      threads_.emplace_back([this] { run(); });
+    }
+  }
+
+  ~HandlerPool() { drain_and_join(); }
+
+  /// False once draining: a job enqueued after the workers may already
+  /// have exited would never complete, wedging its connection in
+  /// kHandling and stop() on the loop join. Jobs enqueued before the
+  /// drain flag flips are guaranteed to run (workers only exit on
+  /// draining_ AND an empty queue, both checked under mu_).
+  bool submit(Job job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (draining_) return false;
+      jobs_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  void drain_and_join() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (draining_) return;
+      draining_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+ private:
+  void run();
+
+  HttpServer& srv_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> jobs_;
+  bool draining_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// ---------------------------------------------------------------------------
+// Event loop: owns its connections end to end. Only the loop thread ever
+// touches a Connection; the acceptor and the handler pool communicate
+// exclusively through the inbox (mutex-guarded queues + wake pipe).
+
+struct HttpServer::EventLoop {
+  enum class St { kReading, kHandling, kWriting, kLingering };
+
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    St st = St::kReading;
+    RequestParser parser;
+    std::string carry;            ///< bytes read, not yet parsed
+    std::string out;              ///< response bytes pending write
+    std::size_t out_off = 0;
+    bool close_after_write = false;
+    bool linger_after_write = false;
+    bool read_closed = false;     ///< peer sent FIN
+    bool mid_request = false;     ///< current message has started arriving
+    bool want_read = false;
+    bool want_write = false;
+    bool in_poller = false;
+    bool has_deadline = false;
+    std::uint64_t deadline_gen = 0;
+
+    explicit Conn(ParserLimits limits) : parser(limits) {}
+  };
+
+  struct TimerEntry {
+    Clock::time_point when;
+    int fd;
+    std::uint64_t conn_id;
+    std::uint64_t gen;
+    bool operator>(const TimerEntry& o) const { return when > o.when; }
+  };
+
+  struct Completion {
+    std::uint64_t conn_id;
+    std::string wire;
+    bool keep;
+    int status;
+  };
+
+  explicit EventLoop(HttpServer& srv) : srv_(srv) {
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      throw std::runtime_error("http server: pipe() failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    wake_rd_ = pipe_fds[0];
+    wake_wr_ = pipe_fds[1];
+    set_nonblocking(wake_rd_);
+    set_nonblocking(wake_wr_);
+    poller_.add(wake_rd_, /*want_read=*/true, /*want_write=*/false);
+  }
+
+  ~EventLoop() {
+    close_quietly(wake_rd_);
+    close_quietly(wake_wr_);
+  }
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Acceptor thread: hand over a freshly accepted, non-blocking socket.
+  /// With `reject`, the loop answers 503 and closes (lingering, so the
+  /// rejection survives whatever the client already sent) instead of
+  /// serving — the acceptor itself must never block on a write.
+  void adopt(int fd, bool reject) {
+    {
+      std::lock_guard<std::mutex> lock(inbox_mu_);
+      incoming_.push_back({fd, reject});
+    }
+    wake();
+  }
+
+  /// Handler-pool thread: a response is ready for conn_id.
+  void post_completion(std::uint64_t conn_id, std::string wire, bool keep,
+                       int status) {
+    {
+      std::lock_guard<std::mutex> lock(inbox_mu_);
+      completions_.push_back(
+          Completion{conn_id, std::move(wire), keep, status});
+    }
+    wake();
+  }
+
+  void wake() {
+    const char b = 1;
+    // Best-effort: EAGAIN means a wake-up is already pending.
+    [[maybe_unused]] const ssize_t r = ::write(wake_wr_, &b, 1);
+  }
+
+  /// stop() cleanup after the loop thread has exited: close anything the
+  /// loop never got to (adoptions racing the shutdown).
+  void close_leftovers() {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    for (const auto& in : incoming_) {
+      close_quietly(in.first);
+      srv_.on_close();
+    }
+    incoming_.clear();
+    completions_.clear();
+  }
+
+  void run() {
+    std::vector<PollerEvent> events;
+    for (;;) {
+      const int timeout = next_timeout_ms();
+      poller_.wait(events, timeout);
+
+      for (const auto& ev : events) {
+        if (ev.fd == wake_rd_) {
+          drain_wake_pipe();
+          break;
+        }
+      }
+
+      process_inbox();
+
+      for (const auto& ev : events) {
+        if (ev.fd == wake_rd_) continue;
+        const auto it = conns_.find(ev.fd);
+        if (it == conns_.end()) continue;  // closed earlier this round
+        Conn& c = it->second;
+        if (ev.writable && c.st == St::kWriting) {
+          try_write(c);
+          continue;  // try_write may have closed/erased the conn
+        }
+        if (ev.readable &&
+            (c.st == St::kReading || c.st == St::kLingering)) {
+          on_readable(c);
+        }
+      }
+
+      fire_due_timers();
+
+      if (srv_.stopping_.load(std::memory_order_acquire)) {
+        sweep_for_stop();
+        std::lock_guard<std::mutex> lock(inbox_mu_);
+        if (conns_.empty() && incoming_.empty() && completions_.empty()) {
+          return;
+        }
+      }
+    }
+  }
+
+ private:
+  int next_timeout_ms() {
+    int timeout = srv_.cfg_.poll_interval_ms > 0 ? srv_.cfg_.poll_interval_ms
+                                                 : 100;
+    if (!timers_.empty()) {
+      const auto delta = std::chrono::duration_cast<std::chrono::milliseconds>(
+          timers_.top().when - Clock::now());
+      timeout = static_cast<int>(std::clamp<long long>(
+          delta.count() + 1, 0, timeout));
+    }
+    return timeout;
+  }
+
+  void drain_wake_pipe() {
+    char sink[256];
+    while (::read(wake_rd_, sink, sizeof sink) > 0) {
+    }
+  }
+
+  void process_inbox() {
+    std::deque<std::pair<int, bool>> incoming;
+    std::deque<Completion> completions;
+    {
+      std::lock_guard<std::mutex> lock(inbox_mu_);
+      incoming.swap(incoming_);
+      completions.swap(completions_);
+    }
+    for (const auto& [fd, reject] : incoming) {
+      if (srv_.stopping_.load(std::memory_order_acquire)) {
+        close_quietly(fd);
+        srv_.on_close();
+        continue;
+      }
+      const std::uint64_t id = ++next_conn_id_;
+      auto [it, inserted] = conns_.emplace(fd, Conn(srv_.cfg_.limits));
+      if (!inserted) {  // unreachable: a live fd number cannot be re-accepted
+        close_quietly(fd);
+        srv_.on_close();
+        continue;
+      }
+      Conn& c = it->second;
+      c.fd = fd;
+      c.id = id;
+      id_to_fd_[id] = fd;
+      if (reject) {
+        // Admission overflow: a real answer, through the same lingering
+        // write path as every other error — closing straight after the
+        // send would let the client's unread request bytes RST the 503
+        // away before it is read.
+        start_response(
+            c, plain_response(503, "server at connection capacity"),
+            /*keep=*/false, /*linger=*/true);
+        continue;
+      }
+      c.want_read = true;
+      update_poller(c);
+      arm_deadline(c, srv_.cfg_.idle_timeout_ms);
+    }
+    for (auto& done : completions) {
+      apply_completion(done);
+    }
+  }
+
+  void update_poller(Conn& c) {
+    const bool want = c.want_read || c.want_write;
+    if (want && !c.in_poller) {
+      poller_.add(c.fd, c.want_read, c.want_write);
+      c.in_poller = true;
+    } else if (!want && c.in_poller) {
+      poller_.del(c.fd);
+      c.in_poller = false;
+    } else if (want) {
+      poller_.mod(c.fd, c.want_read, c.want_write);
+    }
+  }
+
+  void arm_deadline(Conn& c, int ms) {
+    ++c.deadline_gen;
+    c.has_deadline = true;
+    timers_.push(TimerEntry{Clock::now() + std::chrono::milliseconds(ms),
+                            c.fd, c.id, c.deadline_gen});
+  }
+
+  void disarm_deadline(Conn& c) {
+    ++c.deadline_gen;  // outstanding heap entries become stale
+    c.has_deadline = false;
+  }
+
+  void close_conn(Conn& c) {
+    const int fd = c.fd;
+    c.want_read = c.want_write = false;
+    update_poller(c);
+    id_to_fd_.erase(c.id);
+    conns_.erase(fd);  // c is dangling from here on
+    close_quietly(fd);
+    srv_.on_close();
+  }
+
+  void on_readable(Conn& c) {
+    char buf[16 * 1024];
+    if (c.st == St::kLingering) {
+      // Discard whatever the client still sends; EOF (or the linger
+      // deadline) ends the connection. The response is already out.
+      // Same per-pass byte bound as the reading path: a post-error
+      // firehose must not monopolise the loop or starve its timers.
+      std::size_t discarded = 0;
+      for (;;) {
+        const ssize_t r = ::recv(c.fd, buf, sizeof buf, 0);
+        if (r > 0) {
+          discarded += static_cast<std::size_t>(r);
+          if (discarded >= 256 * 1024) return;  // readiness re-fires
+          continue;
+        }
+        if (r == 0 || (errno != EINTR && errno != EAGAIN &&
+                       errno != EWOULDBLOCK)) {
+          close_conn(c);
+          return;
+        }
+        if (errno == EINTR) continue;
+        return;  // EAGAIN: drained for now
+      }
+    }
+    // Pull what the kernel has, bounded per pass so one firehose client
+    // cannot monopolise the loop; level-triggered readiness re-fires.
+    std::size_t pulled = 0;
+    for (;;) {
+      const ssize_t r = ::recv(c.fd, buf, sizeof buf, 0);
+      if (r > 0) {
+        c.carry.append(buf, static_cast<std::size_t>(r));
+        pulled += static_cast<std::size_t>(r);
+        if (r < static_cast<ssize_t>(sizeof buf) || pulled >= 256 * 1024) {
+          break;
+        }
+        continue;
+      }
+      if (r == 0) {
+        c.read_closed = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(c);
+      return;
+    }
+    process(c);
+  }
+
+  /// Drives the kReading state: parse buffered bytes, then either wait
+  /// for more (arming the right deadline), reject, or dispatch.
+  void process(Conn& c) {
+    if (c.st != St::kReading) return;
+    if (srv_.stopping_.load(std::memory_order_acquire)) {
+      // Drain mode: requests already dispatched finish; new ones don't
+      // start (matching the threaded server's stop semantics).
+      close_conn(c);
+      return;
+    }
+    while (!c.carry.empty() &&
+           c.parser.state() == RequestParser::State::kNeedMore) {
+      const std::size_t used = c.parser.feed(c.carry.data(), c.carry.size());
+      if (used == 0) break;
+      c.carry.erase(0, used);
+    }
+    switch (c.parser.state()) {
+      case RequestParser::State::kNeedMore: {
+        if (c.read_closed) {
+          // Peer closed mid-request (or idled out its own connection):
+          // nothing to answer.
+          close_conn(c);
+          return;
+        }
+        if (!c.want_read) {
+          c.want_read = true;
+          update_poller(c);
+        }
+        // The per-request budget starts at the message's first byte and
+        // is never re-armed by later bytes: a slow-trickle client cannot
+        // extend it. Idle silence between requests gets the same budget.
+        if (c.parser.mid_message()) {
+          if (!c.mid_request) {
+            c.mid_request = true;
+            arm_deadline(c, srv_.cfg_.idle_timeout_ms);
+          }
+        } else if (!c.has_deadline) {
+          arm_deadline(c, srv_.cfg_.idle_timeout_ms);
+        }
+        return;
+      }
+      case RequestParser::State::kError: {
+        srv_.on_parse_error();
+        // Nothing after a malformed head is a trustworthy boundary; the
+        // lingering close keeps the 4xx readable past the client's
+        // still-unread bytes.
+        start_response(c, plain_response(c.parser.error_status(),
+                                         c.parser.error_reason()),
+                       /*keep=*/false, /*linger=*/true);
+        return;
+      }
+      case RequestParser::State::kComplete: {
+        HttpRequest req = c.parser.request();
+        c.parser.reset();
+        c.mid_request = false;
+        disarm_deadline(c);
+        c.st = St::kHandling;
+        c.want_read = false;  // bound buffering while the handler runs
+        c.want_write = false;
+        update_poller(c);
+        const bool keep = req.keep_alive();
+        if (!srv_.pool_->submit(
+                HandlerPool::Job{this, c.id, std::move(req), keep})) {
+          // Raced stop(): the pool is draining and this job would never
+          // run. Close unanswered, like any request stop() didn't reach.
+          close_conn(c);
+        }
+        return;
+      }
+    }
+  }
+
+  /// Serializes and starts writing a loop-generated response (errors,
+  /// timeouts). Handler responses arrive via apply_completion instead.
+  void start_response(Conn& c, const HttpResponse& resp, bool keep,
+                      bool linger) {
+    srv_.count_response(resp.status);
+    // Stop reading while the response goes out: with level-triggered
+    // readiness, leaving EPOLLIN armed over still-buffered bytes would
+    // spin the loop (the bytes are drained later by the lingering close,
+    // or dropped with the connection).
+    c.want_read = false;
+    update_poller(c);
+    c.out = serialize_response(resp, keep);
+    c.out_off = 0;
+    c.close_after_write = !keep;
+    c.linger_after_write = linger;
+    c.st = St::kWriting;
+    disarm_deadline(c);
+    try_write(c);
+  }
+
+  void apply_completion(Completion& done) {
+    const auto idit = id_to_fd_.find(done.conn_id);
+    if (idit == id_to_fd_.end()) return;  // connection died meanwhile
+    Conn& c = conns_.at(idit->second);
+    if (c.st != St::kHandling) return;
+    srv_.count_response(done.status);
+    c.out = std::move(done.wire);
+    c.out_off = 0;
+    c.close_after_write = !done.keep;
+    c.linger_after_write = false;
+    c.st = St::kWriting;
+    try_write(c);
+  }
+
+  void try_write(Conn& c) {
+    while (c.out_off < c.out.size()) {
+      const ssize_t w = ::send(c.fd, c.out.data() + c.out_off,
+                               c.out.size() - c.out_off, 0);
+      if (w >= 0) {
+        c.out_off += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!c.want_write) {
+          c.want_write = true;
+          update_poller(c);
+        }
+        // A peer that stops reading its response gets the same budget a
+        // slow sender does.
+        if (!c.has_deadline) arm_deadline(c, srv_.cfg_.idle_timeout_ms);
+        return;
+      }
+      close_conn(c);  // peer reset: response undeliverable
+      return;
+    }
+    // Response fully written.
+    c.out.clear();
+    c.out_off = 0;
+    disarm_deadline(c);
+    if (c.want_write) {
+      c.want_write = false;
+      update_poller(c);
+    }
+    if (c.linger_after_write) {
+      ::shutdown(c.fd, SHUT_WR);
+      c.st = St::kLingering;
+      if (!c.want_read) {
+        c.want_read = true;
+        update_poller(c);
+      }
+      arm_deadline(c, srv_.cfg_.linger_timeout_ms);
+      return;
+    }
+    if (c.close_after_write) {
+      close_conn(c);
+      return;
+    }
+    // Keep-alive: next message may already be buffered (pipelining).
+    c.st = St::kReading;
+    c.mid_request = false;
+    process(c);
+  }
+
+  void fire_due_timers() {
+    const auto now = Clock::now();
+    while (!timers_.empty() && timers_.top().when <= now) {
+      const TimerEntry t = timers_.top();
+      timers_.pop();
+      const auto it = conns_.find(t.fd);
+      if (it == conns_.end()) continue;
+      Conn& c = it->second;
+      if (c.id != t.conn_id || c.deadline_gen != t.gen || !c.has_deadline) {
+        continue;  // stale entry for a re-armed or recycled connection
+      }
+      c.has_deadline = false;
+      switch (c.st) {
+        case St::kReading:
+          srv_.on_timeout();
+          if (c.mid_request) {
+            start_response(c, plain_response(408, "request timed out"),
+                           /*keep=*/false, /*linger=*/true);
+          } else {
+            close_conn(c);  // idle keep-alive silence: close unanswered
+          }
+          break;
+        case St::kWriting:    // stalled response write
+        case St::kLingering:  // drain budget exhausted
+          close_conn(c);
+          break;
+        case St::kHandling:
+          break;  // no deadline while the handler owns the request
+      }
+    }
+  }
+
+  void sweep_for_stop() {
+    // Close everything not owed a response; kHandling/kWriting conns
+    // finish naturally (the handler pool is drained before loops are
+    // asked to exit).
+    std::vector<int> victims;
+    victims.reserve(conns_.size());
+    for (auto& [fd, c] : conns_) {
+      if (c.st == St::kReading || c.st == St::kLingering) {
+        victims.push_back(fd);
+      }
+    }
+    for (int fd : victims) {
+      const auto it = conns_.find(fd);
+      if (it != conns_.end()) close_conn(it->second);
+    }
+  }
+
+  HttpServer& srv_;
+  Poller poller_;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+
+  std::mutex inbox_mu_;
+  std::deque<std::pair<int, bool>> incoming_;  ///< (fd, reject-with-503)
+  std::deque<Completion> completions_;
+
+  std::unordered_map<int, Conn> conns_;
+  std::unordered_map<std::uint64_t, int> id_to_fd_;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>,
+                      std::greater<TimerEntry>>
+      timers_;
+  std::uint64_t next_conn_id_ = 0;
+};
+
+void HttpServer::HandlerPool::run() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return draining_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // draining and nothing left
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    HttpResponse resp;
+    try {
+      resp = srv_.handler_(job.req);
+    } catch (const std::invalid_argument& e) {
+      resp = plain_response(400, e.what());
+    } catch (const std::exception& e) {
+      resp = plain_response(500, e.what());
+    }
+    const bool keep =
+        job.keep && !srv_.stopping_.load(std::memory_order_acquire);
+    job.loop->post_completion(job.conn_id, serialize_response(resp, keep),
+                              keep, resp.status);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HttpServer
 
 HttpServer::HttpServer(ServerConfig cfg, Handler handler)
     : cfg_(std::move(cfg)), handler_(std::move(handler)) {}
@@ -120,38 +820,82 @@ void HttpServer::start() {
 
   stopping_.store(false);
   running_.store(true);
-  const std::size_t workers = cfg_.worker_threads > 0 ? cfg_.worker_threads : 1;
-  workers_.reserve(workers);
-  for (std::size_t i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  next_loop_ = 0;
+  const std::size_t loops = cfg_.io_threads > 0 ? cfg_.io_threads : 1;
+  loops_.reserve(loops);
+  loop_threads_.reserve(loops);
+  for (std::size_t i = 0; i < loops; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>(*this));
   }
+  for (std::size_t i = 0; i < loops; ++i) {
+    loop_threads_.emplace_back([loop = loops_[i].get()] { loop->run(); });
+  }
+  pool_ = std::make_unique<HandlerPool>(
+      *this, cfg_.worker_threads > 0 ? cfg_.worker_threads : 1);
   acceptor_ = std::thread([this] { acceptor_loop(); });
 }
 
 void HttpServer::stop() {
   if (!running_.exchange(false)) return;
-  stopping_.store(true);
+  stopping_.store(true, std::memory_order_release);
   // Shutting down the listener wakes the acceptor's poll immediately;
   // the fd is closed only after the acceptor joins, so its number cannot
   // be reused under a thread still polling it.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  queue_cv_.notify_all();
   if (acceptor_.joinable()) acceptor_.join();
   close_quietly(listen_fd_);
   listen_fd_ = -1;
-  for (auto& w : workers_) {
-    if (w.joinable()) w.join();
+  // Finish every dispatched request so its response can still be written
+  // (the loops are alive and consuming completions while this drains).
+  if (pool_) pool_->drain_and_join();
+  for (auto& loop : loops_) loop->wake();
+  for (auto& t : loop_threads_) {
+    if (t.joinable()) t.join();
   }
-  workers_.clear();
-  // Connections still queued but never picked up: close them unanswered.
-  std::lock_guard<std::mutex> lock(queue_mu_);
-  for (int fd : pending_fds_) close_quietly(fd);
-  pending_fds_.clear();
+  // Adoptions that raced the shutdown: close them unanswered.
+  for (auto& loop : loops_) loop->close_leftovers();
+  loop_threads_.clear();
+  loops_.clear();
+  pool_.reset();
 }
 
 ServerStats HttpServer::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return stats_;
+}
+
+void HttpServer::on_accept() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.connections_accepted;
+  ++stats_.open_connections;
+  stats_.peak_connections =
+      std::max(stats_.peak_connections, stats_.open_connections);
+}
+
+void HttpServer::on_close() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.connections_closed;
+  --stats_.open_connections;
+}
+
+void HttpServer::on_timeout() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.connections_timed_out;
+}
+
+void HttpServer::on_parse_error() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.parse_errors;
+}
+
+void HttpServer::count_response(int status) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.requests_served;
+  if (status >= 500) {
+    ++stats_.responses_5xx;
+  } else if (status >= 400) {
+    ++stats_.responses_4xx;
+  }
 }
 
 void HttpServer::acceptor_loop() {
@@ -166,180 +910,31 @@ void HttpServer::acceptor_loop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM || errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Transient resource exhaustion (fd limit hit by a connection
+        // flood, say): back off and keep accepting once fds free up —
+        // exiting here would silently end all future accepts while the
+        // server still looks alive.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
       break;  // listener closed by stop()
     }
+    set_nonblocking(fd);
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    {
+    on_accept();
+
+    bool over_cap = false;
+    if (cfg_.max_connections > 0) {
       std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.connections_accepted;
+      over_cap = stats_.open_connections > cfg_.max_connections;
+      if (over_cap) ++stats_.overflow_rejections;
     }
-    {
-      std::lock_guard<std::mutex> lock(queue_mu_);
-      pending_fds_.push_back(fd);
-    }
-    queue_cv_.notify_one();
-  }
-}
-
-void HttpServer::worker_loop() {
-  for (;;) {
-    int fd = -1;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [&] {
-        return stopping_.load(std::memory_order_relaxed) ||
-               !pending_fds_.empty();
-      });
-      if (pending_fds_.empty()) return;  // stopping and drained
-      fd = pending_fds_.front();
-      pending_fds_.pop_front();
-    }
-    serve_connection(fd);
-    close_quietly(fd);
-  }
-}
-
-bool HttpServer::write_all(int fd, const char* data, std::size_t n) {
-  std::size_t off = 0;
-  while (off < n) {
-    const ssize_t w = ::send(fd, data + off, n - off, 0);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<std::size_t>(w);
-  }
-  return true;
-}
-
-void HttpServer::send_error(int fd, int status, const std::string& reason) {
-  HttpResponse resp;
-  resp.status = status;
-  resp.headers.emplace_back("content-type", "text/plain");
-  resp.body = reason;
-  if (!resp.body.empty() && resp.body.back() != '\n') resp.body += '\n';
-  const std::string wire = serialize_response(resp, /*keep_alive=*/false);
-  write_all(fd, wire.data(), wire.size());
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.requests_served;
-  if (status >= 500) {
-    ++stats_.responses_5xx;
-  } else if (status >= 400) {
-    ++stats_.responses_4xx;
-  }
-}
-
-void HttpServer::serve_connection(int fd) {
-  RequestParser parser(cfg_.limits);
-  char buf[16 * 1024];
-  // Bytes read but not yet consumed by the parser (pipelined requests).
-  std::string carry;
-  // Whether the current message has started arriving — decides if idle
-  // silence is a timeout (answer 408) or a normal keep-alive close, and
-  // starts the per-request deadline below.
-  bool mid_request = false;
-  // idle_timeout_ms is a *per-request* budget, not per-read: a slowloris
-  // client trickling one byte per poll interval must not hold the worker
-  // past the documented bound. The deadline starts at the request's
-  // first byte and resets when a complete request has been answered.
-  auto request_deadline = std::chrono::steady_clock::time_point{};
-
-  for (;;) {
-    // Drain whatever is already buffered before touching the socket.
-    while (!carry.empty() && parser.state() == RequestParser::State::kNeedMore) {
-      const std::size_t used = parser.feed(carry.data(), carry.size());
-      if (used > 0 && !mid_request) {
-        mid_request = true;
-        request_deadline = std::chrono::steady_clock::now() +
-                           std::chrono::milliseconds(cfg_.idle_timeout_ms);
-      }
-      carry.erase(0, used);
-      if (used == 0) break;
-    }
-
-    if (parser.state() == RequestParser::State::kNeedMore) {
-      int budget_ms = cfg_.idle_timeout_ms;
-      if (mid_request) {
-        const auto left =
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                request_deadline - std::chrono::steady_clock::now());
-        budget_ms = static_cast<int>(
-            std::max<long long>(0, std::min<long long>(left.count(),
-                                                       cfg_.idle_timeout_ms)));
-      }
-      const int ready = budget_ms > 0
-                            ? wait_readable(fd, budget_ms,
-                                            cfg_.poll_interval_ms, stopping_)
-                            : 0;
-      if (ready < 0) return;  // stopping or poll error: drop quietly
-      if (ready == 0) {
-        {
-          std::lock_guard<std::mutex> lock(stats_mu_);
-          ++stats_.connections_timed_out;
-        }
-        if (mid_request) send_error(fd, 408, "request timed out");
-        return;
-      }
-      const ssize_t r = ::recv(fd, buf, sizeof buf, 0);
-      if (r < 0) {
-        if (errno == EINTR) continue;
-        return;
-      }
-      if (r == 0) return;  // peer closed
-      carry.append(buf, static_cast<std::size_t>(r));
-      continue;
-    }
-
-    if (parser.state() == RequestParser::State::kError) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.parse_errors;
-      }
-      send_error(fd, parser.error_status(), parser.error_reason());
-      // Nothing after a malformed head is a trustworthy boundary. The
-      // client may still be sending the rest (an oversized body, say):
-      // drain it so the error response is not destroyed by a reset.
-      drain_then_close_write(fd, 1000);
-      return;
-    }
-
-    // kComplete: hand off, answer, and go around for the next message.
-    const HttpRequest& req = parser.request();
-    HttpResponse resp;
-    try {
-      resp = handler_(req);
-    } catch (const std::invalid_argument& e) {
-      resp = HttpResponse{};
-      resp.status = 400;
-      resp.headers.emplace_back("content-type", "text/plain");
-      resp.body = std::string(e.what()) + "\n";
-    } catch (const std::exception& e) {
-      resp = HttpResponse{};
-      resp.status = 500;
-      resp.headers.emplace_back("content-type", "text/plain");
-      resp.body = std::string(e.what()) + "\n";
-    }
-    const bool keep = req.keep_alive() &&
-                      !stopping_.load(std::memory_order_relaxed);
-    const std::string wire = serialize_response(resp, keep);
-    const bool wrote = write_all(fd, wire.data(), wire.size());
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.requests_served;
-      if (resp.status >= 500) {
-        ++stats_.responses_5xx;
-      } else if (resp.status >= 400) {
-        ++stats_.responses_4xx;
-      }
-    }
-    if (!wrote || !keep) return;
-    parser.reset();
-    mid_request = !carry.empty();  // pipelined: next message already begun
-    if (mid_request) {
-      request_deadline = std::chrono::steady_clock::now() +
-                         std::chrono::milliseconds(cfg_.idle_timeout_ms);
-    }
+    loops_[next_loop_]->adopt(fd, over_cap);
+    next_loop_ = (next_loop_ + 1) % loops_.size();
   }
 }
 

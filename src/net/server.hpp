@@ -1,32 +1,41 @@
-// A zero-dependency HTTP/1.1 server over POSIX sockets: one acceptor
-// thread plus N connection-worker threads pulling accepted sockets from a
-// queue. Each worker owns one connection at a time end-to-end — read,
-// incremental parse (net/http_parser), hand the decoded request to the
-// Handler, write the response, repeat while keep-alive — so the handler
-// runs on the worker thread and any internal fan-out (the prediction
-// service's ThreadPool) nests underneath exactly as it does for local
-// callers.
+// A zero-dependency HTTP/1.1 server over POSIX sockets, built as an
+// event-driven edge: one acceptor thread shards accepted sockets across N
+// I/O event loops (epoll on Linux, poll elsewhere), each loop owning its
+// non-blocking connections as small state machines
+// (reading -> handling -> writing -> lingering-close). Decoded requests
+// are dispatched to a bounded handler pool, so a slow handler (a cold
+// predict() can take a while) never stalls its loop: thousands of idle
+// keep-alive connections cost one fd and a timer entry each, not a
+// thread. The handler runs on a pool thread, so any internal fan-out (the
+// prediction service's ThreadPool) nests underneath exactly as it does
+// for local callers.
 //
 // Robustness contract, matching the parser's: a malformed, oversized or
 // over-slow client gets a 4xx/408 response (when a response can still be
 // framed) and its connection closed; it can never crash the server, hold
-// unbounded memory, or corrupt another connection's stream. Pipelined
-// requests are served in order from the bytes already read. stop() is a
-// graceful drain: the listener closes first (no new connections), workers
-// finish the request they are writing, then idle connections are closed.
+// unbounded memory, or corrupt another connection's stream. Per-request
+// deadlines live in a deadline heap per loop, so a slowloris client
+// trickling bytes cannot restart its budget and cannot delay anyone
+// else's request (no head-of-line blocking). Pipelined requests are
+// served in order from the bytes already read; error responses use a
+// lingering close so the 4xx survives the client's unread bytes. When
+// max_connections is set, connections over the cap are answered 503 and
+// closed at accept time. stop() is a graceful drain: the listener closes
+// first (no new connections), in-flight requests finish and are written,
+// then idle connections are closed.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "net/http_parser.hpp"
+#include "net/server_stats.hpp"
 
 namespace estima::net {
 
@@ -34,6 +43,12 @@ struct ServerConfig {
   std::string bind_address = "127.0.0.1";
   /// 0 binds an ephemeral port; read the real one back with port().
   int port = 0;
+  /// Event-loop (I/O) threads; accepted sockets are sharded round-robin.
+  std::size_t io_threads = 2;
+  /// Handler-pool threads: how many requests can be *computing* at once.
+  /// (The name predates the event loop, when each worker owned one
+  /// connection; it is kept so existing callers keep their meaning: the
+  /// number of concurrently running handlers.)
   std::size_t worker_threads = 4;
   int listen_backlog = 128;
   ParserLimits limits;
@@ -41,37 +56,37 @@ struct ServerConfig {
   /// request (head + body) that has not completed within this long is
   /// answered 408 and the connection closed, no matter how steadily the
   /// client trickles bytes. Between keep-alive requests the same value
-  /// bounds idle silence (closed without a response). Slow clients
-  /// therefore consume a worker slot for at most ~this long per request.
+  /// bounds idle silence (closed without a response), and it also bounds
+  /// how long a stalled response write may sit unacknowledged.
   int idle_timeout_ms = 30'000;
-  /// How long a worker's poll() sleeps between stop-flag checks.
+  /// Upper bound on an event loop's sleep between housekeeping passes
+  /// (deadlines wake the loop earlier; cross-thread work wakes it
+  /// immediately via a pipe).
   int poll_interval_ms = 100;
-};
-
-struct ServerStats {
-  std::uint64_t connections_accepted = 0;
-  std::uint64_t requests_served = 0;      ///< responses written, any status
-  std::uint64_t responses_4xx = 0;        ///< parse/route rejections
-  std::uint64_t responses_5xx = 0;
-  std::uint64_t connections_timed_out = 0;
-  std::uint64_t parse_errors = 0;         ///< parser-level rejections
+  /// Wall-time bound on the lingering close that drains a client's unread
+  /// bytes after an error response, so the 4xx is not destroyed by a TCP
+  /// reset.
+  int linger_timeout_ms = 1'000;
+  /// Admission cap on concurrently open connections; over the cap a new
+  /// connection is answered 503 and closed at accept time. 0 = unlimited.
+  std::size_t max_connections = 0;
 };
 
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
-  /// The handler is called once per decoded request; whatever it throws is
-  /// answered 500 (std::invalid_argument: 400) — exceptions never cross
-  /// into the connection loop unhandled.
+  /// The handler is called once per decoded request (on a handler-pool
+  /// thread); whatever it throws is answered 500 (std::invalid_argument:
+  /// 400) — exceptions never cross into the event loop unhandled.
   HttpServer(ServerConfig cfg, Handler handler);
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Binds, listens and spawns the acceptor + workers. Throws
-  /// std::runtime_error when the socket cannot be bound.
+  /// Binds, listens and spawns the acceptor + event loops + handler pool.
+  /// Throws std::runtime_error when the socket cannot be bound.
   void start();
 
   /// Graceful drain; idempotent, also run by the destructor.
@@ -85,12 +100,18 @@ class HttpServer {
   ServerStats stats() const;
 
  private:
+  struct EventLoop;
+  struct HandlerPool;
+  friend struct EventLoop;
+  friend struct HandlerPool;
+
   void acceptor_loop();
-  void worker_loop();
-  void serve_connection(int fd);
-  /// Answers with a framed error and counts it; best-effort write.
-  void send_error(int fd, int status, const std::string& reason);
-  bool write_all(int fd, const char* data, std::size_t n);
+  /// Stats bookkeeping, all under stats_mu_ so snapshots are consistent.
+  void on_accept();
+  void on_close();
+  void on_timeout();
+  void on_parse_error();
+  void count_response(int status);
 
   ServerConfig cfg_;
   Handler handler_;
@@ -100,11 +121,10 @@ class HttpServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
-  std::vector<std::thread> workers_;
-
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_fds_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::vector<std::thread> loop_threads_;
+  std::unique_ptr<HandlerPool> pool_;
+  std::size_t next_loop_ = 0;  ///< round-robin shard cursor (acceptor only)
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;

@@ -1,0 +1,28 @@
+// The HTTP edge's observable counters, split from net/server.hpp so
+// consumers that only report stats (service/routes) do not depend on the
+// server's threads, sockets and event-loop machinery.
+#pragma once
+
+#include <cstdint>
+
+namespace estima::net {
+
+/// Counters are monotonic; open_connections is the one gauge, and the
+/// accounting invariant `connections_accepted == connections_closed +
+/// open_connections` holds at every HttpServer::stats() snapshot (all
+/// fields are updated under one lock). Overflow-rejected connections
+/// count in accepted, closed and overflow_rejections.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t open_connections = 0;     ///< gauge: accepted - closed
+  std::uint64_t peak_connections = 0;     ///< high-water mark of the gauge
+  std::uint64_t requests_served = 0;      ///< responses written, any status
+  std::uint64_t responses_4xx = 0;        ///< parse/route rejections
+  std::uint64_t responses_5xx = 0;
+  std::uint64_t connections_timed_out = 0;
+  std::uint64_t overflow_rejections = 0;  ///< 503s from max_connections
+  std::uint64_t parse_errors = 0;         ///< parser-level rejections
+};
+
+}  // namespace estima::net

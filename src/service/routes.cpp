@@ -127,6 +127,11 @@ std::vector<std::string> parse_frames(const std::string& body,
 ServiceRouter::ServiceRouter(PredictionService& service, RouterConfig cfg)
     : service_(service), cfg_(std::move(cfg)) {}
 
+void ServiceRouter::set_server_stats_source(
+    std::function<net::ServerStats()> source) {
+  server_stats_ = std::move(source);
+}
+
 net::HttpResponse ServiceRouter::handle(const net::HttpRequest& req) {
   try {
     if (req.target == "/v1/predict") {
@@ -215,17 +220,42 @@ net::HttpResponse ServiceRouter::handle_stats() {
       "    \"misses\": %" PRIu64 ",\n"
       "    \"evictions\": %" PRIu64 ",\n"
       "    \"entries\": %" PRIu64 "\n"
-      "  }\n"
-      "}\n",
+      "  }",
       s.campaigns_submitted, s.predictions_computed,
       s.batch_duplicates_folded, s.inflight_joins,
       s.snapshot_entries_restored, s.snapshot_entries_skipped,
       s.auto_snapshots, s.auto_snapshot_failures, s.cache.hits,
       s.cache.misses, s.cache.evictions, s.cache.entries);
+  std::string body = buf;
+  if (server_stats_) {
+    const net::ServerStats n = server_stats_();
+    char sbuf[1024];
+    std::snprintf(
+        sbuf, sizeof sbuf,
+        ",\n"
+        "  \"server\": {\n"
+        "    \"connections_accepted\": %" PRIu64 ",\n"
+        "    \"connections_closed\": %" PRIu64 ",\n"
+        "    \"open_connections\": %" PRIu64 ",\n"
+        "    \"peak_connections\": %" PRIu64 ",\n"
+        "    \"requests_served\": %" PRIu64 ",\n"
+        "    \"responses_4xx\": %" PRIu64 ",\n"
+        "    \"responses_5xx\": %" PRIu64 ",\n"
+        "    \"connections_timed_out\": %" PRIu64 ",\n"
+        "    \"overflow_rejections\": %" PRIu64 ",\n"
+        "    \"parse_errors\": %" PRIu64 "\n"
+        "  }",
+        n.connections_accepted, n.connections_closed, n.open_connections,
+        n.peak_connections, n.requests_served, n.responses_4xx,
+        n.responses_5xx, n.connections_timed_out, n.overflow_rejections,
+        n.parse_errors);
+    body += sbuf;
+  }
+  body += "\n}\n";
   net::HttpResponse resp;
   resp.status = 200;
   resp.headers.emplace_back("content-type", "application/json");
-  resp.body = buf;
+  resp.body = std::move(body);
   return resp;
 }
 

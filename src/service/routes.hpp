@@ -32,10 +32,12 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "net/http_parser.hpp"
+#include "net/server_stats.hpp"
 
 namespace estima::service {
 
@@ -58,6 +60,13 @@ class ServiceRouter {
   /// this can be handed to net::HttpServer verbatim.
   net::HttpResponse handle(const net::HttpRequest& req);
 
+  /// When set, GET /v1/stats reports the HTTP edge's ServerStats
+  /// (connections open/peak, accepted, timeouts, overflow rejections) in
+  /// a "server" object next to the service counters. Wired by the daemon
+  /// once the server exists; the router is constructed first because the
+  /// server's handler needs it.
+  void set_server_stats_source(std::function<net::ServerStats()> source);
+
  private:
   net::HttpResponse handle_predict(const net::HttpRequest& req);
   net::HttpResponse handle_predict_batch(const net::HttpRequest& req);
@@ -66,6 +75,7 @@ class ServiceRouter {
 
   PredictionService& service_;
   RouterConfig cfg_;
+  std::function<net::ServerStats()> server_stats_;
 };
 
 /// Assembles a predict_batch request body. Inverse of parse_frames.

@@ -1,29 +1,46 @@
-// The network front end's trust anchor. Three layers of proof:
+// The network front end's trust anchor. Five layers of proof:
 //
 //   1. Parser torture — a valid request must parse identically when split
 //      at every byte boundary; malformed, oversized, truncated and
 //      pipelined inputs must map to the right 4xx without ever crashing
 //      or over-consuming.
 //   2. Route/framing unit tests — the predict_batch length-framing
-//      grammar is all-or-400.
+//      grammar is all-or-400; the hand-rolled stats JSON stays
+//      well-formed as counters are added.
 //   3. Loopback end-to-end — the HTTP answer for a campaign, parsed back
 //      via read_prediction, is bit-identical to an in-process predict()
 //      (write_prediction strings compare equal, which is the full
 //      bit-exactness guarantee); malformed bytes over a real socket get
 //      4xx and never take the server down; concurrent clients see the
 //      one-hash-one-answer cache behaviour they'd see in-process.
+//   4. Event-loop torture — hundreds of idle keep-alive connections held
+//      open while live requests stay bit-identical; slow-trickle clients
+//      408 without head-of-line blocking; pipelined bursts survive
+//      half-closed sockets; admission overflow answers 503 and recovers.
+//   5. Schedule fuzz — a seeded random client interleaving
+//      connect/partial-write/idle/close across many sockets; stats
+//      invariants (accepted = closed + open, counters never decrease)
+//      and zero lost/duplicated responses, seed printed for replay.
 #include "net/http_parser.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstring>
+#include <deque>
 #include <filesystem>
+#include <functional>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -35,6 +52,7 @@
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "parallel/thread_pool.hpp"
+#include "net_support.hpp"
 #include "service/prediction_service.hpp"
 #include "service/routes.hpp"
 #include "synthetic.hpp"
@@ -360,6 +378,7 @@ class NetEndToEnd : public ::testing::Test {
     ncfg.poll_interval_ms = 20;
     server_ = std::make_unique<HttpServer>(
         ncfg, [this](const HttpRequest& req) { return router_->handle(req); });
+    router_->set_server_stats_source([this] { return server_->stats(); });
     server_->start();
   }
 
@@ -398,6 +417,13 @@ class RawConnection {
     if (fd_ >= 0) ::close(fd_);
     fd_ = -1;
   }
+
+  /// FIN without closing: "I have sent everything; answer what you have."
+  void half_close() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+  }
+
+  int fd() const { return fd_; }
 
   void send_bytes(const std::string& data) {
     std::size_t off = 0;
@@ -684,6 +710,713 @@ TEST_F(NetEndToEnd, GracefulStopAnswersInFlightThenRefusesNew) {
   server_->stop();
   EXPECT_FALSE(server_->running());
   EXPECT_THROW(client().get("/v1/stats"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Parser hook for the connection state machine
+
+TEST(RequestParser, MidMessageTracksConsumedBytes) {
+  RequestParser p;
+  EXPECT_FALSE(p.mid_message());
+  // Leading blank lines (RFC 7230 §3.5 tolerance) do not start a message:
+  // idle keep-alive silence after stray CRLFs still closes quietly.
+  const std::string blank = "\r\n\r\n";
+  p.feed(blank.data(), blank.size());
+  EXPECT_FALSE(p.mid_message());
+  const std::string first = "G";
+  p.feed(first.data(), first.size());
+  EXPECT_TRUE(p.mid_message());
+  const std::string rest = "ET /v1/stats HTTP/1.1\r\n\r\n";
+  p.feed(rest.data(), rest.size());
+  ASSERT_EQ(p.state(), RequestParser::State::kComplete);
+  p.reset();
+  EXPECT_FALSE(p.mid_message());
+}
+
+// ---------------------------------------------------------------------------
+// Stats JSON shape
+
+/// Minimal structural checker for the hand-rolled stats JSON: balanced
+/// braces outside strings, every expected key present, every expected
+/// key's value numeric or an object. Enough to catch a missing comma, an
+/// unquoted key or a dropped counter when new fields land.
+void expect_stats_json_shape(const std::string& body,
+                             const std::vector<std::string>& keys) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char ch : body) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (ch == '\\') {
+        escaped = true;
+      } else if (ch == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (ch == '"') {
+      in_string = true;
+    } else if (ch == '{') {
+      ++depth;
+    } else if (ch == '}') {
+      --depth;
+      ASSERT_GE(depth, 0) << "unbalanced '}' in:\n" << body;
+    }
+  }
+  EXPECT_EQ(depth, 0) << "unbalanced '{' in:\n" << body;
+  EXPECT_FALSE(in_string) << "unterminated string in:\n" << body;
+  for (const auto& key : keys) {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t pos = body.find(needle);
+    ASSERT_NE(pos, std::string::npos) << "missing key " << key << " in:\n"
+                                      << body;
+    std::size_t v = pos + needle.size();
+    while (v < body.size() && (body[v] == ' ' || body[v] == '\n')) ++v;
+    ASSERT_LT(v, body.size()) << key;
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(body[v])) ||
+                body[v] == '{')
+        << key << ": value starts with '" << body[v] << "'";
+  }
+}
+
+TEST_F(NetEndToEnd, StatsJsonStaysWellFormedWithServerCounters) {
+  auto c = client();
+  ASSERT_EQ(c.post("/v1/predict", csv_of(demo_campaign(0, 8)), "text/csv")
+                .status,
+            200);
+  const auto resp = c.get("/v1/stats");
+  ASSERT_EQ(resp.status, 200);
+  expect_stats_json_shape(
+      resp.body,
+      {"campaigns_submitted", "predictions_computed",
+       "batch_duplicates_folded", "inflight_joins",
+       "snapshot_entries_restored", "snapshot_entries_skipped",
+       "auto_snapshots", "auto_snapshot_failures", "cache", "hits", "misses",
+       "evictions", "entries", "server", "connections_accepted",
+       "connections_closed", "open_connections", "peak_connections",
+       "requests_served", "responses_4xx", "responses_5xx",
+       "connections_timed_out", "overflow_rejections", "parse_errors"});
+}
+
+// ---------------------------------------------------------------------------
+// 4. Event-loop torture
+
+using estima::testing::raise_fd_limit;
+using estima::testing::raw_connect;
+
+/// Spin-waits (bounded) until the server's stats satisfy `pred` — accept
+/// and close bookkeeping is asynchronous to the client's syscalls.
+template <typename Pred>
+bool wait_for_stats(const HttpServer& server, Pred pred, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (pred(server.stats())) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+/// A full serving stack (pool -> service -> router -> server) with a
+/// caller-chosen server config, for the torture tests that need timeouts
+/// and caps the shared fixture doesn't use.
+struct ServedStack {
+  explicit ServedStack(ServerConfig ncfg) {
+    pool = std::make_unique<parallel::ThreadPool>(2);
+    service::ServiceConfig scfg;
+    scfg.prediction.target_cores = core::cores_up_to(24);
+    cfg = scfg.prediction;
+    svc = std::make_unique<service::PredictionService>(scfg, pool.get());
+    router = std::make_unique<service::ServiceRouter>(
+        *svc, service::RouterConfig{});
+    server = std::make_unique<HttpServer>(
+        std::move(ncfg),
+        [this](const HttpRequest& req) { return router->handle(req); });
+    server->start();
+  }
+  ~ServedStack() { server->stop(); }
+
+  core::PredictionConfig cfg;
+  std::unique_ptr<parallel::ThreadPool> pool;
+  std::unique_ptr<service::PredictionService> svc;
+  std::unique_ptr<service::ServiceRouter> router;
+  std::unique_ptr<HttpServer> server;
+};
+
+TEST(EventLoopTorture, IdleHordeHeldOpenWhileLiveRequestsStayBitIdentical) {
+  constexpr int kIdle = 512;
+  raise_fd_limit(4 * kIdle);
+
+  ServerConfig ncfg;
+  ncfg.io_threads = 4;
+  ncfg.worker_threads = 4;
+  ncfg.idle_timeout_ms = 30'000;  // the horde must not time out mid-test
+  ncfg.poll_interval_ms = 20;
+  ServedStack stack(std::move(ncfg));
+
+  std::vector<int> horde;
+  horde.reserve(kIdle);
+  for (int i = 0; i < kIdle; ++i) {
+    const int fd = raw_connect(stack.server->port());
+    ASSERT_GE(fd, 0) << "idle connection " << i << " failed";
+    horde.push_back(fd);
+  }
+  ASSERT_TRUE(wait_for_stats(
+      *stack.server,
+      [](const ServerStats& s) { return s.open_connections >= kIdle; },
+      10'000))
+      << "horde never fully admitted";
+
+  // Live traffic must be unaffected: full accuracy, no starvation. Under
+  // the old thread-per-connection server these requests would wait
+  // forever behind 512 parked workers.
+  HttpClient c("127.0.0.1", stack.server->port());
+  for (int i = 0; i < 3; ++i) {
+    const auto ms = demo_campaign(20 + i, 8);
+    const auto resp = c.post("/v1/predict", csv_of(ms), "text/csv");
+    ASSERT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, record_of(core::predict(ms, stack.cfg)));
+  }
+
+  const auto s = stack.server->stats();
+  EXPECT_GE(s.open_connections, static_cast<std::uint64_t>(kIdle));
+  EXPECT_GE(s.peak_connections, static_cast<std::uint64_t>(kIdle + 1));
+  EXPECT_EQ(s.connections_accepted, s.connections_closed + s.open_connections);
+
+  for (int fd : horde) ::close(fd);
+  EXPECT_TRUE(wait_for_stats(
+      *stack.server,
+      [](const ServerStats& s2) { return s2.open_connections <= 1; },
+      10'000))
+      << "horde teardown not observed";
+}
+
+TEST(EventLoopTorture, SlowTricklersGet408WithoutHeadOfLineBlocking) {
+  constexpr int kTricklers = 8;
+  ServerConfig ncfg;
+  ncfg.io_threads = 2;
+  ncfg.worker_threads = 2;  // fewer handlers than tricklers, on purpose
+  ncfg.idle_timeout_ms = 700;
+  ncfg.poll_interval_ms = 10;
+  ServedStack stack(std::move(ncfg));
+
+  // Warm one campaign so the live requests below are cache hits whose
+  // latency is pure edge latency.
+  const auto ms = demo_campaign(30, 8);
+  const auto want = record_of(core::predict(ms, stack.cfg));
+  HttpClient warmup("127.0.0.1", stack.server->port());
+  ASSERT_EQ(warmup.post("/v1/predict", csv_of(ms), "text/csv").status, 200);
+
+  // Each trickler keeps feeding header bytes long past the per-request
+  // deadline: the budget must not restart per byte, and the 408 must
+  // arrive while the trickle is still flowing.
+  std::atomic<int> got_408{0};
+  std::atomic<int> trickler_failures{0};
+  std::vector<std::thread> tricklers;
+  tricklers.reserve(kTricklers);
+  for (int t = 0; t < kTricklers; ++t) {
+    tricklers.emplace_back([&, t] {
+      RawConnection raw(stack.server->port());
+      raw.send_bytes("POST /v1/predict HTTP/1.1\r\nX-Trickle: ");
+      for (int i = 0; i < 40; ++i) {  // ~1.2s of trickle vs a 700ms budget
+        const ssize_t w = ::send(raw.fd(), "a", 1, MSG_NOSIGNAL);
+        if (w <= 0) break;  // server already answered and closed: fine
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      }
+      const auto resps = raw.read_responses(1);
+      if (resps.size() == 1 && resps[0].status == 408) {
+        got_408.fetch_add(1);
+      } else {
+        trickler_failures.fetch_add(1);
+      }
+      (void)t;
+    });
+  }
+
+  // While every trickler is mid-request, warm requests must sail through:
+  // with the old design 8 tricklers would park both workers for the full
+  // 700ms budget; event-loop reading costs no handler thread.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const auto live_start = std::chrono::steady_clock::now();
+  HttpClient live("127.0.0.1", stack.server->port());
+  for (int i = 0; i < 3; ++i) {
+    const auto resp = live.post("/v1/predict", csv_of(ms), "text/csv");
+    ASSERT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, want);
+  }
+  const auto live_elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - live_start);
+  EXPECT_LT(live_elapsed.count(), 650)
+      << "warm requests waited behind slow tricklers";
+
+  for (auto& t : tricklers) t.join();
+  EXPECT_EQ(got_408.load(), kTricklers);
+  EXPECT_EQ(trickler_failures.load(), 0);
+  const auto s = stack.server->stats();
+  EXPECT_GE(s.connections_timed_out, static_cast<std::uint64_t>(kTricklers));
+}
+
+TEST(EventLoopTorture, PipelinedBurstSurvivesHalfClosedNeighbours) {
+  ServerConfig ncfg;
+  ncfg.io_threads = 2;
+  ncfg.worker_threads = 4;
+  ncfg.idle_timeout_ms = 2'000;
+  ncfg.poll_interval_ms = 10;
+  ServedStack stack(std::move(ncfg));
+
+  const auto a = demo_campaign(40, 8);
+  const auto b = demo_campaign(41, 8);
+  const auto want_a = record_of(core::predict(a, stack.cfg));
+  const auto want_b = record_of(core::predict(b, stack.cfg));
+
+  // Neighbours that die mid-request: a half-closed socket (FIN after a
+  // partial head) must be reaped silently without disturbing anyone.
+  std::vector<std::unique_ptr<RawConnection>> corpses;
+  for (int i = 0; i < 4; ++i) {
+    corpses.push_back(
+        std::make_unique<RawConnection>(stack.server->port()));
+    corpses.back()->send_bytes("POST /v1/predict HTTP/1.1\r\nContent-Le");
+    corpses.back()->half_close();
+  }
+
+  // One burst: five pipelined requests in a single write, then FIN. All
+  // five answers must come back, in order, before the connection closes.
+  const std::string wire =
+      serialize_request("POST", "/v1/predict", csv_of(a),
+                        {{"content-type", "text/csv"}}) +
+      serialize_request("GET", "/v1/stats", "", {}) +
+      serialize_request("POST", "/v1/predict", csv_of(b),
+                        {{"content-type", "text/csv"}}) +
+      serialize_request("GET", "/v1/stats", "", {}) +
+      serialize_request("POST", "/v1/predict", csv_of(a),
+                        {{"content-type", "text/csv"}});
+  RawConnection raw(stack.server->port());
+  raw.send_bytes(wire);
+  raw.half_close();
+  const auto resps = raw.read_responses(5);
+  ASSERT_EQ(resps.size(), 5u);
+  EXPECT_EQ(resps[0].status, 200);
+  EXPECT_EQ(resps[0].body, want_a);
+  EXPECT_EQ(resps[1].status, 200);
+  EXPECT_EQ(resps[2].status, 200);
+  EXPECT_EQ(resps[2].body, want_b);
+  EXPECT_EQ(resps[3].status, 200);
+  EXPECT_EQ(resps[4].status, 200);
+  EXPECT_EQ(resps[4].body, want_a);
+
+  // The corpses produced no responses and the server is still healthy.
+  EXPECT_TRUE(wait_for_stats(
+      *stack.server,
+      [](const ServerStats& s) {
+        return s.connections_accepted == s.connections_closed +
+                                             s.open_connections &&
+               s.open_connections <= 1;
+      },
+      5'000));
+  HttpClient c("127.0.0.1", stack.server->port());
+  EXPECT_EQ(c.get("/v1/stats").status, 200);
+}
+
+TEST(EventLoopTorture, AdmissionOverflowAnswers503ThenRecovers) {
+  constexpr std::size_t kCap = 6;
+  ServerConfig ncfg;
+  ncfg.io_threads = 2;
+  ncfg.worker_threads = 2;
+  ncfg.idle_timeout_ms = 30'000;
+  ncfg.poll_interval_ms = 10;
+  ncfg.max_connections = kCap;
+  HttpServer server(ncfg, [](const HttpRequest& req) {
+    HttpResponse resp;
+    resp.body = req.body;
+    return resp;
+  });
+  server.start();
+
+  std::vector<int> held;
+  for (std::size_t i = 0; i < kCap; ++i) {
+    const int fd = raw_connect(server.port());
+    ASSERT_GE(fd, 0);
+    held.push_back(fd);
+  }
+  ASSERT_TRUE(wait_for_stats(
+      server,
+      [](const ServerStats& s) { return s.open_connections == kCap; },
+      5'000));
+
+  {  // over the cap: 503, then the connection is gone. The request bytes
+     // sent before reading prove the 503 survives unread input (lingering
+     // close) instead of being destroyed by a reset.
+    RawConnection over(server.port());
+    over.send_bytes(serialize_request("POST", "/echo", "rejected anyway", {}));
+    const auto resps = over.read_responses(1);
+    ASSERT_EQ(resps.size(), 1u);
+    EXPECT_EQ(resps[0].status, 503);
+    // read_responses returns after EOF; a second read sees the close.
+    EXPECT_EQ(over.read_responses(1).size(), 0u);
+  }
+  // The rejected connection lingers briefly while it drains; once it is
+  // reaped the gauge is back at the cap and the books balance.
+  ASSERT_TRUE(wait_for_stats(
+      server,
+      [](const ServerStats& s2) {
+        return s2.open_connections == kCap &&
+               s2.connections_accepted ==
+                   s2.connections_closed + s2.open_connections;
+      },
+      5'000));
+  auto s = server.stats();
+  EXPECT_EQ(s.overflow_rejections, 1u);
+
+  // Recovery: free half the slots and a new client is admitted + served.
+  for (std::size_t i = 0; i < kCap / 2; ++i) {
+    ::close(held[i]);
+    held[i] = -1;
+  }
+  ASSERT_TRUE(wait_for_stats(
+      server,
+      [](const ServerStats& s2) { return s2.open_connections <= kCap / 2; },
+      5'000));
+  {
+    RawConnection fresh(server.port());
+    fresh.send_bytes(serialize_request("POST", "/echo", "hello", {}));
+    const auto resps = fresh.read_responses(1);
+    ASSERT_EQ(resps.size(), 1u);
+    EXPECT_EQ(resps[0].status, 200);
+    EXPECT_EQ(resps[0].body, "hello");
+  }
+  for (int fd : held) {
+    if (fd >= 0) ::close(fd);
+  }
+  server.stop();
+  s = server.stats();
+  EXPECT_EQ(s.connections_accepted, s.connections_closed);
+}
+
+// ---------------------------------------------------------------------------
+// 5. Deterministic schedule fuzz
+
+namespace fuzz {
+
+struct FuzzConn {
+  int fd = -1;
+  std::string out;                ///< queued request bytes (whole requests)
+  std::size_t off = 0;            ///< bytes of `out` already sent
+  /// (absolute end offset in `out`, token) per queued request.
+  std::deque<std::pair<std::size_t, std::string>> boundaries;
+  std::deque<std::string> expect; ///< tokens of fully-sent requests
+  ResponseParser parser;
+  std::string inbuf;
+};
+
+/// Requests whose bytes have now been fully sent owe us a response.
+void advance_expected(FuzzConn& c) {
+  while (!c.boundaries.empty() && c.off >= c.boundaries.front().first) {
+    c.expect.push_back(std::move(c.boundaries.front().second));
+    c.boundaries.pop_front();
+  }
+}
+
+/// Parses whatever is in `inbuf`; every completed response must match the
+/// oldest outstanding token, in order — anything else is a lost,
+/// duplicated or cross-wired response.
+void match_responses(FuzzConn& c) {
+  for (;;) {
+    while (!c.inbuf.empty() &&
+           c.parser.state() == ResponseParser::State::kNeedMore) {
+      const std::size_t used = c.parser.feed(c.inbuf.data(), c.inbuf.size());
+      c.inbuf.erase(0, used);
+      if (used == 0) break;
+    }
+    if (c.parser.state() != ResponseParser::State::kComplete) {
+      ASSERT_NE(c.parser.state(), ResponseParser::State::kError);
+      return;
+    }
+    ASSERT_FALSE(c.expect.empty())
+        << "response nobody asked for (duplicate): "
+        << c.parser.response().body;
+    EXPECT_EQ(c.parser.response().status, 200);
+    EXPECT_EQ(c.parser.response().body, c.expect.front());
+    c.expect.pop_front();
+    c.parser.reset();
+  }
+}
+
+void read_available(FuzzConn& c) {
+  char buf[8 * 1024];
+  for (;;) {
+    const ssize_t r = ::recv(c.fd, buf, sizeof buf, MSG_DONTWAIT);
+    if (r <= 0) break;
+    c.inbuf.append(buf, static_cast<std::size_t>(r));
+  }
+  match_responses(c);
+}
+
+/// Flush + FIN + drain-to-EOF: afterwards every fully-sent request must
+/// have produced exactly one matching response.
+void finish(FuzzConn& c) {
+  while (c.off < c.out.size()) {
+    const ssize_t w = ::send(c.fd, c.out.data() + c.off,
+                             c.out.size() - c.off, MSG_NOSIGNAL);
+    if (w <= 0) break;  // reset mid-flush: treated like an abort
+    c.off += static_cast<std::size_t>(w);
+  }
+  advance_expected(c);
+  ::shutdown(c.fd, SHUT_WR);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  char buf[8 * 1024];
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = c.fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, 100);
+    if (std::chrono::steady_clock::now() > deadline) {
+      ADD_FAILURE() << "server never closed a finished connection";
+      break;
+    }
+    if (rc <= 0) continue;
+    const ssize_t r = ::recv(c.fd, buf, sizeof buf, 0);
+    if (r > 0) {
+      c.inbuf.append(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+    break;  // EOF (or reset after everything was delivered)
+  }
+  match_responses(c);
+  EXPECT_TRUE(c.expect.empty())
+      << "lost " << c.expect.size() << " response(s), first: "
+      << (c.expect.empty() ? "" : c.expect.front());
+  ::close(c.fd);
+  c = FuzzConn();
+}
+
+void run_schedule_fuzz(std::uint32_t seed) {
+  SCOPED_TRACE(::testing::Message() << "replay with seed=" << seed);
+  ServerConfig ncfg;
+  ncfg.io_threads = 2;
+  ncfg.worker_threads = 4;
+  ncfg.idle_timeout_ms = 60'000;  // the schedule must drive every close
+  ncfg.poll_interval_ms = 10;
+  HttpServer server(ncfg, [](const HttpRequest& req) {
+    HttpResponse resp;
+    resp.body = req.body;
+    return resp;
+  });
+  server.start();
+
+  constexpr int kConns = 24;
+  constexpr int kSteps = 1500;
+  std::vector<FuzzConn> conns(kConns);
+  std::mt19937 rng(seed);
+  int next_token = 0;
+
+  ServerStats prev{};
+  const auto check_stats = [&] {
+    const ServerStats s = server.stats();
+    EXPECT_GE(s.connections_accepted, prev.connections_accepted);
+    EXPECT_GE(s.connections_closed, prev.connections_closed);
+    EXPECT_GE(s.peak_connections, prev.peak_connections);
+    EXPECT_GE(s.requests_served, prev.requests_served);
+    EXPECT_GE(s.responses_4xx, prev.responses_4xx);
+    EXPECT_GE(s.responses_5xx, prev.responses_5xx);
+    EXPECT_GE(s.connections_timed_out, prev.connections_timed_out);
+    EXPECT_GE(s.overflow_rejections, prev.overflow_rejections);
+    EXPECT_GE(s.parse_errors, prev.parse_errors);
+    EXPECT_EQ(s.connections_accepted,
+              s.connections_closed + s.open_connections);
+    prev = s;
+  };
+
+  for (int step = 0; step < kSteps; ++step) {
+    FuzzConn& c = conns[rng() % kConns];
+    if (c.fd < 0) {
+      c.fd = raw_connect(server.port());
+      ASSERT_GE(c.fd, 0);
+      continue;
+    }
+    const std::uint32_t action = rng() % 100;
+    if (action < 25) {  // queue another pipelined request
+      const std::string token = "tok-" + std::to_string(next_token++);
+      c.out += serialize_request("POST", "/echo", token, {});
+      c.boundaries.emplace_back(c.out.size(), token);
+    } else if (action < 60) {  // partial write
+      if (c.off < c.out.size()) {
+        const std::size_t k = std::min<std::size_t>(
+            1 + rng() % 200, c.out.size() - c.off);
+        const ssize_t w = ::send(c.fd, c.out.data() + c.off, k, MSG_NOSIGNAL);
+        if (w > 0) c.off += static_cast<std::size_t>(w);
+        advance_expected(c);
+      }
+    } else if (action < 75) {  // read whatever has arrived
+      read_available(c);
+    } else if (action < 85) {  // idle tick
+    } else if (action < 95) {  // orderly finish: nothing may be lost
+      finish(c);
+    } else {  // abort, possibly mid-request; reads so far already matched
+      ::close(c.fd);
+      c = FuzzConn();
+    }
+    if (step % 50 == 0) check_stats();
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+
+  for (auto& c : conns) {
+    if (c.fd >= 0) finish(c);
+  }
+  EXPECT_TRUE(wait_for_stats(
+      server,
+      [](const ServerStats& s) { return s.open_connections == 0; },
+      10'000))
+      << "connections leaked after the schedule drained";
+  check_stats();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.connections_accepted, s.connections_closed);
+  EXPECT_EQ(s.connections_timed_out, 0u);
+  EXPECT_EQ(s.parse_errors, 0u);
+  server.stop();
+}
+
+}  // namespace fuzz
+
+TEST(EventLoopFuzz, SeededSchedulesKeepInvariantsAndLoseNothing) {
+  for (const std::uint32_t seed : {0xC0FFEEu, 20260731u, 77u}) {
+    fuzz::run_schedule_fuzz(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HttpClient retry semantics: reconnect-and-resend is only safe while the
+// connection has produced zero response bytes.
+
+/// A scripted raw-socket server: runs `on_conn` for every accepted
+/// connection and counts accepts, so a test can prove the client did (or
+/// did not) retry.
+class ScriptedServer {
+ public:
+  explicit ScriptedServer(std::function<void(int)> on_conn, int rcvbuf = 0) {
+    lfd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(lfd_, 0);
+    const int one = 1;
+    ::setsockopt(lfd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (rcvbuf > 0) {
+      // Set before listen() so accepted sockets inherit it and autotuning
+      // cannot swallow a test's deliberately oversized request.
+      ::setsockopt(lfd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+    }
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::bind(lfd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+    EXPECT_EQ(::listen(lfd_, 4), 0);
+    socklen_t len = sizeof addr;
+    ::getsockname(lfd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this, on_conn = std::move(on_conn)] {
+      for (;;) {
+        const int fd = ::accept(lfd_, nullptr, nullptr);
+        if (fd < 0) return;  // listener shut down
+        accepts_.fetch_add(1);
+        on_conn(fd);  // on_conn owns and closes fd
+      }
+    });
+  }
+
+  ~ScriptedServer() {
+    ::shutdown(lfd_, SHUT_RDWR);
+    if (thread_.joinable()) thread_.join();
+    ::close(lfd_);
+  }
+
+  int port() const { return port_; }
+  int accepts() const { return accepts_.load(); }
+
+ private:
+  int lfd_ = -1;
+  int port_ = 0;
+  std::atomic<int> accepts_{0};
+  std::thread thread_;
+};
+
+TEST(HttpClientRetry, StaleKeepAliveRetriesOnlyWhenNoBytesArrived) {
+  ServerConfig ncfg;
+  ncfg.io_threads = 1;
+  ncfg.worker_threads = 1;
+  ncfg.idle_timeout_ms = 250;  // server hangs up between our requests
+  ncfg.poll_interval_ms = 10;
+  HttpServer server(ncfg, [](const HttpRequest& req) {
+    HttpResponse resp;
+    resp.body = req.body;
+    return resp;
+  });
+  server.start();
+
+  HttpClient c("127.0.0.1", server.port());
+  EXPECT_EQ(c.post("/echo", "one").body, "one");
+  // Let the idle timeout reap the kept-alive connection server-side.
+  ASSERT_TRUE(wait_for_stats(
+      server,
+      [](const ServerStats& s) { return s.connections_timed_out >= 1; },
+      5'000));
+  // No response byte was ever received on the dead connection, so the
+  // one transparent retry is allowed — and must succeed.
+  EXPECT_EQ(c.post("/echo", "two").body, "two");
+  EXPECT_EQ(server.stats().connections_accepted, 2u);
+  server.stop();
+}
+
+TEST(HttpClientRetry, EarlyResponseIsDeliveredInsteadOfARetry) {
+  const std::string early_wire = serialize_response(
+      [] {
+        HttpResponse resp;
+        resp.status = 413;
+        resp.headers.emplace_back("content-type", "text/plain");
+        resp.body = "too big, stopped reading\n";
+        return resp;
+      }(),
+      /*keep_alive=*/false);
+  // Read a little, answer, close with the rest unread: the client's
+  // still-in-flight body bytes then draw a reset, so its send fails
+  // *after* response bytes exist. Resending would duplicate the request.
+  ScriptedServer server(
+      [&early_wire](int fd) {
+        char buf[1024];
+        (void)::recv(fd, buf, sizeof buf, 0);
+        (void)::send(fd, early_wire.data(), early_wire.size(), MSG_NOSIGNAL);
+        ::close(fd);
+      },
+      /*rcvbuf=*/4096);
+
+  HttpClient c("127.0.0.1", server.port());
+  const std::string big(32 << 20, 'x');  // cannot fit in-flight buffers
+  const auto resp = c.post("/x", big);
+  EXPECT_EQ(resp.status, 413);
+  EXPECT_EQ(resp.body, "too big, stopped reading\n");
+  // Give an (incorrect) retry a moment to show up, then prove it didn't.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(server.accepts(), 1);
+}
+
+TEST(HttpClientRetry, EofMidResponseIsNotRetried) {
+  ScriptedServer server([](int fd) {
+    char buf[1024];
+    (void)::recv(fd, buf, sizeof buf, 0);
+    const std::string half = "HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nhel";
+    (void)::send(fd, half.data(), half.size(), MSG_NOSIGNAL);
+    ::close(fd);
+  });
+
+  HttpClient c("127.0.0.1", server.port());
+  EXPECT_THROW(c.post("/x", "tiny"), std::runtime_error);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(server.accepts(), 1);
 }
 
 }  // namespace
