@@ -30,6 +30,14 @@
 //   --idle-clients=N   idle keep-alive connections    (default 512)
 //   --warm-seconds=S   minimum warm window            (default 0.5)
 //   --out=PATH         JSON output path (default BENCH_net_throughput.json)
+//   --chaos            after the clean bars, re-run the warm window with
+//                      ~1% socket faults injected on both sides of the
+//                      wire (server read/write, client send/recv) and a
+//                      retrying client; reports throughput retention vs
+//                      the clean warm rate and the request error rate.
+//                      Requires a build with ESTIMA_FAULT_INJECTION=ON;
+//                      otherwise the JSON records chaos as disabled.
+//   --chaos-seed=S     fault-schedule RNG seed        (default 1)
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -42,6 +50,7 @@
 
 #include "bench/bench_util.hpp"
 #include "core/measurement.hpp"
+#include "fault/fault_injection.hpp"
 #include "core/prediction_io.hpp"
 #include "core/predictor.hpp"
 #include "net/client.hpp"
@@ -142,6 +151,18 @@ int run_bench(int argc, char** argv) {
   const double warm_seconds = parse_flag_d(argc, argv, "warm-seconds", 0.5);
   const std::string out_path =
       parse_flag_s(argc, argv, "out", "BENCH_net_throughput.json");
+  bool chaos = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--chaos") chaos = true;
+  }
+  const auto chaos_seed = static_cast<std::uint64_t>(
+      parse_flag_d(argc, argv, "chaos-seed", 1));
+  if (chaos && !estima::fault::compiled_in()) {
+    std::fprintf(stderr,
+                 "net_throughput: --chaos needs ESTIMA_FAULT_INJECTION=ON; "
+                 "reporting chaos as disabled\n");
+    chaos = false;
+  }
 
   std::vector<estima::core::MeasurementSet> uniques;
   std::vector<std::string> bodies;
@@ -278,6 +299,81 @@ int run_bench(int argc, char** argv) {
   const double batch_cps =
       static_cast<double>(batch_requests) * campaigns / batch_elapsed;
 
+  // Chaos window: the same warm traffic with ~1% of socket operations on
+  // both sides of the wire failing (or short-writing), driven through the
+  // client's retry policy. The questions: how much warm throughput
+  // survives the fault rate, how many requests ultimately fail, and —
+  // above all — whether any delivered 200 is ever a wrong answer.
+  double chaos_rps = 0.0;
+  double chaos_retention = 0.0;
+  double chaos_error_rate = 0.0;
+  std::size_t chaos_ok = 0;
+  std::size_t chaos_failed = 0;
+  std::size_t chaos_wrong = 0;
+  if (chaos) {
+    std::vector<std::string> expected;
+    for (const auto& p : serial) {
+      std::ostringstream os;
+      estima::core::write_prediction(os, p);
+      expected.push_back(os.str());
+    }
+    estima::net::HttpClient cclient("127.0.0.1", server.port());
+    estima::net::RetryConfig rc;
+    rc.max_attempts = 5;
+    rc.base_delay_ms = 1;
+    rc.max_delay_ms = 20;
+    rc.budget_ms = 1'000;
+    rc.seed = chaos_seed;
+    cclient.set_retry_config(rc);
+
+    estima::fault::seed_rng(chaos_seed);
+    estima::fault::FaultSpec p;
+    p.trigger = estima::fault::FaultSpec::Trigger::kProbability;
+    p.probability = 0.01;
+    estima::fault::arm("net.read", p);
+    estima::fault::arm("client.send", p);
+    estima::fault::arm("client.recv", p);
+    estima::fault::FaultSpec shortw = p;
+    shortw.short_io = true;
+    estima::fault::arm("net.write", shortw);
+
+    const auto chaos_start = Clock::now();
+    double chaos_elapsed = 0.0;
+    for (int pass = 0;; ++pass) {
+      for (int i = 0; i < campaigns; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        try {
+          const auto resp =
+              cclient.request_with_retry("POST", "/v1/predict", bodies[idx],
+                                         {{"content-type", "text/csv"}});
+          if (resp.status == 200) {
+            if (resp.body == expected[idx]) {
+              ++chaos_ok;
+            } else {
+              ++chaos_wrong;
+            }
+          } else {
+            ++chaos_failed;
+          }
+        } catch (const std::exception&) {
+          ++chaos_failed;  // retries exhausted: counted, not fatal
+        }
+      }
+      chaos_elapsed = seconds_since(chaos_start);
+      if (chaos_elapsed >= warm_seconds && pass >= 1) break;
+    }
+    estima::fault::reset();
+
+    chaos_rps = static_cast<double>(chaos_ok) / chaos_elapsed;
+    chaos_retention = warm_rps > 0.0 ? chaos_rps / warm_rps : 0.0;
+    const std::size_t chaos_total = chaos_ok + chaos_failed + chaos_wrong;
+    chaos_error_rate =
+        chaos_total > 0
+            ? static_cast<double>(chaos_failed + chaos_wrong) /
+                  static_cast<double>(chaos_total)
+            : 0.0;
+  }
+
   const std::uint64_t warm_hits =
       after_warm.cache.hits - after_cold.cache.hits;
   const std::uint64_t warm_misses =
@@ -317,6 +413,13 @@ int run_bench(int argc, char** argv) {
               100.0 * warm_hit_rate, no_new_compute ? "yes" : "NO");
   std::printf("  bit-identical through the wire: %s\n",
               identical ? "yes" : "NO");
+  if (chaos) {
+    std::printf("  chaos (seed=%llu, ~1%% socket faults): %10.2f requests/s, "
+                "%.0f%% retention, %.2f%% error rate, wrong answers: %zu\n",
+                static_cast<unsigned long long>(chaos_seed), chaos_rps,
+                100.0 * chaos_retention, 100.0 * chaos_error_rate,
+                chaos_wrong);
+  }
   std::printf("  server: accepted=%llu peak_open=%llu served=%llu "
               "4xx=%llu 5xx=%llu\n",
               static_cast<unsigned long long>(sstats.connections_accepted),
@@ -353,10 +456,30 @@ int run_bench(int argc, char** argv) {
                static_cast<unsigned long long>(sstats.requests_served));
   std::fprintf(f, "  \"bit_identical_through_wire\": %s,\n",
                identical ? "true" : "false");
+  if (chaos) {
+    std::fprintf(f, "  \"chaos\": {\n");
+    std::fprintf(f, "    \"enabled\": true,\n");
+    std::fprintf(f, "    \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(chaos_seed));
+    std::fprintf(f, "    \"requests_per_sec\": %.3f,\n", chaos_rps);
+    std::fprintf(f, "    \"throughput_retention\": %.4f,\n", chaos_retention);
+    std::fprintf(f, "    \"error_rate\": %.4f,\n", chaos_error_rate);
+    std::fprintf(f, "    \"ok\": %zu,\n", chaos_ok);
+    std::fprintf(f, "    \"failed\": %zu,\n", chaos_failed);
+    std::fprintf(f, "    \"wrong_answers\": %zu\n", chaos_wrong);
+    std::fprintf(f, "  },\n");
+  } else {
+    std::fprintf(f, "  \"chaos\": {\"enabled\": false},\n");
+  }
   std::fprintf(f, "  \"speedup_bar_met\": %s\n", speedup_ok ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("  wrote %s\n", out_path.c_str());
 
-  return (identical && hit_rate_ok && speedup_ok && idle_held) ? 0 : 2;
+  // A wrong answer under chaos is a correctness failure, same as a
+  // bit-identity failure on the clean path.
+  return (identical && hit_rate_ok && speedup_ok && idle_held &&
+          chaos_wrong == 0)
+             ? 0
+             : 2;
 }

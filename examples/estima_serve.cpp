@@ -19,16 +19,31 @@
 //     --restore=0|1        restore from --snapshot-file at startup (1)
 //     --snapshot-every=K   auto-snapshot after every K computed
 //                          predictions (0 = only on shutdown)
+//     --max-queue-depth=N  handler-pool queue bound; over it the oldest
+//                          queued request is shed 503 + Retry-After
+//                          (default 256, 0 = unbounded)
+//     --queue-delay-ms=D   a request queued longer than D ms is shed at
+//                          dequeue instead of run (default 0 = off)
+//     --cache-ttl-ms=T     cached predictions older than T ms read as
+//                          misses but stay resident for serve-stale
+//                          degradation (default 0 = never expire)
 //
 // Serving surface (see src/service/routes.hpp for body formats):
 //   POST /v1/predict        one CSV campaign -> one prediction record
 //   POST /v1/predict_batch  length-framed CSV campaigns -> predictions
 //   GET  /v1/stats          service + cache counters as JSON
+//   GET  /v1/health         200 serving / 503 draining or shedding
 //   POST /v1/snapshot       spill the cache to --snapshot-file
 //
-// Shutdown is a graceful drain: on SIGINT/SIGTERM the listener closes,
-// in-flight responses finish, and the cache is snapshotted (when
-// --snapshot-file is set) so the next start answers warm.
+// Resilience: each request's 408 budget is propagated into the predictor
+// as a cooperative deadline (plus any X-Estima-Deadline-Ms the client
+// sends), overload sheds with 503 + Retry-After, and under shedding
+// /v1/predict may serve an expired cache entry (X-Estima-Stale: 1).
+//
+// Shutdown is a graceful drain: on SIGINT/SIGTERM /v1/health flips to
+// 503 "draining", the listener closes, in-flight responses finish, and
+// the cache is snapshotted (when --snapshot-file is set) so the next
+// start answers warm.
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -78,6 +93,12 @@ int main(int argc, char** argv) {
   const bool restore = parse_flag_d(argc, argv, "restore", 1) != 0;
   const int snapshot_every =
       static_cast<int>(parse_flag_d(argc, argv, "snapshot-every", 0));
+  const int max_queue_depth =
+      static_cast<int>(parse_flag_d(argc, argv, "max-queue-depth", 256));
+  const int queue_delay_ms =
+      static_cast<int>(parse_flag_d(argc, argv, "queue-delay-ms", 0));
+  const int cache_ttl_ms =
+      static_cast<int>(parse_flag_d(argc, argv, "cache-ttl-ms", 0));
 
   parallel::ThreadPool pool(
       static_cast<std::size_t>(threads > 0 ? threads : 1));
@@ -85,6 +106,8 @@ int main(int argc, char** argv) {
   scfg.prediction.target_cores = core::cores_up_to(target);
   scfg.cache_capacity = static_cast<std::size_t>(
       cache_capacity > 0 ? cache_capacity : 4096);
+  scfg.cache_ttl_ms =
+      static_cast<std::uint64_t>(cache_ttl_ms > 0 ? cache_ttl_ms : 0);
   if (snapshot_every > 0) {
     if (snapshot_file.empty()) {
       std::fprintf(stderr,
@@ -131,9 +154,14 @@ int main(int argc, char** argv) {
   ncfg.io_threads = static_cast<std::size_t>(io_threads > 0 ? io_threads : 1);
   ncfg.max_connections =
       static_cast<std::size_t>(max_connections > 0 ? max_connections : 0);
-  net::HttpServer server(ncfg, [&router](const net::HttpRequest& req) {
-    return router.handle(req);
-  });
+  ncfg.max_queue_depth =
+      static_cast<std::size_t>(max_queue_depth > 0 ? max_queue_depth : 0);
+  ncfg.queue_delay_budget_ms = queue_delay_ms > 0 ? queue_delay_ms : 0;
+  net::HttpServer server(
+      ncfg, [&router](const net::HttpRequest& req,
+                      const net::RequestContext& ctx) {
+        return router.handle(req, ctx);
+      });
   router.set_server_stats_source([&server] { return server.stats(); });
   try {
     server.start();
@@ -157,6 +185,9 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
   }
   std::printf("signal %d: draining...\n", g_signal.load());
+  // Health goes dark before the listener does, so a load balancer polling
+  // /v1/health stops routing here while the drain still answers.
+  router.set_draining(true);
   server.stop();
 
   if (!snapshot_file.empty()) {

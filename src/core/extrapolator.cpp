@@ -1,11 +1,14 @@
 #include "core/extrapolator.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <new>
 #include <stdexcept>
 
+#include "fault/fault_injection.hpp"
 #include "numeric/stats.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -108,29 +111,54 @@ std::vector<std::vector<CandidateFit>> enumerate_candidates_filtered(
   acct.variant_refits_avoided = (V - 1) * acct.fits_executed;
 
   // Execute the jobs, possibly fanned out across the pool. Each job writes
-  // only its own slot, so the fan-out cannot change results.
+  // only its own slot, so the fan-out cannot change results. Jobs run
+  // inside parallel_for and therefore must not throw: a job that observes
+  // an expired deadline or a failed workspace allocation records the fact
+  // atomically and returns, and the whole enumeration is abandoned below.
   std::vector<FitSlot> slots(job_prefix.size());
+  std::atomic<std::size_t> jobs_cancelled{0};
+  std::atomic<std::size_t> jobs_aborted{0};
   parallel::parallel_for(
       cfg.pool, job_prefix.size(), [&](std::size_t idx) {
-        const int i = job_prefix[idx];
-        const KernelType type = kAllKernels[idx % K];
-        const std::vector<double> pxs(xs.begin(), xs.begin() + i);
-        const std::vector<double> pys(values.begin(), values.begin() + i);
-        auto fitted = fit_kernel(type, pxs, pys, cfg.fit);
-        if (!fitted) return;
-        FitSlot& slot = slots[idx];
-        for (std::size_t v = 0; v < filters.size(); ++v) {
-          if (is_realistic(*fitted, filters[v], vmax, nonneg)) {
-            slot.realistic_mask |= std::uint64_t{1} << v;
+        if (cfg.deadline != nullptr && cfg.deadline->expired()) {
+          jobs_cancelled.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        try {
+          if (fault::fault_point("alloc.workspace")) throw std::bad_alloc();
+          const int i = job_prefix[idx];
+          const KernelType type = kAllKernels[idx % K];
+          const std::vector<double> pxs(xs.begin(), xs.begin() + i);
+          const std::vector<double> pys(values.begin(), values.begin() + i);
+          auto fitted = fit_kernel(type, pxs, pys, cfg.fit);
+          if (!fitted) return;
+          FitSlot& slot = slots[idx];
+          for (std::size_t v = 0; v < filters.size(); ++v) {
+            if (is_realistic(*fitted, filters[v], vmax, nonneg)) {
+              slot.realistic_mask |= std::uint64_t{1} << v;
+            }
           }
+          if (slot.realistic_mask == 0) return;
+          slot.pred.resize(static_cast<std::size_t>(m));
+          for (std::size_t j = 0; j < static_cast<std::size_t>(m); ++j) {
+            slot.pred[j] = (*fitted)(xs[j]);
+          }
+          slot.fn = std::move(*fitted);
+        } catch (const std::bad_alloc&) {
+          jobs_aborted.fetch_add(1, std::memory_order_relaxed);
         }
-        if (slot.realistic_mask == 0) return;
-        slot.pred.resize(static_cast<std::size_t>(m));
-        for (std::size_t j = 0; j < static_cast<std::size_t>(m); ++j) {
-          slot.pred[j] = (*fitted)(xs[j]);
-        }
-        slot.fn = std::move(*fitted);
       });
+  acct.fits_cancelled = jobs_cancelled.load(std::memory_order_relaxed);
+  acct.fits_aborted = jobs_aborted.load(std::memory_order_relaxed);
+  if (acct.fits_cancelled > 0 || acct.fits_aborted > 0) {
+    // An incomplete fit pool must not be scored: a missing fit could flip
+    // which candidate wins, which would be a silently different answer.
+    acct.fits_executed -= acct.fits_cancelled + acct.fits_aborted;
+    acct.duplicate_fits_eliminated =
+        acct.candidates_attempted - job_prefix.size();
+    if (stats) *stats = acct;
+    return out;
+  }
 
   // Serial assembly per filter in the fixed (checkpoint setting, prefix,
   // kernel) order: scoring against each checkpoint set is cheap (c

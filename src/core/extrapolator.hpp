@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/deadline.hpp"
 #include "core/fit_engine.hpp"
 #include "core/kernels.hpp"
 
@@ -44,6 +45,14 @@ struct ExtrapolationConfig {
   /// Fan the independent fit jobs (and, in predict(), the independent
   /// stall categories) out across this pool. Null = single-threaded.
   parallel::ThreadPool* pool = nullptr;
+  /// Cooperative cancellation: fit jobs poll this between fits and stop
+  /// early once it expires. An enumeration that observed expiry returns
+  /// EMPTY candidate lists (a partial enumeration must never be scored)
+  /// and reports the skips in EnumerationStats::fits_cancelled; it does
+  /// not throw — callers decide, in serial context, whether to raise
+  /// DeadlineExceeded. Null = never cancelled. Like `pool`, this knob
+  /// cannot change produced values, only whether they are produced.
+  const Deadline* deadline = nullptr;
 };
 
 /// One scored candidate fit (kept for diagnostics / bench output).
@@ -72,6 +81,14 @@ struct EnumerationStats {
   /// Fit executions the additional realism filters reused instead of
   /// rerunning — a strict-then-relaxed retry would refit everything.
   std::size_t variant_refits_avoided = 0;
+  /// Fit jobs skipped because cfg.deadline expired mid-enumeration. Any
+  /// nonzero value means the candidate lists were abandoned (returned
+  /// empty) and the caller should treat the computation as cancelled.
+  std::size_t fits_cancelled = 0;
+  /// Fit jobs abandoned because a workspace allocation failed. Nonzero
+  /// means the candidate lists were abandoned (returned empty): dropping
+  /// just the failed candidates could silently change which fit wins.
+  std::size_t fits_aborted = 0;
 };
 
 /// The outcome of extrapolating one series.

@@ -57,15 +57,33 @@ double compute_freq_scale(const MeasurementSet& ms,
 }
 
 ExtrapolationConfig tuned_extrap(const PredictionConfig& cfg,
-                                 parallel::ThreadPool* pool) {
+                                 parallel::ThreadPool* pool,
+                                 const Deadline* deadline = nullptr) {
   ExtrapolationConfig e = cfg.extrap;
   e.pool = pool;
+  e.deadline = deadline;
   if (!cfg.target_cores.empty()) {
     e.target_max_cores = std::max<double>(
         e.target_max_cores,
         *std::max_element(cfg.target_cores.begin(), cfg.target_cores.end()));
   }
   return e;
+}
+
+// An enumeration that recorded cancelled or aborted fit jobs returned
+// abandoned (empty) candidate lists; surface that as the right exception
+// from serial context — never let an abandoned enumeration fall through
+// to a fallback path, which would silently change the answer.
+void raise_if_abandoned(const EnumerationStats& stats, const char* where) {
+  if (stats.fits_cancelled > 0) {
+    throw DeadlineExceeded(std::string("predict: deadline expired during ") +
+                           where);
+  }
+  if (stats.fits_aborted > 0) {
+    throw std::runtime_error(std::string("predict: fit workspace "
+                                         "allocation failed during ") +
+                             where);
+  }
 }
 
 }  // namespace
@@ -78,6 +96,14 @@ Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg) {
 
 Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
                    parallel::ThreadPool* pool) {
+  return predict(ms, cfg, pool, cfg.extrap.deadline);
+}
+
+Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
+                   parallel::ThreadPool* pool, const Deadline* deadline) {
+  if (deadline != nullptr && deadline->expired()) {
+    throw DeadlineExceeded("predict: deadline expired before work began");
+  }
   ms.validate();
   if (cfg.target_cores.empty()) {
     throw std::invalid_argument("predict: no target core counts");
@@ -110,7 +136,7 @@ Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
     input.categories = {std::move(agg)};
   }
 
-  const ExtrapolationConfig extrap = tuned_extrap(cfg, pool);
+  const ExtrapolationConfig extrap = tuned_extrap(cfg, pool, deadline);
 
   Prediction out;
   out.cores = cfg.target_cores;
@@ -130,6 +156,13 @@ Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
         exts[i] = extrapolate_series(input.cores, input.categories[i].values,
                                      extrap, &ext_stats[i]);
       });
+  // A category whose enumeration was abandoned mid-way reads as "no
+  // realistic fit" — indistinguishable from a legitimately unfittable
+  // series — so the abandonment check must run before the
+  // constant-extension fallback below can capture it.
+  for (const auto& stats : ext_stats) {
+    raise_if_abandoned(stats, "category extrapolation");
+  }
   out.categories.reserve(input.categories.size());
   for (std::size_t i = 0; i < input.categories.size(); ++i) {
     const auto& cat = input.categories[i];
@@ -186,6 +219,7 @@ Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
   auto factor_passes = enumerate_candidates_filtered(
       input.cores, factor_meas, extrap, {strict_realism, extrap.realism},
       &out.factor_stats);
+  raise_if_abandoned(out.factor_stats, "scaling-factor enumeration");
   out.factor_used_relaxed_realism = factor_passes[0].empty();
   std::vector<CandidateFit> factor_candidates = std::move(
       out.factor_used_relaxed_realism ? factor_passes[1] : factor_passes[0]);
@@ -293,7 +327,9 @@ Prediction predict_time_extrapolation(const MeasurementSet& ms,
   std::vector<double> scaled_time(ms.time_s);
   for (double& t : scaled_time) t *= out.freq_scale;
 
-  auto ext = extrapolate_series(ms.cores, scaled_time, extrap);
+  EnumerationStats time_stats;
+  auto ext = extrapolate_series(ms.cores, scaled_time, extrap, &time_stats);
+  raise_if_abandoned(time_stats, "time extrapolation");
   if (!ext) {
     throw std::invalid_argument(
         "time extrapolation: no realistic fit for the time series");
@@ -366,9 +402,10 @@ std::uint64_t config_signature(const PredictionConfig& cfg) {
   h.i64(e.realism.max_steps);
   h.f64(e.fit.ridge_lambda);
   h.i64(e.fit.levmar_max_iterations);
-  // e.memoize_fits and e.pool deliberately excluded: the *answer* (times,
-  // stalls, chosen fits) is bit-identical across both, so cached results
-  // stay shareable. Only the work-accounting fields (factor_stats, the
+  // e.memoize_fits, e.pool and e.deadline deliberately excluded: the
+  // *answer* (times, stalls, chosen fits) is bit-identical across all of
+  // them — a deadline can only turn an answer into an exception — so
+  // cached results stay shareable. Only the work-accounting fields (factor_stats, the
   // per-category fits_executed / duplicate_fits_eliminated) reflect the
   // run that actually computed the prediction — accounting describes the
   // computation, not the campaign, and is outside the identity contract.

@@ -72,6 +72,15 @@ Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg);
 Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
                    parallel::ThreadPool* pool);
 
+/// Same pipeline under a cooperative deadline (overriding both
+/// cfg.extrap.pool and cfg.extrap.deadline). Fit jobs poll the deadline
+/// between fits; once it expires the pipeline stops within one fit and
+/// throws DeadlineExceeded. A prediction that returns at all is
+/// bit-identical to an undeadlined run — a deadline can only replace an
+/// answer with an exception, never alter it. Null deadline = unlimited.
+Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
+                   parallel::ThreadPool* pool, const Deadline* deadline);
+
 /// Stable 64-bit FNV-1a signature over every config field that can change
 /// a prediction's numeric result. memoize_fits and the pool pointer are
 /// excluded: both are bit-identical-output knobs by construction, so

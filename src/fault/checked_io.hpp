@@ -1,0 +1,106 @@
+// Checked syscall wrappers: the thin seam between the codebase and the
+// kernel where fault_injection.hpp can interpose. Each wrapper names its
+// site; when that site is armed the wrapper reports the configured errno
+// without touching the kernel (or, for short_io transfers, clamps the
+// request so the caller's partial-progress paths get exercised).
+//
+// With ESTIMA_FAULT_INJECTION off, fault_point() is a constant-false
+// inline and each wrapper is exactly the raw syscall.
+#pragma once
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdio>
+
+#include "fault/fault_injection.hpp"
+
+namespace estima::fault {
+
+/// Clamp a transfer length to a non-empty sliver so short-I/O faults make
+/// progress (never returning 0, which callers read as EOF/closed-peer).
+inline std::size_t short_len(std::size_t n) { return n > 4 ? 1 + n / 4 : n; }
+
+inline ssize_t checked_recv(const char* site, int fd, void* buf,
+                            std::size_t n, int flags = 0) {
+  FaultFire fire;
+  if (fault_point(site, &fire)) {
+    if (!fire.short_io) {
+      errno = fire.error_errno;
+      return -1;
+    }
+    n = short_len(n);
+  }
+  return ::recv(fd, buf, n, flags);
+}
+
+inline ssize_t checked_send(const char* site, int fd, const void* buf,
+                            std::size_t n, int flags = 0) {
+  FaultFire fire;
+  if (fault_point(site, &fire)) {
+    if (!fire.short_io) {
+      errno = fire.error_errno;
+      return -1;
+    }
+    n = short_len(n);
+  }
+  return ::send(fd, buf, n, flags);
+}
+
+inline ssize_t checked_write(const char* site, int fd, const void* buf,
+                             std::size_t n) {
+  FaultFire fire;
+  if (fault_point(site, &fire)) {
+    if (!fire.short_io) {
+      errno = fire.error_errno;
+      return -1;
+    }
+    n = short_len(n);
+  }
+  return ::write(fd, buf, n);
+}
+
+inline int checked_open(const char* site, const char* path, int flags,
+                        mode_t mode) {
+  FaultFire fire;
+  if (fault_point(site, &fire)) {
+    errno = fire.error_errno;
+    return -1;
+  }
+  return ::open(path, flags, mode);
+}
+
+inline int checked_rename(const char* site, const char* from,
+                          const char* to) {
+  FaultFire fire;
+  if (fault_point(site, &fire)) {
+    errno = fire.error_errno;
+    return -1;
+  }
+  return std::rename(from, to);
+}
+
+inline int checked_accept(const char* site, int fd) {
+  FaultFire fire;
+  if (fault_point(site, &fire)) {
+    errno = fire.error_errno;
+    return -1;
+  }
+  return ::accept(fd, nullptr, nullptr);
+}
+
+inline int checked_connect(const char* site, int fd,
+                           const struct sockaddr* addr, socklen_t len) {
+  FaultFire fire;
+  if (fault_point(site, &fire)) {
+    errno = fire.error_errno;
+    return -1;
+  }
+  return ::connect(fd, addr, len);
+}
+
+}  // namespace estima::fault

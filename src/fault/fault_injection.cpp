@@ -1,0 +1,129 @@
+#include "fault/fault_injection.hpp"
+
+#if defined(ESTIMA_FAULT_INJECTION)
+
+#include <mutex>
+#include <random>
+#include <unordered_map>
+
+namespace estima::fault {
+namespace {
+
+struct ArmedSite {
+  FaultSpec spec;
+  SiteStats stats;
+};
+
+// One registry for the process. All slow-path state lives behind a single
+// mutex: fault sites sit on syscall boundaries, so a contended lock is
+// noise next to the I/O it gates, and a single lock keeps the trigger
+// bookkeeping (nth counters, fire caps, shared RNG) race-free.
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, ArmedSite> sites;
+  std::mt19937_64 rng{0x5712aefull};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_armed_sites{0};
+
+bool fault_point_slow(const char* site, FaultFire* fire) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end()) return false;
+
+  ArmedSite& armed = it->second;
+  armed.stats.calls++;
+  const FaultSpec& spec = armed.spec;
+  if (spec.max_fires != 0 && armed.stats.fires >= spec.max_fires) {
+    return false;
+  }
+
+  bool fires = false;
+  switch (spec.trigger) {
+    case FaultSpec::Trigger::kAlways:
+      fires = true;
+      break;
+    case FaultSpec::Trigger::kNth:
+      fires = armed.stats.calls == spec.nth;
+      break;
+    case FaultSpec::Trigger::kProbability: {
+      std::uniform_real_distribution<double> dist(0.0, 1.0);
+      fires = dist(r.rng) < spec.probability;
+      break;
+    }
+  }
+  if (!fires) return false;
+
+  armed.stats.fires++;
+  if (fire != nullptr) {
+    fire->error_errno = spec.error_errno;
+    fire->short_io = spec.short_io;
+  }
+  return true;
+}
+
+}  // namespace detail
+
+void arm(const std::string& site, FaultSpec spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto [it, inserted] = r.sites.insert_or_assign(site, ArmedSite{spec, {}});
+  (void)it;
+  if (inserted) {
+    detail::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void disarm(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.sites.erase(site) > 0) {
+    detail::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  detail::g_armed_sites.fetch_sub(static_cast<int>(r.sites.size()),
+                                  std::memory_order_relaxed);
+  r.sites.clear();
+}
+
+void seed_rng(std::uint64_t seed) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.rng.seed(seed);
+}
+
+SiteStats site_stats(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? SiteStats{} : it->second.stats;
+}
+
+std::vector<std::pair<std::string, SiteStats>> all_site_stats() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::pair<std::string, SiteStats>> out;
+  out.reserve(r.sites.size());
+  for (const auto& [name, armed] : r.sites) {
+    out.emplace_back(name, armed.stats);
+  }
+  return out;
+}
+
+}  // namespace estima::fault
+
+#endif  // ESTIMA_FAULT_INJECTION

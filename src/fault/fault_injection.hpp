@@ -1,0 +1,116 @@
+// Fault-injection registry for resilience testing.
+//
+// Code under test is instrumented with named fault points at its syscall
+// and allocation seams ("net.write", "snapshot.rename", "pool.submit",
+// ...). A test arms a site with a trigger — always, every-nth-call, or
+// probabilistic — and the checked wrappers in fault/checked_io.hpp then
+// deliver the configured errno (or a truncated transfer) instead of
+// touching the kernel.
+//
+// The whole subsystem compiles away unless ESTIMA_FAULT_INJECTION is
+// defined: fault_point() becomes a constant-false inline and the checked
+// wrappers collapse to the raw syscalls, so production builds pay nothing.
+// When compiled in, the fast path for "nothing armed" is one relaxed
+// atomic load.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#if defined(ESTIMA_FAULT_INJECTION)
+#include <atomic>
+#endif
+
+namespace estima::fault {
+
+/// How an armed site decides whether a given call fires.
+struct FaultSpec {
+  enum class Trigger {
+    kAlways,       ///< every call fires
+    kNth,          ///< only the nth call (1-based) fires
+    kProbability,  ///< each call fires with probability `probability`
+  };
+  Trigger trigger = Trigger::kAlways;
+  std::uint64_t nth = 1;        ///< call index for kNth (1 = next call)
+  double probability = 1.0;     ///< per-call fire chance for kProbability
+  int error_errno = 5;          ///< errno the wrapper reports (EIO)
+  bool short_io = false;        ///< truncate the transfer instead of failing
+  std::uint64_t max_fires = 0;  ///< stop firing after this many (0 = no cap)
+};
+
+/// What a firing fault point should do, filled in by fault_point().
+struct FaultFire {
+  int error_errno = 5;
+  bool short_io = false;
+};
+
+/// Per-site call/fire accounting while the site is armed.
+struct SiteStats {
+  std::uint64_t calls = 0;
+  std::uint64_t fires = 0;
+};
+
+/// True when the subsystem is compiled in (ESTIMA_FAULT_INJECTION).
+/// Tests gate on this to skip injection cases in production builds.
+constexpr bool compiled_in() {
+#if defined(ESTIMA_FAULT_INJECTION)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(ESTIMA_FAULT_INJECTION)
+
+namespace detail {
+/// Number of currently armed sites; fault_point() exits immediately while
+/// this is zero so unarmed instrumented code stays near-free.
+extern std::atomic<int> g_armed_sites;
+bool fault_point_slow(const char* site, FaultFire* fire);
+}  // namespace detail
+
+/// Returns true when `site` is armed and its trigger fires for this call;
+/// fills `*fire` (if given) with the configured failure. Thread-safe.
+inline bool fault_point(const char* site, FaultFire* fire = nullptr) {
+  if (detail::g_armed_sites.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  return detail::fault_point_slow(site, fire);
+}
+
+/// Arms (or re-arms, resetting counters) a site. Thread-safe.
+void arm(const std::string& site, FaultSpec spec);
+
+/// Disarms one site; keeps other sites armed.
+void disarm(const std::string& site);
+
+/// Disarms every site and clears all accounting.
+void reset();
+
+/// Reseeds the RNG behind probabilistic triggers so a chaos schedule is
+/// replayable from a printed seed.
+void seed_rng(std::uint64_t seed);
+
+/// Accounting for one site since it was (re-)armed; zeros if not armed.
+SiteStats site_stats(const std::string& site);
+
+/// Accounting for every armed site.
+std::vector<std::pair<std::string, SiteStats>> all_site_stats();
+
+#else  // !ESTIMA_FAULT_INJECTION — everything collapses to no-ops.
+
+inline bool fault_point(const char*, FaultFire* = nullptr) { return false; }
+inline void arm(const std::string&, FaultSpec) {}
+inline void disarm(const std::string&) {}
+inline void reset() {}
+inline void seed_rng(std::uint64_t) {}
+inline SiteStats site_stats(const std::string&) { return {}; }
+inline std::vector<std::pair<std::string, SiteStats>> all_site_stats() {
+  return {};
+}
+
+#endif  // ESTIMA_FAULT_INJECTION
+
+}  // namespace estima::fault

@@ -7,12 +7,39 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
+
+#include "fault/checked_io.hpp"
 
 namespace estima::net {
+namespace {
+
+/// Retry-After seconds from a 503, as milliseconds; <= 0 when absent or
+/// unparsable. (Only the delta-seconds form is supported; the HTTP-date
+/// form is ignored — a floor of 0 just falls back to pure jitter.)
+int retry_after_ms(const HttpResponse& resp) {
+  for (const auto& [name, value] : resp.headers) {
+    std::string lower(name);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char ch) { return std::tolower(ch); });
+    if (lower != "retry-after") continue;
+    char* end = nullptr;
+    const long secs = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || secs < 0) return 0;
+    return static_cast<int>(std::min<long>(secs, 3'600) * 1'000);
+  }
+  return 0;
+}
+
+}  // namespace
 
 HttpClient::HttpClient(std::string host, int port, ParserLimits limits)
     : host_(std::move(host)), port_(port), limits_(limits) {}
@@ -41,7 +68,9 @@ void HttpClient::connect() {
     disconnect();
     throw std::runtime_error("http client: bad address " + host_);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+  if (fault::checked_connect("client.connect", fd_,
+                             reinterpret_cast<sockaddr*>(&addr),
+                             sizeof addr) < 0) {
     const std::string err = std::strerror(errno);
     disconnect();
     throw std::runtime_error("http client: cannot connect to " + host_ + ":" +
@@ -54,7 +83,9 @@ void HttpClient::connect() {
 bool HttpClient::send_all(const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
-    const ssize_t w = ::send(fd_, data.data() + off, data.size() - off, 0);
+    const ssize_t w = fault::checked_send("client.send", fd_,
+                                          data.data() + off,
+                                          data.size() - off);
     if (w < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -78,7 +109,7 @@ bool HttpClient::read_available(ResponseParser& parser) {
       break;
     }
     if (rc == 0) break;  // nothing more is coming
-    const ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
+    const ssize_t r = fault::checked_recv("client.recv", fd_, buf, sizeof buf);
     if (r <= 0) break;  // EOF or reset: we have what we have
     got = true;
     parser.feed(buf, static_cast<std::size_t>(r));
@@ -125,7 +156,8 @@ HttpResponse HttpClient::request(
     char buf[16 * 1024];
     bool got_bytes = false;
     while (parser.state() == ResponseParser::State::kNeedMore) {
-      const ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
+      const ssize_t r = fault::checked_recv("client.recv", fd_, buf,
+                                            sizeof buf);
       if (r < 0) {
         if (errno == EINTR) continue;
         disconnect();
@@ -149,6 +181,75 @@ HttpResponse HttpClient::request(
             : "http client: connection closed mid-response");
   }
   throw std::runtime_error("http client: request failed after reconnect");
+}
+
+void HttpClient::set_retry_config(RetryConfig cfg) {
+  retry_ = std::move(cfg);
+  rng_.seed(retry_.seed != 0 ? retry_.seed : 0x9e3779b97f4a7c15ull);
+}
+
+int HttpClient::next_delay_ms(int prev_delay_ms, int floor_ms) {
+  const int base = std::max(retry_.base_delay_ms, 1);
+  const int cap = std::max(retry_.max_delay_ms, base);
+  // Decorrelated jitter: uniform in [base, 3 * prev], clamped to the cap.
+  const long long hi =
+      std::min<long long>(3LL * std::max(prev_delay_ms, base), cap);
+  std::uniform_int_distribution<long long> dist(base, std::max<long long>(
+                                                          base, hi));
+  long long d = dist(rng_);
+  // A server-provided Retry-After may exceed the local cap: the server
+  // knows its own recovery horizon, so the floor wins over the cap.
+  if (floor_ms > 0) d = std::max<long long>(d, floor_ms);
+  return static_cast<int>(d);
+}
+
+HttpResponse HttpClient::request_with_retry(
+    const std::string& method, const std::string& target,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  const int attempts = std::max(retry_.max_attempts, 1);
+  int slept_ms = 0;
+  int prev_delay = retry_.base_delay_ms;
+
+  for (int attempt = 1;; ++attempt) {
+    int floor_ms = 0;
+    std::exception_ptr failure;
+    try {
+      HttpResponse resp = request(method, target, body, headers);
+      const bool retryable_status = retry_.retry_on_503 && resp.status == 503;
+      if (!retryable_status || attempt >= attempts) return resp;
+      if (retry_.honor_retry_after) floor_ms = retry_after_ms(resp);
+      // The shed 503 came over a healthy connection, but re-sending on it
+      // would race the server's lingering close; start the retry clean.
+      disconnect();
+      const int delay = next_delay_ms(prev_delay, floor_ms);
+      if (slept_ms + delay > std::max(retry_.budget_ms, 0)) return resp;
+      prev_delay = delay;
+      slept_ms += delay;
+      if (retry_.sleep_fn) {
+        retry_.sleep_fn(delay);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+      continue;
+    } catch (const std::exception&) {
+      if (attempt >= attempts) throw;
+      failure = std::current_exception();
+    }
+    // Transport failure with attempts left: back off and retry, unless
+    // the delay would blow the sleep budget — then surface the failure.
+    const int delay = next_delay_ms(prev_delay, 0);
+    if (slept_ms + delay > std::max(retry_.budget_ms, 0)) {
+      std::rethrow_exception(failure);
+    }
+    prev_delay = delay;
+    slept_ms += delay;
+    if (retry_.sleep_fn) {
+      retry_.sleep_fn(delay);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  }
 }
 
 }  // namespace estima::net

@@ -18,10 +18,13 @@
 #include <csignal>
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <queue>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
+
+#include "fault/checked_io.hpp"
 
 namespace estima::net {
 namespace {
@@ -174,6 +177,17 @@ class Poller {
 // requests consume pool slots, never event-loop time. drain_and_join()
 // finishes every queued job before returning — stop() relies on that to
 // guarantee each dispatched request still gets its response written.
+//
+// Load shedding lives here because the queue is where overload shows up
+// first. Two policies, both answering 503 + Retry-After:
+//   * overflow (max_queue_depth): a dispatch that would exceed the cap
+//     sheds the OLDEST queued request and admits the new one — the oldest
+//     has burned the most of its client's patience already;
+//   * age (queue_delay_budget_ms): a job that waited too long is shed at
+//     dequeue instead of run, so a drained backlog doesn't burn CPU on
+//     requests whose clients have likely given up.
+// A shed request still gets a real response through the normal completion
+// path, so every dispatched request remains answered-or-closed.
 
 struct HttpServer::HandlerPool {
   struct Job {
@@ -181,6 +195,8 @@ struct HttpServer::HandlerPool {
     std::uint64_t conn_id = 0;
     HttpRequest req;
     bool keep = false;
+    std::shared_ptr<core::Deadline> deadline;  ///< null when not propagated
+    Clock::time_point enqueued;
   };
 
   HandlerPool(HttpServer& srv, std::size_t threads) : srv_(srv) {
@@ -196,15 +212,42 @@ struct HttpServer::HandlerPool {
   /// have exited would never complete, wedging its connection in
   /// kHandling and stop() on the loop join. Jobs enqueued before the
   /// drain flag flips are guaranteed to run (workers only exit on
-  /// draining_ AND an empty queue, both checked under mu_).
+  /// draining_ AND an empty queue, both checked under mu_). Overflow
+  /// never fails the new job: it sheds the oldest queued one instead.
   bool submit(Job job) {
+    Job shed;
+    bool have_shed = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (draining_) return false;
+      if (srv_.cfg_.max_queue_depth > 0 &&
+          jobs_.size() >= srv_.cfg_.max_queue_depth) {
+        shed = std::move(jobs_.front());
+        jobs_.pop_front();
+        have_shed = true;
+        last_shed_ = Clock::now();
+        has_shed_ = true;
+      }
       jobs_.push_back(std::move(job));
     }
     cv_.notify_one();
+    // The 503 is posted outside the lock: post_completion takes the
+    // target loop's inbox lock and must not nest under mu_.
+    if (have_shed) respond_shed(shed);
     return true;
+  }
+
+  /// The overload gauge for RequestContext::shedding and /v1/health:
+  /// queue at the cap, or a shed within the last shed_recovery_ms.
+  bool shedding() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (srv_.cfg_.max_queue_depth > 0 &&
+        jobs_.size() >= srv_.cfg_.max_queue_depth) {
+      return true;
+    }
+    return has_shed_ &&
+           Clock::now() - last_shed_ <=
+               std::chrono::milliseconds(srv_.cfg_.shed_recovery_ms);
   }
 
   void drain_and_join() {
@@ -222,11 +265,24 @@ struct HttpServer::HandlerPool {
  private:
   void run();
 
+  void note_shed() {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_shed_ = Clock::now();
+    has_shed_ = true;
+  }
+
+  /// Answers a shed job 503 + Retry-After through the normal completion
+  /// path, and cancels its propagated deadline (nothing will compute it).
+  /// Defined after EventLoop (it posts to the job's loop).
+  void respond_shed(Job& job);
+
   HttpServer& srv_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Job> jobs_;
   bool draining_ = false;
+  bool has_shed_ = false;
+  Clock::time_point last_shed_{};
   std::vector<std::thread> threads_;
 };
 
@@ -255,6 +311,14 @@ struct HttpServer::EventLoop {
     bool in_poller = false;
     bool has_deadline = false;
     std::uint64_t deadline_gen = 0;
+    /// When the current request's first byte arrived (valid while
+    /// mid_request); anchors the propagated deadline at dispatch.
+    Clock::time_point request_start{};
+    /// The deadline handed to the handler for the in-flight request;
+    /// cancelled when the 408 fires or the connection dies so the
+    /// abandoned compute stops. Null outside kHandling/kWriting or when
+    /// propagation is off.
+    std::shared_ptr<core::Deadline> active_deadline;
 
     explicit Conn(ParserLimits limits) : parser(limits) {}
   };
@@ -455,10 +519,13 @@ struct HttpServer::EventLoop {
   }
 
   void arm_deadline(Conn& c, int ms) {
+    arm_deadline_at(c, Clock::now() + std::chrono::milliseconds(ms));
+  }
+
+  void arm_deadline_at(Conn& c, Clock::time_point when) {
     ++c.deadline_gen;
     c.has_deadline = true;
-    timers_.push(TimerEntry{Clock::now() + std::chrono::milliseconds(ms),
-                            c.fd, c.id, c.deadline_gen});
+    timers_.push(TimerEntry{when, c.fd, c.id, c.deadline_gen});
   }
 
   void disarm_deadline(Conn& c) {
@@ -468,6 +535,9 @@ struct HttpServer::EventLoop {
 
   void close_conn(Conn& c) {
     const int fd = c.fd;
+    // A handler may still be computing for this connection; its client is
+    // gone, so expire the propagated deadline and let the fit loop stop.
+    if (c.active_deadline) c.active_deadline->cancel();
     c.want_read = c.want_write = false;
     update_poller(c);
     id_to_fd_.erase(c.id);
@@ -485,7 +555,8 @@ struct HttpServer::EventLoop {
       // firehose must not monopolise the loop or starve its timers.
       std::size_t discarded = 0;
       for (;;) {
-        const ssize_t r = ::recv(c.fd, buf, sizeof buf, 0);
+        const ssize_t r = fault::checked_recv("net.read", c.fd, buf,
+                                              sizeof buf);
         if (r > 0) {
           discarded += static_cast<std::size_t>(r);
           if (discarded >= 256 * 1024) return;  // readiness re-fires
@@ -504,7 +575,8 @@ struct HttpServer::EventLoop {
     // cannot monopolise the loop; level-triggered readiness re-fires.
     std::size_t pulled = 0;
     for (;;) {
-      const ssize_t r = ::recv(c.fd, buf, sizeof buf, 0);
+      const ssize_t r = fault::checked_recv("net.read", c.fd, buf,
+                                            sizeof buf);
       if (r > 0) {
         c.carry.append(buf, static_cast<std::size_t>(r));
         pulled += static_cast<std::size_t>(r);
@@ -559,6 +631,7 @@ struct HttpServer::EventLoop {
         if (c.parser.mid_message()) {
           if (!c.mid_request) {
             c.mid_request = true;
+            c.request_start = Clock::now();
             arm_deadline(c, srv_.cfg_.idle_timeout_ms);
           }
         } else if (!c.has_deadline) {
@@ -579,15 +652,34 @@ struct HttpServer::EventLoop {
       case RequestParser::State::kComplete: {
         HttpRequest req = c.parser.request();
         c.parser.reset();
+        const bool was_mid = c.mid_request;
         c.mid_request = false;
-        disarm_deadline(c);
         c.st = St::kHandling;
         c.want_read = false;  // bound buffering while the handler runs
         c.want_write = false;
         update_poller(c);
+        std::shared_ptr<core::Deadline> deadline;
+        if (srv_.cfg_.propagate_deadline && srv_.cfg_.idle_timeout_ms > 0) {
+          // The handler inherits the REMAINDER of the request's 408
+          // budget: the clock started at the request's first byte, and
+          // the loop's timer is re-armed at the same absolute expiry so
+          // the 408 can fire while the handler runs (kHandling). When it
+          // does, the deadline is cancelled and the handler's late
+          // completion dropped.
+          const Clock::time_point start =
+              was_mid ? c.request_start : Clock::now();
+          const Clock::time_point expiry =
+              start + std::chrono::milliseconds(srv_.cfg_.idle_timeout_ms);
+          deadline = std::make_shared<core::Deadline>(expiry);
+          c.active_deadline = deadline;
+          arm_deadline_at(c, expiry);
+        } else {
+          disarm_deadline(c);
+        }
         const bool keep = req.keep_alive();
-        if (!srv_.pool_->submit(
-                HandlerPool::Job{this, c.id, std::move(req), keep})) {
+        if (!srv_.pool_->submit(HandlerPool::Job{this, c.id, std::move(req),
+                                                 keep, std::move(deadline),
+                                                 Clock::now()})) {
           // Raced stop(): the pool is draining and this job would never
           // run. Close unanswered, like any request stop() didn't reach.
           close_conn(c);
@@ -622,6 +714,8 @@ struct HttpServer::EventLoop {
     if (idit == id_to_fd_.end()) return;  // connection died meanwhile
     Conn& c = conns_.at(idit->second);
     if (c.st != St::kHandling) return;
+    c.active_deadline.reset();  // answered: nothing left to cancel
+    disarm_deadline(c);         // the propagated 408 timer is now stale
     srv_.count_response(done.status);
     c.out = std::move(done.wire);
     c.out_off = 0;
@@ -633,8 +727,9 @@ struct HttpServer::EventLoop {
 
   void try_write(Conn& c) {
     while (c.out_off < c.out.size()) {
-      const ssize_t w = ::send(c.fd, c.out.data() + c.out_off,
-                               c.out.size() - c.out_off, 0);
+      const ssize_t w = fault::checked_send("net.write", c.fd,
+                                            c.out.data() + c.out_off,
+                                            c.out.size() - c.out_off);
       if (w >= 0) {
         c.out_off += static_cast<std::size_t>(w);
         continue;
@@ -708,7 +803,18 @@ struct HttpServer::EventLoop {
           close_conn(c);
           break;
         case St::kHandling:
-          break;  // no deadline while the handler owns the request
+          // The request's 408 budget ran out while the handler owns it:
+          // answer 408 now, and expire the propagated deadline so the
+          // abandoned compute stops burning pool CPU. The handler's late
+          // completion is dropped (the connection left kHandling).
+          srv_.on_timeout();
+          if (c.active_deadline) {
+            c.active_deadline->cancel();
+            c.active_deadline.reset();
+          }
+          start_response(c, plain_response(408, "request timed out"),
+                         /*keep=*/false, /*linger=*/true);
+          break;
       }
     }
   }
@@ -757,9 +863,23 @@ void HttpServer::HandlerPool::run() {
       job = std::move(jobs_.front());
       jobs_.pop_front();
     }
+    // Age shedding: a job that out-waited its queue-delay budget is
+    // answered 503 instead of run — its client's patience went into the
+    // queue, and running it now would delay fresher requests behind it.
+    // (Drain is exempt: stop() promised these jobs a real run.)
+    const int budget = srv_.cfg_.queue_delay_budget_ms;
+    if (budget > 0 && !srv_.stopping_.load(std::memory_order_acquire) &&
+        Clock::now() - job.enqueued > std::chrono::milliseconds(budget)) {
+      note_shed();
+      respond_shed(job);
+      continue;
+    }
+    const RequestContext ctx{job.deadline, shedding()};
     HttpResponse resp;
     try {
-      resp = srv_.handler_(job.req);
+      resp = srv_.handler_(job.req, ctx);
+    } catch (const core::DeadlineExceeded& e) {
+      resp = plain_response(408, e.what());
     } catch (const std::invalid_argument& e) {
       resp = plain_response(400, e.what());
     } catch (const std::exception& e) {
@@ -772,11 +892,41 @@ void HttpServer::HandlerPool::run() {
   }
 }
 
+void HttpServer::HandlerPool::respond_shed(Job& job) {
+  srv_.on_shed();
+  // Nothing will ever compute this request; let any propagated-deadline
+  // watcher (none today, but the contract is uniform) see it as dead.
+  if (job.deadline) job.deadline->cancel();
+  HttpResponse resp = plain_response(503, "server overloaded, retry later");
+  resp.headers.emplace_back(
+      "retry-after", std::to_string(std::max(srv_.cfg_.retry_after_s, 0)));
+  const bool keep =
+      job.keep && !srv_.stopping_.load(std::memory_order_acquire);
+  job.loop->post_completion(job.conn_id, serialize_response(resp, keep),
+                            keep, resp.status);
+}
+
 // ---------------------------------------------------------------------------
 // HttpServer
 
 HttpServer::HttpServer(ServerConfig cfg, Handler handler)
+    : cfg_(std::move(cfg)),
+      handler_([h = std::move(handler)](const HttpRequest& req,
+                                        const RequestContext&) {
+        return h(req);
+      }) {}
+
+HttpServer::HttpServer(ServerConfig cfg, ContextHandler handler)
     : cfg_(std::move(cfg)), handler_(std::move(handler)) {}
+
+bool HttpServer::shedding() const {
+  return pool_ != nullptr && pool_->shedding();
+}
+
+void HttpServer::on_shed() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.requests_shed;
+}
 
 HttpServer::~HttpServer() { stop(); }
 
@@ -907,7 +1057,7 @@ void HttpServer::acceptor_loop() {
     const int rc = ::poll(&pfd, 1, cfg_.poll_interval_ms);
     if (rc < 0 && errno != EINTR) break;
     if (rc <= 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = fault::checked_accept("net.accept", listen_fd_);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       if (stopping_.load(std::memory_order_relaxed)) break;

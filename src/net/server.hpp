@@ -34,10 +34,25 @@
 #include <thread>
 #include <vector>
 
+#include "core/deadline.hpp"
 #include "net/http_parser.hpp"
 #include "net/server_stats.hpp"
 
 namespace estima::net {
+
+/// Per-request context handed to ContextHandler alongside the request.
+struct RequestContext {
+  /// The request's remaining edge budget as a cooperative deadline: set
+  /// from the 408 timer at dispatch (ServerConfig::propagate_deadline),
+  /// cancelled by the event loop if the 408 fires or the connection dies
+  /// while the handler runs. Handlers poll it and abandon work the client
+  /// will never see. Null when propagation is disabled.
+  std::shared_ptr<core::Deadline> deadline;
+  /// True when the handler pool is currently shedding load — the
+  /// handler's cue to prefer degraded answers (serve-stale) over fresh
+  /// computation.
+  bool shedding = false;
+};
 
 struct ServerConfig {
   std::string bind_address = "127.0.0.1";
@@ -70,16 +85,44 @@ struct ServerConfig {
   /// Admission cap on concurrently open connections; over the cap a new
   /// connection is answered 503 and closed at accept time. 0 = unlimited.
   std::size_t max_connections = 0;
+  /// Bound on requests queued for the handler pool (not counting the ones
+  /// actively running). When a dispatch would exceed it, the OLDEST queued
+  /// request is shed — answered 503 with Retry-After — and the new one
+  /// admitted: the oldest has burned the most of its client's patience
+  /// and is the likeliest to be answered into a dead connection.
+  /// 0 = unbounded (no overflow shedding).
+  std::size_t max_queue_depth = 0;
+  /// A queued request older than this at dequeue time is shed instead of
+  /// run: its wait has already consumed its client's patience, and running
+  /// it would delay fresher requests behind it. 0 = no age shedding.
+  int queue_delay_budget_ms = 0;
+  /// Advertised in shed 503s' Retry-After header (seconds).
+  int retry_after_s = 1;
+  /// How long the shedding signal (RequestContext::shedding) stays raised
+  /// after the last shed, so degraded serving covers the recovery tail
+  /// rather than flickering per-request.
+  int shed_recovery_ms = 1'000;
+  /// Hand each request's remaining 408 budget to the handler as a
+  /// cooperative core::Deadline (RequestContext::deadline), cancelled by
+  /// the loop when the 408 fires — so an abandoned cold predict() stops
+  /// burning pool CPU. Requires idle_timeout_ms > 0 to have any effect.
+  bool propagate_deadline = true;
 };
 
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  using ContextHandler =
+      std::function<HttpResponse(const HttpRequest&, const RequestContext&)>;
 
   /// The handler is called once per decoded request (on a handler-pool
   /// thread); whatever it throws is answered 500 (std::invalid_argument:
-  /// 400) — exceptions never cross into the event loop unhandled.
+  /// 400, core::DeadlineExceeded: 408) — exceptions never cross into the
+  /// event loop unhandled.
   HttpServer(ServerConfig cfg, Handler handler);
+  /// Context-aware form: the handler additionally receives the request's
+  /// RequestContext (deadline + shedding signal).
+  HttpServer(ServerConfig cfg, ContextHandler handler);
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -97,6 +140,11 @@ class HttpServer {
 
   bool running() const { return running_.load(); }
 
+  /// True while the handler pool is shedding load: its queue is at the
+  /// cap, or a request was shed within the last shed_recovery_ms. The
+  /// /v1/health route reports 503 while this holds.
+  bool shedding() const;
+
   ServerStats stats() const;
 
  private:
@@ -111,10 +159,11 @@ class HttpServer {
   void on_close();
   void on_timeout();
   void on_parse_error();
+  void on_shed();
   void count_response(int status);
 
   ServerConfig cfg_;
-  Handler handler_;
+  ContextHandler handler_;
   int listen_fd_ = -1;
   int port_ = 0;
 

@@ -23,6 +23,10 @@ struct ServerStats {
   std::uint64_t connections_timed_out = 0;
   std::uint64_t overflow_rejections = 0;  ///< 503s from max_connections
   std::uint64_t parse_errors = 0;         ///< parser-level rejections
+  /// Requests dropped by the handler-pool's load-shedding policy (queue
+  /// overflow sheds the oldest queued request; over-age requests are shed
+  /// at dequeue). Each shed request is answered 503 with Retry-After.
+  std::uint64_t requests_shed = 0;
 };
 
 }  // namespace estima::net

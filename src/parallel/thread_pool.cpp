@@ -3,6 +3,8 @@
 #include <atomic>
 #include <memory>
 
+#include "fault/fault_injection.hpp"
+
 namespace estima::parallel {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -32,6 +34,12 @@ void ThreadPool::submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
+}
+
+bool ThreadPool::try_submit(std::function<void()> task) {
+  if (fault::fault_point("pool.submit")) return false;
+  submit(std::move(task));
+  return true;
 }
 
 void ThreadPool::worker_loop() {
@@ -93,7 +101,9 @@ void parallel_for(ThreadPool* pool, std::size_t n,
   st->fn = &fn;
   const std::size_t helpers = std::min(pool->size(), n - 1);
   for (std::size_t t = 0; t < helpers; ++t) {
-    pool->submit([st] { drain(st); });
+    // Helpers are pure accelerators: a refused submission (pool.submit
+    // fault) just leaves more indices for the caller's drain below.
+    if (!pool->try_submit([st] { drain(st); })) break;
   }
   drain(st);  // the caller participates: nesting-safe, never starves
   std::unique_lock<std::mutex> lock(st->mu);

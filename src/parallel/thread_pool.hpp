@@ -45,6 +45,14 @@ class ThreadPool {
   /// Enqueues a task for execution on some worker.
   void submit(std::function<void()> task);
 
+  /// Enqueues a task unless submission is refused (fault site
+  /// "pool.submit" — a stand-in for thread/queue resource exhaustion).
+  /// Returns false on refusal, in which case the task was NOT enqueued
+  /// and the caller must absorb the work itself. parallel_for treats
+  /// every helper as optional, so a refusal degrades throughput, never
+  /// results.
+  bool try_submit(std::function<void()> task);
+
  private:
   void worker_loop();
 

@@ -13,7 +13,7 @@ PredictionService::PredictionService(ServiceConfig cfg,
                                      parallel::ThreadPool* pool)
     : cfg_(std::move(cfg)),
       pool_(pool),
-      cache_(cfg_.cache_capacity, cfg_.cache_shards) {
+      cache_(cfg_.cache_capacity, cfg_.cache_shards, cfg_.cache_ttl_ms) {
   // The seam the service relies on: predict(ms, cfg, pool) injects the
   // pool per call, so the stored config never aliases a live pool.
   cfg_.prediction.extrap.pool = nullptr;
@@ -29,7 +29,8 @@ std::uint64_t PredictionService::hash_of(
 }
 
 std::shared_ptr<const core::Prediction> PredictionService::compute_or_join(
-    std::uint64_t key, const core::MeasurementSet& ms) {
+    std::uint64_t key, const core::MeasurementSet& ms,
+    const core::Deadline* deadline) {
   if (auto cached = cache_.get(key)) return cached;
 
   std::shared_ptr<InFlight> flight;
@@ -66,12 +67,16 @@ std::shared_ptr<const core::Prediction> PredictionService::compute_or_join(
   } else {
     try {
       auto result = std::make_shared<const core::Prediction>(
-          core::predict(ms, cfg_.prediction, pool_));
+          core::predict(ms, cfg_.prediction, pool_, deadline));
       cache_.put(key, result);
       flight->result = std::move(result);
       inserted = true;
       std::lock_guard<std::mutex> slock(stats_mu_);
       ++predictions_computed_;
+    } catch (const core::DeadlineExceeded&) {
+      flight->error = std::current_exception();
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++predictions_cancelled_;
     } catch (...) {
       flight->error = std::current_exception();
     }
@@ -118,16 +123,24 @@ void PredictionService::note_insertion_for_auto_snapshot() {
 }
 
 core::Prediction PredictionService::predict_one(
-    const core::MeasurementSet& ms) {
+    const core::MeasurementSet& ms, const core::Deadline* deadline) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++campaigns_submitted_;
   }
-  return *compute_or_join(hash_of(ms), ms);
+  return *compute_or_join(hash_of(ms), ms, deadline);
+}
+
+std::shared_ptr<const core::Prediction> PredictionService::cached_or_stale(
+    std::uint64_t key, bool* stale) {
+  StaleLookup found = cache_.lookup_stale(key);
+  if (stale != nullptr) *stale = found.stale;
+  return found.value;
 }
 
 std::vector<core::Prediction> PredictionService::predict_many(
-    Span<const core::MeasurementSet> campaigns) {
+    Span<const core::MeasurementSet> campaigns,
+    const core::Deadline* deadline) {
   const std::size_t n = campaigns.size();
   std::vector<core::Prediction> out;
   out.reserve(n);
@@ -162,8 +175,8 @@ std::vector<core::Prediction> PredictionService::predict_many(
   // unit and rethrown below.
   parallel::parallel_for(pool_, units.size(), [&](std::size_t u) {
     try {
-      units[u].result =
-          compute_or_join(units[u].key, campaigns[units[u].input_idx]);
+      units[u].result = compute_or_join(
+          units[u].key, campaigns[units[u].input_idx], deadline);
     } catch (...) {
       units[u].error = std::current_exception();
     }
@@ -227,6 +240,7 @@ ServiceStats PredictionService::stats() const {
     s.snapshot_entries_skipped = snapshot_entries_skipped_;
     s.auto_snapshots = auto_snapshots_;
     s.auto_snapshot_failures = auto_snapshot_failures_;
+    s.predictions_cancelled = predictions_cancelled_;
   }
   s.cache = cache_.stats();
   return s;

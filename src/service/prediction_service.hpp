@@ -73,6 +73,12 @@ struct ServiceConfig {
   core::PredictionConfig prediction;  ///< shared by every campaign served
   std::size_t cache_capacity = 4096;
   std::size_t cache_shards = 16;
+  /// TTL for cached predictions in milliseconds; 0 = never expire (the
+  /// default — predictions are pure functions of the campaign, so expiry
+  /// only matters to deployments that want bounded staleness). Expired
+  /// entries read as misses but stay resident for cached_or_stale(), the
+  /// serve-stale degradation path.
+  std::uint64_t cache_ttl_ms = 0;
   /// When > 0, every K-th newly *computed* prediction inserted into the
   /// cache triggers exactly one automatic snapshot_to(auto_snapshot_path)
   /// (cache hits, joins and restores do not count). The snapshot runs on
@@ -98,6 +104,9 @@ struct ServiceStats {
   /// snapshots actually written, and trigger points whose write failed.
   std::uint64_t auto_snapshots = 0;
   std::uint64_t auto_snapshot_failures = 0;
+  /// Computations that ended in DeadlineExceeded (the client's budget ran
+  /// out mid-fit and the pipeline stopped cooperatively).
+  std::uint64_t predictions_cancelled = 0;
   CacheStats cache;
 };
 
@@ -115,12 +124,25 @@ class PredictionService {
   std::uint64_t hash_of(const core::MeasurementSet& ms) const;
 
   /// Single-campaign entry: cache-fronted, in-flight-deduped predict().
-  core::Prediction predict_one(const core::MeasurementSet& ms);
+  /// With a deadline, throws core::DeadlineExceeded once it expires (the
+  /// fit loop polls it cooperatively); a cache hit is served regardless —
+  /// it costs nothing. Joining a computation owned by another request
+  /// surfaces the owner's outcome, including its DeadlineExceeded.
+  core::Prediction predict_one(const core::MeasurementSet& ms,
+                               const core::Deadline* deadline = nullptr);
 
   /// Batch entry: results in input order, bit-identical to a serial
-  /// predict() loop over the same campaigns.
+  /// predict() loop over the same campaigns. One deadline covers the
+  /// whole batch.
   std::vector<core::Prediction> predict_many(
-      Span<const core::MeasurementSet> campaigns);
+      Span<const core::MeasurementSet> campaigns,
+      const core::Deadline* deadline = nullptr);
+
+  /// Degraded-mode lookup for the serve-stale path: whatever the cache
+  /// holds for `key`, even past its TTL (*stale set accordingly); null
+  /// when nothing is resident. Never computes.
+  std::shared_ptr<const core::Prediction> cached_or_stale(std::uint64_t key,
+                                                          bool* stale);
 
   /// Spills the current ResultCache to a v1 snapshot at `path` (atomic
   /// write-then-rename), tagged with this service's config signature.
@@ -157,7 +179,8 @@ class PredictionService {
   /// another thread, or computes (and caches) it here. Throws what
   /// predict() threw; errors are published to joiners but never cached.
   std::shared_ptr<const core::Prediction> compute_or_join(
-      std::uint64_t key, const core::MeasurementSet& ms);
+      std::uint64_t key, const core::MeasurementSet& ms,
+      const core::Deadline* deadline);
 
   /// Counts one computed insertion toward snapshot_every and writes the
   /// automatic snapshot when this insertion is the K-th. Exactly one
@@ -182,6 +205,7 @@ class PredictionService {
   std::uint64_t insertions_since_snapshot_ = 0;
   std::uint64_t auto_snapshots_ = 0;
   std::uint64_t auto_snapshot_failures_ = 0;
+  std::uint64_t predictions_cancelled_ = 0;
 };
 
 }  // namespace estima::service

@@ -20,8 +20,9 @@ std::size_t mix_to_shard(std::uint64_t key, std::size_t mask) {
 
 }  // namespace
 
-ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
-    : capacity_(capacity == 0 ? 1 : capacity) {
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards,
+                         std::uint64_t ttl_ms)
+    : capacity_(capacity == 0 ? 1 : capacity), ttl_ms_(ttl_ms) {
   shards_count_ = floor_pow2(std::max<std::size_t>(
       1, std::min(shards == 0 ? 1 : shards, capacity_)));
   shards_ = std::make_unique<Shard[]>(shards_count_);
@@ -45,9 +46,16 @@ std::shared_ptr<const core::Prediction> ResultCache::get(std::uint64_t key) {
     ++s.misses;
     return nullptr;
   }
+  if (expired(*it->second, Clock::now())) {
+    // Resident but past its TTL: a miss to normal lookups. No recency
+    // refresh — only a put() (the recompute) revives the entry.
+    ++s.misses;
+    ++s.expired_misses;
+    return nullptr;
+  }
   ++s.hits;
   s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh recency
-  return it->second->second;
+  return it->second->value;
 }
 
 std::shared_ptr<const core::Prediction> ResultCache::peek(
@@ -55,25 +63,49 @@ std::shared_ptr<const core::Prediction> ResultCache::peek(
   const Shard& s = const_cast<ResultCache*>(this)->shard_for(key);
   std::lock_guard<std::mutex> lock(s.mu);
   auto it = s.index.find(key);
-  return it == s.index.end() ? nullptr : it->second->second;
+  if (it == s.index.end()) return nullptr;
+  if (expired(*it->second, Clock::now())) return nullptr;
+  return it->second->value;
+}
+
+StaleLookup ResultCache::lookup_stale(std::uint64_t key) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    ++s.misses;
+    return {};
+  }
+  StaleLookup out;
+  out.value = it->second->value;
+  out.stale = expired(*it->second, Clock::now());
+  if (out.stale) {
+    ++s.stale_hits;
+  } else {
+    ++s.hits;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+  }
+  return out;
 }
 
 void ResultCache::put(std::uint64_t key,
                       std::shared_ptr<const core::Prediction> value) {
   Shard& s = shard_for(key);
   std::lock_guard<std::mutex> lock(s.mu);
+  const auto now = Clock::now();
   auto it = s.index.find(key);
   if (it != s.index.end()) {
-    it->second->second = std::move(value);
+    it->second->value = std::move(value);
+    it->second->inserted = now;
     s.lru.splice(s.lru.begin(), s.lru, it->second);
     return;
   }
   while (s.lru.size() >= s.capacity && !s.lru.empty()) {
-    s.index.erase(s.lru.back().first);
+    s.index.erase(s.lru.back().key);
     s.lru.pop_back();
     ++s.evictions;
   }
-  s.lru.emplace_front(key, std::move(value));
+  s.lru.push_front(Entry{key, std::move(value), now});
   s.index.emplace(key, s.lru.begin());
 }
 
@@ -86,6 +118,8 @@ CacheStats ResultCache::stats() const {
     out.misses += s.misses;
     out.evictions += s.evictions;
     out.entries += s.lru.size();
+    out.expired_misses += s.expired_misses;
+    out.stale_hits += s.stale_hits;
   }
   return out;
 }
@@ -104,7 +138,7 @@ void ResultCache::for_each_entry(
       snapshot.reserve(s.lru.size());
       // Back-to-front = LRU first; see the header on why order matters.
       for (auto it = s.lru.rbegin(); it != s.lru.rend(); ++it) {
-        snapshot.emplace_back(it->first, it->second);
+        snapshot.emplace_back(it->key, it->value);
       }
     }
     // Lock released: the visitor may re-enter the cache freely.

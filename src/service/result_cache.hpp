@@ -7,8 +7,16 @@
 // the cached object without copying under the lock; recency is per shard,
 // so global eviction order is only approximately LRU (construct with
 // shards = 1 when exact LRU matters, e.g. in tests).
+//
+// Entries can carry a TTL (ttl_ms > 0): an expired entry reads as a miss
+// through get()/peek() — forcing a recompute that put() will refresh —
+// but stays resident until evicted or refreshed, so the serving layer can
+// deliberately fall back to it (lookup_stale) when shedding load. With
+// ttl_ms = 0 (the default) nothing ever expires and behavior is exactly
+// the pre-TTL cache.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -27,33 +35,55 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t entries = 0;  ///< currently cached predictions
+  /// get()/peek() finding only an expired entry (counted inside misses
+  /// as well — an expired hit IS a miss to normal lookups).
+  std::uint64_t expired_misses = 0;
+  /// lookup_stale() answers served from an expired entry.
+  std::uint64_t stale_hits = 0;
+};
+
+/// What lookup_stale() found for a key.
+struct StaleLookup {
+  std::shared_ptr<const core::Prediction> value;  ///< null = not resident
+  bool stale = false;  ///< true when `value` is expired (degraded answer)
 };
 
 class ResultCache {
  public:
   /// `capacity` = maximum cached predictions in total, split across
   /// `shards` (rounded down to a power of two, clamped to [1, capacity]).
-  explicit ResultCache(std::size_t capacity, std::size_t shards = 16);
+  /// `ttl_ms` > 0 makes entries expire that many milliseconds after their
+  /// last put(); 0 = entries never expire.
+  explicit ResultCache(std::size_t capacity, std::size_t shards = 16,
+                       std::uint64_t ttl_ms = 0);
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
   /// Returns the cached prediction and marks it most-recently-used, or
-  /// nullptr on miss. Counts one hit or miss.
+  /// nullptr on miss. An expired entry is a miss (it stays resident but
+  /// gets no recency refresh). Counts one hit or miss.
   std::shared_ptr<const core::Prediction> get(std::uint64_t key);
 
   /// get() without touching the hit/miss counters or recency: the
   /// in-flight owner's race re-check, which re-examines a key whose miss
-  /// was already counted.
+  /// was already counted. Honors expiry like get().
   std::shared_ptr<const core::Prediction> peek(std::uint64_t key) const;
 
+  /// Degraded-mode lookup: returns whatever is resident for the key, even
+  /// expired, flagging staleness. A stale answer counts stale_hits and
+  /// does not refresh recency (shedding must not keep dead entries warm);
+  /// a fresh one counts a normal hit and does.
+  StaleLookup lookup_stale(std::uint64_t key);
+
   /// Inserts (or refreshes) a completed prediction, evicting the shard's
-  /// least-recently-used entry when full.
+  /// least-recently-used entry when full. Resets the entry's TTL clock.
   void put(std::uint64_t key, std::shared_ptr<const core::Prediction> value);
 
   CacheStats stats() const;
   std::size_t capacity() const { return capacity_; }
   std::size_t shard_count() const { return shards_count_; }
+  std::uint64_t ttl_ms() const { return ttl_ms_; }
   void clear();
 
   /// Visits every cached entry once, one shard at a time, least- to
@@ -66,34 +96,45 @@ class ResultCache {
   /// still delivered alive through its shared_ptr. The guarantee is
   /// per-shard consistency: everything present in a shard at its lock
   /// instant is visited exactly once; entries inserted or evicted while
-  /// other shards are being visited may or may not appear.
+  /// other shards are being visited may or may not appear. Expired
+  /// entries are visited too (a snapshot should preserve them; restore
+  /// re-stamps their TTL clock).
   void for_each_entry(
       const std::function<void(std::uint64_t,
                                const std::shared_ptr<const core::Prediction>&)>&
           fn) const;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Entry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const core::Prediction> value;
+    Clock::time_point inserted;
+  };
+
   struct Shard {
     mutable std::mutex mu;
     /// front = most recently used.
-    std::list<std::pair<std::uint64_t,
-                        std::shared_ptr<const core::Prediction>>>
-        lru;
-    std::unordered_map<
-        std::uint64_t,
-        std::list<std::pair<std::uint64_t,
-                            std::shared_ptr<const core::Prediction>>>::iterator>
-        index;
+    std::list<Entry> lru;
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t expired_misses = 0;
+    std::uint64_t stale_hits = 0;
     std::size_t capacity = 0;
   };
 
   Shard& shard_for(std::uint64_t key);
+  bool expired(const Entry& e, Clock::time_point now) const {
+    return ttl_ms_ != 0 &&
+           now - e.inserted > std::chrono::milliseconds(ttl_ms_);
+  }
 
   std::size_t capacity_;
   std::size_t shards_count_;
+  std::uint64_t ttl_ms_;
   std::unique_ptr<Shard[]> shards_;
 };
 

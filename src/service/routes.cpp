@@ -1,10 +1,13 @@
 #include "service/routes.hpp"
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/deadline.hpp"
 #include "core/measurement.hpp"
 #include "core/prediction_io.hpp"
 #include "service/prediction_service.hpp"
@@ -133,24 +136,53 @@ void ServiceRouter::set_server_stats_source(
 }
 
 net::HttpResponse ServiceRouter::handle(const net::HttpRequest& req) {
+  return handle(req, net::RequestContext{});
+}
+
+net::HttpResponse ServiceRouter::handle(const net::HttpRequest& req,
+                                        const net::RequestContext& ctx) {
+  // The effective deadline: the edge's propagated 408 budget, tightened
+  // by the client's own X-Estima-Deadline-Ms header. A client header with
+  // no propagated budget gets a request-local deadline instead — the
+  // stack object outlives every fit this request runs, because handle()
+  // does not return until predict() does.
+  core::Deadline local;
+  core::Deadline* deadline = ctx.deadline.get();
   try {
+    if (const std::string* hdr = req.header("x-estima-deadline-ms")) {
+      char* end = nullptr;
+      const long ms = std::strtol(hdr->c_str(), &end, 10);
+      if (end == hdr->c_str() || *end != '\0' || ms < 0) {
+        return text_response(400, "bad x-estima-deadline-ms value: " + *hdr);
+      }
+      if (deadline == nullptr) deadline = &local;
+      deadline->tighten(std::chrono::milliseconds(ms));
+    }
     if (req.target == "/v1/predict") {
       if (req.method != "POST") return method_not_allowed("POST");
-      return handle_predict(req);
+      return handle_predict(req, ctx, deadline);
     }
     if (req.target == "/v1/predict_batch") {
       if (req.method != "POST") return method_not_allowed("POST");
-      return handle_predict_batch(req);
+      return handle_predict_batch(req, deadline);
     }
     if (req.target == "/v1/stats") {
       if (req.method != "GET") return method_not_allowed("GET");
       return handle_stats();
+    }
+    if (req.target == "/v1/health") {
+      if (req.method != "GET") return method_not_allowed("GET");
+      return handle_health(ctx);
     }
     if (req.target == "/v1/snapshot") {
       if (req.method != "POST") return method_not_allowed("POST");
       return handle_snapshot();
     }
     return text_response(404, "no such route: " + req.target);
+  } catch (const core::DeadlineExceeded& e) {
+    // The budget ran out mid-computation; the pipeline stopped at a fit
+    // boundary without producing (or caching) a partial answer.
+    return text_response(408, e.what());
   } catch (const std::invalid_argument& e) {
     // Bad campaign data — CSV, framing, or a campaign predict() rejects.
     return text_response(400, e.what());
@@ -159,9 +191,29 @@ net::HttpResponse ServiceRouter::handle(const net::HttpRequest& req) {
   }
 }
 
-net::HttpResponse ServiceRouter::handle_predict(const net::HttpRequest& req) {
+net::HttpResponse ServiceRouter::handle_predict(
+    const net::HttpRequest& req, const net::RequestContext& ctx,
+    const core::Deadline* deadline) {
   const core::MeasurementSet ms = campaign_from_csv(req.body);
-  const core::Prediction pred = service_.predict_one(ms);
+  // Serve-stale degradation: while the edge sheds load, an
+  // expired-but-resident cached answer beats both a fresh computation
+  // (CPU the overloaded server does not have) and a shed 503 (an answer
+  // the client does not get). Marked so clients can tell.
+  if (ctx.shedding) {
+    bool stale = false;
+    if (const auto cached =
+            service_.cached_or_stale(service_.hash_of(ms), &stale)) {
+      std::ostringstream os;
+      core::write_prediction(os, *cached);
+      net::HttpResponse resp;
+      resp.status = 200;
+      resp.headers.emplace_back("content-type", "text/plain");
+      if (stale) resp.headers.emplace_back("x-estima-stale", "1");
+      resp.body = os.str();
+      return resp;
+    }
+  }
+  const core::Prediction pred = service_.predict_one(ms, deadline);
   std::ostringstream os;
   core::write_prediction(os, pred);
   net::HttpResponse resp;
@@ -171,8 +223,17 @@ net::HttpResponse ServiceRouter::handle_predict(const net::HttpRequest& req) {
   return resp;
 }
 
+net::HttpResponse ServiceRouter::handle_health(
+    const net::RequestContext& ctx) {
+  if (draining_.load(std::memory_order_relaxed)) {
+    return text_response(503, "draining");
+  }
+  if (ctx.shedding) return text_response(503, "shedding");
+  return text_response(200, "ok");
+}
+
 net::HttpResponse ServiceRouter::handle_predict_batch(
-    const net::HttpRequest& req) {
+    const net::HttpRequest& req, const core::Deadline* deadline) {
   const std::vector<std::string> csvs =
       parse_frames(req.body, "campaign", cfg_.max_batch_campaigns);
   std::vector<core::MeasurementSet> campaigns;
@@ -186,7 +247,7 @@ net::HttpResponse ServiceRouter::handle_predict_batch(
     }
   }
   const std::vector<core::Prediction> preds =
-      service_.predict_many(campaigns);
+      service_.predict_many(campaigns, deadline);
   std::vector<std::string> records;
   records.reserve(preds.size());
   for (const auto& p : preds) {
@@ -215,17 +276,21 @@ net::HttpResponse ServiceRouter::handle_stats() {
       "  \"snapshot_entries_skipped\": %" PRIu64 ",\n"
       "  \"auto_snapshots\": %" PRIu64 ",\n"
       "  \"auto_snapshot_failures\": %" PRIu64 ",\n"
+      "  \"predictions_cancelled\": %" PRIu64 ",\n"
       "  \"cache\": {\n"
       "    \"hits\": %" PRIu64 ",\n"
       "    \"misses\": %" PRIu64 ",\n"
       "    \"evictions\": %" PRIu64 ",\n"
-      "    \"entries\": %" PRIu64 "\n"
+      "    \"entries\": %" PRIu64 ",\n"
+      "    \"expired_misses\": %" PRIu64 ",\n"
+      "    \"stale_hits\": %" PRIu64 "\n"
       "  }",
       s.campaigns_submitted, s.predictions_computed,
       s.batch_duplicates_folded, s.inflight_joins,
       s.snapshot_entries_restored, s.snapshot_entries_skipped,
-      s.auto_snapshots, s.auto_snapshot_failures, s.cache.hits,
-      s.cache.misses, s.cache.evictions, s.cache.entries);
+      s.auto_snapshots, s.auto_snapshot_failures, s.predictions_cancelled,
+      s.cache.hits, s.cache.misses, s.cache.evictions, s.cache.entries,
+      s.cache.expired_misses, s.cache.stale_hits);
   std::string body = buf;
   if (server_stats_) {
     const net::ServerStats n = server_stats_();
@@ -243,12 +308,13 @@ net::HttpResponse ServiceRouter::handle_stats() {
         "    \"responses_5xx\": %" PRIu64 ",\n"
         "    \"connections_timed_out\": %" PRIu64 ",\n"
         "    \"overflow_rejections\": %" PRIu64 ",\n"
-        "    \"parse_errors\": %" PRIu64 "\n"
+        "    \"parse_errors\": %" PRIu64 ",\n"
+        "    \"requests_shed\": %" PRIu64 "\n"
         "  }",
         n.connections_accepted, n.connections_closed, n.open_connections,
         n.peak_connections, n.requests_served, n.responses_4xx,
         n.responses_5xx, n.connections_timed_out, n.overflow_rejections,
-        n.parse_errors);
+        n.parse_errors, n.requests_shed);
     body += sbuf;
   }
   body += "\n}\n";

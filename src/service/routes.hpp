@@ -13,8 +13,23 @@
 //                           order, riding predict_many's dedup and
 //                           in-flight join.
 //   GET  /v1/stats          ServiceStats + CacheStats as JSON.
+//   GET  /v1/health         200 "ok" while serving; 503 "draining" after
+//                           set_draining(true) (shutdown in progress) and
+//                           503 "shedding" while the edge sheds load —
+//                           load balancers stop routing here first.
 //   POST /v1/snapshot       spill the cache to the configured snapshot
 //                           path; 200 with a small JSON report.
+//
+// Resilience hooks (all optional; the plain handle(req) form behaves
+// exactly as before):
+//   * deadline — the context form runs predictions under
+//     ctx.deadline (the server's propagated 408 budget), tightened by the
+//     request's X-Estima-Deadline-Ms header when present; an expired
+//     budget answers 408 instead of burning pool CPU on an abandoned
+//     answer.
+//   * serve-stale — while ctx.shedding holds, /v1/predict may answer
+//     from an expired-but-resident cache entry, marked X-Estima-Stale: 1,
+//     instead of computing fresh: a degraded answer beats a shed 503.
 //
 // Batch framing (mirrors the snapshot file's length-framed style — length
 // gives binary framing, so a frame can contain anything, and truncation is
@@ -31,12 +46,14 @@
 // anything else 500. A client error never caches and never crashes.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "net/http_parser.hpp"
+#include "net/server.hpp"
 #include "net/server_stats.hpp"
 
 namespace estima::service {
@@ -57,8 +74,23 @@ class ServiceRouter {
   explicit ServiceRouter(PredictionService& service, RouterConfig cfg = {});
 
   /// Total function: every exception becomes a status-mapped response, so
-  /// this can be handed to net::HttpServer verbatim.
+  /// this can be handed to net::HttpServer verbatim. Equivalent to the
+  /// context form with a default (no deadline, not shedding) context.
   net::HttpResponse handle(const net::HttpRequest& req);
+
+  /// Context-aware form for HttpServer's ContextHandler: predictions run
+  /// under ctx.deadline and /v1/predict may serve stale under
+  /// ctx.shedding (see the header comment).
+  net::HttpResponse handle(const net::HttpRequest& req,
+                           const net::RequestContext& ctx);
+
+  /// Flips /v1/health to 503 "draining" — called by the daemon when a
+  /// shutdown signal arrives, so load balancers drain this instance
+  /// before its listener actually closes.
+  void set_draining(bool draining) {
+    draining_.store(draining, std::memory_order_relaxed);
+  }
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
 
   /// When set, GET /v1/stats reports the HTTP edge's ServerStats
   /// (connections open/peak, accepted, timeouts, overflow rejections) in
@@ -68,14 +100,19 @@ class ServiceRouter {
   void set_server_stats_source(std::function<net::ServerStats()> source);
 
  private:
-  net::HttpResponse handle_predict(const net::HttpRequest& req);
-  net::HttpResponse handle_predict_batch(const net::HttpRequest& req);
+  net::HttpResponse handle_predict(const net::HttpRequest& req,
+                                   const net::RequestContext& ctx,
+                                   const core::Deadline* deadline);
+  net::HttpResponse handle_predict_batch(const net::HttpRequest& req,
+                                         const core::Deadline* deadline);
   net::HttpResponse handle_stats();
+  net::HttpResponse handle_health(const net::RequestContext& ctx);
   net::HttpResponse handle_snapshot();
 
   PredictionService& service_;
   RouterConfig cfg_;
   std::function<net::ServerStats()> server_stats_;
+  std::atomic<bool> draining_{false};
 };
 
 /// Assembles a predict_batch request body. Inverse of parse_frames.

@@ -1,8 +1,10 @@
 #include "service/snapshot.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -14,6 +16,7 @@
 #include "core/hash.hpp"
 #include "core/prediction_io.hpp"
 #include "core/text_parse.hpp"
+#include "fault/checked_io.hpp"
 
 namespace estima::service {
 namespace {
@@ -35,6 +38,32 @@ std::uint64_t entry_crc(std::uint64_t key, const std::string& payload) {
 
 using core::textparse::strip_cr;
 
+std::string os_error(int err) {
+  return std::string(std::strerror(err)) + " (errno " + std::to_string(err) +
+         ")";
+}
+
+// Writes the whole buffer through the "snapshot.write" fault site,
+// resuming after genuine short writes (a full disk typically delivers a
+// short count before the -1/ENOSPC). Returns 0 on success, the failing
+// errno otherwise; a zero-progress write reports ENOSPC rather than
+// spinning.
+int write_fully(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = fault::checked_write("snapshot.write", fd,
+                                           data.data() + off,
+                                           data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno;
+    }
+    if (n == 0) return ENOSPC;
+    off += static_cast<std::size_t>(n);
+  }
+  return 0;
+}
+
 }  // namespace
 
 SnapshotWriteReport save_snapshot(const std::string& path,
@@ -48,10 +77,11 @@ SnapshotWriteReport save_snapshot(const std::string& path,
       path + ".tmp." + std::to_string(::getpid()) + "." +
       std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
 
+  // Serialise everything first: the file content is pure function of the
+  // entries, and a single buffer keeps the failure surface to three
+  // syscall sites (open / write / rename), each individually injectable.
+  std::string content;
   {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) throw std::runtime_error("snapshot: cannot write " + tmp);
-
     // The header carries its own checksum: version, signature and entry
     // count steer whole-file decisions, so a flipped header byte must
     // reject the file, not silently skew restore accounting.
@@ -64,7 +94,8 @@ SnapshotWriteReport save_snapshot(const std::string& path,
     hh.bytes(header, std::strlen(header));
     char hcrc[32];
     std::snprintf(hcrc, sizeof hcrc, " hcrc=%016" PRIx64 "\n", hh.value());
-    os << header << hcrc;
+    content += header;
+    content += hcrc;
 
     for (const auto& e : entries) {
       std::ostringstream payload_os;
@@ -75,26 +106,40 @@ SnapshotWriteReport save_snapshot(const std::string& path,
       std::snprintf(frame, sizeof frame,
                     "#entry key=%016" PRIx64 " len=%zu crc=%016" PRIx64 "\n",
                     e.key, payload.size(), entry_crc(e.key, payload));
-      os << frame;
+      content += frame;
       // write_prediction's trailing newline doubles as the frame separator.
-      os.write(payload.data(),
-               static_cast<std::streamsize>(payload.size()));
+      content += payload;
     }
-    os << "#end\n";
-    os.flush();
-    if (!os) {
-      os.close();
-      std::error_code ec;
-      std::filesystem::remove(tmp, ec);
-      throw std::runtime_error("snapshot: write failed for " + tmp);
-    }
+    content += "#end\n";
   }
 
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    throw std::runtime_error("snapshot: cannot rename into " + path);
+  const int fd = fault::checked_open("snapshot.open", tmp.c_str(),
+                                     O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    const int err = errno;
+    throw SnapshotIoError("snapshot: cannot create " + tmp + ": " +
+                          os_error(err));
+  }
+  if (const int err = write_fully(fd, content)) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw SnapshotIoError("snapshot: write failed for " + tmp + ": " +
+                          os_error(err));
+  }
+  if (::close(fd) != 0) {
+    // Deferred write errors (NFS, some filesystems on ENOSPC) surface at
+    // close; an incompletely persisted temp must not be renamed live.
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw SnapshotIoError("snapshot: close failed for " + tmp + ": " +
+                          os_error(err));
+  }
+  if (fault::checked_rename("snapshot.rename", tmp.c_str(), path.c_str()) !=
+      0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw SnapshotIoError("snapshot: cannot rename into " + path + ": " +
+                          os_error(err));
   }
 
   SnapshotWriteReport report;

@@ -36,12 +36,23 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/predictor.hpp"
 
 namespace estima::service {
+
+/// A snapshot write that failed at the I/O layer (create, write — short
+/// write / ENOSPC included — or the final rename). Distinct from generic
+/// runtime_error so callers can tell "the disk failed" from "the content
+/// was bad"; the message names the failing path and the OS error. The
+/// staged temp file has always been unlinked by the time this is thrown.
+struct SnapshotIoError : std::runtime_error {
+  explicit SnapshotIoError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 /// One cached answer: the campaign key and the prediction it names.
 struct SnapshotEntry {
@@ -73,7 +84,11 @@ struct SnapshotLoadReport {
 
 /// Serialises the entries (in the given order) under the writing service's
 /// config signature. Atomic: write to "<path>.tmp", then rename. Throws
-/// std::runtime_error when the temp file cannot be written or renamed.
+/// SnapshotIoError when the temp file cannot be created, fully written
+/// (short writes and ENOSPC are detected per write(2) call), or renamed;
+/// every failure path unlinks the temp file first, so no *.tmp litter
+/// survives a failed snapshot. Fault sites: snapshot.open,
+/// snapshot.write, snapshot.rename.
 SnapshotWriteReport save_snapshot(const std::string& path,
                                   std::uint64_t config_signature,
                                   const std::vector<SnapshotEntry>& entries);

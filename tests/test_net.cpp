@@ -793,11 +793,12 @@ TEST_F(NetEndToEnd, StatsJsonStaysWellFormedWithServerCounters) {
       {"campaigns_submitted", "predictions_computed",
        "batch_duplicates_folded", "inflight_joins",
        "snapshot_entries_restored", "snapshot_entries_skipped",
-       "auto_snapshots", "auto_snapshot_failures", "cache", "hits", "misses",
-       "evictions", "entries", "server", "connections_accepted",
-       "connections_closed", "open_connections", "peak_connections",
-       "requests_served", "responses_4xx", "responses_5xx",
-       "connections_timed_out", "overflow_rejections", "parse_errors"});
+       "auto_snapshots", "auto_snapshot_failures", "predictions_cancelled",
+       "cache", "hits", "misses", "evictions", "entries", "expired_misses",
+       "stale_hits", "server", "connections_accepted", "connections_closed",
+       "open_connections", "peak_connections", "requests_served",
+       "responses_4xx", "responses_5xx", "connections_timed_out",
+       "overflow_rejections", "parse_errors", "requests_shed"});
 }
 
 // ---------------------------------------------------------------------------
@@ -1416,6 +1417,160 @@ TEST(HttpClientRetry, EofMidResponseIsNotRetried) {
   HttpClient c("127.0.0.1", server.port());
   EXPECT_THROW(c.post("/x", "tiny"), std::runtime_error);
   std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(server.accepts(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// request_with_retry: decorrelated-jitter backoff against scripted
+// failures. sleep_fn replaces real sleeping, so these tests assert on the
+// exact delays the policy chose without spending wall-clock time.
+
+namespace {
+
+/// Answers every connection's first request with `wire`, then closes.
+std::function<void(int)> answer_with(std::string wire) {
+  return [wire = std::move(wire)](int fd) {
+    char buf[4096];
+    (void)::recv(fd, buf, sizeof buf, 0);
+    (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+    ::close(fd);
+  };
+}
+
+std::string wire_503(int retry_after_s = -1) {
+  HttpResponse resp;
+  resp.status = 503;
+  resp.headers.emplace_back("content-type", "text/plain");
+  if (retry_after_s >= 0) {
+    resp.headers.emplace_back("retry-after", std::to_string(retry_after_s));
+  }
+  resp.body = "overloaded\n";
+  return serialize_response(resp, /*keep_alive=*/false);
+}
+
+}  // namespace
+
+TEST(HttpClientBackoff, RetriesTransportFailureUntilAttemptsExhaust) {
+  // Every connection dies before a response byte: all attempts fail, the
+  // last failure propagates, and the client slept between attempts.
+  ScriptedServer server([](int fd) {
+    char buf[256];
+    (void)::recv(fd, buf, sizeof buf, 0);
+    ::close(fd);
+  });
+
+  HttpClient c("127.0.0.1", server.port());
+  RetryConfig rc;
+  rc.max_attempts = 3;
+  rc.base_delay_ms = 10;
+  rc.max_delay_ms = 100;
+  rc.budget_ms = 10'000;
+  rc.seed = 42;
+  std::vector<int> delays;
+  rc.sleep_fn = [&delays](int ms) { delays.push_back(ms); };
+  c.set_retry_config(rc);
+
+  EXPECT_THROW(c.request_with_retry("POST", "/x", "body"),
+               std::runtime_error);
+  // Each failed attempt except the last is followed by one backoff sleep.
+  ASSERT_EQ(delays.size(), 2u);
+  for (const int d : delays) {
+    EXPECT_GE(d, rc.base_delay_ms);
+    EXPECT_LE(d, rc.max_delay_ms);
+  }
+  // NOTE: request() itself makes a stale-keep-alive reconnect attempt,
+  // so accepts >= attempts; what matters is that all 3 attempts ran.
+  EXPECT_GE(server.accepts(), 3);
+}
+
+TEST(HttpClientBackoff, JitterIsSeededAndReplayable) {
+  auto run_once = [](int port, std::uint64_t seed) {
+    HttpClient c("127.0.0.1", port);
+    RetryConfig rc;
+    rc.max_attempts = 4;
+    rc.base_delay_ms = 10;
+    rc.max_delay_ms = 2'000;
+    rc.seed = seed;
+    std::vector<int> delays;
+    rc.sleep_fn = [&delays](int ms) { delays.push_back(ms); };
+    c.set_retry_config(rc);
+    const auto resp = c.request_with_retry("GET", "/x");
+    EXPECT_EQ(resp.status, 503);
+    return delays;
+  };
+
+  ScriptedServer server(answer_with(wire_503()));
+  const auto a = run_once(server.port(), 7);
+  const auto b = run_once(server.port(), 7);
+  const auto c = run_once(server.port(), 8);
+  ASSERT_EQ(a.size(), 3u);  // 4 attempts -> 3 sleeps
+  EXPECT_EQ(a, b) << "same seed must replay the same delays";
+  EXPECT_NE(a, c) << "different seeds should (overwhelmingly) diverge";
+  // Decorrelated jitter: every delay within [base, cap], and each delay
+  // at most 3x the previous one.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a[i], 10);
+    EXPECT_LE(a[i], 2'000);
+    if (i > 0) EXPECT_LE(a[i], 3 * std::max(a[i - 1], 10));
+  }
+}
+
+TEST(HttpClientBackoff, RetryAfterIsAFloorOnTheNextDelay) {
+  // The server sheds with Retry-After: 2 (2000 ms), far above the cap the
+  // client would jitter to on its own.
+  ScriptedServer server(answer_with(wire_503(/*retry_after_s=*/2)));
+
+  HttpClient c("127.0.0.1", server.port());
+  RetryConfig rc;
+  rc.max_attempts = 2;
+  rc.base_delay_ms = 10;
+  rc.max_delay_ms = 50;  // local cap below the server's floor
+  rc.budget_ms = 60'000;
+  rc.seed = 1;
+  std::vector<int> delays;
+  rc.sleep_fn = [&delays](int ms) { delays.push_back(ms); };
+  c.set_retry_config(rc);
+
+  const auto resp = c.request_with_retry("GET", "/x");
+  EXPECT_EQ(resp.status, 503);  // still shedding after the retries
+  ASSERT_EQ(delays.size(), 1u);
+  EXPECT_GE(delays[0], 2'000) << "Retry-After must floor the delay";
+}
+
+TEST(HttpClientBackoff, SleepBudgetCutsRetriesShort) {
+  ScriptedServer server(answer_with(wire_503()));
+
+  HttpClient c("127.0.0.1", server.port());
+  RetryConfig rc;
+  rc.max_attempts = 10;
+  rc.base_delay_ms = 40;
+  rc.max_delay_ms = 40;  // deterministic 40 ms delays
+  rc.budget_ms = 100;    // room for 2 sleeps, never 3
+  rc.seed = 3;
+  std::vector<int> delays;
+  rc.sleep_fn = [&delays](int ms) { delays.push_back(ms); };
+  c.set_retry_config(rc);
+
+  const auto resp = c.request_with_retry("GET", "/x");
+  EXPECT_EQ(resp.status, 503) << "budget exhaustion returns the last 503";
+  EXPECT_EQ(delays.size(), 2u);
+}
+
+TEST(HttpClientBackoff, A503IsReturnedVerbatimWhenRetriesAreOff) {
+  ScriptedServer server(answer_with(wire_503(/*retry_after_s=*/1)));
+
+  HttpClient c("127.0.0.1", server.port());
+  RetryConfig rc;
+  rc.max_attempts = 4;
+  rc.retry_on_503 = false;
+  std::vector<int> delays;
+  rc.sleep_fn = [&delays](int ms) { delays.push_back(ms); };
+  c.set_retry_config(rc);
+
+  const auto resp = c.request_with_retry("GET", "/x");
+  EXPECT_EQ(resp.status, 503);
+  ASSERT_NE(resp.header("retry-after"), nullptr);
+  EXPECT_TRUE(delays.empty());
   EXPECT_EQ(server.accepts(), 1);
 }
 

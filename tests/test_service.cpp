@@ -436,8 +436,8 @@ TEST(AutoSnapshot, EveryKInsertionsTriggersExactlyOneSnapshot) {
   service.predict_one(campaign(5, 8));
   EXPECT_EQ(service.stats().auto_snapshots, 2u);
 
-  PredictionService restored(ServiceConfig{serving_config(), 4096, 16, 0, ""},
-                             nullptr);
+  PredictionService restored(
+      ServiceConfig{serving_config(), 4096, 16, 0, 0, ""}, nullptr);
   EXPECT_EQ(restored.restore_from(path.string()).entries_loaded(), 6u);
   EXPECT_EQ(restored.stats().snapshot_entries_restored, 6u);
   fs::remove(path);
