@@ -3,6 +3,8 @@
 // plumbing.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -10,11 +12,67 @@
 
 #include "core/measurement.hpp"
 #include "core/predictor.hpp"
+#include "obs/histogram.hpp"
+#include "obs/json_writer.hpp"
 #include "simmachine/machine.hpp"
 #include "simmachine/presets.hpp"
 #include "simmachine/simulator.hpp"
 
 namespace estima::bench {
+
+/// Per-operation latency accounting for the throughput benches, built on
+/// the same obs::Histogram the serving layer exposes: record one duration
+/// per operation, read the quantiles at the end. The log-bucketed
+/// histogram keeps recording O(1) and allocation-free, so calling it
+/// inside a timed loop does not distort the loop it measures.
+class LatencyRecorder {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  void record(Clock::time_point start, Clock::time_point end) {
+    hist_.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count()));
+  }
+  void record_ns(std::uint64_t ns) { hist_.record(ns); }
+
+  struct Stats {
+    std::uint64_t count = 0;
+    double p50_ms = 0, p90_ms = 0, p99_ms = 0, p999_ms = 0, mean_ms = 0;
+  };
+  Stats stats() const {
+    const obs::Histogram::Snapshot snap = hist_.snapshot();
+    Stats s;
+    s.count = snap.count;
+    if (snap.count == 0) return s;
+    s.p50_ms = static_cast<double>(snap.quantile(0.50)) / 1e6;
+    s.p90_ms = static_cast<double>(snap.quantile(0.90)) / 1e6;
+    s.p99_ms = static_cast<double>(snap.quantile(0.99)) / 1e6;
+    s.p999_ms = static_cast<double>(snap.quantile(0.999)) / 1e6;
+    s.mean_ms = static_cast<double>(snap.sum) /
+                static_cast<double>(snap.count) / 1e6;
+    return s;
+  }
+
+ private:
+  obs::Histogram hist_;
+};
+
+/// Emits a LatencyRecorder's quantiles as a keyed object into an open
+/// JSON object: "<key>": {"count":..., "p50_ms":..., ...}. Every
+/// BENCH_*.json carries one of these per measured phase.
+inline void write_latency_json(obs::JsonWriter& w, const std::string& key,
+                               const LatencyRecorder& rec) {
+  const LatencyRecorder::Stats s = rec.stats();
+  w.begin_object(key);
+  w.kv("count", s.count);
+  w.kv("p50_ms", s.p50_ms, 4);
+  w.kv("p90_ms", s.p90_ms, 4);
+  w.kv("p99_ms", s.p99_ms, 4);
+  w.kv("p999_ms", s.p999_ms, 4);
+  w.kv("mean_ms", s.mean_ms, 4);
+  w.end_object();
+}
 
 /// --name=value flag parsing shared by the throughput benches.
 inline double parse_flag_d(int argc, char** argv, const char* name,

@@ -49,6 +49,7 @@ struct ModeResult {
   std::size_t fits_executed = 0;
   std::size_t duplicate_fits_eliminated = 0;
   std::size_t candidates_considered = 0;
+  estima::bench::LatencyRecorder latency;  ///< one sample per predict()
 };
 
 estima::core::PredictionConfig make_config(int target, int ckmax,
@@ -92,7 +93,9 @@ ModeResult run_mode(const std::string& name,
   const auto start = Clock::now();
   int iters = 0;
   for (;;) {
+    const auto op_start = Clock::now();
     const auto p = estima::core::predict(ms, cfg);
+    r.latency.record(op_start, Clock::now());
     sink += p.time_s.back();
     ++iters;
     const double el =
@@ -174,10 +177,14 @@ int run_bench(int argc, char** argv) {
   }
 
   for (const auto& r : results) {
+    const auto ls = r.latency.stats();
     std::printf("  %-9s %8.2f predictions/s  (%d iters in %.2fs)  "
                 "fits=%zu dup_eliminated=%zu\n",
                 r.name.c_str(), r.predictions_per_sec, r.iterations,
                 r.seconds, r.fits_executed, r.duplicate_fits_eliminated);
+    std::printf("  %-9s latency p50 %.3fms p90 %.3fms p99 %.3fms "
+                "p999 %.3fms\n",
+                "", ls.p50_ms, ls.p90_ms, ls.p99_ms, ls.p999_ms);
   }
 
   const ModeResult* baseline = nullptr;
@@ -208,31 +215,32 @@ int run_bench(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"fit_throughput\",\n");
-  std::fprintf(f, "  \"measured_points\": %d,\n", points);
-  std::fprintf(f, "  \"target_cores\": %d,\n", target);
-  std::fprintf(f, "  \"pool_threads\": %d,\n", threads);
-  std::fprintf(f, "  \"checkpoint_settings_max\": %d,\n", ckmax);
-  std::fprintf(f, "  \"modes\": {\n");
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto& r = results[i];
-    std::fprintf(f,
-                 "    \"%s\": {\"predictions_per_sec\": %.3f, "
-                 "\"iterations\": %d, \"seconds\": %.3f, "
-                 "\"fits_executed\": %zu, "
-                 "\"duplicate_fits_eliminated\": %zu, "
-                 "\"candidates_considered\": %zu}%s\n",
-                 r.name.c_str(), r.predictions_per_sec, r.iterations,
-                 r.seconds, r.fits_executed, r.duplicate_fits_eliminated,
-                 r.candidates_considered,
-                 i + 1 < results.size() ? "," : "");
+  estima::obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "fit_throughput");
+  w.kv("measured_points", points);
+  w.kv("target_cores", target);
+  w.kv("pool_threads", threads);
+  w.kv("checkpoint_settings_max", ckmax);
+  w.begin_object("modes");
+  for (const auto& r : results) {
+    w.begin_object(r.name);
+    w.kv("predictions_per_sec", r.predictions_per_sec, 3);
+    w.kv("iterations", r.iterations);
+    w.kv("seconds", r.seconds, 3);
+    w.kv("fits_executed", static_cast<std::uint64_t>(r.fits_executed));
+    w.kv("duplicate_fits_eliminated",
+         static_cast<std::uint64_t>(r.duplicate_fits_eliminated));
+    w.kv("candidates_considered",
+         static_cast<std::uint64_t>(r.candidates_considered));
+    estima::bench::write_latency_json(w, "latency", r.latency);
+    w.end_object();
   }
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"end_to_end_speedup_vs_baseline\": %.3f,\n", speedup);
-  std::fprintf(f, "  \"multithreaded_bit_identical\": %s\n",
-               identical ? "true" : "false");
-  std::fprintf(f, "}\n");
+  w.end_object();
+  w.kv("end_to_end_speedup_vs_baseline", speedup, 3);
+  w.kv("multithreaded_bit_identical", identical);
+  w.end_object();
+  std::fputs(w.str().c_str(), f);
   std::fclose(f);
   std::printf("  wrote %s\n", out_path.c_str());
 

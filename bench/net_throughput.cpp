@@ -55,6 +55,7 @@
 #include "core/predictor.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "service/prediction_service.hpp"
 #include "service/routes.hpp"
@@ -238,17 +239,20 @@ int run_bench(int argc, char** argv) {
   // Warm: loop the same requests; everything must hit. The first pass
   // also checks bit-identity through the full wire round-trip.
   bool identical = true;
+  estima::bench::LatencyRecorder warm_lat;
   std::size_t warm_requests = 0;
   const auto warm_start = Clock::now();
   double warm_elapsed = 0.0;
   for (int pass = 0;; ++pass) {
     for (int i = 0; i < campaigns; ++i) {
+      const auto req_start = Clock::now();
       const auto resp = client.post("/v1/predict", bodies[static_cast<std::size_t>(i)], "text/csv");
       if (resp.status != 200) {
         std::fprintf(stderr, "warm request failed: %d %s\n", resp.status,
                      resp.body.c_str());
         return 1;
       }
+      warm_lat.record(req_start, Clock::now());
       ++warm_requests;
       if (pass == 0) {
         std::istringstream is(resp.body);
@@ -298,6 +302,59 @@ int run_bench(int argc, char** argv) {
   }
   const double batch_cps =
       static_cast<double>(batch_requests) * campaigns / batch_elapsed;
+
+  // Observability overhead over the wire: the same warm request with the
+  // server's tracer detached vs attached (set_tracer is an atomic swap),
+  // strictly alternating on one keep-alive connection so both sides see
+  // the same scheduler and the same cache state. Each side's per-request
+  // times are tail-trimmed before comparing means, so one preempted
+  // round trip cannot masquerade as tracing cost. The traced side pays
+  // the full edge path: trace creation, edge.read/parse/queue.wait/
+  // serialize/edge.write spans, stage histograms, and finish().
+  estima::obs::Registry registry;
+  estima::obs::TracerConfig tcfg;
+  tcfg.slow_threshold_ms = -1;  // measuring span cost, not collecting slow
+  estima::obs::Tracer tracer(registry, tcfg);
+  std::vector<double> untraced_ns, traced_ns;
+  {
+    const double window_s = std::max(0.3, warm_seconds);
+    const auto start = Clock::now();
+    std::size_t n = 0;
+    while (seconds_since(start) < window_s) {
+      const auto idx = n++ % bodies.size();
+      server.set_tracer(nullptr);
+      const auto u0 = Clock::now();
+      const auto ur = client.post("/v1/predict", bodies[idx], "text/csv");
+      const auto u1 = Clock::now();
+      server.set_tracer(&tracer);
+      const auto t0 = Clock::now();
+      const auto tr = client.post("/v1/predict", bodies[idx], "text/csv");
+      const auto t1 = Clock::now();
+      if (ur.status != 200 || tr.status != 200) {
+        std::fprintf(stderr, "overhead request failed: %d / %d\n", ur.status,
+                     tr.status);
+        return 1;
+      }
+      untraced_ns.push_back(
+          std::chrono::duration<double, std::nano>(u1 - u0).count());
+      traced_ns.push_back(
+          std::chrono::duration<double, std::nano>(t1 - t0).count());
+    }
+    server.set_tracer(nullptr);
+  }
+  const auto trimmed_mean = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    const std::size_t keep = std::max<std::size_t>(1, v.size() * 9 / 10);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < keep; ++i) sum += v[i];
+    return sum / static_cast<double>(keep);
+  };
+  const double untraced_req_ns = trimmed_mean(untraced_ns);
+  const double traced_req_ns = trimmed_mean(traced_ns);
+  const double untraced_rps = 1e9 / untraced_req_ns;
+  const double traced_rps = 1e9 / traced_req_ns;
+  const double obs_overhead_pct =
+      100.0 * (traced_req_ns - untraced_req_ns) / untraced_req_ns;
 
   // Chaos window: the same warm traffic with ~1% of socket operations on
   // both sides of the wire failing (or short-writing), driven through the
@@ -413,6 +470,15 @@ int run_bench(int argc, char** argv) {
               100.0 * warm_hit_rate, no_new_compute ? "yes" : "NO");
   std::printf("  bit-identical through the wire: %s\n",
               identical ? "yes" : "NO");
+  std::printf("  traced vs untraced warm: untraced %10.2f/s  traced "
+              "%10.2f/s  obs overhead %.2f%%\n",
+              untraced_rps, traced_rps, obs_overhead_pct);
+  {
+    const auto ls = warm_lat.stats();
+    std::printf("  warm latency: p50 %.4fms p90 %.4fms p99 %.4fms "
+                "p999 %.4fms\n",
+                ls.p50_ms, ls.p90_ms, ls.p99_ms, ls.p999_ms);
+  }
   if (chaos) {
     std::printf("  chaos (seed=%llu, ~1%% socket faults): %10.2f requests/s, "
                 "%.0f%% retention, %.2f%% error rate, wrong answers: %zu\n",
@@ -433,46 +499,45 @@ int run_bench(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"net_throughput\",\n");
-  std::fprintf(f, "  \"campaigns\": %d,\n", campaigns);
-  std::fprintf(f, "  \"measured_points\": %d,\n", points);
-  std::fprintf(f, "  \"target_cores\": %d,\n", target);
-  std::fprintf(f, "  \"prediction_threads\": %d,\n", threads);
-  std::fprintf(f, "  \"http_workers\": %d,\n", http_threads);
-  std::fprintf(f, "  \"io_threads\": %d,\n", io_threads);
-  std::fprintf(f, "  \"idle_clients\": %d,\n", idle_clients);
-  std::fprintf(f, "  \"idle_clients_connected\": %d,\n", horde_connected);
-  std::fprintf(f, "  \"idle_clients_held_through_warm\": %s,\n",
-               idle_held ? "true" : "false");
-  std::fprintf(f, "  \"peak_connections\": %llu,\n",
-               static_cast<unsigned long long>(sstats.peak_connections));
-  std::fprintf(f, "  \"cold_requests_per_sec\": %.3f,\n", cold_rps);
-  std::fprintf(f, "  \"warm_requests_per_sec\": %.3f,\n", warm_rps);
-  std::fprintf(f, "  \"warm_batch_campaigns_per_sec\": %.3f,\n", batch_cps);
-  std::fprintf(f, "  \"warm_speedup_vs_cold\": %.3f,\n", warm_speedup);
-  std::fprintf(f, "  \"warm_hit_rate\": %.4f,\n", warm_hit_rate);
-  std::fprintf(f, "  \"requests_served\": %llu,\n",
-               static_cast<unsigned long long>(sstats.requests_served));
-  std::fprintf(f, "  \"bit_identical_through_wire\": %s,\n",
-               identical ? "true" : "false");
+  estima::obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "net_throughput");
+  w.kv("campaigns", campaigns);
+  w.kv("measured_points", points);
+  w.kv("target_cores", target);
+  w.kv("prediction_threads", threads);
+  w.kv("http_workers", http_threads);
+  w.kv("io_threads", io_threads);
+  w.kv("idle_clients", idle_clients);
+  w.kv("idle_clients_connected", horde_connected);
+  w.kv("idle_clients_held_through_warm", idle_held);
+  w.kv("peak_connections", sstats.peak_connections);
+  w.kv("cold_requests_per_sec", cold_rps, 3);
+  w.kv("warm_requests_per_sec", warm_rps, 3);
+  w.kv("warm_batch_campaigns_per_sec", batch_cps, 3);
+  w.kv("warm_speedup_vs_cold", warm_speedup, 3);
+  w.kv("warm_hit_rate", warm_hit_rate, 4);
+  w.kv("requests_served", sstats.requests_served);
+  w.kv("bit_identical_through_wire", identical);
+  w.kv("untraced_warm_requests_per_sec", untraced_rps, 3);
+  w.kv("traced_warm_requests_per_sec", traced_rps, 3);
+  w.kv("obs_overhead_pct", obs_overhead_pct, 2);
+  estima::bench::write_latency_json(w, "warm_latency", warm_lat);
+  w.begin_object("chaos");
+  w.kv("enabled", chaos);
   if (chaos) {
-    std::fprintf(f, "  \"chaos\": {\n");
-    std::fprintf(f, "    \"enabled\": true,\n");
-    std::fprintf(f, "    \"seed\": %llu,\n",
-                 static_cast<unsigned long long>(chaos_seed));
-    std::fprintf(f, "    \"requests_per_sec\": %.3f,\n", chaos_rps);
-    std::fprintf(f, "    \"throughput_retention\": %.4f,\n", chaos_retention);
-    std::fprintf(f, "    \"error_rate\": %.4f,\n", chaos_error_rate);
-    std::fprintf(f, "    \"ok\": %zu,\n", chaos_ok);
-    std::fprintf(f, "    \"failed\": %zu,\n", chaos_failed);
-    std::fprintf(f, "    \"wrong_answers\": %zu\n", chaos_wrong);
-    std::fprintf(f, "  },\n");
-  } else {
-    std::fprintf(f, "  \"chaos\": {\"enabled\": false},\n");
+    w.kv("seed", chaos_seed);
+    w.kv("requests_per_sec", chaos_rps, 3);
+    w.kv("throughput_retention", chaos_retention, 4);
+    w.kv("error_rate", chaos_error_rate, 4);
+    w.kv("ok", static_cast<std::uint64_t>(chaos_ok));
+    w.kv("failed", static_cast<std::uint64_t>(chaos_failed));
+    w.kv("wrong_answers", static_cast<std::uint64_t>(chaos_wrong));
   }
-  std::fprintf(f, "  \"speedup_bar_met\": %s\n", speedup_ok ? "true" : "false");
-  std::fprintf(f, "}\n");
+  w.end_object();
+  w.kv("speedup_bar_met", speedup_ok);
+  w.end_object();
+  std::fputs(w.str().c_str(), f);
   std::fclose(f);
   std::printf("  wrote %s\n", out_path.c_str());
 

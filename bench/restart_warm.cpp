@@ -137,14 +137,18 @@ int run_bench(int argc, char** argv) {
   const double restore_elapsed = seconds_since(restore_start);
   const auto after_restore = service.stats();
 
-  // Warm passes against the restored cache.
+  // Warm passes against the restored cache; per-batch latency feeds the
+  // reported percentiles.
+  estima::bench::LatencyRecorder warm_lat;
   int warm_batches = 0;
   std::size_t warm_campaigns_served = 0;
   std::vector<estima::core::Prediction> warm_out;
   const auto warm_start = Clock::now();
   double warm_elapsed = 0.0;
   for (;;) {
+    const auto batch_t0 = Clock::now();
     warm_out = service.predict_many(batch);
+    warm_lat.record(batch_t0, Clock::now());
     ++warm_batches;
     warm_campaigns_served += batch.size();
     warm_elapsed = seconds_since(warm_start);
@@ -198,30 +202,29 @@ int run_bench(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"restart_warm\",\n");
-  std::fprintf(f, "  \"campaigns\": %d,\n", campaigns);
-  std::fprintf(f, "  \"repeat_per_batch\": %d,\n", repeat);
-  std::fprintf(f, "  \"measured_points\": %d,\n", points);
-  std::fprintf(f, "  \"target_cores\": %d,\n", target);
-  std::fprintf(f, "  \"pool_threads\": %d,\n", threads);
-  std::fprintf(f, "  \"cold_serial_campaigns_per_sec\": %.3f,\n", cold_cps);
-  std::fprintf(f, "  \"restore_seconds\": %.6f,\n", restore_elapsed);
-  std::fprintf(f, "  \"entries_restored\": %zu,\n",
-               restore_report.entries_loaded());
-  std::fprintf(f, "  \"entries_skipped\": %zu,\n",
-               restore_report.skipped.size());
-  std::fprintf(f, "  \"restored_warm_campaigns_per_sec\": %.3f,\n", warm_cps);
-  std::fprintf(f, "  \"restored_warm_speedup_vs_cold\": %.3f,\n",
-               warm_speedup);
-  std::fprintf(f, "  \"restore_complete\": %s,\n",
-               restore_complete ? "true" : "false");
-  std::fprintf(f, "  \"all_hits_after_restore\": %s,\n",
-               all_hits ? "true" : "false");
-  std::fprintf(f, "  \"bit_identical_to_serial\": %s,\n",
-               identical ? "true" : "false");
-  std::fprintf(f, "  \"speedup_bar_met\": %s\n", speedup_ok ? "true" : "false");
-  std::fprintf(f, "}\n");
+  estima::obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "restart_warm");
+  w.kv("campaigns", campaigns);
+  w.kv("repeat_per_batch", repeat);
+  w.kv("measured_points", points);
+  w.kv("target_cores", target);
+  w.kv("pool_threads", threads);
+  w.kv("cold_serial_campaigns_per_sec", cold_cps, 3);
+  w.kv("restore_seconds", restore_elapsed, 6);
+  w.kv("entries_restored",
+       static_cast<std::uint64_t>(restore_report.entries_loaded()));
+  w.kv("entries_skipped",
+       static_cast<std::uint64_t>(restore_report.skipped.size()));
+  w.kv("restored_warm_campaigns_per_sec", warm_cps, 3);
+  w.kv("restored_warm_speedup_vs_cold", warm_speedup, 3);
+  estima::bench::write_latency_json(w, "warm_batch_latency", warm_lat);
+  w.kv("restore_complete", restore_complete);
+  w.kv("all_hits_after_restore", all_hits);
+  w.kv("bit_identical_to_serial", identical);
+  w.kv("speedup_bar_met", speedup_ok);
+  w.end_object();
+  std::fputs(w.str().c_str(), f);
   std::fclose(f);
   std::printf("  wrote %s\n", out_path.c_str());
 

@@ -25,6 +25,7 @@
 //   --target=T      extrapolation horizon             (default 48)
 //   --warm-seconds=S  minimum warm measurement window (default 0.5)
 //   --out=PATH      JSON output path (default BENCH_serve_throughput.json)
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -34,6 +35,7 @@
 
 #include "bench/bench_util.hpp"
 #include "core/predictor.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "service/prediction_service.hpp"
 #include "tests/synthetic.hpp"
@@ -174,6 +176,66 @@ int run_bench(int argc, char** argv) {
   const bool speedup_ok = warm_speedup >= 10.0;
   const bool hit_rate_ok = second_pass_hit_rate == 1.0 && no_new_compute;
 
+  // Per-campaign latency percentiles on the warm path (pure cache hits).
+  estima::bench::LatencyRecorder warm_lat;
+  {
+    const auto start = Clock::now();
+    while (seconds_since(start) < std::max(0.1, warm_seconds / 4.0)) {
+      for (const auto& u : uniques) {
+        const auto op_start = Clock::now();
+        (void)service.predict_one(u);
+        warm_lat.record(op_start, Clock::now());
+      }
+    }
+  }
+
+  // Observability overhead at request granularity: one TraceContext per
+  // warm batch — exactly what one traced HTTP request pays (context
+  // creation, cache.lookup spans, histogram records, finish) — against
+  // the identical untraced call. Traced and untraced batches strictly
+  // alternate inside ONE window, so scheduler stalls and frequency
+  // wander land on both sides alike, and each side's per-batch times are
+  // tail-trimmed before comparing means: a single preempted batch must
+  // not masquerade as tracing cost.
+  estima::obs::Registry registry;
+  estima::obs::TracerConfig tcfg;
+  tcfg.slow_threshold_ms = -1;  // measuring span cost, not collecting slow
+  estima::obs::Tracer tracer(registry, tcfg);
+  std::vector<double> untraced_ns, traced_ns;
+  {
+    const double window_s = std::max(0.3, warm_seconds);
+    const auto start = Clock::now();
+    while (seconds_since(start) < window_s) {
+      const auto u0 = Clock::now();
+      (void)service.predict_many(batch);
+      const auto u1 = Clock::now();
+      untraced_ns.push_back(
+          std::chrono::duration<double, std::nano>(u1 - u0).count());
+      const auto t0 = Clock::now();
+      estima::obs::TraceContext tctx(&tracer, tracer.generate_id(), t0);
+      (void)service.predict_many(batch, nullptr, &tctx);
+      const auto t1 = Clock::now();
+      tracer.finish(tctx, t1);
+      traced_ns.push_back(
+          std::chrono::duration<double, std::nano>(t1 - t0).count());
+    }
+  }
+  const auto trimmed_mean = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    const std::size_t keep = std::max<std::size_t>(1, v.size() * 9 / 10);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < keep; ++i) sum += v[i];
+    return sum / static_cast<double>(keep);
+  };
+  const double untraced_batch_ns = trimmed_mean(untraced_ns);
+  const double traced_batch_ns = trimmed_mean(traced_ns);
+  const double untraced_cps =
+      static_cast<double>(batch.size()) * 1e9 / untraced_batch_ns;
+  const double traced_cps =
+      static_cast<double>(batch.size()) * 1e9 / traced_batch_ns;
+  const double obs_overhead_pct =
+      100.0 * (traced_batch_ns - untraced_batch_ns) / untraced_batch_ns;
+
   std::printf("  serial predict   %10.2f campaigns/s  (%d campaigns in %.3fs)\n",
               serial_cps, campaigns, serial_elapsed);
   std::printf("  cold  batch      %10.2f campaigns/s  (%zu campaigns in %.3fs)\n",
@@ -186,6 +248,15 @@ int run_bench(int argc, char** argv) {
               100.0 * second_pass_hit_rate, no_new_compute ? "yes" : "NO");
   std::printf("  bit-identical to serial predict(): %s\n",
               identical ? "yes" : "NO");
+  std::printf("  warm traced vs untraced: untraced %10.2f/s  traced "
+              "%10.2f/s  obs overhead %.2f%%\n",
+              untraced_cps, traced_cps, obs_overhead_pct);
+  {
+    const auto ls = warm_lat.stats();
+    std::printf("  warm latency: p50 %.4fms p90 %.4fms p99 %.4fms "
+                "p999 %.4fms\n",
+                ls.p50_ms, ls.p90_ms, ls.p99_ms, ls.p999_ms);
+  }
   std::printf("  service: computed=%llu folded=%llu joins=%llu "
               "hits=%llu misses=%llu evictions=%llu\n",
               static_cast<unsigned long long>(after_warm.predictions_computed),
@@ -201,34 +272,32 @@ int run_bench(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"serve_throughput\",\n");
-  std::fprintf(f, "  \"campaigns\": %d,\n", campaigns);
-  std::fprintf(f, "  \"repeat_per_batch\": %d,\n", repeat);
-  std::fprintf(f, "  \"measured_points\": %d,\n", points);
-  std::fprintf(f, "  \"target_cores\": %d,\n", target);
-  std::fprintf(f, "  \"pool_threads\": %d,\n", threads);
-  std::fprintf(f, "  \"serial_campaigns_per_sec\": %.3f,\n", serial_cps);
-  std::fprintf(f, "  \"cold_batch_campaigns_per_sec\": %.3f,\n", cold_cps);
-  std::fprintf(f, "  \"warm_batch_campaigns_per_sec\": %.3f,\n", warm_cps);
-  std::fprintf(f, "  \"warm_speedup_vs_cold_serial\": %.3f,\n", warm_speedup);
-  std::fprintf(f, "  \"second_pass_hit_rate\": %.4f,\n", second_pass_hit_rate);
-  std::fprintf(f, "  \"predictions_computed\": %llu,\n",
-               static_cast<unsigned long long>(
-                   after_warm.predictions_computed));
-  std::fprintf(f, "  \"batch_duplicates_folded\": %llu,\n",
-               static_cast<unsigned long long>(
-                   after_warm.batch_duplicates_folded));
-  std::fprintf(f, "  \"cache_hits\": %llu,\n",
-               static_cast<unsigned long long>(after_warm.cache.hits));
-  std::fprintf(f, "  \"cache_misses\": %llu,\n",
-               static_cast<unsigned long long>(after_warm.cache.misses));
-  std::fprintf(f, "  \"cache_evictions\": %llu,\n",
-               static_cast<unsigned long long>(after_warm.cache.evictions));
-  std::fprintf(f, "  \"bit_identical_to_serial\": %s,\n",
-               identical ? "true" : "false");
-  std::fprintf(f, "  \"speedup_bar_met\": %s\n", speedup_ok ? "true" : "false");
-  std::fprintf(f, "}\n");
+  estima::obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "serve_throughput");
+  w.kv("campaigns", campaigns);
+  w.kv("repeat_per_batch", repeat);
+  w.kv("measured_points", points);
+  w.kv("target_cores", target);
+  w.kv("pool_threads", threads);
+  w.kv("serial_campaigns_per_sec", serial_cps, 3);
+  w.kv("cold_batch_campaigns_per_sec", cold_cps, 3);
+  w.kv("warm_batch_campaigns_per_sec", warm_cps, 3);
+  w.kv("warm_speedup_vs_cold_serial", warm_speedup, 3);
+  w.kv("second_pass_hit_rate", second_pass_hit_rate, 4);
+  w.kv("predictions_computed", after_warm.predictions_computed);
+  w.kv("batch_duplicates_folded", after_warm.batch_duplicates_folded);
+  w.kv("cache_hits", after_warm.cache.hits);
+  w.kv("cache_misses", after_warm.cache.misses);
+  w.kv("cache_evictions", after_warm.cache.evictions);
+  w.kv("untraced_warm_campaigns_per_sec", untraced_cps, 3);
+  w.kv("traced_warm_campaigns_per_sec", traced_cps, 3);
+  w.kv("obs_overhead_pct", obs_overhead_pct, 2);
+  estima::bench::write_latency_json(w, "warm_latency", warm_lat);
+  w.kv("bit_identical_to_serial", identical);
+  w.kv("speedup_bar_met", speedup_ok);
+  w.end_object();
+  std::fputs(w.str().c_str(), f);
   std::fclose(f);
   std::printf("  wrote %s\n", out_path.c_str());
 

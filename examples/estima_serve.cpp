@@ -27,6 +27,11 @@
 //     --cache-ttl-ms=T     cached predictions older than T ms read as
 //                          misses but stay resident for serve-stale
 //                          degradation (default 0 = never expire)
+//     --slow-trace-ms=T    requests slower than T ms land in the slow
+//                          ring served by GET /v1/trace and dumped on
+//                          SIGUSR1 (default 250; 0 retains every
+//                          request, negative disables the ring)
+//     --trace-ring=N       slow-ring capacity (default 64)
 //
 // Serving surface (see src/service/routes.hpp for body formats):
 //   POST /v1/predict        one CSV campaign -> one prediction record
@@ -34,11 +39,20 @@
 //   GET  /v1/stats          service + cache counters as JSON
 //   GET  /v1/health         200 serving / 503 draining or shedding
 //   POST /v1/snapshot       spill the cache to --snapshot-file
+//   GET  /v1/metrics        Prometheus text exposition (counters +
+//                           per-stage latency histograms)
+//   GET  /v1/trace          slow-request ring: per-request span
+//                           breakdowns as JSON
 //
 // Resilience: each request's 408 budget is propagated into the predictor
 // as a cooperative deadline (plus any X-Estima-Deadline-Ms the client
 // sends), overload sheds with 503 + Retry-After, and under shedding
 // /v1/predict may serve an expired cache entry (X-Estima-Stale: 1).
+//
+// Observability: every request is traced (edge.read, queue.wait, parse,
+// cache.lookup, fit.enumerate, fit.levmar, fit.realism, serialize,
+// edge.write) with its id echoed in X-Estima-Trace-Id; SIGUSR1 prints
+// the slow ring to stdout without disturbing serving.
 //
 // Shutdown is a graceful drain: on SIGINT/SIGTERM /v1/health flips to
 // 503 "draining", the listener closes, in-flight responses finish, and
@@ -55,6 +69,8 @@
 #include "bench/bench_util.hpp"
 #include "core/predictor.hpp"
 #include "net/server.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "service/prediction_service.hpp"
 #include "service/routes.hpp"
@@ -63,8 +79,29 @@
 namespace {
 
 std::atomic<int> g_signal{0};
+std::atomic<bool> g_dump_traces{false};
 
 void on_signal(int sig) { g_signal.store(sig); }
+void on_sigusr1(int) { g_dump_traces.store(true); }
+
+void dump_slow_traces(const estima::obs::Tracer& tracer) {
+  const auto slow = tracer.slow_traces();
+  std::printf("slow-request ring: %zu trace(s)\n", slow.size());
+  for (const auto& t : slow) {
+    std::printf("  trace %s total=%.3fms\n",
+                estima::obs::format_trace_id(t.trace_id).c_str(),
+                static_cast<double>(t.total_ns) / 1e6);
+    for (const auto& sp : t.spans) {
+      std::printf("    %-13s start=%.3fms dur=%.3fms count=%llu%s\n",
+                  estima::obs::stage_name(sp.stage),
+                  static_cast<double>(sp.start_off_ns) / 1e6,
+                  static_cast<double>(sp.total_ns) / 1e6,
+                  static_cast<unsigned long long>(sp.count),
+                  sp.nested ? " (nested)" : "");
+    }
+  }
+  std::fflush(stdout);
+}
 
 }  // namespace
 
@@ -99,6 +136,10 @@ int main(int argc, char** argv) {
       static_cast<int>(parse_flag_d(argc, argv, "queue-delay-ms", 0));
   const int cache_ttl_ms =
       static_cast<int>(parse_flag_d(argc, argv, "cache-ttl-ms", 0));
+  const int slow_trace_ms =
+      static_cast<int>(parse_flag_d(argc, argv, "slow-trace-ms", 250));
+  const int trace_ring =
+      static_cast<int>(parse_flag_d(argc, argv, "trace-ring", 64));
 
   parallel::ThreadPool pool(
       static_cast<std::size_t>(threads > 0 ? threads : 1));
@@ -134,9 +175,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The observability spine: one registry holds every histogram, the
+  // tracer owns the per-stage ones plus the slow-request ring. Both live
+  // for the whole process, outliving the server and router that borrow
+  // them.
+  obs::Registry registry;
+  obs::TracerConfig tcfg;
+  tcfg.slow_threshold_ms = slow_trace_ms;
+  tcfg.ring_capacity =
+      static_cast<std::size_t>(trace_ring > 0 ? trace_ring : 0);
+  obs::Tracer tracer(registry, tcfg);
+
   service::RouterConfig rcfg;
   rcfg.snapshot_path = snapshot_file;
   service::ServiceRouter router(svc, rcfg);
+  router.set_observability(&registry, &tracer);
 
   // One fd per connection plus listener/pipes/snapshot headroom: the
   // admission cap is only honest if the process may actually hold that
@@ -157,6 +210,7 @@ int main(int argc, char** argv) {
   ncfg.max_queue_depth =
       static_cast<std::size_t>(max_queue_depth > 0 ? max_queue_depth : 0);
   ncfg.queue_delay_budget_ms = queue_delay_ms > 0 ? queue_delay_ms : 0;
+  ncfg.tracer = &tracer;
   net::HttpServer server(
       ncfg, [&router](const net::HttpRequest& req,
                       const net::RequestContext& ctx) {
@@ -181,7 +235,9 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
+  std::signal(SIGUSR1, on_sigusr1);
   while (g_signal.load() == 0) {
+    if (g_dump_traces.exchange(false)) dump_slow_traces(tracer);
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
   }
   std::printf("signal %d: draining...\n", g_signal.load());

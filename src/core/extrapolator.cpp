@@ -10,6 +10,7 @@
 
 #include "fault/fault_injection.hpp"
 #include "numeric/stats.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace estima::core {
@@ -130,12 +131,17 @@ std::vector<std::vector<CandidateFit>> enumerate_candidates_filtered(
           const KernelType type = kAllKernels[idx % K];
           const std::vector<double> pxs(xs.begin(), xs.begin() + i);
           const std::vector<double> pys(values.begin(), values.begin() + i);
+          obs::SpanTimer levmar_span(cfg.trace, obs::Stage::kFitLevmar);
           auto fitted = fit_kernel(type, pxs, pys, cfg.fit);
+          levmar_span.stop();
           if (!fitted) return;
           FitSlot& slot = slots[idx];
-          for (std::size_t v = 0; v < filters.size(); ++v) {
-            if (is_realistic(*fitted, filters[v], vmax, nonneg)) {
-              slot.realistic_mask |= std::uint64_t{1} << v;
+          {
+            obs::SpanTimer realism_span(cfg.trace, obs::Stage::kFitRealism);
+            for (std::size_t v = 0; v < filters.size(); ++v) {
+              if (is_realistic(*fitted, filters[v], vmax, nonneg)) {
+                slot.realistic_mask |= std::uint64_t{1} << v;
+              }
             }
           }
           if (slot.realistic_mask == 0) return;

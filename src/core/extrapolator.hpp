@@ -29,6 +29,10 @@ namespace estima::parallel {
 class ThreadPool;
 }  // namespace estima::parallel
 
+namespace estima::obs {
+class TraceContext;
+}  // namespace estima::obs
+
 namespace estima::core {
 
 struct ExtrapolationConfig {
@@ -53,6 +57,13 @@ struct ExtrapolationConfig {
   /// DeadlineExceeded. Null = never cancelled. Like `pool`, this knob
   /// cannot change produced values, only whether they are produced.
   const Deadline* deadline = nullptr;
+  /// Observability seam, threaded exactly like `deadline`: when set, the
+  /// fit jobs record `fit.levmar` (kernel fitting) and `fit.realism`
+  /// (filter evaluation) spans into it. These are nested, per-worker
+  /// spans — their sums aggregate CPU time across the pool. Null (the
+  /// default) compiles the timing away to one branch; like `pool` and
+  /// `deadline`, this knob cannot change produced values.
+  obs::TraceContext* trace = nullptr;
 };
 
 /// One scored candidate fit (kept for diagnostics / bench output).

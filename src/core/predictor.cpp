@@ -7,6 +7,7 @@
 
 #include "core/hash.hpp"
 #include "numeric/stats.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace estima::core {
@@ -58,10 +59,12 @@ double compute_freq_scale(const MeasurementSet& ms,
 
 ExtrapolationConfig tuned_extrap(const PredictionConfig& cfg,
                                  parallel::ThreadPool* pool,
-                                 const Deadline* deadline = nullptr) {
+                                 const Deadline* deadline = nullptr,
+                                 obs::TraceContext* trace = nullptr) {
   ExtrapolationConfig e = cfg.extrap;
   e.pool = pool;
   e.deadline = deadline;
+  e.trace = trace;
   if (!cfg.target_cores.empty()) {
     e.target_max_cores = std::max<double>(
         e.target_max_cores,
@@ -101,6 +104,12 @@ Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
 
 Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
                    parallel::ThreadPool* pool, const Deadline* deadline) {
+  return predict(ms, cfg, pool, deadline, cfg.extrap.trace);
+}
+
+Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
+                   parallel::ThreadPool* pool, const Deadline* deadline,
+                   obs::TraceContext* trace) {
   if (deadline != nullptr && deadline->expired()) {
     throw DeadlineExceeded("predict: deadline expired before work began");
   }
@@ -136,11 +145,17 @@ Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
     input.categories = {std::move(agg)};
   }
 
-  const ExtrapolationConfig extrap = tuned_extrap(cfg, pool, deadline);
+  const ExtrapolationConfig extrap = tuned_extrap(cfg, pool, deadline, trace);
 
   Prediction out;
   out.cores = cfg.target_cores;
   out.freq_scale = compute_freq_scale(ms, cfg);
+
+  // One wall-clock span over the whole fit phase — category
+  // extrapolation (B) through the scaling-factor enumeration (C). The
+  // nested fit.levmar / fit.realism spans recorded by the jobs inside
+  // aggregate worker CPU time within this window.
+  obs::SpanTimer enumerate_span(trace, obs::Stage::kFitEnumerate);
 
   // (B) Extrapolate every stall category independently; weak scaling
   // multiplies the extrapolated stall volume by the dataset factor. The
@@ -220,6 +235,7 @@ Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
       input.cores, factor_meas, extrap, {strict_realism, extrap.realism},
       &out.factor_stats);
   raise_if_abandoned(out.factor_stats, "scaling-factor enumeration");
+  enumerate_span.stop();
   out.factor_used_relaxed_realism = factor_passes[0].empty();
   std::vector<CandidateFit> factor_candidates = std::move(
       out.factor_used_relaxed_realism ? factor_passes[1] : factor_passes[0]);
@@ -402,9 +418,10 @@ std::uint64_t config_signature(const PredictionConfig& cfg) {
   h.i64(e.realism.max_steps);
   h.f64(e.fit.ridge_lambda);
   h.i64(e.fit.levmar_max_iterations);
-  // e.memoize_fits, e.pool and e.deadline deliberately excluded: the
-  // *answer* (times, stalls, chosen fits) is bit-identical across all of
-  // them — a deadline can only turn an answer into an exception — so
+  // e.memoize_fits, e.pool, e.deadline and e.trace deliberately excluded:
+  // the *answer* (times, stalls, chosen fits) is bit-identical across all
+  // of them — a deadline can only turn an answer into an exception, a
+  // trace only observes where the time went — so
   // cached results stay shareable. Only the work-accounting fields (factor_stats, the
   // per-category fits_executed / duplicate_fits_eliminated) reflect the
   // run that actually computed the prediction — accounting describes the

@@ -81,11 +81,21 @@ Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
 Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
                    parallel::ThreadPool* pool, const Deadline* deadline);
 
+/// Same pipeline with a per-request trace attached (overriding
+/// cfg.extrap.trace as well): records a `fit.enumerate` wall span over
+/// the extrapolation + scaling-factor phases and, inside the fit jobs,
+/// nested `fit.levmar` / `fit.realism` spans. Like pool and deadline,
+/// the trace pointer cannot change produced values. Null = untraced.
+Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
+                   parallel::ThreadPool* pool, const Deadline* deadline,
+                   obs::TraceContext* trace);
+
 /// Stable 64-bit FNV-1a signature over every config field that can change
-/// a prediction's numeric result. memoize_fits and the pool pointer are
-/// excluded: both are bit-identical-output knobs by construction, so
-/// results may be shared across them. The serving layer combines this with
-/// a measurement digest into campaign-hash cache keys.
+/// a prediction's numeric result. memoize_fits, the pool pointer, the
+/// deadline, and the trace pointer are excluded: all are
+/// bit-identical-output knobs by construction, so results may be shared
+/// across them. The serving layer combines this with a measurement digest
+/// into campaign-hash cache keys.
 std::uint64_t config_signature(const PredictionConfig& cfg);
 
 /// Baseline: extrapolates execution time directly using the same kernel and

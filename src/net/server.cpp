@@ -25,6 +25,7 @@
 #include <utility>
 
 #include "fault/checked_io.hpp"
+#include "obs/trace.hpp"
 
 namespace estima::net {
 namespace {
@@ -197,6 +198,7 @@ struct HttpServer::HandlerPool {
     bool keep = false;
     std::shared_ptr<core::Deadline> deadline;  ///< null when not propagated
     Clock::time_point enqueued;
+    std::shared_ptr<obs::TraceContext> trace;  ///< null when untraced
   };
 
   HandlerPool(HttpServer& srv, std::size_t threads) : srv_(srv) {
@@ -319,6 +321,17 @@ struct HttpServer::EventLoop {
     /// abandoned compute stops. Null outside kHandling/kWriting or when
     /// propagation is off.
     std::shared_ptr<core::Deadline> active_deadline;
+    /// The in-flight request's trace (null when untraced): created at
+    /// dispatch, finished when its response is fully written, dropped
+    /// unfinished when the connection dies first.
+    std::shared_ptr<obs::TraceContext> trace;
+    /// HTTP parse time accumulated for the request being read, folded
+    /// into the `parse` span at dispatch. Only advanced while a tracer
+    /// is attached.
+    std::uint64_t parse_ns = 0;
+    /// When the in-flight response's write began (valid while st ==
+    /// kWriting and trace != null); anchors the edge.write span.
+    Clock::time_point write_start{};
 
     explicit Conn(ParserLimits limits) : parser(limits) {}
   };
@@ -607,11 +620,27 @@ struct HttpServer::EventLoop {
       close_conn(c);
       return;
     }
-    while (!c.carry.empty() &&
-           c.parser.state() == RequestParser::State::kNeedMore) {
-      const std::size_t used = c.parser.feed(c.carry.data(), c.carry.size());
-      if (used == 0) break;
-      c.carry.erase(0, used);
+    obs::Tracer* const tracer = srv_.tracer_.load(std::memory_order_relaxed);
+    if (!c.carry.empty() &&
+        c.parser.state() == RequestParser::State::kNeedMore) {
+      // Parse time is accumulated per pass (a request's head and body can
+      // arrive over many readable events) and becomes the `parse` span at
+      // dispatch; untraced servers skip the clock reads entirely.
+      const Clock::time_point parse_begin =
+          tracer != nullptr ? Clock::now() : Clock::time_point{};
+      while (!c.carry.empty() &&
+             c.parser.state() == RequestParser::State::kNeedMore) {
+        const std::size_t used =
+            c.parser.feed(c.carry.data(), c.carry.size());
+        if (used == 0) break;
+        c.carry.erase(0, used);
+      }
+      if (tracer != nullptr) {
+        c.parse_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - parse_begin)
+                .count());
+      }
     }
     switch (c.parser.state()) {
       case RequestParser::State::kNeedMore: {
@@ -676,10 +705,36 @@ struct HttpServer::EventLoop {
         } else {
           disarm_deadline(c);
         }
+        std::shared_ptr<obs::TraceContext> trace;
+        if (tracer != nullptr) {
+          std::uint64_t id = 0;
+          if (const std::string* h = req.header("x-estima-trace-id")) {
+            id = obs::parse_trace_id(*h).value_or(0);
+          }
+          const Clock::time_point dispatched = Clock::now();
+          // The trace's origin is the request's first byte, matching the
+          // 408 budget's anchor; edge.read is the wire time up to
+          // dispatch minus the parsing already accounted separately.
+          const Clock::time_point t0 =
+              was_mid ? c.request_start : dispatched;
+          trace = tracer->start(id, t0);
+          const std::uint64_t wire_ns = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  dispatched - t0)
+                  .count());
+          const std::uint64_t parse_ns = std::min(c.parse_ns, wire_ns);
+          trace->add_ns(obs::Stage::kEdgeRead, 0, wire_ns - parse_ns);
+          if (parse_ns > 0) {
+            trace->add_ns(obs::Stage::kParse, 0, parse_ns);
+          }
+          c.trace = trace;
+        }
+        c.parse_ns = 0;
         const bool keep = req.keep_alive();
         if (!srv_.pool_->submit(HandlerPool::Job{this, c.id, std::move(req),
                                                  keep, std::move(deadline),
-                                                 Clock::now()})) {
+                                                 Clock::now(),
+                                                 std::move(trace)})) {
           // Raced stop(): the pool is draining and this job would never
           // run. Close unanswered, like any request stop() didn't reach.
           close_conn(c);
@@ -705,6 +760,7 @@ struct HttpServer::EventLoop {
     c.close_after_write = !keep;
     c.linger_after_write = linger;
     c.st = St::kWriting;
+    if (c.trace) c.write_start = Clock::now();
     disarm_deadline(c);
     try_write(c);
   }
@@ -722,6 +778,7 @@ struct HttpServer::EventLoop {
     c.close_after_write = !done.keep;
     c.linger_after_write = false;
     c.st = St::kWriting;
+    if (c.trace) c.write_start = Clock::now();
     try_write(c);
   }
 
@@ -752,6 +809,15 @@ struct HttpServer::EventLoop {
     c.out.clear();
     c.out_off = 0;
     disarm_deadline(c);
+    if (c.trace) {
+      // The request is answered on the wire: close its trace — record
+      // edge.write, fold the total into the request histogram, retain
+      // the breakdown in the slow ring when over the threshold.
+      const Clock::time_point now = Clock::now();
+      c.trace->add(obs::Stage::kEdgeWrite, c.write_start, now);
+      c.trace->tracer()->finish(*c.trace, now);
+      c.trace.reset();
+    }
     if (c.want_write) {
       c.want_write = false;
       update_poller(c);
@@ -874,7 +940,10 @@ void HttpServer::HandlerPool::run() {
       respond_shed(job);
       continue;
     }
-    const RequestContext ctx{job.deadline, shedding()};
+    if (job.trace) {
+      job.trace->add(obs::Stage::kQueueWait, job.enqueued, Clock::now());
+    }
+    const RequestContext ctx{job.deadline, shedding(), job.trace};
     HttpResponse resp;
     try {
       resp = srv_.handler_(job.req, ctx);
@@ -887,8 +956,15 @@ void HttpServer::HandlerPool::run() {
     }
     const bool keep =
         job.keep && !srv_.stopping_.load(std::memory_order_acquire);
-    job.loop->post_completion(job.conn_id, serialize_response(resp, keep),
-                              keep, resp.status);
+    std::string wire;
+    {
+      // Wire assembly counts toward `serialize` alongside the body
+      // formatting the router already records.
+      obs::SpanTimer span(job.trace.get(), obs::Stage::kSerialize);
+      wire = serialize_response(resp, keep);
+    }
+    job.loop->post_completion(job.conn_id, std::move(wire), keep,
+                              resp.status);
   }
 }
 
@@ -914,10 +990,13 @@ HttpServer::HttpServer(ServerConfig cfg, Handler handler)
       handler_([h = std::move(handler)](const HttpRequest& req,
                                         const RequestContext&) {
         return h(req);
-      }) {}
+      }),
+      tracer_(cfg_.tracer) {}
 
 HttpServer::HttpServer(ServerConfig cfg, ContextHandler handler)
-    : cfg_(std::move(cfg)), handler_(std::move(handler)) {}
+    : cfg_(std::move(cfg)),
+      handler_(std::move(handler)),
+      tracer_(cfg_.tracer) {}
 
 bool HttpServer::shedding() const {
   return pool_ != nullptr && pool_->shedding();

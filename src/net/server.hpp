@@ -38,6 +38,11 @@
 #include "net/http_parser.hpp"
 #include "net/server_stats.hpp"
 
+namespace estima::obs {
+class Tracer;
+class TraceContext;
+}  // namespace estima::obs
+
 namespace estima::net {
 
 /// Per-request context handed to ContextHandler alongside the request.
@@ -52,6 +57,12 @@ struct RequestContext {
   /// handler's cue to prefer degraded answers (serve-stale) over fresh
   /// computation.
   bool shedding = false;
+  /// Per-request trace, created at dispatch when the server has a tracer
+  /// attached (ServerConfig::tracer): carries the 64-bit trace id (from
+  /// X-Estima-Trace-Id or generated) with edge.read / queue.wait / parse
+  /// spans already recorded; handlers add their own stages through it.
+  /// Null when tracing is off.
+  std::shared_ptr<obs::TraceContext> trace;
 };
 
 struct ServerConfig {
@@ -107,6 +118,14 @@ struct ServerConfig {
   /// the loop when the 408 fires — so an abandoned cold predict() stops
   /// burning pool CPU. Requires idle_timeout_ms > 0 to have any effect.
   bool propagate_deadline = true;
+  /// Observability: when set (borrowed, must outlive the server), every
+  /// dispatched request gets a TraceContext recording the edge stages
+  /// (edge.read, parse, queue.wait, serialize, edge.write) and the
+  /// request-duration histogram; the trace id is echoed by the router in
+  /// X-Estima-Trace-Id. Null (the default) keeps the hot path untraced —
+  /// one relaxed atomic load per event. Swappable at runtime via
+  /// set_tracer() (benches use this to measure the overhead delta).
+  obs::Tracer* tracer = nullptr;
 };
 
 class HttpServer {
@@ -147,6 +166,12 @@ class HttpServer {
 
   ServerStats stats() const;
 
+  /// Attach/detach the tracer at runtime (null = tracing off). Requests
+  /// already dispatched keep the tracer that created their trace.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_.store(tracer, std::memory_order_relaxed);
+  }
+
  private:
   struct EventLoop;
   struct HandlerPool;
@@ -164,6 +189,7 @@ class HttpServer {
 
   ServerConfig cfg_;
   ContextHandler handler_;
+  std::atomic<obs::Tracer*> tracer_{nullptr};
   int listen_fd_ = -1;
   int port_ = 0;
 

@@ -1,0 +1,258 @@
+// Lock-free log-bucketed latency histogram plus a registry of named
+// metrics, built for the serving hot path: record() is two relaxed
+// fetch_adds on a cache-line-private shard, and shards are only merged
+// when a scrape asks for a snapshot.
+//
+// Bucketing: 64 buckets whose upper bounds grow by powers of 1.5
+// starting at 1024 ns, so the histogram spans ~1 us to ~23 h with a
+// worst-case relative error of 50% per bucket — the same cheap-first
+// measurement discipline ESTIMA applies to the applications it models.
+// Quantiles interpolate linearly inside the landing bucket.
+//
+// Sharding: a fixed power-of-two array of cache-line-aligned shards;
+// each thread hashes to a shard by a thread-local registration counter,
+// so concurrent recorders on different threads rarely share a line.
+// Counts and sums are exact (64-bit saturating-free adds), which the
+// torture test exploits: N threads x M records must merge to exactly
+// N*M and the exact sum.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace estima::obs {
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketCount = 64;
+  static constexpr std::size_t kShardCount = 16;  // power of two
+
+  Histogram() : shards_(new Shard[kShardCount]) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+  Histogram(Histogram&&) noexcept = default;
+  Histogram& operator=(Histogram&&) noexcept = default;
+
+  /// Upper bounds in nanoseconds, inclusive; the last is 2^64-1 and
+  /// plays the role of the +Inf bucket.
+  static const std::array<std::uint64_t, kBucketCount>& bounds() {
+    static const std::array<std::uint64_t, kBucketCount> b = [] {
+      std::array<std::uint64_t, kBucketCount> out{};
+      std::uint64_t v = 1024;  // first bound: 1.024 us
+      for (std::size_t i = 0; i + 1 < kBucketCount; ++i) {
+        out[i] = v;
+        v += v / 2;  // * 1.5, exactly, in integers
+      }
+      out[kBucketCount - 1] = UINT64_MAX;
+      return out;
+    }();
+    return b;
+  }
+
+  static std::size_t bucket_index(std::uint64_t value_ns) {
+    const auto& b = bounds();
+#if defined(__GNUC__) || defined(__clang__)
+    // Narrow to the value's power-of-two octave first: a x1.5 ladder has
+    // at most two bounds per octave, so the scan below is 1-3 probes
+    // instead of a 6-step binary search on the record() hot path.
+    static const std::array<std::uint8_t, 64> first = [] {
+      std::array<std::uint8_t, 64> out{};
+      for (int k = 0; k < 64; ++k) {
+        out[static_cast<std::size_t>(k)] = static_cast<std::uint8_t>(
+            std::lower_bound(bounds().begin(), bounds().end(),
+                             std::uint64_t{1} << k) -
+            bounds().begin());
+      }
+      return out;
+    }();
+    const int k = 63 - __builtin_clzll(value_ns | 1);
+    std::size_t i = first[static_cast<std::size_t>(k)];
+    // The UINT64_MAX sentinel guarantees termination.
+    while (b[i] < value_ns) ++i;
+    return i;
+#else
+    // First bound >= value; the UINT64_MAX sentinel guarantees a hit.
+    return static_cast<std::size_t>(
+        std::lower_bound(b.begin(), b.end(), value_ns) - b.begin());
+#endif
+  }
+
+  void record(std::uint64_t value_ns) {
+    Shard& s = shards_[shard_slot()];
+    s.buckets[bucket_index(value_ns)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value_ns, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;  // nanoseconds
+    std::array<std::uint64_t, kBucketCount> buckets{};  // per-bucket, not
+                                                        // cumulative
+
+    /// Quantile estimate in nanoseconds (q in [0,1]): walks the
+    /// cumulative counts to the landing bucket, then interpolates
+    /// linearly between its lower and upper bound.
+    double quantile(double q) const {
+      if (count == 0) return 0.0;
+      q = std::min(1.0, std::max(0.0, q));
+      const std::uint64_t rank = std::min<std::uint64_t>(
+          count - 1,
+          static_cast<std::uint64_t>(q * static_cast<double>(count)));
+      const auto& b = bounds();
+      std::uint64_t seen = 0;
+      for (std::size_t i = 0; i < kBucketCount; ++i) {
+        if (buckets[i] == 0) continue;
+        const std::uint64_t next = seen + buckets[i];
+        if (rank < next || i + 1 == kBucketCount) {
+          const double lo = i == 0 ? 0.0 : static_cast<double>(b[i - 1]);
+          // The +Inf bucket has no finite width; report its lower bound.
+          const double hi = i + 1 == kBucketCount
+                                ? lo
+                                : static_cast<double>(b[i]);
+          const double frac =
+              buckets[i] == 0
+                  ? 0.0
+                  : static_cast<double>(rank - seen) /
+                        static_cast<double>(buckets[i]);
+          return lo + (hi - lo) * frac;
+        }
+        seen = next;
+      }
+      return static_cast<double>(b[kBucketCount - 2]);
+    }
+  };
+
+  /// Merge every shard with relaxed loads. Exact once all recorders
+  /// have finished; during concurrent recording it is a consistent-
+  /// enough view for a scrape (each shard's sum/buckets may be skewed
+  /// by in-flight increments, never torn).
+  Snapshot snapshot() const {
+    Snapshot out;
+    for (std::size_t s = 0; s < kShardCount; ++s) {
+      const Shard& sh = shards_[s];
+      out.sum += sh.sum.load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < kBucketCount; ++i) {
+        const std::uint64_t n = sh.buckets[i].load(std::memory_order_relaxed);
+        out.buckets[i] += n;
+        out.count += n;
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> sum;
+    std::atomic<std::uint64_t> buckets[kBucketCount];
+    Shard() : sum(0) {
+      for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+    }
+  };
+
+  static std::size_t shard_slot() {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return slot & (kShardCount - 1);
+  }
+
+  std::unique_ptr<Shard[]> shards_;
+};
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// A named metric as the exposition sees it: `name` is the Prometheus
+/// family name, `labels` the rendered label body (e.g. `stage="parse"`,
+/// empty for none), `help` one line of prose.
+struct MetricInfo {
+  std::string name;
+  std::string labels;
+  std::string help;
+};
+
+/// Owns named histograms/counters/gauges. Registration takes a mutex
+/// (startup-time only); the returned pointers are stable for the
+/// registry's lifetime and recording through them is lock-free.
+/// Registering the same (name, labels) twice returns the same metric.
+class Registry {
+ public:
+  Histogram* histogram(const std::string& name, const std::string& labels = "",
+                       const std::string& help = "") {
+    return find_or_add(hists_, name, labels, help);
+  }
+  Counter* counter(const std::string& name, const std::string& labels = "",
+                   const std::string& help = "") {
+    return find_or_add(counters_, name, labels, help);
+  }
+  Gauge* gauge(const std::string& name, const std::string& labels = "",
+               const std::string& help = "") {
+    return find_or_add(gauges_, name, labels, help);
+  }
+
+  template <typename M>
+  struct Entry {
+    MetricInfo info;
+    const M* metric;
+  };
+
+  std::vector<Entry<Histogram>> histograms() const { return list(hists_); }
+  std::vector<Entry<Counter>> counters() const { return list(counters_); }
+  std::vector<Entry<Gauge>> gauges() const { return list(gauges_); }
+
+ private:
+  template <typename M>
+  using Slot = std::pair<MetricInfo, std::unique_ptr<M>>;
+
+  template <typename M>
+  M* find_or_add(std::vector<Slot<M>>& v, const std::string& name,
+                 const std::string& labels, const std::string& help) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& slot : v) {
+      if (slot.first.name == name && slot.first.labels == labels) {
+        return slot.second.get();
+      }
+    }
+    v.emplace_back(MetricInfo{name, labels, help}, std::make_unique<M>());
+    return v.back().second.get();
+  }
+
+  template <typename M>
+  std::vector<Entry<M>> list(const std::vector<Slot<M>>& v) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Entry<M>> out;
+    out.reserve(v.size());
+    for (const auto& slot : v) out.push_back({slot.first, slot.second.get()});
+    return out;
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Slot<Histogram>> hists_;
+  std::vector<Slot<Counter>> counters_;
+  std::vector<Slot<Gauge>> gauges_;
+};
+
+}  // namespace estima::obs

@@ -1,0 +1,176 @@
+// Small shared JSON assembler: replaces the hand-rolled snprintf JSON
+// in routes.cpp and the bench emitters. It is a writer, not a DOM —
+// push objects/arrays/keys/values in order and take the string at the
+// end. Pretty-prints with 2-space indentation to match the existing
+// /v1/stats and BENCH_*.json shapes.
+//
+// Escaping covers the JSON mandatory set: quote, backslash, and all
+// control characters < 0x20 (the common ones as \n \t \r \b \f, the
+// rest as \u00XX). Non-ASCII bytes pass through untouched (valid UTF-8
+// in, valid UTF-8 out).
+//
+// Numeric formatting: integers verbatim; doubles via %.17g by default
+// (round-trip exact) or a caller-chosen decimal count for stable,
+// human-diffable benchmark files. Non-finite doubles have no JSON
+// spelling and are emitted as null.
+#pragma once
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace estima::obs {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& begin_object(const std::string& k) { return key(k).open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& begin_array(const std::string& k) { return key(k).open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(const std::string& k) {
+    separate();
+    buf_ += '"';
+    buf_ += json_escape(k);
+    buf_ += "\": ";
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& v) {
+    separate();
+    buf_ += '"';
+    buf_ += json_escape(v);
+    buf_ += '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(bool v) {
+    separate();
+    buf_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    separate();
+    buf_ += buf;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRId64, v);
+    separate();
+    buf_ += buf;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  /// `decimals < 0` means %.17g (round-trip); otherwise fixed-point.
+  JsonWriter& value(double v, int decimals = -1) {
+    separate();
+    if (!std::isfinite(v)) {
+      buf_ += "null";
+      return *this;
+    }
+    char buf[64];
+    if (decimals < 0) {
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+    } else {
+      std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    }
+    buf_ += buf;
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& kv(const std::string& k, const T& v) {
+    return key(k).value(v);
+  }
+  JsonWriter& kv(const std::string& k, double v, int decimals) {
+    return key(k).value(v, decimals);
+  }
+
+  /// Complete document (newline-terminated once the root closes).
+  const std::string& str() const { return buf_; }
+
+ private:
+  void indent() {
+    for (std::size_t i = 0; i < depth_.size(); ++i) buf_ += "  ";
+  }
+
+  // Emits the comma/newline/indent owed before the next element of the
+  // enclosing container. A value directly after key() stays inline.
+  void separate() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!depth_.empty()) {
+      if (had_item_.back()) buf_ += ',';
+      buf_ += '\n';
+      indent();
+      had_item_.back() = true;
+    }
+  }
+
+  JsonWriter& open(char c) {
+    separate();
+    buf_ += c;
+    depth_.push_back(c);
+    had_item_.push_back(false);
+    return *this;
+  }
+
+  JsonWriter& close(char close_c) {
+    const bool had = had_item_.back();
+    depth_.pop_back();
+    had_item_.pop_back();
+    if (had) {
+      buf_ += '\n';
+      indent();
+    }
+    buf_ += close_c;
+    if (depth_.empty()) buf_ += '\n';
+    return *this;
+  }
+
+  std::string buf_;
+  std::vector<char> depth_;
+  std::vector<bool> had_item_;
+  bool pending_key_ = false;
+};
+
+}  // namespace estima::obs

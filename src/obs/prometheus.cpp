@@ -1,0 +1,429 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace estima::obs {
+
+namespace {
+
+std::string escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string fmt_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void PrometheusWriter::header(const std::string& name, const char* type,
+                              const std::string& help) {
+  if (name == last_family_) return;
+  last_family_ = name;
+  out_ += "# HELP " + name + " " +
+          (help.empty() ? std::string("(no help)") : escape_help(help)) + "\n";
+  out_ += "# TYPE " + name + " " + type + "\n";
+}
+
+void PrometheusWriter::counter(const std::string& name,
+                               const std::string& labels,
+                               const std::string& help, std::uint64_t value) {
+  header(name, "counter", help);
+  out_ += name;
+  if (!labels.empty()) out_ += "{" + labels + "}";
+  out_ += " " + fmt_u64(value) + "\n";
+}
+
+void PrometheusWriter::gauge(const std::string& name,
+                             const std::string& labels,
+                             const std::string& help, std::int64_t value) {
+  header(name, "gauge", help);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+  out_ += name;
+  if (!labels.empty()) out_ += "{" + labels + "}";
+  out_ += std::string(" ") + buf + "\n";
+}
+
+void PrometheusWriter::gauge(const std::string& name,
+                             const std::string& labels,
+                             const std::string& help, double value) {
+  header(name, "gauge", help);
+  out_ += name;
+  if (!labels.empty()) out_ += "{" + labels + "}";
+  out_ += " " + fmt_double(value) + "\n";
+}
+
+void PrometheusWriter::histogram(const std::string& name,
+                                 const std::string& labels,
+                                 const std::string& help,
+                                 const Histogram::Snapshot& snap) {
+  header(name, "histogram", help);
+  const std::string prefix = labels.empty() ? "" : labels + ",";
+  const auto& bounds = Histogram::bounds();
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    cumulative += snap.buckets[i];
+    const bool inf = i + 1 == Histogram::kBucketCount;
+    // Internally nanoseconds; exposed in seconds per base-unit rules.
+    const std::string le =
+        inf ? "+Inf" : fmt_double(static_cast<double>(bounds[i]) * 1e-9);
+    out_ += name + "_bucket{" + prefix + "le=\"" + le + "\"} " +
+            fmt_u64(cumulative) + "\n";
+  }
+  out_ += name + "_sum";
+  if (!labels.empty()) out_ += "{" + labels + "}";
+  out_ += " " + fmt_double(static_cast<double>(snap.sum) * 1e-9) + "\n";
+  out_ += name + "_count";
+  if (!labels.empty()) out_ += "{" + labels + "}";
+  out_ += " " + fmt_u64(snap.count) + "\n";
+}
+
+void PrometheusWriter::registry(const Registry& reg) {
+  // A family's series must form one contiguous group; the registry
+  // keeps registration order, so bucket by family first.
+  const auto hists = reg.histograms();
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<const Registry::Entry<Histogram>*>> fam;
+  for (const auto& h : hists) {
+    if (fam.find(h.info.name) == fam.end()) order.push_back(h.info.name);
+    fam[h.info.name].push_back(&h);
+  }
+  for (const auto& name : order) {
+    for (const auto* h : fam[name]) {
+      histogram(h->info.name, h->info.labels, h->info.help,
+                h->metric->snapshot());
+    }
+  }
+  for (const auto& c : reg.counters()) {
+    counter(c.info.name, c.info.labels, c.info.help, c.metric->value());
+  }
+  for (const auto& g : reg.gauges()) {
+    gauge(g.info.name, g.info.labels, g.info.help, g.metric->value());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Validator
+
+namespace {
+
+bool valid_metric_name(const std::string& s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!head(s[0])) return false;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (!tail(s[i])) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(const std::string& s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  if (!head(s[0])) return false;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (!head(s[i]) && !std::isdigit(static_cast<unsigned char>(s[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Sample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0;
+  bool ok = false;
+  std::string err;
+};
+
+Sample parse_sample(const std::string& line) {
+  Sample s;
+  std::size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+  s.name = line.substr(0, i);
+  if (!valid_metric_name(s.name)) {
+    s.err = "bad metric name";
+    return s;
+  }
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      std::size_t eq = line.find('=', i);
+      if (eq == std::string::npos) {
+        s.err = "label without '='";
+        return s;
+      }
+      const std::string lname = line.substr(i, eq - i);
+      if (!valid_label_name(lname)) {
+        s.err = "bad label name '" + lname + "'";
+        return s;
+      }
+      i = eq + 1;
+      if (i >= line.size() || line[i] != '"') {
+        s.err = "label value not quoted";
+        return s;
+      }
+      ++i;
+      std::string lval;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') {
+          if (i + 1 >= line.size()) {
+            s.err = "dangling escape in label value";
+            return s;
+          }
+          const char e = line[i + 1];
+          if (e == '\\') {
+            lval += '\\';
+          } else if (e == '"') {
+            lval += '"';
+          } else if (e == 'n') {
+            lval += '\n';
+          } else {
+            s.err = "bad escape in label value";
+            return s;
+          }
+          i += 2;
+        } else {
+          lval += line[i++];
+        }
+      }
+      if (i >= line.size()) {
+        s.err = "unterminated label value";
+        return s;
+      }
+      ++i;  // closing quote
+      s.labels.emplace_back(lname, lval);
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size()) {
+      s.err = "unterminated label set";
+      return s;
+    }
+    ++i;  // '}'
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    s.err = "missing value";
+    return s;
+  }
+  ++i;
+  const std::string rest = line.substr(i);
+  char* end = nullptr;
+  s.value = std::strtod(rest.c_str(), &end);
+  if (end == rest.c_str()) {
+    s.err = "unparseable value";
+    return s;
+  }
+  // Optional timestamp after the value.
+  while (end && *end == ' ') ++end;
+  if (end && *end != '\0') {
+    char* ts_end = nullptr;
+    std::strtoll(end, &ts_end, 10);
+    if (ts_end == end || *ts_end != '\0') {
+      s.err = "trailing garbage after value";
+      return s;
+    }
+  }
+  s.ok = true;
+  return s;
+}
+
+/// `_bucket`/`_sum`/`_count` samples belong to the base histogram
+/// family when one was declared; otherwise the name is its own family.
+std::string family_of(const std::string& name,
+                      const std::map<std::string, std::string>& types) {
+  static const char* suffixes[] = {"_bucket", "_sum", "_count"};
+  for (const char* suf : suffixes) {
+    const std::size_t n = std::strlen(suf);
+    if (name.size() > n && name.compare(name.size() - n, n, suf) == 0) {
+      const std::string base = name.substr(0, name.size() - n);
+      auto it = types.find(base);
+      if (it != types.end() && it->second == "histogram") return base;
+    }
+  }
+  return name;
+}
+
+std::string labels_without_le(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    std::string* le_out) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (k == "le") {
+      if (le_out) *le_out = v;
+      continue;
+    }
+    if (!out.empty()) out += ",";
+    out += k + "=" + v;
+  }
+  return out;
+}
+
+struct HistSeries {
+  std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+  bool have_inf = false;
+  double inf_value = 0;
+  bool have_sum = false;
+  bool have_count = false;
+  double count = 0;
+};
+
+}  // namespace
+
+std::optional<std::string> validate_prometheus_text(const std::string& text) {
+  if (text.empty()) return "empty exposition";
+  if (text.back() != '\n') return "missing final newline";
+
+  std::map<std::string, std::string> types;   // family -> type
+  std::set<std::string> helped;               // families with # HELP
+  std::set<std::string> closed;               // families whose group ended
+  std::string current_family;
+  std::map<std::string, std::map<std::string, HistSeries>> hist;
+  std::set<std::string> sampled;  // families with >= 1 sample
+
+  auto switch_family = [&](const std::string& fam) -> std::optional<std::string> {
+    if (fam == current_family) return std::nullopt;
+    if (!current_family.empty()) closed.insert(current_family);
+    if (closed.count(fam)) {
+      return "family '" + fam + "' is not contiguous";
+    }
+    current_family = fam;
+    return std::nullopt;
+  };
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    ++line_no;
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    auto fail = [&](const std::string& msg) {
+      return "line " + std::to_string(line_no) + ": " + msg + ": " + line;
+    };
+
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const bool is_help = line.rfind("# HELP ", 0) == 0;
+      const bool is_type = line.rfind("# TYPE ", 0) == 0;
+      if (!is_help && !is_type) continue;  // plain comment
+      const std::string rest = line.substr(7);
+      const std::size_t sp = rest.find(' ');
+      const std::string name = rest.substr(0, sp);
+      if (!valid_metric_name(name)) return fail("bad family name");
+      if (auto err = switch_family(name)) return fail(*err);
+      if (is_help) {
+        if (!helped.insert(name).second) return fail("duplicate # HELP");
+      } else {
+        if (sp == std::string::npos) return fail("# TYPE without a type");
+        const std::string ty = rest.substr(sp + 1);
+        if (ty != "counter" && ty != "gauge" && ty != "histogram" &&
+            ty != "summary" && ty != "untyped") {
+          return fail("unknown type '" + ty + "'");
+        }
+        if (!types.emplace(name, ty).second) return fail("duplicate # TYPE");
+      }
+      continue;
+    }
+
+    Sample s = parse_sample(line);
+    if (!s.ok) return fail(s.err);
+    const std::string fam = family_of(s.name, types);
+    if (auto err = switch_family(fam)) return fail(*err);
+    if (!types.count(fam)) return fail("sample before # TYPE");
+    sampled.insert(fam);
+
+    if (types[fam] == "histogram") {
+      std::string le;
+      const std::string key = labels_without_le(s.labels, &le);
+      HistSeries& hs = hist[fam][key];
+      if (s.name == fam + "_bucket") {
+        if (le.empty()) return fail("_bucket without le label");
+        if (le == "+Inf") {
+          hs.have_inf = true;
+          hs.inf_value = s.value;
+        } else {
+          char* end = nullptr;
+          const double le_v = std::strtod(le.c_str(), &end);
+          if (end == le.c_str() || *end != '\0') {
+            return fail("unparseable le '" + le + "'");
+          }
+          hs.buckets.emplace_back(le_v, s.value);
+        }
+      } else if (s.name == fam + "_sum") {
+        hs.have_sum = true;
+      } else if (s.name == fam + "_count") {
+        hs.have_count = true;
+        hs.count = s.value;
+      } else {
+        return fail("unexpected sample in histogram family");
+      }
+    }
+  }
+
+  for (const auto& [fam, ty] : types) {
+    if (!helped.count(fam)) return "family '" + fam + "' has # TYPE but no # HELP";
+  }
+  for (const auto& fam : helped) {
+    if (!types.count(fam)) return "family '" + fam + "' has # HELP but no # TYPE";
+  }
+
+  for (const auto& [fam, series] : hist) {
+    for (const auto& [labels, hs] : series) {
+      const std::string where =
+          "histogram '" + fam + "'" +
+          (labels.empty() ? "" : " {" + labels + "}");
+      double prev_le = -1, prev_v = -1;
+      for (const auto& [le, v] : hs.buckets) {
+        if (le <= prev_le) return where + ": le values not increasing";
+        if (v < prev_v) return where + ": bucket cumulatives decrease";
+        prev_le = le;
+        prev_v = v;
+      }
+      if (!hs.have_inf) return where + ": missing +Inf bucket";
+      if (hs.inf_value < prev_v) return where + ": +Inf below last bucket";
+      if (!hs.have_sum) return where + ": missing _sum";
+      if (!hs.have_count) return where + ": missing _count";
+      if (hs.inf_value != hs.count) {
+        return where + ": +Inf bucket != _count";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace estima::obs

@@ -1,0 +1,58 @@
+// Prometheus text exposition (format version 0.0.4) for the obs
+// metrics, plus a grammar validator used by the tests and the CI
+// scrape check.
+//
+// The writer renders counters, gauges, and histograms; histograms
+// become the conventional cumulative series:
+//   name_bucket{...,le="0.000001024"} <cumulative count>
+//   ...
+//   name_bucket{...,le="+Inf"} <count>
+//   name_sum{...} <seconds>
+//   name_count{...} <count>
+// Histogram values are recorded in nanoseconds internally and exposed
+// in seconds, per Prometheus base-unit conventions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "obs/histogram.hpp"
+
+namespace estima::obs {
+
+class PrometheusWriter {
+ public:
+  /// `labels` is the rendered label body without braces, e.g.
+  /// `site="snapshot.write"`; empty for none.
+  void counter(const std::string& name, const std::string& labels,
+               const std::string& help, std::uint64_t value);
+  void gauge(const std::string& name, const std::string& labels,
+             const std::string& help, std::int64_t value);
+  void gauge(const std::string& name, const std::string& labels,
+             const std::string& help, double value);
+  void histogram(const std::string& name, const std::string& labels,
+                 const std::string& help, const Histogram::Snapshot& snap);
+
+  /// Every metric registered in `reg`, families grouped.
+  void registry(const Registry& reg);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void header(const std::string& name, const char* type,
+              const std::string& help);
+  std::string out_;
+  std::string last_family_;
+};
+
+/// Validates Prometheus text-format output the way the CI smoke and
+/// the unit tests need it: line grammar, `# HELP`/`# TYPE` pairing
+/// before the family's first sample, metric-name/label syntax, and for
+/// histogram families per-series monotone non-decreasing `_bucket`
+/// cumulatives with `_bucket{le="+Inf"}` == `_count` and a `_sum`
+/// present. Returns nullopt when valid, else a description of the
+/// first violation.
+std::optional<std::string> validate_prometheus_text(const std::string& text);
+
+}  // namespace estima::obs

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "service/campaign_hash.hpp"
 
@@ -30,8 +31,11 @@ std::uint64_t PredictionService::hash_of(
 
 std::shared_ptr<const core::Prediction> PredictionService::compute_or_join(
     std::uint64_t key, const core::MeasurementSet& ms,
-    const core::Deadline* deadline) {
-  if (auto cached = cache_.get(key)) return cached;
+    const core::Deadline* deadline, obs::TraceContext* trace) {
+  {
+    obs::SpanTimer lookup_span(trace, obs::Stage::kCacheLookup);
+    if (auto cached = cache_.get(key)) return cached;
+  }
 
   std::shared_ptr<InFlight> flight;
   bool owner = false;
@@ -67,7 +71,7 @@ std::shared_ptr<const core::Prediction> PredictionService::compute_or_join(
   } else {
     try {
       auto result = std::make_shared<const core::Prediction>(
-          core::predict(ms, cfg_.prediction, pool_, deadline));
+          core::predict(ms, cfg_.prediction, pool_, deadline, trace));
       cache_.put(key, result);
       flight->result = std::move(result);
       inserted = true;
@@ -123,12 +127,13 @@ void PredictionService::note_insertion_for_auto_snapshot() {
 }
 
 core::Prediction PredictionService::predict_one(
-    const core::MeasurementSet& ms, const core::Deadline* deadline) {
+    const core::MeasurementSet& ms, const core::Deadline* deadline,
+    obs::TraceContext* trace) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++campaigns_submitted_;
   }
-  return *compute_or_join(hash_of(ms), ms, deadline);
+  return *compute_or_join(hash_of(ms), ms, deadline, trace);
 }
 
 std::shared_ptr<const core::Prediction> PredictionService::cached_or_stale(
@@ -140,7 +145,7 @@ std::shared_ptr<const core::Prediction> PredictionService::cached_or_stale(
 
 std::vector<core::Prediction> PredictionService::predict_many(
     Span<const core::MeasurementSet> campaigns,
-    const core::Deadline* deadline) {
+    const core::Deadline* deadline, obs::TraceContext* trace) {
   const std::size_t n = campaigns.size();
   std::vector<core::Prediction> out;
   out.reserve(n);
@@ -176,7 +181,7 @@ std::vector<core::Prediction> PredictionService::predict_many(
   parallel::parallel_for(pool_, units.size(), [&](std::size_t u) {
     try {
       units[u].result = compute_or_join(
-          units[u].key, campaigns[units[u].input_idx], deadline);
+          units[u].key, campaigns[units[u].input_idx], deadline, trace);
     } catch (...) {
       units[u].error = std::current_exception();
     }

@@ -128,15 +128,20 @@ class PredictionService {
   /// fit loop polls it cooperatively); a cache hit is served regardless —
   /// it costs nothing. Joining a computation owned by another request
   /// surfaces the owner's outcome, including its DeadlineExceeded.
+  /// With a trace, records `cache.lookup` here and the fit.* spans inside
+  /// predict(); like the deadline, the trace cannot change the answer.
   core::Prediction predict_one(const core::MeasurementSet& ms,
-                               const core::Deadline* deadline = nullptr);
+                               const core::Deadline* deadline = nullptr,
+                               obs::TraceContext* trace = nullptr);
 
   /// Batch entry: results in input order, bit-identical to a serial
   /// predict() loop over the same campaigns. One deadline covers the
-  /// whole batch.
+  /// whole batch; one trace too — units run concurrently, so its
+  /// cache.lookup / fit.* cells aggregate overlapping per-unit work.
   std::vector<core::Prediction> predict_many(
       Span<const core::MeasurementSet> campaigns,
-      const core::Deadline* deadline = nullptr);
+      const core::Deadline* deadline = nullptr,
+      obs::TraceContext* trace = nullptr);
 
   /// Degraded-mode lookup for the serve-stale path: whatever the cache
   /// holds for `key`, even past its TTL (*stale set accordingly); null
@@ -180,7 +185,7 @@ class PredictionService {
   /// predict() threw; errors are published to joiners but never cached.
   std::shared_ptr<const core::Prediction> compute_or_join(
       std::uint64_t key, const core::MeasurementSet& ms,
-      const core::Deadline* deadline);
+      const core::Deadline* deadline, obs::TraceContext* trace);
 
   /// Counts one computed insertion toward snapshot_every and writes the
   /// automatic snapshot when this insertion is the K-th. Exactly one

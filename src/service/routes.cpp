@@ -10,6 +10,10 @@
 #include "core/deadline.hpp"
 #include "core/measurement.hpp"
 #include "core/prediction_io.hpp"
+#include "fault/fault_injection.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/trace.hpp"
 #include "service/prediction_service.hpp"
 
 namespace estima::service {
@@ -39,28 +43,12 @@ core::MeasurementSet campaign_from_csv(const std::string& csv) {
   return core::read_csv(is);  // throws std::invalid_argument on bad input
 }
 
-/// Minimal JSON string escaping for values we echo back (paths).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (unsigned char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
-  }
-  return out;
+net::HttpResponse json_response(const obs::JsonWriter& w) {
+  net::HttpResponse resp;
+  resp.status = 200;
+  resp.headers.emplace_back("content-type", "application/json");
+  resp.body = w.str();
+  return resp;
 }
 
 }  // namespace
@@ -135,12 +123,30 @@ void ServiceRouter::set_server_stats_source(
   server_stats_ = std::move(source);
 }
 
+void ServiceRouter::set_observability(obs::Registry* metrics,
+                                      obs::Tracer* tracer) {
+  metrics_ = metrics;
+  tracer_ = tracer;
+}
+
 net::HttpResponse ServiceRouter::handle(const net::HttpRequest& req) {
   return handle(req, net::RequestContext{});
 }
 
 net::HttpResponse ServiceRouter::handle(const net::HttpRequest& req,
                                         const net::RequestContext& ctx) {
+  net::HttpResponse resp = dispatch(req, ctx);
+  // Echo the request's trace id on every response — success or mapped
+  // error — so clients can correlate answers with /v1/trace entries.
+  if (ctx.trace) {
+    resp.headers.emplace_back("x-estima-trace-id",
+                              obs::format_trace_id(ctx.trace->trace_id()));
+  }
+  return resp;
+}
+
+net::HttpResponse ServiceRouter::dispatch(const net::HttpRequest& req,
+                                          const net::RequestContext& ctx) {
   // The effective deadline: the edge's propagated 408 budget, tightened
   // by the client's own X-Estima-Deadline-Ms header. A client header with
   // no propagated budget gets a request-local deadline instead — the
@@ -164,11 +170,19 @@ net::HttpResponse ServiceRouter::handle(const net::HttpRequest& req,
     }
     if (req.target == "/v1/predict_batch") {
       if (req.method != "POST") return method_not_allowed("POST");
-      return handle_predict_batch(req, deadline);
+      return handle_predict_batch(req, ctx, deadline);
     }
     if (req.target == "/v1/stats") {
       if (req.method != "GET") return method_not_allowed("GET");
       return handle_stats();
+    }
+    if (req.target == "/v1/metrics") {
+      if (req.method != "GET") return method_not_allowed("GET");
+      return handle_metrics();
+    }
+    if (req.target == "/v1/trace") {
+      if (req.method != "GET") return method_not_allowed("GET");
+      return handle_trace();
     }
     if (req.target == "/v1/health") {
       if (req.method != "GET") return method_not_allowed("GET");
@@ -194,7 +208,10 @@ net::HttpResponse ServiceRouter::handle(const net::HttpRequest& req,
 net::HttpResponse ServiceRouter::handle_predict(
     const net::HttpRequest& req, const net::RequestContext& ctx,
     const core::Deadline* deadline) {
+  obs::TraceContext* const trace = ctx.trace.get();
+  obs::SpanTimer parse_span(trace, obs::Stage::kParse);
   const core::MeasurementSet ms = campaign_from_csv(req.body);
+  parse_span.stop();
   // Serve-stale degradation: while the edge sheds load, an
   // expired-but-resident cached answer beats both a fresh computation
   // (CPU the overloaded server does not have) and a shed 503 (an answer
@@ -203,6 +220,7 @@ net::HttpResponse ServiceRouter::handle_predict(
     bool stale = false;
     if (const auto cached =
             service_.cached_or_stale(service_.hash_of(ms), &stale)) {
+      obs::SpanTimer serialize_span(trace, obs::Stage::kSerialize);
       std::ostringstream os;
       core::write_prediction(os, *cached);
       net::HttpResponse resp;
@@ -213,7 +231,8 @@ net::HttpResponse ServiceRouter::handle_predict(
       return resp;
     }
   }
-  const core::Prediction pred = service_.predict_one(ms, deadline);
+  const core::Prediction pred = service_.predict_one(ms, deadline, trace);
+  obs::SpanTimer serialize_span(trace, obs::Stage::kSerialize);
   std::ostringstream os;
   core::write_prediction(os, pred);
   net::HttpResponse resp;
@@ -233,7 +252,10 @@ net::HttpResponse ServiceRouter::handle_health(
 }
 
 net::HttpResponse ServiceRouter::handle_predict_batch(
-    const net::HttpRequest& req, const core::Deadline* deadline) {
+    const net::HttpRequest& req, const net::RequestContext& ctx,
+    const core::Deadline* deadline) {
+  obs::TraceContext* const trace = ctx.trace.get();
+  obs::SpanTimer parse_span(trace, obs::Stage::kParse);
   const std::vector<std::string> csvs =
       parse_frames(req.body, "campaign", cfg_.max_batch_campaigns);
   std::vector<core::MeasurementSet> campaigns;
@@ -246,8 +268,10 @@ net::HttpResponse ServiceRouter::handle_predict_batch(
                                   ": " + e.what());
     }
   }
+  parse_span.stop();
   const std::vector<core::Prediction> preds =
-      service_.predict_many(campaigns, deadline);
+      service_.predict_many(campaigns, deadline, trace);
+  obs::SpanTimer serialize_span(trace, obs::Stage::kSerialize);
   std::vector<std::string> records;
   records.reserve(preds.size());
   for (const auto& p : preds) {
@@ -262,67 +286,185 @@ net::HttpResponse ServiceRouter::handle_predict_batch(
   return resp;
 }
 
-net::HttpResponse ServiceRouter::handle_stats() {
-  const ServiceStats s = service_.stats();
-  char buf[1024];
-  std::snprintf(
-      buf, sizeof buf,
-      "{\n"
-      "  \"campaigns_submitted\": %" PRIu64 ",\n"
-      "  \"predictions_computed\": %" PRIu64 ",\n"
-      "  \"batch_duplicates_folded\": %" PRIu64 ",\n"
-      "  \"inflight_joins\": %" PRIu64 ",\n"
-      "  \"snapshot_entries_restored\": %" PRIu64 ",\n"
-      "  \"snapshot_entries_skipped\": %" PRIu64 ",\n"
-      "  \"auto_snapshots\": %" PRIu64 ",\n"
-      "  \"auto_snapshot_failures\": %" PRIu64 ",\n"
-      "  \"predictions_cancelled\": %" PRIu64 ",\n"
-      "  \"cache\": {\n"
-      "    \"hits\": %" PRIu64 ",\n"
-      "    \"misses\": %" PRIu64 ",\n"
-      "    \"evictions\": %" PRIu64 ",\n"
-      "    \"entries\": %" PRIu64 ",\n"
-      "    \"expired_misses\": %" PRIu64 ",\n"
-      "    \"stale_hits\": %" PRIu64 "\n"
-      "  }",
-      s.campaigns_submitted, s.predictions_computed,
-      s.batch_duplicates_folded, s.inflight_joins,
-      s.snapshot_entries_restored, s.snapshot_entries_skipped,
-      s.auto_snapshots, s.auto_snapshot_failures, s.predictions_cancelled,
-      s.cache.hits, s.cache.misses, s.cache.evictions, s.cache.entries,
-      s.cache.expired_misses, s.cache.stale_hits);
-  std::string body = buf;
+ServiceRouter::StatsSnapshot ServiceRouter::collect_stats() const {
+  // Each stats() call copies its whole struct under the owning lock, so
+  // both endpoints render from one internally consistent picture.
+  StatsSnapshot snap;
+  snap.service = service_.stats();
   if (server_stats_) {
-    const net::ServerStats n = server_stats_();
-    char sbuf[1024];
-    std::snprintf(
-        sbuf, sizeof sbuf,
-        ",\n"
-        "  \"server\": {\n"
-        "    \"connections_accepted\": %" PRIu64 ",\n"
-        "    \"connections_closed\": %" PRIu64 ",\n"
-        "    \"open_connections\": %" PRIu64 ",\n"
-        "    \"peak_connections\": %" PRIu64 ",\n"
-        "    \"requests_served\": %" PRIu64 ",\n"
-        "    \"responses_4xx\": %" PRIu64 ",\n"
-        "    \"responses_5xx\": %" PRIu64 ",\n"
-        "    \"connections_timed_out\": %" PRIu64 ",\n"
-        "    \"overflow_rejections\": %" PRIu64 ",\n"
-        "    \"parse_errors\": %" PRIu64 ",\n"
-        "    \"requests_shed\": %" PRIu64 "\n"
-        "  }",
-        n.connections_accepted, n.connections_closed, n.open_connections,
-        n.peak_connections, n.requests_served, n.responses_4xx,
-        n.responses_5xx, n.connections_timed_out, n.overflow_rejections,
-        n.parse_errors, n.requests_shed);
-    body += sbuf;
+    snap.server = server_stats_();
+    snap.have_server = true;
   }
-  body += "\n}\n";
+  return snap;
+}
+
+net::HttpResponse ServiceRouter::handle_stats() {
+  const StatsSnapshot snap = collect_stats();
+  const ServiceStats& s = snap.service;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("campaigns_submitted", s.campaigns_submitted);
+  w.kv("predictions_computed", s.predictions_computed);
+  w.kv("batch_duplicates_folded", s.batch_duplicates_folded);
+  w.kv("inflight_joins", s.inflight_joins);
+  w.kv("snapshot_entries_restored", s.snapshot_entries_restored);
+  w.kv("snapshot_entries_skipped", s.snapshot_entries_skipped);
+  w.kv("auto_snapshots", s.auto_snapshots);
+  w.kv("auto_snapshot_failures", s.auto_snapshot_failures);
+  w.kv("predictions_cancelled", s.predictions_cancelled);
+  w.begin_object("cache");
+  w.kv("hits", s.cache.hits);
+  w.kv("misses", s.cache.misses);
+  w.kv("evictions", s.cache.evictions);
+  w.kv("entries", s.cache.entries);
+  w.kv("expired_misses", s.cache.expired_misses);
+  w.kv("stale_hits", s.cache.stale_hits);
+  w.end_object();
+  if (snap.have_server) {
+    const net::ServerStats& n = snap.server;
+    w.begin_object("server");
+    w.kv("connections_accepted", n.connections_accepted);
+    w.kv("connections_closed", n.connections_closed);
+    w.kv("open_connections", n.open_connections);
+    w.kv("peak_connections", n.peak_connections);
+    w.kv("requests_served", n.requests_served);
+    w.kv("responses_4xx", n.responses_4xx);
+    w.kv("responses_5xx", n.responses_5xx);
+    w.kv("connections_timed_out", n.connections_timed_out);
+    w.kv("overflow_rejections", n.overflow_rejections);
+    w.kv("parse_errors", n.parse_errors);
+    w.kv("requests_shed", n.requests_shed);
+    w.end_object();
+  }
+  w.end_object();
+  return json_response(w);
+}
+
+net::HttpResponse ServiceRouter::handle_metrics() {
+  const StatsSnapshot snap = collect_stats();
+  const ServiceStats& s = snap.service;
+  obs::PrometheusWriter w;
+  w.counter("estima_service_campaigns_submitted_total", "",
+            "Campaigns received across predict and predict_batch.",
+            s.campaigns_submitted);
+  w.counter("estima_service_predictions_computed_total", "",
+            "Actual predict() runs (cache misses that computed).",
+            s.predictions_computed);
+  w.counter("estima_service_batch_duplicates_folded_total", "",
+            "Same-campaign repeats folded within one batch.",
+            s.batch_duplicates_folded);
+  w.counter("estima_service_inflight_joins_total", "",
+            "Requests that joined another thread's in-flight compute.",
+            s.inflight_joins);
+  w.counter("estima_service_snapshot_entries_restored_total", "",
+            "Cache entries restored from snapshot files.",
+            s.snapshot_entries_restored);
+  w.counter("estima_service_snapshot_entries_skipped_total", "",
+            "Snapshot entries dropped during restore.",
+            s.snapshot_entries_skipped);
+  w.counter("estima_service_auto_snapshots_total", "",
+            "Automatic cache snapshots written.", s.auto_snapshots);
+  w.counter("estima_service_auto_snapshot_failures_total", "",
+            "Automatic cache snapshots that failed.",
+            s.auto_snapshot_failures);
+  w.counter("estima_service_predictions_cancelled_total", "",
+            "Predictions abandoned at a deadline boundary.",
+            s.predictions_cancelled);
+  w.counter("estima_cache_hits_total", "", "Result-cache hits.",
+            s.cache.hits);
+  w.counter("estima_cache_misses_total", "", "Result-cache misses.",
+            s.cache.misses);
+  w.counter("estima_cache_evictions_total", "", "Result-cache evictions.",
+            s.cache.evictions);
+  w.counter("estima_cache_expired_misses_total", "",
+            "Lookups that found only an expired entry.",
+            s.cache.expired_misses);
+  w.counter("estima_cache_stale_hits_total", "",
+            "Expired entries served anyway under load shedding.",
+            s.cache.stale_hits);
+  w.gauge("estima_cache_entries", "", "Resident result-cache entries.",
+          static_cast<std::int64_t>(s.cache.entries));
+  if (snap.have_server) {
+    const net::ServerStats& n = snap.server;
+    w.counter("estima_server_connections_accepted_total", "",
+              "Connections accepted by the HTTP edge.",
+              n.connections_accepted);
+    w.counter("estima_server_connections_closed_total", "",
+              "Connections closed by the HTTP edge.", n.connections_closed);
+    w.gauge("estima_server_open_connections", "",
+            "Currently open connections.",
+            static_cast<std::int64_t>(n.open_connections));
+    w.gauge("estima_server_peak_connections", "",
+            "High-water mark of concurrently open connections.",
+            static_cast<std::int64_t>(n.peak_connections));
+    w.counter("estima_server_requests_served_total", "",
+              "Requests answered (any status).", n.requests_served);
+    w.counter("estima_server_responses_4xx_total", "",
+              "Responses with a 4xx status.", n.responses_4xx);
+    w.counter("estima_server_responses_5xx_total", "",
+              "Responses with a 5xx status.", n.responses_5xx);
+    w.counter("estima_server_connections_timed_out_total", "",
+              "Connections closed by the 408/idle timer.",
+              n.connections_timed_out);
+    w.counter("estima_server_overflow_rejections_total", "",
+              "Connections answered 503 at accept (over max_connections).",
+              n.overflow_rejections);
+    w.counter("estima_server_parse_errors_total", "",
+              "Requests rejected by the HTTP parser.", n.parse_errors);
+    w.counter("estima_server_requests_shed_total", "",
+              "Queued requests shed by the handler pool.", n.requests_shed);
+  }
+  if (fault::compiled_in()) {
+    for (const auto& [site, st] : fault::all_site_stats()) {
+      const std::string label = "site=\"" + site + "\"";
+      w.counter("estima_fault_calls_total", label,
+                "Armed fault-injection site evaluations.", st.calls);
+      w.counter("estima_fault_fires_total", label,
+                "Armed fault-injection site fires.", st.fires);
+    }
+  }
+  if (metrics_ != nullptr) w.registry(*metrics_);
   net::HttpResponse resp;
   resp.status = 200;
-  resp.headers.emplace_back("content-type", "application/json");
-  resp.body = std::move(body);
+  resp.headers.emplace_back("content-type",
+                            "text/plain; version=0.0.4; charset=utf-8");
+  resp.body = w.str();
   return resp;
+}
+
+net::HttpResponse ServiceRouter::handle_trace() {
+  if (tracer_ == nullptr) {
+    return text_response(503, "tracing not enabled on this server");
+  }
+  const std::vector<obs::SlowTrace> slow = tracer_->slow_traces();
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("slow_threshold_ms",
+       static_cast<std::int64_t>(tracer_->config().slow_threshold_ms));
+  w.kv("ring_capacity",
+       static_cast<std::uint64_t>(tracer_->config().ring_capacity));
+  w.begin_array("traces");
+  for (const auto& t : slow) {
+    w.begin_object();
+    w.kv("trace_id", obs::format_trace_id(t.trace_id));
+    w.kv("seq", t.seq);
+    w.kv("total_ms", static_cast<double>(t.total_ns) / 1e6, 3);
+    w.begin_array("spans");
+    for (const auto& sp : t.spans) {
+      w.begin_object();
+      w.kv("name", obs::stage_name(sp.stage));
+      w.kv("start_ms", static_cast<double>(sp.start_off_ns) / 1e6, 3);
+      w.kv("duration_ms", static_cast<double>(sp.total_ns) / 1e6, 3);
+      w.kv("count", sp.count);
+      w.kv("nested", sp.nested);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return json_response(w);
 }
 
 net::HttpResponse ServiceRouter::handle_snapshot() {
@@ -332,14 +474,14 @@ net::HttpResponse ServiceRouter::handle_snapshot() {
   const SnapshotWriteReport report = service_.snapshot_to(cfg_.snapshot_path);
   char sig[24];
   std::snprintf(sig, sizeof sig, "%016" PRIx64, report.config_signature);
-  net::HttpResponse resp;
-  resp.status = 200;
-  resp.headers.emplace_back("content-type", "application/json");
-  resp.body = "{\n  \"path\": \"" + json_escape(report.path) +
-              "\",\n  \"entries_written\": " +
-              std::to_string(report.entries_written) +
-              ",\n  \"config_signature\": \"" + sig + "\"\n}\n";
-  return resp;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("path", report.path);
+  w.kv("entries_written",
+       static_cast<std::uint64_t>(report.entries_written));
+  w.kv("config_signature", std::string(sig));
+  w.end_object();
+  return json_response(w);
 }
 
 }  // namespace estima::service

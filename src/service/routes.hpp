@@ -19,6 +19,19 @@
 //                           load balancers stop routing here first.
 //   POST /v1/snapshot       spill the cache to the configured snapshot
 //                           path; 200 with a small JSON report.
+//   GET  /v1/metrics        Prometheus text exposition: every service /
+//                           cache / server counter, fault-injection site
+//                           counters when compiled in, and the stage +
+//                           request latency histograms from the wired
+//                           obs::Registry (set_observability).
+//   GET  /v1/trace          the slow-request ring as JSON: per-request
+//                           span breakdowns (stable span-name schema)
+//                           for requests over the tracer's threshold.
+//
+// Both stats-style endpoints are built from one consistent snapshot per
+// request: ServiceStats and ServerStats are each taken whole under their
+// owning lock (never field-by-field from live atomics), so a scrape can
+// never observe accepted < closed + open mid-update.
 //
 // Resilience hooks (all optional; the plain handle(req) form behaves
 // exactly as before):
@@ -55,10 +68,14 @@
 #include "net/http_parser.hpp"
 #include "net/server.hpp"
 #include "net/server_stats.hpp"
+#include "service/prediction_service.hpp"
+
+namespace estima::obs {
+class Registry;
+class Tracer;
+}  // namespace estima::obs
 
 namespace estima::service {
-
-class PredictionService;
 
 struct RouterConfig {
   /// Where POST /v1/snapshot spills the cache; empty disables the route
@@ -99,19 +116,43 @@ class ServiceRouter {
   /// server's handler needs it.
   void set_server_stats_source(std::function<net::ServerStats()> source);
 
+  /// Wires the observability surface (both borrowed, must outlive the
+  /// router; wire before serving starts): `metrics` adds its histograms
+  /// and counters to GET /v1/metrics, `tracer` enables GET /v1/trace
+  /// (the slow-request ring). Either may be null: /v1/metrics still
+  /// serves the service/cache/server counters without a registry, and
+  /// /v1/trace answers 503 without a tracer.
+  void set_observability(obs::Registry* metrics, obs::Tracer* tracer);
+
  private:
+  /// One consistent per-request picture for /v1/stats and /v1/metrics:
+  /// each stats struct is copied whole under its owning lock.
+  struct StatsSnapshot {
+    ServiceStats service;
+    bool have_server = false;
+    net::ServerStats server;
+  };
+  StatsSnapshot collect_stats() const;
+
+  net::HttpResponse dispatch(const net::HttpRequest& req,
+                             const net::RequestContext& ctx);
   net::HttpResponse handle_predict(const net::HttpRequest& req,
                                    const net::RequestContext& ctx,
                                    const core::Deadline* deadline);
   net::HttpResponse handle_predict_batch(const net::HttpRequest& req,
+                                         const net::RequestContext& ctx,
                                          const core::Deadline* deadline);
   net::HttpResponse handle_stats();
   net::HttpResponse handle_health(const net::RequestContext& ctx);
   net::HttpResponse handle_snapshot();
+  net::HttpResponse handle_metrics();
+  net::HttpResponse handle_trace();
 
   PredictionService& service_;
   RouterConfig cfg_;
   std::function<net::ServerStats()> server_stats_;
+  obs::Registry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   std::atomic<bool> draining_{false};
 };
 

@@ -51,6 +51,8 @@
 #include "core/predictor.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "net_support.hpp"
 #include "service/prediction_service.hpp"
@@ -799,6 +801,124 @@ TEST_F(NetEndToEnd, StatsJsonStaysWellFormedWithServerCounters) {
        "open_connections", "peak_connections", "requests_served",
        "responses_4xx", "responses_5xx", "connections_timed_out",
        "overflow_rejections", "parse_errors", "requests_shed"});
+}
+
+TEST_F(NetEndToEnd, MetricsEndpointIsValidPrometheusText) {
+  auto c = client();
+  ASSERT_EQ(c.post("/v1/predict", csv_of(demo_campaign(3, 8)), "text/csv")
+                .status,
+            200);
+  const auto resp = c.get("/v1/metrics");
+  ASSERT_EQ(resp.status, 200);
+  ASSERT_NE(resp.header("content-type"), nullptr);
+  EXPECT_EQ(*resp.header("content-type"),
+            "text/plain; version=0.0.4; charset=utf-8");
+  const auto err = obs::validate_prometheus_text(resp.body);
+  EXPECT_FALSE(err.has_value()) << *err;
+  // Service, cache, and server families are all present even without a
+  // wired registry (the fixture's router has none).
+  EXPECT_NE(resp.body.find("estima_service_campaigns_submitted_total 1"),
+            std::string::npos);
+  EXPECT_NE(resp.body.find("estima_cache_misses_total 1"), std::string::npos);
+  EXPECT_NE(resp.body.find("estima_server_requests_served_total"),
+            std::string::npos);
+  // Wrong method maps to 405 with Allow, like every other route.
+  HttpRequest req;
+  req.method = "POST";
+  req.target = "/v1/metrics";
+  EXPECT_EQ(router_->handle(req).status, 405);
+}
+
+TEST_F(NetEndToEnd, MetricsAndStatsComeFromOneConsistentSnapshot) {
+  auto c = client();
+  ASSERT_EQ(c.post("/v1/predict", csv_of(demo_campaign(4, 8)), "text/csv")
+                .status,
+            200);
+  // The same counter through both expositions: field-by-field reads of
+  // live atomics could disagree; one StatsSnapshot per request cannot.
+  const auto stats = c.get("/v1/stats");
+  const auto metrics = c.get("/v1/metrics");
+  ASSERT_EQ(stats.status, 200);
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(stats.body.find("\"predictions_computed\": 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("estima_service_predictions_computed_total 1"),
+            std::string::npos);
+}
+
+TEST_F(NetEndToEnd, TraceRouteWithoutTracerIs503) {
+  EXPECT_EQ(client().get("/v1/trace").status, 503);
+}
+
+TEST_F(NetEndToEnd, TracedServerEchoesTraceIdAndExposesSlowRing) {
+  // A separate stack wired for tracing: registry + tracer on the router,
+  // tracer on the server (context-handler form), threshold 0 so every
+  // request lands in the ring.
+  obs::Registry registry;
+  obs::TracerConfig tcfg;
+  tcfg.slow_threshold_ms = 0;
+  tcfg.ring_capacity = 8;
+  obs::Tracer tracer(registry, tcfg);
+
+  parallel::ThreadPool pool(2);
+  service::ServiceConfig scfg;
+  scfg.prediction.target_cores = core::cores_up_to(24);
+  service::PredictionService svc(scfg, &pool);
+  service::ServiceRouter router(svc, service::RouterConfig{});
+  router.set_observability(&registry, &tracer);
+
+  ServerConfig ncfg;
+  ncfg.worker_threads = 2;
+  ncfg.tracer = &tracer;
+  HttpServer server(ncfg,
+                    [&router](const HttpRequest& req,
+                              const RequestContext& ctx) {
+                      return router.handle(req, ctx);
+                    });
+  router.set_server_stats_source([&server] { return server.stats(); });
+  server.start();
+
+  HttpClient c("127.0.0.1", server.port());
+  // A caller-chosen id is echoed back verbatim (lowercase 16-hex form).
+  const std::string id = obs::format_trace_id(0xabcdef0123456789ull);
+  const auto resp =
+      c.request("POST", "/v1/predict", csv_of(demo_campaign(5, 8)),
+                {{"content-type", "text/csv"}, {"x-estima-trace-id", id}});
+  ASSERT_EQ(resp.status, 200);
+  ASSERT_NE(resp.header("x-estima-trace-id"), nullptr);
+  EXPECT_EQ(*resp.header("x-estima-trace-id"), id);
+
+  // Without the header the server generates a non-zero id.
+  const auto resp2 = c.post("/v1/predict", csv_of(demo_campaign(5, 8)),
+                            "text/csv");
+  ASSERT_EQ(resp2.status, 200);
+  ASSERT_NE(resp2.header("x-estima-trace-id"), nullptr);
+  EXPECT_NE(*resp2.header("x-estima-trace-id"), std::string(16, '0'));
+
+  // The ring retained both requests; the caller's id is findable.
+  const auto trace_resp = c.get("/v1/trace");
+  ASSERT_EQ(trace_resp.status, 200);
+  EXPECT_NE(trace_resp.body.find("\"traces\""), std::string::npos);
+  EXPECT_NE(trace_resp.body.find(id), std::string::npos);
+  EXPECT_NE(trace_resp.body.find("\"parse\""), std::string::npos);
+
+  // The registry's stage histograms flow into /v1/metrics and the whole
+  // document still validates.
+  const auto metrics = c.get("/v1/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  const auto err = obs::validate_prometheus_text(metrics.body);
+  EXPECT_FALSE(err.has_value()) << *err;
+  EXPECT_NE(metrics.body.find(
+                "estima_stage_duration_seconds_count{stage=\"parse\"}"),
+            std::string::npos);
+  // Every request through the traced server counts — including the
+  // /v1/trace scrape above — so the total is at least the two predicts.
+  const std::string count_key = "estima_request_duration_seconds_count ";
+  const std::size_t at = metrics.body.find(count_key);
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_GE(std::stoull(metrics.body.substr(at + count_key.size())), 2u);
+
+  server.stop();
 }
 
 // ---------------------------------------------------------------------------
