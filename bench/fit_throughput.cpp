@@ -2,16 +2,21 @@
 //
 // Tracks the perf trajectory of the fitting hot path: a production-scale
 // predictor reruns the candidate-enumeration loop (Section 3.1) for many
-// applications, so the pipeline's own speed is a first-class metric. Three
-// modes are measured:
-//   baseline  — memoization off, thread pool off (one fit per candidate,
-//               exactly the pre-optimization pipeline shape);
-//   memoized  — (kernel, prefix) fits cached across checkpoint settings;
-//   parallel  — memoized + fit/category fan-out across a thread pool.
+// applications, so the pipeline's own speed is a first-class metric. Four
+// modes are measured (all four produce bit-identical predictions):
+//   baseline  — memoization off, reference scalar fit engine, no pool:
+//               one fit_kernel call per candidate, exactly the
+//               pre-optimization pipeline shape;
+//   scalar    — memoized (kernel, prefix) fits, still the reference
+//               engine: isolates the caching win from the SoA win;
+//   memoized  — memoized + the batched SoA engine (lockstep multi-LM,
+//               panel realism walks), single-threaded;
+//   parallel  — memoized + batched + fit/category fan-out across a pool.
 //
-// Reports predictions/sec per mode, the duplicate-fits-eliminated counter,
-// and a bit-identical cross-check of single- vs multi-threaded output, as
-// JSON to BENCH_fit_throughput.json (and human-readable text to stdout).
+// Reports predictions/sec, fits/sec and LM kernel point-evals/sec per
+// mode, the duplicate-fits-eliminated counter, and a bit-identical
+// cross-check of single- vs multi-threaded output, as JSON to
+// BENCH_fit_throughput.json (and human-readable text to stdout).
 //
 // Flags:
 //   --seconds=S   measurement window per mode       (default 2.0)
@@ -20,7 +25,7 @@
 //   --target=T    extrapolation horizon             (default 64)
 //   --ckmax=C     checkpoint settings swept, 1..C   (default 5)
 //   --out=PATH    JSON output path                  (default BENCH_fit_throughput.json)
-//   --mode=NAME   restrict to baseline|memoized|parallel (default: all)
+//   --mode=NAME   restrict to baseline|scalar|memoized|parallel (default: all)
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -49,11 +54,13 @@ struct ModeResult {
   std::size_t fits_executed = 0;
   std::size_t duplicate_fits_eliminated = 0;
   std::size_t candidates_considered = 0;
+  std::size_t levmar_point_evals = 0;
   estima::bench::LatencyRecorder latency;  ///< one sample per predict()
 };
 
 estima::core::PredictionConfig make_config(int target, int ckmax,
                                            bool memoize,
+                                           estima::core::FitEngine engine,
                                            estima::parallel::ThreadPool* pool) {
   estima::core::PredictionConfig cfg;
   cfg.target_cores = estima::core::cores_up_to(target);
@@ -63,19 +70,23 @@ estima::core::PredictionConfig make_config(int target, int ckmax,
   cfg.extrap.checkpoint_counts.clear();
   for (int c = 1; c <= ckmax; ++c) cfg.extrap.checkpoint_counts.push_back(c);
   cfg.extrap.memoize_fits = memoize;
+  cfg.extrap.engine = engine;
   cfg.extrap.pool = pool;
   return cfg;
 }
 
-// Sums the per-category fit accounting of one prediction.
+// Sums the per-category fit accounting of one prediction (plus the
+// scaling-factor enumeration, which runs the same fit machinery).
 void accumulate_stats(const estima::core::Prediction& pred, ModeResult* r) {
   r->fits_executed = 0;
   r->duplicate_fits_eliminated = 0;
   r->candidates_considered = 0;
+  r->levmar_point_evals = pred.factor_stats.levmar_point_evals;
   for (const auto& cp : pred.categories) {
     r->fits_executed += cp.extrapolation.fits_executed;
     r->duplicate_fits_eliminated += cp.extrapolation.duplicate_fits_eliminated;
     r->candidates_considered += cp.extrapolation.candidates_considered;
+    r->levmar_point_evals += cp.extrapolation.levmar_point_evals;
   }
 }
 
@@ -137,11 +148,12 @@ int run_bench(int argc, char** argv) {
   const std::string out_path =
       parse_flag_s(argc, argv, "out", "BENCH_fit_throughput.json");
   const std::string only_mode = parse_flag_s(argc, argv, "mode", "all");
-  if (only_mode != "all" && only_mode != "baseline" &&
+  if (only_mode != "all" && only_mode != "baseline" && only_mode != "scalar" &&
       only_mode != "memoized" && only_mode != "parallel") {
-    std::fprintf(stderr,
-                 "unknown --mode=%s (expected all|baseline|memoized|parallel)\n",
-                 only_mode.c_str());
+    std::fprintf(
+        stderr,
+        "unknown --mode=%s (expected all|baseline|scalar|memoized|parallel)\n",
+        only_mode.c_str());
     return 1;
   }
 
@@ -161,19 +173,32 @@ int run_bench(int argc, char** argv) {
               "%d pool threads, %.1fs per mode\n",
               points, target, threads, seconds);
 
+  using estima::core::FitEngine;
   std::vector<ModeResult> results;
   const bool all = only_mode == "all";
   if (all || only_mode == "baseline") {
-    results.push_back(run_mode("baseline", ms,
-                               make_config(target, ckmax, false, nullptr), seconds));
+    results.push_back(run_mode(
+        "baseline", ms,
+        make_config(target, ckmax, false, FitEngine::kReference, nullptr),
+        seconds));
+  }
+  if (all || only_mode == "scalar") {
+    results.push_back(run_mode(
+        "scalar", ms,
+        make_config(target, ckmax, true, FitEngine::kReference, nullptr),
+        seconds));
   }
   if (all || only_mode == "memoized") {
-    results.push_back(run_mode("memoized", ms,
-                               make_config(target, ckmax, true, nullptr), seconds));
+    results.push_back(run_mode(
+        "memoized", ms,
+        make_config(target, ckmax, true, FitEngine::kBatched, nullptr),
+        seconds));
   }
   if (all || only_mode == "parallel") {
-    results.push_back(run_mode("parallel", ms,
-                               make_config(target, ckmax, true, &pool), seconds));
+    results.push_back(run_mode(
+        "parallel", ms,
+        make_config(target, ckmax, true, FitEngine::kBatched, &pool),
+        seconds));
   }
 
   for (const auto& r : results) {
@@ -182,6 +207,10 @@ int run_bench(int argc, char** argv) {
                 "fits=%zu dup_eliminated=%zu\n",
                 r.name.c_str(), r.predictions_per_sec, r.iterations,
                 r.seconds, r.fits_executed, r.duplicate_fits_eliminated);
+    std::printf("  %-9s %8.0f fits/s  %.3g LM point-evals/s\n", "",
+                static_cast<double>(r.fits_executed) * r.predictions_per_sec,
+                static_cast<double>(r.levmar_point_evals) *
+                    r.predictions_per_sec);
     std::printf("  %-9s latency p50 %.3fms p90 %.3fms p99 %.3fms "
                 "p999 %.3fms\n",
                 "", ls.p50_ms, ls.p90_ms, ls.p99_ms, ls.p999_ms);
@@ -204,8 +233,10 @@ int run_bench(int argc, char** argv) {
 
   // Determinism cross-check: single-threaded vs pooled prediction must
   // agree bit-for-bit.
-  const auto serial = estima::core::predict(ms, make_config(target, ckmax, true, nullptr));
-  const auto pooled = estima::core::predict(ms, make_config(target, ckmax, true, &pool));
+  const auto serial = estima::core::predict(
+      ms, make_config(target, ckmax, true, FitEngine::kBatched, nullptr));
+  const auto pooled = estima::core::predict(
+      ms, make_config(target, ckmax, true, FitEngine::kBatched, &pool));
   const bool identical = bit_identical(serial, pooled);
   std::printf("  1-thread vs %d-thread output bit-identical: %s\n", threads,
               identical ? "yes" : "NO");
@@ -233,6 +264,10 @@ int run_bench(int argc, char** argv) {
          static_cast<std::uint64_t>(r.duplicate_fits_eliminated));
     w.kv("candidates_considered",
          static_cast<std::uint64_t>(r.candidates_considered));
+    w.kv("fits_per_sec",
+         static_cast<double>(r.fits_executed) * r.predictions_per_sec, 1);
+    w.kv("kernel_evals_per_sec",
+         static_cast<double>(r.levmar_point_evals) * r.predictions_per_sec, 1);
     estima::bench::write_latency_json(w, "latency", r.latency);
     w.end_object();
   }

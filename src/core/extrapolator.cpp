@@ -119,43 +119,167 @@ std::vector<std::vector<CandidateFit>> enumerate_candidates_filtered(
   std::vector<FitSlot> slots(job_prefix.size());
   std::atomic<std::size_t> jobs_cancelled{0};
   std::atomic<std::size_t> jobs_aborted{0};
-  parallel::parallel_for(
-      cfg.pool, job_prefix.size(), [&](std::size_t idx) {
-        if (cfg.deadline != nullptr && cfg.deadline->expired()) {
-          jobs_cancelled.fetch_add(1, std::memory_order_relaxed);
-          return;
+  std::atomic<std::size_t> point_evals{0};
+  if (cfg.engine == FitEngine::kBatched) {
+    // Batched engine: one job per KERNEL covering every prefix (and, in
+    // brute mode, every checkpoint repetition) of that kernel. All of a
+    // kernel's LM problems advance in one lockstep multi-problem batch,
+    // its realism walks evaluate as one parameter panel per shared grid,
+    // and its predictions fill in a single panel call. The walk grids
+    // depend only on the filters' ranges, so they are built once and
+    // shared; filters that agree on the step count re-scan the same walk
+    // values. Cancellation/abort accounting stays in fit units (a kernel
+    // job covers n_entries fits), so totals match the reference engine's.
+    EvalTables tables;
+    tables.assign(xs);
+    std::vector<RealismGrid> grids;
+    std::vector<std::size_t> grid_of(filters.size(), 0);
+    for (std::size_t v = 0; v < filters.size(); ++v) {
+      RealismGrid g;
+      g.build(filters[v]);
+      std::size_t gi = grids.size();
+      for (std::size_t u = 0; u < grids.size(); ++u) {
+        if (grids[u].steps == g.steps) {
+          gi = u;
+          break;
         }
-        try {
-          if (fault::fault_point("alloc.workspace")) throw std::bad_alloc();
-          const int i = job_prefix[idx];
-          const KernelType type = kAllKernels[idx % K];
-          const std::vector<double> pxs(xs.begin(), xs.begin() + i);
-          const std::vector<double> pys(values.begin(), values.begin() + i);
+      }
+      if (gi == grids.size()) grids.push_back(std::move(g));
+      grid_of[v] = gi;
+    }
+    const std::size_t n_entries = job_prefix.size() / K;
+    parallel::parallel_for(cfg.pool, K, [&](std::size_t k) {
+      if (cfg.deadline != nullptr && cfg.deadline->expired()) {
+        jobs_cancelled.fetch_add(n_entries, std::memory_order_relaxed);
+        return;
+      }
+      try {
+        if (fault::fault_point("alloc.workspace")) throw std::bad_alloc();
+        const KernelType type = kAllKernels[k];
+        const std::size_t np = kernel_param_count(type);
+        thread_local FitBatchWorkspace fbw;
+        std::vector<std::size_t> prefixes(n_entries);
+        for (std::size_t e = 0; e < n_entries; ++e) {
+          prefixes[e] = static_cast<std::size_t>(job_prefix[e * K + k]);
+        }
+        std::vector<std::optional<FittedFunction>> fits(n_entries);
+        {
           obs::SpanTimer levmar_span(cfg.trace, obs::Stage::kFitLevmar);
-          auto fitted = fit_kernel(type, pxs, pys, cfg.fit);
-          levmar_span.stop();
-          if (!fitted) return;
-          FitSlot& slot = slots[idx];
-          {
-            obs::SpanTimer realism_span(cfg.trace, obs::Stage::kFitRealism);
-            for (std::size_t v = 0; v < filters.size(); ++v) {
-              if (is_realistic(*fitted, filters[v], vmax, nonneg)) {
-                slot.realistic_mask |= std::uint64_t{1} << v;
+          fbw.model_evals = 0;
+          fit_kernel_over_prefixes(type, xs, tables, values, prefixes.data(),
+                                   n_entries, cfg.fit, fbw, fits.data());
+          point_evals.fetch_add(fbw.model_evals, std::memory_order_relaxed);
+        }
+        std::vector<std::size_t> live;
+        for (std::size_t e = 0; e < n_entries; ++e) {
+          if (fits[e]) live.push_back(e);
+        }
+        if (live.empty()) return;
+        fbw.cand_panel.resize(live.size() * np);
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          const auto& p = fits[live[i]]->params;
+          std::copy(p.begin(), p.end(), fbw.cand_panel.begin() +
+                                            static_cast<std::ptrdiff_t>(i * np));
+        }
+        {
+          obs::SpanTimer realism_span(cfg.trace, obs::Stage::kFitRealism);
+          for (std::size_t gi = 0; gi < grids.size(); ++gi) {
+            const std::size_t gm = grids[gi].tables.size();
+            fbw.walk_vals.resize(live.size() * gm);
+            fbw.walk_dens.resize(live.size() * gm);
+            kernel_eval_panel(type, grids[gi].tables, gm,
+                              fbw.cand_panel.data(), live.size(),
+                              fbw.walk_vals.data());
+            kernel_denominator_panel(type, grids[gi].tables, gm,
+                                     fbw.cand_panel.data(), live.size(),
+                                     fbw.walk_dens.data());
+            for (std::size_t i = 0; i < live.size(); ++i) {
+              double* vals = fbw.walk_vals.data() + i * gm;
+              const double* dens = fbw.walk_dens.data() + i * gm;
+              // f(n) = y_scale * kernel_eval(n): same multiplication the
+              // scalar FittedFunction::operator() performs.
+              const double y_scale = fits[live[i]]->y_scale;
+              for (std::size_t p = 0; p < gm; ++p) vals[p] = y_scale * vals[p];
+              FitSlot& slot = slots[live[i] * K + k];
+              for (std::size_t v = 0; v < filters.size(); ++v) {
+                if (grid_of[v] != gi) continue;
+                if (realism_scan(vals, dens, grids[gi].steps, filters[v],
+                                 vmax, nonneg)) {
+                  slot.realistic_mask |= std::uint64_t{1} << v;
+                }
               }
             }
           }
-          if (slot.realistic_mask == 0) return;
-          slot.pred.resize(static_cast<std::size_t>(m));
-          for (std::size_t j = 0; j < static_cast<std::size_t>(m); ++j) {
-            slot.pred[j] = (*fitted)(xs[j]);
-          }
-          slot.fn = std::move(*fitted);
-        } catch (const std::bad_alloc&) {
-          jobs_aborted.fetch_add(1, std::memory_order_relaxed);
         }
-      });
+        // Predictions for every surviving candidate of this kernel, one
+        // panel over the measured core counts.
+        std::vector<std::size_t> surv;
+        for (std::size_t e : live) {
+          if (slots[e * K + k].realistic_mask != 0) surv.push_back(e);
+        }
+        if (surv.empty()) return;
+        fbw.cand_panel.resize(surv.size() * np);
+        for (std::size_t i = 0; i < surv.size(); ++i) {
+          const auto& p = fits[surv[i]]->params;
+          std::copy(p.begin(), p.end(), fbw.cand_panel.begin() +
+                                            static_cast<std::ptrdiff_t>(i * np));
+        }
+        const std::size_t mm = static_cast<std::size_t>(m);
+        fbw.pred_vals.resize(surv.size() * mm);
+        kernel_eval_panel(type, tables, mm, fbw.cand_panel.data(),
+                          surv.size(), fbw.pred_vals.data());
+        for (std::size_t i = 0; i < surv.size(); ++i) {
+          FitSlot& slot = slots[surv[i] * K + k];
+          const double y_scale = fits[surv[i]]->y_scale;
+          const double* row = fbw.pred_vals.data() + i * mm;
+          slot.pred.resize(mm);
+          for (std::size_t p = 0; p < mm; ++p) slot.pred[p] = y_scale * row[p];
+          slot.fn = std::move(*fits[surv[i]]);
+        }
+      } catch (const std::bad_alloc&) {
+        jobs_aborted.fetch_add(n_entries, std::memory_order_relaxed);
+      }
+    });
+  } else {
+    parallel::parallel_for(
+        cfg.pool, job_prefix.size(), [&](std::size_t idx) {
+          if (cfg.deadline != nullptr && cfg.deadline->expired()) {
+            jobs_cancelled.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          try {
+            if (fault::fault_point("alloc.workspace")) throw std::bad_alloc();
+            const int i = job_prefix[idx];
+            const KernelType type = kAllKernels[idx % K];
+            const std::vector<double> pxs(xs.begin(), xs.begin() + i);
+            const std::vector<double> pys(values.begin(), values.begin() + i);
+            obs::SpanTimer levmar_span(cfg.trace, obs::Stage::kFitLevmar);
+            auto fitted = fit_kernel(type, pxs, pys, cfg.fit);
+            levmar_span.stop();
+            if (!fitted) return;
+            FitSlot& slot = slots[idx];
+            {
+              obs::SpanTimer realism_span(cfg.trace, obs::Stage::kFitRealism);
+              for (std::size_t v = 0; v < filters.size(); ++v) {
+                if (is_realistic(*fitted, filters[v], vmax, nonneg)) {
+                  slot.realistic_mask |= std::uint64_t{1} << v;
+                }
+              }
+            }
+            if (slot.realistic_mask == 0) return;
+            slot.pred.resize(static_cast<std::size_t>(m));
+            for (std::size_t j = 0; j < static_cast<std::size_t>(m); ++j) {
+              slot.pred[j] = (*fitted)(xs[j]);
+            }
+            slot.fn = std::move(*fitted);
+          } catch (const std::bad_alloc&) {
+            jobs_aborted.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+  }
   acct.fits_cancelled = jobs_cancelled.load(std::memory_order_relaxed);
   acct.fits_aborted = jobs_aborted.load(std::memory_order_relaxed);
+  acct.levmar_point_evals = point_evals.load(std::memory_order_relaxed);
   if (acct.fits_cancelled > 0 || acct.fits_aborted > 0) {
     // An incomplete fit pool must not be scored: a missing fit could flip
     // which candidate wins, which would be a silently different answer.
@@ -252,6 +376,7 @@ std::optional<SeriesExtrapolation> extrapolate_series(
   out.candidates_considered = stats.candidates_attempted;
   out.fits_executed = stats.fits_executed;
   out.duplicate_fits_eliminated = stats.duplicate_fits_eliminated;
+  out.levmar_point_evals = stats.levmar_point_evals;
   return out;
 }
 

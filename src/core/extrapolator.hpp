@@ -35,6 +35,22 @@ class TraceContext;
 
 namespace estima::core {
 
+/// Which fitting pipeline executes the (kernel, prefix) jobs. Both produce
+/// bit-identical candidates — the batched engine restructures the *work*
+/// (SoA panels, lockstep LM, shared tables), never the arithmetic — so
+/// this knob, like `memoize_fits` and `pool`, is excluded from
+/// config_signature.
+enum class FitEngine {
+  /// Per-prefix batched jobs: all six kernels fitted in one pass over
+  /// shared EvalTables, LM starts advanced in lockstep, realism walks
+  /// scanned over precomputed grids. The default.
+  kBatched,
+  /// The scalar per-(kernel, prefix) path: one fit_kernel / is_realistic
+  /// call per job. Kept runnable as the bit-identity oracle and the
+  /// benchmark baseline.
+  kReference,
+};
+
 struct ExtrapolationConfig {
   /// Checkpoint counts to try; the paper's experiments use 2 and 4.
   std::vector<int> checkpoint_counts = {2, 4};
@@ -46,6 +62,8 @@ struct ExtrapolationConfig {
   /// settings. Off = the brute-force reference (one fit per candidate),
   /// kept runnable for benchmarking and regression testing.
   bool memoize_fits = true;
+  /// Which pipeline executes the fits (bit-identical either way).
+  FitEngine engine = FitEngine::kBatched;
   /// Fan the independent fit jobs (and, in predict(), the independent
   /// stall categories) out across this pool. Null = single-threaded.
   parallel::ThreadPool* pool = nullptr;
@@ -92,6 +110,11 @@ struct EnumerationStats {
   /// Fit executions the additional realism filters reused instead of
   /// rerunning — a strict-then-relaxed retry would refit everything.
   std::size_t variant_refits_avoided = 0;
+  /// Model point evaluations consumed by Levenberg-Marquardt refinement.
+  /// Maintained by the batched engine (the reference engine leaves it 0);
+  /// like every accounting field it is outside the bit-identity contract
+  /// and not serialised.
+  std::size_t levmar_point_evals = 0;
   /// Fit jobs skipped because cfg.deadline expired mid-enumeration. Any
   /// nonzero value means the candidate lists were abandoned (returned
   /// empty) and the caller should treat the computation as cancelled.
@@ -112,6 +135,9 @@ struct SeriesExtrapolation {
   std::size_t candidates_realistic = 0;
   std::size_t fits_executed = 0;
   std::size_t duplicate_fits_eliminated = 0;
+  /// LM point evaluations spent by the batched engine (0 under kReference);
+  /// accounting only, never serialised.
+  std::size_t levmar_point_evals = 0;
 
   std::vector<double> predict(const std::vector<int>& cores) const {
     return best.eval_many(cores);

@@ -53,14 +53,20 @@ std::optional<FittedFunction> fit_linear_kernel(
   return FittedFunction{type, std::move(*p), y_scale};
 }
 
-// Rational / ExpRat kernels: linearised initial guess + LM refinement.
-std::optional<FittedFunction> fit_nonlinear_kernel(
+// Starting points for the LM refinement of a nonlinear kernel: the
+// linearised least-squares guess when the data admits one, plus two bland
+// fallbacks. Shared by the scalar and the batched fitting paths so both
+// refine from byte-identical starts.
+//
+// ExpRat's linearisation requires positive values, so it is skipped on
+// mixed-sign data — but the bland fallback starts still run: LM itself
+// needs no positivity, and a series with a single zero point would
+// otherwise lose the ExpRat candidate entirely.
+std::vector<std::vector<double>> nonlinear_starts(
     KernelType type, const std::vector<double>& xs,
-    const std::vector<double>& ys_scaled, double y_scale,
-    const FitOptions& opts) {
+    const std::vector<double>& ys_scaled, const FitOptions& opts) {
   const std::size_t k = kernel_param_count(type);
 
-  // ExpRat's linearisation requires positive values.
   const bool needs_positive = type == KernelType::kExpRat;
   bool all_positive = true;
   for (double y : ys_scaled) {
@@ -83,26 +89,32 @@ std::optional<FittedFunction> fit_nonlinear_kernel(
       starts.push_back(std::move(*p));
     }
   }
-  if (needs_positive && !all_positive) return std::nullopt;
 
   // A couple of bland fallback starts so LM has somewhere to begin even if
   // the linearisation was degenerate.
-  {
-    std::vector<double> flat(k, 0.0);
-    // Constant-at-mean start: a0 = mean(y), everything else 0.
-    double meany = 0.0;
-    for (double y : ys_scaled) meany += y;
-    meany /= static_cast<double>(ys_scaled.size());
-    if (type == KernelType::kExpRat) {
-      flat[0] = std::log(std::max(meany, kTiny));
-    } else {
-      flat[0] = meany;
-    }
-    starts.push_back(flat);
-    std::vector<double> gentle(k, 0.01);
-    gentle[0] = flat[0];
-    starts.push_back(gentle);
+  std::vector<double> flat(k, 0.0);
+  // Constant-at-mean start: a0 = mean(y), everything else 0.
+  double meany = 0.0;
+  for (double y : ys_scaled) meany += y;
+  meany /= static_cast<double>(ys_scaled.size());
+  if (type == KernelType::kExpRat) {
+    flat[0] = std::log(std::max(meany, kTiny));
+  } else {
+    flat[0] = meany;
   }
+  starts.push_back(flat);
+  std::vector<double> gentle(k, 0.01);
+  gentle[0] = flat[0];
+  starts.push_back(gentle);
+  return starts;
+}
+
+// Rational / ExpRat kernels: linearised initial guess + LM refinement.
+std::optional<FittedFunction> fit_nonlinear_kernel(
+    KernelType type, const std::vector<double>& xs,
+    const std::vector<double>& ys_scaled, double y_scale,
+    const FitOptions& opts) {
+  auto starts = nonlinear_starts(type, xs, ys_scaled, opts);
 
   numeric::LevMarOptions lm;
   lm.max_iterations = opts.levmar_max_iterations;
@@ -151,7 +163,10 @@ bool is_realistic(const FittedFunction& f, const RealismOptions& opts,
   // un-capped walk did thousands of kernel evals per candidate and
   // dominated enumeration time, while a pole narrower than the capped grid
   // spacing is not reachable from a fit through integer core counts.
-  const double lo = opts.range_min;
+  // Core counts are positive, so a range_min <= 0 (callers may pass 0 for
+  // "from the start") is clamped: walking CubicLn through log(n <= 0)
+  // would NaN-reject perfectly good fits over the real range.
+  const double lo = opts.range_min > 0.0 ? opts.range_min : 1.0;
   const double hi = std::max(opts.range_max, lo + 1.0);
   const int steps = std::min(std::max(64, static_cast<int>((hi - lo) * 4)),
                              std::max(opts.max_steps, 1));
@@ -185,9 +200,14 @@ std::optional<FittedFunction> fit_kernel(KernelType type,
     if (!(x > 0.0)) return std::nullopt;  // core counts are positive
   }
 
-  // Scale values to O(1) for conditioning. All-zero series fit trivially.
+  // Scale values to O(1) for conditioning. All-zero series fit trivially —
+  // but only for kernels where zero params evaluate to zero. ExpRat has no
+  // parameter vector producing the zero function (exp(anything) > 0), and
+  // zero params mean exp(0) = 1: returning them would answer an all-zero
+  // campaign with a prediction of 1.0.
   const double scale = max_abs(ys);
   if (scale <= 0.0) {
+    if (type == KernelType::kExpRat) return std::nullopt;
     std::vector<double> zeros(kernel_param_count(type), 0.0);
     return FittedFunction{type, std::move(zeros), 1.0};
   }
@@ -198,6 +218,219 @@ std::optional<FittedFunction> fit_kernel(KernelType type,
     return fit_linear_kernel(type, xs, ys_scaled, scale, opts);
   }
   return fit_nonlinear_kernel(type, xs, ys_scaled, scale, opts);
+}
+
+// ---------------------------------------------------------------------------
+// SoA batched fitting path.
+
+namespace {
+
+// Panel-model adapter for the multi-problem LM engine: evaluates one
+// kernel over the leading points of the shared input tables, each set
+// covering its own ms[s] points (the fused rounds mix prefix lengths).
+struct KernelPanelCtx {
+  KernelType type;
+  const EvalTables* tables;
+  std::size_t max_m;
+};
+
+void kernel_panel_eval(const void* vctx, const double* panel,
+                       const std::size_t* ms, std::size_t n_sets, double* out,
+                       std::size_t out_stride) {
+  const auto* c = static_cast<const KernelPanelCtx*>(vctx);
+  kernel_eval_panel_v(c->type, *c->tables, ms, c->max_m, out_stride, panel,
+                      n_sets, out);
+}
+
+}  // namespace
+
+void RealismGrid::build(const RealismOptions& opts) {
+  // Must mirror the is_realistic walk exactly: same clamped lo, same hi,
+  // same step count, same per-point arithmetic — so the grid points are
+  // the same doubles the scalar walk visits.
+  const double lo = opts.range_min > 0.0 ? opts.range_min : 1.0;
+  const double hi = std::max(opts.range_max, lo + 1.0);
+  steps = std::min(std::max(64, static_cast<int>((hi - lo) * 4)),
+                   std::max(opts.max_steps, 1));
+  std::vector<double> pts(static_cast<std::size_t>(steps) + 1);
+  for (int s = 0; s <= steps; ++s) {
+    pts[static_cast<std::size_t>(s)] =
+        lo + (hi - lo) * static_cast<double>(s) / steps;
+  }
+  tables.assign(pts);
+}
+
+void realism_walk_eval(const FittedFunction& f, const RealismGrid& grid,
+                       std::vector<double>& vals, std::vector<double>& dens) {
+  const std::size_t count = grid.tables.size();
+  vals.resize(count);
+  dens.resize(count);
+  kernel_eval_panel(f.type, grid.tables, count, f.params.data(), 1,
+                    vals.data());
+  // f(n) = y_scale * kernel_eval(n): same multiplication the scalar
+  // FittedFunction::operator() performs, applied after the panel.
+  const double y_scale = f.y_scale;
+  for (std::size_t i = 0; i < count; ++i) vals[i] = y_scale * vals[i];
+  kernel_denominator_batch(f.type, grid.tables, count, f.params, dens.data());
+}
+
+bool realism_scan(const double* vals, const double* dens, int steps,
+                  const RealismOptions& opts, double data_max_abs,
+                  bool data_nonnegative) {
+  const double bound =
+      opts.explosion_factor * std::max(data_max_abs, kTiny);
+  const double neg_floor =
+      -opts.negativity_slack * std::max(data_max_abs, kTiny);
+  double prev_den = 0.0;
+  bool have_prev = false;
+  for (int s = 0; s <= steps; ++s) {
+    const double v = vals[s];
+    if (!std::isfinite(v)) return false;
+    if (std::fabs(v) > bound) return false;
+    if (data_nonnegative && opts.require_nonnegative && v < neg_floor) {
+      return false;
+    }
+    const double den = dens[s];
+    if (std::fabs(den) < 1e-9) return false;  // pole (or nearly) in range
+    if (have_prev && std::signbit(den) != std::signbit(prev_den)) {
+      return false;  // denominator crosses zero inside the range
+    }
+    prev_den = den;
+    have_prev = true;
+  }
+  return true;
+}
+
+void fit_kernel_over_prefixes(KernelType type, const std::vector<double>& xs,
+                              const EvalTables& tables,
+                              const std::vector<double>& values,
+                              const std::size_t* prefixes,
+                              std::size_t n_prefixes, const FitOptions& opts,
+                              FitBatchWorkspace& ws,
+                              std::optional<FittedFunction>* out) {
+  for (std::size_t j = 0; j < n_prefixes; ++j) out[j].reset();
+  if (n_prefixes == 0) return;
+
+  // Core counts must be positive over the prefix (fit_kernel's guard). The
+  // points are shared, so one scan yields the longest admissible prefix.
+  std::size_t positive_limit = 0;
+  while (positive_limit < xs.size() && xs[positive_limit] > 0.0) {
+    ++positive_limit;
+  }
+
+  const bool linear = kernel_is_linear(type);
+  numeric::LevMarOptions lm;
+  lm.max_iterations = opts.levmar_max_iterations;
+
+  // Gather phase: walk the prefixes once, resolving the cheap outcomes
+  // (guards, all-zero shortcut, linear QR solves) inline and staging every
+  // nonlinear (prefix, LM start) pair as one problem of a single lockstep
+  // multi-LM batch.
+  ws.ys_all.clear();
+  ws.starts.clear();
+  ws.prob_m.clear();
+  ws.ys_off.clear();
+  ws.prob_lo.assign(n_prefixes, 0);
+  ws.prob_hi.assign(n_prefixes, 0);
+  ws.pref_scale.assign(n_prefixes, 0.0);
+  const std::size_t np = kernel_param_count(type);
+  std::size_t max_m = 0;
+
+  for (std::size_t j = 0; j < n_prefixes; ++j) {
+    const std::size_t prefix = prefixes[j];
+    if (prefix > xs.size() || prefix > values.size() || prefix < 2) continue;
+    if (prefix > positive_limit) continue;
+
+    double scale = 0.0;
+    for (std::size_t i = 0; i < prefix; ++i) {
+      scale = std::max(scale, std::fabs(values[i]));
+    }
+    if (scale <= 0.0) {
+      // All-zero series fit trivially — except ExpRat, for which zero
+      // params mean exp(0) = 1, not 0 (see fit_kernel).
+      if (type != KernelType::kExpRat) {
+        std::vector<double> zeros(np, 0.0);
+        out[j] = FittedFunction{type, std::move(zeros), 1.0};
+      }
+      continue;
+    }
+
+    ws.pxs.assign(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(prefix));
+    ws.ys_scaled.resize(prefix);
+    for (std::size_t i = 0; i < prefix; ++i) {
+      ws.ys_scaled[i] = values[i] / scale;
+    }
+
+    if (linear) {
+      out[j] = fit_linear_kernel(type, ws.pxs, ws.ys_scaled, scale, opts);
+      continue;
+    }
+
+    const auto starts = nonlinear_starts(type, ws.pxs, ws.ys_scaled, opts);
+    if (starts.empty()) continue;
+    const std::size_t y_off = ws.ys_all.size();
+    ws.ys_all.insert(ws.ys_all.end(), ws.ys_scaled.begin(),
+                     ws.ys_scaled.end());
+    ws.pref_scale[j] = scale;
+    ws.prob_lo[j] = ws.prob_m.size();
+    for (const auto& start : starts) {
+      ws.starts.insert(ws.starts.end(), start.begin(), start.end());
+      ws.prob_m.push_back(prefix);
+      ws.ys_off.push_back(y_off);
+    }
+    ws.prob_hi[j] = ws.prob_m.size();
+    max_m = std::max(max_m, prefix);
+  }
+
+  const std::size_t n_probs = ws.prob_m.size();
+  if (n_probs == 0) return;
+
+  KernelPanelCtx ctx{type, &tables, max_m};
+  numeric::PanelModel model{&kernel_panel_eval, &ctx, np, max_m};
+  if (ws.lm_results.size() < n_probs) ws.lm_results.resize(n_probs);
+  numeric::levenberg_marquardt_multi(
+      model, ws.ys_all.data(), ws.ys_off.data(), ws.prob_m.data(),
+      ws.starts.data(), n_probs, lm, ws.lm, ws.lm_results.data());
+  for (std::size_t s = 0; s < n_probs; ++s) {
+    ws.model_evals += ws.lm_results[s].model_evals;
+  }
+
+  // Scatter phase: best-of-starts per prefix, same rule and order as the
+  // scalar path (each problem's LM trajectory is bit-identical to a
+  // sequential fit, so the winner is the scalar winner).
+  for (std::size_t j = 0; j < n_prefixes; ++j) {
+    if (ws.prob_lo[j] == ws.prob_hi[j]) continue;
+    std::optional<FittedFunction> best;
+    double best_rmse = std::numeric_limits<double>::infinity();
+    for (std::size_t s = ws.prob_lo[j]; s < ws.prob_hi[j]; ++s) {
+      numeric::LevMarResult& res = ws.lm_results[s];
+      if (!std::isfinite(res.rmse)) continue;
+      bool finite = true;
+      for (double v : res.params) {
+        if (!std::isfinite(v)) {
+          finite = false;
+          break;
+        }
+      }
+      if (!finite) continue;
+      if (res.rmse < best_rmse) {
+        best_rmse = res.rmse;
+        best = FittedFunction{type, res.params, ws.pref_scale[j]};
+      }
+    }
+    out[j] = std::move(best);
+  }
+}
+
+void fit_kernels_for_prefix(
+    const std::vector<double>& xs, const EvalTables& tables,
+    const std::vector<double>& values, std::size_t prefix,
+    const FitOptions& opts, FitBatchWorkspace& ws,
+    std::array<std::optional<FittedFunction>, kNumKernels>& out) {
+  for (std::size_t k = 0; k < kNumKernels; ++k) {
+    fit_kernel_over_prefixes(kAllKernels[k], xs, tables, values, &prefix, 1,
+                             opts, ws, &out[k]);
+  }
 }
 
 }  // namespace estima::core

@@ -8,10 +8,12 @@
 // not realistic for this approximation" (Section 3.1.2).
 #pragma once
 
+#include <array>
 #include <optional>
 #include <vector>
 
 #include "core/kernels.hpp"
+#include "numeric/levmar.hpp"
 
 namespace estima::core {
 
@@ -43,5 +45,92 @@ std::optional<FittedFunction> fit_kernel(KernelType type,
                                          const std::vector<double>& xs,
                                          const std::vector<double>& ys,
                                          const FitOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// SoA batched fitting path. Everything below produces results bit-identical
+// to the scalar entry points above (fit_kernel / is_realistic); it differs
+// only in how the work is laid out: per-kernel parameter panels, shared
+// precomputed input tables, and Levenberg-Marquardt starts advanced in
+// lockstep so model evaluations fuse into panel calls.
+
+/// Number of Table-1 kernels (the width of a per-prefix fit batch).
+inline constexpr std::size_t kNumKernels = kAllKernels.size();
+
+/// The realism pole-walk grid for one RealismOptions: the walk points plus
+/// their log/sqrt tables, precomputed once per enumeration and shared by
+/// every candidate (the grid depends only on the range, never on the fit).
+struct RealismGrid {
+  int steps = 0;       ///< the walk visits steps + 1 points
+  EvalTables tables;   ///< grid points (and ln/sqrt) in walk order
+
+  /// Builds the grid exactly as the scalar is_realistic walk does:
+  /// same clamped lo, same hi, same step count, same point arithmetic.
+  void build(const RealismOptions& opts);
+};
+
+/// Evaluates f and its kernel denominator over the whole grid: vals[i] =
+/// f(grid point i) and dens[i] = kernel_denominator at that point, each
+/// bit-identical to the scalar calls inside is_realistic. Buffers are
+/// resized in place.
+void realism_walk_eval(const FittedFunction& f, const RealismGrid& grid,
+                       std::vector<double>& vals, std::vector<double>& dens);
+
+/// The realism predicate over precomputed walk values: applies the same
+/// checks in the same order as is_realistic, so
+///   realism_scan(walk values of f) == is_realistic(f)
+/// for every fit and every filter sharing the grid's range.
+bool realism_scan(const double* vals, const double* dens, int steps,
+                  const RealismOptions& opts, double data_max_abs,
+                  bool data_nonnegative);
+
+/// Per-thread scratch for the batched fitting path: the multi-problem LM
+/// workspace plus every prefix-local buffer, reused across thousands of
+/// prefixes with no steady-state allocation.
+struct FitBatchWorkspace {
+  numeric::MultiLevMarWorkspace lm;
+  std::vector<numeric::LevMarResult> lm_results;
+  std::vector<double> pxs;        ///< prefix copy of the core counts
+  std::vector<double> ys_scaled;  ///< prefix values scaled to O(1)
+  std::vector<double> ys_all;     ///< concatenated scaled prefix values
+  std::vector<double> starts;     ///< staged LM starts, one panel per kernel
+  std::vector<std::size_t> prob_m, ys_off;   ///< per-LM-problem shape
+  std::vector<std::size_t> prob_lo, prob_hi; ///< per-prefix problem ranges
+  std::vector<double> pref_scale;            ///< per-prefix value scaling
+  std::vector<double> walk_vals, walk_dens;  ///< realism walk buffers
+  std::vector<double> pred_vals;  ///< batched prediction buffer
+  std::vector<double> cand_panel; ///< realism candidate parameter panel
+  /// LM model point evaluations, accumulated (+=) by
+  /// fit_kernel_over_prefixes; reset it before a batch to meter one call.
+  std::size_t model_evals = 0;
+};
+
+/// Fits ONE Table-1 kernel to every requested prefix of (xs, values) in a
+/// single batched pass — the kernel-major layout of the enumeration loop.
+/// Linear kernels solve each prefix by QR exactly as fit_kernel does; for
+/// the nonlinear kernels every (prefix, LM start) pair becomes one problem
+/// of a single lockstep levenberg_marquardt_multi call, so the model
+/// evaluations of all prefixes fuse into shared SoA panels and the damping
+/// factorizations of independent prefixes interleave. `tables` holds the
+/// precomputed EvalTables of the *full* xs; prefix j reads its leading
+/// prefixes[j] entries. out[j] receives the fit for prefixes[j],
+/// bit-identical to fit_kernel(type, xs[0..prefixes[j]),
+/// values[0..prefixes[j]), opts).
+void fit_kernel_over_prefixes(KernelType type, const std::vector<double>& xs,
+                              const EvalTables& tables,
+                              const std::vector<double>& values,
+                              const std::size_t* prefixes,
+                              std::size_t n_prefixes, const FitOptions& opts,
+                              FitBatchWorkspace& ws,
+                              std::optional<FittedFunction>* out);
+
+/// Fits all six Table-1 kernels to the first `prefix` points of
+/// (xs, values): a one-prefix wrapper over fit_kernel_over_prefixes.
+/// out[k] receives the fit of kAllKernels[k], bit-identical to
+/// fit_kernel(kAllKernels[k], xs[0..prefix), values[0..prefix), opts).
+void fit_kernels_for_prefix(
+    const std::vector<double>& xs, const EvalTables& tables,
+    const std::vector<double>& values, std::size_t prefix,
+    const FitOptions& opts, FitBatchWorkspace& ws,
+    std::array<std::optional<FittedFunction>, kNumKernels>& out);
 
 }  // namespace estima::core

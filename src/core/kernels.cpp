@@ -6,36 +6,163 @@
 namespace estima::core {
 namespace {
 
-double rat_eval(const std::vector<double>& p, double n, std::size_t num_deg,
-                std::size_t den_deg) {
-  // Numerator: p[0..num_deg], denominator: 1 + p[num_deg+1..] * n^k.
-  double num = 0.0;
-  double pow_n = 1.0;
-  for (std::size_t k = 0; k <= num_deg; ++k) {
-    num += p[k] * pow_n;
-    pow_n *= n;
-  }
-  double den = 1.0;
-  pow_n = n;
-  for (std::size_t k = 1; k <= den_deg; ++k) {
-    den += p[num_deg + k] * pow_n;
-    pow_n *= n;
-  }
+// Per-point kernel forms, shared verbatim by the scalar, batched and SoA
+// panel entry points so all three agree bit-for-bit. The arithmetic
+// reproduces the original power-accumulation loops exactly: sums associate
+// left starting from the accumulator seed (0.0 for numerators, 1.0 for
+// denominators) and powers are built by repeated multiplication
+// (n2 = n * n, n3 = n2 * n), so the restructuring cannot move a rounding.
+// The leading `0.0 +` on the rational numerators is not dead code: the
+// original accumulator started at 0.0, which turns a -0.0 first term into
+// +0.0; dropping it could flip the sign of an all-zero numerator.
+//
+// Every parameter is received by value (hoisted out of the parameter
+// vector by the caller), so the point loops below carry no per-point
+// std::vector indirection and vectorize.
+
+inline double rat22_point(double n, double a0, double a1, double a2,
+                          double b1, double b2) {
+  const double n2 = n * n;
+  const double num = 0.0 + a0 + a1 * n + a2 * n2;
+  const double den = 1.0 + b1 * n + b2 * n2;
   return num / den;
 }
 
-double rat_denominator(const std::vector<double>& p, double n,
-                       std::size_t num_deg, std::size_t den_deg) {
-  double den = 1.0;
-  double pow_n = n;
-  for (std::size_t k = 1; k <= den_deg; ++k) {
-    den += p[num_deg + k] * pow_n;
-    pow_n *= n;
+inline double rat23_point(double n, double a0, double a1, double a2,
+                          double b1, double b2, double b3) {
+  const double n2 = n * n;
+  const double n3 = n2 * n;
+  const double num = 0.0 + a0 + a1 * n + a2 * n2;
+  const double den = 1.0 + b1 * n + b2 * n2 + b3 * n3;
+  return num / den;
+}
+
+inline double rat33_point(double n, double a0, double a1, double a2,
+                          double a3, double b1, double b2, double b3) {
+  const double n2 = n * n;
+  const double n3 = n2 * n;
+  const double num = 0.0 + a0 + a1 * n + a2 * n2 + a3 * n3;
+  const double den = 1.0 + b1 * n + b2 * n2 + b3 * n3;
+  return num / den;
+}
+
+inline double cubicln_point(double l, double a, double b, double c,
+                            double d) {
+  return a + b * l + c * l * l + d * l * l * l;
+}
+
+inline double exprat_point(double n, double a, double b, double d) {
+  return std::exp((a + b * n) / (1.0 + d * n));
+}
+
+inline double poly25_point(double n, double sq, double a, double b, double c,
+                           double d) {
+  return a + b * n + c * n * n + d * n * n * sq;
+}
+
+// SoA panel loops: one function per kernel, parameters hoisted per set,
+// inner loop over contiguous points. `n_params` strides the panel. Each
+// set s covers its own point count (ms[s], or the uniform m when ms is
+// null — the lockstep LM batches problems of different prefix lengths)
+// and writes out + s * stride.
+
+void rat22_panel(const double* ns, const std::size_t* ms, std::size_t m,
+                 std::size_t stride, const double* panel, std::size_t n_sets,
+                 double* out) {
+  for (std::size_t s = 0; s < n_sets; ++s) {
+    const double* p = panel + s * 5;
+    const double a0 = p[0], a1 = p[1], a2 = p[2], b1 = p[3], b2 = p[4];
+    const std::size_t mi = ms != nullptr ? ms[s] : m;
+    double* row = out + s * stride;
+    for (std::size_t i = 0; i < mi; ++i) {
+      row[i] = rat22_point(ns[i], a0, a1, a2, b1, b2);
+    }
   }
-  return den;
+}
+
+void rat23_panel(const double* ns, const std::size_t* ms, std::size_t m,
+                 std::size_t stride, const double* panel, std::size_t n_sets,
+                 double* out) {
+  for (std::size_t s = 0; s < n_sets; ++s) {
+    const double* p = panel + s * 6;
+    const double a0 = p[0], a1 = p[1], a2 = p[2];
+    const double b1 = p[3], b2 = p[4], b3 = p[5];
+    const std::size_t mi = ms != nullptr ? ms[s] : m;
+    double* row = out + s * stride;
+    for (std::size_t i = 0; i < mi; ++i) {
+      row[i] = rat23_point(ns[i], a0, a1, a2, b1, b2, b3);
+    }
+  }
+}
+
+void rat33_panel(const double* ns, const std::size_t* ms, std::size_t m,
+                 std::size_t stride, const double* panel, std::size_t n_sets,
+                 double* out) {
+  for (std::size_t s = 0; s < n_sets; ++s) {
+    const double* p = panel + s * 7;
+    const double a0 = p[0], a1 = p[1], a2 = p[2], a3 = p[3];
+    const double b1 = p[4], b2 = p[5], b3 = p[6];
+    const std::size_t mi = ms != nullptr ? ms[s] : m;
+    double* row = out + s * stride;
+    for (std::size_t i = 0; i < mi; ++i) {
+      row[i] = rat33_point(ns[i], a0, a1, a2, a3, b1, b2, b3);
+    }
+  }
+}
+
+void cubicln_panel(const double* ls, const std::size_t* ms, std::size_t m,
+                   std::size_t stride, const double* panel, std::size_t n_sets,
+                   double* out) {
+  for (std::size_t s = 0; s < n_sets; ++s) {
+    const double* p = panel + s * 4;
+    const double a = p[0], b = p[1], c = p[2], d = p[3];
+    const std::size_t mi = ms != nullptr ? ms[s] : m;
+    double* row = out + s * stride;
+    for (std::size_t i = 0; i < mi; ++i) {
+      row[i] = cubicln_point(ls[i], a, b, c, d);
+    }
+  }
+}
+
+void exprat_panel(const double* ns, const std::size_t* ms, std::size_t m,
+                  std::size_t stride, const double* panel, std::size_t n_sets,
+                  double* out) {
+  for (std::size_t s = 0; s < n_sets; ++s) {
+    const double* p = panel + s * 3;
+    const double a = p[0], b = p[1], d = p[2];
+    const std::size_t mi = ms != nullptr ? ms[s] : m;
+    double* row = out + s * stride;
+    for (std::size_t i = 0; i < mi; ++i) {
+      row[i] = exprat_point(ns[i], a, b, d);
+    }
+  }
+}
+
+void poly25_panel(const double* ns, const double* sqs, const std::size_t* ms,
+                  std::size_t m, std::size_t stride, const double* panel,
+                  std::size_t n_sets, double* out) {
+  for (std::size_t s = 0; s < n_sets; ++s) {
+    const double* p = panel + s * 4;
+    const double a = p[0], b = p[1], c = p[2], d = p[3];
+    const std::size_t mi = ms != nullptr ? ms[s] : m;
+    double* row = out + s * stride;
+    for (std::size_t i = 0; i < mi; ++i) {
+      row[i] = poly25_point(ns[i], sqs[i], a, b, c, d);
+    }
+  }
 }
 
 }  // namespace
+
+void EvalTables::assign(const double* xs, std::size_t count) {
+  n.assign(xs, xs + count);
+  ln_n.resize(count);
+  sqrt_n.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ln_n[i] = std::log(xs[i]);
+    sqrt_n[i] = std::sqrt(xs[i]);
+  }
+}
 
 std::string kernel_name(KernelType type) {
   switch (type) {
@@ -74,20 +201,18 @@ bool kernel_is_linear(KernelType type) {
 
 double kernel_eval(KernelType type, double n, const std::vector<double>& p) {
   switch (type) {
-    case KernelType::kRat22: return rat_eval(p, n, 2, 2);
-    case KernelType::kRat23: return rat_eval(p, n, 2, 3);
-    case KernelType::kRat33: return rat_eval(p, n, 3, 3);
-    case KernelType::kCubicLn: {
-      const double l = std::log(n);
-      return p[0] + p[1] * l + p[2] * l * l + p[3] * l * l * l;
-    }
-    case KernelType::kExpRat: {
-      // exp((a + b n) / (1 + d n)); parameters (a, b, d).
-      return std::exp((p[0] + p[1] * n) / (1.0 + p[2] * n));
-    }
-    case KernelType::kPoly25: {
-      return p[0] + p[1] * n + p[2] * n * n + p[3] * n * n * std::sqrt(n);
-    }
+    case KernelType::kRat22:
+      return rat22_point(n, p[0], p[1], p[2], p[3], p[4]);
+    case KernelType::kRat23:
+      return rat23_point(n, p[0], p[1], p[2], p[3], p[4], p[5]);
+    case KernelType::kRat33:
+      return rat33_point(n, p[0], p[1], p[2], p[3], p[4], p[5], p[6]);
+    case KernelType::kCubicLn:
+      return cubicln_point(std::log(n), p[0], p[1], p[2], p[3]);
+    case KernelType::kExpRat:
+      return exprat_point(n, p[0], p[1], p[2]);
+    case KernelType::kPoly25:
+      return poly25_point(n, std::sqrt(n), p[0], p[1], p[2], p[3]);
   }
   return std::nan("");
 }
@@ -96,56 +221,217 @@ void kernel_eval_batch(KernelType type, const std::vector<double>& xs,
                        const std::vector<double>& p,
                        std::vector<double>& out) {
   out.resize(xs.size());
+  const std::size_t m = xs.size();
+  const double* ns = xs.data();
+  double* o = out.data();
   switch (type) {
-    case KernelType::kRat22:
-      for (std::size_t i = 0; i < xs.size(); ++i) {
-        out[i] = rat_eval(p, xs[i], 2, 2);
+    case KernelType::kRat22: {
+      const double a0 = p[0], a1 = p[1], a2 = p[2], b1 = p[3], b2 = p[4];
+      for (std::size_t i = 0; i < m; ++i) {
+        o[i] = rat22_point(ns[i], a0, a1, a2, b1, b2);
       }
       return;
-    case KernelType::kRat23:
-      for (std::size_t i = 0; i < xs.size(); ++i) {
-        out[i] = rat_eval(p, xs[i], 2, 3);
+    }
+    case KernelType::kRat23: {
+      const double a0 = p[0], a1 = p[1], a2 = p[2];
+      const double b1 = p[3], b2 = p[4], b3 = p[5];
+      for (std::size_t i = 0; i < m; ++i) {
+        o[i] = rat23_point(ns[i], a0, a1, a2, b1, b2, b3);
       }
       return;
-    case KernelType::kRat33:
-      for (std::size_t i = 0; i < xs.size(); ++i) {
-        out[i] = rat_eval(p, xs[i], 3, 3);
+    }
+    case KernelType::kRat33: {
+      const double a0 = p[0], a1 = p[1], a2 = p[2], a3 = p[3];
+      const double b1 = p[4], b2 = p[5], b3 = p[6];
+      for (std::size_t i = 0; i < m; ++i) {
+        o[i] = rat33_point(ns[i], a0, a1, a2, a3, b1, b2, b3);
       }
       return;
-    case KernelType::kCubicLn:
-      for (std::size_t i = 0; i < xs.size(); ++i) {
-        const double l = std::log(xs[i]);
-        out[i] = p[0] + p[1] * l + p[2] * l * l + p[3] * l * l * l;
+    }
+    case KernelType::kCubicLn: {
+      const double a = p[0], b = p[1], c = p[2], d = p[3];
+      for (std::size_t i = 0; i < m; ++i) {
+        o[i] = cubicln_point(std::log(ns[i]), a, b, c, d);
       }
       return;
-    case KernelType::kExpRat:
-      for (std::size_t i = 0; i < xs.size(); ++i) {
-        const double n = xs[i];
-        out[i] = std::exp((p[0] + p[1] * n) / (1.0 + p[2] * n));
+    }
+    case KernelType::kExpRat: {
+      const double a = p[0], b = p[1], d = p[2];
+      for (std::size_t i = 0; i < m; ++i) {
+        o[i] = exprat_point(ns[i], a, b, d);
       }
       return;
-    case KernelType::kPoly25:
-      for (std::size_t i = 0; i < xs.size(); ++i) {
-        const double n = xs[i];
-        out[i] = p[0] + p[1] * n + p[2] * n * n + p[3] * n * n * std::sqrt(n);
+    }
+    case KernelType::kPoly25: {
+      const double a = p[0], b = p[1], c = p[2], d = p[3];
+      for (std::size_t i = 0; i < m; ++i) {
+        o[i] = poly25_point(ns[i], std::sqrt(ns[i]), a, b, c, d);
       }
       return;
+    }
   }
   for (double& v : out) v = std::nan("");
+}
+
+void kernel_eval_panel_v(KernelType type, const EvalTables& t,
+                         const std::size_t* ms, std::size_t m,
+                         std::size_t out_stride, const double* panel,
+                         std::size_t n_sets, double* out) {
+  const double* ns = t.n.data();
+  switch (type) {
+    case KernelType::kRat22:
+      rat22_panel(ns, ms, m, out_stride, panel, n_sets, out);
+      return;
+    case KernelType::kRat23:
+      rat23_panel(ns, ms, m, out_stride, panel, n_sets, out);
+      return;
+    case KernelType::kRat33:
+      rat33_panel(ns, ms, m, out_stride, panel, n_sets, out);
+      return;
+    case KernelType::kCubicLn:
+      cubicln_panel(t.ln_n.data(), ms, m, out_stride, panel, n_sets, out);
+      return;
+    case KernelType::kExpRat:
+      exprat_panel(ns, ms, m, out_stride, panel, n_sets, out);
+      return;
+    case KernelType::kPoly25:
+      poly25_panel(ns, t.sqrt_n.data(), ms, m, out_stride, panel, n_sets, out);
+      return;
+  }
+  for (std::size_t s = 0; s < n_sets; ++s) {
+    const std::size_t mi = ms != nullptr ? ms[s] : m;
+    for (std::size_t i = 0; i < mi; ++i) out[s * out_stride + i] = std::nan("");
+  }
+}
+
+void kernel_eval_panel(KernelType type, const EvalTables& t, std::size_t m,
+                       const double* panel, std::size_t n_sets, double* out) {
+  kernel_eval_panel_v(type, t, nullptr, m, m, panel, n_sets, out);
 }
 
 double kernel_denominator(KernelType type, double n,
                           const std::vector<double>& p) {
   switch (type) {
-    case KernelType::kRat22: return rat_denominator(p, n, 2, 2);
-    case KernelType::kRat23: return rat_denominator(p, n, 2, 3);
-    case KernelType::kRat33: return rat_denominator(p, n, 3, 3);
-    case KernelType::kExpRat: return 1.0 + p[2] * n;
+    case KernelType::kRat22:
+      return 1.0 + p[3] * n + p[4] * (n * n);
+    case KernelType::kRat23: {
+      const double n2 = n * n;
+      return 1.0 + p[3] * n + p[4] * n2 + p[5] * (n2 * n);
+    }
+    case KernelType::kRat33: {
+      const double n2 = n * n;
+      return 1.0 + p[4] * n + p[5] * n2 + p[6] * (n2 * n);
+    }
+    case KernelType::kExpRat:
+      return 1.0 + p[2] * n;
     case KernelType::kCubicLn:
     case KernelType::kPoly25:
       return 1.0;
   }
   return 1.0;
+}
+
+void kernel_denominator_batch(KernelType type, const EvalTables& t,
+                              std::size_t m, const std::vector<double>& p,
+                              double* out) {
+  const double* ns = t.n.data();
+  switch (type) {
+    case KernelType::kRat22: {
+      const double b1 = p[3], b2 = p[4];
+      for (std::size_t i = 0; i < m; ++i) {
+        const double n = ns[i];
+        out[i] = 1.0 + b1 * n + b2 * (n * n);
+      }
+      return;
+    }
+    case KernelType::kRat23: {
+      const double b1 = p[3], b2 = p[4], b3 = p[5];
+      for (std::size_t i = 0; i < m; ++i) {
+        const double n = ns[i];
+        const double n2 = n * n;
+        out[i] = 1.0 + b1 * n + b2 * n2 + b3 * (n2 * n);
+      }
+      return;
+    }
+    case KernelType::kRat33: {
+      const double b1 = p[4], b2 = p[5], b3 = p[6];
+      for (std::size_t i = 0; i < m; ++i) {
+        const double n = ns[i];
+        const double n2 = n * n;
+        out[i] = 1.0 + b1 * n + b2 * n2 + b3 * (n2 * n);
+      }
+      return;
+    }
+    case KernelType::kExpRat: {
+      const double d = p[2];
+      for (std::size_t i = 0; i < m; ++i) out[i] = 1.0 + d * ns[i];
+      return;
+    }
+    case KernelType::kCubicLn:
+    case KernelType::kPoly25:
+      for (std::size_t i = 0; i < m; ++i) out[i] = 1.0;
+      return;
+  }
+  for (std::size_t i = 0; i < m; ++i) out[i] = 1.0;
+}
+
+void kernel_denominator_panel(KernelType type, const EvalTables& t,
+                              std::size_t m, const double* panel,
+                              std::size_t n_sets, double* out) {
+  const double* ns = t.n.data();
+  switch (type) {
+    case KernelType::kRat22: {
+      for (std::size_t s = 0; s < n_sets; ++s) {
+        const double* p = panel + s * 5;
+        const double b1 = p[3], b2 = p[4];
+        double* row = out + s * m;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double n = ns[i];
+          row[i] = 1.0 + b1 * n + b2 * (n * n);
+        }
+      }
+      return;
+    }
+    case KernelType::kRat23: {
+      for (std::size_t s = 0; s < n_sets; ++s) {
+        const double* p = panel + s * 6;
+        const double b1 = p[3], b2 = p[4], b3 = p[5];
+        double* row = out + s * m;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double n = ns[i];
+          const double n2 = n * n;
+          row[i] = 1.0 + b1 * n + b2 * n2 + b3 * (n2 * n);
+        }
+      }
+      return;
+    }
+    case KernelType::kRat33: {
+      for (std::size_t s = 0; s < n_sets; ++s) {
+        const double* p = panel + s * 7;
+        const double b1 = p[4], b2 = p[5], b3 = p[6];
+        double* row = out + s * m;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double n = ns[i];
+          const double n2 = n * n;
+          row[i] = 1.0 + b1 * n + b2 * n2 + b3 * (n2 * n);
+        }
+      }
+      return;
+    }
+    case KernelType::kExpRat: {
+      for (std::size_t s = 0; s < n_sets; ++s) {
+        const double d = panel[s * 3 + 2];
+        double* row = out + s * m;
+        for (std::size_t i = 0; i < m; ++i) row[i] = 1.0 + d * ns[i];
+      }
+      return;
+    }
+    case KernelType::kCubicLn:
+    case KernelType::kPoly25:
+      for (std::size_t i = 0; i < n_sets * m; ++i) out[i] = 1.0;
+      return;
+  }
+  for (std::size_t i = 0; i < n_sets * m; ++i) out[i] = 1.0;
 }
 
 std::vector<double> kernel_basis(KernelType type, double n) {

@@ -56,16 +56,66 @@ double kernel_eval(KernelType type, double n, const std::vector<double>& p);
 /// Evaluates the kernel at every point of xs into out (resized in place,
 /// so repeated calls at the same size allocate nothing). One dispatch on
 /// `type` per batch instead of per point — this is the model-evaluation
-/// primitive of the Levenberg-Marquardt hot loop.
+/// primitive of the Levenberg-Marquardt hot loop. Bit-identical per point
+/// to kernel_eval.
 void kernel_eval_batch(KernelType type, const std::vector<double>& xs,
                        const std::vector<double>& p,
                        std::vector<double>& out);
+
+/// Precomputed per-point input tables for the SoA evaluation panel: the
+/// core counts plus their log and square root, so CubicLn/Poly25 panel
+/// evaluations reuse one libm call per point instead of one per (set,
+/// point). The tables hold exactly std::log(x)/std::sqrt(x) of each input,
+/// so table-fed evaluations are bit-identical to the inline forms.
+struct EvalTables {
+  std::vector<double> n;       ///< the inputs themselves
+  std::vector<double> ln_n;    ///< std::log(n[i])
+  std::vector<double> sqrt_n;  ///< std::sqrt(n[i])
+
+  void assign(const double* xs, std::size_t count);
+  void assign(const std::vector<double>& xs) { assign(xs.data(), xs.size()); }
+  std::size_t size() const { return n.size(); }
+};
+
+/// SoA multi-set evaluation: for each of `n_sets` parameter vectors stored
+/// contiguously in `panel` (set s at panel[s * kernel_param_count(type)]),
+/// writes f(t.n[i]; p_s) to out[s * m + i] for i in [0, m). `m` must be
+/// <= t.size(). One dispatch per panel, parameters hoisted to scalars, no
+/// per-point indirection — the loops auto-vectorize. Every output is
+/// bit-identical to the corresponding kernel_eval call.
+void kernel_eval_panel(KernelType type, const EvalTables& t, std::size_t m,
+                       const double* panel, std::size_t n_sets, double* out);
+
+/// Variable-length form of kernel_eval_panel: set s covers ms[s] points
+/// (ms == nullptr means the uniform count m for every set) and writes its
+/// row at out + s * out_stride. This is the panel contract of the lockstep
+/// Levenberg-Marquardt engine, whose fused rounds mix problems of
+/// different prefix lengths. Bit-identical per point to kernel_eval.
+void kernel_eval_panel_v(KernelType type, const EvalTables& t,
+                         const std::size_t* ms, std::size_t m,
+                         std::size_t out_stride, const double* panel,
+                         std::size_t n_sets, double* out);
 
 /// Value of the denominator polynomial at n for the rational kernels and
 /// ExpRat; returns 1.0 for kernels with no denominator. Used by the realism
 /// filter to detect poles inside the extrapolation range.
 double kernel_denominator(KernelType type, double n,
                           const std::vector<double>& p);
+
+/// Batched kernel_denominator over the first m points of the tables:
+/// out[i] = kernel_denominator(type, t.n[i], p), bit-identical to the
+/// scalar form. Feeds the realism pole-walk.
+void kernel_denominator_batch(KernelType type, const EvalTables& t,
+                              std::size_t m, const std::vector<double>& p,
+                              double* out);
+
+/// Multi-set kernel_denominator_batch: parameter set s (at
+/// panel[s * kernel_param_count(type)]) writes its denominators to
+/// out[s * m .. s * m + m). Lets the realism pole-walk evaluate every
+/// candidate of one kernel over a shared grid in a single call.
+void kernel_denominator_panel(KernelType type, const EvalTables& t,
+                              std::size_t m, const double* panel,
+                              std::size_t n_sets, double* out);
 
 /// Basis functions for the linear kernels: returns the design-matrix row
 /// for input n. Only valid for kernels where kernel_is_linear() is true.

@@ -418,10 +418,12 @@ std::uint64_t config_signature(const PredictionConfig& cfg) {
   h.i64(e.realism.max_steps);
   h.f64(e.fit.ridge_lambda);
   h.i64(e.fit.levmar_max_iterations);
-  // e.memoize_fits, e.pool, e.deadline and e.trace deliberately excluded:
+  // e.memoize_fits, e.engine, e.pool, e.deadline and e.trace deliberately
+  // excluded:
   // the *answer* (times, stalls, chosen fits) is bit-identical across all
   // of them — a deadline can only turn an answer into an exception, a
-  // trace only observes where the time went — so
+  // trace only observes where the time went, and the batched fit engine
+  // restructures the work without changing the arithmetic — so
   // cached results stay shareable. Only the work-accounting fields (factor_stats, the
   // per-category fits_executed / duplicate_fits_eliminated) reflect the
   // run that actually computed the prediction — accounting describes the

@@ -154,61 +154,198 @@ std::vector<double> solve_upper_triangular(const Matrix& U,
   return x;
 }
 
+void normal_equations_raw(const double* J, std::size_t m, std::size_t n,
+                          const double* r, double* JtJ, double* Jtr) {
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k <= j; ++k) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < m; ++i) acc += J[i * n + j] * J[i * n + k];
+      JtJ[j * n + k] = acc;
+      JtJ[k * n + j] = acc;
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) acc += J[i * n + j] * r[i];
+    Jtr[j] = acc;
+  }
+}
+
+void normal_equations_cm(const double* Jc, std::size_t ldj, std::size_t m,
+                         std::size_t n, const double* r, double* JtJ,
+                         double* Jtr) {
+  // Same j/k/i loop nest as normal_equations_raw — identical products in
+  // identical summation order, so the outputs are bit-identical; only the
+  // loads are contiguous (column j is one dense run of m doubles).
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* cj = Jc + j * ldj;
+    for (std::size_t k = 0; k <= j; ++k) {
+      const double* ck = Jc + k * ldj;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < m; ++i) acc += cj[i] * ck[i];
+      JtJ[j * n + k] = acc;
+      JtJ[k * n + j] = acc;
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) acc += cj[i] * r[i];
+    Jtr[j] = acc;
+  }
+}
+
 void normal_equations(const Matrix& J, const std::vector<double>& r,
                       Matrix& JtJ, std::vector<double>& Jtr) {
   const std::size_t m = J.rows();
   const std::size_t n = J.cols();
   JtJ.resize(n, n);
   Jtr.assign(n, 0.0);
-  for (std::size_t j = 0; j < n; ++j) {
-    for (std::size_t k = 0; k <= j; ++k) {
-      double acc = 0.0;
-      for (std::size_t i = 0; i < m; ++i) acc += J(i, j) * J(i, k);
-      JtJ(j, k) = acc;
-      JtJ(k, j) = acc;
-    }
-    double acc = 0.0;
-    for (std::size_t i = 0; i < m; ++i) acc += J(i, j) * r[i];
-    Jtr[j] = acc;
-  }
+  normal_equations_raw(J.raw(), m, n, r.data(), JtJ.mutable_data(),
+                       Jtr.data());
 }
 
-bool cholesky_factor(const Matrix& A, Matrix& L) {
-  if (A.rows() != A.cols()) return false;
-  const std::size_t n = A.rows();
-  L.resize(n, n);
+bool cholesky_factor_raw(const double* A, std::size_t n, double* L) {
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j <= i; ++j) {
-      double acc = A(i, j);
-      for (std::size_t k = 0; k < j; ++k) acc -= L(i, k) * L(j, k);
+      double acc = A[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) acc -= L[i * n + k] * L[j * n + k];
       if (i == j) {
         if (acc <= 0.0) return false;
-        L(i, j) = std::sqrt(acc);
+        L[i * n + j] = std::sqrt(acc);
       } else {
-        L(i, j) = acc / L(j, j);
+        L[i * n + j] = acc / L[j * n + j];
       }
     }
   }
   return true;
 }
 
+bool cholesky_factor(const Matrix& A, Matrix& L) {
+  if (A.rows() != A.cols()) return false;
+  const std::size_t n = A.rows();
+  L.resize(n, n);
+  return cholesky_factor_raw(A.raw(), n, L.mutable_data());
+}
+
+void cholesky_solve_raw(const double* L, std::size_t n, const double* b,
+                        double* tmp, double* x) {
+  // Forward: L tmp = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= L[i * n + j] * tmp[j];
+    tmp[i] = L[i * n + i] != 0.0 ? acc / L[i * n + i] : 0.0;
+  }
+  // Backward: L^T x = tmp, reading L's lower triangle transposed in place.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = tmp[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= L[j * n + ii] * x[j];
+    x[ii] = L[ii * n + ii] != 0.0 ? acc / L[ii * n + ii] : 0.0;
+  }
+}
+
 void cholesky_solve(const Matrix& L, const std::vector<double>& b,
                     std::vector<double>& tmp, std::vector<double>& x) {
   const std::size_t n = L.rows();
-  // Forward: L tmp = b.
   tmp.assign(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    double acc = b[i];
-    for (std::size_t j = 0; j < i; ++j) acc -= L(i, j) * tmp[j];
-    tmp[i] = L(i, i) != 0.0 ? acc / L(i, i) : 0.0;
-  }
-  // Backward: L^T x = tmp, reading L's lower triangle transposed in place.
   x.assign(n, 0.0);
-  for (std::size_t ii = n; ii-- > 0;) {
-    double acc = tmp[ii];
-    for (std::size_t j = ii + 1; j < n; ++j) acc -= L(j, ii) * x[j];
-    x[ii] = L(ii, ii) != 0.0 ? acc / L(ii, ii) : 0.0;
+  cholesky_solve_raw(L.raw(), n, b.data(), tmp.data(), x.data());
+}
+
+namespace {
+
+// W problems factored in lockstep: each (i, j) step performs the scalar
+// algorithm's operation for all W matrices before moving on, so the W
+// independent sqrt/div dependency chains overlap instead of serializing.
+// Per problem the operation sequence is exactly cholesky_factor_raw's, so
+// successful factors are bit-identical to the scalar routine. A failed
+// problem (non-positive pivot) keeps computing — sqrt of a negative pivot
+// yields NaN which propagates harmlessly — and is reported via ok[w]; the
+// scalar routine stops at the first bad pivot instead, but its partial L
+// is equally unusable, so the difference is unobservable.
+template <std::size_t W>
+void cholesky_factor_chunk(std::size_t n, const double* const* A,
+                           double* const* L, bool* ok) {
+  for (std::size_t w = 0; w < W; ++w) ok[w] = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc[W];
+      for (std::size_t w = 0; w < W; ++w) acc[w] = A[w][i * n + j];
+      for (std::size_t k = 0; k < j; ++k) {
+        for (std::size_t w = 0; w < W; ++w) {
+          acc[w] -= L[w][i * n + k] * L[w][j * n + k];
+        }
+      }
+      if (i == j) {
+        for (std::size_t w = 0; w < W; ++w) {
+          if (acc[w] <= 0.0) ok[w] = false;
+          L[w][i * n + j] = std::sqrt(acc[w]);
+        }
+      } else {
+        for (std::size_t w = 0; w < W; ++w) {
+          L[w][i * n + j] = acc[w] / L[w][j * n + j];
+        }
+      }
+    }
   }
+}
+
+// W forward+backward substitutions in lockstep; same overlap argument as
+// cholesky_factor_chunk, bit-identical per problem to cholesky_solve_raw.
+template <std::size_t W>
+void cholesky_solve_chunk(std::size_t n, const double* const* L,
+                          const double* const* b, double* const* tmp,
+                          double* const* x) {
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc[W];
+    for (std::size_t w = 0; w < W; ++w) acc[w] = b[w][i];
+    for (std::size_t j = 0; j < i; ++j) {
+      for (std::size_t w = 0; w < W; ++w) {
+        acc[w] -= L[w][i * n + j] * tmp[w][j];
+      }
+    }
+    for (std::size_t w = 0; w < W; ++w) {
+      const double d = L[w][i * n + i];
+      tmp[w][i] = d != 0.0 ? acc[w] / d : 0.0;
+    }
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc[W];
+    for (std::size_t w = 0; w < W; ++w) acc[w] = tmp[w][ii];
+    for (std::size_t j = ii + 1; j < n; ++j) {
+      for (std::size_t w = 0; w < W; ++w) {
+        acc[w] -= L[w][j * n + ii] * x[w][j];
+      }
+    }
+    for (std::size_t w = 0; w < W; ++w) {
+      const double d = L[w][ii * n + ii];
+      x[w][ii] = d != 0.0 ? acc[w] / d : 0.0;
+    }
+  }
+}
+
+}  // namespace
+
+void cholesky_factor_multi(std::size_t n, const double* const* A,
+                           double* const* L, bool* ok, std::size_t count) {
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    cholesky_factor_chunk<4>(n, A + i, L + i, ok + i);
+  }
+  if (i + 2 <= count) {
+    cholesky_factor_chunk<2>(n, A + i, L + i, ok + i);
+    i += 2;
+  }
+  for (; i < count; ++i) ok[i] = cholesky_factor_raw(A[i], n, L[i]);
+}
+
+void cholesky_solve_multi(std::size_t n, const double* const* L,
+                          const double* const* b, double* const* tmp,
+                          double* const* x, std::size_t count) {
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    cholesky_solve_chunk<4>(n, L + i, b + i, tmp + i, x + i);
+  }
+  if (i + 2 <= count) {
+    cholesky_solve_chunk<2>(n, L + i, b + i, tmp + i, x + i);
+    i += 2;
+  }
+  for (; i < count; ++i) cholesky_solve_raw(L[i], n, b[i], tmp[i], x[i]);
 }
 
 std::optional<Matrix> cholesky(const Matrix& A) {

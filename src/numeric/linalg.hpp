@@ -52,6 +52,55 @@ std::optional<Matrix> cholesky(const Matrix& A);
 void normal_equations(const Matrix& J, const std::vector<double>& r,
                       Matrix& JtJ, std::vector<double>& Jtr);
 
+// Raw flat-array forms of the tiny dense kernels inside the LM inner loop.
+// The Matrix overloads delegate to these, so both entry points share one
+// loop body and agree bit-for-bit; the batched multi-problem LM engine
+// calls the raw forms directly on slices of its SoA scratch arenas (the
+// problems are n <= 7, where per-call Matrix bookkeeping costs more than
+// the arithmetic).
+
+/// J is row-major m x n, JtJ is n x n, Jtr has n entries.
+void normal_equations_raw(const double* J, std::size_t m, std::size_t n,
+                          const double* r, double* JtJ, double* Jtr);
+
+/// Column-major variant: column j of the Jacobian lives at Jc + j * ldj
+/// (ldj >= m). The batched LM engine stores J transposed because each
+/// forward-difference column arrives as one contiguous slice of the model
+/// panel; this form consumes it without the strided scatter a row-major
+/// build would need. Products and summation order match
+/// normal_equations_raw exactly, so outputs are bit-identical.
+void normal_equations_cm(const double* Jc, std::size_t ldj, std::size_t m,
+                         std::size_t n, const double* r, double* JtJ,
+                         double* Jtr);
+
+/// Factors the n x n row-major A into lower-triangular L (same layout;
+/// entries above the diagonal are left untouched). Returns false when A is
+/// not (numerically) SPD, in which case L's contents are unspecified.
+bool cholesky_factor_raw(const double* A, std::size_t n, double* L);
+
+/// Solves (L L^T) x = b for an n x n factor L; `tmp` holds the forward-
+/// substitution intermediate. All arrays have n entries; b may alias
+/// neither tmp nor x.
+void cholesky_solve_raw(const double* L, std::size_t n, const double* b,
+                        double* tmp, double* x);
+
+// Lockstep multi-problem forms: `count` independent problems of one shared
+// size n, advanced (i, j)-step by (i, j)-step in interleaved chunks so the
+// per-problem sqrt/div dependency chains — the whole cost of a factor this
+// small — overlap across problems instead of serializing. Per problem the
+// arithmetic sequence is exactly the _raw routine's, so results are
+// bit-identical; only instructions of *independent* problems interleave.
+// The batched LM engine drains its per-round damping queues through these.
+
+/// ok[i] receives cholesky_factor_raw(A[i], n, L[i]) for each problem.
+void cholesky_factor_multi(std::size_t n, const double* const* A,
+                           double* const* L, bool* ok, std::size_t count);
+
+/// Per problem i: cholesky_solve_raw(L[i], n, b[i], tmp[i], x[i]).
+void cholesky_solve_multi(std::size_t n, const double* const* L,
+                          const double* const* b, double* const* tmp,
+                          double* const* x, std::size_t count);
+
 /// Allocation-free Cholesky: factors A into the lower-triangular L (resized
 /// in place). Returns false when A is not (numerically) SPD, in which case
 /// L's contents are unspecified.

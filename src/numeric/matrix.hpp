@@ -67,6 +67,11 @@ class Matrix {
 
   const std::vector<double>& data() const { return data_; }
 
+  /// Raw row-major storage, for the flat-array linalg kernels that back
+  /// the batched LM engine. Size is rows()*cols().
+  double* mutable_data() { return data_.data(); }
+  const double* raw() const { return data_.data(); }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

@@ -66,10 +66,39 @@ TEST(FitEngine, ExpRatRoundTripOnPositiveData) {
   }
 }
 
-TEST(FitEngine, ExpRatRejectsNonPositiveData) {
+// Regression (dead-fallback bug): fit_nonlinear_kernel used to return
+// nullopt for ExpRat on ANY non-positive sample before the bland fallback
+// starts ever ran. Only the linearised start needs positivity; LM itself
+// does not, so mixed-sign data must still produce an ExpRat candidate.
+TEST(FitEngine, ExpRatFitsMixedSignDataViaFallbackStarts) {
   auto xs = core_counts(6);
   std::vector<double> ys{1.0, 0.5, -0.2, 0.1, 0.3, 0.4};
-  EXPECT_FALSE(fit_kernel(KernelType::kExpRat, xs, ys).has_value());
+  auto f = fit_kernel(KernelType::kExpRat, xs, ys);
+  ASSERT_TRUE(f.has_value());
+  for (double v : f->params) EXPECT_TRUE(std::isfinite(v));
+  // A single zero sample (dip to idle) must not drop the candidate either.
+  std::vector<double> ys_zero{1.0, 0.8, 0.0, 0.5, 0.6, 0.7};
+  EXPECT_TRUE(fit_kernel(KernelType::kExpRat, xs, ys_zero).has_value());
+}
+
+// Regression (wrong-answer bug): the all-zero-series shortcut returned
+// zero parameters for EVERY kernel, but ExpRat with zero params is
+// exp(0) = 1 — an all-zero campaign would have been answered with a
+// prediction of 1.0. No kernel may ever predict nonzero from all zeros.
+TEST(FitEngine, AllZeroSeriesNeverPredictsNonzero) {
+  auto xs = core_counts(6);
+  std::vector<double> ys(6, 0.0);
+  for (KernelType type : kAllKernels) {
+    auto f = fit_kernel(type, xs, ys);
+    if (!f.has_value()) {
+      // Declining to fit is always safe (ExpRat has no zero function).
+      EXPECT_EQ(type, KernelType::kExpRat) << kernel_name(type);
+      continue;
+    }
+    for (double n : {1.0, 4.0, 17.0, 48.0}) {
+      EXPECT_EQ((*f)(n), 0.0) << kernel_name(type) << " n=" << n;
+    }
+  }
 }
 
 TEST(FitEngine, HandlesHugeCycleCounts) {
@@ -139,6 +168,25 @@ TEST(Realism, RejectsNegativeFitOfNonnegativeData) {
   EXPECT_TRUE(is_realistic(f, opts, 20.0, false));
 }
 
+// Regression (silent-candidate-loss bug): a RealismOptions::range_min of 0
+// (a natural "from the start" value) used to send the CubicLn walk through
+// log(n <= 0) -> NaN -> rejection, silently dropping perfectly good
+// candidates. Core counts are positive, so the walk clamps to n >= 1.
+TEST(Realism, CubicLnSurvivesZeroRangeMin) {
+  auto xs = core_counts(10);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(10.0 + 2.0 * std::log(x));
+  auto f = fit_kernel(KernelType::kCubicLn, xs, ys);
+  ASSERT_TRUE(f.has_value());
+  RealismOptions opts;
+  opts.range_min = 0.0;
+  opts.range_max = 48.0;
+  EXPECT_TRUE(is_realistic(*f, opts, 15.0, true));
+  // Negative range_min clamps the same way.
+  opts.range_min = -3.0;
+  EXPECT_TRUE(is_realistic(*f, opts, 15.0, true));
+}
+
 TEST(Realism, RejectsExplosion) {
   // 1e6 * n^2.5-ish growth against data max 1.0 exceeds the default factor.
   FittedFunction f{KernelType::kPoly25, {0.0, 0.0, 0.0, 1e6}, 1.0};
@@ -146,6 +194,101 @@ TEST(Realism, RejectsExplosion) {
   opts.range_min = 1.0;
   opts.range_max = 48.0;
   EXPECT_FALSE(is_realistic(f, opts, 1.0, true));
+}
+
+// --------------------------------------------------------------------------
+// SoA batched path vs the scalar path: bit-identical by contract.
+
+std::vector<double> saturating_series(const std::vector<double>& xs) {
+  std::vector<double> ys;
+  for (double x : xs) {
+    ys.push_back(100.0 * x / (1.0 + 0.1 * x) + (std::fmod(x, 2.0) - 0.5));
+  }
+  return ys;
+}
+
+TEST(FitBatch, PrefixBatchMatchesScalarFitBitwise) {
+  auto xs = core_counts(12);
+  const auto ys = saturating_series(xs);
+  EvalTables tables;
+  tables.assign(xs);
+  FitBatchWorkspace ws;
+  for (std::size_t prefix = 2; prefix <= xs.size(); ++prefix) {
+    std::array<std::optional<FittedFunction>, kNumKernels> batch;
+    fit_kernels_for_prefix(xs, tables, ys, prefix, {}, ws, batch);
+    for (std::size_t k = 0; k < kNumKernels; ++k) {
+      const KernelType type = kAllKernels[k];
+      const std::vector<double> pxs(xs.begin(), xs.begin() + prefix);
+      const std::vector<double> pys(ys.begin(), ys.begin() + prefix);
+      const auto scalar = fit_kernel(type, pxs, pys, {});
+      ASSERT_EQ(batch[k].has_value(), scalar.has_value())
+          << kernel_name(type) << " prefix=" << prefix;
+      if (!scalar) continue;
+      ASSERT_EQ(batch[k]->params.size(), scalar->params.size());
+      for (std::size_t j = 0; j < scalar->params.size(); ++j) {
+        EXPECT_EQ(batch[k]->params[j], scalar->params[j])
+            << kernel_name(type) << " prefix=" << prefix << " param=" << j;
+      }
+      EXPECT_EQ(batch[k]->y_scale, scalar->y_scale)
+          << kernel_name(type) << " prefix=" << prefix;
+    }
+  }
+}
+
+// The kernel-major entry point batches MANY prefixes (with duplicates, as
+// the brute-force enumeration produces) into one lockstep LM call; every
+// per-prefix result must still be the scalar fit, bit for bit.
+TEST(FitBatch, KernelMajorBatchMatchesScalarFitBitwise) {
+  auto xs = core_counts(12);
+  const auto ys = saturating_series(xs);
+  EvalTables tables;
+  tables.assign(xs);
+  FitBatchWorkspace ws;
+  const std::vector<std::size_t> prefixes = {3, 4, 5, 6, 7, 8, 9,
+                                             10, 11, 12, 5, 8, 2};
+  for (KernelType type : kAllKernels) {
+    std::vector<std::optional<FittedFunction>> out(prefixes.size());
+    fit_kernel_over_prefixes(type, xs, tables, ys, prefixes.data(),
+                             prefixes.size(), {}, ws, out.data());
+    for (std::size_t j = 0; j < prefixes.size(); ++j) {
+      const std::vector<double> pxs(xs.begin(), xs.begin() + prefixes[j]);
+      const std::vector<double> pys(ys.begin(), ys.begin() + prefixes[j]);
+      const auto scalar = fit_kernel(type, pxs, pys, {});
+      ASSERT_EQ(out[j].has_value(), scalar.has_value())
+          << kernel_name(type) << " prefix=" << prefixes[j];
+      if (!scalar) continue;
+      for (std::size_t i = 0; i < scalar->params.size(); ++i) {
+        EXPECT_EQ(out[j]->params[i], scalar->params[i])
+            << kernel_name(type) << " prefix=" << prefixes[j];
+      }
+      EXPECT_EQ(out[j]->y_scale, scalar->y_scale) << kernel_name(type);
+    }
+  }
+}
+
+// realism_scan over precomputed walk panels must agree with is_realistic
+// for every fit — including ones the filter rejects.
+TEST(FitBatch, RealismScanMatchesIsRealistic) {
+  RealismOptions opts;
+  opts.range_min = 1.0;
+  opts.range_max = 48.0;
+  RealismGrid grid;
+  grid.build(opts);
+
+  std::vector<FittedFunction> fits = {
+      {KernelType::kCubicLn, {1.0, 0.5, 0.0, 0.0}, 1.0},           // accept
+      {KernelType::kRat22, {1.0, 0.0, 0.0, -0.05, 0.0}, 1.0},      // pole
+      {KernelType::kCubicLn, {1.0, -5.0, 0.0, 0.0}, 1.0},          // negative
+      {KernelType::kPoly25, {0.0, 0.0, 0.0, 1e6}, 1.0},            // explode
+  };
+  std::vector<double> vals, dens;
+  for (const auto& f : fits) {
+    realism_walk_eval(f, grid, vals, dens);
+    EXPECT_EQ(
+        realism_scan(vals.data(), dens.data(), grid.steps, opts, 10.0, true),
+        is_realistic(f, opts, 10.0, true))
+        << kernel_name(f.type);
+  }
 }
 
 class FitAllKernelsTest : public ::testing::TestWithParam<KernelType> {};

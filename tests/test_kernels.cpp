@@ -158,6 +158,118 @@ TEST(Kernels, FittedFunctionAppliesScale) {
   for (double v : many) EXPECT_NEAR(v, 2e6, 1e-6);
 }
 
+// The SoA panels are the batched fitting hot path while kernel_eval backs
+// FittedFunction::operator(): any divergence would make the batched engine
+// optimize a different function than predictions evaluate, so the panels
+// must agree with the scalar evaluator bit-for-bit.
+TEST(Kernels, PanelEvalMatchesScalarEvalBitwise) {
+  const std::vector<double> xs = {1.0,  1.5,  2.0,  3.0,  4.0, 7.0,
+                                  12.0, 16.0, 24.0, 48.0, 64.0};
+  EvalTables tables;
+  tables.assign(xs);
+  for (KernelType type : kAllKernels) {
+    const std::size_t k = kernel_param_count(type);
+    // Three parameter sets in one panel: bland, sign-mixed, zero.
+    std::vector<std::vector<double>> param_sets;
+    param_sets.push_back(std::vector<double>(k, 0.1));
+    std::vector<double> mixed(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      mixed[j] = (j % 2 == 0 ? 0.37 : -0.021) * static_cast<double>(j + 1);
+    }
+    param_sets.push_back(std::move(mixed));
+    param_sets.push_back(std::vector<double>(k, 0.0));
+
+    std::vector<double> panel;
+    for (const auto& p : param_sets) {
+      panel.insert(panel.end(), p.begin(), p.end());
+    }
+    std::vector<double> out(param_sets.size() * xs.size());
+    kernel_eval_panel(type, tables, xs.size(), panel.data(),
+                      param_sets.size(), out.data());
+    for (std::size_t s = 0; s < param_sets.size(); ++s) {
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double scalar = kernel_eval(type, xs[i], param_sets[s]);
+        const double panelled = out[s * xs.size() + i];
+        if (std::isnan(scalar)) {
+          EXPECT_TRUE(std::isnan(panelled)) << kernel_name(type);
+        } else {
+          EXPECT_EQ(panelled, scalar)
+              << kernel_name(type) << " set=" << s << " n=" << xs[i];
+        }
+      }
+    }
+  }
+}
+
+// The variable-length panel is the contract of the lockstep LM engine:
+// set s covers ms[s] points and writes a row at s * out_stride, leaving
+// the rest of the row untouched.
+TEST(Kernels, PanelEvalVariableLengthsRespectStride) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0};
+  EvalTables tables;
+  tables.assign(xs);
+  const std::size_t stride = 9;
+  const std::vector<std::size_t> ms = {7, 3, 5};
+  constexpr double kSentinel = -12345.5;
+  for (KernelType type : kAllKernels) {
+    const std::size_t k = kernel_param_count(type);
+    std::vector<double> panel;
+    for (std::size_t s = 0; s < ms.size(); ++s) {
+      for (std::size_t j = 0; j < k; ++j) {
+        panel.push_back(0.05 * static_cast<double>(s + 1) +
+                        0.01 * static_cast<double>(j));
+      }
+    }
+    std::vector<double> out(ms.size() * stride, kSentinel);
+    kernel_eval_panel_v(type, tables, ms.data(), xs.size(), stride,
+                        panel.data(), ms.size(), out.data());
+    for (std::size_t s = 0; s < ms.size(); ++s) {
+      const std::vector<double> p(panel.begin() + s * k,
+                                  panel.begin() + (s + 1) * k);
+      for (std::size_t i = 0; i < stride; ++i) {
+        const double got = out[s * stride + i];
+        if (i < ms[s]) {
+          EXPECT_EQ(got, kernel_eval(type, xs[i], p))
+              << kernel_name(type) << " set=" << s << " i=" << i;
+        } else {
+          EXPECT_EQ(got, kSentinel)
+              << kernel_name(type) << " wrote past ms[" << s << "]";
+        }
+      }
+    }
+  }
+}
+
+// The realism pole-walk consumes denominators panel-at-a-time; they must
+// match the scalar kernel_denominator exactly.
+TEST(Kernels, DenominatorPanelMatchesScalarBitwise) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 10.0, 20.0, 48.0};
+  EvalTables tables;
+  tables.assign(xs);
+  for (KernelType type : kAllKernels) {
+    const std::size_t k = kernel_param_count(type);
+    std::vector<std::vector<double>> param_sets;
+    param_sets.push_back(std::vector<double>(k, 0.02));
+    std::vector<double> poley(k, 0.0);
+    if (k > 3) poley[3] = -0.05;  // rational denominators cross zero
+    param_sets.push_back(std::move(poley));
+    std::vector<double> panel;
+    for (const auto& p : param_sets) {
+      panel.insert(panel.end(), p.begin(), p.end());
+    }
+    std::vector<double> out(param_sets.size() * xs.size());
+    kernel_denominator_panel(type, tables, xs.size(), panel.data(),
+                             param_sets.size(), out.data());
+    for (std::size_t s = 0; s < param_sets.size(); ++s) {
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        EXPECT_EQ(out[s * xs.size() + i],
+                  kernel_denominator(type, xs[i], param_sets[s]))
+            << kernel_name(type) << " set=" << s << " n=" << xs[i];
+      }
+    }
+  }
+}
+
 class AllKernelsTest : public ::testing::TestWithParam<KernelType> {};
 
 TEST_P(AllKernelsTest, EvaluatesFinitelyOnBenignParams) {

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
+#include "core/prediction_io.hpp"
+#include "parallel/thread_pool.hpp"
 #include "synthetic.hpp"
 
 namespace estima::core {
@@ -233,6 +236,46 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepParam{0.01, 0.0, 0.002},
                       SweepParam{0.01, 0.001, 0.001},
                       SweepParam{0.03, 0.003, 0.0}));
+
+// Golden bit-identity corpus: for a spread of workload shapes, the
+// serialised prediction record must be byte-equal across the reference and
+// batched fit engines, single-threaded and fanned out across a pool. This
+// is the contract that lets the batched engine replace the reference one
+// and lets servers pick thread counts freely without changing any answer.
+TEST(Predictor, GoldenCorpusByteEqualAcrossEnginesAndPools) {
+  std::vector<SyntheticSpec> corpus(3);
+  corpus[0].mem_growth = 0.005;                       // scales to the end
+  corpus[1].mem_growth = 0.01;
+  corpus[1].lock_rate = 0.002;                        // lock convoy
+  corpus[2].mem_growth = 0.01;
+  corpus[2].stm_rate = 0.002;                         // abort-dominated
+
+  parallel::ThreadPool pool(4);
+  for (std::size_t w = 0; w < corpus.size(); ++w) {
+    const auto measured = make_synthetic(corpus[w], counts_up_to(12));
+
+    PredictionConfig cfg;
+    cfg.target_cores = counts_up_to(48);
+
+    const auto record = [&](FitEngine engine,
+                            parallel::ThreadPool* p) -> std::string {
+      PredictionConfig c = cfg;
+      c.extrap.engine = engine;
+      std::ostringstream os;
+      write_prediction(os, predict(measured, c, p));
+      return os.str();
+    };
+
+    const std::string golden = record(FitEngine::kReference, nullptr);
+    ASSERT_FALSE(golden.empty());
+    EXPECT_EQ(record(FitEngine::kReference, &pool), golden)
+        << "workload " << w << ": reference engine changed under the pool";
+    EXPECT_EQ(record(FitEngine::kBatched, nullptr), golden)
+        << "workload " << w << ": batched engine diverged (serial)";
+    EXPECT_EQ(record(FitEngine::kBatched, &pool), golden)
+        << "workload " << w << ": batched engine diverged (pooled)";
+  }
+}
 
 }  // namespace
 }  // namespace estima::core
