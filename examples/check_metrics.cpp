@@ -1,19 +1,31 @@
 // CI smoke check for the observability surface: points at a running
-// estima_serve, exercises the prediction path, then scrapes
-// GET /v1/metrics and holds it to the Prometheus text grammar
-// (obs::validate_prometheus_text) plus the stable stage schema — every
-// stage histogram family must be present — and verifies the
-// X-Estima-Trace-Id echo and GET /v1/trace shape.
+// estima_serve, exercises the prediction path, then
+//   * scrapes GET /v1/metrics and holds it to the Prometheus text grammar
+//     (obs::validate_prometheus_text) plus the stable stage schema, the
+//     per-kernel fit families and the estima_build_info gauge;
+//   * verifies the X-Estima-Trace-Id echo and GET /v1/trace shape;
+//   * POSTs /v1/explain and checks the audit JSON shape — and that the
+//     audit's factor winner kernel matches the prediction actually served
+//     by /v1/predict for the same campaign (provenance must describe the
+//     answer, not some other fit);
+//   * round-trips GET /v1/explain/{hash} against the retained audit;
+//   * with --event-log=PATH, parses every line of the server's JSONL
+//     event log as a flat JSON object with the stable key schema.
 //
 //   ./example_check_metrics [--port=P] [--host=H] [--requests=N]
+//                           [--event-log=PATH]
 //
 // Exit 0 when every check passes, 1 with the first violation on stderr.
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "bench/bench_util.hpp"
 #include "core/measurement.hpp"
+#include "core/prediction_io.hpp"
 #include "net/client.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
@@ -33,6 +45,54 @@ int fail(const char* what, const std::string& detail) {
   return 1;
 }
 
+/// The quoted string value following `"key": "` after `from` in a
+/// JsonWriter document; empty when absent (checked values are never
+/// legitimately empty here).
+std::string string_value_after(const std::string& body, const std::string& key,
+                               std::size_t from) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t at = body.find(needle, from);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + needle.size();
+  const std::size_t end = body.find('"', start);
+  if (end == std::string::npos) return "";
+  return body.substr(start, end - start);
+}
+
+/// Structural check for one JSONL event line: a single flat object whose
+/// braces/quotes balance and whose every stable schema key is present.
+/// (No JSON parser in the tree; this catches truncation, interleaving and
+/// unescaped metacharacters, which is what the log contract promises.)
+bool valid_event_line(const std::string& line) {
+  if (line.size() < 2 || line.front() != '{' || line.back() != '}') {
+    return false;
+  }
+  bool in_string = false;
+  bool escaped = false;
+  int depth = 0;
+  for (char c : line) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++depth;
+    else if (c == '}' && --depth < 0) return false;
+  }
+  if (depth != 0 || in_string || escaped) return false;
+  for (const char* key :
+       {"\"trace_id\":", "\"target\":", "\"status\":", "\"campaign_hash\":",
+        "\"disposition\":", "\"winner_kernel\":", "\"latency_ms\":"}) {
+    if (line.find(key) == std::string::npos) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -44,8 +104,11 @@ int main(int argc, char** argv) {
   const std::string host = parse_flag_s(argc, argv, "host", "127.0.0.1");
   const int requests =
       static_cast<int>(parse_flag_d(argc, argv, "requests", 8));
+  const std::string event_log = parse_flag_s(argc, argv, "event-log", "");
 
   net::HttpClient client(host, port);
+  std::string explain_csv;      // campaign re-used by the explain checks
+  std::string served_kernel;    // /v1/predict's factor kernel for it
   try {
     // Exercise the full pipeline (cold computes + warm cache hits) so the
     // stage histograms have samples, not just registrations.
@@ -75,6 +138,55 @@ int main(int argc, char** argv) {
       if (*echoed != id) {
         return fail("trace echo", "sent " + id + " got " + *echoed);
       }
+      if (i == 0) {
+        explain_csv = csv_of(ms);
+        std::istringstream is(resp.body);
+        served_kernel =
+            core::kernel_name(core::read_prediction(is).factor_fn.type);
+      }
+    }
+
+    // Provenance: the explain audit must describe the served answer.
+    const net::HttpResponse explain =
+        client.request("POST", "/v1/explain", explain_csv,
+                       {{"content-type", "text/plain"}});
+    if (explain.status != 200) {
+      return fail("/v1/explain", "status " + std::to_string(explain.status) +
+                                     ": " + explain.body);
+    }
+    for (const char* key :
+         {"\"campaign_hash\": \"", "\"prediction\": {", "\"audit\": {",
+          "\"categories\": [", "\"factor\": {", "\"attempts\": [",
+          "\"candidates\": [", "\"winner\": {", "\"scorecard\": ["}) {
+      if (explain.body.find(key) == std::string::npos) {
+        return fail("explain shape", std::string("missing ") + key);
+      }
+    }
+    const std::string pred_kernel =
+        string_value_after(explain.body, "factor_kernel", 0);
+    const std::size_t factor_at = explain.body.find("\"factor\": {");
+    const std::size_t winner_at = explain.body.find("\"winner\": {", factor_at);
+    const std::string audit_kernel =
+        winner_at == std::string::npos
+            ? ""
+            : string_value_after(explain.body, "kernel", winner_at);
+    if (audit_kernel.empty() || audit_kernel != pred_kernel ||
+        audit_kernel != served_kernel) {
+      return fail("explain winner",
+                  "audit factor winner '" + audit_kernel +
+                      "' vs explain prediction '" + pred_kernel +
+                      "' vs served prediction '" + served_kernel + "'");
+    }
+    const std::string hash = string_value_after(explain.body, "campaign_hash", 0);
+    if (hash.empty()) return fail("explain hash", "no campaign_hash");
+    const net::HttpResponse retained = client.get("/v1/explain/" + hash);
+    if (retained.status != 200) {
+      return fail("/v1/explain/{hash}",
+                  "status " + std::to_string(retained.status));
+    }
+    if (retained.body != explain.body) {
+      return fail("/v1/explain/{hash}",
+                  "retained audit differs from the POSTed one");
     }
 
     const net::HttpResponse metrics = client.get("/v1/metrics");
@@ -96,10 +208,18 @@ int main(int argc, char** argv) {
     for (const char* family :
          {"estima_request_duration_seconds_count",
           "estima_service_campaigns_submitted_total",
-          "estima_cache_hits_total", "estima_server_requests_served_total"}) {
+          "estima_cache_hits_total", "estima_server_requests_served_total",
+          "estima_build_info{", "estima_service_explains_total",
+          "estima_fit_attempts_total{", "estima_fit_seconds_count{"}) {
       if (metrics.body.find(family) == std::string::npos) {
         return fail("metrics content", std::string("missing ") + family);
       }
+    }
+    // The served winner must have been counted by the per-kernel family.
+    const std::string winner_series = "estima_fit_attempts_total{kernel=\"" +
+                                      served_kernel + "\",outcome=\"winner\"}";
+    if (metrics.body.find(winner_series) == std::string::npos) {
+      return fail("fit metrics", "missing series " + winner_series);
     }
 
     const net::HttpResponse trace = client.get("/v1/trace");
@@ -113,8 +233,36 @@ int main(int argc, char** argv) {
     return fail("transport", e.what());
   }
 
+  std::size_t event_lines = 0;
+  if (!event_log.empty()) {
+    // The log's writer thread flushes on an interval; give it a moment to
+    // drain the requests above before holding the file to the schema.
+    for (int attempt = 0; attempt < 30 && event_lines == 0; ++attempt) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      std::ifstream in(event_log);
+      if (!in) continue;
+      std::string line;
+      std::size_t seen = 0;
+      while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        if (!valid_event_line(line)) {
+          return fail("event log", "bad JSONL line: " + line);
+        }
+        ++seen;
+      }
+      event_lines = seen;
+    }
+    if (event_lines == 0) {
+      return fail("event log", "no lines appeared in " + event_log);
+    }
+  }
+
   std::printf("check_metrics OK: grammar valid, %zu stage histograms, "
-              "trace echo verified\n",
-              obs::kStageCount);
+              "trace echo verified, explain audit verified%s\n",
+              obs::kStageCount,
+              event_log.empty()
+                  ? ""
+                  : (", " + std::to_string(event_lines) + " event line(s)")
+                        .c_str());
   return 0;
 }

@@ -32,15 +32,31 @@
 //                          SIGUSR1 (default 250; 0 retains every
 //                          request, negative disables the ring)
 //     --trace-ring=N       slow-ring capacity (default 64)
+//     --event-log=PATH     structured JSONL event log: one compact JSON
+//                          line per request (trace id, target, status,
+//                          campaign hash, cache disposition, winner
+//                          kernel, latency) appended by a background
+//                          writer thread; the hot path only enqueues
+//                          into a wait-free ring (default: off)
+//     --event-log-rotate-mb=N  rotate the event log when it would exceed
+//                          N MiB, keeping one .1 predecessor (default 64)
+//     --explain-retention=N POST /v1/explain responses retained for GET
+//                          /v1/explain/{hash} (default 32, 0 disables)
 //
 // Serving surface (see src/service/routes.hpp for body formats):
 //   POST /v1/predict        one CSV campaign -> one prediction record
 //   POST /v1/predict_batch  length-framed CSV campaigns -> predictions
+//   POST /v1/explain        one CSV campaign -> prediction + full fit
+//                           audit (every attempt/candidate + winner
+//                           scorecard) as JSON
+//   GET  /v1/explain/{hash} the retained audit of a recently explained
+//                           campaign (404 once evicted)
 //   GET  /v1/stats          service + cache counters as JSON
 //   GET  /v1/health         200 serving / 503 draining or shedding
 //   POST /v1/snapshot       spill the cache to --snapshot-file
-//   GET  /v1/metrics        Prometheus text exposition (counters +
-//                           per-stage latency histograms)
+//   GET  /v1/metrics        Prometheus text exposition (counters,
+//                           per-stage latency histograms, per-kernel
+//                           fit attempt/latency families, build info)
 //   GET  /v1/trace          slow-request ring: per-request span
 //                           breakdowns as JSON
 //
@@ -63,12 +79,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "bench/bench_util.hpp"
+#include "core/fit_audit.hpp"
 #include "core/predictor.hpp"
 #include "net/server.hpp"
+#include "obs/event_log.hpp"
 #include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
@@ -140,10 +159,43 @@ int main(int argc, char** argv) {
       static_cast<int>(parse_flag_d(argc, argv, "slow-trace-ms", 250));
   const int trace_ring =
       static_cast<int>(parse_flag_d(argc, argv, "trace-ring", 64));
+  const std::string event_log_path =
+      parse_flag_s(argc, argv, "event-log", "");
+  const int event_log_rotate_mb =
+      static_cast<int>(parse_flag_d(argc, argv, "event-log-rotate-mb", 64));
+  const int explain_retention =
+      static_cast<int>(parse_flag_d(argc, argv, "explain-retention", 32));
 
   parallel::ThreadPool pool(
       static_cast<std::size_t>(threads > 0 ? threads : 1));
+
+  // The observability spine: one registry holds every histogram and
+  // counter; the tracer owns the per-stage histograms plus the
+  // slow-request ring; the per-kernel fit metrics are wired into the
+  // prediction config below (service config copies the pointer). All of
+  // it lives for the whole process, outliving the server and router that
+  // borrow it.
+  obs::Registry registry;
+  obs::TracerConfig tcfg;
+  tcfg.slow_threshold_ms = slow_trace_ms;
+  tcfg.ring_capacity =
+      static_cast<std::size_t>(trace_ring > 0 ? trace_ring : 0);
+  obs::Tracer tracer(registry, tcfg);
+  core::FitMetrics fit_metrics;
+  fit_metrics.init(registry);
+
+  std::unique_ptr<obs::EventLog> event_log;
+  if (!event_log_path.empty()) {
+    obs::EventLogConfig ecfg;
+    ecfg.path = event_log_path;
+    ecfg.rotate_bytes = static_cast<std::size_t>(
+                            event_log_rotate_mb > 0 ? event_log_rotate_mb : 64)
+                        << 20;
+    event_log = std::make_unique<obs::EventLog>(ecfg);
+  }
+
   service::ServiceConfig scfg;
+  scfg.prediction.extrap.metrics = &fit_metrics;
   scfg.prediction.target_cores = core::cores_up_to(target);
   scfg.cache_capacity = static_cast<std::size_t>(
       cache_capacity > 0 ? cache_capacity : 4096);
@@ -175,21 +227,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The observability spine: one registry holds every histogram, the
-  // tracer owns the per-stage ones plus the slow-request ring. Both live
-  // for the whole process, outliving the server and router that borrow
-  // them.
-  obs::Registry registry;
-  obs::TracerConfig tcfg;
-  tcfg.slow_threshold_ms = slow_trace_ms;
-  tcfg.ring_capacity =
-      static_cast<std::size_t>(trace_ring > 0 ? trace_ring : 0);
-  obs::Tracer tracer(registry, tcfg);
-
   service::RouterConfig rcfg;
   rcfg.snapshot_path = snapshot_file;
+  rcfg.explain_retention =
+      static_cast<std::size_t>(explain_retention > 0 ? explain_retention : 0);
   service::ServiceRouter router(svc, rcfg);
   router.set_observability(&registry, &tracer);
+  router.set_event_log(event_log.get());
 
   // One fd per connection plus listener/pipes/snapshot headroom: the
   // admission cap is only honest if the process may actually hold that
@@ -211,6 +255,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(max_queue_depth > 0 ? max_queue_depth : 0);
   ncfg.queue_delay_budget_ms = queue_delay_ms > 0 ? queue_delay_ms : 0;
   ncfg.tracer = &tracer;
+  ncfg.event_log = event_log.get();
   net::HttpServer server(
       ncfg, [&router](const net::HttpRequest& req,
                       const net::RequestContext& ctx) {
@@ -231,6 +276,10 @@ int main(int argc, char** argv) {
   if (!snapshot_file.empty()) {
     std::printf("snapshot file: %s (auto every %d computed predictions)\n",
                 snapshot_file.c_str(), snapshot_every);
+  }
+  if (event_log) {
+    std::printf("event log: %s (rotate at %d MiB)\n", event_log_path.c_str(),
+                event_log_rotate_mb);
   }
 
   std::signal(SIGINT, on_signal);
@@ -255,6 +304,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "shutdown snapshot not written: %s\n", e.what());
       return 1;
     }
+  }
+  if (event_log) {
+    event_log->stop();
+    std::printf("event log: %llu line(s) written, %llu dropped\n",
+                static_cast<unsigned long long>(event_log->lines_written()),
+                static_cast<unsigned long long>(event_log->lines_dropped()));
   }
   const auto stats = svc.stats();
   std::printf("served: submitted=%llu computed=%llu hits=%llu "

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <new>
 #include <stdexcept>
 
+#include "core/fit_audit.hpp"
 #include "fault/fault_injection.hpp"
 #include "numeric/stats.hpp"
 #include "obs/trace.hpp"
@@ -37,6 +39,11 @@ struct FitSlot {
   std::vector<double> pred;
   std::uint64_t realistic_mask = 0;
 };
+
+double elapsed_seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 }  // namespace
 
@@ -120,6 +127,11 @@ std::vector<std::vector<CandidateFit>> enumerate_candidates_filtered(
   std::atomic<std::size_t> jobs_cancelled{0};
   std::atomic<std::size_t> jobs_aborted{0};
   std::atomic<std::size_t> point_evals{0};
+  // Audit/metrics collection: per-slot diagnostic records, filled by the
+  // workers (each writes only its own slots) and emitted serially below.
+  const bool collect = cfg.audit != nullptr || cfg.metrics != nullptr;
+  std::vector<FitDiag> slot_diags;
+  if (collect) slot_diags.resize(job_prefix.size());
   if (cfg.engine == FitEngine::kBatched) {
     // Batched engine: one job per KERNEL covering every prefix (and, in
     // brute mode, every checkpoint repetition) of that kernel. All of a
@@ -151,6 +163,10 @@ std::vector<std::vector<CandidateFit>> enumerate_candidates_filtered(
     parallel::parallel_for(cfg.pool, K, [&](std::size_t k) {
       if (cfg.deadline != nullptr && cfg.deadline->expired()) {
         jobs_cancelled.fetch_add(n_entries, std::memory_order_relaxed);
+        if (cfg.metrics != nullptr) {
+          cfg.metrics->count(kAllKernels[k], FitOutcome::kCancelled,
+                             n_entries);
+        }
         return;
       }
       try {
@@ -163,12 +179,25 @@ std::vector<std::vector<CandidateFit>> enumerate_candidates_filtered(
           prefixes[e] = static_cast<std::size_t>(job_prefix[e * K + k]);
         }
         std::vector<std::optional<FittedFunction>> fits(n_entries);
+        std::vector<FitDiag> job_diags;
+        if (collect) job_diags.resize(n_entries);
         {
           obs::SpanTimer levmar_span(cfg.trace, obs::Stage::kFitLevmar);
+          std::chrono::steady_clock::time_point t0;
+          if (cfg.metrics != nullptr) t0 = std::chrono::steady_clock::now();
           fbw.model_evals = 0;
           fit_kernel_over_prefixes(type, xs, tables, values, prefixes.data(),
-                                   n_entries, cfg.fit, fbw, fits.data());
+                                   n_entries, cfg.fit, fbw, fits.data(),
+                                   collect ? job_diags.data() : nullptr);
           point_evals.fetch_add(fbw.model_evals, std::memory_order_relaxed);
+          if (cfg.metrics != nullptr) {
+            cfg.metrics->record_fit_seconds(type, elapsed_seconds(t0));
+          }
+        }
+        if (collect) {
+          for (std::size_t e = 0; e < n_entries; ++e) {
+            slot_diags[e * K + k] = std::move(job_diags[e]);
+          }
         }
         std::vector<std::size_t> live;
         for (std::size_t e = 0; e < n_entries; ++e) {
@@ -245,6 +274,9 @@ std::vector<std::vector<CandidateFit>> enumerate_candidates_filtered(
         cfg.pool, job_prefix.size(), [&](std::size_t idx) {
           if (cfg.deadline != nullptr && cfg.deadline->expired()) {
             jobs_cancelled.fetch_add(1, std::memory_order_relaxed);
+            if (cfg.metrics != nullptr) {
+              cfg.metrics->count(kAllKernels[idx % K], FitOutcome::kCancelled);
+            }
             return;
           }
           try {
@@ -254,7 +286,13 @@ std::vector<std::vector<CandidateFit>> enumerate_candidates_filtered(
             const std::vector<double> pxs(xs.begin(), xs.begin() + i);
             const std::vector<double> pys(values.begin(), values.begin() + i);
             obs::SpanTimer levmar_span(cfg.trace, obs::Stage::kFitLevmar);
-            auto fitted = fit_kernel(type, pxs, pys, cfg.fit);
+            std::chrono::steady_clock::time_point t0;
+            if (cfg.metrics != nullptr) t0 = std::chrono::steady_clock::now();
+            auto fitted = fit_kernel(type, pxs, pys, cfg.fit,
+                                     collect ? &slot_diags[idx] : nullptr);
+            if (cfg.metrics != nullptr) {
+              cfg.metrics->record_fit_seconds(type, elapsed_seconds(t0));
+            }
             levmar_span.stop();
             if (!fitted) return;
             FitSlot& slot = slots[idx];
@@ -283,11 +321,121 @@ std::vector<std::vector<CandidateFit>> enumerate_candidates_filtered(
   if (acct.fits_cancelled > 0 || acct.fits_aborted > 0) {
     // An incomplete fit pool must not be scored: a missing fit could flip
     // which candidate wins, which would be a silently different answer.
+    // The audit likewise gets no per-slot records (partial records would
+    // depend on which jobs happened to run before expiry); it reports
+    // only the abandonment counts, mirroring EnumerationStats.
     acct.fits_executed -= acct.fits_cancelled + acct.fits_aborted;
     acct.duplicate_fits_eliminated =
         acct.candidates_attempted - job_prefix.size();
+    if (cfg.audit != nullptr) {
+      cfg.audit->fits_cancelled += acct.fits_cancelled;
+      cfg.audit->fits_aborted += acct.fits_aborted;
+    }
     if (stats) *stats = acct;
     return out;
+  }
+
+  // Serial audit emission, in the fixed slot order (and therefore
+  // independent of engine and pool): one FitAttempt per LM start (or per
+  // direct solve, start == -1) and one FitCandidate per slot. The
+  // candidate's provisional outcome is upgraded to kWinner later by
+  // audit_mark_winner once a caller selects it.
+  if (collect) {
+    FitAudit scratch;  // metrics-only collection still needs a sink
+    FitAudit* audit = cfg.audit != nullptr ? cfg.audit : &scratch;
+    // Checkpoint index sets per setting, for candidate re-scoring.
+    std::vector<std::vector<std::size_t>> cidx(valid_cs.size());
+    for (std::size_t ci = 0; ci < valid_cs.size(); ++ci) {
+      for (int i = m - valid_cs[ci]; i < m; ++i) {
+        cidx[ci].push_back(static_cast<std::size_t>(i));
+      }
+    }
+    // Brute-force layout: each slot belongs to exactly one setting.
+    std::vector<std::size_t> slot_setting;
+    if (!cfg.memoize_fits) {
+      slot_setting.resize(slots.size());
+      std::size_t running = 0;
+      for (std::size_t ci = 0; ci < valid_cs.size(); ++ci) {
+        const int n = m - valid_cs[ci];
+        for (int i = cfg.min_prefix; i <= n; ++i) {
+          for (std::size_t k = 0; k < K; ++k) slot_setting[running++] = ci;
+        }
+      }
+    }
+    const std::size_t attempts_base = audit->attempts.size();
+    const std::size_t candidates_base = audit->candidates.size();
+    for (std::size_t idx = 0; idx < slots.size(); ++idx) {
+      const int prefix = job_prefix[idx];
+      const KernelType kernel = kAllKernels[idx % K];
+      const FitDiag& diag = slot_diags[idx];
+      if (diag.path == FitDiag::Path::kNonlinear && !diag.starts.empty()) {
+        for (std::size_t s = 0; s < diag.starts.size(); ++s) {
+          const FitDiag::Start& st = diag.starts[s];
+          FitAttempt a;
+          a.kernel = kernel;
+          a.prefix_len = prefix;
+          a.start = static_cast<int>(s);
+          a.outcome = fit_outcome_from_term(st.term);
+          a.rmse = st.rmse;
+          a.iterations = st.iterations;
+          a.model_evals = st.model_evals;
+          audit->attempts.push_back(a);
+        }
+      } else {
+        FitAttempt a;
+        a.kernel = kernel;
+        a.prefix_len = prefix;
+        a.start = -1;
+        a.outcome = diag.solved ? FitOutcome::kConverged : FitOutcome::kNoFit;
+        audit->attempts.push_back(a);
+      }
+
+      const FitSlot& slot = slots[idx];
+      FitCandidate cand;
+      cand.kernel = kernel;
+      cand.prefix_len = prefix;
+      cand.realistic_mask = slot.realistic_mask;
+      if (!slot.fn) {
+        cand.outcome = FitOutcome::kNoFit;
+      } else if (slot.realistic_mask == 0) {
+        // Rejected by every filter: with one filter that IS the strict
+        // rejection; with a strict+relaxed sweep even relaxed refused it.
+        cand.outcome = V > 1 ? FitOutcome::kUnrealisticRelaxed
+                             : FitOutcome::kUnrealisticStrict;
+      } else if ((slot.realistic_mask & 1) == 0) {
+        // Passed some filter but not filter 0 (the strict one, by the
+        // predict() convention).
+        cand.outcome = FitOutcome::kUnrealisticStrict;
+      } else {
+        cand.outcome = FitOutcome::kWorseRmse;
+        double best_err = std::numeric_limits<double>::quiet_NaN();
+        if (cfg.memoize_fits) {
+          for (std::size_t ci = 0; ci < valid_cs.size(); ++ci) {
+            if (prefix > m - valid_cs[ci]) continue;
+            const double err = numeric::rmse_at(slot.pred, values, cidx[ci]);
+            if (std::isfinite(err) && !(err >= best_err)) best_err = err;
+          }
+        } else {
+          const std::size_t ci = slot_setting[idx];
+          cand.checkpoints = valid_cs[ci];
+          const double err = numeric::rmse_at(slot.pred, values, cidx[ci]);
+          if (std::isfinite(err)) best_err = err;
+        }
+        cand.checkpoint_rmse = best_err;
+      }
+      audit->candidates.push_back(cand);
+    }
+    if (cfg.metrics != nullptr) {
+      for (std::size_t a = attempts_base; a < audit->attempts.size(); ++a) {
+        cfg.metrics->count(audit->attempts[a].kernel,
+                           audit->attempts[a].outcome);
+      }
+      for (std::size_t c = candidates_base; c < audit->candidates.size();
+           ++c) {
+        cfg.metrics->count(audit->candidates[c].kernel,
+                           audit->candidates[c].outcome);
+      }
+    }
   }
 
   // Serial assembly per filter in the fixed (checkpoint setting, prefix,
@@ -330,6 +478,39 @@ std::vector<CandidateFit> enumerate_candidates(
   return std::move(lists.front());
 }
 
+void audit_mark_winner(FitAudit* audit, FitMetrics* metrics,
+                       const CandidateFit& best,
+                       const std::vector<int>& cores,
+                       const std::vector<double>& values) {
+  if (metrics != nullptr) metrics->count(best.fn.type, FitOutcome::kWinner);
+  if (audit == nullptr) return;
+  audit->has_winner = true;
+  audit->winner_kernel = best.fn.type;
+  audit->winner_prefix = best.prefix_len;
+  audit->winner_checkpoints = best.checkpoints;
+  audit->winner_rmse = best.checkpoint_rmse;
+  audit->checkpoint_cores.clear();
+  audit->checkpoint_predicted.clear();
+  audit->checkpoint_actual.clear();
+  const std::size_t m = cores.size();
+  const std::size_t c = static_cast<std::size_t>(best.checkpoints);
+  if (c <= m && c <= values.size()) {
+    for (std::size_t i = m - c; i < m; ++i) {
+      audit->checkpoint_cores.push_back(cores[i]);
+      audit->checkpoint_predicted.push_back(
+          best.fn(static_cast<double>(cores[i])));
+      audit->checkpoint_actual.push_back(values[i]);
+    }
+  }
+  for (auto& cand : audit->candidates) {
+    if (cand.kernel == best.fn.type && cand.prefix_len == best.prefix_len &&
+        (cand.checkpoints == 0 || cand.checkpoints == best.checkpoints)) {
+      cand.outcome = FitOutcome::kWinner;
+      break;
+    }
+  }
+}
+
 std::optional<SeriesExtrapolation> extrapolate_series(
     const std::vector<int>& cores, const std::vector<double>& values,
     const ExtrapolationConfig& cfg, EnumerationStats* out_stats) {
@@ -366,6 +547,8 @@ std::optional<SeriesExtrapolation> extrapolate_series(
       best = &cand;
     }
   }
+
+  audit_mark_winner(cfg.audit, cfg.metrics, *best, cores, values);
 
   SeriesExtrapolation out;
   out.best = best->fn;

@@ -35,6 +35,9 @@ class TraceContext;
 
 namespace estima::core {
 
+struct FitAudit;
+struct FitMetrics;
+
 /// Which fitting pipeline executes the (kernel, prefix) jobs. Both produce
 /// bit-identical candidates — the batched engine restructures the *work*
 /// (SoA panels, lockstep LM, shared tables), never the arithmetic — so
@@ -82,6 +85,19 @@ struct ExtrapolationConfig {
   /// default) compiles the timing away to one branch; like `pool` and
   /// `deadline`, this knob cannot change produced values.
   obs::TraceContext* trace = nullptr;
+  /// Fit-audit sink, threaded exactly like `trace`: when set, the
+  /// enumeration appends one FitAttempt per (kernel, prefix, start)
+  /// executed and one FitCandidate per (kernel, prefix) slot, emitted in
+  /// serial context in the fixed slot order from per-slot data — so the
+  /// records are bit-identical across engines and pool sizes. NOT
+  /// thread-safe: each enumeration needs its own sink (predict() hands
+  /// every category its own via PredictionAudit). Excluded from
+  /// config_signature; cannot change produced values.
+  FitAudit* audit = nullptr;
+  /// Per-kernel fit metrics (attempt/outcome counters plus fit-time
+  /// histograms). Thread-safe and shareable process-wide. Excluded from
+  /// config_signature; cannot change produced values.
+  FitMetrics* metrics = nullptr;
 };
 
 /// One scored candidate fit (kept for diagnostics / bench output).
@@ -175,5 +191,16 @@ std::vector<std::vector<CandidateFit>> enumerate_candidates_filtered(
     const ExtrapolationConfig& cfg,
     const std::vector<RealismOptions>& realism_filters,
     EnumerationStats* stats = nullptr);
+
+/// Marks `best` as the winner of an enumeration in `audit`: upgrades the
+/// matching candidate record to FitOutcome::kWinner and fills the winner
+/// scorecard — the held-out checkpoint cores, the winning fit's scalar
+/// predictions there, and the measured values (scalar evaluation, so the
+/// scorecard is bit-identical across engines). Bumps the per-kernel
+/// winner counter when `metrics` is set. No-op when both are null.
+void audit_mark_winner(FitAudit* audit, FitMetrics* metrics,
+                       const CandidateFit& best,
+                       const std::vector<int>& cores,
+                       const std::vector<double>& values);
 
 }  // namespace estima::core

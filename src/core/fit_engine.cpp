@@ -113,7 +113,7 @@ std::vector<std::vector<double>> nonlinear_starts(
 std::optional<FittedFunction> fit_nonlinear_kernel(
     KernelType type, const std::vector<double>& xs,
     const std::vector<double>& ys_scaled, double y_scale,
-    const FitOptions& opts) {
+    const FitOptions& opts, FitDiag* diag) {
   auto starts = nonlinear_starts(type, xs, ys_scaled, opts);
 
   numeric::LevMarOptions lm;
@@ -132,6 +132,10 @@ std::optional<FittedFunction> fit_nonlinear_kernel(
   for (auto& start : starts) {
     auto res =
         numeric::levenberg_marquardt(model, xs, ys_scaled, start, lm, ws);
+    if (diag != nullptr) {
+      diag->starts.push_back(
+          FitDiag::Start{res.rmse, res.iterations, res.model_evals, res.term});
+    }
     if (!std::isfinite(res.rmse)) continue;
     bool finite = true;
     for (double v : res.params) {
@@ -146,6 +150,7 @@ std::optional<FittedFunction> fit_nonlinear_kernel(
       best = FittedFunction{type, std::move(res.params), y_scale};
     }
   }
+  if (diag != nullptr) diag->solved = best.has_value();
   return best;
 }
 
@@ -194,7 +199,9 @@ bool is_realistic(const FittedFunction& f, const RealismOptions& opts,
 std::optional<FittedFunction> fit_kernel(KernelType type,
                                          const std::vector<double>& xs,
                                          const std::vector<double>& ys,
-                                         const FitOptions& opts) {
+                                         const FitOptions& opts,
+                                         FitDiag* diag) {
+  if (diag != nullptr) *diag = FitDiag{};  // Path::kGuard until proven better
   if (xs.size() != ys.size() || xs.size() < 2) return std::nullopt;
   for (double x : xs) {
     if (!(x > 0.0)) return std::nullopt;  // core counts are positive
@@ -208,6 +215,10 @@ std::optional<FittedFunction> fit_kernel(KernelType type,
   const double scale = max_abs(ys);
   if (scale <= 0.0) {
     if (type == KernelType::kExpRat) return std::nullopt;
+    if (diag != nullptr) {
+      diag->path = FitDiag::Path::kTrivial;
+      diag->solved = true;
+    }
     std::vector<double> zeros(kernel_param_count(type), 0.0);
     return FittedFunction{type, std::move(zeros), 1.0};
   }
@@ -215,9 +226,15 @@ std::optional<FittedFunction> fit_kernel(KernelType type,
   for (std::size_t i = 0; i < ys.size(); ++i) ys_scaled[i] = ys[i] / scale;
 
   if (kernel_is_linear(type)) {
-    return fit_linear_kernel(type, xs, ys_scaled, scale, opts);
+    auto fitted = fit_linear_kernel(type, xs, ys_scaled, scale, opts);
+    if (diag != nullptr) {
+      diag->path = FitDiag::Path::kLinear;
+      diag->solved = fitted.has_value();
+    }
+    return fitted;
   }
-  return fit_nonlinear_kernel(type, xs, ys_scaled, scale, opts);
+  if (diag != nullptr) diag->path = FitDiag::Path::kNonlinear;
+  return fit_nonlinear_kernel(type, xs, ys_scaled, scale, opts, diag);
 }
 
 // ---------------------------------------------------------------------------
@@ -307,8 +324,12 @@ void fit_kernel_over_prefixes(KernelType type, const std::vector<double>& xs,
                               const std::size_t* prefixes,
                               std::size_t n_prefixes, const FitOptions& opts,
                               FitBatchWorkspace& ws,
-                              std::optional<FittedFunction>* out) {
+                              std::optional<FittedFunction>* out,
+                              FitDiag* diags) {
   for (std::size_t j = 0; j < n_prefixes; ++j) out[j].reset();
+  if (diags != nullptr) {
+    for (std::size_t j = 0; j < n_prefixes; ++j) diags[j] = FitDiag{};
+  }
   if (n_prefixes == 0) return;
 
   // Core counts must be positive over the prefix (fit_kernel's guard). The
@@ -351,6 +372,10 @@ void fit_kernel_over_prefixes(KernelType type, const std::vector<double>& xs,
       if (type != KernelType::kExpRat) {
         std::vector<double> zeros(np, 0.0);
         out[j] = FittedFunction{type, std::move(zeros), 1.0};
+        if (diags != nullptr) {
+          diags[j].path = FitDiag::Path::kTrivial;
+          diags[j].solved = true;
+        }
       }
       continue;
     }
@@ -363,10 +388,15 @@ void fit_kernel_over_prefixes(KernelType type, const std::vector<double>& xs,
 
     if (linear) {
       out[j] = fit_linear_kernel(type, ws.pxs, ws.ys_scaled, scale, opts);
+      if (diags != nullptr) {
+        diags[j].path = FitDiag::Path::kLinear;
+        diags[j].solved = out[j].has_value();
+      }
       continue;
     }
 
     const auto starts = nonlinear_starts(type, ws.pxs, ws.ys_scaled, opts);
+    if (diags != nullptr) diags[j].path = FitDiag::Path::kNonlinear;
     if (starts.empty()) continue;
     const std::size_t y_off = ws.ys_all.size();
     ws.ys_all.insert(ws.ys_all.end(), ws.ys_scaled.begin(),
@@ -404,6 +434,10 @@ void fit_kernel_over_prefixes(KernelType type, const std::vector<double>& xs,
     double best_rmse = std::numeric_limits<double>::infinity();
     for (std::size_t s = ws.prob_lo[j]; s < ws.prob_hi[j]; ++s) {
       numeric::LevMarResult& res = ws.lm_results[s];
+      if (diags != nullptr) {
+        diags[j].starts.push_back(FitDiag::Start{
+            res.rmse, res.iterations, res.model_evals, res.term});
+      }
       if (!std::isfinite(res.rmse)) continue;
       bool finite = true;
       for (double v : res.params) {
@@ -418,6 +452,7 @@ void fit_kernel_over_prefixes(KernelType type, const std::vector<double>& xs,
         best = FittedFunction{type, res.params, ws.pref_scale[j]};
       }
     }
+    if (diags != nullptr) diags[j].solved = best.has_value();
     out[j] = std::move(best);
   }
 }

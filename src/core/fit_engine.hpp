@@ -37,14 +37,37 @@ struct FitOptions {
   int levmar_max_iterations = 120;
 };
 
+/// Per-fit diagnostic record for the audit layer: what happened to each LM
+/// start (or the single direct solve) of one (kernel, prefix) fit. The
+/// scalar and batched paths fill it from the same per-problem LM results,
+/// so for a given fit the record is bit-identical across engines.
+struct FitDiag {
+  /// How the fit was produced. kGuard covers rejected inputs (too few
+  /// points, non-positive cores, the all-zero ExpRat case); kTrivial the
+  /// all-zero shortcut; kLinear the direct QR solve; kNonlinear the LM
+  /// refinement (one Start per LM starting point, in start order).
+  enum class Path : std::uint8_t { kGuard, kTrivial, kLinear, kNonlinear };
+  struct Start {
+    double rmse = 0.0;  ///< LM rmse in the scaled-value space
+    int iterations = 0;
+    std::size_t model_evals = 0;
+    numeric::LevMarTermination term = numeric::LevMarTermination::kNone;
+  };
+  Path path = Path::kGuard;
+  bool solved = false;        ///< did this fit produce a FittedFunction
+  std::vector<Start> starts;  ///< nonlinear path only
+};
+
 /// Fits `type` to the points (xs, ys). Returns std::nullopt when the fit is
 /// impossible (too few points, degenerate data) or produced non-finite
 /// parameters. The returned function is *not* realism-checked; callers
-/// apply is_realistic with their extrapolation range.
+/// apply is_realistic with their extrapolation range. When `diag` is
+/// non-null it is overwritten with the fit's diagnostic record.
 std::optional<FittedFunction> fit_kernel(KernelType type,
                                          const std::vector<double>& xs,
                                          const std::vector<double>& ys,
-                                         const FitOptions& opts = {});
+                                         const FitOptions& opts = {},
+                                         FitDiag* diag = nullptr);
 
 // ---------------------------------------------------------------------------
 // SoA batched fitting path. Everything below produces results bit-identical
@@ -114,14 +137,17 @@ struct FitBatchWorkspace {
 /// precomputed EvalTables of the *full* xs; prefix j reads its leading
 /// prefixes[j] entries. out[j] receives the fit for prefixes[j],
 /// bit-identical to fit_kernel(type, xs[0..prefixes[j]),
-/// values[0..prefixes[j]), opts).
+/// values[0..prefixes[j]), opts). When `diags` is non-null it points at
+/// n_prefixes records; diags[j] is overwritten with the same diagnostic
+/// record fit_kernel would produce for prefix j.
 void fit_kernel_over_prefixes(KernelType type, const std::vector<double>& xs,
                               const EvalTables& tables,
                               const std::vector<double>& values,
                               const std::size_t* prefixes,
                               std::size_t n_prefixes, const FitOptions& opts,
                               FitBatchWorkspace& ws,
-                              std::optional<FittedFunction>* out);
+                              std::optional<FittedFunction>* out,
+                              FitDiag* diags = nullptr);
 
 /// Fits all six Table-1 kernels to the first `prefix` points of
 /// (xs, values): a one-prefix wrapper over fit_kernel_over_prefixes.

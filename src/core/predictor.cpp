@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/fit_audit.hpp"
 #include "core/hash.hpp"
 #include "numeric/stats.hpp"
 #include "obs/trace.hpp"
@@ -65,6 +66,11 @@ ExtrapolationConfig tuned_extrap(const PredictionConfig& cfg,
   e.pool = pool;
   e.deadline = deadline;
   e.trace = trace;
+  // A caller-set audit sink cannot serve the parallel category fan-out
+  // (one sink, many writers); predict() hands each category its own sink
+  // via the PredictionAudit overload instead. cfg.extrap.metrics stays:
+  // it is thread-safe and shareable by design.
+  e.audit = nullptr;
   if (!cfg.target_cores.empty()) {
     e.target_max_cores = std::max<double>(
         e.target_max_cores,
@@ -110,6 +116,12 @@ Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
 Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
                    parallel::ThreadPool* pool, const Deadline* deadline,
                    obs::TraceContext* trace) {
+  return predict(ms, cfg, pool, deadline, trace, nullptr);
+}
+
+Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
+                   parallel::ThreadPool* pool, const Deadline* deadline,
+                   obs::TraceContext* trace, PredictionAudit* audit) {
   if (deadline != nullptr && deadline->expired()) {
     throw DeadlineExceeded("predict: deadline expired before work began");
   }
@@ -166,10 +178,26 @@ Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
   std::vector<std::optional<SeriesExtrapolation>> exts(
       input.categories.size());
   std::vector<EnumerationStats> ext_stats(input.categories.size());
+  if (audit != nullptr) {
+    audit->categories.clear();
+    audit->categories.resize(input.categories.size());
+    for (std::size_t i = 0; i < input.categories.size(); ++i) {
+      audit->categories[i].name = input.categories[i].name;
+    }
+    audit->factor = FitAudit{};
+    audit->factor_used_relaxed = false;
+  }
   parallel::parallel_for(
       extrap.pool, input.categories.size(), [&](std::size_t i) {
-        exts[i] = extrapolate_series(input.cores, input.categories[i].values,
-                                     extrap, &ext_stats[i]);
+        if (audit != nullptr) {
+          ExtrapolationConfig per_cat = extrap;
+          per_cat.audit = &audit->categories[i].audit;
+          exts[i] = extrapolate_series(input.cores, input.categories[i].values,
+                                       per_cat, &ext_stats[i]);
+        } else {
+          exts[i] = extrapolate_series(input.cores, input.categories[i].values,
+                                       extrap, &ext_stats[i]);
+        }
       });
   // A category whose enumeration was abandoned mid-way reads as "no
   // realistic fit" — indistinguishable from a legitimately unfittable
@@ -231,12 +259,17 @@ Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
   // refitting everything on the retry (auditable via factor_stats).
   RealismOptions strict_realism = extrap.realism;
   strict_realism.explosion_factor = 5.0;
+  ExtrapolationConfig factor_extrap = extrap;
+  if (audit != nullptr) factor_extrap.audit = &audit->factor;
   auto factor_passes = enumerate_candidates_filtered(
-      input.cores, factor_meas, extrap, {strict_realism, extrap.realism},
-      &out.factor_stats);
+      input.cores, factor_meas, factor_extrap,
+      {strict_realism, extrap.realism}, &out.factor_stats);
   raise_if_abandoned(out.factor_stats, "scaling-factor enumeration");
   enumerate_span.stop();
   out.factor_used_relaxed_realism = factor_passes[0].empty();
+  if (audit != nullptr) {
+    audit->factor_used_relaxed = out.factor_used_relaxed_realism;
+  }
   std::vector<CandidateFit> factor_candidates = std::move(
       out.factor_used_relaxed_realism ? factor_passes[1] : factor_passes[0]);
   if (factor_candidates.empty()) {
@@ -305,6 +338,11 @@ Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
 
   out.factor_fn = chosen->fn;
   out.factor_correlation = chosen_corr;
+  // The factor winner is chosen here (by correlation), not inside the
+  // enumeration, so the winner upgrade happens here too. Metrics-only
+  // callers still get their winner counter bumped.
+  audit_mark_winner(audit != nullptr ? &audit->factor : nullptr,
+                    extrap.metrics, *chosen, input.cores, factor_meas);
 
   // The factor (seconds per stalled-cycle-per-core) is a slowly varying
   // link between two quantities that already carry the scaling trend, so
@@ -418,8 +456,8 @@ std::uint64_t config_signature(const PredictionConfig& cfg) {
   h.i64(e.realism.max_steps);
   h.f64(e.fit.ridge_lambda);
   h.i64(e.fit.levmar_max_iterations);
-  // e.memoize_fits, e.engine, e.pool, e.deadline and e.trace deliberately
-  // excluded:
+  // e.memoize_fits, e.engine, e.pool, e.deadline, e.trace, e.audit and
+  // e.metrics deliberately excluded:
   // the *answer* (times, stalls, chosen fits) is bit-identical across all
   // of them — a deadline can only turn an answer into an exception, a
   // trace only observes where the time went, and the batched fit engine

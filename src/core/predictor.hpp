@@ -23,6 +23,8 @@
 
 namespace estima::core {
 
+struct PredictionAudit;
+
 struct PredictionConfig {
   std::vector<int> target_cores;    ///< core counts to predict for
   double target_freq_ghz = 0.0;     ///< 0 => same frequency as measurement
@@ -90,12 +92,25 @@ Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
                    parallel::ThreadPool* pool, const Deadline* deadline,
                    obs::TraceContext* trace);
 
+/// Same pipeline with a fit-audit sink attached: when `audit` is non-null
+/// it receives one FitAudit per stall category (each category's config
+/// points at its own sink, so the parallel category fan-out never shares
+/// one) plus the scaling-factor enumeration's audit with its winner
+/// scorecard. Audits are collected in serial slot order from per-slot
+/// data, so like the prediction itself they are bit-identical across
+/// {kReference, kBatched} x any pool size. Null = unaudited; the pointer
+/// cannot change produced values. cfg.extrap.audit itself is ignored by
+/// predict() — a single sink cannot serve parallel categories.
+Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
+                   parallel::ThreadPool* pool, const Deadline* deadline,
+                   obs::TraceContext* trace, PredictionAudit* audit);
+
 /// Stable 64-bit FNV-1a signature over every config field that can change
 /// a prediction's numeric result. memoize_fits, the pool pointer, the
-/// deadline, and the trace pointer are excluded: all are
-/// bit-identical-output knobs by construction, so results may be shared
-/// across them. The serving layer combines this with a measurement digest
-/// into campaign-hash cache keys.
+/// deadline, the trace pointer, and the audit/metrics sinks are excluded:
+/// all are bit-identical-output knobs by construction, so results may be
+/// shared across them. The serving layer combines this with a measurement
+/// digest into campaign-hash cache keys.
 std::uint64_t config_signature(const PredictionConfig& cfg);
 
 /// Baseline: extrapolates execution time directly using the same kernel and

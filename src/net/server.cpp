@@ -25,6 +25,7 @@
 #include <utility>
 
 #include "fault/checked_io.hpp"
+#include "obs/event_log.hpp"
 #include "obs/trace.hpp"
 
 namespace estima::net {
@@ -746,8 +747,14 @@ struct HttpServer::EventLoop {
 
   /// Serializes and starts writing a loop-generated response (errors,
   /// timeouts). Handler responses arrive via apply_completion instead.
-  void start_response(Conn& c, const HttpResponse& resp, bool keep,
-                      bool linger) {
+  /// Takes the response by value: loop-generated errors never pass
+  /// through the router, so the trace id (when the request got far enough
+  /// to have one — the propagated-408 path) is echoed here.
+  void start_response(Conn& c, HttpResponse resp, bool keep, bool linger) {
+    if (c.trace && resp.status >= 400) {
+      resp.headers.emplace_back("x-estima-trace-id",
+                                obs::format_trace_id(c.trace->trace_id()));
+    }
     srv_.count_response(resp.status);
     // Stop reading while the response goes out: with level-triggered
     // readiness, leaving EPOLLIN armed over still-buffered bytes would
@@ -945,14 +952,25 @@ void HttpServer::HandlerPool::run() {
     }
     const RequestContext ctx{job.deadline, shedding(), job.trace};
     HttpResponse resp;
+    bool threw = false;
     try {
       resp = srv_.handler_(job.req, ctx);
     } catch (const core::DeadlineExceeded& e) {
       resp = plain_response(408, e.what());
+      threw = true;
     } catch (const std::invalid_argument& e) {
       resp = plain_response(400, e.what());
+      threw = true;
     } catch (const std::exception& e) {
       resp = plain_response(500, e.what());
+      threw = true;
+    }
+    // The router echoes the trace id on every response it builds; a
+    // handler that threw bypassed it, so the pool echoes here instead
+    // (the `threw` guard keeps the header single).
+    if (threw && job.trace) {
+      resp.headers.emplace_back("x-estima-trace-id",
+                                obs::format_trace_id(job.trace->trace_id()));
     }
     const bool keep =
         job.keep && !srv_.stopping_.load(std::memory_order_acquire);
@@ -976,6 +994,20 @@ void HttpServer::HandlerPool::respond_shed(Job& job) {
   HttpResponse resp = plain_response(503, "server overloaded, retry later");
   resp.headers.emplace_back(
       "retry-after", std::to_string(std::max(srv_.cfg_.retry_after_s, 0)));
+  if (job.trace) {
+    resp.headers.emplace_back("x-estima-trace-id",
+                              obs::format_trace_id(job.trace->trace_id()));
+  }
+  // A shed request never reaches the router (the usual event emitter), so
+  // the edge writes its line: queue wait is the only latency it ever had.
+  if (srv_.cfg_.event_log != nullptr) {
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - job.enqueued)
+            .count();
+    srv_.cfg_.event_log->emit(obs::format_request_event(
+        job.trace ? obs::format_trace_id(job.trace->trace_id()) : "",
+        job.req.target, 503, "", "shed", "", waited_ms));
+  }
   const bool keep =
       job.keep && !srv_.stopping_.load(std::memory_order_acquire);
   job.loop->post_completion(job.conn_id, serialize_response(resp, keep),

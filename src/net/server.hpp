@@ -39,6 +39,7 @@
 #include "net/server_stats.hpp"
 
 namespace estima::obs {
+class EventLog;
 class Tracer;
 class TraceContext;
 }  // namespace estima::obs
@@ -126,6 +127,10 @@ struct ServerConfig {
   /// one relaxed atomic load per event. Swappable at runtime via
   /// set_tracer() (benches use this to measure the overhead delta).
   obs::Tracer* tracer = nullptr;
+  /// Structured JSONL event log (borrowed, must outlive the server).
+  /// The edge writes one line per request it sheds — requests the
+  /// handler (and its own event emission) never sees. Null = off.
+  obs::EventLog* event_log = nullptr;
 };
 
 class HttpServer {

@@ -54,6 +54,19 @@ double norm2_raw(const double* v, std::size_t n) {
 
 }  // namespace
 
+const char* levmar_termination_name(LevMarTermination t) {
+  switch (t) {
+    case LevMarTermination::kNone: return "none";
+    case LevMarTermination::kConverged: return "converged";
+    case LevMarTermination::kMaxIterations: return "max-iterations";
+    case LevMarTermination::kNoProgress: return "no-progress";
+    case LevMarTermination::kCholeskyFail: return "cholesky-fail";
+    case LevMarTermination::kNudgeExhausted: return "nudge-exhausted";
+    case LevMarTermination::kNonFinite: return "non-finite";
+  }
+  return "unknown";
+}
+
 LevMarResult levenberg_marquardt(const BatchModelFn& f,
                                  const std::vector<double>& xs,
                                  const std::vector<double>& ys,
@@ -79,10 +92,12 @@ LevMarResult levenberg_marquardt(const BatchModelFn& f,
     }
     if (!std::isfinite(cost)) {
       out.rmse = kInf;
+      out.term = LevMarTermination::kNudgeExhausted;
       return out;
     }
   }
 
+  out.term = LevMarTermination::kMaxIterations;
   double lambda = opts.initial_lambda;
   ws.J.resize(m, n);
   ws.resid.resize(m);
@@ -101,7 +116,10 @@ LevMarResult levenberg_marquardt(const BatchModelFn& f,
       }
       ws.resid[i] = ws.vals[i] - ys[i];
     }
-    if (!finite) break;
+    if (!finite) {
+      out.term = LevMarTermination::kNonFinite;
+      break;
+    }
 
     // Forward-difference Jacobian, one batched model sweep per column.
     for (std::size_t j = 0; j < n; ++j) {
@@ -124,10 +142,12 @@ LevMarResult levenberg_marquardt(const BatchModelFn& f,
     for (double v : ws.g) gmax = std::max(gmax, std::fabs(v));
     if (gmax < opts.gradient_tol) {
       out.converged = true;
+      out.term = LevMarTermination::kConverged;
       break;
     }
 
     bool step_taken = false;
+    bool factor_failed_last = false;
     for (int tries = 0; tries < 12 && !step_taken; ++tries) {
       ws.damped = ws.JtJ;
       for (std::size_t j = 0; j < n; ++j) {
@@ -135,6 +155,7 @@ LevMarResult levenberg_marquardt(const BatchModelFn& f,
         ws.damped(j, j) += lambda * (d > 0.0 ? d : 1.0);
       }
       if (!cholesky_factor(ws.damped, ws.L)) {
+        factor_failed_last = true;
         lambda *= opts.lambda_up;
         continue;
       }
@@ -156,13 +177,22 @@ LevMarResult levenberg_marquardt(const BatchModelFn& f,
         step_taken = true;
         if (step / scale < opts.step_tol) {
           out.converged = true;
+          out.term = LevMarTermination::kConverged;
           stop = true;
         }
       } else {
+        factor_failed_last = false;
         lambda *= opts.lambda_up;
       }
     }
-    if (!step_taken) break;  // damping exhausted: local minimum reached
+    if (!step_taken) {
+      // Damping exhausted: local minimum reached. Report what the final
+      // try did — the distinction (singular system vs rejected step) is
+      // what the fit audit surfaces.
+      out.term = factor_failed_last ? LevMarTermination::kCholeskyFail
+                                    : LevMarTermination::kNoProgress;
+      break;
+    }
   }
 
   out.params = p;
@@ -230,6 +260,7 @@ struct MultiCtx {
                  ? std::sqrt(st.cost / static_cast<double>(M(s)))
                  : kInf;
     r.model_evals = st.evals;
+    r.term = st.term;
     st.phase = kPhaseDone;
     ws.pend_sets[s] = 0;
   }
@@ -244,6 +275,7 @@ struct MultiCtx {
     r.converged = false;
     r.rmse = kInf;
     r.model_evals = st.evals;
+    r.term = LevMarTermination::kNudgeExhausted;
     st.phase = kPhaseDone;
     ws.pend_sets[s] = 0;
   }
@@ -259,6 +291,9 @@ struct MultiCtx {
   void enter_iteration(std::size_t s) {
     MultiLevMarWorkspace::State& st = ws.states[s];
     if (st.iter >= opts.max_iterations || st.stop) {
+      // st.term was already set to kConverged when a tolerance stopped us;
+      // otherwise the iteration budget ran out.
+      if (!st.converged) st.term = LevMarTermination::kMaxIterations;
       finish(s);
       return;
     }
@@ -268,6 +303,7 @@ struct MultiCtx {
     double* r = Resid(s);
     for (std::size_t i = 0; i < m; ++i) {
       if (!std::isfinite(v[i])) {
+        st.term = LevMarTermination::kNonFinite;
         finish(s);
         return;
       }
@@ -296,7 +332,11 @@ struct MultiCtx {
       ws.q_factor.push_back(s);
       return;
     }
-    finish(s);  // damping exhausted: local minimum reached
+    // Damping exhausted: local minimum reached. Reached only via the
+    // rejected-step path (the factor-fail path finishes in the drain), so
+    // the final try matches the sequential engine's kNoProgress exit.
+    ws.states[s].term = LevMarTermination::kNoProgress;
+    finish(s);
   }
 
   void build_damped(std::size_t s) {
@@ -337,6 +377,7 @@ struct MultiCtx {
           if (st.tries < 12) {
             ws.q_retry.push_back(s);
           } else {
+            st.term = LevMarTermination::kCholeskyFail;
             finish(s);
           }
         }
@@ -412,6 +453,7 @@ struct MultiCtx {
     for (std::size_t j = 0; j < n; ++j) gmax = std::max(gmax, std::fabs(g[j]));
     if (gmax < opts.gradient_tol) {
       st.converged = true;
+      st.term = LevMarTermination::kConverged;
       finish(s);
       return;
     }
@@ -433,6 +475,7 @@ struct MultiCtx {
       if (step / scale < opts.step_tol) {
         st.converged = true;
         st.stop = true;
+        st.term = LevMarTermination::kConverged;
       }
       ++st.iter;
       enter_iteration(s);
@@ -463,6 +506,7 @@ void levenberg_marquardt_multi(const PanelModel& model, const double* ys,
       results[s].iterations = 0;
       results[s].converged = false;
       results[s].model_evals = 0;
+      results[s].term = LevMarTermination::kNone;
     }
     return;
   }
@@ -514,6 +558,7 @@ void levenberg_marquardt_multi(const PanelModel& model, const double* ys,
       results[s].iterations = 0;
       results[s].converged = false;
       results[s].model_evals = 0;
+      results[s].term = LevMarTermination::kNone;
       ws.states[s].phase = kPhaseDone;
       continue;
     }

@@ -9,6 +9,7 @@
 // of one per point).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -35,12 +36,28 @@ struct LevMarOptions {
   double jacobian_eps = 1e-7;    ///< relative forward-difference step
 };
 
+/// Why the solver stopped. Both engines set this at the same exits of the
+/// same per-problem algorithm, so for a given problem the value is
+/// bit-for-bit reproducible regardless of engine or batching.
+enum class LevMarTermination : std::uint8_t {
+  kNone = 0,         ///< degenerate problem (no points or no parameters)
+  kConverged,        ///< gradient_tol or step_tol triggered the stop
+  kMaxIterations,    ///< iteration budget exhausted
+  kNoProgress,       ///< damping exhausted, last trial step was rejected
+  kCholeskyFail,     ///< damping exhausted, last factorization failed
+  kNudgeExhausted,   ///< never found a finite cost near the start point
+  kNonFinite,        ///< model values went non-finite at the current point
+};
+
+const char* levmar_termination_name(LevMarTermination t);
+
 struct LevMarResult {
   std::vector<double> params;
   double rmse = 0.0;           ///< root mean squared residual at the optimum
   int iterations = 0;
   bool converged = false;      ///< true when a tolerance triggered the stop
   std::size_t model_evals = 0; ///< model point evaluations consumed
+  LevMarTermination term = LevMarTermination::kNone;  ///< why it stopped
 };
 
 /// Reusable scratch space for levenberg_marquardt. Keep one per thread and
@@ -121,6 +138,7 @@ struct MultiLevMarWorkspace {
     bool stop = false;
     bool converged = false;
     std::size_t evals = 0;
+    LevMarTermination term = LevMarTermination::kNone;
   };
   std::vector<State> states;
 };

@@ -1,0 +1,169 @@
+#include "obs/event_log.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/json_writer.hpp"
+
+namespace estima::obs {
+
+EventLog::EventLog(EventLogConfig cfg) : cfg_(std::move(cfg)) {
+  std::size_t cap = 2;
+  while (cap < cfg_.ring_capacity) cap <<= 1;
+  mask_ = cap - 1;
+  cells_ = std::make_unique<Cell[]>(cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+  writer_ = std::thread([this] { writer_loop(); });
+}
+
+EventLog::~EventLog() { stop(); }
+
+bool EventLog::emit(std::string line) {
+  if (stopped_.load(std::memory_order_acquire)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Cell* cell = nullptr;
+  std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    cell = &cells_[pos & mask_];
+    const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+    const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                              static_cast<std::intptr_t>(pos);
+    if (dif == 0) {
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        break;
+      }
+    } else if (dif < 0) {
+      // The cell one lap behind is still unconsumed: the ring is full.
+      // Dropping here is the whole point — the hot path never waits.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    } else {
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+  cell->line = std::move(line);
+  cell->seq.store(pos + 1, std::memory_order_release);
+  return true;
+}
+
+bool EventLog::pop(std::string& out) {
+  Cell& cell = cells_[dequeue_pos_ & mask_];
+  const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+  if (static_cast<std::intptr_t>(seq) -
+          static_cast<std::intptr_t>(dequeue_pos_ + 1) <
+      0) {
+    return false;  // not yet published
+  }
+  out = std::move(cell.line);
+  cell.line.clear();
+  cell.seq.store(dequeue_pos_ + mask_ + 1, std::memory_order_release);
+  ++dequeue_pos_;
+  return true;
+}
+
+void EventLog::rotate() {
+  std::fclose(out_);
+  const std::string prev = cfg_.path + ".1";
+  std::remove(prev.c_str());
+  std::rename(cfg_.path.c_str(), prev.c_str());
+  out_ = std::fopen(cfg_.path.c_str(), "wb");
+  file_bytes_ = 0;
+  rotations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EventLog::write_line(const std::string& line) {
+  if (out_ == nullptr) {
+    write_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (cfg_.rotate_bytes > 0 && file_bytes_ > 0 &&
+      file_bytes_ + line.size() + 1 > cfg_.rotate_bytes) {
+    rotate();
+    if (out_ == nullptr) {
+      write_failures_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  const std::size_t n = std::fwrite(line.data(), 1, line.size(), out_);
+  const bool nl = std::fputc('\n', out_) != EOF;
+  if (n != line.size() || !nl) {
+    write_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  file_bytes_ += line.size() + 1;
+  written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EventLog::writer_loop() {
+  out_ = cfg_.path.empty() ? nullptr : std::fopen(cfg_.path.c_str(), "ab");
+  std::string line;
+  for (;;) {
+    bool wrote = false;
+    while (pop(line)) {
+      write_line(line);
+      wrote = true;
+    }
+    if (wrote && out_ != nullptr) std::fflush(out_);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) break;
+    const int ms = cfg_.flush_interval_ms > 0 ? cfg_.flush_interval_ms : 50;
+    cv_.wait_for(lock, std::chrono::milliseconds(ms),
+                 [&] { return stopping_; });
+    if (stopping_) break;
+  }
+  // Final drain: everything emitted before stop() lands on disk.
+  while (pop(line)) write_line(line);
+  if (out_ != nullptr) {
+    std::fflush(out_);
+    std::fclose(out_);
+    out_ = nullptr;
+  }
+}
+
+void EventLog::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  // New emits race the final drain; refuse them up front so a line can
+  // never sit in the ring with nobody left to write it.
+  stopped_.store(true, std::memory_order_release);
+  cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+std::string format_request_event(const std::string& trace_id,
+                                 const std::string& target, int status,
+                                 const std::string& campaign_hash,
+                                 const std::string& disposition,
+                                 const std::string& winner_kernel,
+                                 double latency_ms) {
+  char num[32];
+  std::string s;
+  s.reserve(target.size() + 160);
+  s += "{\"trace_id\":\"";
+  s += json_escape(trace_id);
+  s += "\",\"target\":\"";
+  s += json_escape(target);
+  s += "\",\"status\":";
+  std::snprintf(num, sizeof num, "%d", status);
+  s += num;
+  s += ",\"campaign_hash\":\"";
+  s += json_escape(campaign_hash);
+  s += "\",\"disposition\":\"";
+  s += json_escape(disposition);
+  s += "\",\"winner_kernel\":\"";
+  s += json_escape(winner_kernel);
+  s += "\",\"latency_ms\":";
+  std::snprintf(num, sizeof num, "%.3f", latency_ms >= 0.0 ? latency_ms : 0.0);
+  s += num;
+  s += '}';
+  return s;
+}
+
+}  // namespace estima::obs

@@ -31,10 +31,14 @@ std::uint64_t PredictionService::hash_of(
 
 std::shared_ptr<const core::Prediction> PredictionService::compute_or_join(
     std::uint64_t key, const core::MeasurementSet& ms,
-    const core::Deadline* deadline, obs::TraceContext* trace) {
+    const core::Deadline* deadline, obs::TraceContext* trace,
+    CacheDisposition* disposition) {
   {
     obs::SpanTimer lookup_span(trace, obs::Stage::kCacheLookup);
-    if (auto cached = cache_.get(key)) return cached;
+    if (auto cached = cache_.get(key)) {
+      if (disposition != nullptr) *disposition = CacheDisposition::kHit;
+      return cached;
+    }
   }
 
   std::shared_ptr<InFlight> flight;
@@ -59,6 +63,7 @@ std::shared_ptr<const core::Prediction> PredictionService::compute_or_join(
       ++inflight_joins_;
     }
     if (flight->error) std::rethrow_exception(flight->error);
+    if (disposition != nullptr) *disposition = CacheDisposition::kHit;
     return flight->result;
   }
 
@@ -68,6 +73,7 @@ std::shared_ptr<const core::Prediction> PredictionService::compute_or_join(
   bool inserted = false;
   if (auto cached = cache_.peek(key)) {
     flight->result = cached;
+    if (disposition != nullptr) *disposition = CacheDisposition::kHit;
   } else {
     try {
       auto result = std::make_shared<const core::Prediction>(
@@ -75,6 +81,7 @@ std::shared_ptr<const core::Prediction> PredictionService::compute_or_join(
       cache_.put(key, result);
       flight->result = std::move(result);
       inserted = true;
+      if (disposition != nullptr) *disposition = CacheDisposition::kMiss;
       std::lock_guard<std::mutex> slock(stats_mu_);
       ++predictions_computed_;
     } catch (const core::DeadlineExceeded&) {
@@ -128,12 +135,23 @@ void PredictionService::note_insertion_for_auto_snapshot() {
 
 core::Prediction PredictionService::predict_one(
     const core::MeasurementSet& ms, const core::Deadline* deadline,
-    obs::TraceContext* trace) {
+    obs::TraceContext* trace, CacheDisposition* disposition) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++campaigns_submitted_;
   }
-  return *compute_or_join(hash_of(ms), ms, deadline, trace);
+  return *compute_or_join(hash_of(ms), ms, deadline, trace, disposition);
+}
+
+core::Prediction PredictionService::explain(const core::MeasurementSet& ms,
+                                            core::PredictionAudit& audit,
+                                            const core::Deadline* deadline,
+                                            obs::TraceContext* trace) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++explains_served_;
+  }
+  return core::predict(ms, cfg_.prediction, pool_, deadline, trace, &audit);
 }
 
 std::shared_ptr<const core::Prediction> PredictionService::cached_or_stale(
@@ -246,6 +264,7 @@ ServiceStats PredictionService::stats() const {
     s.auto_snapshots = auto_snapshots_;
     s.auto_snapshot_failures = auto_snapshot_failures_;
     s.predictions_cancelled = predictions_cancelled_;
+    s.explains_served = explains_served_;
   }
   s.cache = cache_.stats();
   return s;

@@ -89,6 +89,11 @@ struct ServiceConfig {
   std::string auto_snapshot_path;
 };
 
+/// How predict_one sourced its answer, reported for the event log:
+/// kHit covers both a cache hit and joining another thread's in-flight
+/// computation (either way no fit work ran for this request).
+enum class CacheDisposition { kUnknown, kHit, kMiss };
+
 struct ServiceStats {
   std::uint64_t campaigns_submitted = 0;
   std::uint64_t predictions_computed = 0;   ///< actual predict() runs
@@ -107,6 +112,9 @@ struct ServiceStats {
   /// Computations that ended in DeadlineExceeded (the client's budget ran
   /// out mid-fit and the pipeline stopped cooperatively).
   std::uint64_t predictions_cancelled = 0;
+  /// Audited explain() computations served (always computed fresh; never
+  /// cached, never counted as campaigns_submitted).
+  std::uint64_t explains_served = 0;
   CacheStats cache;
 };
 
@@ -130,9 +138,24 @@ class PredictionService {
   /// surfaces the owner's outcome, including its DeadlineExceeded.
   /// With a trace, records `cache.lookup` here and the fit.* spans inside
   /// predict(); like the deadline, the trace cannot change the answer.
+  /// `disposition`, when non-null, reports where the answer came from
+  /// (cache/join = kHit, fresh computation = kMiss); left kUnknown when
+  /// the request throws instead of answering.
   core::Prediction predict_one(const core::MeasurementSet& ms,
                                const core::Deadline* deadline = nullptr,
-                               obs::TraceContext* trace = nullptr);
+                               obs::TraceContext* trace = nullptr,
+                               CacheDisposition* disposition = nullptr);
+
+  /// Audited prediction for POST /v1/explain: runs the full pipeline
+  /// fresh with `audit` attached, bypassing the cache and the in-flight
+  /// table — the bit-identity contract guarantees the answer equals the
+  /// cached one, and an audit only exists for fits that actually ran.
+  /// The result is deliberately not cached: explain is a diagnostic
+  /// endpoint and must not evict serving traffic.
+  core::Prediction explain(const core::MeasurementSet& ms,
+                           core::PredictionAudit& audit,
+                           const core::Deadline* deadline = nullptr,
+                           obs::TraceContext* trace = nullptr);
 
   /// Batch entry: results in input order, bit-identical to a serial
   /// predict() loop over the same campaigns. One deadline covers the
@@ -185,7 +208,8 @@ class PredictionService {
   /// predict() threw; errors are published to joiners but never cached.
   std::shared_ptr<const core::Prediction> compute_or_join(
       std::uint64_t key, const core::MeasurementSet& ms,
-      const core::Deadline* deadline, obs::TraceContext* trace);
+      const core::Deadline* deadline, obs::TraceContext* trace,
+      CacheDisposition* disposition = nullptr);
 
   /// Counts one computed insertion toward snapshot_every and writes the
   /// automatic snapshot when this insertion is the K-th. Exactly one
@@ -211,6 +235,7 @@ class PredictionService {
   std::uint64_t auto_snapshots_ = 0;
   std::uint64_t auto_snapshot_failures_ = 0;
   std::uint64_t predictions_cancelled_ = 0;
+  std::uint64_t explains_served_ = 0;
 };
 
 }  // namespace estima::service

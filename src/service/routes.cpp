@@ -8,9 +8,11 @@
 #include <stdexcept>
 
 #include "core/deadline.hpp"
+#include "core/fit_audit.hpp"
 #include "core/measurement.hpp"
 #include "core/prediction_io.hpp"
 #include "fault/fault_injection.hpp"
+#include "obs/event_log.hpp"
 #include "obs/json_writer.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
@@ -49,6 +51,82 @@ net::HttpResponse json_response(const obs::JsonWriter& w) {
   resp.headers.emplace_back("content-type", "application/json");
   resp.body = w.str();
   return resp;
+}
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, h);
+  return buf;
+}
+
+/// Prometheus label-value escaping (backslash, quote, newline) for the
+/// caller-supplied strings in estima_build_info.
+std::string prom_label_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// One FitAudit as JSON (keys opened by the caller): the winner block,
+/// then every attempt and candidate in the fixed serial slot order the
+/// engines emitted them in — the JSON is byte-identical whenever the
+/// audit is, so the bit-identity contract survives serialization.
+void write_fit_audit(obs::JsonWriter& w, const core::FitAudit& a) {
+  w.kv("has_winner", a.has_winner);
+  if (a.has_winner) {
+    w.begin_object("winner");
+    w.kv("kernel", core::kernel_name(a.winner_kernel));
+    w.kv("prefix", a.winner_prefix);
+    w.kv("checkpoints", a.winner_checkpoints);
+    w.kv("rmse", a.winner_rmse);
+    w.begin_array("scorecard");
+    for (std::size_t i = 0; i < a.checkpoint_cores.size(); ++i) {
+      w.begin_object();
+      w.kv("cores", a.checkpoint_cores[i]);
+      w.kv("predicted", a.checkpoint_predicted[i]);
+      w.kv("actual", a.checkpoint_actual[i]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.begin_array("attempts");
+  for (const auto& at : a.attempts) {
+    w.begin_object();
+    w.kv("kernel", core::kernel_name(at.kernel));
+    w.kv("prefix", at.prefix_len);
+    w.kv("start", at.start);
+    w.kv("outcome", core::fit_outcome_name(at.outcome));
+    w.kv("rmse", at.rmse);
+    w.kv("iterations", at.iterations);
+    w.kv("model_evals", at.model_evals);
+    w.end_object();
+  }
+  w.end_array();
+  w.begin_array("candidates");
+  for (const auto& c : a.candidates) {
+    w.begin_object();
+    w.kv("kernel", core::kernel_name(c.kernel));
+    w.kv("prefix", c.prefix_len);
+    w.kv("checkpoints", c.checkpoints);
+    w.kv("outcome", core::fit_outcome_name(c.outcome));
+    w.kv("realistic_mask", c.realistic_mask);
+    w.kv("checkpoint_rmse", c.checkpoint_rmse);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("fits_cancelled", static_cast<std::uint64_t>(a.fits_cancelled));
+  w.kv("fits_aborted", static_cast<std::uint64_t>(a.fits_aborted));
 }
 
 }  // namespace
@@ -135,18 +213,44 @@ net::HttpResponse ServiceRouter::handle(const net::HttpRequest& req) {
 
 net::HttpResponse ServiceRouter::handle(const net::HttpRequest& req,
                                         const net::RequestContext& ctx) {
-  net::HttpResponse resp = dispatch(req, ctx);
+  const auto start = std::chrono::steady_clock::now();
+  RequestEvent ev;
+  net::HttpResponse resp = dispatch(req, ctx, ev);
   // Echo the request's trace id on every response — success or mapped
   // error — so clients can correlate answers with /v1/trace entries.
   if (ctx.trace) {
     resp.headers.emplace_back("x-estima-trace-id",
                               obs::format_trace_id(ctx.trace->trace_id()));
   }
+  if (event_log_ != nullptr) {
+    // One line per request. The handler reported the cache disposition;
+    // an error response overrides it (408 = the deadline cancelled the
+    // computation, other 4xx/5xx = error), because the handler's answer
+    // never reached the client.
+    const char* disposition = ev.disposition;
+    if (resp.status == 408) {
+      disposition = "cancelled";
+    } else if (resp.status >= 400) {
+      disposition = "error";
+    }
+    const double latency_ms =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()) /
+        1e6;
+    event_log_->emit(obs::format_request_event(
+        ctx.trace ? obs::format_trace_id(ctx.trace->trace_id()) : "",
+        req.target, resp.status,
+        ev.has_campaign ? hash_hex(ev.campaign_hash) : "", disposition,
+        ev.winner_kernel, latency_ms));
+  }
   return resp;
 }
 
 net::HttpResponse ServiceRouter::dispatch(const net::HttpRequest& req,
-                                          const net::RequestContext& ctx) {
+                                          const net::RequestContext& ctx,
+                                          RequestEvent& ev) {
   // The effective deadline: the edge's propagated 408 budget, tightened
   // by the client's own X-Estima-Deadline-Ms header. A client header with
   // no propagated budget gets a request-local deadline instead — the
@@ -166,11 +270,19 @@ net::HttpResponse ServiceRouter::dispatch(const net::HttpRequest& req,
     }
     if (req.target == "/v1/predict") {
       if (req.method != "POST") return method_not_allowed("POST");
-      return handle_predict(req, ctx, deadline);
+      return handle_predict(req, ctx, deadline, ev);
     }
     if (req.target == "/v1/predict_batch") {
       if (req.method != "POST") return method_not_allowed("POST");
       return handle_predict_batch(req, ctx, deadline);
+    }
+    if (req.target == "/v1/explain") {
+      if (req.method != "POST") return method_not_allowed("POST");
+      return handle_explain(req, ctx, deadline, ev);
+    }
+    if (req.target.rfind("/v1/explain/", 0) == 0) {
+      if (req.method != "GET") return method_not_allowed("GET");
+      return handle_explain_get(req.target.substr(sizeof "/v1/explain/" - 1));
     }
     if (req.target == "/v1/stats") {
       if (req.method != "GET") return method_not_allowed("GET");
@@ -207,11 +319,13 @@ net::HttpResponse ServiceRouter::dispatch(const net::HttpRequest& req,
 
 net::HttpResponse ServiceRouter::handle_predict(
     const net::HttpRequest& req, const net::RequestContext& ctx,
-    const core::Deadline* deadline) {
+    const core::Deadline* deadline, RequestEvent& ev) {
   obs::TraceContext* const trace = ctx.trace.get();
   obs::SpanTimer parse_span(trace, obs::Stage::kParse);
   const core::MeasurementSet ms = campaign_from_csv(req.body);
   parse_span.stop();
+  ev.has_campaign = true;
+  ev.campaign_hash = service_.hash_of(ms);
   // Serve-stale degradation: while the edge sheds load, an
   // expired-but-resident cached answer beats both a fresh computation
   // (CPU the overloaded server does not have) and a shed 503 (an answer
@@ -219,7 +333,9 @@ net::HttpResponse ServiceRouter::handle_predict(
   if (ctx.shedding) {
     bool stale = false;
     if (const auto cached =
-            service_.cached_or_stale(service_.hash_of(ms), &stale)) {
+            service_.cached_or_stale(ev.campaign_hash, &stale)) {
+      ev.disposition = stale ? "stale" : "hit";
+      ev.winner_kernel = core::kernel_name(cached->factor_fn.type);
       obs::SpanTimer serialize_span(trace, obs::Stage::kSerialize);
       std::ostringstream os;
       core::write_prediction(os, *cached);
@@ -231,7 +347,11 @@ net::HttpResponse ServiceRouter::handle_predict(
       return resp;
     }
   }
-  const core::Prediction pred = service_.predict_one(ms, deadline, trace);
+  CacheDisposition disp = CacheDisposition::kUnknown;
+  const core::Prediction pred =
+      service_.predict_one(ms, deadline, trace, &disp);
+  ev.disposition = disp == CacheDisposition::kMiss ? "miss" : "hit";
+  ev.winner_kernel = core::kernel_name(pred.factor_fn.type);
   obs::SpanTimer serialize_span(trace, obs::Stage::kSerialize);
   std::ostringstream os;
   core::write_prediction(os, pred);
@@ -240,6 +360,104 @@ net::HttpResponse ServiceRouter::handle_predict(
   resp.headers.emplace_back("content-type", "text/plain");
   resp.body = os.str();
   return resp;
+}
+
+net::HttpResponse ServiceRouter::handle_explain(
+    const net::HttpRequest& req, const net::RequestContext& ctx,
+    const core::Deadline* deadline, RequestEvent& ev) {
+  obs::TraceContext* const trace = ctx.trace.get();
+  obs::SpanTimer parse_span(trace, obs::Stage::kParse);
+  const core::MeasurementSet ms = campaign_from_csv(req.body);
+  parse_span.stop();
+  const std::uint64_t hash = service_.hash_of(ms);
+  ev.has_campaign = true;
+  ev.campaign_hash = hash;
+  core::PredictionAudit audit;
+  const core::Prediction pred = service_.explain(ms, audit, deadline, trace);
+  // explain always computes fresh — an audit only describes fits that
+  // actually ran — so its disposition is a miss by construction.
+  ev.disposition = "miss";
+  ev.winner_kernel = core::kernel_name(pred.factor_fn.type);
+
+  obs::SpanTimer serialize_span(trace, obs::Stage::kSerialize);
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("campaign_hash", hash_hex(hash));
+  w.begin_object("prediction");
+  w.begin_array("cores");
+  for (int c : pred.cores) w.value(c);
+  w.end_array();
+  w.begin_array("time_s");
+  for (double t : pred.time_s) w.value(t);
+  w.end_array();
+  w.begin_array("stalls_per_core");
+  for (double s : pred.stalls_per_core) w.value(s);
+  w.end_array();
+  w.kv("factor_kernel", core::kernel_name(pred.factor_fn.type));
+  w.kv("factor_correlation", pred.factor_correlation);
+  w.kv("factor_used_relaxed", audit.factor_used_relaxed);
+  w.end_object();
+  w.begin_object("audit");
+  w.begin_array("categories");
+  for (const auto& cat : audit.categories) {
+    w.begin_object();
+    w.kv("name", cat.name);
+    write_fit_audit(w, cat.audit);
+    w.end_object();
+  }
+  w.end_array();
+  w.begin_object("factor");
+  write_fit_audit(w, audit.factor);
+  w.end_object();
+  w.end_object();
+  w.end_object();
+  retain_explain(hash, w.str());
+  return json_response(w);
+}
+
+void ServiceRouter::retain_explain(std::uint64_t hash, std::string body) {
+  if (cfg_.explain_retention == 0) return;
+  std::lock_guard<std::mutex> lock(explain_mu_);
+  for (auto& e : explains_) {
+    if (e.first == hash) {
+      e.second = std::move(body);
+      return;
+    }
+  }
+  explains_.emplace_back(hash, std::move(body));
+  while (explains_.size() > cfg_.explain_retention) explains_.pop_front();
+}
+
+net::HttpResponse ServiceRouter::handle_explain_get(
+    const std::string& hash_str) {
+  if (hash_str.empty() || hash_str.size() > 16) {
+    return text_response(400, "bad campaign hash: " + hash_str);
+  }
+  std::uint64_t hash = 0;
+  for (char c : hash_str) {
+    int v;
+    if (c >= '0' && c <= '9') {
+      v = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      v = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      v = c - 'A' + 10;
+    } else {
+      return text_response(400, "bad campaign hash: " + hash_str);
+    }
+    hash = (hash << 4) | static_cast<std::uint64_t>(v);
+  }
+  std::lock_guard<std::mutex> lock(explain_mu_);
+  for (const auto& e : explains_) {
+    if (e.first == hash) {
+      net::HttpResponse resp;
+      resp.status = 200;
+      resp.headers.emplace_back("content-type", "application/json");
+      resp.body = e.second;
+      return resp;
+    }
+  }
+  return text_response(404, "no retained audit for campaign " + hash_str);
 }
 
 net::HttpResponse ServiceRouter::handle_health(
@@ -312,6 +530,7 @@ net::HttpResponse ServiceRouter::handle_stats() {
   w.kv("auto_snapshots", s.auto_snapshots);
   w.kv("auto_snapshot_failures", s.auto_snapshot_failures);
   w.kv("predictions_cancelled", s.predictions_cancelled);
+  w.kv("explains_served", s.explains_served);
   w.begin_object("cache");
   w.kv("hits", s.cache.hits);
   w.kv("misses", s.cache.misses);
@@ -344,6 +563,19 @@ net::HttpResponse ServiceRouter::handle_metrics() {
   const StatsSnapshot snap = collect_stats();
   const ServiceStats& s = snap.service;
   obs::PrometheusWriter w;
+  // Build/runtime identity as a constant-1 info gauge, the Prometheus
+  // convention for exposing labels rather than a value.
+  w.gauge("estima_build_info",
+          "version=\"" + prom_label_escape(cfg_.build_version) +
+              "\",engine=\"" +
+              (service_.config().prediction.extrap.engine ==
+                       core::FitEngine::kBatched
+                   ? "batched"
+                   : "reference") +
+              "\",fault_injection=\"" +
+              (fault::compiled_in() ? "on" : "off") + "\"",
+          "Build and runtime identity; the value is always 1.",
+          std::int64_t{1});
   w.counter("estima_service_campaigns_submitted_total", "",
             "Campaigns received across predict and predict_batch.",
             s.campaigns_submitted);
@@ -370,6 +602,8 @@ net::HttpResponse ServiceRouter::handle_metrics() {
   w.counter("estima_service_predictions_cancelled_total", "",
             "Predictions abandoned at a deadline boundary.",
             s.predictions_cancelled);
+  w.counter("estima_service_explains_total", "",
+            "Audited /v1/explain computations served.", s.explains_served);
   w.counter("estima_cache_hits_total", "", "Result-cache hits.",
             s.cache.hits);
   w.counter("estima_cache_misses_total", "", "Result-cache misses.",

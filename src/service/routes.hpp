@@ -27,6 +27,16 @@
 //   GET  /v1/trace          the slow-request ring as JSON: per-request
 //                           span breakdowns (stable span-name schema)
 //                           for requests over the tracer's threshold.
+//   POST /v1/explain        one campaign, same CSV body as /v1/predict ->
+//                           the prediction plus its full fit audit as
+//                           JSON: every (kernel, prefix, start) attempt,
+//                           every candidate with its outcome, and the
+//                           winner's checkpoint scorecard. Computed fresh
+//                           with auditing attached — bit-identity makes
+//                           the answer equal the cached one — and
+//                           retained (bounded, by campaign hash) for:
+//   GET  /v1/explain/{hash} the retained audit of a recently explained
+//                           campaign; 404 once evicted or never explained.
 //
 // Both stats-style endpoints are built from one consistent snapshot per
 // request: ServiceStats and ServerStats are each taken whole under their
@@ -61,8 +71,12 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/http_parser.hpp"
@@ -71,6 +85,7 @@
 #include "service/prediction_service.hpp"
 
 namespace estima::obs {
+class EventLog;
 class Registry;
 class Tracer;
 }  // namespace estima::obs
@@ -84,6 +99,13 @@ struct RouterConfig {
   /// Ceiling on campaigns per predict_batch request: one request must not
   /// be able to queue unbounded work.
   std::size_t max_batch_campaigns = 256;
+  /// Rendered POST /v1/explain responses retained for GET
+  /// /v1/explain/{hash}, keyed by campaign hash (newest evicts oldest;
+  /// re-explaining a retained campaign refreshes its entry in place).
+  /// 0 disables retention (the GET route answers 404).
+  std::size_t explain_retention = 32;
+  /// Reported by the estima_build_info gauge on /v1/metrics.
+  std::string build_version = "dev";
 };
 
 class ServiceRouter {
@@ -124,7 +146,23 @@ class ServiceRouter {
   /// /v1/trace answers 503 without a tracer.
   void set_observability(obs::Registry* metrics, obs::Tracer* tracer);
 
+  /// Wires the structured JSONL event log (borrowed, must outlive the
+  /// router): when set, handle() emits one compact JSON line per request
+  /// — trace id, target, status, campaign hash, cache disposition,
+  /// winner kernel, latency — through the log's wait-free ring. Null
+  /// (the default) skips the emission entirely.
+  void set_event_log(obs::EventLog* log) { event_log_ = log; }
+
  private:
+  /// Per-request facts the handlers report upward so handle() can emit
+  /// one event line after the response exists.
+  struct RequestEvent {
+    bool has_campaign = false;
+    std::uint64_t campaign_hash = 0;
+    const char* disposition = "none";
+    std::string winner_kernel;
+  };
+
   /// One consistent per-request picture for /v1/stats and /v1/metrics:
   /// each stats struct is copied whole under its owning lock.
   struct StatsSnapshot {
@@ -135,13 +173,21 @@ class ServiceRouter {
   StatsSnapshot collect_stats() const;
 
   net::HttpResponse dispatch(const net::HttpRequest& req,
-                             const net::RequestContext& ctx);
+                             const net::RequestContext& ctx,
+                             RequestEvent& ev);
   net::HttpResponse handle_predict(const net::HttpRequest& req,
                                    const net::RequestContext& ctx,
-                                   const core::Deadline* deadline);
+                                   const core::Deadline* deadline,
+                                   RequestEvent& ev);
   net::HttpResponse handle_predict_batch(const net::HttpRequest& req,
                                          const net::RequestContext& ctx,
                                          const core::Deadline* deadline);
+  net::HttpResponse handle_explain(const net::HttpRequest& req,
+                                   const net::RequestContext& ctx,
+                                   const core::Deadline* deadline,
+                                   RequestEvent& ev);
+  net::HttpResponse handle_explain_get(const std::string& hash_hex);
+  void retain_explain(std::uint64_t hash, std::string body);
   net::HttpResponse handle_stats();
   net::HttpResponse handle_health(const net::RequestContext& ctx);
   net::HttpResponse handle_snapshot();
@@ -153,7 +199,13 @@ class ServiceRouter {
   std::function<net::ServerStats()> server_stats_;
   obs::Registry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  obs::EventLog* event_log_ = nullptr;
   std::atomic<bool> draining_{false};
+
+  /// Bounded (hash -> rendered JSON) retention for GET /v1/explain/{hash},
+  /// oldest-first; guarded because handlers run on many pool threads.
+  std::mutex explain_mu_;
+  std::deque<std::pair<std::uint64_t, std::string>> explains_;
 };
 
 /// Assembles a predict_batch request body. Inverse of parse_frames.

@@ -1,0 +1,200 @@
+// The structured JSONL event log's contract: the hot path enqueues into
+// a bounded wait-free ring and NEVER blocks — a full ring drops (counted)
+// rather than stalls; the single writer thread owns the file, so lines
+// land whole (no interleaving even under concurrent emitters), rotation
+// caps the file at rotate_bytes keeping one .1 predecessor, and stop()
+// drains everything already accepted before the file closes. Plus the
+// line formatter: format_request_event must produce one flat, compact,
+// correctly escaped JSON object per request — the schema CI parses.
+#include "obs/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace estima::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class EventLogFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (fs::temp_directory_path() / "estima_test_events.jsonl").string();
+    fs::remove(path_);
+    fs::remove(path_ + ".1");
+  }
+  void TearDown() override {
+    fs::remove(path_);
+    fs::remove(path_ + ".1");
+  }
+
+  std::vector<std::string> lines_of(const std::string& p) {
+    std::ifstream in(p);
+    std::vector<std::string> out;
+    std::string line;
+    while (std::getline(in, line)) out.push_back(line);
+    return out;
+  }
+
+  std::string path_;
+};
+
+TEST_F(EventLogFile, StopDrainsEverythingAccepted) {
+  EventLogConfig cfg;
+  cfg.path = path_;
+  EventLog log(cfg);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(log.emit("{\"n\":" + std::to_string(i) + "}"));
+  }
+  log.stop();
+  EXPECT_EQ(log.lines_written(), 100u);
+  EXPECT_EQ(log.lines_dropped(), 0u);
+  const auto lines = lines_of(path_);
+  ASSERT_EQ(lines.size(), 100u);
+  EXPECT_EQ(lines.front(), "{\"n\":0}");
+  EXPECT_EQ(lines.back(), "{\"n\":99}");
+  // Emits after stop() are dropped, not crashed.
+  EXPECT_FALSE(log.emit("{\"late\":1}"));
+  EXPECT_EQ(log.lines_dropped(), 1u);
+}
+
+TEST_F(EventLogFile, AppendsAcrossInstancesLikeARestart) {
+  EventLogConfig cfg;
+  cfg.path = path_;
+  {
+    EventLog log(cfg);
+    ASSERT_TRUE(log.emit("{\"run\":1}"));
+    log.stop();
+  }
+  {
+    EventLog log(cfg);
+    ASSERT_TRUE(log.emit("{\"run\":2}"));
+    log.stop();
+  }
+  const auto lines = lines_of(path_);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"run\":1}");
+  EXPECT_EQ(lines[1], "{\"run\":2}");
+}
+
+TEST_F(EventLogFile, RotationKeepsOnePredecessorAndBoundsTheFile) {
+  EventLogConfig cfg;
+  cfg.path = path_;
+  cfg.rotate_bytes = 512;  // tiny, to force several rotations
+  EventLog log(cfg);
+  const std::string line(63, 'x');  // 64 bytes per line with the newline
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(log.emit("{\"" + line.substr(0, 60) + "\":" +
+                         std::to_string(i % 10) + "}"));
+  }
+  log.stop();
+  EXPECT_GT(log.rotations(), 0u);
+  EXPECT_EQ(log.lines_written(), 64u);
+  ASSERT_TRUE(fs::exists(path_));
+  ASSERT_TRUE(fs::exists(path_ + ".1"));
+  EXPECT_LE(fs::file_size(path_), 512u);
+  EXPECT_LE(fs::file_size(path_ + ".1"), 512u);
+  // Current + predecessor hold the newest lines contiguously.
+  const auto prev = lines_of(path_ + ".1");
+  const auto cur = lines_of(path_);
+  EXPECT_FALSE(cur.empty());
+  EXPECT_FALSE(prev.empty());
+}
+
+TEST_F(EventLogFile, FullRingDropsInsteadOfBlocking) {
+  EventLogConfig cfg;
+  cfg.path = path_;
+  cfg.ring_capacity = 4;
+  cfg.flush_interval_ms = 1000;  // writer mostly asleep: ring fills
+  EventLog log(cfg);
+  std::uint64_t accepted = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (log.emit("{\"i\":" + std::to_string(i) + "}")) ++accepted;
+  }
+  EXPECT_LT(accepted, 1000u);  // the tiny ring cannot absorb the burst
+  log.stop();
+  EXPECT_EQ(log.lines_written(), accepted);
+  EXPECT_EQ(log.lines_written() + log.lines_dropped(), 1000u);
+  EXPECT_EQ(lines_of(path_).size(), accepted);
+}
+
+TEST_F(EventLogFile, ConcurrentEmittersNeverInterleaveLines) {
+  EventLogConfig cfg;
+  cfg.path = path_;
+  cfg.ring_capacity = 1 << 14;
+  cfg.flush_interval_ms = 1;
+  EventLog log(cfg);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::atomic<std::uint64_t> accepted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (log.emit("{\"t\":" + std::to_string(t) +
+                     ",\"i\":" + std::to_string(i) + "}")) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  log.stop();
+  EXPECT_EQ(log.lines_written(), accepted.load());
+  EXPECT_EQ(log.lines_written() + log.lines_dropped(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+
+  // Every line in the file is exactly one emitted string: whole, unique,
+  // well-formed. Torn or interleaved writes would break the set lookup.
+  std::set<std::string> seen;
+  for (const auto& line : lines_of(path_)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_TRUE(seen.insert(line).second) << "duplicate line: " << line;
+  }
+  EXPECT_EQ(seen.size(), accepted.load());
+}
+
+TEST(EventLogNoPath, EmptyPathCountsWriteFailuresNotCrashes) {
+  EventLogConfig cfg;  // path empty: nowhere to write
+  EventLog log(cfg);
+  ASSERT_TRUE(log.emit("{\"void\":1}"));
+  log.stop();
+  EXPECT_EQ(log.lines_written(), 0u);
+  EXPECT_EQ(log.write_failures(), 1u);
+}
+
+TEST(FormatRequestEvent, EmitsTheStableCompactSchema) {
+  const std::string line = format_request_event(
+      "00000000feed0001", "/v1/predict", 200, "78019e3b207d90f3", "miss",
+      "ExpRat", 12.3456);
+  EXPECT_EQ(line,
+            "{\"trace_id\":\"00000000feed0001\",\"target\":\"/v1/predict\","
+            "\"status\":200,\"campaign_hash\":\"78019e3b207d90f3\","
+            "\"disposition\":\"miss\",\"winner_kernel\":\"ExpRat\","
+            "\"latency_ms\":12.346}");
+  // Unknowns render as empty strings, never omitted keys.
+  const std::string shed =
+      format_request_event("", "/v1/predict", 503, "", "shed", "", -1.0);
+  EXPECT_EQ(shed,
+            "{\"trace_id\":\"\",\"target\":\"/v1/predict\",\"status\":503,"
+            "\"campaign_hash\":\"\",\"disposition\":\"shed\","
+            "\"winner_kernel\":\"\",\"latency_ms\":0.000}");
+  // Hostile targets are escaped, keeping the line one parseable object.
+  const std::string evil = format_request_event(
+      "id", "/v1/\"x\"\n\\y", 404, "", "error", "", 0.5);
+  EXPECT_EQ(evil.find('\n'), std::string::npos);
+  EXPECT_NE(evil.find("\\\"x\\\"\\n\\\\y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace estima::obs

@@ -1,0 +1,256 @@
+// Fit provenance under the bit-identity contract. The audit sink is an
+// opt-in observer like `trace` and `deadline`: it must never change the
+// prediction, and the records themselves must be byte-identical across
+// {kReference, kBatched} x {serial, pooled} — the golden-corpus rule
+// extends to audits (ROADMAP PR 9). On top of that:
+//
+//   * the audit must describe the served answer: each series' winner
+//     record equals the kernel/prefix/rmse the prediction actually used,
+//     and exactly one candidate per decided series carries kWinner;
+//   * attaching an audit or FitMetrics must not move config_signature
+//     (a warm snapshot stays loadable when observability is toggled);
+//   * FitMetrics piggybacks on the same records: per-kernel winner
+//     counters and fit-seconds histograms fill in, and the rendered
+//     registry still passes the Prometheus validator.
+#include "core/fit_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/predictor.hpp"
+#include "obs/histogram.hpp"
+#include "obs/prometheus.hpp"
+#include "parallel/thread_pool.hpp"
+#include "service/campaign_hash.hpp"
+#include "synthetic.hpp"
+
+namespace estima::core {
+namespace {
+
+using estima::testing::counts_up_to;
+using estima::testing::make_synthetic;
+using estima::testing::SyntheticSpec;
+
+MeasurementSet campaign(double mem_rate = 0.3, double noise = 0.02) {
+  SyntheticSpec spec;
+  spec.mem_rate = mem_rate;
+  spec.noise = noise;
+  return make_synthetic(spec, counts_up_to(16), "audit-campaign");
+}
+
+PredictionConfig base_config() {
+  PredictionConfig cfg;
+  cfg.target_cores = cores_up_to(32);
+  return cfg;
+}
+
+void fp_double(std::string& out, double v) {
+  // %a is exact per bit pattern (all NaNs print "nan", but the engines
+  // produce NaN only as the untouched sentinel, never computed).
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a;", v);
+  out += buf;
+}
+
+std::string fingerprint(const FitAudit& a) {
+  std::string out;
+  for (const auto& at : a.attempts) {
+    out += kernel_name(at.kernel) + ":" + std::to_string(at.prefix_len) + ":" +
+           std::to_string(at.start) + ":" + fit_outcome_name(at.outcome) + ":" +
+           std::to_string(at.iterations) + ":" +
+           std::to_string(at.model_evals) + ":";
+    fp_double(out, at.rmse);
+  }
+  out += "|";
+  for (const auto& c : a.candidates) {
+    out += kernel_name(c.kernel) + ":" + std::to_string(c.prefix_len) + ":" +
+           std::to_string(c.checkpoints) + ":" + fit_outcome_name(c.outcome) +
+           ":" + std::to_string(c.realistic_mask) + ":";
+    fp_double(out, c.checkpoint_rmse);
+  }
+  out += "|" + std::to_string(a.has_winner) + ":" +
+         kernel_name(a.winner_kernel) + ":" + std::to_string(a.winner_prefix) +
+         ":" + std::to_string(a.winner_checkpoints) + ":";
+  fp_double(out, a.winner_rmse);
+  for (int c : a.checkpoint_cores) out += std::to_string(c) + ",";
+  for (double v : a.checkpoint_predicted) fp_double(out, v);
+  for (double v : a.checkpoint_actual) fp_double(out, v);
+  out += std::to_string(a.fits_cancelled) + ":" +
+         std::to_string(a.fits_aborted);
+  return out;
+}
+
+std::string fingerprint(const PredictionAudit& a) {
+  std::string out;
+  for (const auto& cat : a.categories) {
+    out += cat.name + "{" + fingerprint(cat.audit) + "}";
+  }
+  out += "factor{" + fingerprint(a.factor) + "}" +
+         std::to_string(a.factor_used_relaxed);
+  return out;
+}
+
+TEST(FitAudit, ByteIdenticalAcrossEnginesAndPoolSizes) {
+  const MeasurementSet ms = campaign();
+  parallel::ThreadPool pool(4);
+
+  std::string reference;
+  bool first = true;
+  for (const FitEngine engine : {FitEngine::kReference, FitEngine::kBatched}) {
+    for (parallel::ThreadPool* p :
+         {static_cast<parallel::ThreadPool*>(nullptr), &pool}) {
+      PredictionConfig cfg = base_config();
+      cfg.extrap.engine = engine;
+      PredictionAudit audit;
+      const Prediction pred = predict(ms, cfg, p, nullptr, nullptr, &audit);
+      ASSERT_FALSE(audit.categories.empty());
+      const std::string fp = fingerprint(audit);
+      if (first) {
+        reference = fp;
+        first = false;
+        // The baseline run must actually have recorded something.
+        EXPECT_TRUE(audit.factor.has_winner);
+        EXPECT_FALSE(audit.factor.attempts.empty());
+        EXPECT_FALSE(audit.factor.candidates.empty());
+        EXPECT_EQ(pred.factor_fn.type, audit.factor.winner_kernel);
+      } else {
+        EXPECT_EQ(fp, reference)
+            << "audit diverged under engine="
+            << (engine == FitEngine::kBatched ? "batched" : "reference")
+            << " pool=" << (p != nullptr ? "4" : "serial");
+      }
+    }
+  }
+}
+
+TEST(FitAudit, WinnerRecordsDescribeTheServedPrediction) {
+  const MeasurementSet ms = campaign();
+  PredictionConfig cfg = base_config();
+  PredictionAudit audit;
+  const Prediction pred = predict(ms, cfg, nullptr, nullptr, nullptr, &audit);
+
+  ASSERT_EQ(audit.categories.size(), pred.categories.size());
+  for (std::size_t i = 0; i < pred.categories.size(); ++i) {
+    const FitAudit& a = audit.categories[i].audit;
+    const CategoryPrediction& c = pred.categories[i];
+    EXPECT_EQ(audit.categories[i].name, c.name);
+    ASSERT_TRUE(a.has_winner) << c.name;
+    EXPECT_EQ(a.winner_kernel, c.extrapolation.best.type) << c.name;
+    EXPECT_EQ(a.winner_prefix, c.extrapolation.chosen_prefix) << c.name;
+    EXPECT_EQ(a.winner_rmse, c.extrapolation.checkpoint_rmse) << c.name;
+  }
+  ASSERT_TRUE(audit.factor.has_winner);
+  EXPECT_EQ(audit.factor.winner_kernel, pred.factor_fn.type);
+  EXPECT_EQ(audit.factor_used_relaxed, pred.factor_used_relaxed_realism);
+
+  // Exactly one candidate per decided series carries kWinner, and it is
+  // the recorded winner; the scorecard covers real checkpoints.
+  const auto check_single_winner = [](const FitAudit& a) {
+    std::size_t winners = 0;
+    for (const auto& c : a.candidates) {
+      if (c.outcome == FitOutcome::kWinner) {
+        ++winners;
+        EXPECT_EQ(c.kernel, a.winner_kernel);
+        EXPECT_EQ(c.prefix_len, a.winner_prefix);
+      }
+    }
+    EXPECT_EQ(winners, 1u);
+    EXPECT_FALSE(a.checkpoint_cores.empty());
+    EXPECT_EQ(a.checkpoint_cores.size(), a.checkpoint_predicted.size());
+    EXPECT_EQ(a.checkpoint_cores.size(), a.checkpoint_actual.size());
+  };
+  for (const auto& cat : audit.categories) check_single_winner(cat.audit);
+  check_single_winner(audit.factor);
+}
+
+TEST(FitAudit, AuditCannotChangeThePredictionOrTheSignature) {
+  const MeasurementSet ms = campaign();
+  PredictionConfig plain = base_config();
+  const Prediction without = predict(ms, plain);
+
+  PredictionConfig audited = base_config();
+  PredictionAudit audit;
+  obs::Registry reg;
+  FitMetrics metrics;
+  metrics.init(reg);
+  audited.extrap.metrics = &metrics;
+  const Prediction with =
+      predict(ms, audited, nullptr, nullptr, nullptr, &audit);
+
+  ASSERT_EQ(without.time_s.size(), with.time_s.size());
+  for (std::size_t i = 0; i < without.time_s.size(); ++i) {
+    EXPECT_EQ(without.time_s[i], with.time_s[i]) << i;
+  }
+  EXPECT_EQ(without.factor_fn.type, with.factor_fn.type);
+  // The sinks ride outside the campaign's identity, like trace/deadline.
+  EXPECT_EQ(config_signature(plain), config_signature(audited));
+}
+
+TEST(FitMetrics, CountsWinnersAndRecordsFitSeconds) {
+  const MeasurementSet ms = campaign();
+  obs::Registry reg;
+  FitMetrics metrics;
+  metrics.init(reg);
+  PredictionConfig cfg = base_config();
+  cfg.extrap.metrics = &metrics;
+  PredictionAudit audit;
+  const Prediction pred = predict(ms, cfg, nullptr, nullptr, nullptr, &audit);
+
+  // One winner per decided series: every category plus the factor.
+  std::uint64_t winners = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t fits_timed = 0;
+  for (std::size_t k = 0; k < FitMetrics::kKernels; ++k) {
+    for (std::size_t o = 0; o < kFitOutcomeCount; ++o) {
+      const std::uint64_t v = metrics.attempts[k][o]->value();
+      attempts += v;
+      if (static_cast<FitOutcome>(o) == FitOutcome::kWinner) winners += v;
+    }
+    fits_timed += metrics.fit_seconds[k]->snapshot().count;
+  }
+  EXPECT_EQ(winners, pred.categories.size() + 1);
+  EXPECT_GT(attempts, winners);
+  EXPECT_GT(fits_timed, 0u);
+
+  // The winner's own series must have been counted under its kernel.
+  bool winner_counted = false;
+  for (std::size_t k = 0; k < FitMetrics::kKernels; ++k) {
+    if (kAllKernels[k] == pred.factor_fn.type) {
+      winner_counted =
+          metrics.attempts[k][static_cast<std::size_t>(FitOutcome::kWinner)]
+              ->value() > 0;
+    }
+  }
+  EXPECT_TRUE(winner_counted);
+
+  obs::PrometheusWriter w;
+  w.registry(reg);
+  const auto err = obs::validate_prometheus_text(w.str());
+  EXPECT_FALSE(err.has_value()) << *err;
+  EXPECT_NE(w.str().find("estima_fit_attempts_total{kernel=\""),
+            std::string::npos);
+  EXPECT_NE(w.str().find("estima_fit_seconds_bucket{kernel=\""),
+            std::string::npos);
+}
+
+TEST(FitOutcome, NamesAreTheStableKebabCaseSchema) {
+  EXPECT_STREQ(fit_outcome_name(FitOutcome::kConverged), "converged");
+  EXPECT_STREQ(fit_outcome_name(FitOutcome::kMaxIter), "max-iter");
+  EXPECT_STREQ(fit_outcome_name(FitOutcome::kNoProgress), "no-progress");
+  EXPECT_STREQ(fit_outcome_name(FitOutcome::kCholeskyFail), "cholesky-fail");
+  EXPECT_STREQ(fit_outcome_name(FitOutcome::kNudgeExhausted),
+               "nudge-exhausted");
+  EXPECT_STREQ(fit_outcome_name(FitOutcome::kNoFit), "no-fit");
+  EXPECT_STREQ(fit_outcome_name(FitOutcome::kUnrealisticStrict),
+               "unrealistic-strict");
+  EXPECT_STREQ(fit_outcome_name(FitOutcome::kUnrealisticRelaxed),
+               "unrealistic-relaxed");
+  EXPECT_STREQ(fit_outcome_name(FitOutcome::kWorseRmse), "worse-rmse");
+  EXPECT_STREQ(fit_outcome_name(FitOutcome::kWinner), "winner");
+  EXPECT_STREQ(fit_outcome_name(FitOutcome::kCancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace estima::core

@@ -39,6 +39,7 @@
 #include <cstring>
 #include <deque>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <random>
 #include <sstream>
@@ -51,6 +52,7 @@
 #include "core/predictor.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/event_log.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
@@ -554,6 +556,144 @@ TEST_F(NetEndToEnd, MalformedBytesOverTheSocketGet4xxWithoutCrashing) {
   // Server is still healthy.
   auto c = client();
   EXPECT_EQ(c.get("/v1/stats").status, 200);
+}
+
+TEST_F(NetEndToEnd, ExplainReturnsTheAuditAndRetainsItByHash) {
+  const auto ms = demo_campaign(6);
+  auto c = client();
+  const auto pred = c.post("/v1/predict", csv_of(ms), "text/csv");
+  ASSERT_EQ(pred.status, 200);
+  std::istringstream is(pred.body);
+  const std::string served_kernel =
+      core::kernel_name(core::read_prediction(is).factor_fn.type);
+
+  const auto before = svc_->stats();
+  const auto resp = c.post("/v1/explain", csv_of(ms), "text/csv");
+  ASSERT_EQ(resp.status, 200);
+  for (const char* key :
+       {"\"campaign_hash\": \"", "\"prediction\": {", "\"audit\": {",
+        "\"categories\": [", "\"factor\": {", "\"attempts\": [",
+        "\"candidates\": [", "\"winner\": {", "\"scorecard\": ["}) {
+    EXPECT_NE(resp.body.find(key), std::string::npos) << key;
+  }
+  // The audited prediction is the served one (bit-identity): its factor
+  // kernel equals what /v1/predict answered for the same campaign.
+  EXPECT_NE(
+      resp.body.find("\"factor_kernel\": \"" + served_kernel + "\""),
+      std::string::npos);
+
+  // Explain computes fresh but is a diagnostic: counted in its own stat,
+  // never as a submitted campaign, and never cached.
+  const auto after = svc_->stats();
+  EXPECT_EQ(after.explains_served, before.explains_served + 1);
+  EXPECT_EQ(after.campaigns_submitted, before.campaigns_submitted);
+  EXPECT_EQ(after.cache.entries, before.cache.entries);
+
+  // The rendered audit is retained by campaign hash for the GET route.
+  const std::string needle = "\"campaign_hash\": \"";
+  const std::size_t at = resp.body.find(needle) + needle.size();
+  const std::string hash =
+      resp.body.substr(at, resp.body.find('"', at) - at);
+  ASSERT_EQ(hash.size(), 16u);
+  const auto got = c.get("/v1/explain/" + hash);
+  ASSERT_EQ(got.status, 200);
+  EXPECT_EQ(got.body, resp.body);
+
+  // Unknown hash 404; malformed hashes and wrong methods are client
+  // errors, not lookups.
+  const std::string other = hash[0] == '0' ? "1" + hash.substr(1)
+                                           : "0" + hash.substr(1);
+  EXPECT_EQ(c.get("/v1/explain/" + other).status, 404);
+  EXPECT_EQ(c.get("/v1/explain/zzz").status, 400);
+  EXPECT_EQ(c.get("/v1/explain/" + hash + "00").status, 400);
+  EXPECT_EQ(c.get("/v1/explain").status, 405);
+  EXPECT_EQ(c.post("/v1/explain", "not,a,campaign\n", "text/csv").status,
+            400);
+}
+
+TEST_F(NetEndToEnd, EventLogRecordsOneLinePerRequestWithDispositions) {
+  const std::string path =
+      (fs::temp_directory_path() / "estima_test_net_events.jsonl").string();
+  fs::remove(path);
+  obs::EventLogConfig ecfg;
+  ecfg.path = path;
+  ecfg.flush_interval_ms = 1;
+  obs::EventLog log(ecfg);
+  router_->set_event_log(&log);
+
+  const auto ms = demo_campaign(7);
+  auto c = client();
+  ASSERT_EQ(c.post("/v1/predict", csv_of(ms), "text/csv").status, 200);
+  ASSERT_EQ(c.post("/v1/predict", csv_of(ms), "text/csv").status, 200);
+  EXPECT_EQ(c.get("/nope").status, 404);
+  router_->set_event_log(nullptr);
+  log.stop();
+
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  // Cold request computed; the repeat was served from the cache; both
+  // carry the same campaign hash and winner kernel.
+  EXPECT_NE(lines[0].find("\"target\":\"/v1/predict\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"status\":200"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"disposition\":\"miss\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"disposition\":\"hit\""), std::string::npos);
+  const auto hash_of = [](const std::string& l) {
+    const std::string key = "\"campaign_hash\":\"";
+    const std::size_t p = l.find(key) + key.size();
+    return l.substr(p, l.find('"', p) - p);
+  };
+  EXPECT_EQ(hash_of(lines[0]), hash_of(lines[1]));
+  EXPECT_EQ(hash_of(lines[0]).size(), 16u);
+  EXPECT_NE(lines[0].find("\"winner_kernel\":\""), std::string::npos);
+  // The 404 is an error line with no campaign attached.
+  EXPECT_NE(lines[2].find("\"target\":\"/nope\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"status\":404"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"disposition\":\"error\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"campaign_hash\":\"\""), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(TraceEchoOnError, ErrorResponsesCarryTheTraceIdToo) {
+  // Satellite contract: a client that sent X-Estima-Trace-Id can correlate
+  // its FAILED requests as well. Thrown handler errors bypass the router
+  // (the usual echo point), so the handler pool adds the header itself.
+  obs::Registry reg;
+  obs::Tracer tracer(reg, obs::TracerConfig{-1, 4});
+  ServerConfig ncfg;
+  ncfg.worker_threads = 2;
+  ncfg.tracer = &tracer;
+  HttpServer server(ncfg, [](const HttpRequest& req) -> HttpResponse {
+    if (req.target == "/invalid") throw std::invalid_argument("bad input");
+    if (req.target == "/boom") throw std::runtime_error("kaput");
+    return HttpResponse{200, {}, "ok"};
+  });
+  server.start();
+  HttpClient c("127.0.0.1", server.port());
+
+  const std::string id = "00000000000000aa";
+  const auto r400 = c.request("GET", "/invalid", "",
+                              {{"x-estima-trace-id", id}});
+  EXPECT_EQ(r400.status, 400);
+  ASSERT_NE(r400.header("x-estima-trace-id"), nullptr);
+  EXPECT_EQ(*r400.header("x-estima-trace-id"), id);
+
+  const auto r500 =
+      c.request("GET", "/boom", "", {{"x-estima-trace-id", id}});
+  EXPECT_EQ(r500.status, 500);
+  ASSERT_NE(r500.header("x-estima-trace-id"), nullptr);
+  EXPECT_EQ(*r500.header("x-estima-trace-id"), id);
+
+  // Exactly one copy of the header: the pool only adds it when the
+  // handler threw, never on top of a response that already has one.
+  std::size_t copies = 0;
+  for (const auto& [k, v] : r400.headers) {
+    if (k == "x-estima-trace-id") ++copies;
+  }
+  EXPECT_EQ(copies, 1u);
+  server.stop();
 }
 
 TEST_F(NetEndToEnd, ByteAtATimeDeliveryOverTheSocketStillServes) {

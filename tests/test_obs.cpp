@@ -284,6 +284,29 @@ TEST(Prometheus, ValidatorRejectsBrokenDocuments) {
                   .has_value());
 }
 
+TEST(Prometheus, ValidatorRejectsUnescapedLabelValues) {
+  const auto doc = [](const std::string& labels) {
+    return "# HELP estima_x_total x\n# TYPE estima_x_total counter\n"
+           "estima_x_total{" +
+           labels + "} 1\n";
+  };
+  // Baseline: properly escaped quote, backslash, newline all pass.
+  EXPECT_FALSE(validate_prometheus_text(doc("a=\"q\\\"b\"")).has_value());
+  EXPECT_FALSE(validate_prometheus_text(doc("a=\"q\\\\b\"")).has_value());
+  EXPECT_FALSE(validate_prometheus_text(doc("a=\"q\\nb\"")).has_value());
+  // A raw quote inside the value terminates it early and derails the
+  // label grammar — rejected, never silently re-parsed.
+  EXPECT_TRUE(validate_prometheus_text(doc("a=\"q\"b\"")).has_value());
+  // A raw backslash starts an escape; anything but \\ \" \n is invalid,
+  // and a backslash that swallows the closing quote never terminates.
+  EXPECT_TRUE(validate_prometheus_text(doc("a=\"q\\tb\"")).has_value());
+  EXPECT_TRUE(validate_prometheus_text(doc("a=\"q\\")).has_value());
+  EXPECT_TRUE(validate_prometheus_text(doc("a=\"q\\\"")).has_value());
+  // A raw newline splits the sample line: the first half has an
+  // unterminated value, so the document is rejected as a whole.
+  EXPECT_TRUE(validate_prometheus_text(doc("a=\"q\nb\"")).has_value());
+}
+
 // ---------------------------------------------------------------------------
 // 4. Tracing
 
@@ -378,6 +401,57 @@ TEST(Trace, SlowRingRetainsBoundsAndOrders) {
 TEST(Trace, NullSpanTimerIsANoOp) {
   SpanTimer timer(nullptr, Stage::kParse);
   timer.stop();  // must not crash; nothing to assert beyond surviving
+}
+
+TEST(Trace, ConcurrentFinishAndSlowTracesTortureIsRaceFree) {
+  // The slow ring is written by finish() on handler threads while
+  // /v1/trace reads it via slow_traces() — this pins the ring_mu_
+  // discipline under TSan: no torn SlowTrace is ever observed, and
+  // every snapshot is internally consistent (bounded, seq-ordered,
+  // spans intact).
+  Registry reg;
+  TracerConfig cfg;
+  cfg.slow_threshold_ms = 0;  // every request lands in the ring
+  cfg.ring_capacity = 8;
+  Tracer tracer(reg, cfg);
+
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 500;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        const auto t0 = TraceContext::Clock::now();
+        auto trace = tracer.start(
+            static_cast<std::uint64_t>(w) * kPerWriter + i + 1, t0);
+        trace->add(Stage::kParse, t0, t0 + std::chrono::microseconds(5));
+        tracer.finish(*trace, t0 + std::chrono::microseconds(50));
+      }
+    });
+  }
+  std::thread reader([&] {
+    std::size_t snapshots = 0;
+    while (!done.load(std::memory_order_acquire) || snapshots == 0) {
+      const auto slow = tracer.slow_traces();
+      EXPECT_LE(slow.size(), 8u);
+      for (std::size_t i = 0; i < slow.size(); ++i) {
+        EXPECT_NE(slow[i].trace_id, 0u);
+        ASSERT_EQ(slow[i].spans.size(), 1u);
+        EXPECT_EQ(slow[i].spans[0].stage, Stage::kParse);
+        if (i > 0) EXPECT_GT(slow[i].seq, slow[i - 1].seq);
+      }
+      ++snapshots;
+    }
+  });
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  const auto final_ring = tracer.slow_traces();
+  EXPECT_EQ(final_ring.size(), 8u);
+  EXPECT_EQ(tracer.request_histogram().snapshot().count,
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
 }
 
 TEST(Trace, ServicePredictObeysSpanAccounting) {
