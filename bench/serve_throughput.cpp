@@ -15,6 +15,15 @@
 // bit-identical to the serial reference; the bench exits non-zero when
 // either invariant (or the >= 10x warm speedup bar) fails.
 //
+// Streaming mode (on by default, --streaming=0 disables): the
+// append-point workflow. One campaign is measured one core count at a
+// time past its initial points; after each append the series is
+// re-predicted twice — cold (fresh predict(), the old full recompute)
+// and incrementally (a persistent core::FitMemo carried across steps, as
+// the campaign store does). The incremental path must be bit-identical
+// to cold at every step and >= 3x faster over the whole append sequence
+// (CI-gated); the bench exits non-zero when either fails.
+//
 // Reports JSON to BENCH_serve_throughput.json (and text to stdout).
 //
 // Flags:
@@ -24,6 +33,8 @@
 //   --points=M      measured core counts 1..M         (default 12)
 //   --target=T      extrapolation horizon             (default 48)
 //   --warm-seconds=S  minimum warm measurement window (default 0.5)
+//   --streaming=0|1 run the streaming section         (default 1)
+//   --appends=A     points appended one at a time     (default 6)
 //   --out=PATH      JSON output path (default BENCH_serve_throughput.json)
 #include <algorithm>
 #include <chrono>
@@ -34,6 +45,7 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "core/fit_memo.hpp"
 #include "core/predictor.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
@@ -83,6 +95,8 @@ int run_bench(int argc, char** argv) {
   const int target = static_cast<int>(parse_flag_d(argc, argv, "target", 48));
   const double warm_seconds =
       parse_flag_d(argc, argv, "warm-seconds", 0.5);
+  const bool streaming = parse_flag_d(argc, argv, "streaming", 1) != 0;
+  const int appends = static_cast<int>(parse_flag_d(argc, argv, "appends", 6));
   const int threads = static_cast<int>(parse_flag_d(
       argc, argv, "threads",
       static_cast<double>(estima::parallel::ThreadPool::hardware_threads())));
@@ -236,6 +250,41 @@ int run_bench(int argc, char** argv) {
   const double obs_overhead_pct =
       100.0 * (traced_batch_ns - untraced_batch_ns) / untraced_batch_ns;
 
+  // Streaming: the append-point workflow the campaign store serves. A
+  // campaign measured out to points+appends core counts arrives one
+  // point at a time; each arrival is re-predicted cold (fresh predict())
+  // and incrementally (one FitMemo persisting across the whole stream,
+  // exactly how CampaignStore carries it). Both run serially — the
+  // comparison is fit work avoided, not pool scheduling. The memo is
+  // pre-seeded by predicting the initial series once (untimed): that is
+  // the PUT that created the campaign.
+  double stream_cold_s = 0.0;
+  double stream_incr_s = 0.0;
+  std::uint64_t stream_memo_hits = 0;
+  bool stream_identical = true;
+  double stream_speedup = 0.0;
+  bool stream_ok = true;
+  if (streaming) {
+    const auto full = make_campaign(0, points + appends);
+    estima::core::FitMemo memo;
+    (void)estima::core::predict(full.truncated(points), cfg, nullptr,
+                                nullptr, nullptr, nullptr, &memo);
+    for (int a = 1; a <= appends; ++a) {
+      const auto ms = full.truncated(static_cast<std::size_t>(points + a));
+      const auto c0 = Clock::now();
+      const auto cold = estima::core::predict(ms, cfg);
+      stream_cold_s += seconds_since(c0);
+      const auto i0 = Clock::now();
+      const auto incr = estima::core::predict(ms, cfg, nullptr, nullptr,
+                                              nullptr, nullptr, &memo);
+      stream_incr_s += seconds_since(i0);
+      if (!bit_identical(cold, incr)) stream_identical = false;
+    }
+    stream_memo_hits = memo.stats().hits;
+    stream_speedup = stream_cold_s / stream_incr_s;
+    stream_ok = stream_identical && stream_speedup >= 3.0;
+  }
+
   std::printf("  serial predict   %10.2f campaigns/s  (%d campaigns in %.3fs)\n",
               serial_cps, campaigns, serial_elapsed);
   std::printf("  cold  batch      %10.2f campaigns/s  (%zu campaigns in %.3fs)\n",
@@ -256,6 +305,13 @@ int run_bench(int argc, char** argv) {
     std::printf("  warm latency: p50 %.4fms p90 %.4fms p99 %.4fms "
                 "p999 %.4fms\n",
                 ls.p50_ms, ls.p90_ms, ls.p99_ms, ls.p999_ms);
+  }
+  if (streaming) {
+    std::printf("  streaming: %d appends, cold %.3fs vs incremental %.3fs "
+                "-> %.1fx (bar: >= 3x), memo hits %llu, bit-identical: %s\n",
+                appends, stream_cold_s, stream_incr_s, stream_speedup,
+                static_cast<unsigned long long>(stream_memo_hits),
+                stream_identical ? "yes" : "NO");
   }
   std::printf("  service: computed=%llu folded=%llu joins=%llu "
               "hits=%llu misses=%llu evictions=%llu\n",
@@ -296,10 +352,19 @@ int run_bench(int argc, char** argv) {
   estima::bench::write_latency_json(w, "warm_latency", warm_lat);
   w.kv("bit_identical_to_serial", identical);
   w.kv("speedup_bar_met", speedup_ok);
+  if (streaming) {
+    w.kv("streaming_appends", appends);
+    w.kv("streaming_cold_s", stream_cold_s, 4);
+    w.kv("streaming_incremental_s", stream_incr_s, 4);
+    w.kv("streaming_speedup", stream_speedup, 3);
+    w.kv("streaming_memo_hits", stream_memo_hits);
+    w.kv("streaming_bit_identical", stream_identical);
+    w.kv("streaming_bar_met", stream_ok);
+  }
   w.end_object();
   std::fputs(w.str().c_str(), f);
   std::fclose(f);
   std::printf("  wrote %s\n", out_path.c_str());
 
-  return (identical && hit_rate_ok && speedup_ok) ? 0 : 2;
+  return (identical && hit_rate_ok && speedup_ok && stream_ok) ? 0 : 2;
 }

@@ -9,8 +9,12 @@
 //     by /v1/predict for the same campaign (provenance must describe the
 //     answer, not some other fit);
 //   * round-trips GET /v1/explain/{hash} against the retained audit;
+//   * drives a full streaming-campaign lifecycle (PUT create -> POST
+//     points append -> GET re-predict -> DELETE) and holds the
+//     estima_service_campaign_* counter families to it;
 //   * with --event-log=PATH, parses every line of the server's JSONL
-//     event log as a flat JSON object with the stable key schema.
+//     event log as a flat JSON object with the stable key schema, and
+//     asserts the campaign lifecycle's disposition lines are among them.
 //
 //   ./example_check_metrics [--port=P] [--host=H] [--requests=N]
 //                           [--event-log=PATH]
@@ -189,6 +193,68 @@ int main(int argc, char** argv) {
                   "retained audit differs from the POSTed one");
     }
 
+    // Streaming-campaign lifecycle: create from the first 10 points,
+    // append the last 2, re-predict, delete — exactly what the campaign
+    // counter families and the event-log dispositions must record.
+    {
+      testing::SyntheticSpec spec;
+      spec.mem_rate = 0.31;
+      spec.noise = 0.02;
+      const auto full = testing::make_synthetic(
+          spec, testing::counts_up_to(12), "metrics-campaign");
+      auto tail = full;
+      tail.cores.assign(full.cores.begin() + 10, full.cores.end());
+      tail.time_s.assign(full.time_s.begin() + 10, full.time_s.end());
+      for (std::size_t i = 0; i < tail.categories.size(); ++i) {
+        tail.categories[i].values.assign(
+            full.categories[i].values.begin() + 10,
+            full.categories[i].values.end());
+      }
+
+      // A failed earlier attempt of this check (the CI step retries until
+      // the server is up) may have left the campaign behind; a fresh PUT
+      // after DELETE keeps the drive idempotent.
+      (void)client.request("DELETE", "/v1/campaigns/ci-drive", "", {});
+      const net::HttpResponse put =
+          client.request("PUT", "/v1/campaigns/ci-drive",
+                         csv_of(full.truncated(10)),
+                         {{"content-type", "text/plain"}});
+      if (put.status != 201) {
+        return fail("campaign PUT", "status " + std::to_string(put.status) +
+                                        ": " + put.body);
+      }
+      const net::HttpResponse appended =
+          client.request("POST", "/v1/campaigns/ci-drive/points",
+                         csv_of(tail), {{"content-type", "text/plain"}});
+      if (appended.status != 200) {
+        return fail("campaign POST points",
+                    "status " + std::to_string(appended.status) + ": " +
+                        appended.body);
+      }
+      for (const char* key : {"\"version\": 2", "\"points\": 12",
+                              "\"appended\": 2", "\"memo_hits\""}) {
+        if (appended.body.find(key) == std::string::npos) {
+          return fail("campaign append report",
+                      std::string("missing ") + key);
+        }
+      }
+      const net::HttpResponse got = client.get("/v1/campaigns/ci-drive");
+      if (got.status != 200) {
+        return fail("campaign GET", "status " + std::to_string(got.status));
+      }
+      const net::HttpResponse del =
+          client.request("DELETE", "/v1/campaigns/ci-drive", "", {});
+      if (del.status != 200) {
+        return fail("campaign DELETE",
+                    "status " + std::to_string(del.status));
+      }
+      const net::HttpResponse gone = client.get("/v1/campaigns/ci-drive");
+      if (gone.status != 404) {
+        return fail("campaign GET after DELETE",
+                    "expected 404, got " + std::to_string(gone.status));
+      }
+    }
+
     const net::HttpResponse metrics = client.get("/v1/metrics");
     if (metrics.status != 200) {
       return fail("/v1/metrics",
@@ -215,6 +281,22 @@ int main(int argc, char** argv) {
         return fail("metrics content", std::string("missing ") + family);
       }
     }
+    // The lifecycle above drove each campaign counter family (values are
+    // not pinned — the CI step retries this whole binary until the server
+    // is up, so an earlier partial attempt may have counted too); the
+    // final delete does pin the active gauge back to 0.
+    for (const char* needle :
+         {"estima_service_campaign_creates_total",
+          "estima_service_campaign_appends_total",
+          "estima_service_campaign_deletes_total",
+          "estima_service_campaign_invalidations_total",
+          "estima_service_campaign_predictions_total",
+          "estima_service_campaigns_active 0",
+          "estima_cache_invalidations_total"}) {
+      if (metrics.body.find(needle) == std::string::npos) {
+        return fail("campaign metrics", std::string("missing ") + needle);
+      }
+    }
     // The served winner must have been counted by the per-kernel family.
     const std::string winner_series = "estima_fit_attempts_total{kernel=\"" +
                                       served_kernel + "\",outcome=\"winner\"}";
@@ -236,8 +318,15 @@ int main(int argc, char** argv) {
   std::size_t event_lines = 0;
   if (!event_log.empty()) {
     // The log's writer thread flushes on an interval; give it a moment to
-    // drain the requests above before holding the file to the schema.
-    for (int attempt = 0; attempt < 30 && event_lines == 0; ++attempt) {
+    // drain the requests above before holding the file to the schema. The
+    // campaign lifecycle must be in there too: the append's re-prediction
+    // is a miss by construction (its hash did not exist before), and the
+    // GET right after it is a hit (the append warmed the cache).
+    bool append_miss = false;
+    bool get_hit = false;
+    for (int attempt = 0;
+         attempt < 30 && (event_lines == 0 || !append_miss || !get_hit);
+         ++attempt) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
       std::ifstream in(event_log);
       if (!in) continue;
@@ -248,12 +337,30 @@ int main(int argc, char** argv) {
         if (!valid_event_line(line)) {
           return fail("event log", "bad JSONL line: " + line);
         }
+        if (line.find("\"target\":\"/v1/campaigns/ci-drive/points\"") !=
+                std::string::npos &&
+            line.find("\"disposition\":\"miss\"") != std::string::npos) {
+          append_miss = true;
+        }
+        if (line.find("\"target\":\"/v1/campaigns/ci-drive\"") !=
+                std::string::npos &&
+            line.find("\"disposition\":\"hit\"") != std::string::npos) {
+          get_hit = true;
+        }
         ++seen;
       }
       event_lines = seen;
     }
     if (event_lines == 0) {
       return fail("event log", "no lines appeared in " + event_log);
+    }
+    if (!append_miss) {
+      return fail("event log",
+                  "no miss-disposition line for the campaign append");
+    }
+    if (!get_hit) {
+      return fail("event log",
+                  "no hit-disposition line for the campaign GET");
     }
   }
 

@@ -40,6 +40,8 @@
 //                          into a wait-free ring (default: off)
 //     --event-log-rotate-mb=N  rotate the event log when it would exceed
 //                          N MiB, keeping one .1 predecessor (default 64)
+//     --max-campaigns=N    resident named-campaign cap for the streaming
+//                          /v1/campaigns routes (default 256)
 //     --explain-retention=N POST /v1/explain responses retained for GET
 //                          /v1/explain/{hash} (default 32, 0 disables)
 //
@@ -165,6 +167,8 @@ int main(int argc, char** argv) {
       static_cast<int>(parse_flag_d(argc, argv, "event-log-rotate-mb", 64));
   const int explain_retention =
       static_cast<int>(parse_flag_d(argc, argv, "explain-retention", 32));
+  const int max_campaigns =
+      static_cast<int>(parse_flag_d(argc, argv, "max-campaigns", 256));
 
   parallel::ThreadPool pool(
       static_cast<std::size_t>(threads > 0 ? threads : 1));
@@ -231,6 +235,8 @@ int main(int argc, char** argv) {
   rcfg.snapshot_path = snapshot_file;
   rcfg.explain_retention =
       static_cast<std::size_t>(explain_retention > 0 ? explain_retention : 0);
+  rcfg.max_campaigns =
+      static_cast<std::size_t>(max_campaigns > 0 ? max_campaigns : 256);
   service::ServiceRouter router(svc, rcfg);
   router.set_observability(&registry, &tracer);
   router.set_event_log(event_log.get());

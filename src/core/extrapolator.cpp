@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "core/fit_audit.hpp"
+#include "core/fit_memo.hpp"
 #include "fault/fault_injection.hpp"
 #include "numeric/stats.hpp"
 #include "obs/trace.hpp"
@@ -127,6 +128,7 @@ std::vector<std::vector<CandidateFit>> enumerate_candidates_filtered(
   std::atomic<std::size_t> jobs_cancelled{0};
   std::atomic<std::size_t> jobs_aborted{0};
   std::atomic<std::size_t> point_evals{0};
+  std::atomic<std::size_t> memo_hit_count{0};
   // Audit/metrics collection: per-slot diagnostic records, filled by the
   // workers (each writes only its own slots) and emitted serially below.
   const bool collect = cfg.audit != nullptr || cfg.metrics != nullptr;
@@ -179,16 +181,65 @@ std::vector<std::vector<CandidateFit>> enumerate_candidates_filtered(
           prefixes[e] = static_cast<std::size_t>(job_prefix[e * K + k]);
         }
         std::vector<std::optional<FittedFunction>> fits(n_entries);
+        // Diags are collected for audit/metrics AND whenever a memo is
+        // attached: memo entries must carry a replayable diag, so misses
+        // need theirs recorded even on audit-free calls.
         std::vector<FitDiag> job_diags;
-        if (collect) job_diags.resize(n_entries);
+        if (collect || cfg.memo != nullptr) job_diags.resize(n_entries);
+        // Memo partition: entries whose (kernel, prefix bits, FitOptions)
+        // key is resident replay the stored fit + diag; only the misses
+        // execute, as one compacted batch. Safe because each problem's LM
+        // trajectory is independent of the batch's composition (the
+        // lockstep batch is bit-identical to sequential fits).
+        std::vector<std::uint64_t> keys;
+        std::vector<std::size_t> miss;
+        if (cfg.memo != nullptr) {
+          keys.resize(n_entries);
+          for (std::size_t e = 0; e < n_entries; ++e) {
+            keys[e] = FitMemo::key_of(type, xs.data(), values.data(),
+                                      prefixes[e], cfg.fit);
+            FitMemoEntry ment;
+            if (cfg.memo->lookup(keys[e], &ment)) {
+              fits[e] = std::move(ment.fn);
+              job_diags[e] = std::move(ment.diag);
+            } else {
+              miss.push_back(e);
+            }
+          }
+          memo_hit_count.fetch_add(n_entries - miss.size(),
+                                   std::memory_order_relaxed);
+        }
         {
           obs::SpanTimer levmar_span(cfg.trace, obs::Stage::kFitLevmar);
           std::chrono::steady_clock::time_point t0;
           if (cfg.metrics != nullptr) t0 = std::chrono::steady_clock::now();
           fbw.model_evals = 0;
-          fit_kernel_over_prefixes(type, xs, tables, values, prefixes.data(),
-                                   n_entries, cfg.fit, fbw, fits.data(),
-                                   collect ? job_diags.data() : nullptr);
+          if (cfg.memo != nullptr) {
+            if (!miss.empty()) {
+              std::vector<std::size_t> miss_prefixes(miss.size());
+              for (std::size_t i = 0; i < miss.size(); ++i) {
+                miss_prefixes[i] = prefixes[miss[i]];
+              }
+              std::vector<std::optional<FittedFunction>> miss_fits(
+                  miss.size());
+              std::vector<FitDiag> miss_diags(miss.size());
+              fit_kernel_over_prefixes(type, xs, tables, values,
+                                       miss_prefixes.data(), miss.size(),
+                                       cfg.fit, fbw, miss_fits.data(),
+                                       miss_diags.data());
+              for (std::size_t i = 0; i < miss.size(); ++i) {
+                cfg.memo->insert(keys[miss[i]],
+                                 FitMemoEntry{miss_fits[i], miss_diags[i]});
+                fits[miss[i]] = std::move(miss_fits[i]);
+                job_diags[miss[i]] = std::move(miss_diags[i]);
+              }
+            }
+          } else {
+            fit_kernel_over_prefixes(type, xs, tables, values,
+                                     prefixes.data(), n_entries, cfg.fit,
+                                     fbw, fits.data(),
+                                     collect ? job_diags.data() : nullptr);
+          }
           point_evals.fetch_add(fbw.model_evals, std::memory_order_relaxed);
           if (cfg.metrics != nullptr) {
             cfg.metrics->record_fit_seconds(type, elapsed_seconds(t0));
@@ -283,17 +334,44 @@ std::vector<std::vector<CandidateFit>> enumerate_candidates_filtered(
             if (fault::fault_point("alloc.workspace")) throw std::bad_alloc();
             const int i = job_prefix[idx];
             const KernelType type = kAllKernels[idx % K];
-            const std::vector<double> pxs(xs.begin(), xs.begin() + i);
-            const std::vector<double> pys(values.begin(), values.begin() + i);
-            obs::SpanTimer levmar_span(cfg.trace, obs::Stage::kFitLevmar);
-            std::chrono::steady_clock::time_point t0;
-            if (cfg.metrics != nullptr) t0 = std::chrono::steady_clock::now();
-            auto fitted = fit_kernel(type, pxs, pys, cfg.fit,
-                                     collect ? &slot_diags[idx] : nullptr);
-            if (cfg.metrics != nullptr) {
-              cfg.metrics->record_fit_seconds(type, elapsed_seconds(t0));
+            std::optional<FittedFunction> fitted;
+            std::uint64_t mkey = 0;
+            bool replayed = false;
+            if (cfg.memo != nullptr) {
+              mkey = FitMemo::key_of(type, xs.data(), values.data(),
+                                     static_cast<std::size_t>(i), cfg.fit);
+              FitMemoEntry ment;
+              if (cfg.memo->lookup(mkey, &ment)) {
+                fitted = std::move(ment.fn);
+                if (collect) slot_diags[idx] = std::move(ment.diag);
+                memo_hit_count.fetch_add(1, std::memory_order_relaxed);
+                replayed = true;
+              }
             }
-            levmar_span.stop();
+            if (!replayed) {
+              const std::vector<double> pxs(xs.begin(), xs.begin() + i);
+              const std::vector<double> pys(values.begin(),
+                                            values.begin() + i);
+              obs::SpanTimer levmar_span(cfg.trace, obs::Stage::kFitLevmar);
+              std::chrono::steady_clock::time_point t0;
+              if (cfg.metrics != nullptr) {
+                t0 = std::chrono::steady_clock::now();
+              }
+              // Memo misses need a diag even without audit/metrics so the
+              // inserted entry can replay it later.
+              FitDiag local_diag;
+              FitDiag* dptr = collect ? &slot_diags[idx]
+                              : cfg.memo != nullptr ? &local_diag
+                                                    : nullptr;
+              fitted = fit_kernel(type, pxs, pys, cfg.fit, dptr);
+              if (cfg.metrics != nullptr) {
+                cfg.metrics->record_fit_seconds(type, elapsed_seconds(t0));
+              }
+              levmar_span.stop();
+              if (cfg.memo != nullptr) {
+                cfg.memo->insert(mkey, FitMemoEntry{fitted, *dptr});
+              }
+            }
             if (!fitted) return;
             FitSlot& slot = slots[idx];
             {
@@ -318,6 +396,7 @@ std::vector<std::vector<CandidateFit>> enumerate_candidates_filtered(
   acct.fits_cancelled = jobs_cancelled.load(std::memory_order_relaxed);
   acct.fits_aborted = jobs_aborted.load(std::memory_order_relaxed);
   acct.levmar_point_evals = point_evals.load(std::memory_order_relaxed);
+  acct.memo_hits = memo_hit_count.load(std::memory_order_relaxed);
   if (acct.fits_cancelled > 0 || acct.fits_aborted > 0) {
     // An incomplete fit pool must not be scored: a missing fit could flip
     // which candidate wins, which would be a silently different answer.

@@ -37,6 +37,7 @@ namespace estima::core {
 
 struct FitAudit;
 struct FitMetrics;
+class FitMemo;
 
 /// Which fitting pipeline executes the (kernel, prefix) jobs. Both produce
 /// bit-identical candidates — the batched engine restructures the *work*
@@ -98,6 +99,17 @@ struct ExtrapolationConfig {
   /// histograms). Thread-safe and shareable process-wide. Excluded from
   /// config_signature; cannot change produced values.
   FitMetrics* metrics = nullptr;
+  /// Cross-prediction (kernel, prefix) fit memo for streaming campaigns:
+  /// when set, fit jobs whose full input (kernel, FitOptions, prefix
+  /// data bits) is already memoized replay the stored fit + FitDiag
+  /// instead of executing, and executed fits are inserted for the next
+  /// call. Thread-safe; threaded exactly like `pool`/`audit` and, like
+  /// them, excluded from config_signature — the replayed fit is the
+  /// bit-identical outcome of the execution it stands in for, so
+  /// candidates, audits and work accounting are unchanged (only
+  /// EnumerationStats::memo_hits and the wall time move). Null = every
+  /// fit executes.
+  FitMemo* memo = nullptr;
 };
 
 /// One scored candidate fit (kept for diagnostics / bench output).
@@ -131,6 +143,12 @@ struct EnumerationStats {
   /// like every accounting field it is outside the bit-identity contract
   /// and not serialised.
   std::size_t levmar_point_evals = 0;
+  /// Fit jobs answered from cfg.memo instead of executing. Counted inside
+  /// fits_executed (a memo hit replays an execution, it does not change
+  /// the enumeration's job ledger — fits_executed is serialised and must
+  /// stay identical with or without a memo); like levmar_point_evals this
+  /// field is accounting only, never serialised.
+  std::size_t memo_hits = 0;
   /// Fit jobs skipped because cfg.deadline expired mid-enumeration. Any
   /// nonzero value means the candidate lists were abandoned (returned
   /// empty) and the caller should treat the computation as cancelled.

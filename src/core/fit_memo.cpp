@@ -1,0 +1,65 @@
+#include "core/fit_memo.hpp"
+
+#include <cstring>
+
+#include "core/hash.hpp"
+
+namespace estima::core {
+namespace {
+
+// Raw bit-pattern feed: Fnv1a::f64 canonicalizes -0.0 and NaN payloads,
+// which is right for campaign identity but too loose here — the identity
+// contract promises replay only against bit-equal inputs.
+inline void raw_f64(Fnv1a& h, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  h.u64(bits);
+}
+
+}  // namespace
+
+std::uint64_t FitMemo::key_of(KernelType type, const double* xs,
+                              const double* ys, std::size_t prefix,
+                              const FitOptions& opts) {
+  Fnv1a h;
+  h.u64(static_cast<std::uint64_t>(type));
+  raw_f64(h, opts.ridge_lambda);
+  h.i64(opts.levmar_max_iterations);
+  h.u64(prefix);
+  for (std::size_t i = 0; i < prefix; ++i) raw_f64(h, xs[i]);
+  for (std::size_t i = 0; i < prefix; ++i) raw_f64(h, ys[i]);
+  return h.value();
+}
+
+bool FitMemo::lookup(std::uint64_t key, FitMemoEntry* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
+void FitMemo::insert(std::uint64_t key, FitMemoEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_[key] = std::move(entry);
+}
+
+FitMemoStats FitMemo::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FitMemoStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.entries = map_.size();
+  return s;
+}
+
+void FitMemo::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+}
+
+}  // namespace estima::core

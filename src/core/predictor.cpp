@@ -61,11 +61,13 @@ double compute_freq_scale(const MeasurementSet& ms,
 ExtrapolationConfig tuned_extrap(const PredictionConfig& cfg,
                                  parallel::ThreadPool* pool,
                                  const Deadline* deadline = nullptr,
-                                 obs::TraceContext* trace = nullptr) {
+                                 obs::TraceContext* trace = nullptr,
+                                 FitMemo* memo = nullptr) {
   ExtrapolationConfig e = cfg.extrap;
   e.pool = pool;
   e.deadline = deadline;
   e.trace = trace;
+  e.memo = memo;
   // A caller-set audit sink cannot serve the parallel category fan-out
   // (one sink, many writers); predict() hands each category its own sink
   // via the PredictionAudit overload instead. cfg.extrap.metrics stays:
@@ -122,6 +124,13 @@ Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
 Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
                    parallel::ThreadPool* pool, const Deadline* deadline,
                    obs::TraceContext* trace, PredictionAudit* audit) {
+  return predict(ms, cfg, pool, deadline, trace, audit, cfg.extrap.memo);
+}
+
+Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
+                   parallel::ThreadPool* pool, const Deadline* deadline,
+                   obs::TraceContext* trace, PredictionAudit* audit,
+                   FitMemo* memo) {
   if (deadline != nullptr && deadline->expired()) {
     throw DeadlineExceeded("predict: deadline expired before work began");
   }
@@ -157,7 +166,8 @@ Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
     input.categories = {std::move(agg)};
   }
 
-  const ExtrapolationConfig extrap = tuned_extrap(cfg, pool, deadline, trace);
+  const ExtrapolationConfig extrap =
+      tuned_extrap(cfg, pool, deadline, trace, memo);
 
   Prediction out;
   out.cores = cfg.target_cores;
@@ -456,8 +466,8 @@ std::uint64_t config_signature(const PredictionConfig& cfg) {
   h.i64(e.realism.max_steps);
   h.f64(e.fit.ridge_lambda);
   h.i64(e.fit.levmar_max_iterations);
-  // e.memoize_fits, e.engine, e.pool, e.deadline, e.trace, e.audit and
-  // e.metrics deliberately excluded:
+  // e.memoize_fits, e.engine, e.pool, e.deadline, e.trace, e.audit,
+  // e.metrics and e.memo deliberately excluded:
   // the *answer* (times, stalls, chosen fits) is bit-identical across all
   // of them — a deadline can only turn an answer into an exception, a
   // trace only observes where the time went, and the batched fit engine

@@ -105,12 +105,25 @@ Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
                    parallel::ThreadPool* pool, const Deadline* deadline,
                    obs::TraceContext* trace, PredictionAudit* audit);
 
+/// Same pipeline with a cross-prediction fit memo attached (overriding
+/// cfg.extrap.memo): fit jobs whose exact input is already memoized replay
+/// the stored result, and executed fits are inserted for the next call.
+/// The streaming-campaign path threads a per-campaign memo here so an
+/// append-then-repredict executes only the fits the new point created.
+/// Like pool/deadline/trace/audit, the memo cannot change produced values
+/// — a prediction with a memo attached is byte-identical to a cold one.
+/// Null = every fit executes.
+Prediction predict(const MeasurementSet& ms, const PredictionConfig& cfg,
+                   parallel::ThreadPool* pool, const Deadline* deadline,
+                   obs::TraceContext* trace, PredictionAudit* audit,
+                   FitMemo* memo);
+
 /// Stable 64-bit FNV-1a signature over every config field that can change
 /// a prediction's numeric result. memoize_fits, the pool pointer, the
-/// deadline, the trace pointer, and the audit/metrics sinks are excluded:
-/// all are bit-identical-output knobs by construction, so results may be
-/// shared across them. The serving layer combines this with a measurement
-/// digest into campaign-hash cache keys.
+/// deadline, the trace pointer, the audit/metrics sinks, and the fit memo
+/// are excluded: all are bit-identical-output knobs by construction, so
+/// results may be shared across them. The serving layer combines this with
+/// a measurement digest into campaign-hash cache keys.
 std::uint64_t config_signature(const PredictionConfig& cfg);
 
 /// Baseline: extrapolates execution time directly using the same kernel and

@@ -32,7 +32,7 @@ std::uint64_t PredictionService::hash_of(
 std::shared_ptr<const core::Prediction> PredictionService::compute_or_join(
     std::uint64_t key, const core::MeasurementSet& ms,
     const core::Deadline* deadline, obs::TraceContext* trace,
-    CacheDisposition* disposition) {
+    CacheDisposition* disposition, core::FitMemo* memo) {
   {
     obs::SpanTimer lookup_span(trace, obs::Stage::kCacheLookup);
     if (auto cached = cache_.get(key)) {
@@ -76,8 +76,8 @@ std::shared_ptr<const core::Prediction> PredictionService::compute_or_join(
     if (disposition != nullptr) *disposition = CacheDisposition::kHit;
   } else {
     try {
-      auto result = std::make_shared<const core::Prediction>(
-          core::predict(ms, cfg_.prediction, pool_, deadline, trace));
+      auto result = std::make_shared<const core::Prediction>(core::predict(
+          ms, cfg_.prediction, pool_, deadline, trace, nullptr, memo));
       cache_.put(key, result);
       flight->result = std::move(result);
       inserted = true;
@@ -135,12 +135,14 @@ void PredictionService::note_insertion_for_auto_snapshot() {
 
 core::Prediction PredictionService::predict_one(
     const core::MeasurementSet& ms, const core::Deadline* deadline,
-    obs::TraceContext* trace, CacheDisposition* disposition) {
+    obs::TraceContext* trace, CacheDisposition* disposition,
+    core::FitMemo* memo) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++campaigns_submitted_;
   }
-  return *compute_or_join(hash_of(ms), ms, deadline, trace, disposition);
+  return *compute_or_join(hash_of(ms), ms, deadline, trace, disposition,
+                          memo);
 }
 
 core::Prediction PredictionService::explain(const core::MeasurementSet& ms,

@@ -141,10 +141,16 @@ class PredictionService {
   /// `disposition`, when non-null, reports where the answer came from
   /// (cache/join = kHit, fresh computation = kMiss); left kUnknown when
   /// the request throws instead of answering.
+  /// `memo`, when non-null, is attached to the computation (cache hits
+  /// and joins never touch it): the streaming-campaign path passes the
+  /// campaign's persistent FitMemo so an append re-predicts
+  /// incrementally. The memo cannot change the answer (see predictor.hpp)
+  /// so memoized and cold computations share one cache entry.
   core::Prediction predict_one(const core::MeasurementSet& ms,
                                const core::Deadline* deadline = nullptr,
                                obs::TraceContext* trace = nullptr,
-                               CacheDisposition* disposition = nullptr);
+                               CacheDisposition* disposition = nullptr,
+                               core::FitMemo* memo = nullptr);
 
   /// Audited prediction for POST /v1/explain: runs the full pipeline
   /// fresh with `audit` attached, bypassing the cache and the in-flight
@@ -171,6 +177,12 @@ class PredictionService {
   /// when nothing is resident. Never computes.
   std::shared_ptr<const core::Prediction> cached_or_stale(std::uint64_t key,
                                                           bool* stale);
+
+  /// Drops `key` from the result cache (resident or expired); returns
+  /// true when an entry died. Streaming appends call this with the
+  /// campaign's superseded hash so exactly the stale answer is
+  /// invalidated — the new hash's entry is computed on the next lookup.
+  bool invalidate(std::uint64_t key) { return cache_.erase(key); }
 
   /// Spills the current ResultCache to a v1 snapshot at `path` (atomic
   /// write-then-rename), tagged with this service's config signature.
@@ -209,7 +221,8 @@ class PredictionService {
   std::shared_ptr<const core::Prediction> compute_or_join(
       std::uint64_t key, const core::MeasurementSet& ms,
       const core::Deadline* deadline, obs::TraceContext* trace,
-      CacheDisposition* disposition = nullptr);
+      CacheDisposition* disposition = nullptr,
+      core::FitMemo* memo = nullptr);
 
   /// Counts one computed insertion toward snapshot_every and writes the
   /// automatic snapshot when this insertion is the K-th. Exactly one

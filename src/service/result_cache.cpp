@@ -109,6 +109,17 @@ void ResultCache::put(std::uint64_t key,
   s.index.emplace(key, s.lru.begin());
 }
 
+bool ResultCache::erase(std::uint64_t key) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(key);
+  if (it == s.index.end()) return false;
+  s.lru.erase(it->second);
+  s.index.erase(it);
+  ++s.invalidations;
+  return true;
+}
+
 CacheStats ResultCache::stats() const {
   CacheStats out;
   for (std::size_t i = 0; i < shards_count_; ++i) {
@@ -120,6 +131,7 @@ CacheStats ResultCache::stats() const {
     out.entries += s.lru.size();
     out.expired_misses += s.expired_misses;
     out.stale_hits += s.stale_hits;
+    out.invalidations += s.invalidations;
   }
   return out;
 }
@@ -135,9 +147,13 @@ void ResultCache::for_each_entry(
     snapshot.clear();
     {
       std::lock_guard<std::mutex> lock(s.mu);
+      const auto now = Clock::now();
       snapshot.reserve(s.lru.size());
       // Back-to-front = LRU first; see the header on why order matters.
+      // Expired entries are skipped: a snapshot replayed through put()
+      // would re-stamp their TTL, reviving pre-snapshot staleness.
       for (auto it = s.lru.rbegin(); it != s.lru.rend(); ++it) {
+        if (expired(*it, now)) continue;
         snapshot.emplace_back(it->key, it->value);
       }
     }

@@ -40,6 +40,9 @@ struct CacheStats {
   std::uint64_t expired_misses = 0;
   /// lookup_stale() answers served from an expired entry.
   std::uint64_t stale_hits = 0;
+  /// erase() calls that removed a resident entry (streaming appends
+  /// invalidating a campaign's superseded hash).
+  std::uint64_t invalidations = 0;
 };
 
 /// What lookup_stale() found for a key.
@@ -77,8 +80,26 @@ class ResultCache {
   StaleLookup lookup_stale(std::uint64_t key);
 
   /// Inserts (or refreshes) a completed prediction, evicting the shard's
-  /// least-recently-used entry when full. Resets the entry's TTL clock.
+  /// least-recently-used entry when full.
+  ///
+  /// TTL semantics (deliberate, relied on by streaming invalidation): a
+  /// put() on an existing key ALWAYS re-stamps the entry's TTL clock and
+  /// recency, even when the value is bit-identical to the resident one —
+  /// a put() means "this answer was just recomputed", and a recompute is
+  /// fresh by definition. The one writer allowed to put() is the
+  /// compute_or_join owner that actually ran predict(); joiners that
+  /// merely waited for the owner's result never put(), so a dedup'd join
+  /// can never revive a dying entry without a real recompute behind it.
   void put(std::uint64_t key, std::shared_ptr<const core::Prediction> value);
+
+  /// Removes the entry for `key` (resident or expired) so the next lookup
+  /// recomputes; returns true when an entry was removed and counts it in
+  /// CacheStats::invalidations. Point invalidation for streaming appends:
+  /// a campaign's new point changes its campaign_hash, and the superseded
+  /// hash's entry must die immediately — it could otherwise be served
+  /// (fresh, or via lookup_stale) for the full TTL even though the
+  /// campaign has moved on.
+  bool erase(std::uint64_t key);
 
   CacheStats stats() const;
   std::size_t capacity() const { return capacity_; }
@@ -96,9 +117,12 @@ class ResultCache {
   /// still delivered alive through its shared_ptr. The guarantee is
   /// per-shard consistency: everything present in a shard at its lock
   /// instant is visited exactly once; entries inserted or evicted while
-  /// other shards are being visited may or may not appear. Expired
-  /// entries are visited too (a snapshot should preserve them; restore
-  /// re-stamps their TTL clock).
+  /// other shards are being visited may or may not appear. Entries
+  /// expired at their shard's lock instant are NOT visited: the visitor's
+  /// main caller is snapshot_to, and restore replays entries through
+  /// put(), which re-stamps the TTL clock — persisting an expired entry
+  /// would resurrect a stale answer as fresh after restart, violating
+  /// bounded staleness.
   void for_each_entry(
       const std::function<void(std::uint64_t,
                                const std::shared_ptr<const core::Prediction>&)>&
@@ -123,6 +147,7 @@ class ResultCache {
     std::uint64_t evictions = 0;
     std::uint64_t expired_misses = 0;
     std::uint64_t stale_hits = 0;
+    std::uint64_t invalidations = 0;
     std::size_t capacity = 0;
   };
 

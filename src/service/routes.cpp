@@ -194,7 +194,9 @@ std::vector<std::string> parse_frames(const std::string& body,
 }
 
 ServiceRouter::ServiceRouter(PredictionService& service, RouterConfig cfg)
-    : service_(service), cfg_(std::move(cfg)) {}
+    : service_(service),
+      cfg_(std::move(cfg)),
+      campaigns_(service_, cfg_.max_campaigns) {}
 
 void ServiceRouter::set_server_stats_source(
     std::function<net::ServerStats()> source) {
@@ -284,6 +286,9 @@ net::HttpResponse ServiceRouter::dispatch(const net::HttpRequest& req,
       if (req.method != "GET") return method_not_allowed("GET");
       return handle_explain_get(req.target.substr(sizeof "/v1/explain/" - 1));
     }
+    if (req.target.rfind("/v1/campaigns/", 0) == 0) {
+      return handle_campaigns(req, ctx, deadline, ev);
+    }
     if (req.target == "/v1/stats") {
       if (req.method != "GET") return method_not_allowed("GET");
       return handle_stats();
@@ -309,6 +314,8 @@ net::HttpResponse ServiceRouter::dispatch(const net::HttpRequest& req,
     // The budget ran out mid-computation; the pipeline stopped at a fit
     // boundary without producing (or caching) a partial answer.
     return text_response(408, e.what());
+  } catch (const CampaignNotFound& e) {
+    return text_response(404, e.what());
   } catch (const std::invalid_argument& e) {
     // Bad campaign data — CSV, framing, or a campaign predict() rejects.
     return text_response(400, e.what());
@@ -460,6 +467,115 @@ net::HttpResponse ServiceRouter::handle_explain_get(
   return text_response(404, "no retained audit for campaign " + hash_str);
 }
 
+net::HttpResponse ServiceRouter::handle_campaigns(
+    const net::HttpRequest& req, const net::RequestContext& ctx,
+    const core::Deadline* deadline, RequestEvent& ev) {
+  // Target shapes: /v1/campaigns/{name} and /v1/campaigns/{name}/points.
+  std::string rest = req.target.substr(sizeof "/v1/campaigns/" - 1);
+  bool points = false;
+  constexpr const char kPointsSuffix[] = "/points";
+  constexpr std::size_t kSuffixLen = sizeof kPointsSuffix - 1;
+  if (rest.size() > kSuffixLen &&
+      rest.compare(rest.size() - kSuffixLen, kSuffixLen, kPointsSuffix) ==
+          0) {
+    points = true;
+    rest.resize(rest.size() - kSuffixLen);
+  }
+  const std::string& name = rest;
+  if (name.empty() || name.size() > 128 ||
+      name.find('/') != std::string::npos) {
+    return text_response(400, "bad campaign name: " + name);
+  }
+
+  obs::TraceContext* const trace = ctx.trace.get();
+  if (points) {
+    // POST /v1/campaigns/{name}/points: append, invalidate the superseded
+    // hash, then re-predict through the campaign's persistent FitMemo —
+    // only fits reaching into the new points execute, and the answer
+    // lands in the cache under the new hash for subsequent GETs.
+    if (req.method != "POST") return method_not_allowed("POST");
+    obs::SpanTimer parse_span(trace, obs::Stage::kParse);
+    const core::MeasurementSet delta = campaign_from_csv(req.body);
+    parse_span.stop();
+    CampaignInfo info = campaigns_.append(name, delta);
+    CacheDisposition disp = CacheDisposition::kUnknown;
+    const core::Prediction pred =
+        campaigns_.predict(name, deadline, trace, &disp, &info);
+    ev.has_campaign = true;
+    ev.campaign_hash = info.hash;
+    ev.disposition = disp == CacheDisposition::kMiss ? "miss" : "hit";
+    ev.winner_kernel = core::kernel_name(pred.factor_fn.type);
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("name", info.name);
+    w.kv("version", info.version);
+    w.kv("campaign_hash", hash_hex(info.hash));
+    w.kv("points", static_cast<std::uint64_t>(info.points));
+    w.kv("appended", static_cast<std::uint64_t>(delta.num_points()));
+    w.kv("winner_kernel", core::kernel_name(pred.factor_fn.type));
+    w.kv("memo_hits", info.memo.hits);
+    w.kv("memo_misses", info.memo.misses);
+    w.kv("memo_entries", info.memo.entries);
+    w.end_object();
+    return json_response(w);
+  }
+
+  if (req.method == "PUT") {
+    // Create (201) or replace (200) from the same CSV body /v1/predict
+    // takes; a campaign predict() would reject is never stored.
+    obs::SpanTimer parse_span(trace, obs::Stage::kParse);
+    core::MeasurementSet ms = campaign_from_csv(req.body);
+    parse_span.stop();
+    bool created = false;
+    const CampaignInfo info =
+        campaigns_.create(name, std::move(ms), &created);
+    ev.has_campaign = true;
+    ev.campaign_hash = info.hash;
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("name", info.name);
+    w.kv("version", info.version);
+    w.kv("campaign_hash", hash_hex(info.hash));
+    w.kv("points", static_cast<std::uint64_t>(info.points));
+    w.kv("created", created);
+    w.end_object();
+    net::HttpResponse resp = json_response(w);
+    resp.status = created ? 201 : 200;
+    return resp;
+  }
+  if (req.method == "GET") {
+    // The campaign's current prediction, same record format as
+    // /v1/predict: cache-fronted under the current hash, memo-backed on
+    // a miss.
+    CampaignInfo info;
+    CacheDisposition disp = CacheDisposition::kUnknown;
+    const core::Prediction pred =
+        campaigns_.predict(name, deadline, trace, &disp, &info);
+    ev.has_campaign = true;
+    ev.campaign_hash = info.hash;
+    ev.disposition = disp == CacheDisposition::kMiss ? "miss" : "hit";
+    ev.winner_kernel = core::kernel_name(pred.factor_fn.type);
+    obs::SpanTimer serialize_span(trace, obs::Stage::kSerialize);
+    std::ostringstream os;
+    core::write_prediction(os, pred);
+    net::HttpResponse resp;
+    resp.status = 200;
+    resp.headers.emplace_back("content-type", "text/plain");
+    resp.headers.emplace_back("x-estima-campaign-version",
+                              std::to_string(info.version));
+    resp.headers.emplace_back("x-estima-campaign-hash", hash_hex(info.hash));
+    resp.body = os.str();
+    return resp;
+  }
+  if (req.method == "DELETE") {
+    if (!campaigns_.remove(name)) {
+      return text_response(404, "campaign not found: " + name);
+    }
+    return text_response(200, "deleted");
+  }
+  return method_not_allowed("PUT, GET, DELETE");
+}
+
 net::HttpResponse ServiceRouter::handle_health(
     const net::RequestContext& ctx) {
   if (draining_.load(std::memory_order_relaxed)) {
@@ -538,7 +654,20 @@ net::HttpResponse ServiceRouter::handle_stats() {
   w.kv("entries", s.cache.entries);
   w.kv("expired_misses", s.cache.expired_misses);
   w.kv("stale_hits", s.cache.stale_hits);
+  w.kv("invalidations", s.cache.invalidations);
   w.end_object();
+  {
+    const CampaignStoreStats c = campaigns_.stats();
+    w.begin_object("campaigns");
+    w.kv("created", c.created);
+    w.kv("replaced", c.replaced);
+    w.kv("deleted", c.deleted);
+    w.kv("appends", c.appends);
+    w.kv("predictions", c.predictions);
+    w.kv("hash_invalidations", c.hash_invalidations);
+    w.kv("active", c.active);
+    w.end_object();
+  }
   if (snap.have_server) {
     const net::ServerStats& n = snap.server;
     w.begin_object("server");
@@ -616,8 +745,30 @@ net::HttpResponse ServiceRouter::handle_metrics() {
   w.counter("estima_cache_stale_hits_total", "",
             "Expired entries served anyway under load shedding.",
             s.cache.stale_hits);
+  w.counter("estima_cache_invalidations_total", "",
+            "Entries erased by point invalidation (campaign appends).",
+            s.cache.invalidations);
   w.gauge("estima_cache_entries", "", "Resident result-cache entries.",
           static_cast<std::int64_t>(s.cache.entries));
+  {
+    const CampaignStoreStats c = campaigns_.stats();
+    w.counter("estima_service_campaign_creates_total", "",
+              "Named campaigns created via PUT.", c.created);
+    w.counter("estima_service_campaign_replaces_total", "",
+              "Named campaigns replaced via PUT.", c.replaced);
+    w.counter("estima_service_campaign_deletes_total", "",
+              "Named campaigns deleted.", c.deleted);
+    w.counter("estima_service_campaign_appends_total", "",
+              "Point batches appended to named campaigns.", c.appends);
+    w.counter("estima_service_campaign_predictions_total", "",
+              "Predictions served for named campaigns.", c.predictions);
+    w.counter("estima_service_campaign_invalidations_total", "",
+              "Superseded campaign hashes erased from the result cache.",
+              c.hash_invalidations);
+    w.gauge("estima_service_campaigns_active", "",
+            "Currently resident named campaigns.",
+            static_cast<std::int64_t>(c.active));
+  }
   if (snap.have_server) {
     const net::ServerStats& n = snap.server;
     w.counter("estima_server_connections_accepted_total", "",

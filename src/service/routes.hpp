@@ -38,6 +38,25 @@
 //   GET  /v1/explain/{hash} the retained audit of a recently explained
 //                           campaign; 404 once evicted or never explained.
 //
+// Streaming campaigns (named, mutable; see campaign_store.hpp):
+//   PUT    /v1/campaigns/{name}        create (201) or replace (200) a
+//                                      named campaign from a CSV body.
+//   POST   /v1/campaigns/{name}/points append points measured at higher
+//                                      core counts (CSV body, same
+//                                      metadata/categories; malformed or
+//                                      duplicate core counts 400), then
+//                                      re-predict incrementally through
+//                                      the campaign's persistent FitMemo;
+//                                      200 with a JSON append report.
+//   GET    /v1/campaigns/{name}        the campaign's current prediction
+//                                      (write_prediction record, same
+//                                      format as /v1/predict), served
+//                                      through the ordinary cache under
+//                                      the campaign's current hash.
+//   DELETE /v1/campaigns/{name}        remove it (200; 404 if unknown).
+// Unknown campaign names answer 404; appends invalidate exactly the
+// superseded hash's cache entry.
+//
 // Both stats-style endpoints are built from one consistent snapshot per
 // request: ServiceStats and ServerStats are each taken whole under their
 // owning lock (never field-by-field from live atomics), so a scrape can
@@ -82,6 +101,7 @@
 #include "net/http_parser.hpp"
 #include "net/server.hpp"
 #include "net/server_stats.hpp"
+#include "service/campaign_store.hpp"
 #include "service/prediction_service.hpp"
 
 namespace estima::obs {
@@ -106,6 +126,9 @@ struct RouterConfig {
   std::size_t explain_retention = 32;
   /// Reported by the estima_build_info gauge on /v1/metrics.
   std::string build_version = "dev";
+  /// Ceiling on resident named campaigns in the router's CampaignStore;
+  /// a PUT past the bound answers 400.
+  std::size_t max_campaigns = 256;
 };
 
 class ServiceRouter {
@@ -153,6 +176,10 @@ class ServiceRouter {
   /// (the default) skips the emission entirely.
   void set_event_log(obs::EventLog* log) { event_log_ = log; }
 
+  /// The router-owned store behind /v1/campaigns, exposed for tests and
+  /// the daemon's shutdown reporting.
+  const CampaignStore& campaigns() const { return campaigns_; }
+
  private:
   /// Per-request facts the handlers report upward so handle() can emit
   /// one event line after the response exists.
@@ -187,6 +214,10 @@ class ServiceRouter {
                                    const core::Deadline* deadline,
                                    RequestEvent& ev);
   net::HttpResponse handle_explain_get(const std::string& hash_hex);
+  net::HttpResponse handle_campaigns(const net::HttpRequest& req,
+                                     const net::RequestContext& ctx,
+                                     const core::Deadline* deadline,
+                                     RequestEvent& ev);
   void retain_explain(std::uint64_t hash, std::string body);
   net::HttpResponse handle_stats();
   net::HttpResponse handle_health(const net::RequestContext& ctx);
@@ -196,6 +227,7 @@ class ServiceRouter {
 
   PredictionService& service_;
   RouterConfig cfg_;
+  CampaignStore campaigns_;
   std::function<net::ServerStats()> server_stats_;
   obs::Registry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;

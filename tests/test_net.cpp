@@ -611,6 +611,138 @@ TEST_F(NetEndToEnd, ExplainReturnsTheAuditAndRetainsItByHash) {
             400);
 }
 
+TEST_F(NetEndToEnd, ExplainGetHashErrorTable) {
+  auto c = client();
+  // Every malformed hash is a client error BEFORE any lookup happens —
+  // none of these may 404 (which would leak lookup semantics for garbage)
+  // or 500.
+  const struct {
+    const char* hash;
+    const char* why;
+  } kBad[] = {
+      {"", "empty hash"},
+      {"0123456789abcdef0", "17 hex digits (> 64 bits, would overflow)"},
+      {"ffffffffffffffffff", "18 hex digits"},
+      {"0x12345678", "0x prefix is not bare hex"},
+      {"12345678deadbeefzz", "trailing junk"},
+      {"dead-beef", "separator junk"},
+      {"g123", "non-hex digit"},
+  };
+  for (const auto& t : kBad) {
+    const auto resp = c.get(std::string("/v1/explain/") + t.hash);
+    EXPECT_EQ(resp.status, 400) << t.why;
+  }
+  EXPECT_EQ(c.get("/v1/explain/" + std::string(200, 'a')).status, 400)
+      << "absurdly long hash";
+  // Well-formed but unknown hashes are real lookups: 404, in either case.
+  EXPECT_EQ(c.get("/v1/explain/0123456789abcdef").status, 404);
+  EXPECT_EQ(c.get("/v1/explain/0123456789ABCDEF").status, 404);
+  EXPECT_EQ(c.get("/v1/explain/1").status, 404);
+  // Wrong method on the hash route is 405 with Allow, not a lookup.
+  const auto r405 = c.request("POST", "/v1/explain/0123456789abcdef", "x",
+                              {{"content-type", "text/plain"}});
+  EXPECT_EQ(r405.status, 405);
+  ASSERT_NE(r405.header("allow"), nullptr);
+  EXPECT_EQ(*r405.header("allow"), "GET");
+}
+
+TEST_F(NetEndToEnd, CampaignRoutesLifecycleOverHttp) {
+  // A 12-point series whose first 10 points are the PUT and whose last 2
+  // arrive as one POST /points append.
+  const auto full = demo_campaign(7, 12);
+  const auto base = full.truncated(10);
+  core::MeasurementSet delta;
+  delta.workload = full.workload;
+  delta.machine = full.machine;
+  delta.freq_ghz = full.freq_ghz;
+  delta.dataset_bytes = full.dataset_bytes;
+  delta.cores.assign(full.cores.begin() + 10, full.cores.end());
+  delta.time_s.assign(full.time_s.begin() + 10, full.time_s.end());
+  for (const auto& cat : full.categories) {
+    delta.categories.push_back(
+        {cat.name, cat.domain,
+         std::vector<double>(cat.values.begin() + 10, cat.values.end())});
+  }
+
+  auto c = client();
+  const auto csv_headers =
+      std::vector<std::pair<std::string, std::string>>{
+          {"content-type", "text/csv"}};
+
+  // PUT creates (201) then replaces (200) under the same name.
+  auto put1 = c.request("PUT", "/v1/campaigns/wl", csv_of(base), csv_headers);
+  ASSERT_EQ(put1.status, 201);
+  EXPECT_NE(put1.body.find("\"created\": true"), std::string::npos);
+  EXPECT_NE(put1.body.find("\"version\": 1"), std::string::npos);
+  auto put2 = c.request("PUT", "/v1/campaigns/wl", csv_of(base), csv_headers);
+  ASSERT_EQ(put2.status, 200);
+  EXPECT_NE(put2.body.find("\"created\": false"), std::string::npos);
+  EXPECT_NE(put2.body.find("\"version\": 2"), std::string::npos);
+
+  // GET serves the same record /v1/predict would, plus campaign headers.
+  const auto got = c.get("/v1/campaigns/wl");
+  ASSERT_EQ(got.status, 200);
+  EXPECT_EQ(got.body, record_of(core::predict(base, cfg_)));
+  ASSERT_NE(got.header("x-estima-campaign-version"), nullptr);
+  EXPECT_EQ(*got.header("x-estima-campaign-version"), "2");
+  ASSERT_NE(got.header("x-estima-campaign-hash"), nullptr);
+  EXPECT_EQ(got.header("x-estima-campaign-hash")->size(), 16u);
+
+  // POST /points appends and answers the append report.
+  const auto post = c.post("/v1/campaigns/wl/points", csv_of(delta),
+                           "text/csv");
+  ASSERT_EQ(post.status, 200) << post.body;
+  EXPECT_NE(post.body.find("\"version\": 3"), std::string::npos);
+  EXPECT_NE(post.body.find("\"points\": 12"), std::string::npos);
+  EXPECT_NE(post.body.find("\"appended\": 2"), std::string::npos);
+  EXPECT_NE(post.body.find("\"winner_kernel\""), std::string::npos);
+  EXPECT_NE(post.body.find("\"memo_hits\""), std::string::npos);
+
+  // The grown campaign serves the full series' prediction — byte-equal to
+  // a cold in-process predict of all 12 points.
+  const auto grown = c.get("/v1/campaigns/wl");
+  ASSERT_EQ(grown.status, 200);
+  EXPECT_EQ(grown.body, record_of(core::predict(full, cfg_)));
+  EXPECT_EQ(*grown.header("x-estima-campaign-version"), "3");
+  EXPECT_NE(*grown.header("x-estima-campaign-hash"),
+            *got.header("x-estima-campaign-hash"));
+
+  // Append rejections: duplicate core counts (replaying the same delta)
+  // and malformed CSV are 400s that leave the campaign untouched.
+  EXPECT_EQ(
+      c.post("/v1/campaigns/wl/points", csv_of(delta), "text/csv").status,
+      400);
+  EXPECT_EQ(
+      c.post("/v1/campaigns/wl/points", "not,a,campaign\n", "text/csv")
+          .status,
+      400);
+  EXPECT_EQ(*c.get("/v1/campaigns/wl").header("x-estima-campaign-version"),
+            "3");
+
+  // Unknown names are 404 (valid CSV, so parsing is not what fails).
+  EXPECT_EQ(c.get("/v1/campaigns/nope").status, 404);
+  EXPECT_EQ(
+      c.post("/v1/campaigns/nope/points", csv_of(delta), "text/csv").status,
+      404);
+  // Bad names and methods never reach the store.
+  EXPECT_EQ(c.get("/v1/campaigns/").status, 400);
+  EXPECT_EQ(c.get("/v1/campaigns/a/b").status, 400);
+  const auto patch =
+      c.request("PATCH", "/v1/campaigns/wl", "x", csv_headers);
+  EXPECT_EQ(patch.status, 405);
+  ASSERT_NE(patch.header("allow"), nullptr);
+  EXPECT_EQ(*patch.header("allow"), "PUT, GET, DELETE");
+  const auto gpoints = c.get("/v1/campaigns/wl/points");
+  EXPECT_EQ(gpoints.status, 405);
+  ASSERT_NE(gpoints.header("allow"), nullptr);
+  EXPECT_EQ(*gpoints.header("allow"), "POST");
+
+  // DELETE removes exactly once.
+  EXPECT_EQ(c.request("DELETE", "/v1/campaigns/wl", "", {}).status, 200);
+  EXPECT_EQ(c.request("DELETE", "/v1/campaigns/wl", "", {}).status, 404);
+  EXPECT_EQ(c.get("/v1/campaigns/wl").status, 404);
+}
+
 TEST_F(NetEndToEnd, EventLogRecordsOneLinePerRequestWithDispositions) {
   const std::string path =
       (fs::temp_directory_path() / "estima_test_net_events.jsonl").string();

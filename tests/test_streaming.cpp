@@ -1,0 +1,690 @@
+// Streaming-campaign suite: the FitMemo identity contract, the result
+// cache's point invalidation + TTL semantics the streaming path leans on,
+// and the CampaignStore lifecycle itself.
+//
+// The load-bearing test is the golden one: a prediction computed with a
+// FitMemo attached — cold, warm, and after appends — must serialize
+// byte-identically (write_prediction) to a cold predict() of the same
+// series, across {kReference, kBatched} x {serial, pooled}. Everything
+// the service layer does with campaigns (sharing one cache entry between
+// memoized and cold computations, invalidating exactly the superseded
+// hash) rests on that identity.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <thread>
+#include <vector>
+
+#include "core/fit_memo.hpp"
+#include "core/prediction_io.hpp"
+#include "core/predictor.hpp"
+#include "parallel/thread_pool.hpp"
+#include "service/campaign_store.hpp"
+#include "service/prediction_service.hpp"
+#include "service/result_cache.hpp"
+#include "synthetic.hpp"
+
+namespace estima::service {
+namespace {
+
+using estima::testing::counts_up_to;
+using estima::testing::make_synthetic;
+using estima::testing::SyntheticSpec;
+
+core::MeasurementSet campaign(int seed, int points = 12) {
+  SyntheticSpec spec;
+  spec.mem_rate = 0.25 + 0.03 * seed;
+  spec.serial_frac = 0.005 + 0.002 * seed;
+  spec.stm_rate = seed % 2 ? 1e-4 : 0.0;
+  spec.noise = 0.02;
+  return make_synthetic(spec, counts_up_to(points),
+                        ("campaign-" + std::to_string(seed)).c_str());
+}
+
+core::PredictionConfig serving_config() {
+  core::PredictionConfig cfg;
+  cfg.target_cores = core::cores_up_to(48);
+  return cfg;
+}
+
+/// Full round-trip serialization: string equality == byte identity of
+/// every value write_prediction emits (max_digits10 doubles included).
+std::string serialized(const core::Prediction& p) {
+  std::ostringstream os;
+  core::write_prediction(os, p);
+  return os.str();
+}
+
+/// The points of `full` from index `from` on, as a standalone delta
+/// carrying the same metadata and categories — what a client POSTs to
+/// /v1/campaigns/{name}/points.
+core::MeasurementSet tail(const core::MeasurementSet& full,
+                          std::size_t from) {
+  core::MeasurementSet d;
+  d.workload = full.workload;
+  d.machine = full.machine;
+  d.freq_ghz = full.freq_ghz;
+  d.dataset_bytes = full.dataset_bytes;
+  d.cores.assign(full.cores.begin() + from, full.cores.end());
+  d.time_s.assign(full.time_s.begin() + from, full.time_s.end());
+  for (const auto& c : full.categories) {
+    d.categories.push_back(
+        {c.name, c.domain,
+         std::vector<double>(c.values.begin() + from, c.values.end())});
+  }
+  return d;
+}
+
+std::shared_ptr<const core::Prediction> dummy_value() {
+  return std::make_shared<const core::Prediction>();
+}
+
+// ---------------------------------------------------------------------------
+// FitMemo unit behavior
+// ---------------------------------------------------------------------------
+
+TEST(FitMemo, KeyDigestsEveryInputDimension) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  const double ys[] = {1.0, 0.6, 0.45, 0.4};
+  core::FitOptions opts;
+
+  const std::uint64_t k =
+      core::FitMemo::key_of(core::KernelType::kRat22, xs, ys, 4, opts);
+  // Deterministic.
+  EXPECT_EQ(core::FitMemo::key_of(core::KernelType::kRat22, xs, ys, 4, opts),
+            k);
+  // Kernel, prefix length, and options all participate.
+  EXPECT_NE(core::FitMemo::key_of(core::KernelType::kRat23, xs, ys, 4, opts),
+            k);
+  EXPECT_NE(core::FitMemo::key_of(core::KernelType::kRat22, xs, ys, 3, opts),
+            k);
+  core::FitOptions ridge = opts;
+  ridge.ridge_lambda += 1e-6;
+  EXPECT_NE(core::FitMemo::key_of(core::KernelType::kRat22, xs, ys, 4, ridge),
+            k);
+  // Data participates by RAW BITS: -0.0 != 0.0 even though they compare
+  // equal as doubles. (Replaying a fit against a not-bit-equal input
+  // would silently break the byte-identity contract.)
+  double ys_zero[] = {0.0, 0.6, 0.45, 0.4};
+  double ys_negzero[] = {-0.0, 0.6, 0.45, 0.4};
+  EXPECT_NE(
+      core::FitMemo::key_of(core::KernelType::kRat22, xs, ys_zero, 4, opts),
+      core::FitMemo::key_of(core::KernelType::kRat22, xs, ys_negzero, 4,
+                            opts));
+  // Points past the prefix are NOT part of the key: an append that only
+  // adds higher core counts must leave old prefixes' keys untouched.
+  double ys_ext[] = {1.0, 0.6, 0.45, 999.0};
+  EXPECT_EQ(
+      core::FitMemo::key_of(core::KernelType::kRat22, xs, ys_ext, 3, opts),
+      core::FitMemo::key_of(core::KernelType::kRat22, xs, ys, 3, opts));
+}
+
+TEST(FitMemo, LookupInsertAndStats) {
+  core::FitMemo memo;
+  core::FitMemoEntry out;
+  EXPECT_FALSE(memo.lookup(42, &out));
+
+  core::FitMemoEntry in;
+  in.fn = std::nullopt;  // a failed fit is as memoizable as a success
+  memo.insert(42, in);
+  EXPECT_TRUE(memo.lookup(42, &out));
+  EXPECT_FALSE(out.fn.has_value());
+
+  const auto s = memo.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+
+  // clear() drops the entries (a replaced campaign is a new series) but
+  // keeps the cumulative hit/miss accounting.
+  memo.clear();
+  EXPECT_EQ(memo.stats().entries, 0u);
+  EXPECT_EQ(memo.stats().hits, 1u);
+  EXPECT_EQ(memo.stats().misses, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The golden identity contract
+// ---------------------------------------------------------------------------
+
+// Memoized predictions — cold memo, warm memo, and warm-after-append —
+// must serialize byte-identically to cold predict() across both fit
+// engines and both pool modes. This is the acceptance bar for the whole
+// streaming path.
+TEST(StreamingGolden, MemoizedByteIdenticalAcrossEnginesAndPools) {
+  const auto full = campaign(3, 15);
+  for (const auto engine :
+       {core::FitEngine::kReference, core::FitEngine::kBatched}) {
+    for (const bool pooled : {false, true}) {
+      auto cfg = serving_config();
+      cfg.extrap.engine = engine;
+      parallel::ThreadPool pool(4);
+      parallel::ThreadPool* p = pooled ? &pool : nullptr;
+
+      core::FitMemo memo;
+      // Grow the series 12 -> 13 -> 15 through one persistent memo, the
+      // way a campaign grows through appends.
+      for (const std::size_t k :
+           {std::size_t{12}, std::size_t{13}, std::size_t{15}}) {
+        const auto ms = full.truncated(k);
+        const auto cold = core::predict(ms, cfg, p, nullptr, nullptr);
+        const auto warm =
+            core::predict(ms, cfg, p, nullptr, nullptr, nullptr, &memo);
+        EXPECT_EQ(serialized(cold), serialized(warm))
+            << "engine=" << static_cast<int>(engine) << " pooled=" << pooled
+            << " points=" << k;
+      }
+      // The growth actually replayed old prefixes from the memo.
+      EXPECT_GT(memo.stats().hits, 0u)
+          << "engine=" << static_cast<int>(engine) << " pooled=" << pooled;
+    }
+  }
+}
+
+// The serialized accounting (fits_executed, duplicate_fits_eliminated) is
+// part of the wire format and derives from the job layout, not from what
+// actually executed — a memo hit must not perturb it. The non-serialized
+// memo_hits counter is where replays show up.
+TEST(StreamingGolden, MemoHitsCountedOutsideSerializedAccounting) {
+  const auto cfg = serving_config();
+  const auto ms = campaign(1);
+  const auto cold = core::predict(ms, cfg);
+
+  core::FitMemo memo;
+  const auto first =
+      core::predict(ms, cfg, nullptr, nullptr, nullptr, nullptr, &memo);
+  const auto second =
+      core::predict(ms, cfg, nullptr, nullptr, nullptr, nullptr, &memo);
+
+  EXPECT_EQ(serialized(first), serialized(cold));
+  EXPECT_EQ(serialized(second), serialized(cold));
+
+  EXPECT_EQ(first.factor_stats.fits_executed, cold.factor_stats.fits_executed);
+  EXPECT_EQ(second.factor_stats.fits_executed,
+            cold.factor_stats.fits_executed);
+  EXPECT_EQ(second.factor_stats.duplicate_fits_eliminated,
+            cold.factor_stats.duplicate_fits_eliminated);
+
+  // A fully warm re-prediction replays its factor fits from the memo.
+  EXPECT_EQ(cold.factor_stats.memo_hits, 0u);
+  EXPECT_GT(second.factor_stats.memo_hits, 0u);
+  EXPECT_GT(memo.stats().hits, 0u);
+  EXPECT_GT(memo.stats().entries, 0u);
+}
+
+// An append only creates fits whose prefixes reach into the new point:
+// re-predicting after one appended point must execute far fewer fits
+// than the initial cold prediction did.
+TEST(StreamingGolden, AppendExecutesOnlyNewPrefixFits) {
+  const auto cfg = serving_config();
+  const auto full = campaign(2, 13);
+
+  core::FitMemo memo;
+  (void)core::predict(full.truncated(12), cfg, nullptr, nullptr, nullptr,
+                      nullptr, &memo);
+  const auto base_misses = memo.stats().misses;
+  ASSERT_GT(base_misses, 0u);
+
+  const auto grown = core::predict(full.truncated(13), cfg, nullptr, nullptr,
+                                   nullptr, nullptr, &memo);
+  EXPECT_EQ(serialized(grown), serialized(core::predict(full.truncated(13),
+                                                        cfg)));
+  const auto new_misses = memo.stats().misses - base_misses;
+  EXPECT_LT(new_misses, base_misses)
+      << "append re-ran " << new_misses << " of " << base_misses
+      << " fits — the memo is not carrying old prefixes";
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache: point invalidation + TTL semantics (satellites)
+// ---------------------------------------------------------------------------
+
+TEST(ResultCacheErase, RemovesEntryAndCountsInvalidations) {
+  ResultCache cache(4, 1);
+  cache.put(7, dummy_value());
+  ASSERT_NE(cache.get(7), nullptr);
+
+  EXPECT_TRUE(cache.erase(7));
+  EXPECT_EQ(cache.get(7), nullptr);
+  EXPECT_EQ(cache.peek(7), nullptr);
+  EXPECT_EQ(cache.lookup_stale(7).value, nullptr);
+
+  auto s = cache.stats();
+  EXPECT_EQ(s.invalidations, 1u);
+  EXPECT_EQ(s.entries, 0u);
+
+  // Erasing a dead key is not an invalidation.
+  EXPECT_FALSE(cache.erase(7));
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(ResultCacheErase, RemovesExpiredEntryToo) {
+  ResultCache cache(4, 1, /*ttl_ms=*/20);
+  cache.put(1, dummy_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Expired but resident (lookup_stale could still serve it) — erase must
+  // kill it so it can never be served for the campaign's old hash.
+  ASSERT_TRUE(cache.lookup_stale(1).stale);
+  EXPECT_TRUE(cache.erase(1));
+  EXPECT_EQ(cache.lookup_stale(1).value, nullptr);
+}
+
+// Satellite: put() on an existing key deliberately re-stamps the TTL —
+// a put means "just recomputed", and a recompute is fresh by definition.
+TEST(ResultCacheTtl, PutRevivesExpiredEntry) {
+  ResultCache cache(4, 1, /*ttl_ms=*/20);
+  cache.put(1, dummy_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(cache.get(1), nullptr);  // expired reads as a miss
+  EXPECT_TRUE(cache.lookup_stale(1).stale);
+
+  cache.put(1, dummy_value());  // the owner recomputed
+  EXPECT_NE(cache.get(1), nullptr);
+  const auto l = cache.lookup_stale(1);
+  EXPECT_NE(l.value, nullptr);
+  EXPECT_FALSE(l.stale);
+}
+
+// Satellite (the dedup'd-join half of the revive contract): a join never
+// put()s, so repeated joined/hit lookups cannot keep an entry alive past
+// its TTL — only a real recompute revives it.
+TEST(ResultCacheTtl, LookupsDoNotReviveADyingEntry) {
+  ResultCache cache(4, 1, /*ttl_ms=*/60);
+  cache.put(1, dummy_value());
+  // Keep reading it hot until past the TTL; reads must not re-stamp.
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - start <
+         std::chrono::milliseconds(100)) {
+    (void)cache.get(1);
+    (void)cache.lookup_stale(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_TRUE(cache.lookup_stale(1).stale);
+}
+
+// Satellite 1 regression: an entry expired at snapshot time must not be
+// visited, so it can never be resurrected as fresh by a restore.
+TEST(ResultCacheTtl, ForEachEntrySkipsExpired) {
+  ResultCache cache(4, 1, /*ttl_ms=*/20);
+  cache.put(1, dummy_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  cache.put(2, dummy_value());  // still fresh
+
+  std::vector<std::uint64_t> seen;
+  cache.for_each_entry(
+      [&](std::uint64_t key,
+          const std::shared_ptr<const core::Prediction>&) {
+        seen.push_back(key);
+      });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 2u);
+  // The expired entry is still resident (for lookup_stale) — only the
+  // visit skips it.
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ResultCacheShards, ShardCountClampedToCapacityFloorPow2) {
+  // floor_pow2(min(shards, capacity)): a 3-entry cache cannot usefully
+  // run 16 shards.
+  EXPECT_EQ(ResultCache(3, 16).shard_count(), 2u);
+  EXPECT_EQ(ResultCache(1, 16).shard_count(), 1u);
+  EXPECT_EQ(ResultCache(5, 3).shard_count(), 2u);
+  EXPECT_EQ(ResultCache(4096, 16).shard_count(), 16u);
+  // Degenerate inputs clamp instead of crashing.
+  EXPECT_EQ(ResultCache(0, 0).shard_count(), 1u);
+  EXPECT_GE(ResultCache(0, 0).capacity(), 1u);
+}
+
+TEST(ResultCacheTtl, ExpiredEntriesStillEvictInLruOrder) {
+  // Expiry does not unlink entries; capacity pressure still evicts
+  // least-recently-used first, expired or not.
+  ResultCache cache(2, 1, /*ttl_ms=*/20);
+  cache.put(1, dummy_value());
+  cache.put(2, dummy_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  cache.put(3, dummy_value());  // evicts key 1 (LRU), not key 2
+  EXPECT_EQ(cache.lookup_stale(1).value, nullptr);
+  EXPECT_NE(cache.lookup_stale(2).value, nullptr);
+  EXPECT_TRUE(cache.lookup_stale(2).stale);
+  EXPECT_NE(cache.get(3), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+// Satellite 4: lookup_stale racing put/erase across shards under TSan.
+// The assertions are deliberately weak — the value of this test is the
+// sanitizer run in CI (sanitize + sanitize-thread both build it).
+TEST(ResultCacheTtl, ConcurrentStaleLookupsRacePutAndErase) {
+  ResultCache cache(64, 8, /*ttl_ms=*/5);
+  constexpr int kKeys = 16;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> served{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&cache, &stop, w] {
+      std::uint64_t i = w;
+      while (!stop.load(std::memory_order_relaxed)) {
+        cache.put(i % kKeys, dummy_value());
+        (void)cache.erase((i + 7) % kKeys);
+        ++i;
+      }
+    });
+  }
+  for (int r = 0; r < 4; ++r) {
+    threads.emplace_back([&cache, &stop, &served, r] {
+      std::uint64_t i = r;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto l = cache.lookup_stale(i % kKeys);
+        if (l.value != nullptr) {
+          served.fetch_add(1, std::memory_order_relaxed);
+        }
+        (void)cache.get((i + 3) % kKeys);
+        (void)cache.peek((i + 5) % kKeys);
+        ++i;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+
+  const auto s = cache.stats();
+  EXPECT_LE(s.entries, cache.capacity());
+  EXPECT_GT(served.load(), 0u);
+  EXPECT_GT(s.invalidations, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Service-level TTL: recompute revives, snapshot skips expired
+// ---------------------------------------------------------------------------
+
+TEST(ServiceTtl, RecomputeRevivesExpiredEntry) {
+  ServiceConfig scfg;
+  scfg.prediction = serving_config();
+  scfg.cache_shards = 1;
+  // Generous TTL: a predict must comfortably fit inside it even under
+  // TSan's slowdown, or the post-recompute hit check would flake.
+  scfg.cache_ttl_ms = 2000;
+  PredictionService svc(scfg);
+  const auto ms = campaign(1);
+
+  CacheDisposition d = CacheDisposition::kUnknown;
+  (void)svc.predict_one(ms, nullptr, nullptr, &d);
+  EXPECT_EQ(d, CacheDisposition::kMiss);
+  (void)svc.predict_one(ms, nullptr, nullptr, &d);
+  EXPECT_EQ(d, CacheDisposition::kHit);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(2200));
+  // Expired: the next lookup recomputes, and that recompute's put()
+  // revives the entry for the request after it.
+  (void)svc.predict_one(ms, nullptr, nullptr, &d);
+  EXPECT_EQ(d, CacheDisposition::kMiss);
+  (void)svc.predict_one(ms, nullptr, nullptr, &d);
+  EXPECT_EQ(d, CacheDisposition::kHit);
+}
+
+// Satellite 1, end to end: insert -> expire -> snapshot -> restore ->
+// the expired campaign MUST miss (recompute), while a fresh one rides
+// the snapshot into a warm hit.
+TEST(ServiceTtl, SnapshotSkipsExpiredEntryAcrossRestore) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "estima_streaming_ttl_snapshot_test";
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "cache.snap").string();
+
+  ServiceConfig scfg;
+  scfg.prediction = serving_config();
+  scfg.cache_shards = 1;
+  // Same TSan headroom as above: the fresh entry must survive from its
+  // restore-time put() through the checks below.
+  scfg.cache_ttl_ms = 2000;
+
+  const auto expired_ms = campaign(1);
+  const auto fresh_ms = campaign(2);
+  {
+    PredictionService svc(scfg);
+    (void)svc.predict_one(expired_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2200));
+    (void)svc.predict_one(fresh_ms);  // computed after the sleep: fresh
+    const auto report = svc.snapshot_to(path);
+    EXPECT_EQ(report.entries_written, 1u);
+  }
+
+  PredictionService restored(scfg);
+  const auto load = restored.restore_from(path);
+  EXPECT_EQ(load.entries_loaded(), 1u);
+  EXPECT_TRUE(load.skipped.empty());
+
+  // The expired entry never made it into the file: not even resident.
+  bool stale = false;
+  EXPECT_EQ(restored.cached_or_stale(restored.hash_of(expired_ms), &stale),
+            nullptr);
+  EXPECT_NE(restored.cached_or_stale(restored.hash_of(fresh_ms), &stale),
+            nullptr);
+  EXPECT_FALSE(stale);
+
+  CacheDisposition d = CacheDisposition::kUnknown;
+  (void)restored.predict_one(expired_ms, nullptr, nullptr, &d);
+  EXPECT_EQ(d, CacheDisposition::kMiss);
+  (void)restored.predict_one(fresh_ms, nullptr, nullptr, &d);
+  EXPECT_EQ(d, CacheDisposition::kHit);
+
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// CampaignStore
+// ---------------------------------------------------------------------------
+
+TEST(CampaignStore, CreateAppendPredictDeleteLifecycle) {
+  ServiceConfig scfg;
+  scfg.prediction = serving_config();
+  PredictionService svc(scfg);
+  CampaignStore store(svc);
+  const auto full = campaign(4, 14);
+
+  bool created = false;
+  auto info = store.create("tx-batch", full.truncated(12), &created);
+  EXPECT_TRUE(created);
+  EXPECT_EQ(info.version, 1u);
+  EXPECT_EQ(info.points, 12u);
+  const auto hash_v1 = info.hash;
+  EXPECT_EQ(hash_v1, svc.hash_of(full.truncated(12)));
+
+  // First predict computes and caches under the v1 hash; second hits.
+  CacheDisposition d = CacheDisposition::kUnknown;
+  const auto p1 = store.predict("tx-batch", nullptr, nullptr, &d);
+  EXPECT_EQ(d, CacheDisposition::kMiss);
+  (void)store.predict("tx-batch", nullptr, nullptr, &d);
+  EXPECT_EQ(d, CacheDisposition::kHit);
+  EXPECT_EQ(serialized(p1), serialized(core::predict(full.truncated(12),
+                                                     scfg.prediction)));
+
+  // Append two higher-core points: version bumps, hash moves, and EXACTLY
+  // the superseded hash dies in the cache.
+  info = store.append("tx-batch", tail(full, 12));
+  EXPECT_EQ(info.version, 2u);
+  EXPECT_EQ(info.points, 14u);
+  EXPECT_NE(info.hash, hash_v1);
+  EXPECT_EQ(info.hash, svc.hash_of(full));
+  EXPECT_EQ(svc.stats().cache.invalidations, 1u);
+  bool stale = false;
+  EXPECT_EQ(svc.cached_or_stale(hash_v1, &stale), nullptr);
+
+  // Re-prediction is a miss under the new hash, byte-identical to cold,
+  // and rides the memo (old prefixes replay).
+  const auto p2 = store.predict("tx-batch", nullptr, nullptr, &d, &info);
+  EXPECT_EQ(d, CacheDisposition::kMiss);
+  EXPECT_EQ(serialized(p2), serialized(core::predict(full, scfg.prediction)));
+  EXPECT_GT(info.memo.hits, 0u);
+
+  const auto st = store.stats();
+  EXPECT_EQ(st.created, 1u);
+  EXPECT_EQ(st.appends, 1u);
+  EXPECT_EQ(st.predictions, 3u);
+  EXPECT_EQ(st.hash_invalidations, 1u);
+  EXPECT_EQ(st.active, 1u);
+
+  EXPECT_TRUE(store.remove("tx-batch"));
+  EXPECT_FALSE(store.remove("tx-batch"));
+  EXPECT_THROW(store.info("tx-batch"), CampaignNotFound);
+  EXPECT_THROW((void)store.predict("tx-batch"), CampaignNotFound);
+  EXPECT_THROW(store.append("tx-batch", tail(full, 12)), CampaignNotFound);
+  EXPECT_EQ(store.stats().active, 0u);
+}
+
+TEST(CampaignStore, AppendRejectsBadDeltasAndLeavesCampaignUntouched) {
+  ServiceConfig scfg;
+  scfg.prediction = serving_config();
+  PredictionService svc(scfg);
+  CampaignStore store(svc);
+  const auto full = campaign(5, 14);
+  store.create("c", full.truncated(12));
+
+  // Empty delta.
+  auto empty = tail(full, 12);
+  empty.cores.clear();
+  empty.time_s.clear();
+  for (auto& c : empty.categories) c.values.clear();
+  EXPECT_THROW(store.append("c", empty), std::invalid_argument);
+
+  // Duplicate core count (<= the campaign's last measured count).
+  EXPECT_THROW(store.append("c", tail(full, 11)), std::invalid_argument);
+
+  // Metadata mismatch.
+  auto renamed = tail(full, 12);
+  renamed.workload = "other-workload";
+  EXPECT_THROW(store.append("c", renamed), std::invalid_argument);
+
+  // Category set mismatch.
+  auto recat = tail(full, 12);
+  recat.categories[0].name = "not_a_stall";
+  EXPECT_THROW(store.append("c", recat), std::invalid_argument);
+  auto dropped = tail(full, 12);
+  dropped.categories.pop_back();
+  EXPECT_THROW(store.append("c", dropped), std::invalid_argument);
+
+  // Non-ascending within the delta itself.
+  auto swapped = tail(full, 12);
+  std::swap(swapped.cores[0], swapped.cores[1]);
+  EXPECT_THROW(store.append("c", swapped), std::invalid_argument);
+
+  // Every rejection left the campaign exactly as created.
+  const auto info = store.info("c");
+  EXPECT_EQ(info.version, 1u);
+  EXPECT_EQ(info.points, 12u);
+  EXPECT_EQ(info.hash, svc.hash_of(full.truncated(12)));
+  EXPECT_EQ(store.stats().appends, 0u);
+
+  // And a valid append still works afterwards.
+  EXPECT_EQ(store.append("c", tail(full, 12)).points, 14u);
+}
+
+TEST(CampaignStore, CreateValidatesAndBoundsResidency) {
+  ServiceConfig scfg;
+  scfg.prediction = serving_config();
+  PredictionService svc(scfg);
+  CampaignStore store(svc, /*max_campaigns=*/2);
+
+  EXPECT_THROW(store.create("", campaign(1)), std::invalid_argument);
+  EXPECT_THROW(store.create("tiny", campaign(1, 2)), std::invalid_argument);
+
+  store.create("a", campaign(1));
+  store.create("b", campaign(2));
+  EXPECT_THROW(store.create("c", campaign(3)), std::invalid_argument);
+  // Replacing a resident name is not a new residency.
+  store.create("a", campaign(6));
+  EXPECT_EQ(store.stats().active, 2u);
+}
+
+TEST(CampaignStore, ReplaceResetsMemoAndInvalidatesOldHash) {
+  ServiceConfig scfg;
+  scfg.prediction = serving_config();
+  PredictionService svc(scfg);
+  CampaignStore store(svc);
+
+  const auto first = campaign(1);
+  const auto second = campaign(7);
+  auto info = store.create("c", first);
+  const auto hash_v1 = info.hash;
+  (void)store.predict("c");  // warms the cache + memo under the v1 hash
+
+  bool created = true;
+  info = store.create("c", second, &created);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(info.version, 2u);
+  EXPECT_NE(info.hash, hash_v1);
+  // A replacement is a new series: memo reset, old cache entry dead.
+  EXPECT_EQ(info.memo.entries, 0u);
+  EXPECT_EQ(svc.stats().cache.invalidations, 1u);
+  bool stale = false;
+  EXPECT_EQ(svc.cached_or_stale(hash_v1, &stale), nullptr);
+
+  CacheDisposition d = CacheDisposition::kUnknown;
+  const auto p = store.predict("c", nullptr, nullptr, &d);
+  EXPECT_EQ(d, CacheDisposition::kMiss);
+  EXPECT_EQ(serialized(p), serialized(core::predict(second,
+                                                    scfg.prediction)));
+
+  const auto st = store.stats();
+  EXPECT_EQ(st.created, 1u);
+  EXPECT_EQ(st.replaced, 1u);
+}
+
+// Distinct campaigns mutate and predict concurrently through one shared
+// store and service; per-campaign versions stay exact. Runs under TSan in
+// CI (sanitize-thread builds this suite).
+TEST(CampaignStore, ConcurrentAppendsAndPredictsAcrossCampaigns) {
+  ServiceConfig scfg;
+  scfg.prediction = serving_config();
+  PredictionService svc(scfg);
+  CampaignStore store(svc);
+
+  constexpr int kCampaigns = 3;
+  constexpr int kAppends = 2;
+  std::vector<core::MeasurementSet> fulls;
+  for (int i = 0; i < kCampaigns; ++i) {
+    fulls.push_back(campaign(i, 12 + kAppends));
+    store.create("c" + std::to_string(i), fulls[i].truncated(12));
+  }
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kCampaigns; ++i) {
+    threads.emplace_back([&store, &fulls, i] {
+      const std::string name = "c" + std::to_string(i);
+      for (int a = 0; a < kAppends; ++a) {
+        auto delta = fulls[i].truncated(12 + a + 1);
+        store.append(name, tail(delta, 12 + a));
+        (void)store.predict(name);
+      }
+    });
+    threads.emplace_back([&store, i] {
+      const std::string name = "c" + std::to_string(i);
+      for (int r = 0; r < 4; ++r) (void)store.predict(name);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int i = 0; i < kCampaigns; ++i) {
+    const auto info = store.info("c" + std::to_string(i));
+    EXPECT_EQ(info.version, 1u + kAppends);
+    EXPECT_EQ(info.points, 12u + kAppends);
+    EXPECT_EQ(info.hash, svc.hash_of(fulls[i]));
+    // The final state predicts byte-identically to a cold run.
+    EXPECT_EQ(serialized(store.predict("c" + std::to_string(i))),
+              serialized(core::predict(fulls[i], scfg.prediction)));
+  }
+  EXPECT_EQ(store.stats().appends,
+            static_cast<std::uint64_t>(kCampaigns * kAppends));
+}
+
+}  // namespace
+}  // namespace estima::service
